@@ -1,0 +1,61 @@
+"""Ablation A2 — output heads (DESIGN.md §5).
+
+§IV-A argues that predicting building/floor alongside the cell class is
+both free (one model instead of three) and beneficial: the auxiliary
+heads give "useful information about geodesic neighborhood over the
+manifold structure".  This bench toggles head sets and the adjacency
+soft-labels.
+"""
+
+from conftest import emit
+from repro.localization import NObLeWifi, evaluate_localizer
+
+VARIANTS = {
+    "fine only": dict(heads=("fine",), adjacency_weight=0.0),
+    "fine + adjacency": dict(heads=("fine",), adjacency_weight=0.3),
+    "fine + coarse": dict(heads=("fine", "coarse"), adjacency_weight=0.3),
+    "all heads (paper)": dict(
+        heads=("building", "floor", "fine", "coarse"), adjacency_weight=0.3
+    ),
+}
+
+
+def test_ablation_heads(uji_train_test, wifi_config, benchmark):
+    train, test = uji_train_test
+    lines = [
+        "ABLATION A2: output-head configurations (UJIIndoorLoc-like)",
+        f"{'variant':<22s} {'mean (m)':>9s} {'median (m)':>11s} "
+        f"{'class acc':>10s}",
+    ]
+    results = {}
+    for name, overrides in VARIANTS.items():
+        model = NObLeWifi(
+            tau=wifi_config.tau,
+            coarse=wifi_config.coarse,
+            epochs=wifi_config.epochs,
+            batch_size=wifi_config.batch_size,
+            val_fraction=0.0,
+            seed=wifi_config.seed,
+            **overrides,
+        )
+        model.fit(train)
+        report = evaluate_localizer(name, model, test)
+        results[name] = report
+        acc = "n/a" if report.class_accuracy is None else f"{report.class_accuracy:.3f}"
+        lines.append(
+            f"{name:<22s} {report.errors.mean:>9.2f} "
+            f"{report.errors.median:>11.2f} {acc:>10s}"
+        )
+    emit("ablation_heads", "\n".join(lines))
+
+    # every variant must localize far better than campus scale
+    for report in results.values():
+        assert report.errors.mean < 50.0
+    # the full model should be competitive with the best variant
+    best = min(r.errors.mean for r in results.values())
+    assert results["all heads (paper)"].errors.mean <= best * 2.0
+
+    model = NObLeWifi(epochs=1, val_fraction=0.0, seed=0)
+    benchmark.pedantic(
+        lambda: model.fit(train), rounds=1, iterations=1
+    )

@@ -1,0 +1,46 @@
+"""Ablation A3 — flat vs hierarchical (building-conditioned) inference.
+
+Extension beyond the paper: §IV-A's multi-head output makes a
+hierarchical decode possible — the building head (99.74 % accurate in
+the paper) can prune the fine head's cross-building errors.  This bench
+quantifies how much of NObLe's error tail that removes.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.metrics.errors import position_errors, summarize_errors
+
+
+def test_ablation_hierarchy(noble_wifi, uji_train_test, benchmark):
+    _train, test = uji_train_test
+    flat = noble_wifi.predict(test)
+    hierarchical = noble_wifi.predict(test, hierarchical=True)
+    flat_summary = summarize_errors(
+        position_errors(flat.coordinates, test.coordinates)
+    )
+    hier_summary = summarize_errors(
+        position_errors(hierarchical.coordinates, test.coordinates)
+    )
+    changed = int(np.sum(flat.fine_class != hierarchical.fine_class))
+
+    lines = [
+        "ABLATION A3: flat vs hierarchical inference (UJIIndoorLoc-like)",
+        f"{'decode':<14s} {'mean (m)':>9s} {'median (m)':>11s} "
+        f"{'p95 (m)':>8s}",
+        f"{'flat':<14s} {flat_summary.mean:>9.2f} "
+        f"{flat_summary.median:>11.2f} {flat_summary.p95:>8.2f}",
+        f"{'hierarchical':<14s} {hier_summary.mean:>9.2f} "
+        f"{hier_summary.median:>11.2f} {hier_summary.p95:>8.2f}",
+        f"fine-class decisions changed by the building mask: {changed}",
+    ]
+    emit("ablation_hierarchy", "\n".join(lines))
+
+    # pruning with a near-perfect building head must not hurt much
+    assert hier_summary.mean <= flat_summary.mean * 1.1
+    # and the masked decode stays consistent by construction
+    mapped = noble_wifi.fine_class_building_[hierarchical.fine_class]
+    np.testing.assert_array_equal(mapped, hierarchical.building)
+
+    signals = test.normalized_signals()
+    benchmark(lambda: noble_wifi.predict(signals, hierarchical=True))

@@ -1,0 +1,53 @@
+"""Ablation A5 — RSSI input representations.
+
+Extension beyond the paper: the fingerprinting literature (by the
+UJIIndoorLoc authors themselves) shows the input representation
+matters.  This bench trains NObLe with each representation and reports
+the error, plus the ``binary`` ablation that measures how much of the
+signal is in *which* APs are heard rather than how strongly.
+"""
+
+from conftest import emit
+from repro.localization import NObLeWifi, evaluate_localizer
+
+REPRESENTATIONS = ("identity", "powed", "exponential", "binary")
+
+
+def test_ablation_representations(uji_train_test, wifi_config, benchmark):
+    train, test = uji_train_test
+    lines = [
+        "ABLATION A5: RSSI input representations (NObLe)",
+        f"{'representation':<16s} {'mean (m)':>9s} {'median (m)':>11s} "
+        f"{'class acc':>10s}",
+    ]
+    results = {}
+    for name in REPRESENTATIONS:
+        model = NObLeWifi(
+            tau=wifi_config.tau,
+            coarse=wifi_config.coarse,
+            epochs=wifi_config.epochs,
+            batch_size=wifi_config.batch_size,
+            val_fraction=0.0,
+            signal_transform=None if name == "identity" else name,
+            seed=wifi_config.seed,
+        )
+        model.fit(train)
+        report = evaluate_localizer(name, model, test)
+        results[name] = report
+        lines.append(
+            f"{name:<16s} {report.errors.mean:>9.2f} "
+            f"{report.errors.median:>11.2f} {report.class_accuracy:>10.3f}"
+        )
+    emit("ablation_representations", "\n".join(lines))
+
+    # every monotone representation must localize at campus-beating level
+    for name in ("identity", "powed", "exponential"):
+        assert results[name].errors.mean < 30.0
+    # the detection mask alone retains substantial information (dense AP
+    # deployments make which-APs-heard a strong location signature)
+    assert results["binary"].errors.mean < 60.0
+
+    signals = test.normalized_signals()
+    from repro.localization.representations import powed
+
+    benchmark(lambda: powed(signals))

@@ -1,0 +1,57 @@
+"""Ablation A1 — grid size τ (DESIGN.md §5).
+
+§III-B discusses the trade-off: a fine grid gives precise centroids but
+sparse classes (few samples per class); a coarse grid is easy to
+classify but caps precision at the cell radius.  This bench sweeps τ
+and reports class count, quantization floor, and test error.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.localization import NObLeWifi, evaluate_localizer
+from repro.quantization.grid import GridQuantizer
+
+TAUS = (0.2, 1.0, 4.0, 16.0)
+
+
+def test_ablation_tau(uji_train_test, wifi_config, benchmark):
+    train, test = uji_train_test
+    lines = [
+        "ABLATION A1: grid size tau sweep (UJIIndoorLoc-like)",
+        f"{'tau (m)':>8s} {'classes':>8s} {'floor (m)':>10s} "
+        f"{'mean (m)':>9s} {'median (m)':>11s}",
+    ]
+    results = {}
+    for tau in TAUS:
+        quantizer = GridQuantizer(tau).fit(train.coordinates)
+        floor = quantizer.quantization_error(test.coordinates).mean()
+        model = NObLeWifi(
+            tau=tau,
+            coarse=max(4 * tau, tau + 1.0),
+            epochs=wifi_config.epochs,
+            batch_size=wifi_config.batch_size,
+            val_fraction=0.0,
+            seed=wifi_config.seed,
+        )
+        model.fit(train)
+        report = evaluate_localizer(f"tau={tau}", model, test)
+        results[tau] = (quantizer.n_classes, floor, report.errors)
+        lines.append(
+            f"{tau:>8.1f} {quantizer.n_classes:>8d} {floor:>10.2f} "
+            f"{report.errors.mean:>9.2f} {report.errors.median:>11.2f}"
+        )
+    emit("ablation_tau", "\n".join(lines))
+
+    # the quantization floor grows with tau ...
+    floors = [results[tau][1] for tau in TAUS]
+    assert all(a <= b + 1e-9 for a, b in zip(floors, floors[1:]))
+    # ... and the class count shrinks with tau
+    classes = [results[tau][0] for tau in TAUS]
+    assert all(a >= b for a, b in zip(classes, classes[1:]))
+    # the coarsest grid's floor should dominate its error budget: the
+    # best tau is not the coarsest
+    best_tau = min(TAUS, key=lambda tau: results[tau][2].mean)
+    assert best_tau < TAUS[-1]
+
+    benchmark(lambda: GridQuantizer(1.0).fit(train.coordinates))

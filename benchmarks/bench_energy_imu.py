@@ -1,0 +1,68 @@
+"""§V-D — IMU tracking energy and the 27× GPS comparison.
+
+Paper: 0.08599 J inference + 0.1356 J sensors over an 8 s path =
+0.22159 J total, vs 5.925 J for GPS → ≈ 27× cheaper.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.energy import (
+    GPS_FIX_ENERGY_J,
+    estimate_inference,
+    gps_energy_ratio,
+)
+from repro.energy.measure import InferenceEnergyReport
+
+PAPER = {
+    "inference_j": 0.08599,
+    "sensors_j": 0.1356,
+    "total_j": 0.22159,
+    "gps_j": 5.925,
+    "ratio": 27.0,
+}
+
+
+def test_energy_imu(noble_tracker, imu_paths, benchmark):
+    # the paper's accounting, reproduced from its own constants
+    paper_report = InferenceEnergyReport(
+        model_name="imu-paper",
+        flops=0,
+        inference_energy_j=PAPER["inference_j"],
+        inference_latency_s=0.005,
+        sensor_energy_j=PAPER["sensors_j"],
+    )
+    paper_ratio = gps_energy_ratio(paper_report)
+
+    # our tracker's modeled energy over the same 8 s sensing window
+    our_report = estimate_inference(
+        noble_tracker.network_, "imu-fast-scale", sensing_window_s=8.0
+    )
+    our_ratio = gps_energy_ratio(our_report)
+
+    lines = [
+        "IMU TRACKING ENERGY vs GPS (8 s window)",
+        f"{'quantity':<28s} {'paper':>12s} {'modeled':>12s}",
+        f"{'inference energy (J)':<28s} {PAPER['inference_j']:>12.5f} "
+        f"{our_report.inference_energy_j:>12.5f}",
+        f"{'sensor energy (J)':<28s} {PAPER['sensors_j']:>12.4f} "
+        f"{our_report.sensor_energy_j:>12.4f}",
+        f"{'total energy (J)':<28s} {PAPER['total_j']:>12.5f} "
+        f"{our_report.total_energy_j:>12.5f}",
+        f"{'GPS energy (J)':<28s} {PAPER['gps_j']:>12.3f} "
+        f"{GPS_FIX_ENERGY_J:>12.3f}",
+        f"{'GPS / system ratio':<28s} {paper_ratio:>12.1f} "
+        f"{our_ratio:>12.1f}",
+    ]
+    emit("energy_imu", "\n".join(lines))
+
+    # the headline: ~27× from the paper's own constants
+    assert 26.0 < paper_ratio < 28.0
+    # our (smaller) tracker is at least as cheap relative to GPS
+    assert our_ratio > 10.0
+    assert our_report.total_energy_j < GPS_FIX_ENERGY_J
+
+    adapted = noble_tracker._adapt(imu_paths, imu_paths.test_indices[:1])
+    x = np.stack([adapted[0][0]])
+    noble_tracker.network_.eval()
+    benchmark(lambda: noble_tracker.network_(x))

@@ -1,0 +1,63 @@
+"""§IV-C — Wi-Fi inference energy on the Jetson TX2.
+
+Paper: 0.00518 J and 2 ms per inference on UJIIndoorLoc.
+
+Our energy model is calibrated on exactly this published point (see
+repro.energy.model), so the bench checks the accounting reproduces the
+paper at the paper's architecture and reports our fast-scale model's
+estimate alongside.  The pytest benchmark measures actual CPU latency
+of one inference for context.
+"""
+
+from conftest import emit
+from repro.energy import JETSON_TX2, count_flops, estimate_inference
+from repro.nn import BatchNorm1d, Linear, Sequential, Tanh
+
+PAPER = {"energy_j": 0.00518, "latency_ms": 2.0}
+
+
+def paper_scale_model():
+    """The paper's UJIIndoorLoc architecture: 520 → 128 → 128 → ~1000."""
+    return Sequential(
+        Linear(520, 128, rng=0),
+        BatchNorm1d(128),
+        Tanh(),
+        Linear(128, 128, rng=0),
+        BatchNorm1d(128),
+        Tanh(),
+        Linear(128, 1000, rng=0),
+    )
+
+
+def test_energy_wifi(noble_wifi, uji_train_test, benchmark):
+    paper_model = paper_scale_model()
+    paper_report = estimate_inference(paper_model, "uji-paper-scale")
+
+    our_report = estimate_inference(noble_wifi.model_, "uji-fast-scale")
+
+    lines = [
+        "WIFI INFERENCE ENERGY (Nvidia Jetson TX2 model)",
+        f"{'quantity':<30s} {'paper':>12s} {'modeled':>12s}",
+        f"{'paper-scale energy (J)':<30s} {PAPER['energy_j']:>12.5f} "
+        f"{paper_report.inference_energy_j:>12.5f}",
+        f"{'paper-scale latency (ms)':<30s} {PAPER['latency_ms']:>12.2f} "
+        f"{1000 * paper_report.inference_latency_s:>12.2f}",
+        f"{'paper-scale FLOPs':<30s} {'~4.2e5':>12s} "
+        f"{paper_report.flops:>12d}",
+        f"{'fast-scale energy (J)':<30s} {'n/a':>12s} "
+        f"{our_report.inference_energy_j:>12.5f}",
+        f"{'fast-scale FLOPs':<30s} {'n/a':>12s} {our_report.flops:>12d}",
+    ]
+    emit("energy_wifi", "\n".join(lines))
+
+    # calibration identity: the model reproduces the published point
+    assert abs(paper_report.inference_energy_j - PAPER["energy_j"]) < 5e-4
+    assert abs(1000 * paper_report.inference_latency_s - PAPER["latency_ms"]) < 0.3
+    # FLOP counting consistency
+    assert paper_report.flops == count_flops(paper_model)
+    assert JETSON_TX2.energy(paper_report.flops) == paper_report.inference_energy_j
+
+    _train, test = uji_train_test
+    signals = test.normalized_signals()[:1]
+    noble_wifi.model_.eval()
+    benchmark(lambda: noble_wifi.model_(signals))

@@ -1,0 +1,70 @@
+"""Fig. 4 — predicted coordinates of the four Wi-Fi models.
+
+The paper's qualitative claim: Deep Regression's outputs spread over
+inaccessible space (including the top-left courtyard); projection and
+manifold embeddings look somewhat more structured; NObLe's outputs have
+"a sharper resemblance to the building structures".
+
+We quantify each panel with a structure score = fraction of predicted
+points on accessible space, render the ASCII panels, and dump CSVs.
+"""
+
+import os
+
+from conftest import RESULTS_DIR, emit
+from repro.data.campus import uji_campus_plan
+from repro.viz.scatter import ascii_scatter, save_scatter_csv
+
+
+def test_fig4_prediction_structure(
+    uji_train_test,
+    noble_wifi,
+    deep_regression_wifi,
+    regression_projection_wifi,
+    manifold_wifi_models,
+    benchmark,
+):
+    _train, test = uji_train_test
+    campus, _buildings = uji_campus_plan()
+    extent = campus.bounds
+
+    panels = {
+        "(a) Deep Regression": deep_regression_wifi,
+        "(b) Deep Regression Projection": regression_projection_wifi,
+        "(c) Isomap Regression": manifold_wifi_models["isomap"],
+        "(d) NObLe": noble_wifi,
+    }
+    blocks, scores = [], {}
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for title, model in panels.items():
+        predicted = model.predict_coordinates(test)
+        score = campus.accessibility_fraction(predicted)
+        scores[title] = score
+        blocks.append(
+            ascii_scatter(
+                predicted,
+                width=78,
+                height=20,
+                extent=extent,
+                title=f"Fig. 4{title} — structure score "
+                f"{100 * score:.1f}% on-map",
+            )
+        )
+        slug = title.split()[0].strip("()")
+        save_scatter_csv(
+            os.path.join(RESULTS_DIR, f"fig4_{slug}.csv"), predicted
+        )
+    emit("fig4_prediction_structure", "\n\n".join(blocks))
+
+    # shape: NObLe the most structured; regression the least
+    assert scores["(d) NObLe"] > 0.99
+    assert scores["(d) NObLe"] >= scores["(a) Deep Regression"]
+    assert (
+        scores["(b) Deep Regression Projection"]
+        >= scores["(a) Deep Regression"] - 1e-9
+    )
+    # deep regression demonstrably predicts off-map points
+    assert scores["(a) Deep Regression"] < 1.0
+
+    predicted = deep_regression_wifi.predict_coordinates(test)
+    benchmark(lambda: campus.accessibility_fraction(predicted))

@@ -1,0 +1,74 @@
+"""Fig. 5(b–d) — IMU test paths and predicted end coordinates.
+
+Paper claim: Deep Regression's predicted locations are "scattered in the
+space" while NObLe's "more closely resemble the space structure" (the
+route on the court).  Structure score = fraction of predictions within
+3 m of a reference location on the route.
+"""
+
+import os
+
+import numpy as np
+
+from conftest import RESULTS_DIR, emit
+from repro.data.imu import COURT_EXTENT
+from repro.tracking import evaluate_tracker
+from repro.viz.scatter import ascii_scatter, save_scatter_csv
+
+
+def test_fig5_imu_structure(
+    imu_paths, noble_tracker, regression_tracker, benchmark
+):
+    extent = (0.0, 0.0, COURT_EXTENT[0], COURT_EXTENT[1])
+    truth = imu_paths.end_positions(imu_paths.test_indices)
+    panels = {
+        "(b) ground truth end positions": truth,
+        "(c) Deep Regression predictions": regression_tracker.predict_coordinates(
+            imu_paths, imu_paths.test_indices
+        ),
+        "(d) NObLe predictions": noble_tracker.predict_coordinates(
+            imu_paths, imu_paths.test_indices
+        ),
+    }
+    blocks = []
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for title, points in panels.items():
+        distances = np.linalg.norm(
+            points[:, None, :] - imu_paths.reference_positions[None, :, :],
+            axis=-1,
+        ).min(axis=1)
+        score = float(np.mean(distances <= 3.0))
+        blocks.append(
+            ascii_scatter(
+                points,
+                width=78,
+                height=16,
+                extent=extent,
+                title=f"Fig. 5{title} — {100 * score:.1f}% within 3 m of route",
+            )
+        )
+        slug = title.split()[0].strip("()")
+        save_scatter_csv(os.path.join(RESULTS_DIR, f"fig5_{slug}.csv"), points)
+    emit("fig5_imu_structure", "\n\n".join(blocks))
+
+    noble_report = evaluate_tracker(
+        "NObLe",
+        noble_tracker,
+        imu_paths,
+        route_nodes=imu_paths.reference_positions,
+    )
+    regression_report = evaluate_tracker(
+        "Deep Regression",
+        regression_tracker,
+        imu_paths,
+        route_nodes=imu_paths.reference_positions,
+    )
+    # NObLe predictions follow the route structure better
+    assert noble_report.structure_score >= regression_report.structure_score
+    assert noble_report.structure_score > 0.9
+
+    benchmark(
+        lambda: noble_tracker.predict_coordinates(
+            imu_paths, imu_paths.test_indices[:16]
+        )
+    )

@@ -1,0 +1,58 @@
+"""§IV-B (text) — IPIN2016 single-building results.
+
+Paper: NObLe 1.13 m mean / 0.046 m median; Deep Regression 3.83 m mean;
+best ranked system on the IndoorLocPlatform: 3.71 m mean.
+
+Shape: in the small single-building regime both models land in the low
+meters, NObLe clearly ahead with a near-zero median.
+"""
+
+from conftest import emit
+from repro.localization import (
+    DeepRegressionWifi,
+    NObLeWifi,
+    evaluate_localizer,
+)
+
+PAPER = {"noble_mean": 1.13, "noble_median": 0.046, "regression_mean": 3.83}
+
+
+def test_ipin2016(ipin_train_test, benchmark):
+    train, test = ipin_train_test
+    noble = NObLeWifi(
+        tau=0.2,
+        coarse=3.0,
+        heads=("floor", "fine", "coarse"),
+        epochs=200,
+        batch_size=32,
+        val_fraction=0.0,
+        seed=31,
+    )
+    noble.fit(train)
+    regression = DeepRegressionWifi(
+        epochs=200, batch_size=32, val_fraction=0.0, seed=31
+    ).fit(train)
+
+    noble_report = evaluate_localizer("NObLe", noble, test)
+    regression_report = evaluate_localizer("Deep Regression", regression, test)
+
+    lines = [
+        "IPIN2016 (single building) position error (m)",
+        f"{'model':<18s} {'paper mean':>11s} {'paper med':>10s} "
+        f"{'mean':>8s} {'median':>8s}",
+        f"{'NObLe':<18s} {PAPER['noble_mean']:>11.2f} "
+        f"{PAPER['noble_median']:>10.3f} {noble_report.errors.mean:>8.2f} "
+        f"{noble_report.errors.median:>8.3f}",
+        f"{'Deep Regression':<18s} {PAPER['regression_mean']:>11.2f} "
+        f"{'n/a':>10s} {regression_report.errors.mean:>8.2f} "
+        f"{regression_report.errors.median:>8.3f}",
+    ]
+    emit("ipin2016", "\n".join(lines))
+
+    # shape: NObLe ahead of regression; errors in the low meters
+    assert noble_report.errors.mean < regression_report.errors.mean
+    assert noble_report.errors.median < 1.0
+    assert noble_report.errors.mean < 6.0
+
+    signals = test.normalized_signals()[:1]
+    benchmark(lambda: noble.predict_coordinates(signals))

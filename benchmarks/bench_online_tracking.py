@@ -1,0 +1,68 @@
+"""Ablation A4 — single-shot vs online (chained) tracking.
+
+Extension beyond the paper: §II notes IMU tracking "keeps updating
+previous positions, which makes it subject to error accumulation".
+This bench quantifies that: running NObLe hop-by-hop (each predicted
+end feeds the next start) compounds start-class errors and heading
+drift, while the paper's formulation — predict the whole ≤50-segment
+path in ONE inference from a trusted start — does not.  The measured
+gap is the empirical argument for the paper's path-level design.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.tracking import OnlineTracker
+
+
+def test_online_vs_single_shot(noble_tracker, imu_paths, benchmark):
+    online = OnlineTracker(noble_tracker, hop=1)
+    candidates = [
+        i
+        for i in imu_paths.test_indices
+        if imu_paths.paths[int(i)].length >= 8
+    ][:40]
+    assert candidates, "need long test paths for the online ablation"
+
+    per_step: dict[int, list] = {}
+    online_final = []
+    for index in candidates:
+        trace = online.track_path(imu_paths, int(index))
+        online_final.append(trace.final_error)
+        for step, error in enumerate(trace.errors):
+            per_step.setdefault(step, []).append(error)
+
+    single_shot = noble_tracker.predict_coordinates(
+        imu_paths, np.array(candidates)
+    )
+    truth = imu_paths.end_positions(np.array(candidates))
+    single_errors = np.linalg.norm(single_shot - truth, axis=1)
+
+    lines = [
+        "ABLATION A4: single-shot vs online (chained) NObLe tracking",
+        f"{'step':>5s} {'online mean err (m)':>20s} {'n':>5s}",
+    ]
+    means = []
+    for step in sorted(per_step):
+        errors = per_step[step]
+        means.append(float(np.mean(errors)))
+        lines.append(f"{step + 1:>5d} {means[-1]:>20.2f} {len(errors):>5d}")
+    lines += [
+        f"online final error   : mean {np.mean(online_final):.2f} m, "
+        f"median {np.median(online_final):.2f} m",
+        f"single-shot (paper)  : mean {single_errors.mean():.2f} m, "
+        f"median {np.median(single_errors):.2f} m",
+        "=> chaining compounds start errors; the paper's one-inference",
+        "   path formulation avoids the accumulation entirely.",
+    ]
+    emit("online_tracking", "\n".join(lines))
+
+    # the first hop (trusted start) is accurate ...
+    assert means[0] < 5.0
+    # ... but chaining accumulates: late steps are much worse than early
+    assert np.mean(means[-2:]) > means[0]
+    # and the paper's single-shot formulation beats online chaining
+    assert single_errors.mean() < np.mean(online_final)
+
+    index = int(candidates[0])
+    benchmark(lambda: online.track_path(imu_paths, index))

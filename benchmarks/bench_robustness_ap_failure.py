@@ -1,0 +1,57 @@
+"""Ablation A6 — robustness to WAP failures at test time.
+
+Extension beyond the paper: §III-A argues Wi-Fi signals are noisy
+("moving crowds or room set-ups"); a harsher, realistic corruption is
+APs disappearing entirely (powered off, relocated).  This bench blanks
+a growing fraction of APs in the *test* fingerprints (training
+unchanged) and tracks each model's degradation.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.metrics.errors import mean_error
+
+FAILURE_FRACTIONS = (0.0, 0.1, 0.25, 0.5)
+
+
+def test_robustness_ap_failure(
+    uji_train_test, noble_wifi, deep_regression_wifi, benchmark
+):
+    _train, test = uji_train_test
+    rng = np.random.default_rng(99)
+    signals = test.normalized_signals()
+    n_aps = signals.shape[1]
+
+    lines = [
+        "ABLATION A6: mean error (m) vs fraction of failed APs (test-time)",
+        f"{'failed':>8s} {'NObLe':>8s} {'DeepReg':>8s}",
+    ]
+    noble_curve, regression_curve = [], []
+    for fraction in FAILURE_FRACTIONS:
+        corrupted = signals.copy()
+        if fraction > 0:
+            dead = rng.choice(n_aps, size=int(fraction * n_aps), replace=False)
+            corrupted[:, dead] = 0.0  # "not detected" in normalized space
+        noble_error = mean_error(
+            noble_wifi.predict_coordinates(corrupted), test.coordinates
+        )
+        regression_error = mean_error(
+            deep_regression_wifi.predict_coordinates(corrupted),
+            test.coordinates,
+        )
+        noble_curve.append(noble_error)
+        regression_curve.append(regression_error)
+        lines.append(
+            f"{fraction:>8.2f} {noble_error:>8.2f} {regression_error:>8.2f}"
+        )
+    emit("robustness_ap_failure", "\n".join(lines))
+
+    # degradation is graceful for moderate failures ...
+    assert noble_curve[1] < noble_curve[0] * 4 + 5.0
+    # ... and NObLe stays at least competitive with regression throughout
+    for noble_error, regression_error in zip(noble_curve, regression_curve):
+        assert noble_error < regression_error * 1.5 + 5.0
+
+    corrupted = signals.copy()
+    benchmark(lambda: noble_wifi.predict_coordinates(corrupted))

@@ -1,0 +1,55 @@
+"""Table I — NObLe performance on UJIIndoorLoc.
+
+Paper values: building 99.74 %, floor 94.25 %, quantize class 61.63 %,
+position error mean 4.45 m / median 0.23 m.
+
+Our substrate is a synthetic UJIIndoorLoc-like campus (see DESIGN.md),
+so absolute numbers differ; the asserted shape is: high building/floor
+hit rates, and a median error far below the mean (most predictions land
+on the exact cell).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.localization import evaluate_localizer
+
+PAPER = {
+    "building": 99.74,
+    "floor": 94.25,
+    "class": 61.63,
+    "mean": 4.45,
+    "median": 0.23,
+}
+
+
+def test_table1_noble_uji(noble_wifi, uji_train_test, benchmark):
+    train, test = uji_train_test
+    report = evaluate_localizer("NObLe", noble_wifi, test)
+
+    lines = [
+        "TABLE I: NObLe performance results on UJIIndoorLoc(-like)",
+        f"{'metric':<22s} {'paper':>10s} {'measured':>10s}",
+        f"{'BUILDING acc (%)':<22s} {PAPER['building']:>10.2f} "
+        f"{100 * report.building_accuracy:>10.2f}",
+        f"{'FLOOR acc (%)':<22s} {PAPER['floor']:>10.2f} "
+        f"{100 * report.floor_accuracy:>10.2f}",
+        f"{'QUANTIZE CLASS (%)':<22s} {PAPER['class']:>10.2f} "
+        f"{100 * report.class_accuracy:>10.2f}",
+        f"{'MEAN error (m)':<22s} {PAPER['mean']:>10.2f} "
+        f"{report.errors.mean:>10.2f}",
+        f"{'MEDIAN error (m)':<22s} {PAPER['median']:>10.2f} "
+        f"{report.errors.median:>10.2f}",
+    ]
+    emit("table1_noble_uji", "\n".join(lines))
+
+    # shape assertions (see module docstring)
+    assert report.building_accuracy > 0.95
+    assert report.floor_accuracy > 0.80
+    assert report.errors.median < report.errors.mean
+    assert report.errors.mean < 20.0  # campus is ~400 m wide
+
+    # benchmark: single-fingerprint inference (the on-device operation)
+    signals = test.normalized_signals()[:1]
+    noble_wifi.model_.eval()
+    benchmark(lambda: noble_wifi.predict_coordinates(signals))

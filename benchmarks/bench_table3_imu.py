@@ -1,0 +1,107 @@
+"""Table III — position error distance (m) for IMU tracking.
+
+Paper values (mean / median, meters):
+    Deep Regression Model  10.41 / 10.05
+    [8] (map heuristic)     4.3  / n/a
+    NObLe                   2.52 / 0.4
+
+Shape to reproduce: NObLe beats the regression model and the physics
+baselines; its median is far below its mean.  [8] is represented by our
+map-corrected PDR comparator (same mechanism: turns snap to corners).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.data.imu import court_route_graph
+from repro.geometry.segments import route_graph_segments
+from repro.tracking import (
+    DeadReckoningTracker,
+    MapCorrectedTracker,
+    MLDistanceTracker,
+    ParticleFilterTracker,
+    evaluate_tracker,
+)
+
+PAPER_ROWS = {
+    "Deep Regression": (10.41, 10.05),
+    "[8] map heuristic": (4.3, float("nan")),
+    "NObLe": (2.52, 0.4),
+}
+
+
+def test_table3_imu_tracking(
+    imu_paths,
+    imu_walks,
+    imu_config,
+    noble_tracker,
+    regression_tracker,
+    imu_raw_segments,
+    imu_headings,
+    benchmark,
+):
+    corners = court_route_graph().nodes
+    forest = MLDistanceTracker(
+        model="forest", downsample=imu_config.downsample, seed=imu_config.seed
+    )
+    forest.fit_walks(imu_walks)
+    forest.fit(imu_paths)
+    map_corrected = MapCorrectedTracker(
+        imu_raw_segments, corners, initial_headings=imu_headings
+    ).fit(imu_paths)
+    integration = DeadReckoningTracker(
+        imu_raw_segments, method="integration", initial_headings=imu_headings
+    ).fit(imu_paths)
+    pdr = DeadReckoningTracker(
+        imu_raw_segments, method="pdr", initial_headings=imu_headings
+    ).fit(imu_paths)
+    route = court_route_graph()
+    particle = ParticleFilterTracker(
+        imu_raw_segments,
+        route_graph_segments(route.nodes, route.adjacency),
+        initial_headings=imu_headings,
+        n_particles=150,
+        seed=imu_config.seed,
+    ).fit(imu_paths)
+
+    reports = {
+        "Deep Regression": evaluate_tracker(
+            "Deep Regression", regression_tracker, imu_paths
+        ),
+        "Raw integration": evaluate_tracker("Raw integration", integration, imu_paths),
+        "PDR": evaluate_tracker("PDR", pdr, imu_paths),
+        "[8] map heuristic": evaluate_tracker(
+            "[8] map heuristic", map_corrected, imu_paths
+        ),
+        "[8] RF distance": evaluate_tracker("[8] RF distance", forest, imu_paths),
+        "[19] particle filter": evaluate_tracker(
+            "[19] particle filter", particle, imu_paths
+        ),
+        "NObLe": evaluate_tracker("NObLe", noble_tracker, imu_paths),
+    }
+
+    lines = [
+        "TABLE III: Position error distance (m) for IMU tracking",
+        f"{'model':<22s} {'paper mean':>11s} {'paper med':>10s} "
+        f"{'mean':>8s} {'median':>8s}",
+    ]
+    for name, report in reports.items():
+        paper_mean, paper_median = PAPER_ROWS.get(name, (float("nan"), float("nan")))
+        lines.append(
+            f"{name:<22s} {paper_mean:>11.2f} {paper_median:>10.2f} "
+            f"{report.errors.mean:>8.2f} {report.errors.median:>8.2f}"
+        )
+    emit("table3_imu", "\n".join(lines))
+
+    noble = reports["NObLe"].errors
+    # who wins: NObLe over the learned regression and the raw physics
+    assert noble.mean < reports["Deep Regression"].errors.mean
+    assert noble.mean < reports["Raw integration"].errors.mean
+    # NObLe's median far below its mean (quantized hits land exactly)
+    assert noble.median < noble.mean / 2
+
+    # benchmark: one path inference
+    adapted = noble_tracker._adapt(imu_paths, imu_paths.test_indices[:1])
+    x = np.stack([adapted[0][0]])
+    noble_tracker.network_.eval()
+    benchmark(lambda: noble_tracker.network_(x))

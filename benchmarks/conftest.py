@@ -1,0 +1,238 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index).  Datasets and trained models are session-scoped: the
+expensive training runs happen once and the pytest-benchmark timings
+measure the deployable operation (inference), matching the paper's
+on-device latency story.
+
+Results are printed and also written under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import IMUExperimentConfig, WifiExperimentConfig
+from repro.data import (
+    CampusWalkSimulator,
+    build_path_dataset,
+    generate_ipin_like,
+    generate_uji_like,
+)
+from repro.localization import (
+    DeepRegressionProjection,
+    DeepRegressionWifi,
+    ManifoldRegressionWifi,
+    NObLeWifi,
+)
+from repro.tracking import DeepRegressionTracker, NObLeTracker
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
+# --------------------------------------------------------------------- Wi-Fi
+@pytest.fixture(scope="session")
+def wifi_config():
+    return WifiExperimentConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def uji_dataset(wifi_config):
+    cfg = wifi_config
+    return generate_uji_like(
+        n_spots_per_building=cfg.n_spots_per_building,
+        measurements_per_spot=cfg.measurements_per_spot,
+        n_aps_per_floor=cfg.n_aps_per_floor,
+        seed=cfg.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def uji_train_test(uji_dataset, wifi_config):
+    train, test = uji_dataset.split(
+        (1.0 - wifi_config.test_fraction, wifi_config.test_fraction),
+        rng=wifi_config.seed + 1,
+    )
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def noble_wifi(uji_train_test, wifi_config):
+    cfg = wifi_config
+    train, _test = uji_train_test
+    model = NObLeWifi(
+        tau=cfg.tau,
+        coarse=cfg.coarse,
+        hidden=cfg.hidden,
+        adjacency_weight=cfg.adjacency_weight,
+        epochs=cfg.epochs,
+        batch_size=cfg.batch_size,
+        lr=cfg.lr,
+        val_fraction=0.0,
+        seed=cfg.seed,
+    )
+    model.fit(train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def deep_regression_wifi(uji_train_test, wifi_config):
+    cfg = wifi_config
+    train, _test = uji_train_test
+    model = DeepRegressionWifi(
+        hidden=cfg.hidden,
+        epochs=cfg.epochs,
+        batch_size=cfg.batch_size,
+        lr=cfg.lr,
+        val_fraction=0.0,
+        seed=cfg.seed,
+    )
+    model.fit(train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def regression_projection_wifi(uji_train_test, wifi_config):
+    cfg = wifi_config
+    train, _test = uji_train_test
+    model = DeepRegressionProjection(
+        hidden=cfg.hidden,
+        epochs=cfg.epochs,
+        batch_size=cfg.batch_size,
+        lr=cfg.lr,
+        val_fraction=0.0,
+        seed=cfg.seed,
+    )
+    model.fit(train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def manifold_wifi_models(uji_train_test, wifi_config):
+    cfg = wifi_config
+    train, _test = uji_train_test
+    models = {}
+    for method in ("isomap", "lle"):
+        model = ManifoldRegressionWifi(
+            method=method,
+            n_components=cfg.manifold_components,
+            n_neighbors=cfg.manifold_neighbors,
+            max_fit_points=cfg.manifold_max_fit_points,
+            regressor_kwargs=dict(
+                hidden=cfg.hidden,
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                lr=cfg.lr,
+                val_fraction=0.0,
+            ),
+            seed=cfg.seed,
+        )
+        model.fit(train)
+        models[method] = model
+    return models
+
+
+# --------------------------------------------------------------------- IPIN
+@pytest.fixture(scope="session")
+def ipin_train_test():
+    dataset = generate_ipin_like(
+        n_spots=60, measurements_per_spot=8, n_aps=20, seed=21
+    )
+    return dataset.split((0.8, 0.2), rng=22)
+
+
+# ----------------------------------------------------------------------- IMU
+@pytest.fixture(scope="session")
+def imu_config():
+    cfg = IMUExperimentConfig.fast()
+    # bench scale: longer walks and more paths than CI so Table III's
+    # shape is visible, still minutes not hours
+    return IMUExperimentConfig(
+        references_per_walk=30,
+        samples_per_segment=256,
+        n_paths=2000,
+        max_path_length=12,
+        downsample=32,
+        epochs=250,
+        lr=3e-3,
+        seed=cfg.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def imu_walks(imu_config):
+    simulator = CampusWalkSimulator(
+        samples_per_segment=imu_config.samples_per_segment
+    )
+    return simulator.record_session(
+        n_walks=imu_config.n_walks,
+        references_per_walk=imu_config.references_per_walk,
+        rng=imu_config.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def imu_paths(imu_walks, imu_config):
+    return build_path_dataset(
+        imu_walks,
+        n_paths=imu_config.n_paths,
+        max_length=imu_config.max_path_length,
+        downsample=imu_config.downsample,
+        rng=imu_config.seed + 1,
+    )
+
+
+@pytest.fixture(scope="session")
+def imu_raw_segments(imu_walks):
+    return np.vstack([w.segments for w in imu_walks])
+
+
+@pytest.fixture(scope="session")
+def imu_headings(imu_walks):
+    return np.concatenate([w.headings for w in imu_walks])
+
+
+@pytest.fixture(scope="session")
+def noble_tracker(imu_paths, imu_config):
+    cfg = imu_config
+    tracker = NObLeTracker(
+        tau=cfg.tau,
+        projection_dim=cfg.projection_dim,
+        hidden=cfg.hidden,
+        epochs=cfg.epochs,
+        batch_size=cfg.batch_size,
+        lr=cfg.lr,
+        patience=60,
+        seed=cfg.seed,
+    )
+    tracker.fit(imu_paths)
+    return tracker
+
+
+@pytest.fixture(scope="session")
+def regression_tracker(imu_paths, imu_config):
+    cfg = imu_config
+    tracker = DeepRegressionTracker(
+        projection_dim=cfg.projection_dim,
+        hidden=cfg.hidden,
+        epochs=cfg.epochs,
+        batch_size=cfg.batch_size,
+        lr=cfg.lr,
+        patience=60,
+        seed=cfg.seed,
+    )
+    tracker.fit(imu_paths)
+    return tracker

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` on toolchains with wheel) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

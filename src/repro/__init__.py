@@ -1,0 +1,46 @@
+"""repro — a full reproduction of "Neighbor Oblivious Learning (NObLe)
+for Device Localization and Tracking" (Liu, Chou & Shrivastava, DATE
+2021; arXiv:2011.14954).
+
+Quick start::
+
+    from repro import NObLeEstimator
+    model = NObLeEstimator(tau=0.5).fit(signals, coordinates)
+    positions = model.predict(new_signals)
+
+Subpackages
+-----------
+``repro.core``
+    High-level estimator API and experiment configurations.
+``repro.localization`` / ``repro.tracking``
+    The paper's two applications (Wi-Fi fingerprinting, IMU tracking)
+    with all baselines.
+``repro.quantization``
+    The τ-grid output-space quantization at the heart of NObLe.
+``repro.nn``
+    A from-scratch numpy neural-network framework (layers, batchnorm,
+    losses, optimizers, trainer).
+``repro.manifold``
+    Isomap / LLE / MDS and kNN search (the neighbor-aware baselines).
+``repro.data``
+    Simulators and loaders for UJIIndoorLoc-like, IPIN2016-like, and
+    IMU walk datasets.
+``repro.geometry``
+    Floor plans, point-in-polygon, map projection, occupancy grids.
+``repro.energy``
+    FLOP counting and Jetson-TX2/GPS energy accounting.
+``repro.metrics`` / ``repro.viz``
+    Position-error metrics, CDFs, and ASCII/CSV figure output.
+"""
+
+from repro.core.api import NObLeEstimator
+from repro.core.config import IMUExperimentConfig, WifiExperimentConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NObLeEstimator",
+    "WifiExperimentConfig",
+    "IMUExperimentConfig",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Embedding diagnostics for the §III-C manifold-equivalence argument."""
+
+from repro.analysis.embedding import (
+    class_scatter_ratio,
+    embedding_distance_correlation,
+)
+
+__all__ = ["class_scatter_ratio", "embedding_distance_correlation"]

@@ -1,0 +1,75 @@
+"""Quantify the paper's §III-C claim on learned embeddings.
+
+The argument: minimizing NObLe's cross-entropy pulls same-class
+penultimate-layer embeddings together (||z_i − z_j|| ≤ 2λ) and pushes
+different classes apart — "which resembles the objective function of
+MDS without considering the distance in the input space".  Two
+diagnostics make that measurable:
+
+* :func:`class_scatter_ratio` — mean within-class over mean
+  between-class embedding distance (≪ 1 for a structured embedding);
+* :func:`embedding_distance_correlation` — Pearson correlation between
+  embedding distances and *output-space* (coordinate) distances over
+  random pairs: the MDS-ness of the reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d, check_lengths_match
+
+
+def class_scatter_ratio(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    max_pairs: int = 20_000,
+    rng=None,
+) -> float:
+    """Mean within-class / mean between-class pairwise embedding distance.
+
+    Sampled over ``max_pairs`` random pairs; returns ``nan`` when one of
+    the two pair populations is empty (e.g. all-distinct labels).
+    """
+    embeddings = check_2d(embeddings, "embeddings")
+    labels = np.asarray(labels)
+    check_lengths_match(embeddings, labels, "embeddings", "labels")
+    rng = ensure_rng(rng)
+    n = len(embeddings)
+    if n < 2:
+        raise ValueError("need at least two embeddings")
+    i = rng.integers(0, n, size=max_pairs)
+    j = rng.integers(0, n, size=max_pairs)
+    keep = i != j
+    i, j = i[keep], j[keep]
+    distances = np.linalg.norm(embeddings[i] - embeddings[j], axis=1)
+    same = labels[i] == labels[j]
+    if not same.any() or same.all():
+        return float("nan")
+    return float(distances[same].mean() / distances[~same].mean())
+
+
+def embedding_distance_correlation(
+    embeddings: np.ndarray,
+    coordinates: np.ndarray,
+    max_pairs: int = 20_000,
+    rng=None,
+) -> float:
+    """Pearson r between embedding and coordinate pairwise distances."""
+    embeddings = check_2d(embeddings, "embeddings")
+    coordinates = check_2d(coordinates, "coordinates")
+    check_lengths_match(embeddings, coordinates, "embeddings", "coordinates")
+    rng = ensure_rng(rng)
+    n = len(embeddings)
+    if n < 3:
+        raise ValueError("need at least three samples")
+    i = rng.integers(0, n, size=max_pairs)
+    j = rng.integers(0, n, size=max_pairs)
+    keep = i != j
+    i, j = i[keep], j[keep]
+    d_emb = np.linalg.norm(embeddings[i] - embeddings[j], axis=1)
+    d_out = np.linalg.norm(coordinates[i] - coordinates[j], axis=1)
+    if np.std(d_emb) == 0 or np.std(d_out) == 0:
+        return float("nan")
+    return float(np.corrcoef(d_emb, d_out)[0, 1])

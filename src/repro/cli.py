@@ -1,0 +1,223 @@
+"""Command-line experiment driver.
+
+Run the paper's experiments without writing code::
+
+    python -m repro.cli wifi            # Tables I/II style comparison
+    python -m repro.cli ipin            # single-building results
+    python -m repro.cli imu             # Table III style comparison
+    python -m repro.cli energy          # §IV-C / §V-D accounting
+    python -m repro.cli wifi --preset paper --csv trainingData.csv
+
+``--preset fast`` (default) finishes in a couple of minutes on a laptop;
+``--preset paper`` approaches the paper's scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NObLe reproduction experiment driver"
+    )
+    parser.add_argument(
+        "experiment", choices=("wifi", "ipin", "imu", "energy"),
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--preset", choices=("fast", "paper"), default="fast",
+        help="experiment scale (default: fast)",
+    )
+    parser.add_argument(
+        "--csv", default=None,
+        help="path to a real UJIIndoorLoc CSV (wifi experiment only)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    args = parser.parse_args(argv)
+
+    runner = {
+        "wifi": run_wifi,
+        "ipin": run_ipin,
+        "imu": run_imu,
+        "energy": run_energy,
+    }[args.experiment]
+    runner(args)
+    return 0
+
+
+def run_wifi(args) -> None:
+    from repro.core.config import WifiExperimentConfig
+    from repro.data import generate_uji_like, load_uji_csv
+    from repro.localization import (
+        DeepRegressionProjection,
+        DeepRegressionWifi,
+        KNNFingerprinting,
+        NObLeWifi,
+        evaluate_localizer,
+    )
+
+    cfg = getattr(WifiExperimentConfig, args.preset)()
+    seed = args.seed if args.seed is not None else cfg.seed
+    if args.csv:
+        print(f"loading {args.csv}")
+        dataset = load_uji_csv(args.csv)
+    else:
+        dataset = generate_uji_like(
+            n_spots_per_building=cfg.n_spots_per_building,
+            measurements_per_spot=cfg.measurements_per_spot,
+            n_aps_per_floor=cfg.n_aps_per_floor,
+            seed=seed,
+        )
+    train, test = dataset.split(
+        (1.0 - cfg.test_fraction, cfg.test_fraction), rng=seed + 1
+    )
+    print(f"{len(train)} train / {len(test)} test, {dataset.n_aps} WAPs\n")
+
+    common = dict(
+        epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr,
+        val_fraction=0.0, seed=seed,
+    )
+    models = [
+        ("NObLe", NObLeWifi(tau=cfg.tau, coarse=cfg.coarse,
+                            adjacency_weight=cfg.adjacency_weight, **common)),
+        ("Deep Regression", DeepRegressionWifi(**common)),
+        ("Regression Projection", DeepRegressionProjection(**common)),
+        ("kNN fingerprinting", KNNFingerprinting(k=3)),
+    ]
+    print("model                          mean(m)  median(m)  on-map")
+    for name, model in models:
+        model.fit(train)
+        report = evaluate_localizer(name, model, test)
+        print(report.row())
+
+
+def run_ipin(args) -> None:
+    from repro.data import generate_ipin_like
+    from repro.localization import (
+        DeepRegressionWifi,
+        NObLeWifi,
+        evaluate_localizer,
+    )
+
+    seed = args.seed if args.seed is not None else 13
+    scale = dict(fast=(40, 6, 16), paper=(90, 12, 28))[args.preset]
+    n_spots, per_spot, n_aps = scale
+    dataset = generate_ipin_like(
+        n_spots=n_spots, measurements_per_spot=per_spot, n_aps=n_aps, seed=seed
+    )
+    train, test = dataset.split((0.8, 0.2), rng=seed + 1)
+    print(f"{len(train)} train / {len(test)} test\n")
+    common = dict(epochs=200, batch_size=32, val_fraction=0.0, seed=seed)
+    print("model                          mean(m)  median(m)")
+    for name, model in [
+        ("NObLe", NObLeWifi(tau=0.2, coarse=3.0,
+                            heads=("floor", "fine", "coarse"), **common)),
+        ("Deep Regression", DeepRegressionWifi(**common)),
+    ]:
+        model.fit(train)
+        print(evaluate_localizer(name, model, test).row())
+
+
+def run_imu(args) -> None:
+    from repro.core.config import IMUExperimentConfig
+    from repro.data import CampusWalkSimulator, build_path_dataset
+    from repro.data.imu import court_route_graph
+    from repro.tracking import (
+        DeadReckoningTracker,
+        DeepRegressionTracker,
+        MapCorrectedTracker,
+        NObLeTracker,
+        evaluate_tracker,
+    )
+    from repro.tracking.distance_ml import MLDistanceTracker
+
+    if args.preset == "paper":
+        cfg = IMUExperimentConfig.paper()
+    else:
+        cfg = IMUExperimentConfig(
+            references_per_walk=30, samples_per_segment=256, n_paths=2000,
+            max_path_length=12, downsample=32, epochs=250, lr=3e-3,
+        )
+    seed = args.seed if args.seed is not None else cfg.seed
+    print("recording walks ...")
+    simulator = CampusWalkSimulator(samples_per_segment=cfg.samples_per_segment)
+    walks = simulator.record_session(
+        n_walks=cfg.n_walks, references_per_walk=cfg.references_per_walk,
+        rng=seed,
+    )
+    data = build_path_dataset(
+        walks, n_paths=cfg.n_paths, max_length=cfg.max_path_length,
+        downsample=cfg.downsample, rng=seed + 1,
+    )
+    print(f"{len(data)} paths\n")
+
+    raw = np.vstack([w.segments for w in walks])
+    headings = np.concatenate([w.headings for w in walks])
+    corners = court_route_graph().nodes
+
+    print("training NObLe ...")
+    noble = NObLeTracker(
+        tau=cfg.tau, epochs=cfg.epochs, lr=cfg.lr, batch_size=cfg.batch_size,
+        patience=60, seed=seed,
+    ).fit(data)
+    print("training Deep Regression ...")
+    regression = DeepRegressionTracker(
+        epochs=cfg.epochs, lr=cfg.lr, batch_size=cfg.batch_size,
+        patience=60, seed=seed,
+    ).fit(data)
+    print("training random-forest distance model ([8]-style ML) ...")
+    forest = MLDistanceTracker(
+        model="forest", downsample=cfg.downsample, seed=seed
+    )
+    forest.fit_walks(walks)
+    forest.fit(data)
+
+    trackers = [
+        ("NObLe", noble),
+        ("Deep Regression", regression),
+        ("RF distance ([8]-style)", forest),
+        ("PDR", DeadReckoningTracker(raw, "pdr", initial_headings=headings).fit(data)),
+        ("Raw integration",
+         DeadReckoningTracker(raw, "integration", initial_headings=headings).fit(data)),
+        ("Map heuristic ([8]-style)",
+         MapCorrectedTracker(raw, corners, initial_headings=headings).fit(data)),
+    ]
+    print("\nmodel                          mean(m)  median(m)")
+    for name, tracker in trackers:
+        print(evaluate_tracker(name, tracker, data).row())
+
+
+def run_energy(args) -> None:
+    from repro.energy import (
+        GPS_FIX_ENERGY_J,
+        JETSON_TX2,
+        estimate_inference,
+        gps_energy_ratio,
+    )
+    from repro.nn import BatchNorm1d, Linear, Sequential, Tanh
+    from repro.tracking.network import TrackerNetwork
+
+    wifi = Sequential(
+        Linear(520, 128, rng=0), BatchNorm1d(128), Tanh(),
+        Linear(128, 128, rng=0), BatchNorm1d(128), Tanh(),
+        Linear(128, 1000, rng=0),
+    )
+    report = estimate_inference(wifi, "wifi")
+    print(f"profile: {JETSON_TX2.name}")
+    print(f"wifi inference : {report.inference_energy_j * 1000:.3f} mJ, "
+          f"{report.inference_latency_s * 1000:.2f} ms (paper: 5.18 mJ / 2 ms)")
+    tracker = TrackerNetwork(
+        max_len=50, feature_dim=288, start_dim=180, head_dim=178, rng=0
+    )
+    imu = estimate_inference(tracker, "imu", sensing_window_s=8.0)
+    print(f"imu total      : {imu.total_energy_j:.5f} J "
+          f"(paper: 0.22159 J); GPS/system = {gps_energy_ratio(imu):.1f}x "
+          f"(paper ~27x); GPS fix = {GPS_FIX_ENERGY_J} J")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

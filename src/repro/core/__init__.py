@@ -1,0 +1,6 @@
+"""High-level public API: one-call estimators and experiment configs."""
+
+from repro.core.api import NObLeEstimator
+from repro.core.config import WifiExperimentConfig, IMUExperimentConfig
+
+__all__ = ["NObLeEstimator", "WifiExperimentConfig", "IMUExperimentConfig"]

@@ -1,0 +1,94 @@
+"""Experiment configurations for both applications.
+
+Two presets per experiment: ``fast()`` (CI-sized, seconds to minutes)
+and ``paper()`` (closer to the paper's scale; minutes on a laptop).
+The benchmark harness uses these so every table/figure run is a named,
+reproducible configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WifiExperimentConfig:
+    """Dataset + model sizing for the Wi-Fi experiments (Tables I/II)."""
+
+    n_spots_per_building: int = 64
+    measurements_per_spot: int = 12
+    n_aps_per_floor: int = 10
+    tau: float = 0.2
+    coarse: float = 4.0
+    hidden: int = 128
+    adjacency_weight: float = 0.3
+    epochs: int = 60
+    batch_size: int = 64
+    lr: float = 1e-3
+    test_fraction: float = 0.2
+    manifold_components: int = 48
+    manifold_neighbors: int = 10
+    manifold_max_fit_points: int = 1000
+    seed: int = 7
+
+    @classmethod
+    def fast(cls) -> "WifiExperimentConfig":
+        """CI-sized: ~1 min end to end for the full Table II."""
+        return cls(
+            n_spots_per_building=24,
+            measurements_per_spot=8,
+            n_aps_per_floor=6,
+            epochs=200,
+            batch_size=32,
+            manifold_components=24,
+            manifold_max_fit_points=400,
+        )
+
+    @classmethod
+    def paper(cls) -> "WifiExperimentConfig":
+        """Closer to UJIIndoorLoc's scale (still CPU-tractable)."""
+        return cls(
+            n_spots_per_building=110,
+            measurements_per_spot=18,
+            n_aps_per_floor=14,
+            epochs=150,
+            manifold_components=64,
+            manifold_max_fit_points=1500,
+        )
+
+
+@dataclass(frozen=True)
+class IMUExperimentConfig:
+    """Dataset + model sizing for the IMU experiments (Table III)."""
+
+    n_walks: int = 2
+    references_per_walk: int = 89   # 177 references total, like the paper
+    samples_per_segment: int = 768
+    n_paths: int = 2000
+    max_path_length: int = 50
+    downsample: int = 16
+    tau: float = 0.4
+    projection_dim: int = 16
+    hidden: int = 128
+    epochs: int = 40
+    batch_size: int = 64
+    lr: float = 1e-3
+    seed: int = 11
+
+    @classmethod
+    def fast(cls) -> "IMUExperimentConfig":
+        """CI-sized: short walks, few paths, truncated path length."""
+        return cls(
+            references_per_walk=30,
+            samples_per_segment=256,
+            n_paths=400,
+            max_path_length=12,
+            downsample=32,
+            epochs=15,
+        )
+
+    @classmethod
+    def paper(cls) -> "IMUExperimentConfig":
+        """The paper's protocol: 177 references, 768 samples/segment,
+        6857 paths split ≈ 4389/1096/1372."""
+        return cls(n_paths=6857, epochs=50)

@@ -1,0 +1,140 @@
+"""Save and load fitted NObLe Wi-Fi models.
+
+The network weights go into an .npz (via :mod:`repro.nn.serialization`)
+together with the quantizer state and head layout, so a model trained
+offline can be shipped to a device and restored without the training
+data — the deployment story behind the paper's energy section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.localization.noble import ALL_HEADS, NObLeWifi
+from repro.quantization.grid import GridQuantizer
+from repro.quantization.multires import MultiResolutionQuantizer
+
+
+def save_noble_wifi(model: NObLeWifi, path: "str | os.PathLike") -> None:
+    """Persist a fitted :class:`NObLeWifi` to ``path`` (.npz)."""
+    if model.model_ is None:
+        raise ValueError("model is not fitted")
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.model_.state_dict().items():
+        arrays[f"net.{name}"] = value
+    quantizer = model.quantizer_
+    fine = quantizer.fine if isinstance(quantizer, MultiResolutionQuantizer) else quantizer
+    arrays["fine.classes"] = fine.classes_
+    arrays["fine.centroids"] = fine.centroids_
+    arrays["fine.counts"] = fine.counts_
+    arrays["fine.origin"] = fine.origin_
+    if isinstance(quantizer, MultiResolutionQuantizer):
+        arrays["coarse.classes"] = quantizer.coarse.classes_
+        arrays["coarse.centroids"] = quantizer.coarse.centroids_
+        arrays["coarse.counts"] = quantizer.coarse.counts_
+        arrays["coarse.origin"] = quantizer.coarse.origin_
+    if model.fine_class_building_ is not None:
+        arrays["fine_class_building"] = model.fine_class_building_
+
+    transform_name = None
+    if model.signal_transform is not None:
+        from repro.localization import representations
+
+        for name in ("identity", "powed", "exponential", "binary"):
+            if model.signal_transform is representations.get_representation(name):
+                transform_name = name
+                break
+        else:
+            raise ValueError(
+                "only named signal transforms (repro.localization."
+                "representations) can be persisted; got a custom callable"
+            )
+
+    meta = {
+        "signal_transform": transform_name,
+        "tau": model.tau,
+        "coarse": model.coarse,
+        "hidden": model.hidden,
+        "heads": list(model.heads),
+        "adjacency_weight": model.adjacency_weight,
+        "n_inputs": model.model_[0].in_features,
+        "n_outputs": model.model_[-1].out_features,
+        "n_buildings": model.n_buildings_,
+        "n_floors": model.n_floors_,
+        "head_slices": {
+            head: [s.start, s.stop] for head, s in model.head_slices_.items()
+        },
+        "multires": isinstance(quantizer, MultiResolutionQuantizer),
+        "representative": fine.representative,
+    }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_noble_wifi(path: "str | os.PathLike") -> NObLeWifi:
+    """Restore a :class:`NObLeWifi` saved by :func:`save_noble_wifi`."""
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta = json.loads(bytes(arrays.pop("meta_json")).decode("utf-8"))
+
+    model = NObLeWifi(
+        tau=meta["tau"],
+        coarse=meta["coarse"],
+        hidden=meta["hidden"],
+        heads=tuple(h for h in ALL_HEADS if h in meta["heads"]),
+        adjacency_weight=meta["adjacency_weight"],
+        signal_transform=meta.get("signal_transform"),
+    )
+    model.n_buildings_ = meta["n_buildings"]
+    model.n_floors_ = meta["n_floors"]
+    model.head_slices_ = {
+        head: slice(bounds[0], bounds[1])
+        for head, bounds in meta["head_slices"].items()
+    }
+    model.quantizer_ = _restore_quantizer(meta, arrays)
+    model.fine_class_building_ = arrays.get("fine_class_building")
+    network = model._build_model(meta["n_inputs"], meta["n_outputs"], rng=0)
+    network.load_state_dict(
+        {
+            name[len("net."):]: value
+            for name, value in arrays.items()
+            if name.startswith("net.")
+        }
+    )
+    network.eval()
+    model.model_ = network
+    return model
+
+
+def _restore_quantizer(meta: dict, arrays: dict):
+    fine = _restore_grid(
+        meta["tau"], meta["representative"], arrays, prefix="fine"
+    )
+    if not meta["multires"]:
+        return fine
+    quantizer = MultiResolutionQuantizer(
+        meta["tau"], meta["coarse"], representative=meta["representative"]
+    )
+    quantizer.fine = fine
+    quantizer.coarse = _restore_grid(
+        meta["coarse"], meta["representative"], arrays, prefix="coarse"
+    )
+    return quantizer
+
+
+def _restore_grid(tau: float, representative: str, arrays: dict, prefix: str):
+    grid = GridQuantizer(tau, representative=representative)
+    grid.origin_ = arrays[f"{prefix}.origin"]
+    grid.classes_ = arrays[f"{prefix}.classes"].astype(int)
+    grid.centroids_ = arrays[f"{prefix}.centroids"]
+    grid.counts_ = arrays[f"{prefix}.counts"].astype(int)
+    grid._cell_to_class = {
+        (int(cx), int(cy)): class_id
+        for class_id, (cx, cy) in enumerate(grid.classes_)
+    }
+    return grid

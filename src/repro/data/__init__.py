@@ -1,0 +1,46 @@
+"""Dataset substrate: radio / inertial simulators and format loaders.
+
+Network access and the authors' private IMU dataset are unavailable, so
+this subpackage synthesizes datasets with the structural properties the
+paper's experiments rely on (see DESIGN.md §2 for the substitution
+arguments).  Real UJIIndoorLoc CSVs are loaded transparently when a file
+path is supplied.
+"""
+
+from repro.data.rssi import RadioEnvironment, WirelessAccessPoint
+from repro.data.campus import (
+    uji_campus_plan,
+    ipin_building_plan,
+    sample_reference_spots,
+)
+from repro.data.ujiindoor import (
+    FingerprintDataset,
+    generate_uji_like,
+    load_uji_csv,
+    save_uji_csv,
+    NOT_DETECTED,
+)
+from repro.data.ipin import generate_ipin_like
+from repro.data.gait import GaitModel, IMUConfig
+from repro.data.imu import CampusWalkSimulator, WalkRecording
+from repro.data.paths import PathDataset, build_path_dataset
+
+__all__ = [
+    "RadioEnvironment",
+    "WirelessAccessPoint",
+    "uji_campus_plan",
+    "ipin_building_plan",
+    "sample_reference_spots",
+    "FingerprintDataset",
+    "generate_uji_like",
+    "load_uji_csv",
+    "save_uji_csv",
+    "NOT_DETECTED",
+    "generate_ipin_like",
+    "GaitModel",
+    "IMUConfig",
+    "CampusWalkSimulator",
+    "WalkRecording",
+    "PathDataset",
+    "build_path_dataset",
+]

@@ -1,0 +1,110 @@
+"""Campus geometries mirroring the paper's two Wi-Fi testbeds.
+
+``uji_campus_plan`` builds a 397 m × 273 m campus with three ring-shaped
+buildings (rectangular footprint with an open courtyard hole), matching
+the structure visible in the paper's Fig. 1: the satellite view shows
+three slab buildings whose interiors are partially open, and the paper
+explicitly notes "the middle area of the top left building is not part
+of buildings".
+
+``ipin_building_plan`` is a single small building (IPIN2016 Tutorial
+setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.polygon import Polygon
+from repro.utils.rng import ensure_rng
+
+#: Extent of the UJIIndoorLoc campus per the paper: 397 m × 273 m.
+UJI_EXTENT = (397.0, 273.0)
+
+#: Floors per building in UJIIndoorLoc.
+UJI_FLOORS = 4
+
+#: Number of buildings in UJIIndoorLoc.
+UJI_BUILDINGS = 3
+
+
+def uji_campus_plan() -> tuple[FloorPlan, list[FloorPlan]]:
+    """The campus plan and the per-building plans.
+
+    Returns
+    -------
+    campus:
+        A single FloorPlan whose regions are the three building rings
+        (courtyards are holes, i.e. inaccessible).
+    buildings:
+        One FloorPlan per building, in building-id order, arranged
+        diagonally across the campus like UJI's Espaitec buildings.
+    """
+    # Three slabs, placed on a diagonal (as in the Fig. 1 satellite view).
+    # Each building: outer footprint ~110 m × 65 m with an inner courtyard.
+    layouts = [
+        # (outer x0, y0, x1, y1)
+        (20.0, 180.0, 150.0, 255.0),   # building 0: top left (has the courtyard)
+        (130.0, 90.0, 265.0, 160.0),   # building 1: middle
+        (245.0, 10.0, 380.0, 85.0),    # building 2: bottom right
+    ]
+    buildings: list[FloorPlan] = []
+    regions: list[Polygon] = []
+    holes: list[Polygon] = []
+    for x0, y0, x1, y1 in layouts:
+        outer = Polygon.rectangle(x0, y0, x1, y1)
+        # courtyard: central hole leaving a ~18 m deep ring of usable space
+        inset_x = 0.28 * (x1 - x0)
+        inset_y = 0.30 * (y1 - y0)
+        courtyard = Polygon.rectangle(
+            x0 + inset_x, y0 + inset_y, x1 - inset_x, y1 - inset_y
+        )
+        regions.append(outer)
+        holes.append(courtyard)
+        buildings.append(FloorPlan([outer], holes=[courtyard]))
+    return FloorPlan(regions, holes=holes), buildings
+
+
+def ipin_building_plan() -> FloorPlan:
+    """A single small building (~60 m × 30 m) with a lobby cutout."""
+    outer = Polygon.rectangle(0.0, 0.0, 60.0, 30.0)
+    lightwell = Polygon.rectangle(22.0, 10.0, 38.0, 20.0)
+    return FloorPlan([outer], holes=[lightwell])
+
+
+def sample_reference_spots(
+    plan: FloorPlan,
+    n_spots: int,
+    min_separation: float = 1.0,
+    rng=None,
+    max_tries: int = 200_000,
+) -> np.ndarray:
+    """Sample fingerprinting reference locations on accessible space.
+
+    Spots are drawn uniformly over the plan with Poisson-disk-style
+    rejection: no two spots closer than ``min_separation``.  This mirrors
+    the offline phase of fingerprinting, where surveyors sample a roughly
+    even set of locations along accessible corridors.
+    """
+    if n_spots <= 0:
+        raise ValueError(f"n_spots must be positive, got {n_spots}")
+    if min_separation < 0:
+        raise ValueError(f"min_separation must be >= 0, got {min_separation}")
+    rng = ensure_rng(rng)
+    spots: list[np.ndarray] = []
+    for _attempt in range(max_tries):
+        if len(spots) >= n_spots:
+            break
+        candidate = plan.sample(1, rng=rng)[0]
+        if spots:
+            existing = np.array(spots)
+            if np.min(np.linalg.norm(existing - candidate, axis=1)) < min_separation:
+                continue
+        spots.append(candidate)
+    if len(spots) < n_spots:
+        raise RuntimeError(
+            f"could only place {len(spots)}/{n_spots} spots with "
+            f"min_separation={min_separation}; reduce the separation or spot count"
+        )
+    return np.array(spots)

@@ -1,0 +1,202 @@
+"""Campus walk simulator for the IMU tracking application (§V-A).
+
+Walks happen on a structured outdoor court of 160 m × 60 m: a route
+graph of orthogonal pathways (perimeter loop plus cross paths), which is
+exactly the kind of structure NObLe's output quantization exploits.
+A walk is a non-backtracking random traversal of the route graph; every
+``samples_per_segment`` IMU readings a reference location with (GPS)
+coordinates is dropped, reproducing the paper's recording protocol
+(177 reference locations, 768 readings per sensor axis between
+consecutive references, ≈ 75 minutes of walking at 50 Hz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.gait import GaitModel, IMUConfig
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+#: Court extent from the paper: 160 m × 60 m.
+COURT_EXTENT = (160.0, 60.0)
+
+#: IMU readings per sensor axis between consecutive reference locations.
+SAMPLES_PER_SEGMENT = 768
+
+
+@dataclass
+class WalkRecording:
+    """One continuous walk: reference locations plus per-segment IMU data.
+
+    Attributes
+    ----------
+    references:
+        (R, 2) reference locations (world meters).
+    segments:
+        (R-1, S, 6) IMU readings between consecutive references; last
+        axis is [ax, ay, az, gx, gy, gz].
+    headings:
+        (R,) walking direction (radians, world frame) at each reference
+        — ground truth the recording protocol knows because references
+        carry GPS fixes; dead-reckoning baselines consume it as their
+        initial heading.
+    """
+
+    references: np.ndarray
+    segments: np.ndarray
+    headings: "np.ndarray | None" = None
+
+    def __post_init__(self):
+        self.references = np.asarray(self.references, dtype=float)
+        self.segments = np.asarray(self.segments, dtype=float)
+        if len(self.segments) != len(self.references) - 1:
+            raise ValueError(
+                f"expected {len(self.references) - 1} segments for "
+                f"{len(self.references)} references, got {len(self.segments)}"
+            )
+        if self.headings is not None:
+            self.headings = np.asarray(self.headings, dtype=float)
+            if len(self.headings) != len(self.references):
+                raise ValueError("headings must align with references")
+
+    @property
+    def n_references(self) -> int:
+        return len(self.references)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def duration_seconds(self) -> float:
+        cfg_rate = 50.0  # informational; simulator always uses its config rate
+        return self.segments.shape[0] * self.segments.shape[1] / cfg_rate
+
+
+@dataclass
+class RouteGraph:
+    """Orthogonal pathway graph on the court: nodes and adjacency."""
+
+    nodes: np.ndarray
+    adjacency: "dict[int, list[int]]" = field(repr=False, default_factory=dict)
+
+    def neighbors(self, node: int) -> list[int]:
+        return self.adjacency[node]
+
+
+def court_route_graph(
+    extent: tuple[float, float] = COURT_EXTENT,
+    margin: float = 5.0,
+    n_cross_paths: int = 4,
+) -> RouteGraph:
+    """Pathway graph: a perimeter loop with ``n_cross_paths`` vertical cross
+    paths, intersections as nodes, walkable edges along the grid lines."""
+    width, height = extent
+    if margin * 2 >= min(width, height):
+        raise ValueError("margin too large for the court extent")
+    xs = np.linspace(margin, width - margin, n_cross_paths + 2)
+    ys = np.array([margin, height - margin])
+    nodes = np.array([[x, y] for y in ys for x in xs])
+    n_cols = len(xs)
+    adjacency: dict[int, list[int]] = {i: [] for i in range(len(nodes))}
+    for row in range(2):
+        for col in range(n_cols):
+            i = row * n_cols + col
+            if col + 1 < n_cols:  # horizontal edge
+                j = row * n_cols + col + 1
+                adjacency[i].append(j)
+                adjacency[j].append(i)
+            if row == 0:  # vertical edge to the top row
+                j = n_cols + col
+                adjacency[i].append(j)
+                adjacency[j].append(i)
+    return RouteGraph(nodes=nodes, adjacency=adjacency)
+
+
+class CampusWalkSimulator:
+    """Generate :class:`WalkRecording` objects on the court route graph."""
+
+    def __init__(
+        self,
+        imu_config: "IMUConfig | None" = None,
+        route: "RouteGraph | None" = None,
+        samples_per_segment: int = SAMPLES_PER_SEGMENT,
+    ):
+        if samples_per_segment < 8:
+            raise ValueError("samples_per_segment must be at least 8")
+        self.config = imu_config or IMUConfig()
+        self.route = route or court_route_graph()
+        self.samples_per_segment = int(samples_per_segment)
+        self._gait = GaitModel(self.config)
+
+    def random_walk_waypoints(self, n_legs: int, rng=None) -> np.ndarray:
+        """A non-backtracking random traversal of the route graph."""
+        if n_legs < 1:
+            raise ValueError("n_legs must be at least 1")
+        rng = ensure_rng(rng)
+        current = int(rng.integers(len(self.route.nodes)))
+        previous = -1
+        waypoints = [self.route.nodes[current]]
+        for _leg in range(n_legs):
+            options = [n for n in self.route.neighbors(current) if n != previous]
+            if not options:
+                options = self.route.neighbors(current)
+            previous, current = current, int(options[int(rng.integers(len(options)))])
+            waypoints.append(self.route.nodes[current])
+        return np.array(waypoints)
+
+    def record_walk(self, n_references: int, rng=None) -> WalkRecording:
+        """Walk until ``n_references`` reference locations are collected.
+
+        The walker traverses random route legs; a reference is dropped
+        every ``samples_per_segment`` IMU samples, with the walk's dense
+        position trace rendered to IMU readings by the gait model.
+        """
+        if n_references < 2:
+            raise ValueError("need at least 2 reference locations")
+        rng_route, rng_imu = spawn_rngs(rng, 2)
+        needed_samples = (n_references - 1) * self.samples_per_segment + 1
+        distance_per_sample = self.config.speed_mps / self.config.sample_rate_hz
+        needed_distance = needed_samples * distance_per_sample
+        # route legs are >= ~25 m each; over-provision then trim
+        mean_leg = 30.0
+        n_legs = max(4, int(np.ceil(needed_distance / mean_leg)) + 2)
+        waypoints = self.random_walk_waypoints(n_legs, rng=rng_route)
+        dense = self._gait.densify_waypoints(waypoints)
+        while len(dense) < needed_samples:
+            extra = self.random_walk_waypoints(4, rng=rng_route)
+            # continue from the current endpoint to keep the trace continuous
+            extra = extra - extra[0] + dense[-1]
+            dense = np.vstack([dense, self._gait.densify_waypoints(extra)[1:]])
+        dense = dense[:needed_samples]
+        accel, gyro = self._gait.trajectory_to_imu(dense, rng=rng_imu)
+        imu = np.concatenate([accel, gyro], axis=1)  # (T, 6)
+
+        ref_idx = np.arange(n_references) * self.samples_per_segment
+        references = dense[ref_idx]
+        segments = np.stack(
+            [
+                imu[ref_idx[i] : ref_idx[i + 1]]
+                for i in range(n_references - 1)
+            ]
+        )
+        velocity = np.gradient(dense, axis=0)
+        headings = np.arctan2(velocity[ref_idx, 1], velocity[ref_idx, 0])
+        return WalkRecording(
+            references=references, segments=segments, headings=headings
+        )
+
+    def record_session(
+        self, n_walks: int = 2, references_per_walk: int = 89, rng=None
+    ) -> list[WalkRecording]:
+        """The paper's protocol: two independent walks, 177 references total
+        (89 + 88 by default at the paper's scale)."""
+        if n_walks < 1:
+            raise ValueError("n_walks must be at least 1")
+        rngs = spawn_rngs(rng, n_walks)
+        return [
+            self.record_walk(references_per_walk, rng=rngs[i])
+            for i in range(n_walks)
+        ]

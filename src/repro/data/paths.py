@@ -1,0 +1,227 @@
+"""Path dataset construction for IMU tracking, following §V-A exactly:
+
+(1) randomly choose a reference location as start position,
+(2) randomly choose a path length (in reference hops, ≤ 50) and
+    determine the end position accordingly,
+(3) concatenate the IMU readings between start and end as the input.
+
+The paper obtained 6857 paths split 4389 / 1096 / 1372; the builder
+parametrizes the counts and performs the same-style split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.imu import WalkRecording
+from repro.nn.data import Dataset
+from repro.utils.rng import ensure_rng
+
+#: Paper's maximum path length, in reference-location hops.
+MAX_PATH_LENGTH = 50
+
+
+@dataclass
+class PathSample:
+    """One travel path: segment indices into the pooled segment store.
+
+    ``start_heading`` is the walking direction at the start reference
+    (radians, world frame).  Gyroscopes only observe heading *changes*,
+    so the initial direction is genuinely unobservable from the IMU
+    input; a deployed tracker knows it from its own recent state, and
+    the recording protocol knows it from consecutive GPS fixes.
+    """
+
+    segment_indices: np.ndarray
+    start_reference: int
+    end_reference: int
+    start_position: np.ndarray
+    end_position: np.ndarray
+    start_heading: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.segment_indices)
+
+    @property
+    def displacement(self) -> np.ndarray:
+        return self.end_position - self.start_position
+
+
+@dataclass
+class PathDataset:
+    """Pooled IMU segments plus path definitions over them.
+
+    Attributes
+    ----------
+    segment_features:
+        (S, F) featurized IMU segments (downsampled flattened readings).
+    reference_positions:
+        (R, 2) all reference locations across walks.
+    paths:
+        The path samples (train+val+test concatenated; use the split
+        index arrays to address the subsets).
+    max_length:
+        Maximum path length in segments (pad target for the models).
+    """
+
+    segment_features: np.ndarray
+    reference_positions: np.ndarray
+    paths: list[PathSample]
+    max_length: int
+    train_indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    val_indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    test_indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.segment_features.shape[1]
+
+    def subset(self, indices: np.ndarray) -> list[PathSample]:
+        return [self.paths[int(i)] for i in np.asarray(indices, dtype=int)]
+
+    def end_positions(self, indices: np.ndarray) -> np.ndarray:
+        return np.array([self.paths[int(i)].end_position for i in indices])
+
+    def start_positions(self, indices: np.ndarray) -> np.ndarray:
+        return np.array([self.paths[int(i)].start_position for i in indices])
+
+
+def featurize_segment(segment: np.ndarray, downsample: int = 16) -> np.ndarray:
+    """Flatten a (S, 6) IMU segment into a fixed-length feature vector.
+
+    Readings are averaged in non-overlapping blocks of ``downsample``
+    samples (anti-aliased decimation), then flattened channel-major.
+    Matches the paper's projection-module input g_i ∈ R^{d×n} in spirit
+    while keeping the vector small enough for CPU training.
+    """
+    segment = np.asarray(segment, dtype=float)
+    if segment.ndim != 2 or segment.shape[1] != 6:
+        raise ValueError(f"segment must be (S, 6), got {segment.shape}")
+    if downsample < 1:
+        raise ValueError(f"downsample must be >= 1, got {downsample}")
+    s = segment.shape[0] - segment.shape[0] % downsample
+    if s == 0:
+        raise ValueError("segment shorter than the downsample factor")
+    blocks = segment[:s].reshape(s // downsample, downsample, 6).mean(axis=1)
+    return blocks.T.ravel()  # channel-major: all ax blocks, all ay blocks, ...
+
+
+def build_path_dataset(
+    walks: list[WalkRecording],
+    n_paths: int = 2000,
+    max_length: int = MAX_PATH_LENGTH,
+    downsample: int = 16,
+    split: tuple[float, float, float] = (0.64, 0.16, 0.20),
+    rng=None,
+) -> PathDataset:
+    """Construct a :class:`PathDataset` from recorded walks.
+
+    Paths never cross walk boundaries.  The split fractions default to
+    the paper's 4389/1096/1372 proportions of 6857 (≈ 64/16/20 %).
+    """
+    if not walks:
+        raise ValueError("need at least one walk")
+    if n_paths <= 0:
+        raise ValueError(f"n_paths must be positive, got {n_paths}")
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+    if abs(sum(split) - 1.0) > 1e-9:
+        raise ValueError(f"split fractions must sum to 1, got {split}")
+    rng = ensure_rng(rng)
+
+    features, positions = [], []
+    walk_segment_offset, walk_ref_offset = [], []
+    seg_count = ref_count = 0
+    for walk in walks:
+        walk_segment_offset.append(seg_count)
+        walk_ref_offset.append(ref_count)
+        for segment in walk.segments:
+            features.append(featurize_segment(segment, downsample=downsample))
+        positions.append(walk.references)
+        seg_count += walk.n_segments
+        ref_count += walk.n_references
+    segment_features = np.array(features)
+    reference_positions = np.vstack(positions)
+
+    paths: list[PathSample] = []
+    walk_ids = rng.integers(0, len(walks), size=n_paths)
+    for walk_id in walk_ids:
+        walk = walks[int(walk_id)]
+        seg0 = walk_segment_offset[int(walk_id)]
+        ref0 = walk_ref_offset[int(walk_id)]
+        longest = min(max_length, walk.n_segments)
+        start = int(rng.integers(0, walk.n_segments - 1 + 1))
+        remaining = walk.n_segments - start
+        length = int(rng.integers(1, min(longest, remaining) + 1))
+        indices = np.arange(seg0 + start, seg0 + start + length)
+        heading = (
+            float(walk.headings[start]) if walk.headings is not None else 0.0
+        )
+        paths.append(
+            PathSample(
+                segment_indices=indices,
+                start_reference=ref0 + start,
+                end_reference=ref0 + start + length,
+                start_position=walk.references[start].copy(),
+                end_position=walk.references[start + length].copy(),
+                start_heading=heading,
+            )
+        )
+
+    order = rng.permutation(n_paths)
+    n_train = int(round(split[0] * n_paths))
+    n_val = int(round(split[1] * n_paths))
+    return PathDataset(
+        segment_features=segment_features,
+        reference_positions=reference_positions,
+        paths=paths,
+        max_length=max_length,
+        train_indices=order[:n_train],
+        val_indices=order[n_train : n_train + n_val],
+        test_indices=order[n_train + n_val :],
+    )
+
+
+class PaddedPathDataset(Dataset):
+    """Adapts paths to the (input_vector, target_vector) Trainer interface.
+
+    Each item's input is ``[flattened padded segment features | start
+    encoding]`` built lazily — the full design matrix is never
+    materialized (6857 × 50 × F would not fit comfortably in memory).
+    Targets are supplied by a caller-provided function mapping a path to
+    its target vector (class multi-hot, coordinates, ...).
+    """
+
+    def __init__(
+        self,
+        dataset: PathDataset,
+        indices: np.ndarray,
+        start_encoder,
+        target_fn,
+    ):
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=int)
+        self.start_encoder = start_encoder
+        self.target_fn = target_fn
+        self._pad_width = dataset.max_length * dataset.feature_dim
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def input_dim(self) -> int:
+        probe = self[0][0]
+        return probe.shape[0]
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        path = self.dataset.paths[int(self.indices[index])]
+        feats = self.dataset.segment_features[path.segment_indices]
+        flat = np.zeros(self._pad_width)
+        flat[: feats.size] = feats.ravel()
+        start = self.start_encoder(path)
+        return np.concatenate([flat, start]), self.target_fn(path)

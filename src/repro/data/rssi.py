@@ -1,0 +1,165 @@
+"""Log-distance path-loss radio model for Wi-Fi fingerprint synthesis.
+
+The standard indoor propagation model (Bahl & Padmanabhan's RADAR used
+the same family):
+
+    RSSI(d) = tx_power - 10 * n * log10(max(d, d0) / d0)
+              - floor_attenuation * |Δfloor| + X_sigma
+
+with path-loss exponent ``n`` (2.0 free space … 4+ cluttered indoor),
+log-normal shadowing X_sigma, and a per-floor attenuation factor.
+Readings below the receiver sensitivity are censored to "not detected",
+matching UJIIndoorLoc's +100 placeholder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class WirelessAccessPoint:
+    """A WAP: position in meters, floor index, transmit power in dBm."""
+
+    x: float
+    y: float
+    floor: int = 0
+    tx_power: float = -30.0
+
+    @property
+    def position(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+
+class RadioEnvironment:
+    """Generate RSSI fingerprints for a set of WAPs.
+
+    Parameters
+    ----------
+    access_points:
+        The deployed WAPs.
+    path_loss_exponent:
+        ``n`` in the log-distance model (3.0 default: cluttered indoor).
+    shadowing_sigma:
+        Standard deviation (dB) of log-normal shadowing noise.
+    floor_attenuation:
+        dB lost per floor between transmitter and receiver.
+    floor_height:
+        Vertical meters per floor (adds to the 3-D distance).
+    sensitivity:
+        Receiver sensitivity in dBm; weaker signals are censored.
+    reference_distance:
+        ``d0`` of the model, meters.
+    """
+
+    def __init__(
+        self,
+        access_points: list[WirelessAccessPoint],
+        path_loss_exponent: float = 3.0,
+        shadowing_sigma: float = 4.0,
+        floor_attenuation: float = 15.0,
+        floor_height: float = 3.0,
+        sensitivity: float = -104.0,
+        reference_distance: float = 1.0,
+    ):
+        if not access_points:
+            raise ValueError("RadioEnvironment needs at least one access point")
+        if path_loss_exponent <= 0:
+            raise ValueError(
+                f"path_loss_exponent must be positive, got {path_loss_exponent}"
+            )
+        if shadowing_sigma < 0:
+            raise ValueError(f"shadowing_sigma must be >= 0, got {shadowing_sigma}")
+        if reference_distance <= 0:
+            raise ValueError(
+                f"reference_distance must be positive, got {reference_distance}"
+            )
+        self.access_points = list(access_points)
+        self.path_loss_exponent = float(path_loss_exponent)
+        self.shadowing_sigma = float(shadowing_sigma)
+        self.floor_attenuation = float(floor_attenuation)
+        self.floor_height = float(floor_height)
+        self.sensitivity = float(sensitivity)
+        self.reference_distance = float(reference_distance)
+        self._ap_xy = np.array([ap.position for ap in self.access_points])
+        self._ap_floor = np.array([ap.floor for ap in self.access_points])
+        self._ap_power = np.array([ap.tx_power for ap in self.access_points])
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.access_points)
+
+    def mean_rssi(self, positions: np.ndarray, floors: np.ndarray) -> np.ndarray:
+        """Noise-free expected RSSI, (N, W), before censoring."""
+        positions = check_2d(positions, "positions")
+        floors = np.asarray(floors, dtype=int)
+        if len(floors) != len(positions):
+            raise ValueError("positions and floors must have the same length")
+        horizontal = np.linalg.norm(
+            positions[:, None, :] - self._ap_xy[None, :, :], axis=-1
+        )
+        floor_delta = np.abs(floors[:, None] - self._ap_floor[None, :])
+        vertical = floor_delta * self.floor_height
+        distance = np.sqrt(horizontal**2 + vertical**2)
+        distance = np.maximum(distance, self.reference_distance)
+        loss = (
+            10.0
+            * self.path_loss_exponent
+            * np.log10(distance / self.reference_distance)
+        )
+        return self._ap_power[None, :] - loss - self.floor_attenuation * floor_delta
+
+    def sample(
+        self, positions: np.ndarray, floors: np.ndarray, rng=None
+    ) -> np.ndarray:
+        """Noisy RSSI readings; censored values come back as ``nan``.
+
+        Callers encode censored entries per their dataset convention
+        (UJIIndoorLoc uses +100; see :mod:`repro.data.ujiindoor`).
+        """
+        rng = ensure_rng(rng)
+        mean = self.mean_rssi(positions, floors)
+        noisy = mean + rng.normal(0.0, self.shadowing_sigma, size=mean.shape)
+        noisy[noisy < self.sensitivity] = np.nan
+        return noisy
+
+    @staticmethod
+    def place_grid(
+        bounds: tuple[float, float, float, float],
+        per_floor: int,
+        n_floors: int,
+        tx_power: float = -30.0,
+        jitter: float = 0.0,
+        rng=None,
+    ) -> list[WirelessAccessPoint]:
+        """Deploy WAPs on a jittered grid covering ``bounds`` on every floor."""
+        if per_floor <= 0 or n_floors <= 0:
+            raise ValueError("per_floor and n_floors must be positive")
+        rng = ensure_rng(rng)
+        xmin, ymin, xmax, ymax = bounds
+        cols = int(np.ceil(np.sqrt(per_floor)))
+        rows = int(np.ceil(per_floor / cols))
+        xs = np.linspace(xmin, xmax, cols + 2)[1:-1]
+        ys = np.linspace(ymin, ymax, rows + 2)[1:-1]
+        aps: list[WirelessAccessPoint] = []
+        for floor in range(n_floors):
+            count = 0
+            for y in ys:
+                for x in xs:
+                    if count >= per_floor:
+                        break
+                    dx = rng.uniform(-jitter, jitter) if jitter else 0.0
+                    dy = rng.uniform(-jitter, jitter) if jitter else 0.0
+                    aps.append(
+                        WirelessAccessPoint(
+                            x=float(x + dx), y=float(y + dy), floor=floor,
+                            tx_power=tx_power,
+                        )
+                    )
+                    count += 1
+        return aps

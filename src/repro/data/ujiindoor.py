@@ -1,0 +1,271 @@
+"""UJIIndoorLoc-format fingerprint datasets: synthesis and CSV loading.
+
+The real dataset (Torres-Sospedra et al., 2014) is a CSV with 520 WAP
+RSSI columns (value 100 = "WAP not detected"), LONGITUDE, LATITUDE,
+FLOOR, BUILDINGID and metadata columns.  ``load_uji_csv`` reads that
+format when a file is available; ``generate_uji_like`` synthesizes a
+campus with the same structural properties (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.campus import (
+    UJI_BUILDINGS,
+    UJI_FLOORS,
+    sample_reference_spots,
+    uji_campus_plan,
+)
+from repro.data.rssi import RadioEnvironment, WirelessAccessPoint
+from repro.geometry.floorplan import FloorPlan
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import check_lengths_match
+
+#: UJIIndoorLoc's placeholder for a WAP that was not heard.
+NOT_DETECTED = 100.0
+
+#: Receiver sensitivity used when normalizing (dBm).
+SENSITIVITY_DBM = -104.0
+
+
+@dataclass
+class FingerprintDataset:
+    """A Wi-Fi fingerprint dataset in UJIIndoorLoc conventions.
+
+    Attributes
+    ----------
+    rssi:
+        (N, W) raw RSSI in dBm with ``NOT_DETECTED`` (=100) for unheard
+        WAPs — exactly the on-disk convention.
+    coordinates:
+        (N, 2) longitude/latitude in meters (campus-local frame).
+    floor:
+        (N,) integer floor ids.
+    building:
+        (N,) integer building ids.
+    plan:
+        Optional FloorPlan of the accessible space (None when loaded
+        from a real CSV, where no plan ships with the data).
+    """
+
+    rssi: np.ndarray
+    coordinates: np.ndarray
+    floor: np.ndarray
+    building: np.ndarray
+    plan: "FloorPlan | None" = None
+    spot_ids: "np.ndarray | None" = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.rssi = np.asarray(self.rssi, dtype=float)
+        self.coordinates = np.asarray(self.coordinates, dtype=float)
+        self.floor = np.asarray(self.floor, dtype=int)
+        self.building = np.asarray(self.building, dtype=int)
+        check_lengths_match(self.rssi, self.coordinates, "rssi", "coordinates")
+        check_lengths_match(self.rssi, self.floor, "rssi", "floor")
+        check_lengths_match(self.rssi, self.building, "rssi", "building")
+
+    def __len__(self) -> int:
+        return len(self.rssi)
+
+    @property
+    def n_aps(self) -> int:
+        return self.rssi.shape[1]
+
+    @property
+    def n_buildings(self) -> int:
+        return int(self.building.max()) + 1 if len(self.building) else 0
+
+    @property
+    def n_floors(self) -> int:
+        return int(self.floor.max()) + 1 if len(self.floor) else 0
+
+    def normalized_signals(self) -> np.ndarray:
+        """Map raw RSSI into [0, 1] network inputs.
+
+        ``NOT_DETECTED`` → 0; otherwise linear from sensitivity (0) to
+        0 dBm (1).  This is the paper's "normalize the input vector".
+        """
+        signals = self.rssi.copy()
+        unheard = signals == NOT_DETECTED
+        signals[unheard] = SENSITIVITY_DBM
+        signals = (signals - SENSITIVITY_DBM) / (0.0 - SENSITIVITY_DBM)
+        return np.clip(signals, 0.0, 1.0)
+
+    def subset(self, indices: np.ndarray) -> "FingerprintDataset":
+        """A new dataset restricted to ``indices`` (plan shared)."""
+        indices = np.asarray(indices, dtype=int)
+        return FingerprintDataset(
+            rssi=self.rssi[indices],
+            coordinates=self.coordinates[indices],
+            floor=self.floor[indices],
+            building=self.building[indices],
+            plan=self.plan,
+            spot_ids=None if self.spot_ids is None else self.spot_ids[indices],
+        )
+
+    def split(
+        self, fractions: tuple[float, ...] = (0.7, 0.1, 0.2), rng=None
+    ) -> tuple["FingerprintDataset", ...]:
+        """Random split into len(fractions) parts (must sum to 1)."""
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {fractions}")
+        rng = ensure_rng(rng)
+        order = rng.permutation(len(self))
+        counts = [int(round(f * len(self))) for f in fractions[:-1]]
+        counts.append(len(self) - sum(counts))
+        parts = []
+        start = 0
+        for count in counts:
+            parts.append(self.subset(order[start : start + count]))
+            start += count
+        return tuple(parts)
+
+
+def generate_uji_like(
+    n_spots_per_building: int = 64,
+    measurements_per_spot: int = 12,
+    n_aps_per_floor: int = 10,
+    n_floors: int = UJI_FLOORS,
+    shadowing_sigma: float = 4.0,
+    device_count: int = 8,
+    device_offset_sigma: float = 3.0,
+    seed=0,
+) -> FingerprintDataset:
+    """Synthesize a UJIIndoorLoc-like campus dataset.
+
+    Structure reproduced from the real data: three buildings × four
+    floors on a 397 m × 273 m campus; samples only on accessible space
+    (courtyards excluded); repeated measurements per reference spot;
+    per-device RSSI offsets (UJI used 25 Android device models);
+    censoring of weak signals to ``NOT_DETECTED``.
+
+    Scale parameters default to a laptop-friendly size (~2300 samples,
+    120 WAPs); the benchmark harness raises them toward the real
+    dataset's scale where runtime permits.
+    """
+    if measurements_per_spot <= 0:
+        raise ValueError("measurements_per_spot must be positive")
+    if device_count <= 0:
+        raise ValueError("device_count must be positive")
+    rng_spots, rng_aps, rng_radio, rng_device = spawn_rngs(seed, 4)
+    _campus, buildings = uji_campus_plan()
+
+    aps: list[WirelessAccessPoint] = []
+    for building_plan in buildings:
+        aps.extend(
+            RadioEnvironment.place_grid(
+                building_plan.bounds,
+                per_floor=n_aps_per_floor,
+                n_floors=n_floors,
+                jitter=4.0,
+                rng=rng_aps,
+            )
+        )
+    radio = RadioEnvironment(aps, shadowing_sigma=shadowing_sigma)
+
+    device_offsets = rng_device.normal(0.0, device_offset_sigma, size=device_count)
+
+    all_rssi, all_xy, all_floor, all_building, all_spots = [], [], [], [], []
+    spot_id_base = 0
+    for building_id, building_plan in enumerate(buildings):
+        spots = sample_reference_spots(
+            building_plan, n_spots_per_building, min_separation=2.0, rng=rng_spots
+        )
+        # distribute reference spots over floors round-robin
+        floors = np.arange(len(spots)) % n_floors
+        for spot_index, (spot, floor) in enumerate(zip(spots, floors)):
+            positions = np.tile(spot, (measurements_per_spot, 1))
+            floor_ids = np.full(measurements_per_spot, floor)
+            readings = radio.sample(positions, floor_ids, rng=rng_radio)
+            devices = rng_device.integers(0, device_count, size=measurements_per_spot)
+            readings = readings + device_offsets[devices][:, None]
+            all_rssi.append(readings)
+            all_xy.append(positions)
+            all_floor.append(floor_ids)
+            all_building.append(np.full(measurements_per_spot, building_id))
+            all_spots.append(np.full(measurements_per_spot, spot_id_base + spot_index))
+        spot_id_base += len(spots)
+
+    rssi = np.vstack(all_rssi)
+    rssi[np.isnan(rssi)] = NOT_DETECTED
+    rssi[(rssi != NOT_DETECTED) & (rssi < SENSITIVITY_DBM)] = NOT_DETECTED
+    campus_plan, _ = uji_campus_plan()
+    return FingerprintDataset(
+        rssi=rssi,
+        coordinates=np.vstack(all_xy),
+        floor=np.concatenate(all_floor),
+        building=np.concatenate(all_building),
+        plan=campus_plan,
+        spot_ids=np.concatenate(all_spots),
+    )
+
+
+def save_uji_csv(dataset: FingerprintDataset, path: str) -> None:
+    """Write a dataset in the standard UJIIndoorLoc CSV layout.
+
+    Produces WAP001..WAPnnn, LONGITUDE, LATITUDE, FLOOR, BUILDINGID
+    columns, so synthetic datasets can be consumed by third-party
+    UJIIndoorLoc tooling and round-trip through :func:`load_uji_csv`.
+    """
+    header = [f"WAP{i + 1:03d}" for i in range(dataset.n_aps)] + [
+        "LONGITUDE",
+        "LATITUDE",
+        "FLOOR",
+        "BUILDINGID",
+    ]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(len(dataset)):
+            row = [
+                "100" if value == NOT_DETECTED else f"{value:.4f}"
+                for value in dataset.rssi[i]
+            ]
+            row.append(f"{dataset.coordinates[i, 0]:.6f}")
+            row.append(f"{dataset.coordinates[i, 1]:.6f}")
+            row.append(str(int(dataset.floor[i])))
+            row.append(str(int(dataset.building[i])))
+            writer.writerow(row)
+
+
+def load_uji_csv(path: str) -> FingerprintDataset:
+    """Load a real UJIIndoorLoc CSV (trainingData.csv / validationData.csv).
+
+    Expects the standard 529-column layout: WAP001..WAP520, LONGITUDE,
+    LATITUDE, FLOOR, BUILDINGID, then metadata.  Coordinates are shifted
+    to a campus-local frame (min-subtracted) so they are comparable with
+    the synthetic generator's meters.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        wap_columns = [i for i, name in enumerate(header) if name.startswith("WAP")]
+        if not wap_columns:
+            raise ValueError(f"{path} does not look like a UJIIndoorLoc CSV")
+        column = {name: i for i, name in enumerate(header)}
+        for required in ("LONGITUDE", "LATITUDE", "FLOOR", "BUILDINGID"):
+            if required not in column:
+                raise ValueError(f"{path} is missing required column {required}")
+        rssi_rows, xy_rows, floors, buildings = [], [], [], []
+        for row in reader:
+            if not row:
+                continue
+            rssi_rows.append([float(row[i]) for i in wap_columns])
+            xy_rows.append(
+                [float(row[column["LONGITUDE"]]), float(row[column["LATITUDE"]])]
+            )
+            floors.append(int(float(row[column["FLOOR"]])))
+            buildings.append(int(float(row[column["BUILDINGID"]])))
+    coordinates = np.array(xy_rows)
+    coordinates -= coordinates.min(axis=0)
+    return FingerprintDataset(
+        rssi=np.array(rssi_rows),
+        coordinates=coordinates,
+        floor=np.array(floors),
+        building=np.array(buildings),
+        plan=None,
+    )

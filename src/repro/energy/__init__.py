@@ -1,0 +1,35 @@
+"""Energy accounting (paper §IV-C and §V-D).
+
+The paper measures inference energy on an Nvidia Jetson TX2 power rail;
+without that hardware we model energy analytically: FLOP counts per
+inference × a device profile whose constants are calibrated to the
+paper's own published measurements, plus the paper's sensor and GPS
+energy constants.  The headline 27× GPS ratio is an accounting
+identity over these constants, which is exactly what we reproduce.
+"""
+
+from repro.energy.flops import count_flops
+from repro.energy.model import (
+    DeviceProfile,
+    JETSON_TX2,
+    GPS_FIX_ENERGY_J,
+    IMU_SENSOR_POWER_W,
+    calibrate_profile,
+)
+from repro.energy.measure import (
+    InferenceEnergyReport,
+    estimate_inference,
+    gps_energy_ratio,
+)
+
+__all__ = [
+    "count_flops",
+    "DeviceProfile",
+    "JETSON_TX2",
+    "GPS_FIX_ENERGY_J",
+    "IMU_SENSOR_POWER_W",
+    "calibrate_profile",
+    "InferenceEnergyReport",
+    "estimate_inference",
+    "gps_energy_ratio",
+]

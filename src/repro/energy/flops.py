@@ -1,0 +1,70 @@
+"""FLOP counting for repro.nn models (per single-sample inference)."""
+
+from __future__ import annotations
+
+from repro.nn.batchnorm import BatchNorm1d
+from repro.nn.layers import Dropout, Identity, Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.module import Module, Sequential
+
+
+def count_flops(model: Module) -> int:
+    """FLOPs for one forward pass of a single sample.
+
+    Conventions: a Linear (in → out) costs ``2·in·out`` (multiply +
+    accumulate) plus ``out`` for the bias; BatchNorm1d in eval mode costs
+    ``4·features`` (subtract, scale, scale, shift); element-wise
+    activations cost one FLOP per element.  Modules may override the
+    count by defining ``flops_per_inference()`` (composites like
+    :class:`repro.tracking.TrackerNetwork` do).
+    """
+    custom = getattr(model, "flops_per_inference", None)
+    if custom is not None and not isinstance(model, Sequential):
+        return int(custom())
+    if isinstance(model, Sequential):
+        return _count_sequential(model)
+    return _count_layer(model, width_hint=None)
+
+
+def _count_sequential(seq: Sequential) -> int:
+    total = 0
+    width = None
+    for layer in seq:
+        total += _count_layer(layer, width_hint=width)
+        if isinstance(layer, Linear):
+            width = layer.out_features
+        elif isinstance(layer, Sequential):
+            width = _final_width(layer) or width
+    return total
+
+
+def _count_layer(layer: Module, width_hint: "int | None") -> int:
+    if isinstance(layer, Linear):
+        flops = 2 * layer.in_features * layer.out_features
+        if layer.has_bias:
+            flops += layer.out_features
+        return flops
+    if isinstance(layer, BatchNorm1d):
+        return 4 * layer.num_features
+    if isinstance(layer, (Tanh, ReLU, Sigmoid, Softmax)):
+        if width_hint is None:
+            return 0  # unknown width: activations are negligible anyway
+        return width_hint
+    if isinstance(layer, (Dropout, Identity)):
+        return 0
+    if isinstance(layer, Sequential):
+        return _count_sequential(layer)
+    custom = getattr(layer, "flops_per_inference", None)
+    if custom is not None:
+        return int(custom())
+    raise TypeError(
+        f"cannot count FLOPs for {type(layer).__name__}; give it a "
+        "flops_per_inference() method"
+    )
+
+
+def _final_width(seq: Sequential) -> "int | None":
+    width = None
+    for layer in seq:
+        if isinstance(layer, Linear):
+            width = layer.out_features
+    return width

@@ -1,0 +1,67 @@
+"""Inference energy estimation and the GPS comparison (§IV-C, §V-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.flops import count_flops
+from repro.energy.model import (
+    DeviceProfile,
+    GPS_FIX_ENERGY_J,
+    IMU_SENSOR_POWER_W,
+    JETSON_TX2,
+)
+
+
+@dataclass(frozen=True)
+class InferenceEnergyReport:
+    """Energy/latency estimate for one inference, plus system context."""
+
+    model_name: str
+    flops: int
+    inference_energy_j: float
+    inference_latency_s: float
+    sensor_energy_j: float = 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        """Inference + sensing energy for the full window (§V-D sums
+        0.08599 J inference + 0.1356 J sensors = 0.22159 J)."""
+        return self.inference_energy_j + self.sensor_energy_j
+
+
+def estimate_inference(
+    model,
+    model_name: str = "model",
+    profile: DeviceProfile = JETSON_TX2,
+    sensing_window_s: float = 0.0,
+    sensor_power_w: float = IMU_SENSOR_POWER_W,
+) -> InferenceEnergyReport:
+    """Estimate the energy of one inference of ``model`` on ``profile``.
+
+    ``sensing_window_s`` adds the inertial-sensor energy accumulated
+    while recording the model's input window (0 for Wi-Fi, ~8 s for the
+    paper's IMU test path).
+    """
+    if sensing_window_s < 0:
+        raise ValueError(f"sensing_window_s must be >= 0, got {sensing_window_s}")
+    flops = count_flops(model)
+    return InferenceEnergyReport(
+        model_name=model_name,
+        flops=flops,
+        inference_energy_j=profile.energy(flops),
+        inference_latency_s=profile.latency(flops),
+        sensor_energy_j=sensor_power_w * sensing_window_s,
+    )
+
+
+def gps_energy_ratio(
+    report: InferenceEnergyReport, gps_energy_j: float = GPS_FIX_ENERGY_J
+) -> float:
+    """How many times cheaper the system is than a GPS fix.
+
+    The paper: 5.925 J / 0.22159 J ≈ 27×.
+    """
+    if report.total_energy_j <= 0:
+        raise ValueError("report has non-positive total energy")
+    return gps_energy_j / report.total_energy_j

@@ -1,0 +1,22 @@
+"""Floor-plan geometry: polygons, accessibility, and map projection.
+
+Supports the Deep-Regression-Projection baseline (snap a prediction to
+the nearest on-map point, per [8]/[19]) and the structure-awareness
+metric used for the Fig. 4 / Fig. 5 reproductions (fraction of predicted
+points that land on accessible space).
+"""
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.projection import project_to_map
+from repro.geometry.occupancy import OccupancyGrid
+from repro.geometry.segments import segment_distances, route_graph_segments
+
+__all__ = [
+    "Polygon",
+    "FloorPlan",
+    "project_to_map",
+    "OccupancyGrid",
+    "segment_distances",
+    "route_graph_segments",
+]

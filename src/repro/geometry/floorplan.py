@@ -1,0 +1,84 @@
+"""Floor plans: unions of accessible polygons with optional holes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d
+
+
+class FloorPlan:
+    """Accessible space = union(regions) minus union(holes).
+
+    Regions model building footprints / corridors; holes model interior
+    courtyards (e.g. the open middle of the UJIIndoorLoc top-left
+    building that the paper points at in Fig. 1/4) and other dead space.
+    """
+
+    def __init__(self, regions: list[Polygon], holes: "list[Polygon] | None" = None):
+        if not regions:
+            raise ValueError("a FloorPlan needs at least one region")
+        self.regions = list(regions)
+        self.holes = list(holes or [])
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """Bounding box of all regions: (xmin, ymin, xmax, ymax)."""
+        boxes = np.array([r.bounds for r in self.regions])
+        return (
+            float(boxes[:, 0].min()),
+            float(boxes[:, 1].min()),
+            float(boxes[:, 2].max()),
+            float(boxes[:, 3].max()),
+        )
+
+    def accessible(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: inside some region and inside no hole."""
+        points = check_2d(points, "points")
+        in_region = np.zeros(len(points), dtype=bool)
+        for region in self.regions:
+            in_region |= region.contains(points)
+        for hole in self.holes:
+            in_region &= ~hole.contains(points)
+        return in_region
+
+    def accessibility_fraction(self, points: np.ndarray) -> float:
+        """Fraction of points on accessible space — the structure score
+        used to quantify Fig. 4/5 ('NObLe's outputs resemble the map')."""
+        mask = self.accessible(points)
+        if len(mask) == 0:
+            return float("nan")
+        return float(np.mean(mask))
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Uniform samples over accessible space, area-weighted by region."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = ensure_rng(rng)
+        areas = np.array([r.area() for r in self.regions])
+        weights = areas / areas.sum()
+        out = np.empty((n, 2))
+        filled = 0
+        guard = 0
+        while filled < n:
+            guard += 1
+            if guard > 100_000:
+                raise RuntimeError("sampling failed; holes may cover all regions")
+            region = self.regions[int(rng.choice(len(self.regions), p=weights))]
+            candidate = region.sample_interior(1, rng=rng)
+            if self.accessible(candidate)[0]:
+                out[filled] = candidate[0]
+                filled += 1
+        return out
+
+    def area(self) -> float:
+        """Approximate accessible area: region areas minus hole areas.
+
+        Exact when holes are fully contained in regions and mutually
+        disjoint, which holds for the layouts in :mod:`repro.data.campus`.
+        """
+        return float(
+            sum(r.area() for r in self.regions) - sum(h.area() for h in self.holes)
+        )

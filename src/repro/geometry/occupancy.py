@@ -1,0 +1,71 @@
+"""Occupancy grids built from observed sample locations.
+
+When no explicit floor plan is available (the realistic deployment
+case), accessible space can be estimated as "cells where training data
+exists" — the same principle the paper's quantizer exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_fitted, check_positive
+
+
+class OccupancyGrid:
+    """A boolean grid of cells that contain at least ``min_count`` samples."""
+
+    def __init__(self, cell_size: float, min_count: int = 1):
+        check_positive(cell_size, "cell_size")
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        self.cell_size = float(cell_size)
+        self.min_count = int(min_count)
+        self.origin_: np.ndarray | None = None
+        self.occupied_: "set[tuple[int, int]] | None" = None
+        self._occupied_centers: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "OccupancyGrid":
+        points = self._check(points)
+        self.origin_ = points.min(axis=0)
+        cells = self._cells(points)
+        unique, counts = np.unique(cells, axis=0, return_counts=True)
+        keep = unique[counts >= self.min_count]
+        self.occupied_ = {(int(cx), int(cy)) for cx, cy in keep}
+        self._occupied_centers = (keep + 0.5) * self.cell_size + self.origin_
+        return self
+
+    def is_occupied(self, points: np.ndarray) -> np.ndarray:
+        """Whether each point falls in an occupied cell."""
+        check_fitted(self, "occupied_")
+        cells = self._cells(self._check(points))
+        return np.array(
+            [(int(cx), int(cy)) in self.occupied_ for cx, cy in cells], dtype=bool
+        )
+
+    def snap(self, points: np.ndarray) -> np.ndarray:
+        """Move off-grid points to the center of the nearest occupied cell."""
+        check_fitted(self, "occupied_")
+        points = self._check(points)
+        out = points.copy()
+        off = ~self.is_occupied(points)
+        if off.any():
+            offenders = points[off]
+            diffs = offenders[:, None, :] - self._occupied_centers[None, :, :]
+            nearest = np.argmin(np.sum(diffs**2, axis=-1), axis=1)
+            out[off] = self._occupied_centers[nearest]
+        return out
+
+    @property
+    def n_occupied(self) -> int:
+        check_fitted(self, "occupied_")
+        return len(self.occupied_)
+
+    def _check(self, points: np.ndarray) -> np.ndarray:
+        points = check_2d(points, "points")
+        if points.shape[1] != 2:
+            raise ValueError(f"points must be (N, 2), got {points.shape}")
+        return points
+
+    def _cells(self, points: np.ndarray) -> np.ndarray:
+        return np.floor((points - self.origin_) / self.cell_size).astype(int)

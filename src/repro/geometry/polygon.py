@@ -1,0 +1,115 @@
+"""Simple polygons: containment, nearest boundary point, area, sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon given by its vertices.
+
+    Vertices are (V, 2), in order, without repeating the first vertex at
+    the end.  Supports vectorized point-in-polygon (even-odd rule),
+    nearest-point projection onto the boundary, area, and uniform
+    interior sampling by rejection.
+    """
+
+    def __init__(self, vertices: np.ndarray):
+        vertices = check_2d(vertices, "vertices")
+        if vertices.shape[1] != 2:
+            raise ValueError(f"vertices must be (V, 2), got {vertices.shape}")
+        if len(vertices) < 3:
+            raise ValueError(f"a polygon needs at least 3 vertices, got {len(vertices)}")
+        self.vertices = vertices
+        self._x1 = vertices
+        self._x2 = np.roll(vertices, -1, axis=0)
+
+    @classmethod
+    def rectangle(cls, x0: float, y0: float, x1: float, y1: float) -> "Polygon":
+        """Axis-aligned rectangle from two opposite corners."""
+        xa, xb = sorted((float(x0), float(x1)))
+        ya, yb = sorted((float(y0), float(y1)))
+        if xa == xb or ya == yb:
+            raise ValueError("rectangle must have positive width and height")
+        return cls(np.array([[xa, ya], [xb, ya], [xb, yb], [xa, yb]]))
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(xmin, ymin, xmax, ymax)."""
+        mins = self.vertices.min(axis=0)
+        maxs = self.vertices.max(axis=0)
+        return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+    def area(self) -> float:
+        """Shoelace area (always non-negative)."""
+        x, y = self.vertices[:, 0], self.vertices[:, 1]
+        return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized even-odd (ray casting) point-in-polygon test.
+
+        Points exactly on an edge may land on either side; the floor-plan
+        layer treats boundary points as accessible via a small tolerance
+        in :meth:`FloorPlan.accessible`.
+        """
+        points = check_2d(points, "points")
+        px = points[:, 0][:, None]
+        py = points[:, 1][:, None]
+        x1, y1 = self._x1[:, 0][None, :], self._x1[:, 1][None, :]
+        x2, y2 = self._x2[:, 0][None, :], self._x2[:, 1][None, :]
+        straddles = (y1 <= py) != (y2 <= py)
+        # x coordinate where the edge crosses the horizontal ray
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cross_x = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+        hits = straddles & (px < cross_x)
+        return hits.sum(axis=1) % 2 == 1
+
+    def nearest_boundary_point(self, points: np.ndarray) -> np.ndarray:
+        """Closest point on the polygon boundary for each query point."""
+        points = check_2d(points, "points")
+        seg_start = self._x1[None, :, :]  # (1, E, 2)
+        seg_vec = (self._x2 - self._x1)[None, :, :]
+        seg_len_sq = np.sum(seg_vec**2, axis=-1)  # (1, E)
+        rel = points[:, None, :] - seg_start  # (N, E, 2)
+        t = np.sum(rel * seg_vec, axis=-1) / np.where(seg_len_sq > 0, seg_len_sq, 1.0)
+        t = np.clip(t, 0.0, 1.0)
+        projections = seg_start + t[:, :, None] * seg_vec  # (N, E, 2)
+        dist_sq = np.sum((points[:, None, :] - projections) ** 2, axis=-1)
+        best = np.argmin(dist_sq, axis=1)
+        return projections[np.arange(len(points)), best]
+
+    def distance_to_boundary(self, points: np.ndarray) -> np.ndarray:
+        """Unsigned Euclidean distance from each point to the boundary."""
+        nearest = self.nearest_boundary_point(points)
+        return np.linalg.norm(check_2d(points, "points") - nearest, axis=1)
+
+    def sample_interior(self, n: int, rng=None, max_tries: int = 10_000) -> np.ndarray:
+        """Uniform interior samples by rejection from the bounding box."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = ensure_rng(rng)
+        xmin, ymin, xmax, ymax = self.bounds
+        samples = np.empty((n, 2))
+        filled = 0
+        for _attempt in range(max_tries):
+            if filled >= n:
+                break
+            batch = max(n - filled, 16)
+            candidates = np.column_stack(
+                [
+                    rng.uniform(xmin, xmax, size=batch),
+                    rng.uniform(ymin, ymax, size=batch),
+                ]
+            )
+            inside = candidates[self.contains(candidates)]
+            take = min(len(inside), n - filled)
+            samples[filled : filled + take] = inside[:take]
+            filled += take
+        if filled < n:
+            raise RuntimeError(
+                "rejection sampling failed; polygon area may be degenerate"
+            )
+        return samples

@@ -1,0 +1,49 @@
+"""Project predicted coordinates onto the map (the [8]/[19] baseline).
+
+The Deep-Regression-Projection comparator keeps on-map predictions
+unchanged and snaps off-map predictions to the nearest accessible point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.floorplan import FloorPlan
+from repro.utils.validation import check_2d
+
+
+def project_to_map(points: np.ndarray, plan: FloorPlan) -> np.ndarray:
+    """Snap each off-map point to the closest point on the plan.
+
+    On-map points (accessible) are returned untouched.  Off-map points go
+    to the nearest region boundary; if that landed inside a hole (possible
+    for points deep inside a courtyard), the hole boundary is used.
+    """
+    points = check_2d(points, "points")
+    out = points.copy()
+    off_map = ~plan.accessible(points)
+    if not off_map.any():
+        return out
+    offenders = points[off_map]
+    candidates = np.stack(
+        [region.nearest_boundary_point(offenders) for region in plan.regions], axis=1
+    )  # (M, R, 2)
+    dist = np.linalg.norm(candidates - offenders[:, None, :], axis=-1)
+    best = np.argmin(dist, axis=1)
+    snapped = candidates[np.arange(len(offenders)), best]
+    # a point inside a hole snaps to the hole's own boundary if closer
+    for hole in plan.holes:
+        inside_hole = hole.contains(offenders)
+        if inside_hole.any():
+            hole_projection = hole.nearest_boundary_point(offenders[inside_hole])
+            hole_dist = np.linalg.norm(
+                hole_projection - offenders[inside_hole], axis=1
+            )
+            current = np.linalg.norm(
+                snapped[inside_hole] - offenders[inside_hole], axis=1
+            )
+            replace = hole_dist < current
+            rows = np.flatnonzero(inside_hole)[replace]
+            snapped[rows] = hole_projection[replace]
+    out[off_map] = snapped
+    return out

@@ -1,0 +1,52 @@
+"""Distance from points to line-segment sets (route polylines)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+def segment_distances(points: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Distance from each point to the nearest of a set of segments.
+
+    Parameters
+    ----------
+    points:
+        (N, 2) query points.
+    segments:
+        (S, 2, 2) array of segments: ``segments[s, 0]`` is one endpoint,
+        ``segments[s, 1]`` the other.
+
+    Returns
+    -------
+    (N,) minimum Euclidean distance to any segment.
+    """
+    points = check_2d(points, "points")
+    segments = np.asarray(segments, dtype=float)
+    if segments.ndim != 3 or segments.shape[1:] != (2, 2):
+        raise ValueError(f"segments must be (S, 2, 2), got {segments.shape}")
+    if len(segments) == 0:
+        raise ValueError("need at least one segment")
+    start = segments[:, 0, :][None, :, :]          # (1, S, 2)
+    direction = (segments[:, 1, :] - segments[:, 0, :])[None, :, :]
+    length_sq = np.sum(direction**2, axis=-1)      # (1, S)
+    rel = points[:, None, :] - start               # (N, S, 2)
+    t = np.sum(rel * direction, axis=-1) / np.where(length_sq > 0, length_sq, 1.0)
+    t = np.clip(t, 0.0, 1.0)
+    nearest = start + t[:, :, None] * direction
+    distance = np.linalg.norm(points[:, None, :] - nearest, axis=-1)
+    return distance.min(axis=1)
+
+
+def route_graph_segments(nodes: np.ndarray, adjacency: dict) -> np.ndarray:
+    """(S, 2, 2) segment array from a route graph (each edge once)."""
+    nodes = check_2d(nodes, "nodes")
+    segments = []
+    for i, neighbors in adjacency.items():
+        for j in neighbors:
+            if i < j:  # undirected: emit each edge once
+                segments.append([nodes[i], nodes[j]])
+    if not segments:
+        raise ValueError("route graph has no edges")
+    return np.array(segments)

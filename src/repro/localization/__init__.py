@@ -1,0 +1,26 @@
+"""Application 1: Wi-Fi fingerprint localization (paper §IV).
+
+:class:`NObLeWifi` is the paper's model; the other classes are the
+Table II comparison baselines plus a classic kNN fingerprinting
+comparator.
+"""
+
+from repro.localization.noble import NObLeWifi, WifiPrediction
+from repro.localization.regression import DeepRegressionWifi
+from repro.localization.projection import DeepRegressionProjection
+from repro.localization.manifold_reg import ManifoldRegressionWifi
+from repro.localization.knn import KNNFingerprinting
+from repro.localization.cnnloc import CNNLocWifi
+from repro.localization.evaluate import LocalizationReport, evaluate_localizer
+
+__all__ = [
+    "NObLeWifi",
+    "WifiPrediction",
+    "DeepRegressionWifi",
+    "DeepRegressionProjection",
+    "ManifoldRegressionWifi",
+    "KNNFingerprinting",
+    "CNNLocWifi",
+    "LocalizationReport",
+    "evaluate_localizer",
+]

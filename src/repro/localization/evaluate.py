@@ -1,0 +1,63 @@
+"""Evaluation harness for Wi-Fi localizers (Tables I and II rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.metrics.classification import hit_rate
+from repro.metrics.errors import ErrorSummary, position_errors, summarize_errors
+
+
+@dataclass
+class LocalizationReport:
+    """One evaluated localizer: error summary plus optional hit rates."""
+
+    name: str
+    errors: ErrorSummary
+    building_accuracy: "float | None" = None
+    floor_accuracy: "float | None" = None
+    class_accuracy: "float | None" = None
+    structure_score: "float | None" = None
+
+    def row(self) -> str:
+        """A Table-II-style text row."""
+        parts = [f"{self.name:<28s}", f"{self.errors.mean:8.2f}", f"{self.errors.median:8.2f}"]
+        if self.structure_score is not None:
+            parts.append(f"{100 * self.structure_score:9.1f}%")
+        return " ".join(parts)
+
+
+def evaluate_localizer(
+    name: str,
+    model,
+    test_set: FingerprintDataset,
+    plan=None,
+) -> LocalizationReport:
+    """Run a fitted localizer on ``test_set`` and summarize.
+
+    Any model with ``predict_coordinates`` participates; models that also
+    expose NObLe's ``predict`` get building/floor/class accuracies
+    (Table I); when a floor plan is available a structure score (fraction
+    of predictions on accessible space — the Fig. 4 quantification) is
+    added.
+    """
+    predicted = model.predict_coordinates(test_set)
+    errors = summarize_errors(position_errors(predicted, test_set.coordinates))
+    report = LocalizationReport(name=name, errors=errors)
+
+    if hasattr(model, "predict") and hasattr(model, "true_labels"):
+        prediction = model.predict(test_set)
+        truth = model.true_labels(test_set)
+        if prediction.building is not None:
+            report.building_accuracy = hit_rate(prediction.building, truth["building"])
+        if prediction.floor is not None:
+            report.floor_accuracy = hit_rate(prediction.floor, truth["floor"])
+        report.class_accuracy = hit_rate(prediction.fine_class, truth["fine"])
+
+    plan = plan if plan is not None else test_set.plan
+    if plan is not None:
+        report.structure_score = plan.accessibility_fraction(predicted)
+    return report

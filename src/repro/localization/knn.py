@@ -1,0 +1,79 @@
+"""Classic kNN fingerprinting (RADAR-style) comparator.
+
+Not in the paper's tables, but it is the canonical radio-map method
+(§II "Online phase: observed RSSI values are matched with points on the
+radio map ... searching for the most similar locations"); having it in
+the harness contextualizes the DNN results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.manifold.neighbors import KNNIndex
+from repro.utils.validation import check_fitted
+
+
+class KNNFingerprinting:
+    """Weighted k-nearest-neighbor regression in signal space.
+
+    Position = (inverse-distance-)weighted mean of the k nearest stored
+    fingerprints; building/floor by majority vote of the same neighbors.
+    """
+
+    def __init__(self, k: int = 5, weighted: bool = True):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.weighted = weighted
+        self.index_: "KNNIndex | None" = None
+        self.coordinates_: "np.ndarray | None" = None
+        self.building_: "np.ndarray | None" = None
+        self.floor_: "np.ndarray | None" = None
+
+    def fit(self, dataset: FingerprintDataset) -> "KNNFingerprinting":
+        if len(dataset) < self.k:
+            raise ValueError(
+                f"training set has {len(dataset)} samples but k={self.k}"
+            )
+        self.index_ = KNNIndex(dataset.normalized_signals(), method="brute")
+        self.coordinates_ = dataset.coordinates
+        self.building_ = dataset.building
+        self.floor_ = dataset.floor
+        return self
+
+    def predict_coordinates(self, dataset) -> np.ndarray:
+        check_fitted(self, "index_")
+        signals = self._signals(dataset)
+        distances, indices = self.index_.query(signals, k=self.k)
+        neighbor_coords = self.coordinates_[indices]  # (N, k, 2)
+        if self.weighted:
+            weights = 1.0 / (distances + 1e-9)
+            weights /= weights.sum(axis=1, keepdims=True)
+            return np.sum(neighbor_coords * weights[:, :, None], axis=1)
+        return neighbor_coords.mean(axis=1)
+
+    def predict_labels(self, dataset) -> tuple[np.ndarray, np.ndarray]:
+        """(building, floor) by majority vote among the k neighbors."""
+        check_fitted(self, "index_")
+        signals = self._signals(dataset)
+        _dist, indices = self.index_.query(signals, k=self.k)
+        building = _majority(self.building_[indices])
+        floor = _majority(self.floor_[indices])
+        return building, floor
+
+    @staticmethod
+    def _signals(dataset) -> np.ndarray:
+        if isinstance(dataset, FingerprintDataset):
+            return dataset.normalized_signals()
+        return np.asarray(dataset, dtype=float)
+
+
+def _majority(labels: np.ndarray) -> np.ndarray:
+    """Row-wise mode of an integer label matrix (ties → smallest label)."""
+    out = np.empty(len(labels), dtype=int)
+    for i, row in enumerate(labels):
+        values, counts = np.unique(row, return_counts=True)
+        out[i] = values[np.argmax(counts)]
+    return out

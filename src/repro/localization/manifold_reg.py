@@ -1,0 +1,97 @@
+"""Manifold Embedding baselines (Table II): Isomap/LLE + deep regression.
+
+"Manifold Embedding utilizes Isomap and LLE to compute embedding from
+input signals.  We built DNNs with two hidden layers that take the
+manifold embedding as input and output longitude and latitude
+coordinates."  These are the *neighbor-aware* alternatives NObLe is
+contrasted against: they trust Euclidean distances between noisy RSSI
+vectors to define the manifold neighborhoods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.localization.regression import DeepRegressionWifi
+from repro.manifold.isomap import Isomap
+from repro.manifold.lle import LocallyLinearEmbedding
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class ManifoldRegressionWifi:
+    """Isomap/LLE signal embedding followed by DNN coordinate regression.
+
+    Parameters
+    ----------
+    method:
+        ``"isomap"`` or ``"lle"``.
+    n_components:
+        Embedding dimension.  The paper tunes 400 on the full
+        ~20k-sample UJIIndoorLoc; scale it with your training set size
+        (it must stay well below ``max_fit_points``).
+    n_neighbors:
+        Neighborhood size for the embedding.
+    max_fit_points:
+        All-pairs geodesics are O(N²); fitting subsamples the training
+        set to at most this many points (out-of-sample extension embeds
+        the rest).  DESIGN.md records this as a scale substitution.
+    """
+
+    def __init__(
+        self,
+        method: str = "isomap",
+        n_components: int = 64,
+        n_neighbors: int = 10,
+        max_fit_points: int = 1200,
+        regressor_kwargs: "dict | None" = None,
+        seed=0,
+    ):
+        if method not in ("isomap", "lle"):
+            raise ValueError(f"method must be 'isomap' or 'lle', got {method!r}")
+        if max_fit_points <= n_neighbors:
+            raise ValueError("max_fit_points must exceed n_neighbors")
+        self.method = method
+        self.n_components = int(n_components)
+        self.n_neighbors = int(n_neighbors)
+        self.max_fit_points = int(max_fit_points)
+        self.regressor_kwargs = dict(regressor_kwargs or {})
+        self.seed = seed
+        self.embedder_ = None
+        self.regressor_: "DeepRegressionWifi | None" = None
+
+    def fit(self, dataset: FingerprintDataset) -> "ManifoldRegressionWifi":
+        rng = ensure_rng(self.seed)
+        signals = dataset.normalized_signals()
+        coords = dataset.coordinates
+        if len(signals) > self.max_fit_points:
+            subset = rng.choice(len(signals), size=self.max_fit_points, replace=False)
+            fit_signals = signals[subset]
+        else:
+            fit_signals = signals
+
+        n_components = min(self.n_components, len(fit_signals) - 1)
+        if self.method == "isomap":
+            self.embedder_ = Isomap(
+                n_components=n_components, n_neighbors=self.n_neighbors
+            )
+        else:
+            self.embedder_ = LocallyLinearEmbedding(
+                n_components=n_components, n_neighbors=self.n_neighbors
+            )
+        self.embedder_.fit(fit_signals)
+
+        embeddings = self.embedder_.transform(signals)
+        self.regressor_ = DeepRegressionWifi(seed=self.seed, **self.regressor_kwargs)
+        self.regressor_.fit(embeddings, coordinates=coords)
+        return self
+
+    def predict_coordinates(self, dataset) -> np.ndarray:
+        check_fitted(self, "regressor_")
+        if isinstance(dataset, FingerprintDataset):
+            signals = dataset.normalized_signals()
+        else:
+            signals = np.asarray(dataset, dtype=float)
+        embeddings = self.embedder_.transform(signals)
+        return self.regressor_.predict_coordinates(embeddings)

@@ -1,0 +1,51 @@
+"""Deep Regression Projection baseline (Table II).
+
+"Following Deep Regression, Deep Regression Projection projects the
+predicted coordinates to the nearest position on the map when the
+predictions do not lie on the map." — the [8]/[19] post-hoc correction
+the paper shows to give only marginal improvement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.occupancy import OccupancyGrid
+from repro.geometry.projection import project_to_map
+from repro.localization.regression import DeepRegressionWifi
+from repro.utils.validation import check_fitted
+
+
+class DeepRegressionProjection:
+    """Deep Regression + snap-to-map postprocessing.
+
+    When the dataset carries an explicit :class:`FloorPlan`, predictions
+    are projected onto it.  Otherwise an :class:`OccupancyGrid` learned
+    from the training coordinates approximates the map ("positions where
+    data exists are on the map"), which is the deployable variant.
+    """
+
+    def __init__(self, regressor: "DeepRegressionWifi | None" = None, cell_size: float = 4.0, **regressor_kwargs):
+        self.regressor = regressor or DeepRegressionWifi(**regressor_kwargs)
+        self.cell_size = float(cell_size)
+        self.plan_: "FloorPlan | None" = None
+        self.occupancy_: "OccupancyGrid | None" = None
+
+    def fit(self, dataset: FingerprintDataset) -> "DeepRegressionProjection":
+        self.regressor.fit(dataset)
+        if dataset.plan is not None:
+            self.plan_ = dataset.plan
+        else:
+            self.occupancy_ = OccupancyGrid(self.cell_size).fit(dataset.coordinates)
+        return self
+
+    def predict_coordinates(self, dataset) -> np.ndarray:
+        check_fitted(self.regressor, "model_")
+        raw = self.regressor.predict_coordinates(dataset)
+        if self.plan_ is not None:
+            return project_to_map(raw, self.plan_)
+        if self.occupancy_ is not None:
+            return self.occupancy_.snap(raw)
+        raise RuntimeError("DeepRegressionProjection is not fitted")

@@ -1,0 +1,137 @@
+"""Deep Regression baseline (Table II): same network, MSE on coordinates.
+
+"Deep Regression takes the same input as NObLe.  It is the same network
+size as NObLe.  However, it is trained with mean square error as loss
+function and directly predicts coordinates in longitude and latitude."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    DataLoader,
+    Linear,
+    MSELoss,
+    Sequential,
+    Tanh,
+    TensorDataset,
+    Trainer,
+    TrainingHistory,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class DeepRegressionWifi:
+    """Two-hidden-layer MLP mapping normalized RSSI to (x, y) with MSE.
+
+    Coordinates are standardized internally (zero mean, unit variance)
+    for optimization stability and de-standardized at prediction time.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 128,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        weight_decay: float = 0.0,
+        val_fraction: float = 0.1,
+        patience: int = 10,
+        seed=0,
+    ):
+        if not 0 <= val_fraction < 1:
+            raise ValueError(f"val_fraction must be in [0, 1), got {val_fraction}")
+        self.hidden = int(hidden)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.val_fraction = float(val_fraction)
+        self.patience = int(patience)
+        self.seed = seed
+        self.model_: "Sequential | None" = None
+        self.target_mean_: "np.ndarray | None" = None
+        self.target_std_: "np.ndarray | None" = None
+        self.history_: "TrainingHistory | None" = None
+
+    def fit(
+        self,
+        dataset: "FingerprintDataset | np.ndarray",
+        coordinates: "np.ndarray | None" = None,
+    ) -> "DeepRegressionWifi":
+        """Train on a dataset, or on a raw (signals, coordinates) pair —
+        the raw form is reused by the manifold-embedding baselines."""
+        rng = ensure_rng(self.seed)
+        signals, coords = self._unpack(dataset, coordinates)
+        self.target_mean_ = coords.mean(axis=0)
+        self.target_std_ = coords.std(axis=0)
+        self.target_std_[self.target_std_ == 0] = 1.0
+        targets = (coords - self.target_mean_) / self.target_std_
+
+        self.model_ = Sequential(
+            Linear(signals.shape[1], self.hidden, rng=rng),
+            BatchNorm1d(self.hidden),
+            Tanh(),
+            Linear(self.hidden, self.hidden, rng=rng),
+            BatchNorm1d(self.hidden),
+            Tanh(),
+            Linear(self.hidden, targets.shape[1], rng=rng),
+        )
+        optimizer = Adam(
+            self.model_.parameters(), lr=self.lr, weight_decay=self.weight_decay
+        )
+        trainer = Trainer(self.model_, MSELoss(), optimizer)
+        if self.val_fraction > 0 and len(signals) >= 20:
+            n_val = max(1, int(len(signals) * self.val_fraction))
+            order = rng.permutation(len(signals))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            self.history_ = trainer.fit(
+                DataLoader(
+                    TensorDataset(signals[train_idx], targets[train_idx]),
+                    batch_size=self.batch_size,
+                    drop_last=True,
+                    rng=rng,
+                ),
+                epochs=self.epochs,
+                val_loader=DataLoader(
+                    TensorDataset(signals[val_idx], targets[val_idx]),
+                    batch_size=self.batch_size,
+                    shuffle=False,
+                ),
+                patience=self.patience,
+            )
+        else:
+            self.history_ = trainer.fit(
+                DataLoader(
+                    TensorDataset(signals, targets),
+                    batch_size=self.batch_size,
+                    drop_last=True,
+                    rng=rng,
+                ),
+                epochs=self.epochs,
+            )
+        return self
+
+    def predict_coordinates(self, dataset: "FingerprintDataset | np.ndarray") -> np.ndarray:
+        check_fitted(self, "model_")
+        signals, _ = self._unpack(dataset, None, require_coords=False)
+        self.model_.eval()
+        standardized = self.model_(signals)
+        return standardized * self.target_std_ + self.target_mean_
+
+    @staticmethod
+    def _unpack(dataset, coordinates, require_coords: bool = True):
+        if isinstance(dataset, FingerprintDataset):
+            return dataset.normalized_signals(), dataset.coordinates
+        signals = np.asarray(dataset, dtype=float)
+        if coordinates is None and require_coords:
+            raise ValueError(
+                "coordinates are required when fitting on a raw signal matrix"
+            )
+        coords = None if coordinates is None else np.asarray(coordinates, dtype=float)
+        return signals, coords

@@ -1,0 +1,66 @@
+"""Alternative RSSI input representations.
+
+The fingerprinting literature (Torres-Sospedra et al., the UJIIndoorLoc
+authors) shows the input representation materially affects accuracy.
+All transforms operate on the library's normalized signals (0 = not
+heard / at sensitivity, 1 = strongest):
+
+* ``identity`` — the paper's plain normalization;
+* ``powed`` — x^β emphasizes strong APs (β≈e in the literature);
+* ``exponential`` — exp((x−1)/α) compresses weak signals harder;
+* ``binary`` — detection mask only (ablation: how much information is
+  in *which* APs are heard vs how strongly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+def identity(signals: np.ndarray) -> np.ndarray:
+    """The paper's representation: normalized signals unchanged."""
+    return check_2d(signals, "signals")
+
+
+def powed(signals: np.ndarray, beta: float = np.e) -> np.ndarray:
+    """x^β on normalized signals (monotone; emphasizes strong APs)."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    signals = check_2d(signals, "signals")
+    return np.power(np.clip(signals, 0.0, 1.0), beta)
+
+
+def exponential(signals: np.ndarray, alpha: float = 0.25) -> np.ndarray:
+    """exp((x − 1)/α), rescaled so 0 stays ~0 and 1 maps to 1."""
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    signals = np.clip(check_2d(signals, "signals"), 0.0, 1.0)
+    floor = np.exp(-1.0 / alpha)
+    return (np.exp((signals - 1.0) / alpha) - floor) / (1.0 - floor)
+
+
+def binary(signals: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Detection mask: 1 where the AP was heard above ``threshold``."""
+    signals = check_2d(signals, "signals")
+    return (signals > threshold).astype(float)
+
+
+_REPRESENTATIONS = {
+    "identity": identity,
+    "powed": powed,
+    "exponential": exponential,
+    "binary": binary,
+}
+
+
+def get_representation(name: str):
+    """Look up a representation by name (raises with choices listed)."""
+    try:
+        return _REPRESENTATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown representation {name!r}; choices: "
+            f"{sorted(_REPRESENTATIONS)}"
+        ) from None

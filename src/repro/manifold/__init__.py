@@ -1,0 +1,25 @@
+"""Manifold-learning substrate: kNN search, geodesic graphs, MDS, Isomap, LLE.
+
+These are the *neighbor-aware* methods the paper contrasts NObLe against
+(Table II's "Isomap Deep Regression" and "LLE Deep Regression"), plus the
+classical-MDS machinery used in the paper's §III-C equivalence argument.
+"""
+
+from repro.manifold.neighbors import KNNIndex, kneighbors, epsilon_neighbors
+from repro.manifold.graph import neighborhood_graph, geodesic_distances, is_connected
+from repro.manifold.mds import classical_mds, stress
+from repro.manifold.isomap import Isomap
+from repro.manifold.lle import LocallyLinearEmbedding
+
+__all__ = [
+    "KNNIndex",
+    "kneighbors",
+    "epsilon_neighbors",
+    "neighborhood_graph",
+    "geodesic_distances",
+    "is_connected",
+    "classical_mds",
+    "stress",
+    "Isomap",
+    "LocallyLinearEmbedding",
+]

@@ -1,0 +1,51 @@
+"""Neighborhood graphs and geodesic (shortest-path) distances."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components, shortest_path
+
+from repro.manifold.neighbors import kneighbors
+
+
+def neighborhood_graph(
+    points: np.ndarray, k: int, symmetrize: bool = True
+) -> csr_matrix:
+    """Sparse weighted kNN graph; edge weights are Euclidean distances.
+
+    With ``symmetrize`` the graph contains an edge when either endpoint
+    lists the other among its k neighbors (the standard Isomap choice,
+    which keeps the graph connected more often than mutual-kNN).
+    """
+    distances, indices = kneighbors(points, k=k)
+    n = len(points)
+    rows = np.repeat(np.arange(n), k)
+    cols = indices.ravel()
+    vals = distances.ravel()
+    graph = csr_matrix((vals, (rows, cols)), shape=(n, n))
+    if symmetrize:
+        graph = graph.maximum(graph.T)
+    return graph
+
+
+def geodesic_distances(graph: csr_matrix, method: str = "auto") -> np.ndarray:
+    """All-pairs shortest-path distances over a weighted graph.
+
+    Unreachable pairs come back as ``inf``; callers decide whether to
+    restrict to the largest component (see :class:`Isomap`).
+    """
+    return shortest_path(graph, method={"auto": "auto"}.get(method, method), directed=False)
+
+
+def is_connected(graph: csr_matrix) -> bool:
+    """True when the undirected graph has a single connected component."""
+    n_components, _labels = connected_components(graph, directed=False)
+    return bool(n_components == 1)
+
+
+def largest_component(graph: csr_matrix) -> np.ndarray:
+    """Indices of the nodes in the largest connected component."""
+    _n, labels = connected_components(graph, directed=False)
+    counts = np.bincount(labels)
+    return np.flatnonzero(labels == np.argmax(counts))

@@ -1,0 +1,133 @@
+"""Isomap (Tenenbaum, de Silva & Langford, 2000).
+
+Template the paper describes: (1) kNN neighborhood graph, (2) geodesic
+distances by shortest paths, (3) classical MDS on the geodesic matrix.
+Out-of-sample points are embedded with the Landmark-MDS/Nyström formula,
+which is what lets the Table II "Isomap Deep Regression" baseline embed
+test RSSI vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manifold.graph import (
+    geodesic_distances,
+    largest_component,
+    neighborhood_graph,
+)
+from repro.manifold.mds import classical_mds
+from repro.manifold.neighbors import KNNIndex
+from repro.utils.validation import check_2d, check_fitted
+
+
+class Isomap:
+    """Isometric feature mapping with Nyström out-of-sample extension.
+
+    Parameters
+    ----------
+    n_components:
+        Embedding dimension (the paper tunes d = 400 for Table II).
+    n_neighbors:
+        k for the neighborhood graph.
+    on_disconnected:
+        ``"largest"`` silently restricts to the largest connected
+        component (recording ``kept_indices_``); ``"error"`` raises.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        n_neighbors: int = 10,
+        on_disconnected: str = "largest",
+    ):
+        if n_components <= 0:
+            raise ValueError(f"n_components must be positive, got {n_components}")
+        if n_neighbors <= 0:
+            raise ValueError(f"n_neighbors must be positive, got {n_neighbors}")
+        if on_disconnected not in ("largest", "error"):
+            raise ValueError(f"unknown on_disconnected policy {on_disconnected!r}")
+        self.n_components = int(n_components)
+        self.n_neighbors = int(n_neighbors)
+        self.on_disconnected = on_disconnected
+        self.embedding_: np.ndarray | None = None
+        self.kept_indices_: np.ndarray | None = None
+        self._train_points: np.ndarray | None = None
+        self._geodesics: np.ndarray | None = None
+        self._index: KNNIndex | None = None
+        self._mean_sq_geo: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "Isomap":
+        points = check_2d(points, "points")
+        if len(points) <= self.n_neighbors:
+            raise ValueError(
+                f"need more than n_neighbors={self.n_neighbors} points, got {len(points)}"
+            )
+        graph = neighborhood_graph(points, k=self.n_neighbors)
+        geo = geodesic_distances(graph)
+        if np.isinf(geo).any():
+            if self.on_disconnected == "error":
+                raise ValueError(
+                    "neighborhood graph is disconnected; raise n_neighbors or use "
+                    "on_disconnected='largest'"
+                )
+            keep = largest_component(graph)
+            points = points[keep]
+            geo = geo[np.ix_(keep, keep)]
+            self.kept_indices_ = keep
+        else:
+            self.kept_indices_ = np.arange(len(points))
+        n_components = min(self.n_components, len(points))
+        embedding, eigenvalues = classical_mds(geo, n_components=n_components)
+        if n_components < self.n_components:
+            pad = np.zeros((len(points), self.n_components - n_components))
+            embedding = np.hstack([embedding, pad])
+            eigenvalues = np.concatenate(
+                [eigenvalues, np.zeros(self.n_components - n_components)]
+            )
+        self.embedding_ = embedding
+        self.eigenvalues_ = eigenvalues
+        self._train_points = points
+        self._geodesics = geo
+        self._index = KNNIndex(points, method="brute")
+        self._mean_sq_geo = np.mean(geo**2, axis=1)
+        return self
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        return self.fit(points).embedding_
+
+    def transform(self, queries: np.ndarray) -> np.ndarray:
+        """Nyström out-of-sample embedding.
+
+        A query's geodesic distance to every training point is
+        approximated through its nearest training neighbor:
+        ``d(q, i) ≈ ||q - nn(q)|| + geo(nn(q), i)``; the point is then
+        placed with the Landmark-MDS projection formula.
+        """
+        check_fitted(self, "embedding_")
+        queries = check_2d(queries, "queries")
+        dist_nn, idx_nn = self._index.query(queries, k=1)
+        geo_to_all = dist_nn + self._geodesics[idx_nn[:, 0]]
+        # Landmark MDS: z = 1/2 * L^+ (mean_sq_row - d^2), with L^+ rows
+        # = eigvec / sqrt(eigval)
+        positive = self.eigenvalues_ > 1e-12
+        inv_scale = np.zeros_like(self.eigenvalues_)
+        inv_scale[positive] = 1.0 / np.sqrt(self.eigenvalues_[positive])
+        pseudo = self.embedding_ * inv_scale**2  # (n, d): eigvec/sqrt(eigval) scaled
+        centered = self._mean_sq_geo[None, :] - geo_to_all**2
+        return 0.5 * centered @ pseudo
+
+
+def residual_variance(geodesics: np.ndarray, embedding: np.ndarray) -> float:
+    """1 - R^2 between geodesic and embedded distances (Isomap's own
+    goodness-of-fit measure; ~0 when the embedding is faithful)."""
+    from repro.manifold.mds import pairwise_euclidean
+
+    emb_d = pairwise_euclidean(embedding)
+    triu = np.triu_indices(len(geodesics), k=1)
+    g = geodesics[triu]
+    e = emb_d[triu]
+    if np.std(g) == 0 or np.std(e) == 0:
+        return 1.0
+    r = np.corrcoef(g, e)[0, 1]
+    return float(1.0 - r**2)

@@ -1,0 +1,123 @@
+"""Locally Linear Embedding (Roweis & Saul, 2000).
+
+Steps per the paper's template: (1) kNN search, (2) solve for the
+reconstruction weights of each point from its neighbors, (3) find the
+embedding minimizing the same reconstruction error — the bottom non-zero
+eigenvectors of (I - W)ᵀ(I - W).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import eigh, solve
+from scipy.sparse import csr_matrix, identity
+
+from repro.manifold.neighbors import KNNIndex, kneighbors
+from repro.utils.validation import check_2d, check_fitted
+
+
+class LocallyLinearEmbedding:
+    """Standard LLE with an out-of-sample extension via weight reuse.
+
+    Parameters
+    ----------
+    n_components:
+        Embedding dimension.
+    n_neighbors:
+        Number of neighbors for local reconstruction.
+    reg:
+        Tikhonov regularization added to the local Gram matrices —
+        required when n_neighbors > input dim (Gram is then singular).
+    """
+
+    def __init__(self, n_components: int = 2, n_neighbors: int = 10, reg: float = 1e-3):
+        if n_components <= 0:
+            raise ValueError(f"n_components must be positive, got {n_components}")
+        if n_neighbors <= 0:
+            raise ValueError(f"n_neighbors must be positive, got {n_neighbors}")
+        if reg < 0:
+            raise ValueError(f"reg must be non-negative, got {reg}")
+        self.n_components = int(n_components)
+        self.n_neighbors = int(n_neighbors)
+        self.reg = float(reg)
+        self.embedding_: np.ndarray | None = None
+        self._train_points: np.ndarray | None = None
+        self._index: KNNIndex | None = None
+
+    def fit(self, points: np.ndarray) -> "LocallyLinearEmbedding":
+        points = check_2d(points, "points")
+        n = len(points)
+        if n <= self.n_neighbors:
+            raise ValueError(
+                f"need more than n_neighbors={self.n_neighbors} points, got {n}"
+            )
+        if self.n_components >= n:
+            raise ValueError(
+                f"n_components={self.n_components} must be < n_points={n}"
+            )
+        _dist, indices = kneighbors(points, k=self.n_neighbors)
+        weights = self._reconstruction_weights(points, indices)
+        # M = (I - W)^T (I - W); embedding = bottom eigenvectors 1..d of M
+        rows = np.repeat(np.arange(n), self.n_neighbors)
+        w_sparse = csr_matrix(
+            (weights.ravel(), (rows, indices.ravel())), shape=(n, n)
+        )
+        i_minus_w = identity(n, format="csr") - w_sparse
+        m = (i_minus_w.T @ i_minus_w).toarray()
+        m = (m + m.T) / 2.0
+        eigenvalues, eigenvectors = eigh(
+            m, subset_by_index=(0, min(self.n_components, n - 1))
+        )
+        # discard the constant eigenvector (eigenvalue ~0)
+        self.embedding_ = eigenvectors[:, 1 : self.n_components + 1]
+        if self.embedding_.shape[1] < self.n_components:
+            pad = np.zeros((n, self.n_components - self.embedding_.shape[1]))
+            self.embedding_ = np.hstack([self.embedding_, pad])
+        self.eigenvalues_ = eigenvalues[1 : self.n_components + 1]
+        self._train_points = points
+        self._index = KNNIndex(points, method="brute")
+        return self
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        return self.fit(points).embedding_
+
+    def transform(self, queries: np.ndarray) -> np.ndarray:
+        """Embed new points: reconstruct each query from its training
+        neighbors with LLE weights, then apply those weights to the
+        training embedding (Saul & Roweis' standard extension)."""
+        check_fitted(self, "embedding_")
+        queries = check_2d(queries, "queries")
+        _dist, indices = self._index.query(queries, k=self.n_neighbors)
+        weights = self._reconstruction_weights(
+            queries, indices, basis=self._train_points
+        )
+        out = np.empty((len(queries), self.embedding_.shape[1]))
+        for i in range(len(queries)):
+            out[i] = weights[i] @ self.embedding_[indices[i]]
+        return out
+
+    def _reconstruction_weights(
+        self,
+        points: np.ndarray,
+        neighbor_indices: np.ndarray,
+        basis: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Solve the constrained least squares for each point's weights.
+
+        Weights w minimize ||x - Σ w_j η_j||² s.t. Σ w_j = 1, solved via
+        the local Gram system G w = 1 then normalization.
+        """
+        basis_points = points if basis is None else basis
+        k = neighbor_indices.shape[1]
+        weights = np.empty((len(points), k))
+        ones = np.ones(k)
+        for i, x in enumerate(points):
+            neighbors = basis_points[neighbor_indices[i]]
+            delta = neighbors - x
+            gram = delta @ delta.T
+            trace = np.trace(gram)
+            ridge = self.reg * (trace if trace > 0 else 1.0)
+            gram = gram + np.eye(k) * ridge
+            w = solve(gram, ones, assume_a="pos")
+            weights[i] = w / w.sum()
+        return weights

@@ -1,0 +1,85 @@
+"""Classical multidimensional scaling (Torgerson MDS).
+
+MDS is the algorithm the paper's §III-C equivalence argument is phrased
+in: NObLe's cross-entropy objective pulls same-class embeddings together
+the way MDS preserves pairwise distances, minus the reliance on noisy
+input-space distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import eigh
+
+
+def classical_mds(
+    distances: np.ndarray, n_components: int = 2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Embed a squared-distance-compatible matrix into ``n_components`` dims.
+
+    Parameters
+    ----------
+    distances:
+        (N, N) symmetric matrix of (non-squared) dissimilarities.
+    n_components:
+        Target embedding dimension.
+
+    Returns
+    -------
+    embedding:
+        (N, n_components); columns ordered by decreasing eigenvalue.
+        Components with non-positive eigenvalues come back as zeros (the
+        matrix was not Euclidean-realizable in that direction).
+    eigenvalues:
+        The top ``n_components`` eigenvalues of the doubly centered Gram
+        matrix, useful for diagnosing intrinsic dimension.
+    """
+    d = np.asarray(distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError(f"distances must be square, got {d.shape}")
+    if not np.allclose(d, d.T, atol=1e-8):
+        raise ValueError("distances must be symmetric")
+    if np.any(~np.isfinite(d)):
+        raise ValueError(
+            "distances contain non-finite entries; restrict to a connected "
+            "component before running MDS"
+        )
+    n = d.shape[0]
+    if not 1 <= n_components <= n:
+        raise ValueError(f"n_components must be in [1, {n}], got {n_components}")
+    # double centering: B = -1/2 J D^2 J
+    squared = d**2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    gram = -0.5 * centering @ squared @ centering
+    gram = (gram + gram.T) / 2.0  # clean numerical asymmetry
+    eigenvalues, eigenvectors = eigh(gram, subset_by_index=(n - n_components, n - 1))
+    # eigh returns ascending order; flip to descending
+    eigenvalues = eigenvalues[::-1]
+    eigenvectors = eigenvectors[:, ::-1]
+    scale = np.sqrt(np.maximum(eigenvalues, 0.0))
+    return eigenvectors * scale, eigenvalues
+
+
+def stress(distances: np.ndarray, embedding: np.ndarray) -> float:
+    """Kruskal raw stress: sum of squared residuals between the target
+    dissimilarities and the embedding's pairwise Euclidean distances,
+    normalized by the sum of squared targets (0 = perfect)."""
+    d = np.asarray(distances, dtype=float)
+    emb = np.asarray(embedding, dtype=float)
+    if len(d) != len(emb):
+        raise ValueError("distances and embedding disagree on point count")
+    diff = emb[:, None, :] - emb[None, :, :]
+    emb_dist = np.sqrt(np.sum(diff**2, axis=-1))
+    denom = float(np.sum(d**2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum((d - emb_dist) ** 2) / denom)
+
+
+def pairwise_euclidean(points: np.ndarray) -> np.ndarray:
+    """Dense (N, N) Euclidean distance matrix."""
+    points = np.asarray(points, dtype=float)
+    sq = np.sum(points**2, axis=1)
+    d2 = sq[:, None] - 2.0 * points @ points.T + sq[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)

@@ -1,0 +1,125 @@
+"""Nearest-neighbor search: brute force and KD-tree backed.
+
+The KD-tree comes from scipy (cKDTree); the brute-force path exists both
+as a correctness oracle for tests and for the high-dimensional RSSI
+vectors where KD-trees degrade to linear scans anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.utils.validation import check_2d
+
+
+class KNNIndex:
+    """K-nearest-neighbor index over a fixed point set.
+
+    Parameters
+    ----------
+    points:
+        (N, D) array indexed once at construction.
+    method:
+        ``"auto"`` picks a KD-tree for D <= 20 and brute force otherwise;
+        ``"kdtree"`` / ``"brute"`` force a backend.
+    """
+
+    def __init__(self, points: np.ndarray, method: str = "auto"):
+        self.points = check_2d(points, "points")
+        if method not in ("auto", "kdtree", "brute"):
+            raise ValueError(f"unknown method {method!r}")
+        if method == "auto":
+            method = "kdtree" if self.points.shape[1] <= 20 else "brute"
+        self.method = method
+        self._tree = cKDTree(self.points) if method == "kdtree" else None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def query(
+        self, queries: np.ndarray, k: int, exclude_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices), each (M, k), sorted by distance.
+
+        ``exclude_self`` drops a zero-distance exact match of the query
+        itself — use when querying the index with its own points.
+        """
+        queries = check_2d(queries, "queries")
+        if queries.shape[1] != self.points.shape[1]:
+            raise ValueError(
+                f"query dim {queries.shape[1]} != index dim {self.points.shape[1]}"
+            )
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        effective_k = k + 1 if exclude_self else k
+        if effective_k > len(self.points):
+            raise ValueError(
+                f"k={k} (self-excluded: {exclude_self}) exceeds index size "
+                f"{len(self.points)}"
+            )
+        if self._tree is not None:
+            distances, indices = self._tree.query(queries, k=effective_k)
+            if effective_k == 1:
+                distances = distances[:, None]
+                indices = indices[:, None]
+        else:
+            distances, indices = self._brute_query(queries, effective_k)
+        if exclude_self:
+            distances, indices = _drop_self_matches(distances, indices, k)
+        return distances, indices
+
+    def _brute_query(self, queries: np.ndarray, k: int):
+        # ||q - p||^2 = |q|^2 - 2 q·p + |p|^2, computed blockwise to bound memory
+        sq_points = np.sum(self.points**2, axis=1)
+        all_dist = np.empty((len(queries), k))
+        all_idx = np.empty((len(queries), k), dtype=int)
+        block = max(1, int(2e7) // max(len(self.points), 1))
+        for start in range(0, len(queries), block):
+            q = queries[start : start + block]
+            d2 = np.sum(q**2, axis=1)[:, None] - 2.0 * q @ self.points.T + sq_points
+            np.maximum(d2, 0.0, out=d2)
+            part = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+            part_d = np.take_along_axis(d2, part, axis=1)
+            order = np.argsort(part_d, axis=1, kind="stable")
+            all_idx[start : start + len(q)] = np.take_along_axis(part, order, axis=1)
+            all_dist[start : start + len(q)] = np.sqrt(
+                np.take_along_axis(part_d, order, axis=1)
+            )
+        return all_dist, all_idx
+
+
+def kneighbors(
+    points: np.ndarray, k: int, method: str = "auto"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Self-kNN of a point set, excluding each point itself."""
+    index = KNNIndex(points, method=method)
+    return index.query(index.points, k=k, exclude_self=True)
+
+
+def epsilon_neighbors(points: np.ndarray, radius: float) -> list[np.ndarray]:
+    """Indices of all neighbors within ``radius`` of each point (self excluded)."""
+    points = check_2d(points, "points")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    tree = cKDTree(points)
+    result = []
+    for i, nearby in enumerate(tree.query_ball_point(points, r=radius)):
+        result.append(np.array([j for j in nearby if j != i], dtype=int))
+    return result
+
+
+def _drop_self_matches(distances: np.ndarray, indices: np.ndarray, k: int):
+    """Remove the first zero-distance self column, keep k columns."""
+    m = distances.shape[0]
+    out_d = np.empty((m, k))
+    out_i = np.empty((m, k), dtype=int)
+    rows = np.arange(distances.shape[1])
+    for row in range(m):
+        # the self match is the first zero-distance hit whose index equals
+        # any identical point; dropping column 0 is correct because queries
+        # are the indexed points themselves (distance 0 sorts first)
+        keep = rows != 0
+        out_d[row] = distances[row, keep][:k]
+        out_i[row] = indices[row, keep][:k]
+    return out_d, out_i

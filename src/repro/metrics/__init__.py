@@ -1,0 +1,23 @@
+"""Evaluation metrics: position errors, hit rates, error CDFs."""
+
+from repro.metrics.errors import (
+    position_errors,
+    mean_error,
+    median_error,
+    percentile_error,
+    ErrorSummary,
+    summarize_errors,
+)
+from repro.metrics.classification import hit_rate
+from repro.metrics.cdf import error_cdf
+
+__all__ = [
+    "position_errors",
+    "mean_error",
+    "median_error",
+    "percentile_error",
+    "ErrorSummary",
+    "summarize_errors",
+    "hit_rate",
+    "error_cdf",
+]

@@ -1,0 +1,26 @@
+"""Empirical error CDFs, the standard localization figure format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def error_cdf(
+    errors: np.ndarray, grid: "np.ndarray | None" = None, n_points: int = 100
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (x, F(x)) of the empirical CDF of an error vector.
+
+    When ``grid`` is omitted, x spans [0, max(errors)] with ``n_points``
+    samples; F(x) is the fraction of errors <= x.
+    """
+    errors = np.sort(np.asarray(errors, dtype=float).ravel())
+    if len(errors) == 0:
+        raise ValueError("cannot build a CDF from an empty error vector")
+    if grid is None:
+        if n_points < 2:
+            raise ValueError(f"n_points must be >= 2, got {n_points}")
+        grid = np.linspace(0.0, float(errors[-1]), n_points)
+    else:
+        grid = np.asarray(grid, dtype=float)
+    cdf = np.searchsorted(errors, grid, side="right") / len(errors)
+    return grid, cdf

@@ -1,0 +1,36 @@
+"""Hit rates for the categorical heads (building / floor / cell class)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hit_rate(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of exact matches between integer label vectors.
+
+    The paper reports these as percentages (e.g. building 99.74 %);
+    this function returns the fraction in [0, 1].
+    """
+    predicted = np.asarray(predicted)
+    truth = np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs truth {truth.shape}"
+        )
+    if predicted.size == 0:
+        return float("nan")
+    return float(np.mean(predicted == truth))
+
+
+def per_class_hit_rate(
+    predicted: np.ndarray, truth: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Hit rate computed separately for each true class (nan when absent)."""
+    predicted = np.asarray(predicted, dtype=int)
+    truth = np.asarray(truth, dtype=int)
+    rates = np.full(num_classes, np.nan)
+    for class_id in range(num_classes):
+        mask = truth == class_id
+        if mask.any():
+            rates[class_id] = float(np.mean(predicted[mask] == class_id))
+    return rates

@@ -1,0 +1,78 @@
+"""Position error distances — the paper's evaluation measure.
+
+"We calculate position error following the standard procedure: the
+Euclidean distance between predicted and true coordinates." (§IV-B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_lengths_match
+
+
+def position_errors(predicted: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Per-sample Euclidean distance between predictions and ground truth."""
+    predicted = check_2d(predicted, "predicted")
+    truth = check_2d(truth, "truth")
+    check_lengths_match(predicted, truth, "predicted", "truth")
+    if predicted.shape[1] != truth.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {predicted.shape[1]} vs {truth.shape[1]}"
+        )
+    return np.linalg.norm(predicted - truth, axis=1)
+
+
+def mean_error(predicted: np.ndarray, truth: np.ndarray) -> float:
+    return float(np.mean(position_errors(predicted, truth)))
+
+
+def median_error(predicted: np.ndarray, truth: np.ndarray) -> float:
+    return float(np.median(position_errors(predicted, truth)))
+
+
+def percentile_error(
+    predicted: np.ndarray, truth: np.ndarray, percentile: float
+) -> float:
+    if not 0 <= percentile <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    return float(np.percentile(position_errors(predicted, truth), percentile))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean / median / tail summary of a position-error distribution."""
+
+    mean: float
+    median: float
+    p75: float
+    p90: float
+    p95: float
+    max: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.2f}m median={self.median:.2f}m "
+            f"p90={self.p90:.2f}m p95={self.p95:.2f}m n={self.n}"
+        )
+
+
+def summarize_errors(errors: np.ndarray) -> ErrorSummary:
+    """Summarize an error vector (as produced by :func:`position_errors`)."""
+    errors = np.asarray(errors, dtype=float)
+    if errors.ndim != 1:
+        errors = errors.ravel()
+    if len(errors) == 0:
+        raise ValueError("cannot summarize an empty error vector")
+    return ErrorSummary(
+        mean=float(np.mean(errors)),
+        median=float(np.median(errors)),
+        p75=float(np.percentile(errors, 75)),
+        p90=float(np.percentile(errors, 90)),
+        p95=float(np.percentile(errors, 95)),
+        max=float(np.max(errors)),
+        n=len(errors),
+    )

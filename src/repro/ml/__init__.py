@@ -1,0 +1,14 @@
+"""Classical ML substrate: decision trees, random forests, kNN regression.
+
+The paper's §II cites [8] (Gonzalez et al., DATE 2017) as using "nearest
+neighbors and random forest regression to predict the travel distance
+based on IMU readings"; these from-scratch implementations power the
+corresponding tracking comparator (:mod:`repro.tracking.distance_ml`)
+and are generally useful building blocks.
+"""
+
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn_regressor import KNNRegressor
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor", "KNNRegressor"]

@@ -1,0 +1,198 @@
+"""CART regression trees (variance-reduction splitting), from scratch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d, check_fitted, check_lengths_match
+
+
+@dataclass
+class _Node:
+    """A tree node: either a split (feature, threshold) or a leaf value."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "int" = -1
+    right: "int" = -1
+    value: "np.ndarray | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree minimizing within-node variance.
+
+    Supports multi-output targets (the leaf stores the target mean
+    vector).  Split search is exact over sorted unique thresholds per
+    feature, with optional feature subsampling for forest use.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit (None = grow until pure/min-sized).
+    min_samples_split:
+        Minimum samples a node needs to be considered for splitting.
+    min_samples_leaf:
+        Minimum samples each child must retain.
+    max_features:
+        Number of candidate features per split (None = all); forests
+        pass ``sqrt``-sized values for decorrelation.
+    """
+
+    def __init__(
+        self,
+        max_depth: "int | None" = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: "int | None" = None,
+        rng=None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        if max_features is not None and max_features < 1:
+            raise ValueError(f"max_features must be >= 1, got {max_features}")
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self._rng = ensure_rng(rng)
+        self.nodes_: "list[_Node] | None" = None
+        self.n_features_: "int | None" = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = check_2d(x, "x")
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        check_lengths_match(x, y, "x", "y")
+        if len(x) == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self.n_features_ = x.shape[1]
+        self.nodes_ = []
+        self._grow(x, y, np.arange(len(x)), depth=0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "nodes_")
+        x = check_2d(x, "x")
+        if x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {x.shape[1]}"
+            )
+        out = np.empty((len(x), self._leaf_width()))
+        for row, sample in enumerate(x):
+            node = self.nodes_[0]
+            while not node.is_leaf:
+                if sample[node.feature] <= node.threshold:
+                    node = self.nodes_[node.left]
+                else:
+                    node = self.nodes_[node.right]
+            out[row] = node.value
+        return out if out.shape[1] > 1 else out.ravel()
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        check_fitted(self, "nodes_")
+
+        def node_depth(index: int) -> int:
+            node = self.nodes_[index]
+            if node.is_leaf:
+                return 0
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        return node_depth(0)
+
+    @property
+    def n_leaves(self) -> int:
+        check_fitted(self, "nodes_")
+        return sum(1 for node in self.nodes_ if node.is_leaf)
+
+    # ----------------------------------------------------------------- growth
+    def _grow(self, x: np.ndarray, y: np.ndarray, index: np.ndarray, depth: int) -> int:
+        node_id = len(self.nodes_)
+        self.nodes_.append(_Node())
+        targets = y[index]
+        if (
+            len(index) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.allclose(targets, targets[0])
+        ):
+            self.nodes_[node_id].value = targets.mean(axis=0)
+            return node_id
+        split = self._best_split(x, y, index)
+        if split is None:
+            self.nodes_[node_id].value = targets.mean(axis=0)
+            return node_id
+        feature, threshold = split
+        mask = x[index, feature] <= threshold
+        left = self._grow(x, y, index[mask], depth + 1)
+        right = self._grow(x, y, index[~mask], depth + 1)
+        node = self.nodes_[node_id]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = left
+        node.right = right
+        return node_id
+
+    def _best_split(self, x, y, index) -> "tuple[int, float] | None":
+        n = len(index)
+        features = np.arange(self.n_features_)
+        if self.max_features is not None and self.max_features < len(features):
+            features = self._rng.choice(
+                features, size=self.max_features, replace=False
+            )
+        targets = y[index]
+        total_sum = targets.sum(axis=0)
+        total_sq = (targets**2).sum()
+        best_score = np.inf
+        best: "tuple[int, float] | None" = None
+        for feature in features:
+            values = x[index, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_targets = targets[order]
+            cum_sum = np.cumsum(sorted_targets, axis=0)
+            cum_sq = np.cumsum(np.sum(sorted_targets**2, axis=1))
+            # candidate split after position i (1-based left size); the
+            # range keeps both children >= min_samples_leaf
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if sorted_values[i - 1] == sorted_values[i]:
+                    continue  # cannot split between equal values
+                left_n, right_n = i, n - i
+                left_sum = cum_sum[i - 1]
+                right_sum = total_sum - left_sum
+                left_sq = cum_sq[i - 1]
+                right_sq = total_sq - left_sq
+                # SSE = Σy² - |Σy|²/n per side, summed over outputs
+                score = (
+                    left_sq
+                    - np.sum(left_sum**2) / left_n
+                    + right_sq
+                    - np.sum(right_sum**2) / right_n
+                )
+                if score < best_score - 1e-12:
+                    best_score = score
+                    threshold = (sorted_values[i - 1] + sorted_values[i]) / 2.0
+                    best = (int(feature), float(threshold))
+        return best
+
+    def _leaf_width(self) -> int:
+        for node in self.nodes_:
+            if node.is_leaf:
+                return len(node.value)
+        raise RuntimeError("tree has no leaves")  # pragma: no cover

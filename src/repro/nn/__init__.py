@@ -1,0 +1,70 @@
+"""A from-scratch neural-network framework on numpy.
+
+The paper trains small feed-forward networks in PyTorch; this subpackage
+provides the equivalent substrate without external DL dependencies:
+
+* :class:`Module` / :class:`Parameter` / :class:`Sequential` containers,
+* dense layers, activations, dropout, batch normalization,
+* losses (MSE, binary cross-entropy with logits, softmax cross-entropy),
+* optimizers (SGD with momentum, Adam) and LR schedulers,
+* Xavier/Glorot and He initialization,
+* a :class:`DataLoader` and a :class:`Trainer` with early stopping,
+* a finite-difference gradient checker used by the test-suite.
+
+All layers implement explicit ``forward``/``backward`` passes; gradients
+are accumulated on ``Parameter.grad`` exactly as in torch's eager mode.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Linear, Tanh, ReLU, Sigmoid, Softmax, Dropout, Identity
+from repro.nn.batchnorm import BatchNorm1d
+from repro.nn.losses import (
+    Loss,
+    MSELoss,
+    BCEWithLogitsLoss,
+    SoftmaxCrossEntropyLoss,
+    MultiHeadLoss,
+)
+from repro.nn.optim import Optimizer, SGD, Adam, RMSProp
+from repro.nn.schedulers import ConstantLR, StepLR, CosineLR
+from repro.nn.data import Dataset, TensorDataset, DataLoader
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.nn.metrics import accuracy, top_k_accuracy
+from repro.nn.serialization import save_state, load_state
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "Identity",
+    "BatchNorm1d",
+    "Loss",
+    "MSELoss",
+    "BCEWithLogitsLoss",
+    "SoftmaxCrossEntropyLoss",
+    "MultiHeadLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "ConstantLR",
+    "StepLR",
+    "CosineLR",
+    "Dataset",
+    "TensorDataset",
+    "DataLoader",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy",
+    "top_k_accuracy",
+    "save_state",
+    "load_state",
+    "init",
+]

@@ -1,0 +1,94 @@
+"""Greedy stacked-autoencoder pretraining (WiDeep/DeepFi/CNNLoc style).
+
+§II: "ML is also used for denoising in order to extract core features
+for wireless signals" — WiDeep uses one AE per WAP, CNNLoc a stacked AE
+front-end.  This module provides the standard greedy procedure: train
+one tanh autoencoder layer to reconstruct its input, freeze the encoder
+half, encode the data, repeat for the next layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.data import DataLoader, TensorDataset
+from repro.nn.layers import Linear, Tanh
+from repro.nn.losses import MSELoss
+from repro.nn.module import Sequential
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d
+
+
+def pretrain_stacked_autoencoder(
+    data: np.ndarray,
+    layer_sizes: list[int],
+    epochs: int = 30,
+    batch_size: int = 64,
+    lr: float = 1e-3,
+    noise_std: float = 0.0,
+    rng=None,
+) -> list[Linear]:
+    """Greedy layer-wise AE pretraining.
+
+    Parameters
+    ----------
+    data:
+        (N, D) training inputs.
+    layer_sizes:
+        Encoder widths, e.g. ``[256, 128, 64]``.
+    noise_std:
+        Gaussian input corruption for denoising AEs (0 = plain AE).
+
+    Returns
+    -------
+    The trained encoder :class:`Linear` layers, in order; stack them
+    (with tanh activations) as the front of a downstream model.
+    """
+    data = check_2d(data, "data")
+    if not layer_sizes:
+        raise ValueError("layer_sizes must not be empty")
+    if noise_std < 0:
+        raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+    rng = ensure_rng(rng)
+    encoders: list[Linear] = []
+    current = data
+    for size in layer_sizes:
+        if size <= 0:
+            raise ValueError(f"layer sizes must be positive, got {size}")
+        encoder = Linear(current.shape[1], size, rng=rng)
+        decoder = Linear(size, current.shape[1], rng=rng)
+        auto = Sequential(encoder, Tanh(), decoder)
+        inputs = current
+        if noise_std > 0:
+            inputs = current + rng.normal(0.0, noise_std, size=current.shape)
+        loader = DataLoader(
+            TensorDataset(inputs, current),
+            batch_size=batch_size,
+            rng=rng,
+        )
+        Trainer(auto, MSELoss(), Adam(auto.parameters(), lr=lr)).fit(
+            loader, epochs=epochs
+        )
+        encoders.append(encoder)
+        current = np.tanh(current @ encoder.weight.data + encoder.bias.data)
+    return encoders
+
+
+def reconstruction_error(
+    encoders: list[Linear], data: np.ndarray, rng=None
+) -> float:
+    """Mean squared error of encoding-then-decoding with tied weights.
+
+    A cheap goodness measure: decode each layer with the transpose of
+    its encoder (tied-weight approximation) and compare to the input.
+    """
+    data = check_2d(data, "data")
+    encoded = data
+    for encoder in encoders:
+        encoded = np.tanh(encoded @ encoder.weight.data + encoder.bias.data)
+    decoded = encoded
+    for encoder in reversed(encoders):
+        decoded = (decoded - 0.0) @ encoder.weight.data.T
+    return float(np.mean((decoded - data) ** 2))

@@ -1,0 +1,84 @@
+"""Batch normalization (Ioffe & Szegedy, 2015), used by the paper's models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm1d(Module):
+    """Normalize each feature over the batch, with learnable scale/shift.
+
+    In training mode the batch mean/variance are used and running
+    statistics are updated with exponential ``momentum``; in eval mode the
+    running statistics are used, so single-sample inference is well
+    defined (important for the on-device latency story in the paper).
+    """
+
+    _buffer_names = ("running_mean", "running_var")
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expected shape (N, {self.num_features}), got {x.shape}"
+            )
+        if self.training:
+            if x.shape[0] < 2:
+                raise ValueError(
+                    "BatchNorm1d in training mode needs a batch of at least 2 samples"
+                )
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            # unbiased variance for the running estimate, as torch does
+            n = x.shape[0]
+            unbiased = var * n / (n - 1)
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        n = grad_output.shape[0]
+        self.gamma.grad += np.sum(grad_output * x_hat, axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        if not self.training:
+            # eval mode: mean/var are constants, gradient is a plain affine chain
+            return grad_output * self.gamma.data * inv_std
+        dx_hat = grad_output * self.gamma.data
+        # standard batchnorm backward, vectorized over features
+        return (
+            inv_std
+            / n
+            * (
+                n * dx_hat
+                - dx_hat.sum(axis=0)
+                - x_hat * np.sum(dx_hat * x_hat, axis=0)
+            )
+        )

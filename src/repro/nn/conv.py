@@ -1,0 +1,189 @@
+"""1-D convolution layers for the CNNLoc comparator.
+
+Tensors are (N, C, L).  :class:`Unflatten` lifts the framework's 2-D
+(N, D) activations into (N, channels, D/channels); :class:`Flatten`
+drops back to 2-D, so convolutional stacks compose with Linear layers
+inside a :class:`repro.nn.Sequential`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import init as init_schemes
+from repro.utils.rng import ensure_rng
+
+
+class Conv1d(Module):
+    """Valid (no padding) 1-D convolution with stride 1.
+
+    Implemented with an im2col lowering so forward/backward are single
+    matmuls.  Output length is ``L - kernel_size + 1``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError(
+                "in_channels, out_channels and kernel_size must be positive"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        fan_in = in_channels * kernel_size
+        flat = init_schemes.xavier_uniform(
+            (fan_in, out_channels), rng=ensure_rng(rng)
+        )
+        self.weight = Parameter(
+            flat.T.reshape(out_channels, in_channels, kernel_size), name="weight"
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels), name="bias")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expected (N, {self.in_channels}, L), got {x.shape}"
+            )
+        n, _c, length = x.shape
+        l_out = length - self.kernel_size + 1
+        if l_out <= 0:
+            raise ValueError(
+                f"input length {length} shorter than kernel {self.kernel_size}"
+            )
+        columns = self._im2col(x, l_out)  # (N, L_out, C_in*K)
+        w = self.weight.data.reshape(self.out_channels, -1)  # (C_out, C_in*K)
+        out = columns @ w.T  # (N, L_out, C_out)
+        if self.has_bias:
+            out = out + self.bias.data
+        self._cache = (x.shape, columns)
+        return np.transpose(out, (0, 2, 1))  # (N, C_out, L_out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, columns = self._cache
+        grad_out = np.transpose(grad_output, (0, 2, 1))  # (N, L_out, C_out)
+        n, l_out, _ = grad_out.shape
+        # weight gradient: sum over batch and positions
+        grad_w = np.einsum("nlk,nlo->ok", columns, grad_out)
+        self.weight.grad += grad_w.reshape(self.weight.data.shape)
+        if self.has_bias:
+            self.bias.grad += grad_out.sum(axis=(0, 1))
+        # input gradient: scatter the column gradients back
+        w = self.weight.data.reshape(self.out_channels, -1)
+        grad_columns = grad_out @ w  # (N, L_out, C_in*K)
+        grad_x = np.zeros(x_shape)
+        k = self.kernel_size
+        grad_columns = grad_columns.reshape(n, l_out, self.in_channels, k)
+        for offset in range(k):
+            grad_x[:, :, offset : offset + l_out] += np.transpose(
+                grad_columns[:, :, :, offset], (0, 2, 1)
+            )
+        return grad_x
+
+    def output_length(self, input_length: int) -> int:
+        return input_length - self.kernel_size + 1
+
+    def _im2col(self, x: np.ndarray, l_out: int) -> np.ndarray:
+        n, c, _length = x.shape
+        k = self.kernel_size
+        columns = np.empty((n, l_out, c, k))
+        for offset in range(k):
+            columns[:, :, :, offset] = np.transpose(
+                x[:, :, offset : offset + l_out], (0, 2, 1)
+            )
+        return columns.reshape(n, l_out, c * k)
+
+
+class MaxPool1d(Module):
+    """Non-overlapping max pooling; trailing remainder is dropped."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = int(kernel_size)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError(f"MaxPool1d expected (N, C, L), got {x.shape}")
+        n, c, length = x.shape
+        k = self.kernel_size
+        l_out = length // k
+        if l_out == 0:
+            raise ValueError(f"input length {length} shorter than pool {k}")
+        trimmed = x[:, :, : l_out * k].reshape(n, c, l_out, k)
+        argmax = trimmed.argmax(axis=3)
+        out = np.take_along_axis(trimmed, argmax[..., None], axis=3)[..., 0]
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, argmax = self._cache
+        n, c, length = x_shape
+        k = self.kernel_size
+        l_out = argmax.shape[2]
+        grad_x = np.zeros(x_shape)
+        window = grad_x[:, :, : l_out * k].reshape(n, c, l_out, k)
+        np.put_along_axis(window, argmax[..., None], grad_output[..., None], axis=3)
+        return grad_x
+
+    def output_length(self, input_length: int) -> int:
+        return input_length // self.kernel_size
+
+
+class Flatten(Module):
+    """(N, C, L) → (N, C·L)."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError(f"Flatten expected (N, C, L), got {x.shape}")
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._shape)
+
+
+class Unflatten(Module):
+    """(N, C·L) → (N, C, L) with a fixed channel count."""
+
+    def __init__(self, channels: int = 1):
+        super().__init__()
+        if channels <= 0:
+            raise ValueError(f"channels must be positive, got {channels}")
+        self.channels = int(channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] % self.channels != 0:
+            raise ValueError(
+                f"Unflatten({self.channels}) cannot reshape input {x.shape}"
+            )
+        return x.reshape(x.shape[0], self.channels, -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(grad_output.shape[0], -1)

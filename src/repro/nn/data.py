@@ -1,0 +1,81 @@
+"""Dataset and DataLoader abstractions for mini-batch training."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_lengths_match
+
+
+class Dataset:
+    """Minimal dataset interface: ``__len__`` and integer ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Zip several equally long arrays into (row, row, ...) samples."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        self.arrays = [np.asarray(a) for a in arrays]
+        first = self.arrays[0]
+        for other in self.arrays[1:]:
+            check_lengths_match(first, other, "arrays[0]", "a later array")
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int) -> tuple:
+        return tuple(a[index] for a in self.arrays)
+
+
+class DataLoader:
+    """Iterate a dataset in shuffled mini-batches of stacked arrays.
+
+    Yields tuples of arrays, one per underlying tensor, each with a
+    leading batch dimension.  ``drop_last`` discards a trailing partial
+    batch — needed when batchnorm requires batches of at least 2.
+    """
+
+    def __init__(
+        self,
+        dataset: "Dataset | Sequence",
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng=None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = ensure_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            index = order[start : start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                return
+            samples = [self.dataset[int(i)] for i in index]
+            yield tuple(np.stack(column) for column in zip(*samples))

@@ -1,0 +1,73 @@
+"""Weight initialization schemes.
+
+The paper uses Xavier (Glorot) initialization [20]; He initialization is
+provided for the ReLU variants used in ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def xavier_uniform(shape: tuple[int, int], rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform init: U(-a, a), a = gain * sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return ensure_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, int], rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal init: N(0, gain^2 * 2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return ensure_rng(rng).normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, int], rng=None) -> np.ndarray:
+    """He et al. uniform init for ReLU fan-in scaling."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return ensure_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def he_normal(shape: tuple[int, int], rng=None) -> np.ndarray:
+    """He et al. normal init: N(0, 2/fan_in)."""
+    fan_in, _ = _fans(shape)
+    return ensure_rng(rng).normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=float)
+
+
+def constant(shape, value: float) -> np.ndarray:
+    return np.full(shape, float(value))
+
+
+_SCHEMES = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises ``KeyError`` with choices."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; choices: {sorted(_SCHEMES)}"
+        ) from None
+
+
+def _fans(shape: tuple[int, int]) -> tuple[int, int]:
+    if len(shape) != 2:
+        raise ValueError(f"initializers expect 2-D weight shapes, got {shape}")
+    fan_in, fan_out = int(shape[0]), int(shape[1])
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"weight dims must be positive, got {shape}")
+    return fan_in, fan_out

@@ -1,0 +1,193 @@
+"""Dense layers and element-wise activations with explicit backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import init as init_schemes
+from repro.utils.rng import ensure_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with W of shape (in_features, out_features).
+
+    Weights follow the initialization scheme named by ``weight_init``
+    (Xavier uniform by default, matching the paper); biases start at zero.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_init: str = "xavier_uniform",
+        rng=None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"features must be positive, got ({in_features}, {out_features})"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        initializer = init_schemes.get_initializer(weight_init)
+        self.weight = Parameter(
+            initializer((in_features, out_features), rng=ensure_rng(rng)),
+            name="weight",
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), name="bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        out = x @ self.weight.data
+        if self.has_bias:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._input.T @ grad_output
+        if self.has_bias:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+
+class Identity(Module):
+    """Pass-through layer; useful as a no-op placeholder in ablations."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation (the paper's choice)."""
+
+    def __init__(self):
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid; numerically stable split on sign."""
+
+    def __init__(self):
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = stable_sigmoid(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Softmax(Module):
+    """Row-wise softmax.
+
+    Prefer :class:`SoftmaxCrossEntropyLoss` (which fuses log-softmax with
+    NLL) for training; this layer exists for inference-time probability
+    output and for composing custom heads.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = stable_softmax(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        s = self._output
+        dot = np.sum(grad_output * s, axis=1, keepdims=True)
+        return s * (grad_output - dot)
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = ensure_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Sigmoid that avoids overflow for large |x|."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def stable_softmax(x: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max subtraction for stability."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)

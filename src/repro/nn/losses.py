@@ -1,0 +1,178 @@
+"""Loss functions with fused gradients.
+
+Each loss exposes ``forward(predictions, targets) -> float`` and
+``backward() -> ndarray`` (gradient w.r.t. predictions, already averaged
+over the batch so optimizers see per-batch means).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import stable_sigmoid, stable_softmax
+
+
+class Loss:
+    """Base loss interface."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class MSELoss(Loss):
+    """Mean squared error over all elements; the Deep Regression loss."""
+
+    def __init__(self):
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross-entropy on logits — NObLe's multi-label objective.
+
+    Matches the paper's J(h, ĥ) with ĥ = sigmoid(w·z): works on multi-hot
+    targets of shape (N, K).  The log-sum-exp form ``max(x,0) - x*t +
+    log(1+exp(-|x|))`` is numerically stable for large logits.
+    """
+
+    def __init__(self, pos_weight: "np.ndarray | float | None" = None):
+        self.pos_weight = None if pos_weight is None else np.asarray(pos_weight, float)
+        self._cache: tuple | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: logits {logits.shape} vs targets {targets.shape}"
+            )
+        probs = stable_sigmoid(logits)
+        self._cache = (probs, targets)
+        per_element = (
+            np.maximum(logits, 0.0)
+            - logits * targets
+            + np.log1p(np.exp(-np.abs(logits)))
+        )
+        if self.pos_weight is not None:
+            weight = targets * self.pos_weight + (1.0 - targets)
+            per_element = per_element * weight
+        return float(np.mean(per_element))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, targets = self._cache
+        grad = probs - targets
+        if self.pos_weight is not None:
+            weight = targets * self.pos_weight + (1.0 - targets)
+            # d/dx [w*(softplus terms)] — for weighted BCE the gradient is
+            # w_pos*t*(p-1) + (1-t)*p with the same stable probs
+            grad = targets * self.pos_weight * (probs - 1.0) + (1.0 - targets) * probs
+        return grad / probs.size
+
+
+class SoftmaxCrossEntropyLoss(Loss):
+    """Categorical cross-entropy on logits with integer or one-hot targets."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self._cache: tuple | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=float)
+        n, k = logits.shape
+        one_hot = self._as_one_hot(targets, n, k)
+        if self.label_smoothing > 0.0:
+            one_hot = (
+                one_hot * (1.0 - self.label_smoothing) + self.label_smoothing / k
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        self._cache = (stable_softmax(logits), one_hot)
+        return float(-np.sum(one_hot * log_probs) / n)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, one_hot = self._cache
+        return (probs - one_hot) / probs.shape[0]
+
+    @staticmethod
+    def _as_one_hot(targets: np.ndarray, n: int, k: int) -> np.ndarray:
+        targets = np.asarray(targets)
+        if targets.ndim == 1:
+            if targets.shape[0] != n:
+                raise ValueError(
+                    f"targets length {targets.shape[0]} does not match batch {n}"
+                )
+            if targets.min() < 0 or targets.max() >= k:
+                raise ValueError("integer targets out of range for logits width")
+            one_hot = np.zeros((n, k), dtype=float)
+            one_hot[np.arange(n), targets.astype(int)] = 1.0
+            return one_hot
+        if targets.shape != (n, k):
+            raise ValueError(
+                f"one-hot targets must have shape ({n}, {k}), got {targets.shape}"
+            )
+        return np.asarray(targets, dtype=float)
+
+
+class MultiHeadLoss(Loss):
+    """Weighted sum of per-head losses over a concatenated logit vector.
+
+    NObLe predicts several label groups at once — building, floor, fine
+    cell, coarse cell — from one output layer.  ``heads`` maps a head name
+    to ``(slice, loss, weight)``; forward slices the logits/targets per
+    head and sums ``weight * loss``.  backward re-assembles the full
+    gradient in logit order.
+    """
+
+    def __init__(self, heads: "dict[str, tuple[slice, Loss, float]]"):
+        if not heads:
+            raise ValueError("MultiHeadLoss needs at least one head")
+        self.heads = dict(heads)
+        self._cache: tuple | None = None
+        self.last_per_head: dict[str, float] = {}
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        total = 0.0
+        self.last_per_head = {}
+        for name, (sl, loss, weight) in self.heads.items():
+            value = loss.forward(logits[:, sl], targets[:, sl])
+            self.last_per_head[name] = value
+            total += weight * value
+        self._cache = (logits.shape,)
+        return float(total)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        (shape,) = self._cache
+        grad = np.zeros(shape, dtype=float)
+        for _name, (sl, loss, weight) in self.heads.items():
+            grad[:, sl] += weight * loss.backward()
+        return grad

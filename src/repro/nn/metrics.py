@@ -1,0 +1,54 @@
+"""Classification metrics shared by the training and evaluation code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the target.
+
+    ``scores`` is (N, K) logits or probabilities; ``targets`` is either an
+    integer vector of class ids or a one-/multi-hot matrix (argmax taken).
+    """
+    scores = np.asarray(scores)
+    predicted = scores.argmax(axis=1)
+    targets = np.asarray(targets)
+    if targets.ndim == 2:
+        targets = targets.argmax(axis=1)
+    if len(predicted) != len(targets):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs {len(targets)} targets"
+        )
+    if len(targets) == 0:
+        return float("nan")
+    return float(np.mean(predicted == targets))
+
+
+def top_k_accuracy(scores: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose target is among the k highest scores."""
+    scores = np.asarray(scores)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, scores.shape[1])
+    targets = np.asarray(targets)
+    if targets.ndim == 2:
+        targets = targets.argmax(axis=1)
+    top_k = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    hits = (top_k == targets[:, None]).any(axis=1)
+    if len(hits) == 0:
+        return float("nan")
+    return float(np.mean(hits))
+
+
+def confusion_counts(
+    predicted: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """(num_classes, num_classes) matrix with rows = true, cols = predicted."""
+    predicted = np.asarray(predicted, dtype=int)
+    targets = np.asarray(targets, dtype=int)
+    if predicted.shape != targets.shape:
+        raise ValueError("predicted and targets must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (targets, predicted), 1)
+    return matrix

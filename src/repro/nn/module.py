@@ -1,0 +1,184 @@
+"""Module and Parameter containers for the numpy NN framework."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor: a value array plus an accumulated gradient.
+
+    Layers register their parameters as attributes; optimizers update
+    ``data`` in place using ``grad``, which is zeroed between steps by
+    :meth:`Optimizer.zero_grad`.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=float)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement ``forward(x)`` and ``backward(grad_output)``.
+    ``backward`` must accumulate parameter gradients (``p.grad += ...``)
+    and return the gradient with respect to the layer input so containers
+    can chain layers.  Train/eval mode is toggled with :meth:`train` /
+    :meth:`eval`; only layers with distinct behaviours (dropout,
+    batchnorm) consult ``self.training``.
+    """
+
+    def __init__(self):
+        self.training = True
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+
+    # -- attribute registration -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- interface to implement -------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- traversal ---------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children."""
+        yield from self._parameters.values()
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+    # -- state dict ---------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Flat name → array mapping of parameter values and buffers."""
+        state = OrderedDict(
+            (name, param.data.copy()) for name, param in self.named_parameters()
+        )
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: "dict[str, np.ndarray]") -> None:
+        """Copy values from ``state`` into matching parameters/buffers."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers_refs())
+        for name, value in state.items():
+            value = np.asarray(value, dtype=float)
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{params[name].data.shape} vs {value.shape}"
+                    )
+                params[name].data[...] = value
+            elif name in buffers:
+                holder, attr = buffers[name]
+                getattr(holder, attr)[...] = value
+            else:
+                raise KeyError(f"unexpected key in state dict: {name!r}")
+
+    # -- buffers (non-trainable running state, e.g. batchnorm stats) ---------------
+    _buffer_names: tuple = ()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for attr in self._buffer_names:
+            yield (f"{prefix}{attr}", getattr(self, attr))
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def named_buffers_refs(self, prefix: str = "") -> Iterator[tuple[str, tuple]]:
+        for attr in self._buffer_names:
+            yield (f"{prefix}{attr}", (self, attr))
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers_refs(prefix=f"{prefix}{child_name}.")
+
+
+class Sequential(Module):
+    """Chain layers so that each forward feeds the next.
+
+    ``backward`` replays the chain in reverse.  Layers are exposed as
+    ``seq[i]`` and iterated in order.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers = list(layers)
+        for index, layer in enumerate(self._layers):
+            setattr(self, f"layer{index}", layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        index = len(self._layers)
+        self._layers.append(layer)
+        setattr(self, f"layer{index}", layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self._layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers)

@@ -1,0 +1,26 @@
+"""Persist model parameters to .npz archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(model: Module, path: "str | os.PathLike") -> None:
+    """Write the model's state dict to ``path`` as a compressed .npz.
+
+    Parameter names containing dots are preserved as archive keys.
+    """
+    state = model.state_dict()
+    np.savez_compressed(path, **{name: value for name, value in state.items()})
+
+
+def load_state(model: Module, path: "str | os.PathLike") -> Module:
+    """Load a state dict saved by :func:`save_state` into ``model``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,141 @@
+"""A training loop with history tracking and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import DataLoader
+from repro.nn.losses import Loss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import LRScheduler
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records produced by :class:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+
+class Trainer:
+    """Drive epochs of forward/backward/step over a :class:`DataLoader`.
+
+    The model must be a Module whose ``backward`` chains back to its
+    input (e.g. :class:`Sequential` or a custom composite).  Early
+    stopping restores the best-validation-loss parameters when
+    ``restore_best`` is set.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss: Loss,
+        optimizer: Optimizer,
+        scheduler: "LRScheduler | None" = None,
+        grad_clip: "float | None" = None,
+    ):
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError(f"grad_clip must be positive, got {grad_clip}")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.grad_clip = grad_clip
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        epochs: int,
+        val_loader: "DataLoader | None" = None,
+        patience: "int | None" = None,
+        restore_best: bool = True,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs; stop early after ``patience``
+        epochs without validation improvement (requires ``val_loader``)."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if patience is not None and val_loader is None:
+            raise ValueError("early stopping (patience) requires a val_loader")
+        history = TrainingHistory()
+        best_val = float("inf")
+        best_state = None
+        stale = 0
+        for epoch in range(epochs):
+            train_loss = self.train_epoch(train_loader)
+            history.train_loss.append(train_loss)
+            history.lr.append(self.optimizer.lr)
+            if val_loader is not None:
+                val_loss = self.evaluate(val_loader)
+                history.val_loss.append(val_loss)
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    stale = 0
+                    if restore_best:
+                        best_state = self.model.state_dict()
+                else:
+                    stale += 1
+                if verbose:  # pragma: no cover - console output
+                    print(
+                        f"epoch {epoch + 1}/{epochs} "
+                        f"train={train_loss:.5f} val={val_loss:.5f}"
+                    )
+                if patience is not None and stale > patience:
+                    break
+            elif verbose:  # pragma: no cover
+                print(f"epoch {epoch + 1}/{epochs} train={train_loss:.5f}")
+            if self.scheduler is not None:
+                self.scheduler.step()
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        """One pass over ``loader`` in training mode; returns mean loss."""
+        self.model.train()
+        total, count = 0.0, 0
+        for batch in loader:
+            inputs, targets = batch[0], batch[1]
+            self.optimizer.zero_grad()
+            outputs = self.model(inputs)
+            loss_value = self.loss.forward(outputs, targets)
+            grad = self.loss.backward()
+            self.model.backward(grad)
+            if self.grad_clip is not None:
+                self._clip_gradients()
+            self.optimizer.step()
+            total += loss_value * len(inputs)
+            count += len(inputs)
+        return total / max(count, 1)
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Mean loss over ``loader`` in eval mode (no parameter updates)."""
+        self.model.eval()
+        total, count = 0.0, 0
+        for batch in loader:
+            inputs, targets = batch[0], batch[1]
+            outputs = self.model(inputs)
+            total += self.loss.forward(outputs, targets) * len(inputs)
+            count += len(inputs)
+        return total / max(count, 1)
+
+    def _clip_gradients(self) -> None:
+        norm_sq = sum(float(np.sum(p.grad**2)) for p in self.optimizer.parameters)
+        norm = np.sqrt(norm_sq)
+        if norm > self.grad_clip:
+            scale = self.grad_clip / (norm + 1e-12)
+            for param in self.optimizer.parameters:
+                param.grad *= scale

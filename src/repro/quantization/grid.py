@@ -1,0 +1,159 @@
+"""Single-resolution square-grid quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_fitted, check_positive
+
+
+class GridQuantizer:
+    """Quantize 2-D coordinates into τ-sided square grid classes.
+
+    Following §III-B: the space is divided into non-overlapping square
+    grids with side length ``tau``; each grid cell observed in the
+    training data receives a dense class id; cells with no data points
+    are discarded (they correspond to inaccessible space and never become
+    predictable classes).  Inference maps a class id back to the cell's
+    representative coordinates.
+
+    Parameters
+    ----------
+    tau:
+        Grid side length in the coordinate units (meters in the paper;
+        τ < 0.2 m for Wi-Fi, 0.4 m for IMU).
+    representative:
+        ``"center"`` returns the geometric center of the cell;
+        ``"centroid"`` returns the mean of the training points that fell
+        in the cell (slightly more faithful where cells are sparsely and
+        unevenly populated).
+
+    Attributes
+    ----------
+    classes_:
+        (K, 2) integer cell coordinates per dense class id.
+    centroids_:
+        (K, 2) representative coordinates returned at inference.
+    counts_:
+        (K,) training points per class — the sparsity diagnostic that
+        motivates the multi-resolution variant.
+    """
+
+    def __init__(self, tau: float, representative: str = "center"):
+        check_positive(tau, "tau")
+        if representative not in ("center", "centroid"):
+            raise ValueError(f"unknown representative {representative!r}")
+        self.tau = float(tau)
+        self.representative = representative
+        self.origin_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+        self.centroids_: np.ndarray | None = None
+        self.counts_: np.ndarray | None = None
+        self._cell_to_class: dict[tuple[int, int], int] | None = None
+
+    # ------------------------------------------------------------------ fitting
+    def fit(self, coordinates: np.ndarray) -> "GridQuantizer":
+        """Learn the populated cells (and class ids) from training coordinates."""
+        coords = self._check_coords(coordinates)
+        self.origin_ = coords.min(axis=0)
+        cells = self._cells_for(coords)
+        unique_cells, inverse, counts = np.unique(
+            cells, axis=0, return_inverse=True, return_counts=True
+        )
+        self.classes_ = unique_cells
+        self.counts_ = counts
+        self._cell_to_class = {
+            (int(cx), int(cy)): int(class_id)
+            for class_id, (cx, cy) in enumerate(unique_cells)
+        }
+        if self.representative == "center":
+            self.centroids_ = (unique_cells + 0.5) * self.tau + self.origin_
+        else:
+            sums = np.zeros((len(unique_cells), 2))
+            np.add.at(sums, inverse, coords)
+            self.centroids_ = sums / counts[:, None]
+        return self
+
+    def fit_transform(self, coordinates: np.ndarray) -> np.ndarray:
+        """Fit and return the class id of every training coordinate."""
+        self.fit(coordinates)
+        return self.transform(coordinates)
+
+    # ---------------------------------------------------------------- transform
+    def transform(self, coordinates: np.ndarray, strict: bool = True) -> np.ndarray:
+        """Class ids for coordinates.
+
+        ``strict=True`` raises if any coordinate falls in a cell that had
+        no training data; ``strict=False`` assigns the nearest populated
+        cell instead (useful for labelling noisy validation points).
+        """
+        check_fitted(self, "classes_")
+        coords = self._check_coords(coordinates)
+        cells = self._cells_for(coords)
+        out = np.empty(len(coords), dtype=int)
+        misses = []
+        for i, (cx, cy) in enumerate(cells):
+            class_id = self._cell_to_class.get((int(cx), int(cy)))
+            if class_id is None:
+                misses.append(i)
+                out[i] = -1
+            else:
+                out[i] = class_id
+        if misses:
+            if strict:
+                raise ValueError(
+                    f"{len(misses)} coordinate(s) fall outside all populated "
+                    "cells; pass strict=False to snap them to the nearest class"
+                )
+            out[misses] = self._nearest_class(coords[misses])
+        return out
+
+    def inverse_transform(self, class_ids: np.ndarray) -> np.ndarray:
+        """Representative coordinates for class ids (the paper's lookup)."""
+        check_fitted(self, "centroids_")
+        ids = np.asarray(class_ids, dtype=int)
+        if ids.ndim != 1:
+            ids = ids.ravel()
+        if ids.min(initial=0) < 0 or ids.max(initial=-1) >= len(self.centroids_):
+            bad = ids[(ids < 0) | (ids >= len(self.centroids_))]
+            raise ValueError(f"class ids out of range: {bad[:5]}...")
+        return self.centroids_[ids]
+
+    # ------------------------------------------------------------------- info
+    @property
+    def n_classes(self) -> int:
+        check_fitted(self, "classes_")
+        return len(self.classes_)
+
+    def quantization_error(self, coordinates: np.ndarray) -> np.ndarray:
+        """Distance from each coordinate to its cell representative —
+        the floor on achievable position error for a perfect classifier."""
+        ids = self.transform(coordinates, strict=False)
+        return np.linalg.norm(
+            self._check_coords(coordinates) - self.centroids_[ids], axis=1
+        )
+
+    def cell_of(self, class_id: int) -> tuple[int, int]:
+        """Integer cell coordinates of a class id."""
+        check_fitted(self, "classes_")
+        cx, cy = self.classes_[int(class_id)]
+        return int(cx), int(cy)
+
+    def class_of_cell(self, cell: tuple[int, int]) -> "int | None":
+        """Dense class id for integer cell coordinates, or None if empty."""
+        check_fitted(self, "classes_")
+        return self._cell_to_class.get((int(cell[0]), int(cell[1])))
+
+    # ----------------------------------------------------------------- helpers
+    def _check_coords(self, coordinates: np.ndarray) -> np.ndarray:
+        coords = check_2d(coordinates, "coordinates")
+        if coords.shape[1] != 2:
+            raise ValueError(f"coordinates must be (N, 2), got {coords.shape}")
+        return coords
+
+    def _cells_for(self, coords: np.ndarray) -> np.ndarray:
+        return np.floor((coords - self.origin_) / self.tau).astype(int)
+
+    def _nearest_class(self, coords: np.ndarray) -> np.ndarray:
+        diffs = coords[:, None, :] - self.centroids_[None, :, :]
+        return np.argmin(np.sum(diffs**2, axis=-1), axis=1)

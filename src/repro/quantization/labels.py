@@ -1,0 +1,92 @@
+"""Multi-hot label encodings and adjacency augmentation (§III-B).
+
+The paper combats fine-grid class sparsity by assigning each sample the
+classes *adjacent* to its true cell in addition to the cell itself,
+turning the problem into genuine multi-label classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.grid import GridQuantizer
+
+
+def multi_hot(class_ids: np.ndarray, num_classes: int) -> np.ndarray:
+    """(N, num_classes) float multi-hot matrix from integer ids.
+
+    ``class_ids`` may be (N,) for single labels or a list of id-arrays
+    for pre-augmented multi-labels.
+    """
+    if num_classes <= 0:
+        raise ValueError(f"num_classes must be positive, got {num_classes}")
+    if isinstance(class_ids, np.ndarray) and class_ids.ndim == 1:
+        n = len(class_ids)
+        out = np.zeros((n, num_classes), dtype=float)
+        ids = class_ids.astype(int)
+        if len(ids) and (ids.min() < 0 or ids.max() >= num_classes):
+            raise ValueError("class ids out of range")
+        out[np.arange(n), ids] = 1.0
+        return out
+    out = np.zeros((len(class_ids), num_classes), dtype=float)
+    for row, ids in enumerate(class_ids):
+        ids = np.asarray(ids, dtype=int)
+        if len(ids) and (ids.min() < 0 or ids.max() >= num_classes):
+            raise ValueError(f"class ids out of range in row {row}")
+        out[row, ids] = 1.0
+    return out
+
+
+def adjacent_cells(cell: tuple[int, int], include_diagonal: bool = True):
+    """The 4- or 8-neighborhood of an integer grid cell (cell excluded)."""
+    cx, cy = int(cell[0]), int(cell[1])
+    if include_diagonal:
+        offsets = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+    else:
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    return [(cx + dx, cy + dy) for dx, dy in offsets]
+
+
+def augment_with_adjacency(
+    quantizer: GridQuantizer,
+    class_ids: np.ndarray,
+    include_diagonal: bool = True,
+) -> list[np.ndarray]:
+    """For each sample, its class id plus the ids of populated adjacent cells.
+
+    Empty neighbors (inaccessible space) contribute nothing — exactly the
+    paper's mechanism for keeping dead space out of the label set.
+    """
+    result = []
+    for class_id in np.asarray(class_ids, dtype=int):
+        ids = [int(class_id)]
+        for cell in adjacent_cells(quantizer.cell_of(class_id), include_diagonal):
+            neighbor_id = quantizer.class_of_cell(cell)
+            if neighbor_id is not None:
+                ids.append(neighbor_id)
+        result.append(np.array(sorted(set(ids)), dtype=int))
+    return result
+
+
+def soft_multi_hot(
+    quantizer: GridQuantizer,
+    class_ids: np.ndarray,
+    adjacency_weight: float = 0.3,
+    include_diagonal: bool = True,
+) -> np.ndarray:
+    """Multi-hot targets with 1.0 on the true cell and ``adjacency_weight``
+    on populated adjacent cells — a softened version of
+    :func:`augment_with_adjacency` that keeps the true cell dominant."""
+    if not 0.0 <= adjacency_weight <= 1.0:
+        raise ValueError(
+            f"adjacency_weight must be in [0, 1], got {adjacency_weight}"
+        )
+    ids = np.asarray(class_ids, dtype=int)
+    out = np.zeros((len(ids), quantizer.n_classes), dtype=float)
+    for row, class_id in enumerate(ids):
+        for cell in adjacent_cells(quantizer.cell_of(class_id), include_diagonal):
+            neighbor_id = quantizer.class_of_cell(cell)
+            if neighbor_id is not None:
+                out[row, neighbor_id] = adjacency_weight
+        out[row, class_id] = 1.0
+    return out

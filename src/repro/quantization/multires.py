@@ -1,0 +1,69 @@
+"""Two-resolution quantization: fine cells τ and coarse cells l (§III-B).
+
+Each sample becomes ``(s, c, r, (x, y))`` where ``c`` is the fine class
+and ``r`` the coarse class.  The coarse head gives the classifier a
+denser, easier target that regularizes the sparse fine head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.grid import GridQuantizer
+from repro.utils.validation import check_fitted, check_positive
+
+
+class MultiResolutionQuantizer:
+    """A fine (τ) and a coarse (l > τ) :class:`GridQuantizer` pair."""
+
+    def __init__(self, tau: float, coarse: float, representative: str = "center"):
+        check_positive(tau, "tau")
+        check_positive(coarse, "coarse")
+        if coarse <= tau:
+            raise ValueError(
+                f"coarse side length must exceed tau, got coarse={coarse} <= tau={tau}"
+            )
+        self.fine = GridQuantizer(tau, representative=representative)
+        self.coarse = GridQuantizer(coarse, representative=representative)
+
+    def fit(self, coordinates: np.ndarray) -> "MultiResolutionQuantizer":
+        self.fine.fit(coordinates)
+        self.coarse.fit(coordinates)
+        return self
+
+    def transform(
+        self, coordinates: np.ndarray, strict: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (fine_ids, coarse_ids) for coordinates."""
+        return (
+            self.fine.transform(coordinates, strict=strict),
+            self.coarse.transform(coordinates, strict=strict),
+        )
+
+    def fit_transform(self, coordinates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        self.fit(coordinates)
+        return self.transform(coordinates)
+
+    def inverse_transform(self, fine_ids: np.ndarray) -> np.ndarray:
+        """Position lookup always uses the fine resolution (the paper
+        reads coordinates off the fine class's centroid)."""
+        return self.fine.inverse_transform(fine_ids)
+
+    @property
+    def n_fine(self) -> int:
+        check_fitted(self.fine, "classes_")
+        return self.fine.n_classes
+
+    @property
+    def n_coarse(self) -> int:
+        check_fitted(self.coarse, "classes_")
+        return self.coarse.n_classes
+
+    def coarse_of_fine(self) -> np.ndarray:
+        """Map each fine class to the coarse class containing its centroid.
+
+        Useful for consistency checks: a prediction whose fine and coarse
+        heads disagree is suspect.
+        """
+        check_fitted(self.fine, "centroids_")
+        return self.coarse.transform(self.fine.centroids_, strict=False)

@@ -1,0 +1,34 @@
+"""Application 2: device tracking using IMUs (paper §V).
+
+:class:`NObLeTracker` is the paper's three-module network (projection →
+displacement → location).  Baselines: :class:`DeepRegressionTracker`
+(Table III's Deep Regression), :class:`DeadReckoningTracker` (pure
+physics), and :class:`MapCorrectedTracker` (the [8]-style turn-snapping
+heuristic).
+"""
+
+from repro.tracking.network import TrackerNetwork
+from repro.tracking.noble_imu import NObLeTracker
+from repro.tracking.regression import DeepRegressionTracker
+from repro.tracking.dead_reckoning import DeadReckoningTracker, dead_reckon, pdr_track
+from repro.tracking.map_correction import MapCorrectedTracker
+from repro.tracking.distance_ml import MLDistanceTracker
+from repro.tracking.particle_filter import ParticleFilterTracker
+from repro.tracking.online import OnlineTracker, OnlineTrace
+from repro.tracking.evaluate import TrackingReport, evaluate_tracker
+
+__all__ = [
+    "TrackerNetwork",
+    "NObLeTracker",
+    "DeepRegressionTracker",
+    "DeadReckoningTracker",
+    "dead_reckon",
+    "pdr_track",
+    "MapCorrectedTracker",
+    "MLDistanceTracker",
+    "ParticleFilterTracker",
+    "OnlineTracker",
+    "OnlineTrace",
+    "TrackingReport",
+    "evaluate_tracker",
+]

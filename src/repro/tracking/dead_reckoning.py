@@ -1,0 +1,160 @@
+"""Physics-only IMU tracking baselines.
+
+Two classic approaches, both of which the paper's §II/§V discussion
+expects to drift:
+
+* strapdown double integration (``dead_reckon``): rotate device-frame
+  acceleration into the world frame using the integrated gyro heading
+  and integrate twice — accumulates error quadratically;
+* pedestrian dead reckoning (``pdr_track``): step detection on the
+  vertical acceleration plus a fixed stride length and gyro-integrated
+  heading — drifts only with heading error, the basis of map-aided
+  systems like [8].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.gait import GRAVITY, IMUConfig
+from repro.data.paths import PathDataset
+from repro.utils.validation import check_fitted
+
+
+def dead_reckon(
+    imu: np.ndarray,
+    start_position: np.ndarray,
+    sample_rate_hz: float = 50.0,
+    initial_heading: float = 0.0,
+) -> np.ndarray:
+    """Strapdown double integration; returns the final position estimate.
+
+    ``imu`` is (T, 6): [ax, ay, az, gx, gy, gz] in the device frame.
+    """
+    imu = np.asarray(imu, dtype=float)
+    if imu.ndim != 2 or imu.shape[1] != 6:
+        raise ValueError(f"imu must be (T, 6), got {imu.shape}")
+    dt = 1.0 / float(sample_rate_hz)
+    heading = initial_heading + np.cumsum(imu[:, 5]) * dt
+    cos_h, sin_h = np.cos(heading), np.sin(heading)
+    ax_world = cos_h * imu[:, 0] - sin_h * imu[:, 1]
+    ay_world = sin_h * imu[:, 0] + cos_h * imu[:, 1]
+    velocity = np.cumsum(np.column_stack([ax_world, ay_world]), axis=0) * dt
+    displacement = np.sum(velocity, axis=0) * dt
+    return np.asarray(start_position, dtype=float) + displacement
+
+
+def pdr_track(
+    imu: np.ndarray,
+    start_position: np.ndarray,
+    sample_rate_hz: float = 50.0,
+    stride_length: float = 0.78,
+    initial_heading: float = 0.0,
+    step_threshold: float = 1.0,
+    min_step_interval_s: float = 0.35,
+) -> np.ndarray:
+    """Pedestrian dead reckoning; returns (n_steps+1, 2) track positions.
+
+    Steps are vertical-acceleration peaks above ``gravity +
+    step_threshold`` separated by at least ``min_step_interval_s``; each
+    step advances ``stride_length`` along the gyro-integrated heading.
+    """
+    imu = np.asarray(imu, dtype=float)
+    if imu.ndim != 2 or imu.shape[1] != 6:
+        raise ValueError(f"imu must be (T, 6), got {imu.shape}")
+    dt = 1.0 / float(sample_rate_hz)
+    heading = initial_heading + np.cumsum(imu[:, 5]) * dt
+    vertical = imu[:, 2] - GRAVITY
+    min_gap = max(1, int(min_step_interval_s * sample_rate_hz))
+
+    positions = [np.asarray(start_position, dtype=float)]
+    last_step = -min_gap
+    for t in range(1, len(imu) - 1):
+        is_peak = (
+            vertical[t] > step_threshold
+            and vertical[t] >= vertical[t - 1]
+            and vertical[t] >= vertical[t + 1]
+        )
+        if is_peak and t - last_step >= min_gap:
+            last_step = t
+            step = stride_length * np.array(
+                [np.cos(heading[t]), np.sin(heading[t])]
+            )
+            positions.append(positions[-1] + step)
+    return np.array(positions)
+
+
+class DeadReckoningTracker:
+    """Adapter exposing the physics baselines through the tracker API.
+
+    Works on *raw* walk segments (held by the caller), since featurized
+    path vectors destroy the temporal integrity integration needs.
+
+    Parameters
+    ----------
+    raw_segments:
+        (S, T, 6) raw IMU segments aligned with a PathDataset's pooled
+        segment indexing.
+    method:
+        ``"pdr"`` (default) or ``"integration"``.
+    """
+
+    def __init__(
+        self,
+        raw_segments: np.ndarray,
+        method: str = "pdr",
+        config: "IMUConfig | None" = None,
+        initial_headings: "np.ndarray | None" = None,
+    ):
+        if method not in ("pdr", "integration"):
+            raise ValueError(f"method must be 'pdr' or 'integration', got {method!r}")
+        self.raw_segments = np.asarray(raw_segments, dtype=float)
+        if self.raw_segments.ndim != 3 or self.raw_segments.shape[2] != 6:
+            raise ValueError(
+                f"raw_segments must be (S, T, 6), got {self.raw_segments.shape}"
+            )
+        self.method = method
+        self.config = config or IMUConfig()
+        self.initial_headings = initial_headings
+        self._fitted = True
+
+    def fit(self, data: PathDataset) -> "DeadReckoningTracker":
+        """No learning; validates the segment store covers the dataset."""
+        max_index = max(
+            int(p.segment_indices.max()) for p in data.paths if p.length > 0
+        )
+        if max_index >= len(self.raw_segments):
+            raise ValueError(
+                "raw_segments store is smaller than the dataset's segment index space"
+            )
+        return self
+
+    def predict_coordinates(self, data: PathDataset, indices: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_fitted")
+        out = np.empty((len(indices), 2))
+        for row, index in enumerate(np.asarray(indices, dtype=int)):
+            path = data.paths[int(index)]
+            imu = self.raw_segments[path.segment_indices].reshape(-1, 6)
+            heading = (
+                float(self.initial_headings[path.start_reference])
+                if self.initial_headings is not None
+                else 0.0
+            )
+            if self.method == "integration":
+                out[row] = dead_reckon(
+                    imu,
+                    path.start_position,
+                    sample_rate_hz=self.config.sample_rate_hz,
+                    initial_heading=heading,
+                )
+            else:
+                track = pdr_track(
+                    imu,
+                    path.start_position,
+                    sample_rate_hz=self.config.sample_rate_hz,
+                    stride_length=self.config.speed_mps
+                    / self.config.step_frequency_hz,
+                    initial_heading=heading,
+                )
+                out[row] = track[-1]
+        return out

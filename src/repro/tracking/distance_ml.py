@@ -1,0 +1,133 @@
+"""Coarse-grained ML tracking in the spirit of [8] (Gonzalez et al.).
+
+[8] predicts per-window travel quantities with classical ML ("nearest
+neighbors and random forest regression to predict the travel distance")
+and chains them along the walk.  Our comparator predicts each segment's
+motion in its own heading frame — (forward, lateral) displacement plus
+heading change — with a random forest (or kNN), then integrates:
+
+    θ_{i+1} = θ_i + Δθ̂_i
+    p_{i+1} = p_i + R(θ_i) · v̂_i
+
+Heading-frame targets make the regression pose-invariant, which is what
+lets a *coarse-grained* model work at all; drift still accumulates with
+path length, which is why [8] needs its map-snapping rule (see
+:class:`repro.tracking.map_correction.MapCorrectedTracker`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.imu import WalkRecording
+from repro.data.paths import PathDataset, featurize_segment
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn_regressor import KNNRegressor
+from repro.utils.validation import check_fitted
+
+
+class MLDistanceTracker:
+    """Per-segment motion regression chained into an end-position estimate.
+
+    Parameters
+    ----------
+    model:
+        ``"forest"`` (default) or ``"knn"``.
+    downsample:
+        Featurization decimation — must match the PathDataset the
+        tracker is evaluated against.
+    """
+
+    def __init__(
+        self,
+        model: str = "forest",
+        downsample: int = 16,
+        n_estimators: int = 40,
+        max_depth: "int | None" = 12,
+        k: int = 5,
+        seed=0,
+    ):
+        if model not in ("forest", "knn"):
+            raise ValueError(f"model must be 'forest' or 'knn', got {model!r}")
+        self.model_kind = model
+        self.downsample = int(downsample)
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.k = int(k)
+        self.seed = seed
+        self.regressor_ = None
+        self._features: "np.ndarray | None" = None
+
+    def fit_walks(self, walks: "list[WalkRecording]") -> "MLDistanceTracker":
+        """Train on every recorded segment's (features → motion) pair."""
+        if not walks:
+            raise ValueError("need at least one walk")
+        features, targets = [], []
+        for walk in walks:
+            if walk.headings is None:
+                raise ValueError("walks must carry headings (see WalkRecording)")
+            for i in range(walk.n_segments):
+                features.append(
+                    featurize_segment(walk.segments[i], downsample=self.downsample)
+                )
+                theta = walk.headings[i]
+                delta = walk.references[i + 1] - walk.references[i]
+                # rotate the world displacement into the segment's frame
+                cos_t, sin_t = np.cos(-theta), np.sin(-theta)
+                local = np.array(
+                    [
+                        cos_t * delta[0] - sin_t * delta[1],
+                        sin_t * delta[0] + cos_t * delta[1],
+                    ]
+                )
+                dtheta = _wrap_angle(walk.headings[i + 1] - theta)
+                targets.append(np.array([local[0], local[1], dtheta]))
+        x = np.array(features)
+        y = np.array(targets)
+        self._features = x
+        if self.model_kind == "forest":
+            self.regressor_ = RandomForestRegressor(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                rng=self.seed,
+            )
+        else:
+            self.regressor_ = KNNRegressor(k=self.k, weights="distance")
+        self.regressor_.fit(x, y)
+        return self
+
+    def fit(self, data: PathDataset) -> "MLDistanceTracker":
+        """Tracker-API compatibility: validates the feature store matches."""
+        check_fitted(self, "regressor_")
+        if data.feature_dim != self._features.shape[1]:
+            raise ValueError(
+                "PathDataset featurization does not match this tracker's "
+                f"downsample: {data.feature_dim} vs {self._features.shape[1]}"
+            )
+        return self
+
+    def predict_coordinates(self, data: PathDataset, indices: np.ndarray) -> np.ndarray:
+        check_fitted(self, "regressor_")
+        out = np.empty((len(indices), 2))
+        for row, index in enumerate(np.asarray(indices, dtype=int)):
+            path = data.paths[int(index)]
+            features = data.segment_features[path.segment_indices]
+            motion = self.regressor_.predict(features)
+            if motion.ndim == 1:
+                motion = motion[None, :]
+            position = path.start_position.astype(float).copy()
+            theta = float(path.start_heading)
+            for vx, vy, dtheta in motion:
+                cos_t, sin_t = np.cos(theta), np.sin(theta)
+                position += np.array(
+                    [cos_t * vx - sin_t * vy, sin_t * vx + cos_t * vy]
+                )
+                theta += dtheta
+            out[row] = position
+        return out
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap to (-π, π]."""
+    wrapped = (angle + np.pi) % (2.0 * np.pi) - np.pi
+    return float(wrapped)

@@ -1,0 +1,68 @@
+"""Evaluation harness for IMU trackers (Table III rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.paths import PathDataset
+from repro.metrics.errors import ErrorSummary, position_errors, summarize_errors
+
+
+@dataclass
+class TrackingReport:
+    """One evaluated tracker: end-position error summary."""
+
+    name: str
+    errors: ErrorSummary
+    structure_score: "float | None" = None
+
+    def row(self) -> str:
+        parts = [
+            f"{self.name:<28s}",
+            f"{self.errors.mean:8.2f}",
+            f"{self.errors.median:8.2f}",
+        ]
+        if self.structure_score is not None:
+            parts.append(f"{100 * self.structure_score:9.1f}%")
+        return " ".join(parts)
+
+
+def evaluate_tracker(
+    name: str,
+    model,
+    data: PathDataset,
+    indices: "np.ndarray | None" = None,
+    route_nodes: "np.ndarray | None" = None,
+    on_route_tolerance: float = 3.0,
+) -> TrackingReport:
+    """Evaluate a fitted tracker on the paths at ``indices`` (test split
+    by default).  When ``route_nodes`` is given, a structure score is
+    computed: the fraction of predictions within ``on_route_tolerance``
+    meters of the route polyline's vertices or edges (quantifying the
+    Fig. 5(c)/(d) comparison)."""
+    if indices is None:
+        indices = data.test_indices
+    predicted = model.predict_coordinates(data, indices)
+    truth = data.end_positions(indices)
+    report = TrackingReport(
+        name=name, errors=summarize_errors(position_errors(predicted, truth))
+    )
+    if route_nodes is not None:
+        report.structure_score = _near_route_fraction(
+            predicted, np.asarray(route_nodes, dtype=float), on_route_tolerance
+        )
+    return report
+
+
+def _near_route_fraction(
+    points: np.ndarray, references: np.ndarray, tolerance: float
+) -> float:
+    """Fraction of points within ``tolerance`` of any reference location."""
+    if len(references) == 0:
+        return float("nan")
+    distances = np.linalg.norm(
+        points[:, None, :] - references[None, :, :], axis=-1
+    ).min(axis=1)
+    return float(np.mean(distances <= tolerance))

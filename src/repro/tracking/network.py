@@ -1,0 +1,231 @@
+"""The paper's Fig. 5(a) network as a single composite Module.
+
+Input per sample (one flat vector, assembled by
+:class:`repro.data.paths.PaddedPathDataset`):
+
+    [ padded segment features (max_len × feat) | start encoding (S) ]
+
+Forward:
+  projection:  shared Linear+Tanh applied to every segment g_i
+  displacement: MLP over the concatenated projections → vector V ∈ R²
+  head:        MLP over [V | start encoding] → classification logits
+               (NObLe) or coordinates (Deep Regression baseline)
+
+Output per sample: ``[head output | V]`` so a MultiHeadLoss can
+supervise both the end-location head and (optionally) the displacement
+vector.  backward() routes gradients through both paths: the head's
+gradient w.r.t. V is *added* to any direct supervision gradient on V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.batchnorm import BatchNorm1d
+from repro.nn.layers import Linear, Tanh
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import ensure_rng
+
+
+class TrackerNetwork(Module):
+    """Projection + displacement + location modules (Fig. 5(a)).
+
+    Parameters
+    ----------
+    max_len:
+        Maximum number of path segments (50 in the paper); shorter paths
+        arrive zero-padded and are masked out after projection.
+    feature_dim:
+        Flattened per-segment feature size.
+    start_dim:
+        Width of the start-position encoding (one-hot location class).
+    head_dim:
+        Output width of the location head: number of location classes
+        for NObLe, 2 for the regression baseline.
+    projection_dim, hidden:
+        Projection embedding size and MLP width.
+    """
+
+    def __init__(
+        self,
+        max_len: int,
+        feature_dim: int,
+        start_dim: int,
+        head_dim: int,
+        projection_dim: int = 16,
+        hidden: int = 128,
+        rng=None,
+    ):
+        super().__init__()
+        for name, value in [
+            ("max_len", max_len),
+            ("feature_dim", feature_dim),
+            ("start_dim", start_dim),
+            ("head_dim", head_dim),
+            ("projection_dim", projection_dim),
+            ("hidden", hidden),
+        ]:
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        rng = ensure_rng(rng)
+        self.max_len = int(max_len)
+        self.feature_dim = int(feature_dim)
+        self.start_dim = int(start_dim)
+        self.head_dim = int(head_dim)
+        self.projection_dim = int(projection_dim)
+        self.hidden = int(hidden)
+
+        self.projection = Linear(feature_dim, projection_dim, rng=rng)
+        self.projection_act = Tanh()
+        self.displacement = Sequential(
+            Linear(max_len * projection_dim, hidden, rng=rng),
+            BatchNorm1d(hidden),
+            Tanh(),
+            Linear(hidden, hidden, rng=rng),
+            BatchNorm1d(hidden),
+            Tanh(),
+            Linear(hidden, 2, rng=rng),
+        )
+        self.location = Sequential(
+            Linear(2 + start_dim, hidden, rng=rng),
+            BatchNorm1d(hidden),
+            Tanh(),
+            Linear(hidden, head_dim, rng=rng),
+        )
+        self._cache: tuple | None = None
+        self._backbone_frozen = False
+
+    # -- backbone freezing (for the §V-B plug-in transfer) ---------------------
+    def freeze_backbone(self, frozen: bool = True) -> "TrackerNetwork":
+        """Freeze the projection + displacement modules.
+
+        §V-B: "This module is not environment-specific, and a trained
+        module can be plugged into other models designed for location
+        tracking in other environments."  Freezing keeps the plugged-in
+        modules in eval mode (batchnorm statistics untouched) while the
+        location head trains on the new environment.
+        """
+        self._backbone_frozen = bool(frozen)
+        if frozen:
+            self.projection.train(False)
+            self.displacement.train(False)
+        return self
+
+    @property
+    def backbone_frozen(self) -> bool:
+        return self._backbone_frozen
+
+    def train(self, mode: bool = True) -> "TrackerNetwork":
+        super().train(mode)
+        if self._backbone_frozen and mode:
+            self.projection.train(False)
+            self.displacement.train(False)
+        return self
+
+    def head_parameters(self):
+        """Parameters of the location head only (for frozen-backbone fits)."""
+        return self.location.parameters()
+
+    def backbone_state(self) -> dict:
+        """State dict of the transferable modules (projection + displacement)."""
+        state = {}
+        for name, param in self.projection.named_parameters("projection."):
+            state[name] = param.data.copy()
+        for name, param in self.displacement.named_parameters("displacement."):
+            state[name] = param.data.copy()
+        for name, buf in self.displacement.named_buffers("displacement."):
+            state[name] = buf.copy()
+        return state
+
+    def load_backbone_state(self, state: dict) -> None:
+        """Load a backbone saved by :meth:`backbone_state`."""
+        own = {}
+        for name, param in self.projection.named_parameters("projection."):
+            own[name] = param
+        for name, param in self.displacement.named_parameters("displacement."):
+            own[name] = param
+        buffers = dict(self.displacement.named_buffers_refs("displacement."))
+        for name, value in state.items():
+            if name in own:
+                if own[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"backbone shape mismatch for {name}: "
+                        f"{own[name].data.shape} vs {value.shape}"
+                    )
+                own[name].data[...] = value
+            elif name in buffers:
+                holder, attr = buffers[name]
+                getattr(holder, attr)[...] = value
+            else:
+                raise KeyError(f"unexpected backbone key {name!r}")
+
+    @property
+    def input_dim(self) -> int:
+        return self.max_len * self.feature_dim + self.start_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self.head_dim + 2
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"TrackerNetwork expected (N, {self.input_dim}), got {x.shape}"
+            )
+        batch = x.shape[0]
+        seg_flat = x[:, : self.max_len * self.feature_dim]
+        start = x[:, self.max_len * self.feature_dim :]
+        segments = seg_flat.reshape(batch * self.max_len, self.feature_dim)
+        # padded segments are all-zero feature vectors; mask them out after
+        # projection so the projection bias cannot leak into the padding
+        mask = (
+            np.any(segments != 0.0, axis=1).astype(float).reshape(batch, self.max_len)
+        )
+        projected = self.projection_act(self.projection(segments))
+        projected = projected.reshape(batch, self.max_len, self.projection_dim)
+        projected = projected * mask[:, :, None]
+        concat = projected.reshape(batch, self.max_len * self.projection_dim)
+        displacement = self.displacement(concat)  # (N, 2)
+        head_input = np.concatenate([displacement, start], axis=1)
+        head_out = self.location(head_input)
+        self._cache = (batch, mask)
+        return np.concatenate([head_out, displacement], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        batch, mask = self._cache
+        grad_head = grad_output[:, : self.head_dim]
+        grad_v_direct = grad_output[:, self.head_dim :]
+        grad_head_input = self.location.backward(grad_head)  # (N, 2 + start)
+        grad_v = grad_head_input[:, :2] + grad_v_direct
+        grad_start = grad_head_input[:, 2:]
+        grad_concat = self.displacement.backward(grad_v)
+        grad_projected = grad_concat.reshape(batch, self.max_len, self.projection_dim)
+        grad_projected = grad_projected * mask[:, :, None]
+        grad_proj_flat = grad_projected.reshape(
+            batch * self.max_len, self.projection_dim
+        )
+        grad_segments = self.projection.backward(
+            self.projection_act.backward(grad_proj_flat)
+        )
+        grad_seg_flat = grad_segments.reshape(
+            batch, self.max_len * self.feature_dim
+        )
+        return np.concatenate([grad_seg_flat, grad_start], axis=1)
+
+    def predict_displacement(self, x: np.ndarray) -> np.ndarray:
+        """Displacement vectors only (the plug-in module of §V-B)."""
+        out = self.forward(np.asarray(x, dtype=float))
+        return out[:, self.head_dim :]
+
+    def flops_per_inference(self) -> int:
+        """FLOPs for a single sample (used by :mod:`repro.energy`)."""
+        from repro.energy.flops import count_flops
+
+        proj = 2 * self.feature_dim * self.projection_dim + self.projection_dim
+        total = self.max_len * (proj + self.projection_dim)  # + tanh
+        total += count_flops(self.displacement)
+        total += count_flops(self.location)
+        return int(total)

@@ -1,0 +1,250 @@
+"""NObLe for IMU device tracking (§V-B).
+
+Output space quantization at τ = 0.4 m over path ending locations; the
+model predicts the ending neighborhood class from (IMU sequence, start
+class); inference looks up the class centroid.  An auxiliary MSE head on
+the displacement vector supervises the displacement module directly
+(the paper describes the displacement network as predicting "the
+displacement vector of a user's travel path").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.paths import PaddedPathDataset, PathDataset, PathSample
+from repro.nn import (
+    Adam,
+    BCEWithLogitsLoss,
+    DataLoader,
+    MSELoss,
+    MultiHeadLoss,
+    Trainer,
+    TrainingHistory,
+)
+from repro.quantization.grid import GridQuantizer
+from repro.quantization.labels import multi_hot
+from repro.tracking.network import TrackerNetwork
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class NObLeTracker:
+    """The paper's IMU tracker.
+
+    Parameters
+    ----------
+    tau:
+        Quantization grid size for ending locations (0.4 m in §V-B).
+    projection_dim, hidden:
+        Network sizes (see :class:`TrackerNetwork`).
+    displacement_weight:
+        Weight of the auxiliary MSE loss on the displacement vector
+        (0 disables it; the class head still trains the whole network).
+    """
+
+    def __init__(
+        self,
+        tau: float = 0.4,
+        projection_dim: int = 16,
+        hidden: int = 128,
+        displacement_weight: float = 1.0,
+        epochs: int = 40,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        patience: int = 8,
+        seed=0,
+    ):
+        self.tau = float(tau)
+        self.projection_dim = int(projection_dim)
+        self.hidden = int(hidden)
+        self.displacement_weight = float(displacement_weight)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.patience = int(patience)
+        self.seed = seed
+
+        self.network_: "TrackerNetwork | None" = None
+        self.quantizer_: "GridQuantizer | None" = None
+        self.displacement_scale_: "float | None" = None
+        self.history_: "TrainingHistory | None" = None
+
+    # --------------------------------------------------------------- training
+    def fit(self, data: PathDataset) -> "NObLeTracker":
+        rng = ensure_rng(self.seed)
+        train_paths = data.subset(data.train_indices)
+        if not train_paths:
+            raise ValueError("PathDataset has no training paths")
+        end_positions = np.array([p.end_position for p in train_paths])
+        self.quantizer_ = GridQuantizer(self.tau).fit(end_positions)
+        n_classes = self.quantizer_.n_classes
+
+        displacements = np.array([p.displacement for p in train_paths])
+        scale = float(np.std(displacements))
+        self.displacement_scale_ = scale if scale > 0 else 1.0
+
+        self.network_ = TrackerNetwork(
+            max_len=data.max_length,
+            feature_dim=data.feature_dim,
+            start_dim=n_classes + 2,  # one-hot start class + [cos θ0, sin θ0]
+            head_dim=n_classes,
+            projection_dim=self.projection_dim,
+            hidden=self.hidden,
+            rng=rng,
+        )
+        self._apply_transfer()
+        loss = MultiHeadLoss(
+            {
+                "location": (slice(0, n_classes), BCEWithLogitsLoss(), 1.0),
+                "displacement": (
+                    slice(n_classes, n_classes + 2),
+                    MSELoss(),
+                    self.displacement_weight,
+                ),
+            }
+        )
+        trainable = (
+            self.network_.head_parameters()
+            if self.network_.backbone_frozen
+            else self.network_.parameters()
+        )
+        trainer = Trainer(self.network_, loss, Adam(trainable, lr=self.lr))
+        train_loader = DataLoader(
+            self._adapt(data, data.train_indices),
+            batch_size=self.batch_size,
+            drop_last=True,
+            rng=rng,
+        )
+        if len(data.val_indices):
+            val_loader = DataLoader(
+                self._adapt(data, data.val_indices),
+                batch_size=self.batch_size,
+                shuffle=False,
+            )
+            self.history_ = trainer.fit(
+                train_loader,
+                epochs=self.epochs,
+                val_loader=val_loader,
+                patience=self.patience,
+            )
+        else:
+            self.history_ = trainer.fit(train_loader, epochs=self.epochs)
+        return self
+
+    def _adapt(self, data: PathDataset, indices: np.ndarray) -> PaddedPathDataset:
+        n_classes = self.quantizer_.n_classes
+        scale = self.displacement_scale_
+
+        def start_encoder(path: PathSample) -> np.ndarray:
+            class_id = self.quantizer_.transform(
+                path.start_position[None, :], strict=False
+            )[0]
+            one_hot = multi_hot(np.array([class_id]), n_classes)[0]
+            heading = np.array(
+                [np.cos(path.start_heading), np.sin(path.start_heading)]
+            )
+            return np.concatenate([one_hot, heading])
+
+        def target_fn(path: PathSample) -> np.ndarray:
+            end_id = self.quantizer_.transform(
+                path.end_position[None, :], strict=False
+            )[0]
+            class_target = multi_hot(np.array([end_id]), n_classes)[0]
+            return np.concatenate([class_target, path.displacement / scale])
+
+        return PaddedPathDataset(data, indices, start_encoder, target_fn)
+
+    # --------------------------------------------------------------- transfer
+    def transfer(
+        self,
+        data: PathDataset,
+        freeze_backbone: bool = True,
+        epochs: "int | None" = None,
+        lr: "float | None" = None,
+    ) -> "NObLeTracker":
+        """Plug this tracker's displacement module into a new environment.
+
+        Reproduces §V-B's claim that the displacement network "is not
+        environment-specific": a new tracker is built for ``data`` (new
+        quantizer, new location head), the projection + displacement
+        weights are copied over, and — with ``freeze_backbone`` — only
+        the location head trains on the new environment's paths.
+
+        Returns the new fitted tracker; ``self`` is left untouched.
+        """
+        check_fitted(self, "network_")
+        target = NObLeTracker(
+            tau=self.tau,
+            projection_dim=self.projection_dim,
+            hidden=self.hidden,
+            # frozen backbone: displacement supervision would be wasted
+            displacement_weight=0.0 if freeze_backbone else self.displacement_weight,
+            epochs=epochs if epochs is not None else self.epochs,
+            batch_size=self.batch_size,
+            lr=lr if lr is not None else self.lr,
+            patience=self.patience,
+            seed=self.seed,
+        )
+        if data.feature_dim != self.network_.feature_dim:
+            raise ValueError(
+                "new environment's featurization width "
+                f"({data.feature_dim}) does not match the trained backbone "
+                f"({self.network_.feature_dim})"
+            )
+        if data.max_length != self.network_.max_len:
+            raise ValueError(
+                f"new environment's max path length ({data.max_length}) must "
+                f"match the trained backbone ({self.network_.max_len})"
+            )
+        backbone = self.network_.backbone_state()
+        # keep the source displacement normalization: the plugged-in module
+        # was trained to emit displacements on that scale
+        target._transfer_setup = (backbone, freeze_backbone, self.displacement_scale_)
+        target.fit(data)
+        return target
+
+    _transfer_setup: "tuple | None" = None
+
+    def _apply_transfer(self) -> None:
+        if self._transfer_setup is None:
+            return
+        backbone, freeze, scale = self._transfer_setup
+        self.network_.load_backbone_state(backbone)
+        if freeze:
+            self.network_.freeze_backbone(True)
+        self.displacement_scale_ = scale
+
+    # -------------------------------------------------------------- inference
+    def predict_coordinates(self, data: PathDataset, indices: np.ndarray) -> np.ndarray:
+        """End-position estimates for the paths at ``indices``."""
+        check_fitted(self, "network_")
+        classes = self.predict_classes(data, indices)
+        return self.quantizer_.inverse_transform(classes)
+
+    def predict_classes(self, data: PathDataset, indices: np.ndarray) -> np.ndarray:
+        check_fitted(self, "network_")
+        self.network_.eval()
+        adapted = self._adapt(data, indices)
+        n_classes = self.quantizer_.n_classes
+        out = np.empty(len(adapted), dtype=int)
+        for start in range(0, len(adapted), self.batch_size):
+            stop = min(start + self.batch_size, len(adapted))
+            batch = np.stack([adapted[i][0] for i in range(start, stop)])
+            logits = self.network_(batch)[:, :n_classes]
+            out[start:stop] = logits.argmax(axis=1)
+        return out
+
+    def predict_displacements(
+        self, data: PathDataset, indices: np.ndarray
+    ) -> np.ndarray:
+        """Displacement-module outputs, de-normalized to meters."""
+        check_fitted(self, "network_")
+        self.network_.eval()
+        adapted = self._adapt(data, indices)
+        out = np.empty((len(adapted), 2))
+        for start in range(0, len(adapted), self.batch_size):
+            stop = min(start + self.batch_size, len(adapted))
+            batch = np.stack([adapted[i][0] for i in range(start, stop)])
+            out[start:stop] = self.network_.predict_displacement(batch)
+        return out * self.displacement_scale_

@@ -1,0 +1,169 @@
+"""Sequential (online) tracking along a walk.
+
+The paper's path formulation predicts a single end position from a
+start position; a deployed tracker runs *continuously*: each predicted
+end becomes the next window's start.  :class:`OnlineTracker` wraps a
+fitted :class:`repro.tracking.NObLeTracker` in exactly that loop, which
+exposes the error-accumulation question the paper raises for IMU
+systems (§II: "it keeps updating previous positions, which makes it
+subject to error accumulation") — NObLe's quantized outputs re-anchor
+the state to the route, bounding drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.paths import PathDataset, PathSample
+from repro.tracking.noble_imu import NObLeTracker
+
+
+@dataclass
+class OnlineTrace:
+    """The result of tracking one walk online."""
+
+    predicted: np.ndarray
+    truth: np.ndarray
+    errors: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        self.errors = np.linalg.norm(self.predicted - self.truth, axis=1)
+
+    @property
+    def final_error(self) -> float:
+        return float(self.errors[-1])
+
+    @property
+    def max_error(self) -> float:
+        return float(self.errors.max())
+
+
+class OnlineTracker:
+    """Run a fitted NObLe tracker hop-by-hop along a walk.
+
+    Parameters
+    ----------
+    tracker:
+        A fitted :class:`NObLeTracker`.
+    hop:
+        Number of segments consumed per prediction step (each step
+        predicts the position ``hop`` references ahead, then chains).
+    """
+
+    def __init__(self, tracker: NObLeTracker, hop: int = 1):
+        if tracker.network_ is None:
+            raise ValueError("tracker must be fitted before online use")
+        if hop < 1:
+            raise ValueError(f"hop must be >= 1, got {hop}")
+        self.tracker = tracker
+        self.hop = int(hop)
+
+    def track(
+        self,
+        data: PathDataset,
+        segment_indices: np.ndarray,
+        start_position: np.ndarray,
+        start_heading: float,
+        truth: "np.ndarray | None" = None,
+    ) -> OnlineTrace:
+        """Track along ``segment_indices`` (a contiguous walk stretch).
+
+        ``truth`` is the (n_steps, 2) ground-truth position after each
+        hop; when omitted, zeros are used (errors are then meaningless
+        but the predicted trace is still valid).
+        """
+        segment_indices = np.asarray(segment_indices, dtype=int)
+        if len(segment_indices) < self.hop:
+            raise ValueError("not enough segments for a single hop")
+        steps = len(segment_indices) // self.hop
+        predicted = np.empty((steps, 2))
+        position = np.asarray(start_position, dtype=float).copy()
+        heading = float(start_heading)
+        for step in range(steps):
+            window = segment_indices[step * self.hop : (step + 1) * self.hop]
+            path = PathSample(
+                segment_indices=window,
+                start_reference=-1,
+                end_reference=-1,
+                start_position=position,
+                end_position=position,  # unknown; unused at inference
+                start_heading=heading,
+            )
+            position = self._predict_one(data, path)
+            predicted[step] = position
+            heading = self._update_heading(data, window, heading)
+        truth = (
+            np.zeros((steps, 2)) if truth is None else np.asarray(truth, float)
+        )
+        if len(truth) != steps:
+            raise ValueError(
+                f"truth must have one row per hop ({steps}), got {len(truth)}"
+            )
+        return OnlineTrace(predicted=predicted, truth=truth)
+
+    def track_path(self, data: PathDataset, path_index: int) -> OnlineTrace:
+        """Track an existing PathSample hop-by-hop with ground truth.
+
+        Requires the path's intermediate references to exist in
+        ``data.reference_positions`` (true for paths built by
+        :func:`repro.data.paths.build_path_dataset`).
+        """
+        path = data.paths[int(path_index)]
+        steps = path.length // self.hop
+        truth = np.array(
+            [
+                data.reference_positions[path.start_reference + (s + 1) * self.hop]
+                for s in range(steps)
+            ]
+        )
+        return self.track(
+            data,
+            path.segment_indices,
+            path.start_position,
+            path.start_heading,
+            truth=truth,
+        )
+
+    # ------------------------------------------------------------------ utils
+    def _predict_one(self, data: PathDataset, path: PathSample) -> np.ndarray:
+        tracker = self.tracker
+        feats = data.segment_features[path.segment_indices]
+        flat = np.zeros(data.max_length * data.feature_dim)
+        flat[: feats.size] = feats.ravel()
+        adapted = tracker._adapt(data, np.array([0]))
+        start = adapted.start_encoder(path)
+        x = np.concatenate([flat, start])[None, :]
+        tracker.network_.eval()
+        logits = tracker.network_(x)[:, : tracker.quantizer_.n_classes]
+        class_id = logits.argmax(axis=1)
+        return tracker.quantizer_.inverse_transform(class_id)[0]
+
+    def _update_heading(
+        self, data: PathDataset, window: np.ndarray, heading: float
+    ) -> float:
+        """Advance the heading estimate by the window's mean gyro-z signal.
+
+        Segment features are channel-major block means (see
+        ``featurize_segment``), so the gyro-z channel is the last block
+        group; its mean × window duration approximates Δθ.
+        """
+        feats = data.segment_features[window]
+        blocks_per_channel = data.feature_dim // 6
+        gyro_z = feats[:, 5 * blocks_per_channel :]
+        # block means already average the rate; total Δθ = mean rate × time
+        mean_rate = float(gyro_z.mean())
+        duration = self._segment_duration(data)
+        return heading + mean_rate * duration * len(window)
+
+    @staticmethod
+    def _segment_duration(data: PathDataset) -> float:
+        # features lose the absolute sample count; the simulator's
+        # protocol fixes segment duration = samples / rate.  We recover
+        # it from reference spacing at the default walking speed.
+        gaps = np.linalg.norm(
+            np.diff(data.reference_positions[:8], axis=0), axis=1
+        )
+        median_gap = float(np.median(gaps))
+        return median_gap / 1.4  # default speed in IMUConfig

@@ -1,0 +1,157 @@
+"""Particle-filter map matching — a LocMe [19]-style comparator.
+
+LocMe "exploits human locomotion and the map" by continuously
+constraining the position estimate to legal space.  The classical
+mechanism is a particle filter: particles propagate with the pedestrian
+motion model (step length + gyro heading, with noise) and are
+re-weighted by map consistency — particles that stray off the route
+lose weight and are resampled away.  End-position estimate = weighted
+particle mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.gait import GRAVITY, IMUConfig
+from repro.data.paths import PathDataset
+from repro.geometry.segments import segment_distances
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class ParticleFilterTracker:
+    """Map-constrained particle filter over raw IMU segments.
+
+    Parameters
+    ----------
+    raw_segments:
+        (S, T, 6) raw IMU segments (pooled PathDataset indexing).
+    route_segments:
+        (E, 2, 2) legal-route segments (see
+        :func:`repro.geometry.segments.route_graph_segments`).
+    n_particles:
+        Particle count.
+    map_sigma:
+        Soft map constraint: particle weight ∝ exp(−d²/2σ²) where d is
+        the distance to the route.
+    """
+
+    def __init__(
+        self,
+        raw_segments: np.ndarray,
+        route_segments: np.ndarray,
+        config: "IMUConfig | None" = None,
+        initial_headings: "np.ndarray | None" = None,
+        n_particles: int = 200,
+        map_sigma: float = 3.0,
+        step_noise: float = 0.15,
+        heading_noise: float = 0.05,
+        seed=0,
+    ):
+        self.raw_segments = np.asarray(raw_segments, dtype=float)
+        if self.raw_segments.ndim != 3 or self.raw_segments.shape[2] != 6:
+            raise ValueError(
+                f"raw_segments must be (S, T, 6), got {self.raw_segments.shape}"
+            )
+        self.route_segments = np.asarray(route_segments, dtype=float)
+        if self.route_segments.ndim != 3:
+            raise ValueError("route_segments must be (E, 2, 2)")
+        if n_particles < 2:
+            raise ValueError(f"n_particles must be >= 2, got {n_particles}")
+        if map_sigma <= 0:
+            raise ValueError(f"map_sigma must be positive, got {map_sigma}")
+        self.config = config or IMUConfig()
+        self.initial_headings = initial_headings
+        self.n_particles = int(n_particles)
+        self.map_sigma = float(map_sigma)
+        self.step_noise = float(step_noise)
+        self.heading_noise = float(heading_noise)
+        self.seed = seed
+        self._fitted = True
+
+    def fit(self, data: PathDataset) -> "ParticleFilterTracker":
+        max_index = max(int(p.segment_indices.max()) for p in data.paths)
+        if max_index >= len(self.raw_segments):
+            raise ValueError(
+                "raw_segments store is smaller than the dataset's segment index space"
+            )
+        return self
+
+    def predict_coordinates(self, data: PathDataset, indices: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_fitted")
+        rng = ensure_rng(self.seed)
+        out = np.empty((len(indices), 2))
+        for row, index in enumerate(np.asarray(indices, dtype=int)):
+            path = data.paths[int(index)]
+            imu = self.raw_segments[path.segment_indices].reshape(-1, 6)
+            heading0 = (
+                float(self.initial_headings[path.start_reference])
+                if self.initial_headings is not None
+                else float(path.start_heading)
+            )
+            out[row] = self._run_filter(imu, path.start_position, heading0, rng)
+        return out
+
+    # ------------------------------------------------------------------ core
+    def _run_filter(
+        self,
+        imu: np.ndarray,
+        start: np.ndarray,
+        initial_heading: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        cfg = self.config
+        dt = 1.0 / cfg.sample_rate_hz
+        stride = cfg.speed_mps / cfg.step_frequency_hz
+        gyro_heading = initial_heading + np.cumsum(imu[:, 5]) * dt
+        vertical = imu[:, 2] - GRAVITY
+        min_gap = max(1, int(0.35 * cfg.sample_rate_hz))
+
+        positions = np.tile(np.asarray(start, dtype=float), (self.n_particles, 1))
+        headings = np.full(self.n_particles, initial_heading) + rng.normal(
+            0.0, self.heading_noise, size=self.n_particles
+        )
+        weights = np.full(self.n_particles, 1.0 / self.n_particles)
+
+        last_step = -min_gap
+        last_heading = initial_heading
+        for t in range(1, len(imu) - 1):
+            is_peak = (
+                vertical[t] > 1.0
+                and vertical[t] >= vertical[t - 1]
+                and vertical[t] >= vertical[t + 1]
+            )
+            if not (is_peak and t - last_step >= min_gap):
+                continue
+            last_step = t
+            turn = gyro_heading[t] - last_heading
+            last_heading = gyro_heading[t]
+            # propagate: per-particle heading follows the gyro increment
+            headings += turn + rng.normal(
+                0.0, self.heading_noise, size=self.n_particles
+            )
+            steps = stride + rng.normal(
+                0.0, self.step_noise * stride, size=self.n_particles
+            )
+            positions[:, 0] += steps * np.cos(headings)
+            positions[:, 1] += steps * np.sin(headings)
+            # re-weight by map consistency and resample on degeneracy
+            distances = segment_distances(positions, self.route_segments)
+            weights *= np.exp(-0.5 * (distances / self.map_sigma) ** 2)
+            total = weights.sum()
+            if total <= 1e-300:
+                weights[:] = 1.0 / self.n_particles
+            else:
+                weights /= total
+            effective = 1.0 / np.sum(weights**2)
+            if effective < self.n_particles / 2:
+                chosen = rng.choice(
+                    self.n_particles, size=self.n_particles, p=weights
+                )
+                positions = positions[chosen]
+                headings = headings[chosen] + rng.normal(
+                    0.0, self.heading_noise / 2, size=self.n_particles
+                )
+                weights[:] = 1.0 / self.n_particles
+        return np.average(positions, axis=0, weights=weights)

@@ -1,0 +1,144 @@
+"""Deep Regression tracking baseline (Table III).
+
+Same projection + displacement trunk as NObLe, but the head regresses
+end coordinates directly with MSE — no output quantization, no
+structure awareness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.paths import PaddedPathDataset, PathDataset, PathSample
+from repro.nn import Adam, DataLoader, MSELoss, Trainer, TrainingHistory
+from repro.nn.losses import MultiHeadLoss
+from repro.quantization.grid import GridQuantizer
+from repro.quantization.labels import multi_hot
+from repro.tracking.network import TrackerNetwork
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class DeepRegressionTracker:
+    """Regression tracker: head outputs standardized end coordinates."""
+
+    def __init__(
+        self,
+        projection_dim: int = 16,
+        hidden: int = 128,
+        start_tau: float = 0.4,
+        # the paper's baseline "is trained with mean square error ... and
+        # directly predicts coordinates": no displacement supervision
+        displacement_weight: float = 0.0,
+        epochs: int = 40,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        patience: int = 8,
+        seed=0,
+    ):
+        self.projection_dim = int(projection_dim)
+        self.hidden = int(hidden)
+        self.start_tau = float(start_tau)
+        self.displacement_weight = float(displacement_weight)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.patience = int(patience)
+        self.seed = seed
+
+        self.network_: "TrackerNetwork | None" = None
+        self.start_quantizer_: "GridQuantizer | None" = None
+        self.coord_mean_: "np.ndarray | None" = None
+        self.coord_std_: "np.ndarray | None" = None
+        self.displacement_scale_: "float | None" = None
+        self.history_: "TrainingHistory | None" = None
+
+    def fit(self, data: PathDataset) -> "DeepRegressionTracker":
+        rng = ensure_rng(self.seed)
+        train_paths = data.subset(data.train_indices)
+        if not train_paths:
+            raise ValueError("PathDataset has no training paths")
+        # start encoding identical to NObLe's (one-hot start class) so the
+        # two models differ only in the output formulation
+        starts = np.array([p.start_position for p in train_paths])
+        self.start_quantizer_ = GridQuantizer(self.start_tau).fit(starts)
+        ends = np.array([p.end_position for p in train_paths])
+        self.coord_mean_ = ends.mean(axis=0)
+        self.coord_std_ = ends.std(axis=0)
+        self.coord_std_[self.coord_std_ == 0] = 1.0
+        displacements = np.array([p.displacement for p in train_paths])
+        scale = float(np.std(displacements))
+        self.displacement_scale_ = scale if scale > 0 else 1.0
+
+        self.network_ = TrackerNetwork(
+            max_len=data.max_length,
+            feature_dim=data.feature_dim,
+            start_dim=self.start_quantizer_.n_classes + 2,
+            head_dim=2,
+            projection_dim=self.projection_dim,
+            hidden=self.hidden,
+            rng=rng,
+        )
+        loss = MultiHeadLoss(
+            {
+                "coordinates": (slice(0, 2), MSELoss(), 1.0),
+                "displacement": (slice(2, 4), MSELoss(), self.displacement_weight),
+            }
+        )
+        trainer = Trainer(
+            self.network_, loss, Adam(self.network_.parameters(), lr=self.lr)
+        )
+        train_loader = DataLoader(
+            self._adapt(data, data.train_indices),
+            batch_size=self.batch_size,
+            drop_last=True,
+            rng=rng,
+        )
+        if len(data.val_indices):
+            val_loader = DataLoader(
+                self._adapt(data, data.val_indices),
+                batch_size=self.batch_size,
+                shuffle=False,
+            )
+            self.history_ = trainer.fit(
+                train_loader,
+                epochs=self.epochs,
+                val_loader=val_loader,
+                patience=self.patience,
+            )
+        else:
+            self.history_ = trainer.fit(train_loader, epochs=self.epochs)
+        return self
+
+    def _adapt(self, data: PathDataset, indices: np.ndarray) -> PaddedPathDataset:
+        n_start = self.start_quantizer_.n_classes
+
+        def start_encoder(path: PathSample) -> np.ndarray:
+            class_id = self.start_quantizer_.transform(
+                path.start_position[None, :], strict=False
+            )[0]
+            one_hot = multi_hot(np.array([class_id]), n_start)[0]
+            heading = np.array(
+                [np.cos(path.start_heading), np.sin(path.start_heading)]
+            )
+            return np.concatenate([one_hot, heading])
+
+        def target_fn(path: PathSample) -> np.ndarray:
+            coords = (path.end_position - self.coord_mean_) / self.coord_std_
+            return np.concatenate(
+                [coords, path.displacement / self.displacement_scale_]
+            )
+
+        return PaddedPathDataset(data, indices, start_encoder, target_fn)
+
+    def predict_coordinates(self, data: PathDataset, indices: np.ndarray) -> np.ndarray:
+        check_fitted(self, "network_")
+        self.network_.eval()
+        adapted = self._adapt(data, indices)
+        out = np.empty((len(adapted), 2))
+        for start in range(0, len(adapted), self.batch_size):
+            stop = min(start + self.batch_size, len(adapted))
+            batch = np.stack([adapted[i][0] for i in range(start, stop)])
+            standardized = self.network_(batch)[:, :2]
+            out[start:stop] = standardized * self.coord_std_ + self.coord_mean_
+        return out

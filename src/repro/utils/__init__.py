@@ -1,0 +1,18 @@
+"""Shared utilities: seeded randomness and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_2d,
+    check_fitted,
+    check_lengths_match,
+    check_positive,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_2d",
+    "check_fitted",
+    "check_lengths_match",
+    "check_positive",
+]

@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed,
+an existing :class:`numpy.random.Generator`, or ``None``.  ``ensure_rng``
+normalizes all three into a ``Generator`` so components never touch the
+global numpy random state, which keeps experiments reproducible when run
+in any order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a fixed
+        seed, or an existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Children are created with ``Generator.spawn`` so that streams do not
+    overlap; useful when a simulator hands sub-seeds to its components.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return ensure_rng(seed).spawn(n)

@@ -1,0 +1,42 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise early with actionable messages instead of letting numpy
+broadcast errors surface deep inside a training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a float 2-D ndarray or raise ``ValueError``."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim == 1:
+        out = out.reshape(-1, 1)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {out.shape}")
+    return out
+
+
+def check_lengths_match(a, b, name_a: str = "X", name_b: str = "y") -> None:
+    """Raise ``ValueError`` when two containers disagree on sample count."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_fitted(obj, attribute: str) -> None:
+    """Raise ``RuntimeError`` when ``obj`` lacks a fitted ``attribute``."""
+    if getattr(obj, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(obj).__name__} is not fitted yet; call fit() before using it"
+        )

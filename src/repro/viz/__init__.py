@@ -1,0 +1,5 @@
+"""Figure substrate without matplotlib: ASCII scatter plots + CSV dumps."""
+
+from repro.viz.scatter import ascii_scatter, save_scatter_csv
+
+__all__ = ["ascii_scatter", "save_scatter_csv"]

@@ -1,0 +1,89 @@
+"""Terminal scatter rendering for the Fig. 1/4/5 reproductions.
+
+matplotlib is unavailable offline, so figures are emitted two ways:
+a CSV (for external plotting) and an ASCII density plot good enough to
+eyeball whether predictions respect the building structure.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+#: Density ramp from sparse to dense.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    width: int = 78,
+    height: int = 24,
+    extent: "tuple[float, float, float, float] | None" = None,
+    title: str = "",
+) -> str:
+    """Render points as an ASCII density plot.
+
+    Parameters
+    ----------
+    points:
+        (N, 2) coordinates.
+    width, height:
+        Character-cell resolution.
+    extent:
+        (xmin, ymin, xmax, ymax); defaults to the data bounding box.
+        Pass the same extent to multiple plots to compare them.
+    """
+    points = check_2d(points, "points")
+    if points.shape[1] != 2:
+        raise ValueError(f"points must be (N, 2), got {points.shape}")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    if extent is None:
+        xmin, ymin = points.min(axis=0)
+        xmax, ymax = points.max(axis=0)
+    else:
+        xmin, ymin, xmax, ymax = extent
+    span_x = max(xmax - xmin, 1e-12)
+    span_y = max(ymax - ymin, 1e-12)
+    cols = np.clip(((points[:, 0] - xmin) / span_x * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((points[:, 1] - ymin) / span_y * (height - 1)).astype(int), 0, height - 1)
+    grid = np.zeros((height, width), dtype=int)
+    np.add.at(grid, (rows, cols), 1)
+    peak = grid.max()
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in range(height - 1, -1, -1):  # y grows upward
+        chars = []
+        for col in range(width):
+            count = grid[row, col]
+            if count == 0:
+                chars.append(" ")
+            else:
+                level = int(np.ceil(count / peak * (len(_RAMP) - 1)))
+                chars.append(_RAMP[max(level, 1)])
+        lines.append("|" + "".join(chars) + "|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def save_scatter_csv(path: str, points: np.ndarray, labels=None) -> None:
+    """Write points (and optional integer labels) to a CSV for plotting."""
+    points = check_2d(points, "points")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if labels is None:
+            writer.writerow(["x", "y"])
+            writer.writerows(points.tolist())
+        else:
+            labels = np.asarray(labels)
+            if len(labels) != len(points):
+                raise ValueError("labels length must match points")
+            writer.writerow(["x", "y", "label"])
+            for (x, y), label in zip(points, labels):
+                writer.writerow([x, y, label])

@@ -1,0 +1,77 @@
+"""Tests for embedding diagnostics (§III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.embedding import (
+    class_scatter_ratio,
+    embedding_distance_correlation,
+)
+
+RNG = np.random.default_rng(73)
+
+
+class TestClassScatterRatio:
+    def test_tight_clusters_give_small_ratio(self):
+        centers = RNG.normal(size=(5, 8)) * 10
+        labels = np.repeat(np.arange(5), 40)
+        embeddings = centers[labels] + RNG.normal(0, 0.1, size=(200, 8))
+        ratio = class_scatter_ratio(embeddings, labels, rng=1)
+        assert ratio < 0.2
+
+    def test_random_embedding_ratio_near_one(self):
+        embeddings = RNG.normal(size=(200, 8))
+        labels = RNG.integers(0, 5, size=200)
+        ratio = class_scatter_ratio(embeddings, labels, rng=2)
+        assert 0.8 < ratio < 1.2
+
+    def test_all_same_label_nan(self):
+        embeddings = RNG.normal(size=(20, 4))
+        assert np.isnan(
+            class_scatter_ratio(embeddings, np.zeros(20, dtype=int), rng=3)
+        )
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            class_scatter_ratio(np.zeros((1, 2)), np.zeros(1))
+
+    def test_noble_embedding_more_structured_than_random(
+        self, trained_noble_wifi, uji_split
+    ):
+        # the §III-C claim, measured: NObLe's learned embedding clusters
+        # by fine class far better than chance
+        train, _val, _test = uji_split
+        embeddings = trained_noble_wifi.embed(train)
+        labels = trained_noble_wifi.true_labels(train)["fine"]
+        ratio = class_scatter_ratio(embeddings, labels, rng=4)
+        assert ratio < 0.7
+
+
+class TestDistanceCorrelation:
+    def test_isometric_embedding_high_correlation(self):
+        coords = RNG.uniform(0, 10, size=(100, 2))
+        embeddings = np.hstack([coords, np.zeros((100, 3))])  # isometric
+        r = embedding_distance_correlation(embeddings, coords, rng=5)
+        assert r > 0.99
+
+    def test_random_embedding_low_correlation(self):
+        coords = RNG.uniform(0, 10, size=(200, 2))
+        embeddings = RNG.normal(size=(200, 8))
+        r = embedding_distance_correlation(embeddings, coords, rng=6)
+        assert abs(r) < 0.2
+
+    def test_noble_embedding_tracks_output_space(
+        self, trained_noble_wifi, uji_split
+    ):
+        # MDS-ness: embedding distances correlate with coordinate
+        # distances (the reconstructed manifold resembles the space)
+        train, _val, _test = uji_split
+        embeddings = trained_noble_wifi.embed(train)
+        r = embedding_distance_correlation(
+            embeddings, train.coordinates, rng=7
+        )
+        assert r > 0.3
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            embedding_distance_correlation(np.zeros((2, 2)), np.zeros((2, 2)))

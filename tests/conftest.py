@@ -1,0 +1,92 @@
+"""Shared fixtures: small datasets and trained models, built once.
+
+Session-scoped so the expensive pieces (simulators, short training runs)
+run a single time for the whole suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CampusWalkSimulator,
+    build_path_dataset,
+    generate_ipin_like,
+    generate_uji_like,
+)
+
+
+@pytest.fixture(scope="session")
+def uji_small():
+    """A small-but-structured UJIIndoorLoc-like dataset (~290 samples)."""
+    return generate_uji_like(
+        n_spots_per_building=16,
+        measurements_per_spot=6,
+        n_aps_per_floor=5,
+        seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def uji_split(uji_small):
+    """(train, val, test) split of the small UJI dataset."""
+    return uji_small.split((0.7, 0.1, 0.2), rng=202)
+
+
+@pytest.fixture(scope="session")
+def ipin_small():
+    """A small IPIN2016-like single-building dataset."""
+    return generate_ipin_like(
+        n_spots=30, measurements_per_spot=5, n_aps=12, seed=303
+    )
+
+
+@pytest.fixture(scope="session")
+def walks_small():
+    """Two short recorded walks (fast IMU scale)."""
+    simulator = CampusWalkSimulator(samples_per_segment=128)
+    return simulator.record_session(n_walks=2, references_per_walk=14, rng=404)
+
+
+@pytest.fixture(scope="session")
+def path_data(walks_small):
+    """A small path dataset over the short walks."""
+    return build_path_dataset(
+        walks_small, n_paths=240, max_length=6, downsample=16, rng=505
+    )
+
+
+@pytest.fixture(scope="session")
+def raw_segments(walks_small):
+    """Pooled raw IMU segments aligned with ``path_data`` indexing."""
+    return np.vstack([w.segments for w in walks_small])
+
+
+@pytest.fixture(scope="session")
+def walk_headings(walks_small):
+    """Pooled per-reference headings aligned with ``path_data``."""
+    return np.concatenate([w.headings for w in walks_small])
+
+
+@pytest.fixture(scope="session")
+def trained_noble_wifi(uji_split):
+    """A NObLe Wi-Fi model trained briefly on the small dataset."""
+    from repro.localization import NObLeWifi
+
+    train, _val, _test = uji_split
+    model = NObLeWifi(
+        epochs=120, batch_size=32, val_fraction=0.0, seed=606
+    )
+    model.fit(train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_noble_tracker(path_data):
+    """A NObLe IMU tracker trained briefly on the small path dataset."""
+    from repro.tracking import NObLeTracker
+
+    tracker = NObLeTracker(epochs=40, patience=40, seed=707)
+    tracker.fit(path_data)
+    return tracker

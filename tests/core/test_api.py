@@ -1,0 +1,92 @@
+"""Tests for the high-level NObLeEstimator API."""
+
+import numpy as np
+import pytest
+
+from repro import NObLeEstimator
+
+
+@pytest.fixture(scope="module")
+def toy_problem():
+    """Signals with a recoverable structure: RSSI-like decay from two
+    anchor points; coordinates on an L-shaped accessible region."""
+    rng = np.random.default_rng(55)
+    # spots on an L shape
+    n_spots = 30
+    spots = []
+    while len(spots) < n_spots:
+        candidate = rng.uniform(0, 10, size=2)
+        if candidate[0] <= 3 or candidate[1] <= 3:
+            spots.append(candidate)
+    spots = np.array(spots)
+    coords = np.repeat(spots, 6, axis=0)
+    anchors = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [5.0, 5.0]])
+    distances = np.linalg.norm(
+        coords[:, None, :] - anchors[None, :, :], axis=-1
+    )
+    signals = -30 - 20 * np.log10(np.maximum(distances, 1.0))
+    signals += rng.normal(0, 1.0, size=signals.shape)
+    return signals, coords
+
+
+class TestFitPredict:
+    def test_round_trip_accuracy(self, toy_problem):
+        signals, coords = toy_problem
+        model = NObLeEstimator(tau=0.5, epochs=150, batch_size=32, seed=1)
+        model.fit(signals, coords)
+        predicted = model.predict(signals)
+        errors = np.linalg.norm(predicted - coords, axis=1)
+        assert np.median(errors) < 1.0
+
+    def test_predict_shape(self, toy_problem):
+        signals, coords = toy_problem
+        model = NObLeEstimator(tau=1.0, epochs=20, seed=2).fit(signals, coords)
+        assert model.predict(signals[:7]).shape == (7, 2)
+
+    def test_n_classes_exposed(self, toy_problem):
+        signals, coords = toy_problem
+        model = NObLeEstimator(tau=1.0, epochs=5, seed=3).fit(signals, coords)
+        assert model.n_classes > 0
+
+    def test_detail_prediction(self, toy_problem):
+        signals, coords = toy_problem
+        model = NObLeEstimator(tau=1.0, epochs=5, seed=4).fit(signals, coords)
+        detail = model.predict_detail(signals[:5])
+        assert detail.fine_class.shape == (5,)
+        assert detail.coarse_class is not None
+
+    def test_optional_labels_add_heads(self, toy_problem):
+        signals, coords = toy_problem
+        building = (coords[:, 0] > 3).astype(int)
+        model = NObLeEstimator(tau=1.0, epochs=5, seed=5)
+        model.fit(signals, coords, building=building)
+        detail = model.predict_detail(signals[:5])
+        assert detail.building is not None
+        assert detail.floor is None
+
+    def test_mismatched_lengths_rejected(self, toy_problem):
+        signals, coords = toy_problem
+        with pytest.raises(ValueError):
+            NObLeEstimator().fit(signals, coords[:-1])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NObLeEstimator().predict(np.zeros((2, 4)))
+
+
+class TestConfigs:
+    def test_presets_exist(self):
+        from repro import IMUExperimentConfig, WifiExperimentConfig
+
+        assert WifiExperimentConfig.fast().epochs > 0
+        assert WifiExperimentConfig.paper().n_spots_per_building > \
+            WifiExperimentConfig.fast().n_spots_per_building
+        assert IMUExperimentConfig.paper().n_paths == 6857
+        assert IMUExperimentConfig.fast().n_paths < 6857
+
+    def test_configs_frozen(self):
+        from repro import WifiExperimentConfig
+
+        config = WifiExperimentConfig.fast()
+        with pytest.raises(Exception):
+            config.epochs = 3

@@ -1,0 +1,23 @@
+"""Smoke tests for the CLI driver (argument handling + energy run)."""
+
+import pytest
+
+from repro import cli
+
+
+class TestCLIParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["teleport"])
+
+    def test_energy_runs(self, capsys):
+        assert cli.main(["energy"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi inference" in out
+        assert "27x" in out
+
+    def test_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--help"])
+        assert excinfo.value.code == 0
+        assert "experiment" in capsys.readouterr().out

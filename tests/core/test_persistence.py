@@ -1,0 +1,85 @@
+"""Tests for NObLeWifi save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_noble_wifi, save_noble_wifi
+from repro.localization.noble import NObLeWifi
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, trained_noble_wifi, uji_split, tmp_path):
+        _train, _val, test = uji_split
+        path = tmp_path / "noble.npz"
+        save_noble_wifi(trained_noble_wifi, path)
+        restored = load_noble_wifi(path)
+        original = trained_noble_wifi.predict(test)
+        loaded = restored.predict(test)
+        np.testing.assert_array_equal(original.coordinates, loaded.coordinates)
+        np.testing.assert_array_equal(original.building, loaded.building)
+        np.testing.assert_array_equal(original.fine_class, loaded.fine_class)
+
+    def test_quantizer_round_trip(self, trained_noble_wifi, tmp_path):
+        path = tmp_path / "noble.npz"
+        save_noble_wifi(trained_noble_wifi, path)
+        restored = load_noble_wifi(path)
+        np.testing.assert_array_equal(
+            restored.quantizer_.fine.centroids_,
+            trained_noble_wifi.quantizer_.fine.centroids_,
+        )
+        assert restored.quantizer_.n_fine == trained_noble_wifi.quantizer_.n_fine
+        assert restored.quantizer_.n_coarse == trained_noble_wifi.quantizer_.n_coarse
+
+    def test_hierarchical_mapping_preserved(
+        self, trained_noble_wifi, uji_split, tmp_path
+    ):
+        _train, _val, test = uji_split
+        path = tmp_path / "noble.npz"
+        save_noble_wifi(trained_noble_wifi, path)
+        restored = load_noble_wifi(path)
+        np.testing.assert_array_equal(
+            restored.fine_class_building_,
+            trained_noble_wifi.fine_class_building_,
+        )
+        original = trained_noble_wifi.predict(test, hierarchical=True)
+        loaded = restored.predict(test, hierarchical=True)
+        np.testing.assert_array_equal(original.coordinates, loaded.coordinates)
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not fitted"):
+            save_noble_wifi(NObLeWifi(), tmp_path / "x.npz")
+
+    def test_signal_transform_round_trip(self, uji_split, tmp_path):
+        train, _val, test = uji_split
+        model = NObLeWifi(
+            epochs=5, val_fraction=0.0, signal_transform="powed", seed=88
+        )
+        model.fit(train)
+        path = tmp_path / "powed.npz"
+        save_noble_wifi(model, path)
+        restored = load_noble_wifi(path)
+        np.testing.assert_array_equal(
+            model.predict_coordinates(test), restored.predict_coordinates(test)
+        )
+
+    def test_custom_transform_rejected(self, uji_split, tmp_path):
+        train, _val, _test = uji_split
+        model = NObLeWifi(
+            epochs=2, val_fraction=0.0, signal_transform=lambda x: x, seed=88
+        )
+        model.fit(train)
+        with pytest.raises(ValueError, match="named signal transforms"):
+            save_noble_wifi(model, tmp_path / "custom.npz")
+
+    def test_single_resolution_model(self, uji_split, tmp_path):
+        train, _val, test = uji_split
+        model = NObLeWifi(
+            heads=("fine",), epochs=5, val_fraction=0.0, seed=77
+        )
+        model.fit(train)
+        path = tmp_path / "single.npz"
+        save_noble_wifi(model, path)
+        restored = load_noble_wifi(path)
+        np.testing.assert_array_equal(
+            model.predict_coordinates(test), restored.predict_coordinates(test)
+        )

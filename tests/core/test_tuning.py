@@ -1,0 +1,49 @@
+"""Tests for the grid-search harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import grid_search
+from repro.localization.knn import KNNFingerprinting
+
+
+class TestGridSearch:
+    def test_finds_better_k(self, uji_small):
+        result = grid_search(
+            lambda k: KNNFingerprinting(k=k),
+            {"k": [1, 3, 25]},
+            uji_small,
+            val_fraction=0.25,
+            rng=1,
+        )
+        assert result.best_params["k"] in (1, 3, 25)
+        assert len(result.trials) == 3
+        assert result.best_score == min(score for _p, score in result.trials)
+
+    def test_cartesian_product(self, uji_small):
+        result = grid_search(
+            lambda k, weighted: KNNFingerprinting(k=k, weighted=weighted),
+            {"k": [1, 3], "weighted": [True, False]},
+            uji_small,
+            val_fraction=0.25,
+            rng=2,
+        )
+        assert len(result.trials) == 4
+
+    def test_top_sorted(self, uji_small):
+        result = grid_search(
+            lambda k: KNNFingerprinting(k=k),
+            {"k": [1, 2, 3, 4]},
+            uji_small,
+            val_fraction=0.25,
+            rng=3,
+        )
+        top = result.top(2)
+        assert len(top) == 2
+        assert top[0][1] <= top[1][1]
+
+    def test_validation(self, uji_small):
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, {}, uji_small)
+        with pytest.raises(ValueError):
+            grid_search(lambda k: None, {"k": [1]}, uji_small, val_fraction=0.0)

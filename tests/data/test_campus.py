@@ -1,0 +1,86 @@
+"""Tests for campus geometry and reference-spot sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.campus import (
+    UJI_BUILDINGS,
+    UJI_EXTENT,
+    ipin_building_plan,
+    sample_reference_spots,
+    uji_campus_plan,
+)
+
+
+class TestUJICampus:
+    def test_three_buildings(self):
+        _campus, buildings = uji_campus_plan()
+        assert len(buildings) == UJI_BUILDINGS
+
+    def test_campus_fits_extent(self):
+        campus, _ = uji_campus_plan()
+        xmin, ymin, xmax, ymax = campus.bounds
+        assert xmax - xmin <= UJI_EXTENT[0]
+        assert ymax - ymin <= UJI_EXTENT[1]
+
+    def test_buildings_disjoint(self):
+        _campus, buildings = uji_campus_plan()
+        rng = np.random.default_rng(0)
+        for i, building in enumerate(buildings):
+            samples = building.sample(100, rng=rng)
+            for j, other in enumerate(buildings):
+                if i != j:
+                    assert not other.accessible(samples).any()
+
+    def test_courtyards_inaccessible(self):
+        campus, buildings = uji_campus_plan()
+        for building in buildings:
+            hole = building.holes[0]
+            center = hole.vertices.mean(axis=0)
+            assert not campus.accessible(center[None, :])[0]
+
+    def test_ring_accessible(self):
+        campus, buildings = uji_campus_plan()
+        samples = buildings[0].sample(50, rng=1)
+        assert campus.accessible(samples).all()
+
+
+class TestIPINBuilding:
+    def test_single_plan_with_lightwell(self):
+        plan = ipin_building_plan()
+        assert len(plan.regions) == 1
+        assert len(plan.holes) == 1
+        assert not plan.accessible(np.array([[30.0, 15.0]]))[0]
+        assert plan.accessible(np.array([[5.0, 5.0]]))[0]
+
+
+class TestReferenceSpots:
+    def test_spots_on_accessible_space(self):
+        plan = ipin_building_plan()
+        spots = sample_reference_spots(plan, 40, min_separation=1.0, rng=2)
+        assert plan.accessible(spots).all()
+
+    def test_min_separation_respected(self):
+        plan = ipin_building_plan()
+        spots = sample_reference_spots(plan, 30, min_separation=2.0, rng=3)
+        for i in range(len(spots)):
+            others = np.delete(spots, i, axis=0)
+            assert np.min(np.linalg.norm(others - spots[i], axis=1)) >= 2.0
+
+    def test_spot_count(self):
+        plan = ipin_building_plan()
+        assert sample_reference_spots(plan, 25, rng=4).shape == (25, 2)
+
+    def test_impossible_separation_raises(self):
+        plan = ipin_building_plan()
+        with pytest.raises(RuntimeError, match="could only place"):
+            sample_reference_spots(
+                plan, 1000, min_separation=20.0, rng=5, max_tries=3000
+            )
+
+    def test_invalid_args(self):
+        plan = ipin_building_plan()
+        with pytest.raises(ValueError):
+            sample_reference_spots(plan, 0)
+        with pytest.raises(ValueError):
+            sample_reference_spots(plan, 5, min_separation=-1.0)

@@ -1,0 +1,98 @@
+"""Tests for the gait / IMU sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.data.gait import GRAVITY, GaitModel, IMUConfig
+
+
+def straight_walk(n=500, speed=1.4, rate=50.0):
+    """Dense positions for a straight east-bound walk."""
+    step = speed / rate
+    xs = np.arange(n) * step
+    return np.column_stack([xs, np.zeros(n)])
+
+
+class TestDensify:
+    def test_constant_speed_spacing(self):
+        model = GaitModel(IMUConfig(speed_mps=1.4, sample_rate_hz=50.0))
+        waypoints = np.array([[0.0, 0.0], [10.0, 0.0]])
+        dense = model.densify_waypoints(waypoints)
+        spacing = np.linalg.norm(np.diff(dense, axis=0), axis=1)
+        np.testing.assert_allclose(spacing, 1.4 / 50.0, atol=1e-9)
+
+    def test_follows_corners(self):
+        model = GaitModel()
+        waypoints = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]])
+        dense = model.densify_waypoints(waypoints)
+        # all dense points lie on the L-shaped path
+        on_first_leg = (np.abs(dense[:, 1]) < 1e-9) & (dense[:, 0] <= 10 + 1e-9)
+        on_second_leg = (np.abs(dense[:, 0] - 10) < 1e-9)
+        assert np.all(on_first_leg | on_second_leg)
+
+    def test_rejects_degenerate(self):
+        model = GaitModel()
+        with pytest.raises(ValueError):
+            model.densify_waypoints(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            model.densify_waypoints(np.zeros((3, 2)))
+
+
+class TestIMUSynthesis:
+    def test_output_shapes(self):
+        model = GaitModel()
+        accel, gyro = model.trajectory_to_imu(straight_walk(), rng=0)
+        assert accel.shape == (500, 3)
+        assert gyro.shape == (500, 3)
+
+    def test_gravity_on_z(self):
+        model = GaitModel(IMUConfig(accel_noise_std=0.01, step_accel_amplitude=0.5))
+        accel, _gyro = model.trajectory_to_imu(straight_walk(), rng=1)
+        assert abs(accel[:, 2].mean() - GRAVITY) < 0.2
+
+    def test_straight_walk_gyro_z_near_zero_mean(self):
+        model = GaitModel(IMUConfig(gyro_noise_std=0.001, gyro_bias_walk_std=0.0))
+        _accel, gyro = model.trajectory_to_imu(straight_walk(), rng=2)
+        assert abs(gyro[:, 2].mean()) < 0.01
+
+    def test_turn_appears_in_gyro(self):
+        model = GaitModel(IMUConfig(gyro_noise_std=0.001, gyro_bias_walk_std=0.0))
+        gait = GaitModel(model.config)
+        waypoints = np.array([[0.0, 0.0], [20.0, 0.0], [20.0, 20.0]])
+        dense = gait.densify_waypoints(waypoints)
+        _accel, gyro = gait.trajectory_to_imu(dense, rng=3)
+        # integrated gyro-z ≈ +90° total heading change
+        total_turn = np.sum(gyro[:, 2]) / model.config.sample_rate_hz
+        assert total_turn == pytest.approx(np.pi / 2, abs=0.15)
+
+    def test_step_cadence_visible_in_vertical_axis(self):
+        cfg = IMUConfig(accel_noise_std=0.05)
+        model = GaitModel(cfg)
+        accel, _gyro = model.trajectory_to_imu(straight_walk(1000), rng=4)
+        vertical = accel[:, 2] - accel[:, 2].mean()
+        spectrum = np.abs(np.fft.rfft(vertical))
+        freqs = np.fft.rfftfreq(len(vertical), d=1.0 / cfg.sample_rate_hz)
+        peak_freq = freqs[np.argmax(spectrum[1:]) + 1]
+        # dominant bounce at twice the step frequency (two impacts/stride)
+        assert peak_freq == pytest.approx(2 * cfg.step_frequency_hz, abs=0.3)
+
+    def test_noise_reproducible_by_seed(self):
+        model = GaitModel()
+        a1, g1 = model.trajectory_to_imu(straight_walk(), rng=7)
+        a2, g2 = model.trajectory_to_imu(straight_walk(), rng=7)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(g1, g2)
+
+    def test_too_short_trajectory_rejected(self):
+        with pytest.raises(ValueError):
+            GaitModel().trajectory_to_imu(np.zeros((2, 2)))
+
+
+class TestConfigValidation:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            IMUConfig(sample_rate_hz=0.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            IMUConfig(speed_mps=-1.0)

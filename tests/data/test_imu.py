@@ -1,0 +1,118 @@
+"""Tests for the campus walk simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.imu import (
+    COURT_EXTENT,
+    CampusWalkSimulator,
+    WalkRecording,
+    court_route_graph,
+)
+
+
+class TestRouteGraph:
+    def test_nodes_inside_court(self):
+        route = court_route_graph()
+        assert np.all(route.nodes[:, 0] >= 0)
+        assert np.all(route.nodes[:, 0] <= COURT_EXTENT[0])
+        assert np.all(route.nodes[:, 1] >= 0)
+        assert np.all(route.nodes[:, 1] <= COURT_EXTENT[1])
+
+    def test_all_nodes_reachable(self):
+        route = court_route_graph()
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in route.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert seen == set(range(len(route.nodes)))
+
+    def test_edges_are_axis_aligned(self):
+        route = court_route_graph()
+        for i in range(len(route.nodes)):
+            for j in route.neighbors(i):
+                dx, dy = np.abs(route.nodes[i] - route.nodes[j])
+                assert dx < 1e-9 or dy < 1e-9
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            court_route_graph(extent=(10.0, 10.0), margin=6.0)
+
+
+class TestWalkRecording:
+    def test_segment_reference_alignment(self, walks_small):
+        for walk in walks_small:
+            assert walk.n_segments == walk.n_references - 1
+            assert walk.segments.shape[1] == 128  # samples_per_segment
+            assert walk.segments.shape[2] == 6
+
+    def test_references_on_route_corridors(self, walks_small):
+        # references lie on the route graph's grid lines (± small slack
+        # from waypoint interpolation)
+        route = court_route_graph()
+        xs = np.unique(route.nodes[:, 0])
+        ys = np.unique(route.nodes[:, 1])
+        for walk in walks_small:
+            on_x_line = np.min(
+                np.abs(walk.references[:, 0][:, None] - xs[None, :]), axis=1
+            )
+            on_y_line = np.min(
+                np.abs(walk.references[:, 1][:, None] - ys[None, :]), axis=1
+            )
+            assert np.all(np.minimum(on_x_line, on_y_line) < 1.0)
+
+    def test_headings_attached(self, walks_small):
+        for walk in walks_small:
+            assert walk.headings is not None
+            assert len(walk.headings) == walk.n_references
+
+    def test_consecutive_references_spaced_by_walk_distance(self, walks_small):
+        # spacing ≤ segment length at constant speed (equality on straights)
+        expected = 128 * 1.4 / 50.0
+        for walk in walks_small:
+            gaps = np.linalg.norm(np.diff(walk.references, axis=0), axis=1)
+            assert np.all(gaps <= expected + 1e-6)
+
+    def test_misaligned_construction_rejected(self):
+        with pytest.raises(ValueError, match="segments"):
+            WalkRecording(
+                references=np.zeros((3, 2)), segments=np.zeros((5, 10, 6))
+            )
+
+    def test_heading_length_validated(self):
+        with pytest.raises(ValueError, match="headings"):
+            WalkRecording(
+                references=np.zeros((3, 2)),
+                segments=np.zeros((2, 10, 6)),
+                headings=np.zeros(5),
+            )
+
+
+class TestSimulator:
+    def test_record_session_counts(self, walks_small):
+        assert len(walks_small) == 2
+        assert all(w.n_references == 14 for w in walks_small)
+
+    def test_deterministic_by_seed(self):
+        sim = CampusWalkSimulator(samples_per_segment=64)
+        a = sim.record_walk(5, rng=42)
+        b = sim.record_walk(5, rng=42)
+        np.testing.assert_array_equal(a.segments, b.segments)
+
+    def test_references_inside_court(self, walks_small):
+        for walk in walks_small:
+            assert np.all(walk.references[:, 0] >= -1.0)
+            assert np.all(walk.references[:, 0] <= COURT_EXTENT[0] + 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CampusWalkSimulator(samples_per_segment=4)
+        sim = CampusWalkSimulator(samples_per_segment=64)
+        with pytest.raises(ValueError):
+            sim.record_walk(1)
+        with pytest.raises(ValueError):
+            sim.random_walk_waypoints(0)

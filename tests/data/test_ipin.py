@@ -1,0 +1,38 @@
+"""Tests for the IPIN2016-like generator."""
+
+import numpy as np
+
+from repro.data.ipin import generate_ipin_like
+from repro.data.ujiindoor import NOT_DETECTED
+
+
+class TestGenerator:
+    def test_single_building(self, ipin_small):
+        assert ipin_small.n_buildings == 1
+        assert np.all(ipin_small.building == 0)
+
+    def test_small_extent(self, ipin_small):
+        extent = ipin_small.coordinates.max(axis=0) - ipin_small.coordinates.min(axis=0)
+        assert extent[0] <= 60.0
+        assert extent[1] <= 30.0
+
+    def test_samples_accessible(self, ipin_small):
+        assert ipin_small.plan.accessible(ipin_small.coordinates).all()
+
+    def test_lightwell_empty(self, ipin_small):
+        hole = ipin_small.plan.holes[0]
+        assert not hole.contains(ipin_small.coordinates).any()
+
+    def test_rssi_convention(self, ipin_small):
+        detected = ipin_small.rssi[ipin_small.rssi != NOT_DETECTED]
+        assert np.all(detected < 0)
+
+    def test_denser_coverage_than_uji(self, ipin_small):
+        # a small building with 12 APs: most APs heard at most spots
+        heard_fraction = (ipin_small.rssi != NOT_DETECTED).mean()
+        assert heard_fraction > 0.5
+
+    def test_deterministic(self):
+        a = generate_ipin_like(n_spots=6, measurements_per_spot=2, seed=9)
+        b = generate_ipin_like(n_spots=6, measurements_per_spot=2, seed=9)
+        np.testing.assert_array_equal(a.rssi, b.rssi)

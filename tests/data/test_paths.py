@@ -1,0 +1,158 @@
+"""Tests for §V-A path dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.data.paths import (
+    MAX_PATH_LENGTH,
+    PaddedPathDataset,
+    build_path_dataset,
+    featurize_segment,
+)
+
+
+class TestFeaturize:
+    def test_shape(self):
+        segment = np.random.default_rng(0).normal(size=(128, 6))
+        features = featurize_segment(segment, downsample=16)
+        assert features.shape == (128 // 16 * 6,)
+
+    def test_block_means(self):
+        segment = np.ones((32, 6))
+        segment[:16] = 2.0
+        features = featurize_segment(segment, downsample=16)
+        # channel-major: first two entries are ax block means
+        assert features[0] == pytest.approx(2.0)
+        assert features[1] == pytest.approx(1.0)
+
+    def test_truncates_remainder(self):
+        segment = np.ones((33, 6))
+        features = featurize_segment(segment, downsample=16)
+        assert features.shape == (12,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            featurize_segment(np.ones((10, 5)))
+        with pytest.raises(ValueError):
+            featurize_segment(np.ones((10, 6)), downsample=0)
+        with pytest.raises(ValueError, match="shorter"):
+            featurize_segment(np.ones((4, 6)), downsample=16)
+
+
+class TestBuildDataset:
+    def test_counts_and_split(self, path_data):
+        assert len(path_data) == 240
+        n = (
+            len(path_data.train_indices)
+            + len(path_data.val_indices)
+            + len(path_data.test_indices)
+        )
+        assert n == 240
+        # default split ≈ 64/16/20
+        assert abs(len(path_data.train_indices) / 240 - 0.64) < 0.02
+
+    def test_split_disjoint(self, path_data):
+        groups = [
+            set(path_data.train_indices.tolist()),
+            set(path_data.val_indices.tolist()),
+            set(path_data.test_indices.tolist()),
+        ]
+        assert not (groups[0] & groups[1])
+        assert not (groups[0] & groups[2])
+        assert not (groups[1] & groups[2])
+
+    def test_path_lengths_bounded(self, path_data):
+        assert all(1 <= p.length <= path_data.max_length for p in path_data.paths)
+
+    def test_paths_do_not_cross_walks(self, path_data, walks_small):
+        boundary = walks_small[0].n_segments  # first walk's segment count
+        for path in path_data.paths:
+            indices = path.segment_indices
+            assert (indices < boundary).all() or (indices >= boundary).all()
+
+    def test_segments_contiguous(self, path_data):
+        for path in path_data.paths:
+            np.testing.assert_array_equal(
+                np.diff(path.segment_indices), 1
+            )
+
+    def test_endpoints_match_references(self, path_data):
+        for path in path_data.paths[:50]:
+            np.testing.assert_allclose(
+                path.displacement, path.end_position - path.start_position
+            )
+
+    def test_displacement_consistent_with_length(self, path_data):
+        # a path of L segments cannot displace farther than L * segment length
+        seg_length = 128 * 1.4 / 50.0
+        for path in path_data.paths:
+            assert (
+                np.linalg.norm(path.displacement)
+                <= path.length * seg_length + 1e-6
+            )
+
+    def test_deterministic(self, walks_small):
+        a = build_path_dataset(walks_small, n_paths=50, max_length=5, rng=9)
+        b = build_path_dataset(walks_small, n_paths=50, max_length=5, rng=9)
+        for pa, pb in zip(a.paths, b.paths):
+            np.testing.assert_array_equal(pa.segment_indices, pb.segment_indices)
+
+    def test_paper_default_max_length(self):
+        assert MAX_PATH_LENGTH == 50
+
+    def test_invalid_args(self, walks_small):
+        with pytest.raises(ValueError):
+            build_path_dataset([], n_paths=10)
+        with pytest.raises(ValueError):
+            build_path_dataset(walks_small, n_paths=0)
+        with pytest.raises(ValueError):
+            build_path_dataset(walks_small, n_paths=10, split=(0.5, 0.5, 0.5))
+
+
+class TestPaddedDataset:
+    def test_item_layout(self, path_data):
+        start_dim = 4
+
+        def start_encoder(path):
+            return np.ones(start_dim)
+
+        def target_fn(path):
+            return path.end_position
+
+        adapted = PaddedPathDataset(
+            path_data, path_data.train_indices, start_encoder, target_fn
+        )
+        x, y = adapted[0]
+        expected = path_data.max_length * path_data.feature_dim + start_dim
+        assert x.shape == (expected,)
+        assert y.shape == (2,)
+
+    def test_padding_zeroed_beyond_path(self, path_data):
+        adapted = PaddedPathDataset(
+            path_data,
+            path_data.train_indices,
+            lambda p: np.zeros(0),
+            lambda p: p.end_position,
+        )
+        for i in range(10):
+            index = int(path_data.train_indices[i])
+            path = path_data.paths[index]
+            x, _y = adapted[i]
+            used = path.length * path_data.feature_dim
+            pad = x[used : path_data.max_length * path_data.feature_dim]
+            np.testing.assert_array_equal(pad, 0.0)
+
+    def test_features_match_store(self, path_data):
+        adapted = PaddedPathDataset(
+            path_data,
+            path_data.train_indices,
+            lambda p: np.zeros(0),
+            lambda p: p.end_position,
+        )
+        index = int(path_data.train_indices[0])
+        path = path_data.paths[index]
+        x, _y = adapted[0]
+        np.testing.assert_array_equal(
+            x[: path.length * path_data.feature_dim],
+            path_data.segment_features[path.segment_indices].ravel(),
+        )

@@ -1,0 +1,107 @@
+"""Tests for the log-distance path-loss radio model."""
+
+import numpy as np
+import pytest
+
+from repro.data.rssi import RadioEnvironment, WirelessAccessPoint
+
+
+def single_ap_env(**kwargs):
+    ap = WirelessAccessPoint(x=0.0, y=0.0, floor=0, tx_power=-30.0)
+    defaults = dict(shadowing_sigma=0.0)
+    defaults.update(kwargs)
+    return RadioEnvironment([ap], **defaults)
+
+
+class TestMeanRSSI:
+    def test_reference_distance_gives_tx_power(self):
+        env = single_ap_env()
+        rssi = env.mean_rssi(np.array([[1.0, 0.0]]), np.array([0]))
+        assert rssi[0, 0] == pytest.approx(-30.0)
+
+    def test_monotone_decay_with_distance(self):
+        env = single_ap_env()
+        distances = np.array([[1.0, 0.0], [10.0, 0.0], [100.0, 0.0]])
+        rssi = env.mean_rssi(distances, np.zeros(3, dtype=int)).ravel()
+        assert rssi[0] > rssi[1] > rssi[2]
+
+    def test_path_loss_exponent_slope(self):
+        env = single_ap_env(path_loss_exponent=2.0)
+        rssi = env.mean_rssi(
+            np.array([[1.0, 0.0], [10.0, 0.0]]), np.zeros(2, dtype=int)
+        ).ravel()
+        # 10x distance at n=2 → 20 dB drop
+        assert rssi[0] - rssi[1] == pytest.approx(20.0)
+
+    def test_floor_attenuation(self):
+        env = single_ap_env(floor_attenuation=15.0, floor_height=3.0)
+        same = env.mean_rssi(np.array([[5.0, 0.0]]), np.array([0]))[0, 0]
+        other = env.mean_rssi(np.array([[5.0, 0.0]]), np.array([1]))[0, 0]
+        assert same - other > 15.0  # attenuation + extra 3-D distance
+
+    def test_distance_clamped_at_reference(self):
+        env = single_ap_env()
+        at_zero = env.mean_rssi(np.array([[0.0, 0.0]]), np.array([0]))[0, 0]
+        assert at_zero == pytest.approx(-30.0)
+
+
+class TestSample:
+    def test_censoring_below_sensitivity(self):
+        env = single_ap_env(sensitivity=-50.0)
+        readings = env.sample(
+            np.array([[500.0, 0.0]]), np.array([0]), rng=0
+        )
+        assert np.isnan(readings[0, 0])
+
+    def test_shadowing_statistics(self):
+        env = single_ap_env(shadowing_sigma=4.0)
+        positions = np.tile([[10.0, 0.0]], (4000, 1))
+        readings = env.sample(positions, np.zeros(4000, dtype=int), rng=1)
+        mean = env.mean_rssi(positions[:1], np.array([0]))[0, 0]
+        assert abs(np.nanmean(readings) - mean) < 0.3
+        assert abs(np.nanstd(readings) - 4.0) < 0.3
+
+    def test_noise_free_matches_mean(self):
+        env = single_ap_env()
+        positions = np.array([[3.0, 4.0]])
+        np.testing.assert_allclose(
+            env.sample(positions, np.array([0]), rng=2),
+            env.mean_rssi(positions, np.array([0])),
+        )
+
+
+class TestPlacement:
+    def test_grid_counts(self):
+        aps = RadioEnvironment.place_grid((0, 0, 100, 50), per_floor=9, n_floors=3)
+        assert len(aps) == 27
+        floors = {ap.floor for ap in aps}
+        assert floors == {0, 1, 2}
+
+    def test_aps_inside_bounds(self):
+        aps = RadioEnvironment.place_grid((10, 20, 110, 70), per_floor=8, n_floors=1)
+        for ap in aps:
+            assert 10 <= ap.x <= 110
+            assert 20 <= ap.y <= 70
+
+    def test_jitter_moves_positions(self):
+        no_jitter = RadioEnvironment.place_grid((0, 0, 100, 100), 4, 1)
+        jitter = RadioEnvironment.place_grid((0, 0, 100, 100), 4, 1, jitter=5.0, rng=0)
+        assert any(
+            a.x != b.x or a.y != b.y for a, b in zip(no_jitter, jitter)
+        )
+
+
+class TestValidation:
+    def test_requires_aps(self):
+        with pytest.raises(ValueError):
+            RadioEnvironment([])
+
+    def test_positions_floors_length_mismatch(self):
+        env = single_ap_env()
+        with pytest.raises(ValueError):
+            env.mean_rssi(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_invalid_exponent(self):
+        ap = WirelessAccessPoint(0, 0)
+        with pytest.raises(ValueError):
+            RadioEnvironment([ap], path_loss_exponent=0.0)

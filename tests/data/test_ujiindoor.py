@@ -1,0 +1,188 @@
+"""Tests for the UJIIndoorLoc-format dataset: generator, loader, splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.ujiindoor import (
+    NOT_DETECTED,
+    SENSITIVITY_DBM,
+    FingerprintDataset,
+    generate_uji_like,
+    load_uji_csv,
+    save_uji_csv,
+)
+
+
+class TestGenerator:
+    def test_shapes_consistent(self, uji_small):
+        ds = uji_small
+        assert ds.rssi.shape == (len(ds), ds.n_aps)
+        assert ds.coordinates.shape == (len(ds), 2)
+        assert ds.floor.shape == (len(ds),)
+        assert ds.building.shape == (len(ds),)
+
+    def test_three_buildings_four_floors(self, uji_small):
+        assert uji_small.n_buildings == 3
+        assert uji_small.n_floors == 4
+
+    def test_rssi_convention(self, uji_small):
+        rssi = uji_small.rssi
+        detected = rssi[rssi != NOT_DETECTED]
+        assert np.all(detected >= SENSITIVITY_DBM)
+        assert np.all(detected < 0)
+
+    def test_samples_on_accessible_space(self, uji_small):
+        assert uji_small.plan.accessible(uji_small.coordinates).all()
+
+    def test_courtyards_have_no_samples(self, uji_small):
+        # paper's Fig. 1 observation: courtyard interiors contain no data
+        from repro.data.campus import uji_campus_plan
+
+        _campus, buildings = uji_campus_plan()
+        for building in buildings:
+            hole = building.holes[0]
+            assert not hole.contains(uji_small.coordinates).any()
+
+    def test_repeated_measurements_per_spot(self, uji_small):
+        ids, counts = np.unique(uji_small.spot_ids, return_counts=True)
+        assert np.all(counts == 6)  # measurements_per_spot in the fixture
+
+    def test_deterministic_by_seed(self):
+        a = generate_uji_like(4, 2, 3, seed=5)
+        b = generate_uji_like(4, 2, 3, seed=5)
+        np.testing.assert_array_equal(a.rssi, b.rssi)
+
+    def test_different_seeds_differ(self):
+        a = generate_uji_like(4, 2, 3, seed=5)
+        b = generate_uji_like(4, 2, 3, seed=6)
+        assert not np.array_equal(a.rssi, b.rssi)
+
+    def test_building_signal_locality(self, uji_small):
+        # a building's own APs should be heard much more often inside it
+        ds = uji_small
+        heard = ds.rssi != NOT_DETECTED
+        n_aps_per_building = ds.n_aps // 3
+        for b in range(3):
+            neighbor = (b + 1) % 3
+            own = heard[ds.building == b][
+                :, b * n_aps_per_building : (b + 1) * n_aps_per_building
+            ]
+            other = heard[ds.building == b][
+                :, neighbor * n_aps_per_building : (neighbor + 1) * n_aps_per_building
+            ]
+            assert own.mean() > other.mean()
+
+
+class TestNormalization:
+    def test_range_zero_one(self, uji_small):
+        signals = uji_small.normalized_signals()
+        assert signals.min() >= 0.0
+        assert signals.max() <= 1.0
+
+    def test_not_detected_maps_to_zero(self):
+        ds = FingerprintDataset(
+            rssi=np.array([[NOT_DETECTED, -50.0]]),
+            coordinates=np.zeros((1, 2)),
+            floor=np.zeros(1, dtype=int),
+            building=np.zeros(1, dtype=int),
+        )
+        signals = ds.normalized_signals()
+        assert signals[0, 0] == 0.0
+        assert signals[0, 1] == pytest.approx((-50 + 104) / 104)
+
+
+class TestSplit:
+    def test_fractions(self, uji_small):
+        train, val, test = uji_small.split((0.7, 0.1, 0.2), rng=1)
+        assert len(train) + len(val) + len(test) == len(uji_small)
+        assert abs(len(train) / len(uji_small) - 0.7) < 0.02
+
+    def test_disjoint(self, uji_small):
+        train, _val, test = uji_small.split((0.8, 0.1, 0.1), rng=2)
+        train_rows = {tuple(r) for r in train.rssi}
+        test_rows = {tuple(r) for r in test.rssi}
+        # rows are continuous-valued so identical rows imply the same sample
+        assert not (train_rows & test_rows)
+
+    def test_bad_fractions_raise(self, uji_small):
+        with pytest.raises(ValueError):
+            uji_small.split((0.5, 0.2), rng=3)
+
+    def test_subset_preserves_alignment(self, uji_small):
+        subset = uji_small.subset(np.array([3, 1, 4]))
+        np.testing.assert_array_equal(subset.rssi, uji_small.rssi[[3, 1, 4]])
+        np.testing.assert_array_equal(
+            subset.coordinates, uji_small.coordinates[[3, 1, 4]]
+        )
+
+
+class TestCSVLoader:
+    def make_csv(self, path):
+        header = "WAP001,WAP002,LONGITUDE,LATITUDE,FLOOR,BUILDINGID,USERID\n"
+        rows = [
+            "-60,100,-7500.5,4864900.2,2,1,3\n",
+            "100,-80,-7400.0,4864800.0,0,0,3\n",
+        ]
+        path.write_text(header + "".join(rows))
+
+    def test_loads_standard_layout(self, tmp_path):
+        csv_path = tmp_path / "trainingData.csv"
+        self.make_csv(csv_path)
+        ds = load_uji_csv(str(csv_path))
+        assert len(ds) == 2
+        assert ds.n_aps == 2
+        assert ds.rssi[0, 0] == -60.0
+        assert ds.rssi[1, 0] == NOT_DETECTED
+        np.testing.assert_array_equal(ds.floor, [2, 0])
+        np.testing.assert_array_equal(ds.building, [1, 0])
+
+    def test_coordinates_shifted_to_local_frame(self, tmp_path):
+        csv_path = tmp_path / "trainingData.csv"
+        self.make_csv(csv_path)
+        ds = load_uji_csv(str(csv_path))
+        assert ds.coordinates.min() == 0.0
+
+    def test_missing_columns_raise(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("WAP001,LONGITUDE\n-60,1.0\n")
+        with pytest.raises(ValueError, match="missing required column"):
+            load_uji_csv(str(bad))
+
+    def test_non_uji_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="does not look like"):
+            load_uji_csv(str(bad))
+
+
+class TestCSVWriter:
+    def test_round_trip_through_loader(self, uji_small, tmp_path):
+        path = tmp_path / "synthetic.csv"
+        save_uji_csv(uji_small, str(path))
+        loaded = load_uji_csv(str(path))
+        assert len(loaded) == len(uji_small)
+        assert loaded.n_aps == uji_small.n_aps
+        np.testing.assert_allclose(loaded.rssi, uji_small.rssi, atol=1e-3)
+        np.testing.assert_array_equal(loaded.floor, uji_small.floor)
+        np.testing.assert_array_equal(loaded.building, uji_small.building)
+        # the loader shifts coordinates to a min-zero frame
+        expected = uji_small.coordinates - uji_small.coordinates.min(axis=0)
+        np.testing.assert_allclose(loaded.coordinates, expected, atol=1e-5)
+
+    def test_header_layout(self, uji_small, tmp_path):
+        path = tmp_path / "synthetic.csv"
+        save_uji_csv(uji_small, str(path))
+        header = path.read_text().splitlines()[0].split(",")
+        assert header[0] == "WAP001"
+        assert header[-4:] == ["LONGITUDE", "LATITUDE", "FLOOR", "BUILDINGID"]
+
+
+class TestValidation:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(
+                rssi=np.zeros((3, 2)),
+                coordinates=np.zeros((2, 2)),
+                floor=np.zeros(3, dtype=int),
+                building=np.zeros(3, dtype=int),
+            )

@@ -1,0 +1,143 @@
+"""Tests for FLOP counting and the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.energy.flops import count_flops
+from repro.energy.measure import (
+    InferenceEnergyReport,
+    estimate_inference,
+    gps_energy_ratio,
+)
+from repro.energy.model import (
+    GPS_FIX_ENERGY_J,
+    IMU_SENSOR_POWER_W,
+    JETSON_TX2,
+    DeviceProfile,
+    calibrate_profile,
+)
+from repro.nn import BatchNorm1d, Linear, Sequential, Tanh
+
+
+class TestCountFlops:
+    def test_linear(self):
+        assert count_flops(Linear(10, 5, rng=0)) == 2 * 10 * 5 + 5
+
+    def test_linear_no_bias(self):
+        assert count_flops(Linear(10, 5, bias=False, rng=0)) == 2 * 10 * 5
+
+    def test_batchnorm(self):
+        assert count_flops(BatchNorm1d(8)) == 32
+
+    def test_sequential_sums_with_activation_widths(self):
+        model = Sequential(Linear(4, 8, rng=0), Tanh(), Linear(8, 2, rng=0))
+        expected = (2 * 4 * 8 + 8) + 8 + (2 * 8 * 2 + 2)
+        assert count_flops(model) == expected
+
+    def test_paper_architecture_magnitude(self):
+        # the UJI model ≈ 0.4 MFLOPs per inference
+        model = Sequential(
+            Linear(520, 128, rng=0),
+            BatchNorm1d(128),
+            Tanh(),
+            Linear(128, 128, rng=0),
+            BatchNorm1d(128),
+            Tanh(),
+            Linear(128, 1000, rng=0),
+        )
+        flops = count_flops(model)
+        assert 3e5 < flops < 6e5
+
+    def test_custom_module_hook(self):
+        class Custom:
+            def flops_per_inference(self):
+                return 1234
+
+        assert count_flops(Custom()) == 1234
+
+    def test_unknown_layer_raises(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError):
+            count_flops(Mystery())
+
+
+class TestDeviceProfile:
+    def test_energy_affine(self):
+        profile = DeviceProfile("dev", 1e-9, 0.001, 1e-10, 0.0001)
+        assert profile.energy(1_000_000) == pytest.approx(0.002)
+        assert profile.latency(1_000_000) == pytest.approx(0.0002)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            JETSON_TX2.energy(-1)
+
+    def test_single_point_calibration_reproduces_reference(self):
+        profile = calibrate_profile("dev", [(400_000, 0.005, 0.002)])
+        assert profile.energy(400_000) == pytest.approx(0.005)
+        assert profile.latency(400_000) == pytest.approx(0.002)
+
+    def test_two_point_calibration_fits_line(self):
+        points = [(100, 1.0, 0.1), (200, 2.0, 0.2)]
+        profile = calibrate_profile("dev", points)
+        assert profile.energy(150) == pytest.approx(1.5, rel=1e-6)
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            calibrate_profile("dev", [])
+
+    def test_tx2_reproduces_paper_wifi_numbers(self):
+        # by construction the TX2 profile must reproduce §IV-C at the
+        # anchor FLOP count
+        anchor = 2 * (520 * 128 + 128 * 128 + 128 * 1000) + 3 * 128 * 5
+        assert JETSON_TX2.energy(anchor) == pytest.approx(0.00518, rel=1e-6)
+        assert JETSON_TX2.latency(anchor) == pytest.approx(0.002, rel=1e-6)
+
+
+class TestEstimateInference:
+    def make_model(self):
+        return Sequential(Linear(20, 16, rng=0), Tanh(), Linear(16, 4, rng=0))
+
+    def test_report_fields(self):
+        report = estimate_inference(self.make_model(), model_name="tiny")
+        assert report.model_name == "tiny"
+        assert report.flops == count_flops(self.make_model())
+        assert report.inference_energy_j > 0
+        assert report.inference_latency_s > 0
+        assert report.sensor_energy_j == 0.0
+
+    def test_sensing_window_adds_energy(self):
+        report = estimate_inference(self.make_model(), sensing_window_s=8.0)
+        assert report.sensor_energy_j == pytest.approx(0.1356, rel=1e-6)
+        assert report.total_energy_j == pytest.approx(
+            report.inference_energy_j + 0.1356, rel=1e-6
+        )
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            estimate_inference(self.make_model(), sensing_window_s=-1.0)
+
+
+class TestGPSComparison:
+    def test_paper_ratio_reproduced(self):
+        # §V-D: 0.08599 J inference + 0.1356 J sensors vs 5.925 J GPS ≈ 27×
+        report = InferenceEnergyReport(
+            model_name="imu",
+            flops=1,
+            inference_energy_j=0.08599,
+            inference_latency_s=0.005,
+            sensor_energy_j=0.1356,
+        )
+        ratio = gps_energy_ratio(report)
+        assert ratio == pytest.approx(5.925 / 0.22159, rel=1e-6)
+        assert 26 < ratio < 28
+
+    def test_constants_match_paper(self):
+        assert GPS_FIX_ENERGY_J == pytest.approx(5.925)
+        assert IMU_SENSOR_POWER_W == pytest.approx(0.1356 / 8.0)
+
+    def test_zero_energy_rejected(self):
+        report = InferenceEnergyReport("x", 0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            gps_energy_ratio(report)

@@ -1,0 +1,73 @@
+"""Tests for floor plans with holes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.polygon import Polygon
+
+
+def ring_plan():
+    """10×10 building with a 4×4 courtyard hole in the middle."""
+    outer = Polygon.rectangle(0, 0, 10, 10)
+    hole = Polygon.rectangle(3, 3, 7, 7)
+    return FloorPlan([outer], holes=[hole])
+
+
+class TestAccessibility:
+    def test_ring_interior_accessible(self):
+        plan = ring_plan()
+        assert plan.accessible(np.array([[1.0, 1.0]]))[0]
+
+    def test_courtyard_not_accessible(self):
+        plan = ring_plan()
+        assert not plan.accessible(np.array([[5.0, 5.0]]))[0]
+
+    def test_outside_not_accessible(self):
+        plan = ring_plan()
+        assert not plan.accessible(np.array([[20.0, 20.0]]))[0]
+
+    def test_fraction(self):
+        plan = ring_plan()
+        points = np.array([[1.0, 1.0], [5.0, 5.0], [20.0, 20.0], [9.0, 9.0]])
+        assert plan.accessibility_fraction(points) == pytest.approx(0.5)
+
+    def test_multiple_regions(self):
+        plan = FloorPlan(
+            [Polygon.rectangle(0, 0, 1, 1), Polygon.rectangle(5, 5, 6, 6)]
+        )
+        inside = plan.accessible(np.array([[0.5, 0.5], [5.5, 5.5], [3.0, 3.0]]))
+        assert inside.tolist() == [True, True, False]
+
+
+class TestSampling:
+    def test_samples_avoid_holes(self):
+        plan = ring_plan()
+        samples = plan.sample(300, rng=7)
+        assert plan.accessible(samples).all()
+
+    def test_sample_count(self):
+        assert ring_plan().sample(25, rng=8).shape == (25, 2)
+
+    def test_area_weighting_across_regions(self):
+        big = Polygon.rectangle(0, 0, 10, 10)
+        small = Polygon.rectangle(100, 100, 101, 101)
+        plan = FloorPlan([big, small])
+        samples = plan.sample(500, rng=9)
+        in_big = big.contains(samples).mean()
+        assert in_big > 0.9  # big region gets ~99% of samples
+
+
+class TestMeasures:
+    def test_bounds_cover_all_regions(self):
+        plan = FloorPlan(
+            [Polygon.rectangle(0, 0, 1, 1), Polygon.rectangle(5, -2, 6, 6)]
+        )
+        assert plan.bounds == (0.0, -2.0, 6.0, 6.0)
+
+    def test_ring_area(self):
+        assert ring_plan().area() == pytest.approx(100.0 - 16.0)
+
+    def test_needs_regions(self):
+        with pytest.raises(ValueError):
+            FloorPlan([])

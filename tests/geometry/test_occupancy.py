@@ -1,0 +1,54 @@
+"""Tests for occupancy grids."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.occupancy import OccupancyGrid
+
+RNG = np.random.default_rng(43)
+
+
+class TestFit:
+    def test_counts_occupied_cells(self):
+        points = np.array([[0.5, 0.5], [0.6, 0.6], [10.5, 10.5]])
+        grid = OccupancyGrid(cell_size=1.0).fit(points)
+        assert grid.n_occupied == 2
+
+    def test_min_count_filters_sparse_cells(self):
+        points = np.array([[0.5, 0.5], [0.6, 0.6], [10.5, 10.5]])
+        grid = OccupancyGrid(cell_size=1.0, min_count=2).fit(points)
+        assert grid.n_occupied == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(cell_size=0.0)
+        with pytest.raises(ValueError):
+            OccupancyGrid(cell_size=1.0, min_count=0)
+
+
+class TestQueries:
+    def test_is_occupied(self):
+        points = RNG.uniform(0, 5, size=(100, 2))
+        grid = OccupancyGrid(cell_size=1.0).fit(points)
+        assert grid.is_occupied(points).all()
+        assert not grid.is_occupied(np.array([[100.0, 100.0]]))[0]
+
+    def test_snap_moves_only_off_grid_points(self):
+        points = np.array([[0.5, 0.5], [20.5, 20.5]])
+        grid = OccupancyGrid(cell_size=1.0).fit(points)
+        # grid origin is (0.5, 0.5): (0.6, 0.6) shares the first point's cell
+        queries = np.array([[0.6, 0.6], [50.0, 50.0]])
+        snapped = grid.snap(queries)
+        np.testing.assert_array_equal(snapped[0], queries[0])  # already occupied
+        # off-grid point snapped to the nearest occupied cell center
+        assert np.linalg.norm(snapped[1] - [20.5, 20.5]) < 1.0
+
+    def test_snap_result_occupied(self):
+        points = RNG.uniform(0, 5, size=(50, 2))
+        grid = OccupancyGrid(cell_size=0.5).fit(points)
+        queries = RNG.uniform(-10, 15, size=(50, 2))
+        assert grid.is_occupied(grid.snap(queries)).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OccupancyGrid(cell_size=1.0).is_occupied(np.zeros((1, 2)))

@@ -1,0 +1,123 @@
+"""Tests for polygons: containment, projection, area, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polygon import Polygon
+
+RNG = np.random.default_rng(41)
+
+
+def unit_square():
+    return Polygon.rectangle(0.0, 0.0, 1.0, 1.0)
+
+
+def l_shape():
+    return Polygon(
+        np.array(
+            [[0, 0], [2, 0], [2, 1], [1, 1], [1, 2], [0, 2]], dtype=float
+        )
+    )
+
+
+class TestContains:
+    def test_center_inside(self):
+        assert unit_square().contains(np.array([[0.5, 0.5]]))[0]
+
+    def test_outside(self):
+        result = unit_square().contains(np.array([[2.0, 0.5], [-1.0, 0.5]]))
+        assert not result.any()
+
+    def test_l_shape_notch_excluded(self):
+        poly = l_shape()
+        assert poly.contains(np.array([[0.5, 0.5]]))[0]
+        assert poly.contains(np.array([[1.5, 0.5]]))[0]
+        assert not poly.contains(np.array([[1.5, 1.5]]))[0]
+
+    def test_vectorized_matches_scalar(self):
+        poly = l_shape()
+        points = RNG.uniform(-1, 3, size=(100, 2))
+        batch = poly.contains(points)
+        single = np.array([poly.contains(p[None, :])[0] for p in points])
+        np.testing.assert_array_equal(batch, single)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=st.floats(min_value=-5, max_value=5),
+        y=st.floats(min_value=-5, max_value=5),
+    )
+    def test_rectangle_containment_matches_bounds(self, x, y):
+        poly = Polygon.rectangle(-1.0, -2.0, 3.0, 4.0)
+        expected = (-1.0 < x < 3.0) and (-2.0 < y < 4.0)
+        on_boundary = x in (-1.0, 3.0) or y in (-2.0, 4.0)
+        if not on_boundary:
+            assert poly.contains(np.array([[x, y]]))[0] == expected
+
+
+class TestGeometryMeasures:
+    def test_rectangle_area(self):
+        assert Polygon.rectangle(0, 0, 2, 3).area() == pytest.approx(6.0)
+
+    def test_l_shape_area(self):
+        assert l_shape().area() == pytest.approx(3.0)
+
+    def test_area_orientation_invariant(self):
+        poly = unit_square()
+        reversed_poly = Polygon(poly.vertices[::-1])
+        assert poly.area() == pytest.approx(reversed_poly.area())
+
+    def test_bounds(self):
+        assert l_shape().bounds == (0.0, 0.0, 2.0, 2.0)
+
+
+class TestNearestBoundary:
+    def test_projection_of_outside_point(self):
+        nearest = unit_square().nearest_boundary_point(np.array([[2.0, 0.5]]))
+        np.testing.assert_allclose(nearest[0], [1.0, 0.5])
+
+    def test_projection_onto_corner(self):
+        nearest = unit_square().nearest_boundary_point(np.array([[2.0, 2.0]]))
+        np.testing.assert_allclose(nearest[0], [1.0, 1.0])
+
+    def test_distance_zero_on_boundary(self):
+        d = unit_square().distance_to_boundary(np.array([[1.0, 0.5]]))
+        assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_interior_distance_positive(self):
+        d = unit_square().distance_to_boundary(np.array([[0.5, 0.5]]))
+        assert d[0] == pytest.approx(0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=st.floats(min_value=-10, max_value=10),
+        y=st.floats(min_value=-10, max_value=10),
+    )
+    def test_projected_point_is_on_boundary(self, x, y):
+        poly = l_shape()
+        projected = poly.nearest_boundary_point(np.array([[x, y]]))
+        assert poly.distance_to_boundary(projected)[0] < 1e-9
+
+
+class TestSampling:
+    def test_samples_inside(self):
+        poly = l_shape()
+        samples = poly.sample_interior(200, rng=1)
+        assert poly.contains(samples).all()
+
+    def test_sample_count(self):
+        assert unit_square().sample_interior(17, rng=2).shape == (17, 2)
+
+    def test_zero_samples(self):
+        assert unit_square().sample_interior(0, rng=3).shape == (0, 2)
+
+
+class TestValidation:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            Polygon(np.array([[0, 0], [1, 1]]))
+
+    def test_degenerate_rectangle(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(0, 0, 0, 1)

@@ -1,0 +1,62 @@
+"""Tests for the snap-to-map projection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.polygon import Polygon
+from repro.geometry.projection import project_to_map
+
+
+def ring_plan():
+    return FloorPlan(
+        [Polygon.rectangle(0, 0, 10, 10)],
+        holes=[Polygon.rectangle(3, 3, 7, 7)],
+    )
+
+
+class TestProjectToMap:
+    def test_on_map_points_unchanged(self):
+        plan = ring_plan()
+        points = np.array([[1.0, 1.0], [9.0, 2.0]])
+        np.testing.assert_array_equal(project_to_map(points, plan), points)
+
+    def test_outside_point_snaps_to_boundary(self):
+        plan = ring_plan()
+        out = project_to_map(np.array([[15.0, 5.0]]), plan)
+        np.testing.assert_allclose(out[0], [10.0, 5.0])
+
+    def test_courtyard_point_snaps_to_hole_boundary(self):
+        plan = ring_plan()
+        out = project_to_map(np.array([[5.0, 5.0]]), plan)
+        # nearest accessible point is on the courtyard edge (x or y = 3 or 7)
+        assert min(
+            abs(out[0, 0] - 3), abs(out[0, 0] - 7), abs(out[0, 1] - 3), abs(out[0, 1] - 7)
+        ) < 1e-9
+
+    def test_projection_lands_on_accessible_space_or_its_boundary(self):
+        plan = ring_plan()
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-5, 15, size=(100, 2))
+        projected = project_to_map(points, plan)
+        boundary_distance = np.minimum(
+            plan.regions[0].distance_to_boundary(projected),
+            plan.holes[0].distance_to_boundary(projected),
+        )
+        on_map = plan.accessible(projected) | (boundary_distance < 1e-9)
+        assert on_map.all()
+
+    def test_multi_region_snaps_to_nearest(self):
+        plan = FloorPlan(
+            [Polygon.rectangle(0, 0, 1, 1), Polygon.rectangle(10, 0, 11, 1)]
+        )
+        out = project_to_map(np.array([[8.0, 0.5]]), plan)
+        np.testing.assert_allclose(out[0], [10.0, 0.5])
+
+    def test_idempotent_up_to_tolerance(self):
+        plan = ring_plan()
+        rng = np.random.default_rng(4)
+        points = rng.uniform(-3, 13, size=(50, 2))
+        once = project_to_map(points, plan)
+        twice = project_to_map(once, plan)
+        assert np.max(np.linalg.norm(once - twice, axis=1)) < 1e-6

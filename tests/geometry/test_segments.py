@@ -1,0 +1,60 @@
+"""Tests for point-to-segment distances and route-graph segment export."""
+
+import numpy as np
+import pytest
+
+from repro.data.imu import court_route_graph
+from repro.geometry.segments import route_graph_segments, segment_distances
+
+
+class TestSegmentDistances:
+    def test_point_on_segment_zero(self):
+        segments = np.array([[[0.0, 0.0], [10.0, 0.0]]])
+        d = segment_distances(np.array([[5.0, 0.0]]), segments)
+        assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_perpendicular_distance(self):
+        segments = np.array([[[0.0, 0.0], [10.0, 0.0]]])
+        d = segment_distances(np.array([[5.0, 3.0]]), segments)
+        assert d[0] == pytest.approx(3.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        segments = np.array([[[0.0, 0.0], [10.0, 0.0]]])
+        d = segment_distances(np.array([[13.0, 4.0]]), segments)
+        assert d[0] == pytest.approx(5.0)
+
+    def test_nearest_of_multiple(self):
+        segments = np.array(
+            [[[0.0, 0.0], [10.0, 0.0]], [[0.0, 100.0], [10.0, 100.0]]]
+        )
+        d = segment_distances(np.array([[5.0, 99.0]]), segments)
+        assert d[0] == pytest.approx(1.0)
+
+    def test_degenerate_segment_is_point(self):
+        segments = np.array([[[2.0, 2.0], [2.0, 2.0]]])
+        d = segment_distances(np.array([[5.0, 6.0]]), segments)
+        assert d[0] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segment_distances(np.zeros((1, 2)), np.zeros((0, 2, 2)))
+        with pytest.raises(ValueError):
+            segment_distances(np.zeros((1, 2)), np.zeros((3, 2)))
+
+
+class TestRouteGraphSegments:
+    def test_each_edge_once(self):
+        route = court_route_graph()
+        segments = route_graph_segments(route.nodes, route.adjacency)
+        n_edges = sum(len(v) for v in route.adjacency.values()) // 2
+        assert len(segments) == n_edges
+
+    def test_nodes_have_zero_distance(self):
+        route = court_route_graph()
+        segments = route_graph_segments(route.nodes, route.adjacency)
+        d = segment_distances(route.nodes, segments)
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            route_graph_segments(np.zeros((2, 2)), {0: [], 1: []})

@@ -1,0 +1,61 @@
+"""Integration: the IMU tracking pipeline's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.tracking import (
+    DeadReckoningTracker,
+    NObLeTracker,
+    evaluate_tracker,
+)
+
+
+@pytest.fixture(scope="module")
+def imu_results(path_data, trained_noble_tracker, raw_segments, walk_headings):
+    integration = DeadReckoningTracker(
+        raw_segments, method="integration", initial_headings=walk_headings
+    ).fit(path_data)
+    return {
+        "noble": evaluate_tracker("noble", trained_noble_tracker, path_data),
+        "integration": evaluate_tracker("integration", integration, path_data),
+    }
+
+
+class TestPaperShapeClaims:
+    def test_noble_beats_raw_integration(self, imu_results):
+        # learned tracking must beat noisy double integration (the
+        # motivating failure of physics-only IMU tracking, §II)
+        assert (
+            imu_results["noble"].errors.mean
+            < imu_results["integration"].errors.mean
+        )
+
+    def test_noble_median_below_mean(self, imu_results):
+        # Table III: NObLe median 0.4 m vs mean 2.52 m
+        noble = imu_results["noble"].errors
+        assert noble.median <= noble.mean
+
+    def test_noble_predictions_on_route(
+        self, trained_noble_tracker, path_data
+    ):
+        # Fig. 5(d): predictions resemble the route structure; NObLe
+        # outputs are end-cell centroids, hence near reference locations
+        predicted = trained_noble_tracker.predict_coordinates(
+            path_data, path_data.test_indices
+        )
+        distances = np.linalg.norm(
+            predicted[:, None, :]
+            - path_data.reference_positions[None, :, :],
+            axis=-1,
+        ).min(axis=1)
+        assert np.median(distances) < 2.0
+
+    def test_determinism(self, path_data):
+        outputs = []
+        for _run in range(2):
+            tracker = NObLeTracker(epochs=4, patience=10, seed=44)
+            tracker.fit(path_data)
+            outputs.append(
+                tracker.predict_coordinates(path_data, path_data.test_indices)
+            )
+        np.testing.assert_array_equal(outputs[0], outputs[1])

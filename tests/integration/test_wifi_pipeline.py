@@ -1,0 +1,64 @@
+"""Integration: the full Wi-Fi experiment pipeline reproduces the
+paper's qualitative claims (shape, not absolute numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    DeepRegressionWifi,
+    NObLeWifi,
+    evaluate_localizer,
+)
+
+
+@pytest.fixture(scope="module")
+def wifi_results(uji_split, trained_noble_wifi):
+    train, _val, test = uji_split
+    regression = DeepRegressionWifi(
+        epochs=120, batch_size=32, val_fraction=0.0, seed=606
+    ).fit(train)
+    return {
+        "noble": evaluate_localizer("noble", trained_noble_wifi, test),
+        "regression": evaluate_localizer("regression", regression, test),
+    }
+
+
+class TestPaperShapeClaims:
+    def test_noble_beats_regression_mean(self, wifi_results):
+        # Table I vs Table II: 4.45 m vs 10.17 m
+        assert (
+            wifi_results["noble"].errors.mean
+            < wifi_results["regression"].errors.mean
+        )
+
+    def test_noble_median_much_below_mean(self, wifi_results):
+        # Table I: median 0.23 m vs mean 4.45 m — most predictions land
+        # exactly on the right cell, errors come from a misclassified tail
+        noble = wifi_results["noble"].errors
+        assert noble.median < noble.mean / 2
+
+    def test_noble_structure_score_higher(self, wifi_results):
+        # Fig. 4: NObLe's predictions lie on the buildings
+        assert (
+            wifi_results["noble"].structure_score
+            >= wifi_results["regression"].structure_score
+        )
+
+    def test_noble_structure_score_near_one(self, wifi_results):
+        assert wifi_results["noble"].structure_score > 0.99
+
+    def test_building_floor_hit_rates_high(self, wifi_results):
+        # Table I: building 99.74 %, floor 94.25 %
+        assert wifi_results["noble"].building_accuracy > 0.9
+        assert wifi_results["noble"].floor_accuracy > 0.7
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_predictions(self, uji_split):
+        train, _val, test = uji_split
+        outputs = []
+        for _run in range(2):
+            model = NObLeWifi(epochs=8, val_fraction=0.0, seed=99)
+            model.fit(train)
+            outputs.append(model.predict_coordinates(test))
+        np.testing.assert_array_equal(outputs[0], outputs[1])

@@ -1,0 +1,155 @@
+"""Tests for the Wi-Fi baselines: Deep Regression, Projection, Manifold, kNN."""
+
+import numpy as np
+import pytest
+
+from repro.localization.knn import KNNFingerprinting
+from repro.localization.manifold_reg import ManifoldRegressionWifi
+from repro.localization.projection import DeepRegressionProjection
+from repro.localization.regression import DeepRegressionWifi
+
+
+class TestDeepRegression:
+    def test_fit_predict_shapes(self, uji_split):
+        train, _val, test = uji_split
+        model = DeepRegressionWifi(epochs=20, val_fraction=0.0, seed=1).fit(train)
+        assert model.predict_coordinates(test).shape == (len(test), 2)
+
+    def test_better_than_predicting_mean_everywhere(self, uji_split):
+        train, _val, test = uji_split
+        model = DeepRegressionWifi(epochs=60, val_fraction=0.0, seed=1).fit(train)
+        predicted = model.predict_coordinates(test)
+        errors = np.linalg.norm(predicted - test.coordinates, axis=1)
+        baseline = np.linalg.norm(
+            train.coordinates.mean(axis=0) - test.coordinates, axis=1
+        )
+        assert errors.mean() < baseline.mean()
+
+    def test_raw_arrays_supported(self, uji_split):
+        train, _val, test = uji_split
+        model = DeepRegressionWifi(epochs=5, val_fraction=0.0, seed=1)
+        model.fit(train.normalized_signals(), coordinates=train.coordinates)
+        out = model.predict_coordinates(test.normalized_signals())
+        assert out.shape == (len(test), 2)
+
+    def test_raw_fit_without_coords_raises(self, uji_split):
+        train, _val, _test = uji_split
+        with pytest.raises(ValueError, match="coordinates are required"):
+            DeepRegressionWifi().fit(train.normalized_signals())
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DeepRegressionWifi().predict_coordinates(np.zeros((1, 3)))
+
+
+class TestProjectionBaseline:
+    def test_projected_predictions_on_accessible_space(self, uji_split):
+        train, _val, test = uji_split
+        model = DeepRegressionProjection(epochs=20, val_fraction=0.0, seed=1)
+        model.fit(train)
+        predicted = model.predict_coordinates(test)
+        plan = train.plan
+        # projection guarantees on-map up to boundary tolerance
+        boundary = np.min(
+            np.stack(
+                [r.distance_to_boundary(predicted) for r in plan.regions]
+                + [h.distance_to_boundary(predicted) for h in plan.holes]
+            ),
+            axis=0,
+        )
+        assert np.all(plan.accessible(predicted) | (boundary < 1e-6))
+
+    def test_improves_or_matches_structure_score(self, uji_split):
+        train, _val, test = uji_split
+        raw = DeepRegressionWifi(epochs=20, val_fraction=0.0, seed=1).fit(train)
+        projected = DeepRegressionProjection(
+            regressor=None, epochs=20, val_fraction=0.0, seed=1
+        ).fit(train)
+        plan = train.plan
+        raw_score = plan.accessibility_fraction(raw.predict_coordinates(test))
+        proj_score = plan.accessibility_fraction(
+            projected.predict_coordinates(test)
+        )
+        assert proj_score >= raw_score - 1e-3
+
+    def test_occupancy_fallback_without_plan(self, uji_split):
+        train, _val, test = uji_split
+        train_no_plan = train.subset(np.arange(len(train)))
+        train_no_plan.plan = None
+        model = DeepRegressionProjection(
+            cell_size=6.0, epochs=10, val_fraction=0.0, seed=1
+        )
+        model.fit(train_no_plan)
+        assert model.occupancy_ is not None
+        predicted = model.predict_coordinates(test)
+        assert model.occupancy_.is_occupied(predicted).all()
+
+
+class TestManifoldBaselines:
+    @pytest.mark.parametrize("method", ["isomap", "lle"])
+    def test_fit_predict(self, uji_split, method):
+        train, _val, test = uji_split
+        model = ManifoldRegressionWifi(
+            method=method,
+            n_components=8,
+            n_neighbors=8,
+            max_fit_points=150,
+            regressor_kwargs=dict(epochs=15, val_fraction=0.0),
+            seed=2,
+        )
+        model.fit(train)
+        predicted = model.predict_coordinates(test)
+        assert predicted.shape == (len(test), 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            ManifoldRegressionWifi(method="umap")
+
+    def test_subsampling_cap_respected(self, uji_split):
+        train, _val, _test = uji_split
+        model = ManifoldRegressionWifi(
+            n_components=4,
+            n_neighbors=5,
+            max_fit_points=60,
+            regressor_kwargs=dict(epochs=5, val_fraction=0.0),
+        )
+        model.fit(train)
+        assert len(model.embedder_._train_points) <= 60
+
+
+class TestKNN:
+    def test_exact_match_on_training_points(self, uji_split):
+        train, _val, _test = uji_split
+        model = KNNFingerprinting(k=1).fit(train)
+        predicted = model.predict_coordinates(train)
+        np.testing.assert_allclose(predicted, train.coordinates, atol=1e-9)
+
+    def test_reasonable_test_error(self, uji_split):
+        train, _val, test = uji_split
+        model = KNNFingerprinting(k=3).fit(train)
+        errors = np.linalg.norm(
+            model.predict_coordinates(test) - test.coordinates, axis=1
+        )
+        assert np.median(errors) < 30.0
+
+    def test_majority_labels(self, uji_split):
+        train, _val, test = uji_split
+        model = KNNFingerprinting(k=3).fit(train)
+        building, floor = model.predict_labels(test)
+        assert np.mean(building == test.building) > 0.8
+        assert building.shape == floor.shape == (len(test),)
+
+    def test_unweighted_mean(self, uji_split):
+        train, _val, test = uji_split
+        model = KNNFingerprinting(k=5, weighted=False).fit(train)
+        assert model.predict_coordinates(test).shape == (len(test), 2)
+
+    def test_k_larger_than_train_raises(self, uji_split):
+        train, _val, _test = uji_split
+        with pytest.raises(ValueError):
+            KNNFingerprinting(k=len(train) + 1).fit(train)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNFingerprinting(k=0)

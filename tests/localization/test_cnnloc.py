@@ -1,0 +1,72 @@
+"""Tests for the CNNLoc-style baseline."""
+
+import numpy as np
+import pytest
+
+from repro.localization.cnnloc import CNNLocWifi
+
+
+@pytest.fixture(scope="module")
+def fitted_cnnloc(uji_split):
+    train, _val, _test = uji_split
+    model = CNNLocWifi(
+        encoder_sizes=(64, 32),
+        conv_channels=(4, 8),
+        pretrain_epochs=5,
+        epochs=60,
+        batch_size=32,
+        seed=5,
+    )
+    model.fit(train)
+    return model
+
+
+class TestCNNLoc:
+    def test_prediction_shapes(self, fitted_cnnloc, uji_split):
+        _train, _val, test = uji_split
+        predicted = fitted_cnnloc.predict_coordinates(test)
+        assert predicted.shape == (len(test), 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_label_heads(self, fitted_cnnloc, uji_split):
+        _train, _val, test = uji_split
+        building, floor = fitted_cnnloc.predict_labels(test)
+        assert building.shape == floor.shape == (len(test),)
+        # the building head should be strong (coarse task)
+        assert np.mean(building == test.building) > 0.7
+
+    def test_beats_mean_predictor(self, fitted_cnnloc, uji_split):
+        train, _val, test = uji_split
+        predicted = fitted_cnnloc.predict_coordinates(test)
+        errors = np.linalg.norm(predicted - test.coordinates, axis=1)
+        baseline = np.linalg.norm(
+            train.coordinates.mean(axis=0) - test.coordinates, axis=1
+        )
+        assert errors.mean() < baseline.mean()
+
+    def test_history_recorded(self, fitted_cnnloc):
+        assert fitted_cnnloc.history_.epochs_run > 0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            CNNLocWifi().predict_coordinates(np.zeros((1, 4)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CNNLocWifi(encoder_sizes=())
+        with pytest.raises(ValueError):
+            CNNLocWifi(conv_channels=())
+
+    def test_overshrunk_cnn_rejected(self, uji_split):
+        train, _val, _test = uji_split
+        model = CNNLocWifi(
+            encoder_sizes=(8,),
+            conv_channels=(4, 4, 4),
+            kernel_size=3,
+            pool=2,
+            pretrain_epochs=1,
+            epochs=1,
+            seed=6,
+        )
+        with pytest.raises(ValueError, match="shrinks"):
+            model.fit(train)

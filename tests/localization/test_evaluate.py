@@ -1,0 +1,45 @@
+"""Tests for the localization evaluation harness."""
+
+import numpy as np
+
+from repro.localization.evaluate import LocalizationReport, evaluate_localizer
+from repro.metrics.errors import summarize_errors
+
+
+class TestEvaluateLocalizer:
+    def test_report_fields_for_noble(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        report = evaluate_localizer("noble", trained_noble_wifi, test)
+        assert report.name == "noble"
+        assert report.errors.n == len(test)
+        assert report.building_accuracy is not None
+        assert report.floor_accuracy is not None
+        assert report.class_accuracy is not None
+        assert report.structure_score is not None
+        assert 0.0 <= report.structure_score <= 1.0
+
+    def test_plain_model_has_no_hit_rates(self, uji_split):
+        train, _val, test = uji_split
+
+        class Constant:
+            def predict_coordinates(self, dataset):
+                return np.tile(
+                    train.coordinates.mean(axis=0), (len(dataset), 1)
+                )
+
+        report = evaluate_localizer("constant", Constant(), test)
+        assert report.building_accuracy is None
+        assert report.errors.mean > 0
+
+    def test_row_renders(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        report = evaluate_localizer("noble", trained_noble_wifi, test)
+        row = report.row()
+        assert "noble" in row
+        assert "%" in row  # structure score present
+
+    def test_row_without_structure(self):
+        report = LocalizationReport(
+            name="x", errors=summarize_errors(np.array([1.0, 2.0]))
+        )
+        assert "%" not in report.row()

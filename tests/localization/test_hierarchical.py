@@ -1,0 +1,38 @@
+"""Tests for hierarchical (building-conditioned) inference."""
+
+import numpy as np
+import pytest
+
+from repro.localization.noble import NObLeWifi
+
+
+class TestHierarchicalInference:
+    def test_requires_building_head(self, uji_split):
+        train, _val, test = uji_split
+        model = NObLeWifi(heads=("fine",), epochs=5, val_fraction=0.0, seed=1)
+        model.fit(train)
+        with pytest.raises(ValueError, match="building"):
+            model.predict(test, hierarchical=True)
+
+    def test_fine_class_consistent_with_building(
+        self, trained_noble_wifi, uji_split
+    ):
+        _train, _val, test = uji_split
+        prediction = trained_noble_wifi.predict(test, hierarchical=True)
+        mapped = trained_noble_wifi.fine_class_building_[prediction.fine_class]
+        np.testing.assert_array_equal(mapped, prediction.building)
+
+    def test_not_worse_than_flat(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        flat = trained_noble_wifi.predict(test)
+        hier = trained_noble_wifi.predict(test, hierarchical=True)
+        flat_err = np.linalg.norm(flat.coordinates - test.coordinates, axis=1)
+        hier_err = np.linalg.norm(hier.coordinates - test.coordinates, axis=1)
+        # pruning cross-building cells cannot hurt much; typically helps
+        assert hier_err.mean() <= flat_err.mean() * 1.1
+
+    def test_mapping_covers_all_classes(self, trained_noble_wifi):
+        mapping = trained_noble_wifi.fine_class_building_
+        assert mapping.shape == (trained_noble_wifi.quantizer_.n_fine,)
+        assert mapping.min() >= 0
+        assert mapping.max() < trained_noble_wifi.n_buildings_

@@ -1,0 +1,139 @@
+"""Tests for the NObLe Wi-Fi model."""
+
+import numpy as np
+import pytest
+
+from repro.localization.noble import NObLeWifi
+
+
+class TestConstruction:
+    def test_fine_head_mandatory(self):
+        with pytest.raises(ValueError, match="mandatory"):
+            NObLeWifi(heads=("building", "floor"))
+
+    def test_unknown_heads_rejected(self):
+        with pytest.raises(ValueError, match="unknown heads"):
+            NObLeWifi(heads=("fine", "rooms"))
+
+    def test_invalid_val_fraction(self):
+        with pytest.raises(ValueError):
+            NObLeWifi(val_fraction=1.0)
+
+
+class TestTraining:
+    def test_head_slices_cover_output(self, trained_noble_wifi):
+        model = trained_noble_wifi
+        total = model.model_[-1].out_features
+        covered = sum(
+            s.stop - s.start for s in model.head_slices_.values()
+        )
+        assert covered == total
+
+    def test_history_recorded(self, trained_noble_wifi):
+        assert trained_noble_wifi.history_.epochs_run > 0
+
+    def test_quantizer_fitted(self, trained_noble_wifi):
+        assert trained_noble_wifi.quantizer_.n_fine > 0
+        assert trained_noble_wifi.quantizer_.n_coarse > 0
+        assert trained_noble_wifi.quantizer_.n_coarse <= trained_noble_wifi.quantizer_.n_fine
+
+
+class TestPrediction:
+    def test_prediction_fields(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        prediction = trained_noble_wifi.predict(test)
+        assert prediction.coordinates.shape == (len(test), 2)
+        assert prediction.building.shape == (len(test),)
+        assert prediction.floor.shape == (len(test),)
+        assert prediction.fine_class.shape == (len(test),)
+        assert prediction.coarse_class.shape == (len(test),)
+
+    def test_coordinates_are_fine_centroids(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        prediction = trained_noble_wifi.predict(test)
+        expected = trained_noble_wifi.quantizer_.fine.inverse_transform(
+            prediction.fine_class
+        )
+        np.testing.assert_array_equal(prediction.coordinates, expected)
+
+    def test_predictions_on_populated_cells_only(
+        self, trained_noble_wifi, uji_split
+    ):
+        # structure awareness by construction: every output is a centroid
+        # of a populated (accessible) cell
+        train, _val, test = uji_split
+        prediction = trained_noble_wifi.predict(test)
+        centroids = trained_noble_wifi.quantizer_.fine.centroids_
+        distances = np.linalg.norm(
+            prediction.coordinates[:, None, :] - centroids[None, :, :], axis=-1
+        ).min(axis=1)
+        np.testing.assert_allclose(distances, 0.0, atol=1e-9)
+
+    def test_raw_array_input_supported(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        from_dataset = trained_noble_wifi.predict_coordinates(test)
+        from_array = trained_noble_wifi.predict_coordinates(
+            test.normalized_signals()
+        )
+        np.testing.assert_array_equal(from_dataset, from_array)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NObLeWifi().predict(np.zeros((2, 3)))
+
+
+class TestLearnedQuality:
+    def test_beats_quantization_floor_only_modestly(
+        self, trained_noble_wifi, uji_split
+    ):
+        # position error can never beat the quantization floor; check the
+        # model actually achieves sub-campus accuracy on test data
+        _train, _val, test = uji_split
+        predicted = trained_noble_wifi.predict_coordinates(test)
+        errors = np.linalg.norm(predicted - test.coordinates, axis=1)
+        assert np.median(errors) < 10.0  # campus is ~400 m wide
+
+    def test_building_head_highly_accurate(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        prediction = trained_noble_wifi.predict(test)
+        accuracy = np.mean(prediction.building == test.building)
+        assert accuracy > 0.9
+
+    def test_embedding_shape(self, trained_noble_wifi, uji_split):
+        _train, _val, test = uji_split
+        embedding = trained_noble_wifi.embed(test)
+        assert embedding.shape == (len(test), trained_noble_wifi.hidden)
+
+    def test_same_class_embeddings_cluster(self, trained_noble_wifi, uji_split):
+        # §III-C: same-class embeddings should be closer than cross-class
+        train, _val, _test = uji_split
+        embedding = trained_noble_wifi.embed(train)
+        labels = trained_noble_wifi.true_labels(train)["fine"]
+        rng = np.random.default_rng(0)
+        same, cross = [], []
+        for _trial in range(300):
+            i, j = rng.integers(0, len(labels), size=2)
+            d = np.linalg.norm(embedding[i] - embedding[j])
+            (same if labels[i] == labels[j] else cross).append(d)
+        if same and cross:
+            assert np.mean(same) < np.mean(cross)
+
+
+class TestHeadAblation:
+    def test_fine_only_model_trains(self, uji_split):
+        train, _val, test = uji_split
+        model = NObLeWifi(
+            heads=("fine",), epochs=30, val_fraction=0.0, seed=1
+        )
+        model.fit(train)
+        prediction = model.predict(test)
+        assert prediction.building is None
+        assert prediction.coarse_class is None
+        assert prediction.coordinates.shape == (len(test), 2)
+
+    def test_true_labels_respect_heads(self, uji_split):
+        train, _val, _test = uji_split
+        model = NObLeWifi(heads=("fine",), epochs=5, val_fraction=0.0, seed=1)
+        model.fit(train)
+        labels = model.true_labels(train)
+        assert set(labels) == {"fine"}

@@ -1,0 +1,94 @@
+"""Tests for RSSI input representations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.localization.representations import (
+    binary,
+    exponential,
+    get_representation,
+    identity,
+    powed,
+)
+
+
+class TestTransforms:
+    def test_identity_unchanged(self):
+        x = np.random.default_rng(0).uniform(0, 1, size=(5, 4))
+        np.testing.assert_array_equal(identity(x), x)
+
+    def test_powed_preserves_endpoints(self):
+        x = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(powed(x), [[0.0, 1.0]])
+
+    def test_powed_compresses_weak_signals(self):
+        x = np.array([[0.3]])
+        assert powed(x, beta=3.0)[0, 0] < 0.3
+
+    def test_exponential_preserves_endpoints(self):
+        x = np.array([[0.0, 1.0]])
+        out = exponential(x, alpha=0.25)
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_exponential_monotone(self):
+        x = np.linspace(0, 1, 50)[None, :]
+        out = exponential(x)
+        assert np.all(np.diff(out[0]) > 0)
+
+    def test_binary_mask(self):
+        x = np.array([[0.0, 0.2, 0.9]])
+        np.testing.assert_array_equal(binary(x), [[0.0, 1.0, 1.0]])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            powed(np.zeros((1, 1)), beta=0.0)
+        with pytest.raises(ValueError):
+            exponential(np.zeros((1, 1)), alpha=-1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_all_transforms_stay_in_unit_interval(self, seed):
+        x = np.random.default_rng(seed).uniform(0, 1, size=(10, 6))
+        for name in ("identity", "powed", "exponential", "binary"):
+            out = get_representation(name)(x)
+            assert out.min() >= -1e-12
+            assert out.max() <= 1.0 + 1e-12
+
+
+class TestLookup:
+    def test_known_names(self):
+        for name in ("identity", "powed", "exponential", "binary"):
+            assert callable(get_representation(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="choices"):
+            get_representation("sigmoid")
+
+
+class TestModelIntegration:
+    def test_noble_accepts_named_transform(self, uji_split):
+        from repro.localization.noble import NObLeWifi
+
+        train, _val, test = uji_split
+        model = NObLeWifi(
+            epochs=10, val_fraction=0.0, signal_transform="powed", seed=3
+        )
+        model.fit(train)
+        predicted = model.predict_coordinates(test)
+        assert predicted.shape == (len(test), 2)
+
+    def test_transform_changes_predictions(self, uji_split):
+        from repro.localization.noble import NObLeWifi
+
+        train, _val, test = uji_split
+        plain = NObLeWifi(epochs=10, val_fraction=0.0, seed=3)
+        plain.fit(train)
+        transformed = NObLeWifi(
+            epochs=10, val_fraction=0.0, signal_transform="binary", seed=3
+        )
+        transformed.fit(train)
+        a = plain.predict_coordinates(test)
+        b = transformed.predict_coordinates(test)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,74 @@
+"""Tests for neighborhood graphs and geodesic distances."""
+
+import numpy as np
+import pytest
+
+from repro.manifold.graph import (
+    geodesic_distances,
+    is_connected,
+    largest_component,
+    neighborhood_graph,
+)
+
+RNG = np.random.default_rng(13)
+
+
+class TestNeighborhoodGraph:
+    def test_symmetric(self):
+        graph = neighborhood_graph(RNG.normal(size=(30, 3)), k=4)
+        diff = (graph - graph.T).toarray()
+        np.testing.assert_allclose(diff, 0.0, atol=1e-12)
+
+    def test_edge_weights_are_distances(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [100.0, 100.0]])
+        graph = neighborhood_graph(points, k=1)
+        assert graph[0, 1] == pytest.approx(5.0)
+
+    def test_line_graph_connected(self):
+        points = np.linspace(0, 10, 20).reshape(-1, 1)
+        assert is_connected(neighborhood_graph(points, k=2))
+
+    def test_two_clusters_disconnected_with_small_k(self):
+        cluster_a = RNG.normal(size=(10, 2))
+        cluster_b = RNG.normal(size=(10, 2)) + 1000.0
+        graph = neighborhood_graph(np.vstack([cluster_a, cluster_b]), k=3)
+        assert not is_connected(graph)
+
+
+class TestGeodesics:
+    def test_line_geodesic_is_cumulative(self):
+        points = np.array([[0.0], [1.0], [2.0], [3.0]])
+        graph = neighborhood_graph(points, k=1)
+        geo = geodesic_distances(graph)
+        assert geo[0, 3] == pytest.approx(3.0)
+
+    def test_geodesic_exceeds_euclidean_on_curve(self):
+        # points on a semicircle: geodesic (arc) > chord
+        theta = np.linspace(0, np.pi, 50)
+        points = np.column_stack([np.cos(theta), np.sin(theta)])
+        graph = neighborhood_graph(points, k=2)
+        geo = geodesic_distances(graph)
+        chord = np.linalg.norm(points[0] - points[-1])
+        assert geo[0, -1] > chord * 1.4  # arc π vs chord 2
+
+    def test_disconnected_gives_inf(self):
+        points = np.vstack(
+            [RNG.normal(size=(5, 2)), RNG.normal(size=(5, 2)) + 1000.0]
+        )
+        geo = geodesic_distances(neighborhood_graph(points, k=2))
+        assert np.isinf(geo[0, 9])
+
+    def test_diagonal_zero(self):
+        graph = neighborhood_graph(RNG.normal(size=(10, 2)), k=3)
+        geo = geodesic_distances(graph)
+        np.testing.assert_allclose(np.diag(geo), 0.0)
+
+
+class TestLargestComponent:
+    def test_picks_bigger_cluster(self):
+        big = RNG.normal(size=(12, 2))
+        small = RNG.normal(size=(4, 2)) + 1000.0
+        graph = neighborhood_graph(np.vstack([big, small]), k=2)
+        keep = largest_component(graph)
+        assert len(keep) == 12
+        assert set(keep.tolist()) == set(range(12))

@@ -1,0 +1,101 @@
+"""Tests for Isomap: flat recovery, swiss-roll unrolling, out-of-sample."""
+
+import numpy as np
+import pytest
+
+from repro.manifold.isomap import Isomap, residual_variance
+from repro.manifold.mds import pairwise_euclidean
+
+RNG = np.random.default_rng(19)
+
+
+def s_curve(n, rng):
+    """A 1-D manifold (arc) embedded in 3-D."""
+    t = np.sort(rng.uniform(0, 3 * np.pi, n))
+    return np.column_stack([np.cos(t), np.sin(t), t / 3.0]), t
+
+
+class TestFit:
+    def test_flat_data_recovered_isometrically(self):
+        points = RNG.normal(size=(60, 2))
+        model = Isomap(n_components=2, n_neighbors=8).fit(points)
+        original = pairwise_euclidean(points)
+        embedded = pairwise_euclidean(model.embedding_)
+        # distances preserved within the graph-approximation error
+        ratio = embedded[original > 0] / original[original > 0]
+        assert np.median(np.abs(ratio - 1.0)) < 0.15
+
+    def test_unrolls_curve(self):
+        points, t = s_curve(150, RNG)
+        model = Isomap(n_components=1, n_neighbors=6).fit(points)
+        emb = model.embedding_[:, 0]
+        corr = abs(np.corrcoef(emb, t[model.kept_indices_])[0, 1])
+        assert corr > 0.99  # embedding orders points along the arc
+
+    def test_residual_variance_low_for_good_fit(self):
+        points, _t = s_curve(100, RNG)
+        model = Isomap(n_components=1, n_neighbors=6).fit(points)
+        rv = residual_variance(
+            model._geodesics, model.embedding_
+        )
+        assert rv < 0.05
+
+    def test_disconnected_error_policy(self):
+        clusters = np.vstack(
+            [RNG.normal(size=(10, 2)), RNG.normal(size=(10, 2)) + 1e6]
+        )
+        with pytest.raises(ValueError, match="disconnected"):
+            Isomap(n_neighbors=3, on_disconnected="error").fit(clusters)
+
+    def test_disconnected_largest_policy(self):
+        clusters = np.vstack(
+            [RNG.normal(size=(14, 2)), RNG.normal(size=(6, 2)) + 1e6]
+        )
+        model = Isomap(n_neighbors=3, on_disconnected="largest").fit(clusters)
+        assert len(model.kept_indices_) == 14
+        assert model.embedding_.shape == (14, 2)
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            Isomap(n_neighbors=10).fit(RNG.normal(size=(5, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Isomap(n_components=0)
+        with pytest.raises(ValueError):
+            Isomap(n_neighbors=-1)
+        with pytest.raises(ValueError):
+            Isomap(on_disconnected="skip")
+
+
+class TestTransform:
+    def test_training_points_map_near_their_embedding(self):
+        points = RNG.normal(size=(50, 3))
+        model = Isomap(n_components=2, n_neighbors=6).fit(points)
+        mapped = model.transform(points)
+        errors = np.linalg.norm(mapped - model.embedding_, axis=1)
+        scale = np.abs(model.embedding_).max()
+        assert np.median(errors) < 0.25 * scale
+
+    def test_new_points_land_near_neighbors(self):
+        points, _t = s_curve(120, RNG)
+        model = Isomap(n_components=1, n_neighbors=6).fit(points)
+        # query = midpoint of two adjacent samples: embedding should fall
+        # between their embeddings
+        query = (points[10] + points[11]) / 2
+        z = model.transform(query[None, :])[0, 0]
+        lo, hi = sorted(
+            [model.embedding_[10, 0], model.embedding_[11, 0]]
+        )
+        margin = (hi - lo) + 0.5 * abs(hi - lo + 1e-9) + 0.2
+        assert lo - margin <= z <= hi + margin
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Isomap().transform(RNG.normal(size=(2, 2)))
+
+    def test_fit_transform_returns_embedding(self):
+        points = RNG.normal(size=(30, 2))
+        model = Isomap(n_components=2, n_neighbors=5)
+        out = model.fit_transform(points)
+        assert out is model.embedding_

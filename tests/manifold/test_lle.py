@@ -1,0 +1,77 @@
+"""Tests for Locally Linear Embedding."""
+
+import numpy as np
+import pytest
+
+from repro.manifold.lle import LocallyLinearEmbedding
+
+RNG = np.random.default_rng(23)
+
+
+def arc_points(n, rng):
+    t = np.sort(rng.uniform(0, np.pi, n))
+    return np.column_stack([np.cos(t), np.sin(t)]), t
+
+
+class TestFit:
+    def test_orders_points_along_curve(self):
+        # fixed local seed: LLE's arc recovery is sensitive to the draw
+        points, t = arc_points(120, np.random.default_rng(0))
+        model = LocallyLinearEmbedding(n_components=1, n_neighbors=8).fit(points)
+        corr = abs(np.corrcoef(model.embedding_[:, 0], t)[0, 1])
+        assert corr > 0.9
+
+    def test_embedding_shape(self):
+        points = RNG.normal(size=(40, 5))
+        model = LocallyLinearEmbedding(n_components=3, n_neighbors=6).fit(points)
+        assert model.embedding_.shape == (40, 3)
+
+    def test_weights_sum_to_one(self):
+        points = RNG.normal(size=(30, 3))
+        model = LocallyLinearEmbedding(n_neighbors=5)
+        from repro.manifold.neighbors import kneighbors
+
+        _d, idx = kneighbors(points, k=5)
+        weights = model._reconstruction_weights(points, idx)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_weights_reconstruct_points_on_flat_manifold(self):
+        # on locally flat data the weighted neighbor combination ≈ the point
+        points = RNG.normal(size=(80, 2))
+        model = LocallyLinearEmbedding(n_neighbors=6, reg=1e-6)
+        from repro.manifold.neighbors import kneighbors
+
+        _d, idx = kneighbors(points, k=6)
+        weights = model._reconstruction_weights(points, idx)
+        reconstructed = np.einsum("nk,nkd->nd", weights, points[idx])
+        errors = np.linalg.norm(reconstructed - points, axis=1)
+        assert np.median(errors) < 0.2
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            LocallyLinearEmbedding(n_neighbors=10).fit(RNG.normal(size=(5, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LocallyLinearEmbedding(n_components=0)
+        with pytest.raises(ValueError):
+            LocallyLinearEmbedding(reg=-1.0)
+
+
+class TestTransform:
+    def test_training_points_map_close(self):
+        points = RNG.normal(size=(60, 3))
+        model = LocallyLinearEmbedding(n_components=2, n_neighbors=6).fit(points)
+        mapped = model.transform(points)
+        errors = np.linalg.norm(mapped - model.embedding_, axis=1)
+        scale = np.abs(model.embedding_).max() + 1e-12
+        assert np.median(errors) < 0.3 * scale
+
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LocallyLinearEmbedding().transform(RNG.normal(size=(2, 2)))
+
+    def test_output_shape(self):
+        points = RNG.normal(size=(50, 4))
+        model = LocallyLinearEmbedding(n_components=2, n_neighbors=5).fit(points)
+        assert model.transform(RNG.normal(size=(7, 4))).shape == (7, 2)

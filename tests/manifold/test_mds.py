@@ -1,0 +1,96 @@
+"""Tests for classical MDS: exact recovery and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.manifold.mds import classical_mds, pairwise_euclidean, stress
+
+RNG = np.random.default_rng(17)
+
+
+def procrustes_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Residual after optimally rotating/translating b onto a."""
+    a = a - a.mean(axis=0)
+    b = b - b.mean(axis=0)
+    u, _s, vt = np.linalg.svd(b.T @ a)
+    rotation = u @ vt
+    return float(np.linalg.norm(a - b @ rotation))
+
+
+class TestClassicalMDS:
+    def test_recovers_euclidean_configuration(self):
+        points = RNG.normal(size=(20, 2))
+        d = pairwise_euclidean(points)
+        embedding, eigenvalues = classical_mds(d, n_components=2)
+        assert procrustes_distance(points, embedding) < 1e-8
+        assert eigenvalues[0] > 0
+
+    def test_stress_zero_for_exact_embedding(self):
+        points = RNG.normal(size=(15, 3))
+        d = pairwise_euclidean(points)
+        embedding, _ = classical_mds(d, n_components=3)
+        assert stress(d, embedding) < 1e-12
+
+    def test_higher_dims_zero_eigenvalues(self):
+        # 2-D data embedded in 4 components: trailing eigenvalues ~0
+        points = RNG.normal(size=(12, 2))
+        d = pairwise_euclidean(points)
+        _emb, eigenvalues = classical_mds(d, n_components=4)
+        assert eigenvalues[2] == pytest.approx(0.0, abs=1e-8)
+        assert eigenvalues[3] == pytest.approx(0.0, abs=1e-8)
+
+    def test_embedding_centered(self):
+        points = RNG.normal(size=(10, 2)) + 100.0
+        d = pairwise_euclidean(points)
+        embedding, _ = classical_mds(d, n_components=2)
+        np.testing.assert_allclose(embedding.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_rejects_asymmetric(self):
+        d = RNG.random((4, 4))
+        with pytest.raises(ValueError, match="symmetric"):
+            classical_mds(d)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            classical_mds(np.zeros((3, 4)))
+
+    def test_rejects_inf(self):
+        d = np.zeros((3, 3))
+        d[0, 1] = d[1, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            classical_mds(d)
+
+    def test_invalid_components(self):
+        d = pairwise_euclidean(RNG.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            classical_mds(d, n_components=0)
+        with pytest.raises(ValueError):
+            classical_mds(d, n_components=6)
+
+
+class TestStress:
+    def test_positive_for_wrong_embedding(self):
+        points = RNG.normal(size=(8, 2))
+        d = pairwise_euclidean(points)
+        assert stress(d, RNG.normal(size=(8, 2))) > 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stress(np.zeros((3, 3)), np.zeros((4, 2)))
+
+
+class TestPairwiseEuclidean:
+    def test_matches_norm(self):
+        points = RNG.normal(size=(6, 3))
+        d = pairwise_euclidean(points)
+        for i in range(6):
+            for j in range(6):
+                # the |a|²-2ab+|b|² expansion carries ~1e-8 cancellation noise
+                assert d[i, j] == pytest.approx(
+                    np.linalg.norm(points[i] - points[j]), abs=1e-7
+                )
+
+    def test_zero_diagonal_and_symmetry(self):
+        d = pairwise_euclidean(RNG.normal(size=(7, 2)))
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)

@@ -1,0 +1,105 @@
+"""Tests for kNN search: KD-tree vs brute-force agreement, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manifold.neighbors import KNNIndex, epsilon_neighbors, kneighbors
+
+RNG = np.random.default_rng(11)
+
+
+class TestKNNIndex:
+    def test_nearest_is_self_when_included(self):
+        points = RNG.normal(size=(20, 3))
+        index = KNNIndex(points)
+        dist, idx = index.query(points, k=1)
+        np.testing.assert_array_equal(idx[:, 0], np.arange(20))
+        np.testing.assert_allclose(dist[:, 0], 0.0, atol=1e-12)
+
+    def test_exclude_self(self):
+        points = RNG.normal(size=(20, 3))
+        index = KNNIndex(points)
+        _dist, idx = index.query(points, k=3, exclude_self=True)
+        assert all(idx[i, 0] != i for i in range(20))
+
+    def test_backends_agree(self):
+        points = RNG.normal(size=(50, 4))
+        queries = RNG.normal(size=(10, 4))
+        d_tree, i_tree = KNNIndex(points, method="kdtree").query(queries, k=5)
+        d_brute, i_brute = KNNIndex(points, method="brute").query(queries, k=5)
+        np.testing.assert_allclose(d_tree, d_brute, atol=1e-9)
+        np.testing.assert_array_equal(i_tree, i_brute)
+
+    def test_distances_sorted(self):
+        points = RNG.normal(size=(30, 2))
+        dist, _idx = KNNIndex(points).query(RNG.normal(size=(5, 2)), k=10)
+        assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+    def test_auto_picks_brute_for_high_dim(self):
+        points = RNG.normal(size=(10, 50))
+        assert KNNIndex(points, method="auto").method == "brute"
+
+    def test_k_too_large_raises(self):
+        index = KNNIndex(RNG.normal(size=(5, 2)))
+        with pytest.raises(ValueError, match="exceeds index size"):
+            index.query(RNG.normal(size=(1, 2)), k=6)
+
+    def test_dim_mismatch_raises(self):
+        index = KNNIndex(RNG.normal(size=(5, 2)))
+        with pytest.raises(ValueError, match="dim"):
+            index.query(RNG.normal(size=(1, 3)), k=1)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            KNNIndex(RNG.normal(size=(5, 2)), method="ann")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=40),
+        d=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_brute_matches_naive(self, n, d, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, d))
+        queries = rng.normal(size=(3, d))
+        dist, idx = KNNIndex(points, method="brute").query(queries, k=k)
+        for qi, q in enumerate(queries):
+            naive = np.linalg.norm(points - q, axis=1)
+            expected = np.sort(naive)[:k]
+            np.testing.assert_allclose(np.sort(dist[qi]), expected, atol=1e-9)
+
+
+class TestKneighbors:
+    def test_excludes_self(self):
+        points = RNG.normal(size=(15, 3))
+        _dist, idx = kneighbors(points, k=4)
+        for i in range(15):
+            assert i not in idx[i]
+
+    def test_known_line_geometry(self):
+        points = np.array([[0.0], [1.0], [2.0], [10.0]])
+        dist, idx = kneighbors(points, k=1)
+        assert idx[0, 0] == 1
+        assert idx[3, 0] == 2
+        assert dist[3, 0] == pytest.approx(8.0)
+
+
+class TestEpsilonNeighbors:
+    def test_radius_respected(self):
+        points = np.array([[0.0, 0.0], [0.5, 0.0], [5.0, 0.0]])
+        result = epsilon_neighbors(points, radius=1.0)
+        assert result[0].tolist() == [1]
+        assert result[2].tolist() == []
+
+    def test_self_excluded(self):
+        points = RNG.normal(size=(10, 2))
+        for i, nearby in enumerate(epsilon_neighbors(points, radius=10.0)):
+            assert i not in nearby
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            epsilon_neighbors(RNG.normal(size=(3, 2)), radius=0.0)

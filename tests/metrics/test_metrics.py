@@ -1,0 +1,112 @@
+"""Tests for position errors, hit rates and CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cdf import error_cdf
+from repro.metrics.classification import hit_rate, per_class_hit_rate
+from repro.metrics.errors import (
+    mean_error,
+    median_error,
+    percentile_error,
+    position_errors,
+    summarize_errors,
+)
+
+
+class TestPositionErrors:
+    def test_euclidean(self):
+        predicted = np.array([[0.0, 0.0], [3.0, 4.0]])
+        truth = np.array([[0.0, 0.0], [0.0, 0.0]])
+        np.testing.assert_allclose(position_errors(predicted, truth), [0.0, 5.0])
+
+    def test_mean_median(self):
+        predicted = np.array([[1.0, 0.0], [3.0, 0.0], [100.0, 0.0]])
+        truth = np.zeros((3, 2))
+        assert mean_error(predicted, truth) == pytest.approx(104.0 / 3)
+        assert median_error(predicted, truth) == pytest.approx(3.0)
+
+    def test_percentile(self):
+        predicted = np.column_stack([np.arange(101), np.zeros(101)])
+        truth = np.zeros((101, 2))
+        assert percentile_error(predicted, truth, 90) == pytest.approx(90.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            position_errors(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            position_errors(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_triangle_inequality_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = rng.normal(size=(3, 10, 2))
+        ab = position_errors(a, b)
+        bc = position_errors(b, c)
+        ac = position_errors(a, c)
+        assert np.all(ac <= ab + bc + 1e-9)
+
+
+class TestSummary:
+    def test_fields(self):
+        errors = np.array([1.0, 2.0, 3.0, 4.0])
+        summary = summarize_errors(errors)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.max == 4.0
+        assert summary.n == 4
+
+    def test_str_renders(self):
+        text = str(summarize_errors(np.array([1.0])))
+        assert "mean" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors(np.array([]))
+
+
+class TestHitRate:
+    def test_values(self):
+        assert hit_rate(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hit_rate(np.zeros(2), np.zeros(3))
+
+    def test_per_class(self):
+        predicted = np.array([0, 0, 1, 1])
+        truth = np.array([0, 1, 1, 1])
+        rates = per_class_hit_rate(predicted, truth, 3)
+        assert rates[0] == 1.0
+        assert rates[1] == pytest.approx(2 / 3)
+        assert np.isnan(rates[2])
+
+
+class TestCDF:
+    def test_monotone_and_bounded(self):
+        errors = np.random.default_rng(0).exponential(size=200)
+        x, f = error_cdf(errors)
+        assert np.all(np.diff(f) >= 0)
+        assert f[0] >= 0.0
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_custom_grid(self):
+        errors = np.array([1.0, 2.0, 3.0])
+        x, f = error_cdf(errors, grid=np.array([0.0, 1.5, 10.0]))
+        np.testing.assert_allclose(f, [0.0, 1 / 3, 1.0])
+
+    def test_median_crossing(self):
+        errors = np.arange(1, 101, dtype=float)
+        x, f = error_cdf(errors, grid=np.array([50.0]))
+        assert f[0] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_cdf(np.array([]))

@@ -1,0 +1,85 @@
+"""Tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+
+RNG = np.random.default_rng(67)
+
+
+def friedman_like(n, rng):
+    x = rng.uniform(0, 1, size=(n, 5))
+    y = (
+        10 * np.sin(np.pi * x[:, 0] * x[:, 1])
+        + 20 * (x[:, 2] - 0.5) ** 2
+        + 10 * x[:, 3]
+        + 5 * x[:, 4]
+    )
+    return x, y
+
+
+class TestFit:
+    def test_beats_single_shallow_tree(self):
+        x, y = friedman_like(300, RNG)
+        x_test, y_test = friedman_like(100, RNG)
+        from repro.ml.tree import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=4, rng=0).fit(x, y)
+        forest = RandomForestRegressor(
+            n_estimators=40, max_depth=4, rng=0
+        ).fit(x, y)
+        tree_mse = np.mean((tree.predict(x_test) - y_test) ** 2)
+        forest_mse = np.mean((forest.predict(x_test) - y_test) ** 2)
+        assert forest_mse < tree_mse
+
+    def test_multi_output(self):
+        x = RNG.normal(size=(120, 4))
+        y = np.column_stack([x[:, 0], x[:, 1] ** 2])
+        forest = RandomForestRegressor(n_estimators=20, rng=1).fit(x, y)
+        assert forest.predict(x).shape == (120, 2)
+
+    def test_single_output_shape(self):
+        x = RNG.normal(size=(50, 3))
+        y = RNG.normal(size=50)
+        forest = RandomForestRegressor(n_estimators=5, rng=2).fit(x, y)
+        assert forest.predict(x).shape == (50,)
+
+    def test_deterministic_by_seed(self):
+        x, y = friedman_like(100, RNG)
+        a = RandomForestRegressor(n_estimators=10, rng=3).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=10, rng=3).fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_oob_error_reported(self):
+        x, y = friedman_like(150, RNG)
+        forest = RandomForestRegressor(n_estimators=30, oob=True, rng=4).fit(x, y)
+        assert forest.oob_error_ is not None
+        assert forest.oob_error_ > 0
+
+    def test_oob_requires_bootstrap(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(bootstrap=False, oob=True)
+
+    def test_max_features_resolution(self):
+        forest = RandomForestRegressor(max_features="sqrt")
+        assert forest._resolve_max_features(16) == 4
+        forest = RandomForestRegressor(max_features="log2")
+        assert forest._resolve_max_features(16) == 4
+        forest = RandomForestRegressor(max_features=100)
+        assert forest._resolve_max_features(5) == 5
+        forest = RandomForestRegressor(max_features=None)
+        assert forest._resolve_max_features(5) is None
+
+    def test_invalid_max_features(self):
+        forest = RandomForestRegressor(max_features="third")
+        with pytest.raises(ValueError):
+            forest.fit(RNG.normal(size=(10, 3)), RNG.normal(size=10))
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))

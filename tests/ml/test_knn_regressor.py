@@ -1,0 +1,54 @@
+"""Tests for the generic kNN regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn_regressor import KNNRegressor
+
+RNG = np.random.default_rng(71)
+
+
+class TestKNNRegressor:
+    def test_k1_memorizes(self):
+        x = RNG.normal(size=(30, 2))
+        y = RNG.normal(size=30)
+        model = KNNRegressor(k=1).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-12)
+
+    def test_distance_weighting_dominated_by_exact_match(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 10.0, 20.0])
+        model = KNNRegressor(k=3, weights="distance").fit(x, y)
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(10.0, abs=1e-6)
+
+    def test_uniform_averages(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNNRegressor(k=2, weights="uniform").fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(5.0)
+
+    def test_multi_output(self):
+        x = RNG.normal(size=(40, 3))
+        y = RNG.normal(size=(40, 2))
+        model = KNNRegressor(k=3).fit(x, y)
+        assert model.predict(x[:5]).shape == (5, 2)
+
+    def test_smooth_function(self):
+        x = np.linspace(0, 2 * np.pi, 300)[:, None]
+        y = np.sin(x[:, 0])
+        model = KNNRegressor(k=5).fit(x, y)
+        queries = np.linspace(0.3, 6.0, 50)[:, None]
+        errors = np.abs(model.predict(queries) - np.sin(queries[:, 0]))
+        assert errors.max() < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="gaussian")
+        with pytest.raises(ValueError):
+            KNNRegressor(k=10).fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict(np.zeros((1, 2)))

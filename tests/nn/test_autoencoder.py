@@ -1,0 +1,61 @@
+"""Tests for stacked-autoencoder pretraining."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import pretrain_stacked_autoencoder, reconstruction_error
+
+
+def low_rank_data(n=200, d=20, rank=3, seed=0):
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(rank, d))
+    codes = rng.normal(size=(n, rank))
+    return np.tanh(codes @ basis * 0.3)
+
+
+class TestPretraining:
+    def test_returns_encoder_layers_with_right_shapes(self):
+        data = low_rank_data()
+        encoders = pretrain_stacked_autoencoder(
+            data, [12, 6], epochs=5, rng=1
+        )
+        assert len(encoders) == 2
+        assert encoders[0].weight.shape == (20, 12)
+        assert encoders[1].weight.shape == (12, 6)
+
+    def test_trained_encoder_preserves_information(self):
+        # the AE objective is reconstruction through its own decoder; we
+        # check the downstream-usable property instead: encodings of a
+        # trained AE linearly predict the input much better than chance
+        data = low_rank_data()
+        encoders = pretrain_stacked_autoencoder(data, [8], epochs=40, rng=2)
+        encoder = encoders[0]
+        codes = np.tanh(data @ encoder.weight.data + encoder.bias.data)
+        # least-squares decode from the 8-dim codes
+        decode, *_ = np.linalg.lstsq(codes, data, rcond=None)
+        residual = data - codes @ decode
+        assert np.mean(residual**2) < 0.05 * np.mean(data**2)
+
+    def test_encodings_capture_low_rank_structure(self):
+        # rank-3 data through an 8-wide AE: reconstruction must beat the
+        # trivial zero predictor by a wide margin
+        data = low_rank_data()
+        encoders = pretrain_stacked_autoencoder(data, [8], epochs=60, rng=3)
+        error = reconstruction_error(encoders, data)
+        assert error < np.mean(data**2)
+
+    def test_denoising_variant_runs(self):
+        data = low_rank_data()
+        encoders = pretrain_stacked_autoencoder(
+            data, [8], epochs=3, noise_std=0.1, rng=4
+        )
+        assert len(encoders) == 1
+
+    def test_validation(self):
+        data = low_rank_data()
+        with pytest.raises(ValueError):
+            pretrain_stacked_autoencoder(data, [], epochs=1)
+        with pytest.raises(ValueError):
+            pretrain_stacked_autoencoder(data, [0], epochs=1)
+        with pytest.raises(ValueError):
+            pretrain_stacked_autoencoder(data, [4], noise_std=-1.0)

@@ -1,0 +1,81 @@
+"""Tests for BatchNorm1d in both modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d
+from repro.nn.gradcheck import check_layer_gradients
+
+RNG = np.random.default_rng(7)
+
+
+class TestForward:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm1d(4)
+        x = RNG.normal(loc=5.0, scale=3.0, size=(64, 4))
+        out = bn(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        bn = BatchNorm1d(2)
+        bn.gamma.data[:] = 2.0
+        bn.beta.data[:] = 1.0
+        out = bn(RNG.normal(size=(32, 2)))
+        np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 2.0, atol=2e-3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(3, momentum=0.5)
+        for _step in range(20):
+            bn(RNG.normal(loc=2.0, size=(32, 3)))
+        bn.eval()
+        single = bn(np.full((1, 3), 2.0))
+        np.testing.assert_allclose(single, 0.0, atol=0.3)
+
+    def test_eval_single_sample_allowed(self):
+        bn = BatchNorm1d(3)
+        bn(RNG.normal(size=(16, 3)))
+        bn.eval()
+        assert bn(np.zeros((1, 3))).shape == (1, 3)
+
+    def test_training_single_sample_rejected(self):
+        bn = BatchNorm1d(3)
+        with pytest.raises(ValueError, match="at least 2"):
+            bn(np.zeros((1, 3)))
+
+    def test_wrong_width_rejected(self):
+        bn = BatchNorm1d(3)
+        with pytest.raises(ValueError, match="expected shape"):
+            bn(np.zeros((4, 5)))
+
+    def test_running_stats_converge_to_distribution(self):
+        bn = BatchNorm1d(1, momentum=0.1)
+        for _step in range(400):
+            bn(RNG.normal(loc=3.0, scale=2.0, size=(64, 1)))
+        assert abs(bn.running_mean[0] - 3.0) < 0.2
+        assert abs(bn.running_var[0] - 4.0) < 0.5
+
+
+class TestBackward:
+    def test_gradcheck_training_mode(self):
+        bn = BatchNorm1d(3)
+        check_layer_gradients(bn, RNG.normal(size=(8, 3)), atol=1e-4)
+
+    def test_gradcheck_eval_mode(self):
+        bn = BatchNorm1d(3)
+        bn(RNG.normal(size=(16, 3)))  # establish running stats
+        bn.eval()
+        check_layer_gradients(bn, RNG.normal(size=(8, 3)), atol=1e-4)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchNorm1d(2).backward(np.ones((4, 2)))
+
+    def test_gradient_sums_to_zero_over_batch(self):
+        # batchnorm output is mean-free, so d(loss)/dx summed over the
+        # batch must vanish for any per-feature-constant upstream grad
+        bn = BatchNorm1d(2)
+        bn(RNG.normal(size=(16, 2)))
+        grad_in = bn.backward(np.ones((16, 2)))
+        np.testing.assert_allclose(grad_in.sum(axis=0), 0.0, atol=1e-10)

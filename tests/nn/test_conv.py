@@ -1,0 +1,116 @@
+"""Tests for Conv1d, MaxPool1d, Flatten, Unflatten — including gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv1d, Flatten, MaxPool1d, Unflatten
+from repro.nn.gradcheck import check_layer_gradients
+
+RNG = np.random.default_rng(83)
+
+
+class TestConv1d:
+    def test_output_shape(self):
+        conv = Conv1d(2, 5, kernel_size=3, rng=0)
+        out = conv(RNG.normal(size=(4, 2, 10)))
+        assert out.shape == (4, 5, 8)
+
+    def test_known_convolution(self):
+        conv = Conv1d(1, 1, kernel_size=2, bias=False, rng=0)
+        conv.weight.data[...] = np.array([[[1.0, -1.0]]])
+        x = np.array([[[1.0, 3.0, 6.0, 10.0]]])
+        out = conv(x)
+        np.testing.assert_allclose(out[0, 0], [-2.0, -3.0, -4.0])
+
+    def test_bias_added(self):
+        conv = Conv1d(1, 2, kernel_size=1, rng=0)
+        conv.weight.data[...] = 0.0
+        conv.bias.data[...] = np.array([1.5, -0.5])
+        out = conv(np.zeros((1, 1, 4)))
+        np.testing.assert_allclose(out[0, 0], 1.5)
+        np.testing.assert_allclose(out[0, 1], -0.5)
+
+    def test_gradcheck(self):
+        conv = Conv1d(2, 3, kernel_size=3, rng=1)
+        check_layer_gradients(conv, RNG.normal(size=(2, 2, 7)))
+
+    def test_kernel_longer_than_input_rejected(self):
+        conv = Conv1d(1, 1, kernel_size=5, rng=0)
+        with pytest.raises(ValueError, match="shorter"):
+            conv(np.zeros((1, 1, 3)))
+
+    def test_channel_mismatch_rejected(self):
+        conv = Conv1d(2, 1, kernel_size=2, rng=0)
+        with pytest.raises(ValueError):
+            conv(np.zeros((1, 3, 8)))
+
+    def test_output_length_helper(self):
+        assert Conv1d(1, 1, 3, rng=0).output_length(10) == 8
+
+
+class TestMaxPool1d:
+    def test_known_pooling(self):
+        pool = MaxPool1d(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0, 9.0, 0.0]]])
+        np.testing.assert_allclose(pool(x)[0, 0], [5.0, 3.0, 9.0])
+
+    def test_remainder_dropped(self):
+        pool = MaxPool1d(2)
+        out = pool(np.zeros((1, 1, 7)))
+        assert out.shape == (1, 1, 3)
+
+    def test_gradient_flows_to_max_only(self):
+        pool = MaxPool1d(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0]]])
+        pool(x)
+        grad = pool.backward(np.array([[[1.0, 1.0]]]))
+        np.testing.assert_allclose(grad[0, 0], [0.0, 1.0, 0.0, 1.0])
+
+    def test_gradcheck(self):
+        pool = MaxPool1d(2)
+        # distinct values so the argmax is stable under perturbation
+        x = RNG.permutation(np.arange(24, dtype=float)).reshape(2, 2, 6)
+        check_layer_gradients(pool, x)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            MaxPool1d(8)(np.zeros((1, 1, 4)))
+
+
+class TestReshaping:
+    def test_flatten_round_trip(self):
+        flatten = Flatten()
+        x = RNG.normal(size=(3, 4, 5))
+        out = flatten(x)
+        assert out.shape == (3, 20)
+        grad = flatten.backward(out)
+        np.testing.assert_array_equal(grad, x)
+
+    def test_unflatten_shapes(self):
+        unflatten = Unflatten(channels=2)
+        x = RNG.normal(size=(3, 10))
+        out = unflatten(x)
+        assert out.shape == (3, 2, 5)
+        grad = unflatten.backward(out)
+        np.testing.assert_array_equal(grad, x)
+
+    def test_unflatten_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            Unflatten(channels=3)(np.zeros((1, 10)))
+
+    def test_conv_stack_end_to_end(self):
+        from repro.nn import Linear, ReLU, Sequential
+
+        model = Sequential(
+            Unflatten(1),
+            Conv1d(1, 4, 3, rng=0),
+            ReLU(),
+            MaxPool1d(2),
+            Flatten(),
+            Linear(4 * 7, 2, rng=0),
+        )
+        x = RNG.normal(size=(5, 16))
+        out = model(x)
+        assert out.shape == (5, 2)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape

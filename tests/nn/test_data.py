@@ -1,0 +1,70 @@
+"""Tests for Dataset/DataLoader batching."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DataLoader, TensorDataset
+
+
+class TestTensorDataset:
+    def test_length_and_items(self):
+        x = np.arange(12).reshape(6, 2)
+        y = np.arange(6)
+        ds = TensorDataset(x, y)
+        assert len(ds) == 6
+        xi, yi = ds[2]
+        np.testing.assert_array_equal(xi, [4, 5])
+        assert yi == 2
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            TensorDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_no_arrays_raise(self):
+        with pytest.raises(ValueError):
+            TensorDataset()
+
+
+class TestDataLoader:
+    def test_covers_all_samples_once(self):
+        x = np.arange(10).reshape(10, 1)
+        loader = DataLoader(TensorDataset(x, x), batch_size=3, rng=0)
+        seen = np.concatenate([batch[0].ravel() for batch in loader])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_shapes(self):
+        x = np.zeros((10, 4))
+        y = np.zeros((10, 2))
+        loader = DataLoader(TensorDataset(x, y), batch_size=4, shuffle=False)
+        shapes = [tuple(b[0].shape) for b in loader]
+        assert shapes == [(4, 4), (4, 4), (2, 4)]
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1))
+        loader = DataLoader(
+            TensorDataset(x, x), batch_size=4, drop_last=True, shuffle=False
+        )
+        assert len(loader) == 2
+        assert sum(1 for _ in loader) == 2
+
+    def test_len_without_drop_last(self):
+        x = np.zeros((10, 1))
+        loader = DataLoader(TensorDataset(x, x), batch_size=4)
+        assert len(loader) == 3
+
+    def test_shuffle_changes_order_but_not_content(self):
+        x = np.arange(32).reshape(32, 1)
+        loader = DataLoader(TensorDataset(x, x), batch_size=32, rng=1)
+        first = next(iter(loader))[0].ravel()
+        assert not np.array_equal(first, np.arange(32))
+        assert sorted(first.tolist()) == list(range(32))
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6).reshape(6, 1)
+        loader = DataLoader(TensorDataset(x, x), batch_size=2, shuffle=False)
+        first = next(iter(loader))[0].ravel()
+        np.testing.assert_array_equal(first, [0, 1])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(TensorDataset(np.zeros((2, 1))), batch_size=0)

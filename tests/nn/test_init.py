@@ -1,0 +1,65 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_bound(self):
+        w = init.xavier_uniform((100, 200), rng=0)
+        bound = np.sqrt(6.0 / 300)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_normal_std(self):
+        w = init.xavier_normal((500, 500), rng=0)
+        expected_std = np.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_variance_preserving(self):
+        # forward variance roughly preserved for a linear map with unit inputs
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((256, 256), rng=1)
+        x = rng.normal(size=(1000, 256))
+        out = x @ w
+        ratio = out.var() / x.var()
+        assert 0.5 < ratio < 2.0
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            init.xavier_uniform((3, 3), rng=42), init.xavier_uniform((3, 3), rng=42)
+        )
+
+
+class TestHe:
+    def test_uniform_bound(self):
+        w = init.he_uniform((100, 50), rng=0)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 100))
+
+    def test_normal_std(self):
+        w = init.he_normal((1000, 100), rng=0)
+        expected = np.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected) / expected < 0.05
+
+
+class TestLookup:
+    def test_known_names(self):
+        for name in ("xavier_uniform", "xavier_normal", "he_uniform", "he_normal"):
+            assert callable(init.get_initializer(name))
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="choices"):
+            init.get_initializer("glorot")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((3,))
+        with pytest.raises(ValueError):
+            init.xavier_uniform((0, 3))
+
+
+class TestConstants:
+    def test_zeros_and_constant(self):
+        assert np.all(init.zeros((2, 2)) == 0.0)
+        assert np.all(init.constant((2, 2), 3.5) == 3.5)

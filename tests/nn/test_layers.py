@@ -1,0 +1,137 @@
+"""Tests for dense layers and activations, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Identity, Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import stable_sigmoid, stable_softmax
+
+RNG = np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=0)
+        assert layer(RNG.normal(size=(7, 5))).shape == (7, 3)
+
+    def test_affine_math(self):
+        layer = Linear(2, 2, rng=0)
+        x = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(
+            layer(x), x @ layer.weight.data + layer.bias.data
+        )
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 2, bias=False, rng=0)
+        np.testing.assert_allclose(
+            layer(np.zeros((1, 3))), np.zeros((1, 2))
+        )
+
+    def test_wrong_input_width_raises(self):
+        layer = Linear(3, 2, rng=0)
+        with pytest.raises(ValueError, match="expected input"):
+            layer(np.ones((4, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(3, 2, rng=0).backward(np.ones((1, 2)))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients_match_finite_differences(self):
+        layer = Linear(4, 3, rng=1)
+        check_layer_gradients(layer, RNG.normal(size=(6, 4)))
+
+    def test_gradients_accumulate_across_calls(self):
+        layer = Linear(2, 2, rng=0)
+        x = RNG.normal(size=(3, 2))
+        layer(x)
+        layer.backward(np.ones((3, 2)))
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(np.ones((3, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [Tanh, ReLU, Sigmoid, Softmax])
+    def test_shape_preserved(self, layer_cls):
+        layer = layer_cls()
+        x = RNG.normal(size=(5, 4))
+        assert layer(x).shape == x.shape
+
+    @pytest.mark.parametrize("layer_cls", [Tanh, ReLU, Sigmoid, Softmax])
+    def test_gradcheck(self, layer_cls):
+        check_layer_gradients(layer_cls(), RNG.normal(size=(5, 4)))
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU()(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_tanh_bounded(self):
+        out = Tanh()(RNG.normal(size=(10, 10)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid()(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax()(RNG.normal(size=(6, 9)))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(6))
+
+    def test_softmax_shift_invariant(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            stable_softmax(x), stable_softmax(x + 1000.0)
+        )
+
+    def test_identity_passthrough(self):
+        x = RNG.normal(size=(2, 3))
+        layer = Identity()
+        np.testing.assert_array_equal(layer(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+
+class TestStableSigmoid:
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-10, 10, 101)
+        np.testing.assert_allclose(stable_sigmoid(x), 1 / (1 + np.exp(-x)))
+
+    def test_no_overflow_warnings(self):
+        with np.errstate(over="raise"):
+            stable_sigmoid(np.array([-1e4, 1e4]))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=0)
+        layer.training = False
+        x = RNG.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_training_keeps_expectation(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((200, 200))
+        out = layer(x)
+        assert abs(out.mean() - 1.0) < 0.05  # inverted dropout preserves scale
+
+    def test_p_zero_is_identity_in_training(self):
+        layer = Dropout(0.0)
+        x = RNG.normal(size=(3, 3))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=1)
+        x = np.ones((10, 10))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

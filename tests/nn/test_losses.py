@@ -1,0 +1,146 @@
+"""Tests for loss functions: values, gradients, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BCEWithLogitsLoss,
+    MSELoss,
+    MultiHeadLoss,
+    SoftmaxCrossEntropyLoss,
+)
+from repro.nn.gradcheck import check_loss_gradient
+
+RNG = np.random.default_rng(3)
+
+
+class TestMSE:
+    def test_zero_when_equal(self):
+        loss = MSELoss()
+        x = RNG.normal(size=(4, 2))
+        assert loss(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        loss = MSELoss()
+        assert loss(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_gradcheck(self):
+        check_loss_gradient(
+            MSELoss(), RNG.normal(size=(5, 3)), RNG.normal(size=(5, 3))
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestBCEWithLogits:
+    def test_perfect_confident_prediction_near_zero(self):
+        loss = BCEWithLogitsLoss()
+        logits = np.array([[100.0, -100.0]])
+        targets = np.array([[1.0, 0.0]])
+        assert loss(logits, targets) < 1e-6
+
+    def test_symmetric_at_zero_logits(self):
+        loss = BCEWithLogitsLoss()
+        value = loss(np.zeros((1, 2)), np.array([[1.0, 0.0]]))
+        assert value == pytest.approx(np.log(2.0))
+
+    def test_stable_for_huge_logits(self):
+        loss = BCEWithLogitsLoss()
+        with np.errstate(over="raise"):
+            value = loss(np.array([[1e4, -1e4]]), np.array([[0.0, 1.0]]))
+        assert np.isfinite(value)
+
+    def test_gradcheck(self):
+        logits = RNG.normal(size=(6, 4))
+        targets = (RNG.random((6, 4)) > 0.5).astype(float)
+        check_loss_gradient(BCEWithLogitsLoss(), logits, targets)
+
+    def test_gradcheck_with_pos_weight(self):
+        logits = RNG.normal(size=(5, 3))
+        targets = (RNG.random((5, 3)) > 0.5).astype(float)
+        check_loss_gradient(BCEWithLogitsLoss(pos_weight=2.5), logits, targets)
+
+    def test_multi_hot_targets_supported(self):
+        loss = BCEWithLogitsLoss()
+        targets = np.array([[1.0, 1.0, 0.0]])  # two positives in one row
+        assert np.isfinite(loss(RNG.normal(size=(1, 3)), targets))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        loss = SoftmaxCrossEntropyLoss()
+        value = loss(np.zeros((2, 5)), np.array([0, 3]))
+        assert value == pytest.approx(np.log(5.0))
+
+    def test_integer_and_onehot_targets_agree(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = RNG.normal(size=(4, 3))
+        integer = np.array([0, 1, 2, 1])
+        one_hot = np.eye(3)[integer]
+        assert loss(logits, integer) == pytest.approx(loss(logits, one_hot))
+
+    def test_gradcheck_integer_targets(self):
+        logits = RNG.normal(size=(5, 4))
+        targets = RNG.integers(0, 4, size=5)
+        check_loss_gradient(SoftmaxCrossEntropyLoss(), logits, targets)
+
+    def test_gradcheck_label_smoothing(self):
+        logits = RNG.normal(size=(4, 3))
+        targets = RNG.integers(0, 3, size=4)
+        check_loss_gradient(
+            SoftmaxCrossEntropyLoss(label_smoothing=0.1), logits, targets
+        )
+
+    def test_out_of_range_targets_raise(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropyLoss()(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_gradient_rows_sum_to_zero(self):
+        loss = SoftmaxCrossEntropyLoss()
+        loss(RNG.normal(size=(3, 4)), np.array([0, 1, 2]))
+        grad = loss.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestMultiHead:
+    def _heads(self):
+        return {
+            "a": (slice(0, 3), BCEWithLogitsLoss(), 1.0),
+            "b": (slice(3, 5), MSELoss(), 0.5),
+        }
+
+    def test_total_is_weighted_sum(self):
+        loss = MultiHeadLoss(self._heads())
+        logits = RNG.normal(size=(4, 5))
+        targets = np.hstack(
+            [(RNG.random((4, 3)) > 0.5).astype(float), RNG.normal(size=(4, 2))]
+        )
+        total = loss(logits, targets)
+        parts = loss.last_per_head
+        assert total == pytest.approx(parts["a"] + 0.5 * parts["b"])
+
+    def test_gradient_respects_slices(self):
+        loss = MultiHeadLoss(self._heads())
+        logits = RNG.normal(size=(4, 5))
+        targets = np.hstack(
+            [(RNG.random((4, 3)) > 0.5).astype(float), RNG.normal(size=(4, 2))]
+        )
+        check_loss_gradient(loss, logits, targets)
+
+    def test_zero_weight_head_contributes_nothing(self):
+        heads = {
+            "a": (slice(0, 2), MSELoss(), 1.0),
+            "b": (slice(2, 4), MSELoss(), 0.0),
+        }
+        loss = MultiHeadLoss(heads)
+        logits = RNG.normal(size=(3, 4))
+        targets = RNG.normal(size=(3, 4))
+        loss(logits, targets)
+        grad = loss.backward()
+        np.testing.assert_array_equal(grad[:, 2:], 0.0)
+
+    def test_empty_heads_raise(self):
+        with pytest.raises(ValueError):
+            MultiHeadLoss({})

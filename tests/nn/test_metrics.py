@@ -1,0 +1,61 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, confusion_counts, top_k_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        scores = np.eye(3)
+        assert accuracy(scores, np.array([0, 1, 2])) == 1.0
+
+    def test_half(self):
+        scores = np.array([[0.9, 0.1], [0.9, 0.1]])
+        assert accuracy(scores, np.array([0, 1])) == 0.5
+
+    def test_onehot_targets(self):
+        scores = np.array([[0.2, 0.8], [0.7, 0.3]])
+        targets = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(scores, targets) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros(3))
+
+
+class TestTopK:
+    def test_top_k_contains_target(self):
+        scores = np.array([[0.1, 0.5, 0.4], [0.3, 0.3, 0.4]])
+        assert top_k_accuracy(scores, np.array([2, 0]), k=2) == 1.0
+
+    def test_k_one_equals_accuracy(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random((20, 5))
+        targets = rng.integers(0, 5, 20)
+        assert top_k_accuracy(scores, targets, k=1) == accuracy(scores, targets)
+
+    def test_k_capped_at_width(self):
+        scores = np.random.default_rng(1).random((4, 3))
+        assert top_k_accuracy(scores, np.array([0, 1, 2, 0]), k=10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((1, 2)), np.zeros(1), k=0)
+
+
+class TestConfusion:
+    def test_counts(self):
+        predicted = np.array([0, 1, 1, 2])
+        truth = np.array([0, 1, 2, 2])
+        matrix = confusion_counts(predicted, truth, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.zeros(2, dtype=int), np.zeros(3, dtype=int), 2)

@@ -1,0 +1,113 @@
+"""Tests for Module/Parameter/Sequential containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter, Sequential, Tanh
+from repro.nn.batchnorm import BatchNorm1d
+
+
+class TestParameter:
+    def test_holds_data_and_zero_grad(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.shape == (2, 3)
+        assert np.all(p.grad == 0.0)
+
+    def test_zero_grad_resets(self):
+        p = Parameter(np.ones(4))
+        p.grad += 2.0
+        p.zero_grad()
+        assert np.all(p.grad == 0.0)
+
+    def test_data_cast_to_float(self):
+        p = Parameter(np.array([1, 2, 3]))
+        assert p.data.dtype == float
+
+
+class TestModuleTraversal:
+    def test_parameters_recurse_into_children(self):
+        seq = Sequential(Linear(3, 4, rng=0), Tanh(), Linear(4, 2, rng=0))
+        params = list(seq.parameters())
+        assert len(params) == 4  # two weights + two biases
+
+    def test_named_parameters_have_dotted_paths(self):
+        seq = Sequential(Linear(3, 4, rng=0))
+        names = [name for name, _ in seq.named_parameters()]
+        assert names == ["layer0.weight", "layer0.bias"]
+
+    def test_num_parameters_counts_scalars(self):
+        layer = Linear(3, 4, rng=0)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_all(self):
+        seq = Sequential(Linear(3, 4, rng=0), Linear(4, 2, rng=0))
+        seq(np.ones((5, 3)))
+        seq.backward(np.ones((5, 2)))
+        assert any(np.any(p.grad != 0) for p in seq.parameters())
+        seq.zero_grad()
+        assert all(np.all(p.grad == 0) for p in seq.parameters())
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(3, 4, rng=0), BatchNorm1d(4))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        seq = Sequential(Linear(3, 4, rng=1), BatchNorm1d(4))
+        seq(np.random.default_rng(0).normal(size=(8, 3)))  # update BN stats
+        state = seq.state_dict()
+        clone = Sequential(Linear(3, 4, rng=2), BatchNorm1d(4))
+        clone.load_state_dict(state)
+        for (_n1, p1), (_n2, p2) in zip(
+            seq.named_parameters(), clone.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        np.testing.assert_array_equal(
+            seq[1].running_mean, clone[1].running_mean
+        )
+
+    def test_includes_batchnorm_buffers(self):
+        seq = Sequential(BatchNorm1d(3))
+        state = seq.state_dict()
+        assert "layer0.running_mean" in state
+        assert "layer0.running_var" in state
+
+    def test_shape_mismatch_raises(self):
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_unknown_key_raises(self):
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nonexistent": np.zeros(3)})
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        seq = Sequential(Linear(2, 2, rng=0))
+        x = np.ones((3, 2))
+        expected = x @ seq[0].weight.data + seq[0].bias.data
+        np.testing.assert_allclose(seq(x), expected)
+
+    def test_backward_reverses_chain(self):
+        seq = Sequential(Linear(2, 3, rng=0), Tanh(), Linear(3, 1, rng=0))
+        out = seq(np.ones((4, 2)))
+        grad_in = seq.backward(np.ones_like(out))
+        assert grad_in.shape == (4, 2)
+
+    def test_append_extends(self):
+        seq = Sequential(Linear(2, 3, rng=0))
+        seq.append(Linear(3, 1, rng=0))
+        assert len(seq) == 2
+        assert seq(np.ones((1, 2))).shape == (1, 1)
+
+    def test_iteration_and_indexing(self):
+        first, second = Linear(2, 2, rng=0), Tanh()
+        seq = Sequential(first, second)
+        assert list(seq) == [first, second]
+        assert seq[1] is second

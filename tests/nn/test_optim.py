@@ -1,0 +1,106 @@
+"""Tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, MSELoss, Parameter, Sequential
+
+
+def quadratic_params():
+    """A single parameter with a simple quadratic loss x^2 / 2."""
+    return Parameter(np.array([10.0, -10.0]))
+
+
+def quadratic_step(param):
+    param.grad[...] = param.data  # d/dx of x^2/2
+
+
+class TestSGD:
+    def test_plain_descent_reduces_quadratic(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.1)
+        for _step in range(100):
+            opt.zero_grad()
+            quadratic_step(p)
+            opt.step()
+        assert np.all(np.abs(p.data) < 1e-3)
+
+    def test_momentum_accelerates(self):
+        p_plain, p_momentum = quadratic_params(), quadratic_params()
+        opt_plain = SGD([p_plain], lr=0.01)
+        opt_momentum = SGD([p_momentum], lr=0.01, momentum=0.9)
+        for _step in range(50):
+            for p, opt in [(p_plain, opt_plain), (p_momentum, opt_momentum)]:
+                opt.zero_grad()
+                quadratic_step(p)
+                opt.step()
+        assert np.linalg.norm(p_momentum.data) < np.linalg.norm(p_plain.data)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.ones(3))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()  # gradient zero: only decay acts
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.1, nesterov=True)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.0)
+
+    def test_no_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.5)
+        for _step in range(200):
+            opt.zero_grad()
+            quadratic_step(p)
+            opt.step()
+        assert np.all(np.abs(p.data) < 1e-2)
+
+    def test_first_step_size_near_lr(self):
+        # with bias correction the first Adam step is ~lr regardless of scale
+        p = Parameter(np.array([1000.0]))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        p.grad[...] = 123.0
+        opt.step()
+        assert abs((1000.0 - p.data[0]) - 0.1) < 1e-6
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_params()], betas=(1.0, 0.999))
+
+    def test_weight_decay_applies(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        opt.zero_grad()
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+
+class TestEndToEnd:
+    def test_linear_regression_fits(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0], [-3.0]])
+        x = rng.normal(size=(256, 2))
+        y = x @ true_w + 1.0
+        model = Sequential(Linear(2, 1, rng=1))
+        loss = MSELoss()
+        opt = Adam(model.parameters(), lr=0.05)
+        for _epoch in range(300):
+            opt.zero_grad()
+            value = loss(model(x), y)
+            model.backward(loss.backward())
+            opt.step()
+        assert value < 1e-4
+        np.testing.assert_allclose(model[0].weight.data, true_w, atol=0.05)
+        np.testing.assert_allclose(model[0].bias.data, [1.0], atol=0.05)

@@ -1,0 +1,48 @@
+"""Tests for the RMSProp optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, RMSProp
+
+
+def quadratic(param):
+    param.grad[...] = param.data
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -5.0]))
+        opt = RMSProp([p], lr=0.05)
+        for _step in range(500):
+            opt.zero_grad()
+            quadratic(p)
+            opt.step()
+        assert np.all(np.abs(p.data) < 0.05)
+
+    def test_adapts_to_gradient_scale(self):
+        # with very different per-coordinate gradient scales, RMSProp's
+        # effective steps should be comparable (unlike plain SGD)
+        p = Parameter(np.array([1.0, 1.0]))
+        opt = RMSProp([p], lr=0.01)
+        opt.zero_grad()
+        p.grad[...] = np.array([1000.0, 0.001])
+        before = p.data.copy()
+        opt.step()
+        steps = np.abs(before - p.data)
+        assert steps[0] / steps[1] < 10.0
+
+    def test_weight_decay(self):
+        p = Parameter(np.ones(2))
+        opt = RMSProp([p], lr=0.01, weight_decay=1.0)
+        opt.zero_grad()
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], alpha=1.0)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], eps=0.0)

@@ -1,0 +1,69 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, ConstantLR, CosineLR, Parameter, StepLR
+
+
+def make_optimizer(lr=1.0):
+    return Adam([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestConstantLR:
+    def test_never_changes(self):
+        opt = make_optimizer(0.3)
+        sched = ConstantLR(opt)
+        for _epoch in range(5):
+            assert sched.step() == pytest.approx(0.3)
+
+
+class TestStepLR:
+    def test_exact_sequence(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        observed = [sched.step() for _ in range(5)]
+        # epochs 1..5 → floor(e/2) = 0,1,1,2,2
+        assert observed == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_updates_optimizer(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=1, gamma=-1.0)
+
+
+class TestCosineLR:
+    def test_reaches_min_lr_at_t_max(self):
+        opt = make_optimizer(1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.01)
+        last = None
+        for _epoch in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.01)
+
+    def test_halfway_is_midpoint(self):
+        opt = make_optimizer(1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.0)
+        for _epoch in range(5):
+            value = sched.step()
+        assert value == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(1.0)
+        sched = CosineLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_after_t_max(self):
+        opt = make_optimizer(1.0)
+        sched = CosineLR(opt, t_max=3, min_lr=0.2)
+        for _epoch in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.2)

@@ -1,0 +1,45 @@
+"""Tests for model save/load round trips."""
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm1d,
+    Linear,
+    Sequential,
+    Tanh,
+    load_state,
+    save_state,
+)
+
+
+def make_model(seed):
+    return Sequential(
+        Linear(4, 8, rng=seed), BatchNorm1d(8), Tanh(), Linear(8, 2, rng=seed)
+    )
+
+
+class TestRoundTrip:
+    def test_predictions_identical_after_reload(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = make_model(seed=1)
+        model(rng.normal(size=(16, 4)))  # update BN running stats
+        model.eval()
+        x = rng.normal(size=(5, 4))
+        expected = model(x)
+
+        path = tmp_path / "model.npz"
+        save_state(model, path)
+        clone = make_model(seed=2)
+        load_state(clone, path)
+        clone.eval()
+        np.testing.assert_allclose(clone(x), expected)
+
+    def test_buffers_persist(self, tmp_path):
+        model = make_model(seed=3)
+        model(np.random.default_rng(1).normal(loc=4.0, size=(32, 4)))
+        path = tmp_path / "model.npz"
+        save_state(model, path)
+        clone = make_model(seed=4)
+        load_state(clone, path)
+        np.testing.assert_allclose(clone[1].running_mean, model[1].running_mean)
+        np.testing.assert_allclose(clone[1].running_var, model[1].running_var)

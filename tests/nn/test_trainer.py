@@ -1,0 +1,123 @@
+"""Tests for the Trainer loop, early stopping and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    DataLoader,
+    Linear,
+    MSELoss,
+    Sequential,
+    StepLR,
+    Tanh,
+    TensorDataset,
+    Trainer,
+)
+
+
+def make_problem(n=128, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = x @ np.array([[1.0], [2.0], [-1.0]]) + 0.5
+    return x, y
+
+
+def make_trainer(seed=0, **kwargs):
+    model = Sequential(Linear(3, 8, rng=seed), Tanh(), Linear(8, 1, rng=seed))
+    return model, Trainer(model, MSELoss(), Adam(model.parameters(), lr=0.01), **kwargs)
+
+
+class TestFit:
+    def test_loss_decreases(self):
+        x, y = make_problem()
+        _model, trainer = make_trainer()
+        loader = DataLoader(TensorDataset(x, y), batch_size=32, rng=1)
+        history = trainer.fit(loader, epochs=30)
+        assert history.train_loss[-1] < history.train_loss[0] / 5
+
+    def test_history_lengths(self):
+        x, y = make_problem()
+        _model, trainer = make_trainer()
+        loader = DataLoader(TensorDataset(x, y), batch_size=32, rng=1)
+        history = trainer.fit(loader, epochs=7)
+        assert history.epochs_run == 7
+        assert len(history.lr) == 7
+
+    def test_validation_tracked(self):
+        x, y = make_problem()
+        _model, trainer = make_trainer()
+        train = DataLoader(TensorDataset(x[:96], y[:96]), batch_size=32, rng=1)
+        val = DataLoader(TensorDataset(x[96:], y[96:]), batch_size=32, shuffle=False)
+        history = trainer.fit(train, epochs=5, val_loader=val)
+        assert len(history.val_loss) == 5
+        assert np.isfinite(history.best_val_loss)
+
+    def test_early_stopping_stops(self):
+        x, y = make_problem()
+        _model, trainer = make_trainer()
+        train = DataLoader(TensorDataset(x[:96], y[:96]), batch_size=32, rng=1)
+        val = DataLoader(TensorDataset(x[96:], y[96:]), batch_size=32, shuffle=False)
+        history = trainer.fit(train, epochs=500, val_loader=val, patience=3)
+        assert history.epochs_run < 500
+
+    def test_restore_best_restores(self):
+        x, y = make_problem()
+        model, trainer = make_trainer()
+        train = DataLoader(TensorDataset(x[:96], y[:96]), batch_size=32, rng=1)
+        val = DataLoader(TensorDataset(x[96:], y[96:]), batch_size=32, shuffle=False)
+        history = trainer.fit(
+            train, epochs=40, val_loader=val, patience=5, restore_best=True
+        )
+        final_val = trainer.evaluate(val)
+        assert final_val == pytest.approx(history.best_val_loss, rel=1e-6)
+
+    def test_patience_without_val_raises(self):
+        x, y = make_problem()
+        _model, trainer = make_trainer()
+        loader = DataLoader(TensorDataset(x, y), batch_size=32)
+        with pytest.raises(ValueError, match="requires a val_loader"):
+            trainer.fit(loader, epochs=2, patience=1)
+
+    def test_scheduler_applied(self):
+        x, y = make_problem()
+        model = Sequential(Linear(3, 1, rng=0))
+        opt = Adam(model.parameters(), lr=1.0)
+        trainer = Trainer(model, MSELoss(), opt, scheduler=StepLR(opt, 1, 0.5))
+        loader = DataLoader(TensorDataset(x, y), batch_size=64)
+        history = trainer.fit(loader, epochs=3)
+        # lr recorded *before* each scheduler step: 1.0, 0.5, 0.25
+        assert history.lr == pytest.approx([1.0, 0.5, 0.25])
+
+    def test_invalid_epochs(self):
+        _model, trainer = make_trainer()
+        with pytest.raises(ValueError):
+            trainer.fit(None, epochs=0)
+
+
+class TestGradientClipping:
+    def test_clip_bounds_update_norm(self):
+        x, y = make_problem()
+        model = Sequential(Linear(3, 1, rng=0))
+        opt = Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(model, MSELoss(), opt, grad_clip=1e-6)
+        loader = DataLoader(TensorDataset(x, 1000 * y), batch_size=64)
+        trainer.train_epoch(loader)
+        norm = np.sqrt(sum(np.sum(p.grad**2) for p in model.parameters()))
+        assert norm <= 1e-6 * 1.01
+
+    def test_invalid_clip_rejected(self):
+        model = Sequential(Linear(2, 1, rng=0))
+        with pytest.raises(ValueError):
+            Trainer(model, MSELoss(), Adam(model.parameters()), grad_clip=0.0)
+
+
+class TestEvaluate:
+    def test_eval_mode_no_update(self):
+        x, y = make_problem()
+        model, trainer = make_trainer()
+        loader = DataLoader(TensorDataset(x, y), batch_size=32)
+        before = [p.data.copy() for p in model.parameters()]
+        trainer.evaluate(loader)
+        for prev, param in zip(before, model.parameters()):
+            np.testing.assert_array_equal(prev, param.data)

@@ -1,0 +1,131 @@
+"""Tests for the single-resolution grid quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization.grid import GridQuantizer
+
+RNG = np.random.default_rng(29)
+
+
+class TestFit:
+    def test_assigns_dense_class_ids(self):
+        coords = np.array([[0.1, 0.1], [0.15, 0.12], [5.0, 5.0]])
+        q = GridQuantizer(tau=1.0).fit(coords)
+        assert q.n_classes == 2  # two populated cells
+
+    def test_counts_per_class(self):
+        coords = np.array([[0.1, 0.1], [0.2, 0.2], [5.0, 5.0]])
+        q = GridQuantizer(tau=1.0).fit(coords)
+        assert sorted(q.counts_.tolist()) == [1, 2]
+
+    def test_empty_cells_discarded(self):
+        # two far clusters: cells between them never become classes
+        coords = np.vstack(
+            [RNG.uniform(0, 1, size=(20, 2)), RNG.uniform(99, 100, size=(20, 2))]
+        )
+        q = GridQuantizer(tau=1.0).fit(coords)
+        assert q.n_classes <= 8  # far fewer than the 100x100 cells spanned
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            GridQuantizer(tau=0.0)
+
+    def test_requires_2d_coords(self):
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            GridQuantizer(tau=1.0).fit(np.zeros((3, 3)))
+
+
+class TestTransformInverse:
+    def test_round_trip_within_cell_radius(self):
+        coords = RNG.uniform(0, 50, size=(200, 2))
+        q = GridQuantizer(tau=2.0).fit(coords)
+        ids = q.transform(coords)
+        back = q.inverse_transform(ids)
+        # center representative: max distance = tau * sqrt(2)/2
+        errors = np.linalg.norm(coords - back, axis=1)
+        assert np.max(errors) <= 2.0 * np.sqrt(2) / 2 + 1e-9
+
+    def test_centroid_representative_is_mean(self):
+        coords = np.array([[0.0, 0.0], [0.5, 0.5]])
+        q = GridQuantizer(tau=10.0, representative="centroid").fit(coords)
+        np.testing.assert_allclose(q.centroids_[0], [0.25, 0.25])
+
+    def test_strict_transform_rejects_unseen_cells(self):
+        q = GridQuantizer(tau=1.0).fit(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError, match="strict=False"):
+            q.transform(np.array([[100.0, 100.0]]))
+
+    def test_lenient_transform_snaps_to_nearest(self):
+        q = GridQuantizer(tau=1.0).fit(
+            np.array([[0.5, 0.5], [10.5, 10.5]])
+        )
+        ids = q.transform(np.array([[2.0, 2.0]]), strict=False)
+        # origin is (0.5, 0.5), so the first cell's center is (1.0, 1.0)
+        np.testing.assert_allclose(q.inverse_transform(ids)[0], [1.0, 1.0])
+
+    def test_inverse_rejects_bad_ids(self):
+        q = GridQuantizer(tau=1.0).fit(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError, match="out of range"):
+            q.inverse_transform(np.array([5]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GridQuantizer(tau=1.0).transform(np.zeros((1, 2)))
+
+
+class TestHelpers:
+    def test_cell_of_class_of_cell_inverse(self):
+        coords = RNG.uniform(0, 20, size=(50, 2))
+        q = GridQuantizer(tau=1.5).fit(coords)
+        for class_id in range(q.n_classes):
+            assert q.class_of_cell(q.cell_of(class_id)) == class_id
+
+    def test_class_of_unknown_cell_is_none(self):
+        q = GridQuantizer(tau=1.0).fit(np.array([[0.0, 0.0]]))
+        assert q.class_of_cell((999, 999)) is None
+
+    def test_quantization_error_bounded(self):
+        coords = RNG.uniform(0, 30, size=(100, 2))
+        q = GridQuantizer(tau=0.5).fit(coords)
+        errors = q.quantization_error(coords)
+        assert np.max(errors) <= 0.5 * np.sqrt(2) / 2 + 1e-9
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tau=st.floats(min_value=0.05, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    def test_round_trip_error_bounded_by_half_diagonal(self, tau, seed, n):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(-100, 100, size=(n, 2))
+        q = GridQuantizer(tau=tau).fit(coords)
+        back = q.inverse_transform(q.transform(coords))
+        errors = np.linalg.norm(coords - back, axis=1)
+        assert np.max(errors) <= tau * np.sqrt(2) / 2 * (1 + 1e-9) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_cell_same_class(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(0, 10, size=(10, 2))
+        jitter = base + rng.uniform(0, 1e-6, size=base.shape)
+        q = GridQuantizer(tau=1.0).fit(np.vstack([base, jitter]))
+        np.testing.assert_array_equal(q.transform(base), q.transform(jitter))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=60),
+    )
+    def test_class_count_never_exceeds_samples(self, seed, n):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 50, size=(n, 2))
+        q = GridQuantizer(tau=0.7).fit(coords)
+        assert q.n_classes <= n
+        assert q.counts_.sum() == n

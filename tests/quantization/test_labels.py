@@ -1,0 +1,117 @@
+"""Tests for multi-hot encoding and adjacency augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization.grid import GridQuantizer
+from repro.quantization.labels import (
+    adjacent_cells,
+    augment_with_adjacency,
+    multi_hot,
+    soft_multi_hot,
+)
+
+RNG = np.random.default_rng(37)
+
+
+class TestMultiHot:
+    def test_single_labels(self):
+        out = multi_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_multi_labels(self):
+        out = multi_hot([np.array([0, 1]), np.array([2])], 3)
+        np.testing.assert_array_equal(out, [[1, 1, 0], [0, 0, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            multi_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            multi_hot([np.array([-1])], 3)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            multi_hot(np.array([0]), 0)
+
+
+class TestAdjacentCells:
+    def test_eight_neighborhood(self):
+        cells = adjacent_cells((0, 0))
+        assert len(cells) == 8
+        assert (0, 0) not in cells
+
+    def test_four_neighborhood(self):
+        cells = adjacent_cells((2, 3), include_diagonal=False)
+        assert sorted(cells) == [(1, 3), (2, 2), (2, 4), (3, 3)]
+
+
+class TestAugmentation:
+    def test_includes_true_class(self):
+        coords = RNG.uniform(0, 5, size=(40, 2))
+        q = GridQuantizer(tau=1.0).fit(coords)
+        ids = q.transform(coords)
+        augmented = augment_with_adjacency(q, ids)
+        for true_id, labels in zip(ids, augmented):
+            assert true_id in labels
+
+    def test_only_populated_neighbors(self):
+        # isolated cell: no populated neighbors → label set is singleton
+        coords = np.array([[0.5, 0.5], [100.5, 100.5]])
+        q = GridQuantizer(tau=1.0).fit(coords)
+        augmented = augment_with_adjacency(q, q.transform(coords))
+        assert all(len(labels) == 1 for labels in augmented)
+
+    def test_dense_grid_gets_neighbors(self):
+        xs, ys = np.meshgrid(np.arange(5) + 0.5, np.arange(5) + 0.5)
+        coords = np.column_stack([xs.ravel(), ys.ravel()])
+        q = GridQuantizer(tau=1.0).fit(coords)
+        augmented = augment_with_adjacency(q, q.transform(coords))
+        center = q.transform(np.array([[2.5, 2.5]]))[0]
+        center_labels = augmented[list(q.transform(coords)).index(center)]
+        assert len(center_labels) == 9  # itself + all 8 neighbors
+
+
+class TestSoftMultiHot:
+    def test_true_cell_has_weight_one(self):
+        coords = RNG.uniform(0, 5, size=(30, 2))
+        q = GridQuantizer(tau=1.0).fit(coords)
+        ids = q.transform(coords)
+        targets = soft_multi_hot(q, ids, adjacency_weight=0.3)
+        np.testing.assert_array_equal(
+            targets[np.arange(len(ids)), ids], 1.0
+        )
+
+    def test_neighbors_have_adjacency_weight(self):
+        xs, ys = np.meshgrid(np.arange(3) + 0.5, np.arange(3) + 0.5)
+        coords = np.column_stack([xs.ravel(), ys.ravel()])
+        q = GridQuantizer(tau=1.0).fit(coords)
+        ids = q.transform(coords)
+        targets = soft_multi_hot(q, ids, adjacency_weight=0.4)
+        center_row = targets[list(ids).index(q.transform(np.array([[1.5, 1.5]]))[0])]
+        values = sorted(set(np.round(center_row, 6).tolist()))
+        assert values == [0.4, 1.0]  # all 8 neighbors populated + self
+
+    def test_zero_weight_equals_hard_labels(self):
+        coords = RNG.uniform(0, 5, size=(20, 2))
+        q = GridQuantizer(tau=1.0).fit(coords)
+        ids = q.transform(coords)
+        np.testing.assert_array_equal(
+            soft_multi_hot(q, ids, adjacency_weight=0.0),
+            multi_hot(ids, q.n_classes),
+        )
+
+    def test_invalid_weight(self):
+        q = GridQuantizer(tau=1.0).fit(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            soft_multi_hot(q, np.array([0]), adjacency_weight=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_row_max_is_one_property(self, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 8, size=(25, 2))
+        q = GridQuantizer(tau=1.0).fit(coords)
+        targets = soft_multi_hot(q, q.transform(coords), adjacency_weight=0.5)
+        np.testing.assert_array_equal(targets.max(axis=1), 1.0)

@@ -1,0 +1,60 @@
+"""Tests for the two-resolution quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.multires import MultiResolutionQuantizer
+
+RNG = np.random.default_rng(31)
+
+
+class TestConstruction:
+    def test_coarse_must_exceed_tau(self):
+        with pytest.raises(ValueError, match="exceed tau"):
+            MultiResolutionQuantizer(tau=1.0, coarse=1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MultiResolutionQuantizer(tau=0.0, coarse=1.0)
+
+
+class TestTransform:
+    def test_fewer_coarse_classes(self):
+        coords = RNG.uniform(0, 100, size=(300, 2))
+        q = MultiResolutionQuantizer(tau=1.0, coarse=10.0).fit(coords)
+        assert q.n_coarse < q.n_fine
+
+    def test_transform_returns_both(self):
+        coords = RNG.uniform(0, 20, size=(50, 2))
+        q = MultiResolutionQuantizer(tau=0.5, coarse=5.0).fit(coords)
+        fine, coarse = q.transform(coords)
+        assert fine.shape == coarse.shape == (50,)
+        assert fine.max() < q.n_fine
+        assert coarse.max() < q.n_coarse
+
+    def test_inverse_uses_fine_resolution(self):
+        coords = RNG.uniform(0, 20, size=(80, 2))
+        q = MultiResolutionQuantizer(tau=0.5, coarse=4.0).fit(coords)
+        fine, _coarse = q.transform(coords)
+        back = q.inverse_transform(fine)
+        errors = np.linalg.norm(coords - back, axis=1)
+        assert np.max(errors) <= 0.5 * np.sqrt(2) / 2 + 1e-9
+
+    def test_coarse_of_fine_consistent(self):
+        coords = RNG.uniform(0, 30, size=(100, 2))
+        q = MultiResolutionQuantizer(tau=1.0, coarse=6.0).fit(coords)
+        mapping = q.coarse_of_fine()
+        assert mapping.shape == (q.n_fine,)
+        # every fine centroid's coarse cell must be a valid coarse class
+        assert mapping.min() >= 0
+        assert mapping.max() < q.n_coarse
+
+    def test_samples_in_same_fine_cell_share_coarse_cell(self):
+        coords = RNG.uniform(0, 10, size=(60, 2))
+        q = MultiResolutionQuantizer(tau=0.5, coarse=2.0).fit(coords)
+        fine, coarse = q.transform(coords)
+        for fine_id in np.unique(fine):
+            group = coarse[fine == fine_id]
+            # fine cells are strictly inside coarse cells only when grids
+            # align; at minimum the group should be nearly constant
+            assert len(np.unique(group)) <= 2

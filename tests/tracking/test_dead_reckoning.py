@@ -1,0 +1,125 @@
+"""Tests for the physics baselines (double integration and PDR)."""
+
+import numpy as np
+import pytest
+
+from repro.data.gait import GaitModel, IMUConfig
+from repro.tracking.dead_reckoning import (
+    DeadReckoningTracker,
+    dead_reckon,
+    pdr_track,
+)
+
+
+def clean_straight_imu(n=1000, rate=50.0):
+    """Noise-free IMU for a straight east-bound walk."""
+    cfg = IMUConfig(
+        accel_noise_std=0.0,
+        gyro_noise_std=0.0,
+        gyro_bias_walk_std=0.0,
+        accel_bias_std=0.0,
+        sample_rate_hz=rate,
+    )
+    model = GaitModel(cfg)
+    step = cfg.speed_mps / rate
+    positions = np.column_stack([np.arange(n) * step, np.zeros(n)])
+    accel, gyro = model.trajectory_to_imu(positions, rng=0)
+    return np.concatenate([accel, gyro], axis=1), cfg
+
+
+class TestPDR:
+    def test_straight_walk_tracked(self):
+        imu, cfg = clean_straight_imu(2000)
+        track = pdr_track(
+            imu,
+            start_position=np.zeros(2),
+            sample_rate_hz=cfg.sample_rate_hz,
+            stride_length=cfg.speed_mps / cfg.step_frequency_hz,
+            initial_heading=0.0,
+        )
+        true_distance = 2000 / cfg.sample_rate_hz * cfg.speed_mps
+        assert track[-1][0] == pytest.approx(true_distance, rel=0.15)
+        assert abs(track[-1][1]) < 3.0
+
+    def test_step_count_matches_cadence(self):
+        imu, cfg = clean_straight_imu(1000)
+        track = pdr_track(
+            imu,
+            np.zeros(2),
+            sample_rate_hz=cfg.sample_rate_hz,
+        )
+        duration = 1000 / cfg.sample_rate_hz
+        expected_steps = duration * cfg.step_frequency_hz
+        assert len(track) - 1 == pytest.approx(expected_steps, rel=0.15)
+
+    def test_initial_heading_rotates_track(self):
+        imu, cfg = clean_straight_imu(1000)
+        north = pdr_track(
+            imu,
+            np.zeros(2),
+            sample_rate_hz=cfg.sample_rate_hz,
+            initial_heading=np.pi / 2,
+        )
+        assert north[-1][1] > abs(north[-1][0])
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pdr_track(np.zeros((10, 5)), np.zeros(2))
+
+
+class TestIntegration:
+    def test_returns_finite_position(self):
+        imu, cfg = clean_straight_imu(500)
+        end = dead_reckon(imu, np.zeros(2), sample_rate_hz=cfg.sample_rate_hz)
+        assert np.all(np.isfinite(end))
+
+    def test_noise_causes_drift(self):
+        # the motivating failure: noisy double integration drifts far
+        cfg = IMUConfig()
+        model = GaitModel(cfg)
+        step = cfg.speed_mps / cfg.sample_rate_hz
+        positions = np.column_stack([np.arange(3000) * step, np.zeros(3000)])
+        accel, gyro = model.trajectory_to_imu(positions, rng=1)
+        imu = np.concatenate([accel, gyro], axis=1)
+        end = dead_reckon(imu, np.zeros(2), sample_rate_hz=cfg.sample_rate_hz)
+        true_end = positions[-1]
+        assert np.linalg.norm(end - true_end) > 10.0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            dead_reckon(np.zeros((10, 4)), np.zeros(2))
+
+
+class TestTrackerAdapter:
+    def test_pdr_beats_integration_with_headings(
+        self, path_data, raw_segments, walk_headings
+    ):
+        pdr = DeadReckoningTracker(
+            raw_segments, method="pdr", initial_headings=walk_headings
+        ).fit(path_data)
+        integration = DeadReckoningTracker(
+            raw_segments, method="integration", initial_headings=walk_headings
+        ).fit(path_data)
+        truth = path_data.end_positions(path_data.test_indices)
+        pdr_err = np.linalg.norm(
+            pdr.predict_coordinates(path_data, path_data.test_indices) - truth,
+            axis=1,
+        ).mean()
+        int_err = np.linalg.norm(
+            integration.predict_coordinates(path_data, path_data.test_indices)
+            - truth,
+            axis=1,
+        ).mean()
+        assert pdr_err < int_err
+
+    def test_coverage_validation(self, path_data, raw_segments):
+        with pytest.raises(ValueError, match="smaller than"):
+            DeadReckoningTracker(raw_segments[:2]).fit(path_data)
+
+    def test_invalid_method(self, raw_segments):
+        with pytest.raises(ValueError):
+            DeadReckoningTracker(raw_segments, method="kalman")
+
+    def test_invalid_segment_shape(self):
+        with pytest.raises(ValueError):
+            DeadReckoningTracker(np.zeros((5, 10, 4)))

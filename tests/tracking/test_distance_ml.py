@@ -1,0 +1,81 @@
+"""Tests for the [8]-style ML distance tracker."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.distance_ml import MLDistanceTracker, _wrap_angle
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert _wrap_angle(1.0) == pytest.approx(1.0)
+
+    def test_wraps_large_angles(self):
+        assert _wrap_angle(2 * np.pi + 0.3) == pytest.approx(0.3)
+        assert _wrap_angle(-2 * np.pi - 0.3) == pytest.approx(-0.3)
+
+    def test_pi_boundary(self):
+        assert abs(_wrap_angle(np.pi)) == pytest.approx(np.pi)
+
+
+class TestMLDistanceTracker:
+    @pytest.fixture(scope="class")
+    def fitted(self, walks_small, path_data):
+        tracker = MLDistanceTracker(
+            model="forest", downsample=16, n_estimators=20, seed=1
+        )
+        tracker.fit_walks(walks_small)
+        tracker.fit(path_data)
+        return tracker
+
+    def test_predictions_finite(self, fitted, path_data):
+        predicted = fitted.predict_coordinates(
+            path_data, path_data.test_indices
+        )
+        assert predicted.shape == (len(path_data.test_indices), 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_beats_center_guess(self, fitted, path_data):
+        predicted = fitted.predict_coordinates(path_data, path_data.test_indices)
+        truth = path_data.end_positions(path_data.test_indices)
+        errors = np.linalg.norm(predicted - truth, axis=1)
+        center = path_data.reference_positions.mean(axis=0)
+        baseline = np.linalg.norm(center - truth, axis=1)
+        assert errors.mean() < baseline.mean()
+
+    def test_short_paths_tracked_well(self, fitted, path_data):
+        # 1-segment paths: a single regression step, drift cannot
+        # accumulate — errors should be small
+        short = [
+            i
+            for i in path_data.test_indices
+            if path_data.paths[int(i)].length == 1
+        ]
+        if len(short) < 3:
+            pytest.skip("too few single-segment paths in the split")
+        predicted = fitted.predict_coordinates(path_data, np.array(short))
+        truth = path_data.end_positions(np.array(short))
+        errors = np.linalg.norm(predicted - truth, axis=1)
+        assert np.median(errors) < 5.0
+
+    def test_knn_variant(self, walks_small, path_data):
+        tracker = MLDistanceTracker(model="knn", downsample=16, k=3)
+        tracker.fit_walks(walks_small)
+        predicted = tracker.predict_coordinates(
+            path_data, path_data.test_indices[:10]
+        )
+        assert np.all(np.isfinite(predicted))
+
+    def test_downsample_mismatch_caught(self, walks_small, path_data):
+        tracker = MLDistanceTracker(model="knn", downsample=64, k=3)
+        tracker.fit_walks(walks_small)
+        with pytest.raises(ValueError, match="downsample"):
+            tracker.fit(path_data)
+
+    def test_validation(self, walks_small):
+        with pytest.raises(ValueError):
+            MLDistanceTracker(model="svm")
+        with pytest.raises(ValueError):
+            MLDistanceTracker().fit_walks([])
+        with pytest.raises(RuntimeError):
+            MLDistanceTracker().predict_coordinates(None, np.array([0]))

@@ -1,0 +1,54 @@
+"""Tests for the tracking evaluation harness."""
+
+import numpy as np
+
+from repro.tracking.evaluate import evaluate_tracker
+
+
+class ConstantTracker:
+    def __init__(self, position):
+        self.position = np.asarray(position, dtype=float)
+
+    def predict_coordinates(self, data, indices):
+        return np.tile(self.position, (len(indices), 1))
+
+
+class TestEvaluateTracker:
+    def test_default_uses_test_split(self, path_data):
+        tracker = ConstantTracker([0.0, 0.0])
+        report = evaluate_tracker("constant", tracker, path_data)
+        assert report.errors.n == len(path_data.test_indices)
+
+    def test_custom_indices(self, path_data):
+        tracker = ConstantTracker([0.0, 0.0])
+        report = evaluate_tracker(
+            "constant", tracker, path_data, indices=path_data.train_indices[:10]
+        )
+        assert report.errors.n == 10
+
+    def test_structure_score_computed(self, path_data):
+        # predicting a reference position exactly → structure score 1.0
+        ref = path_data.reference_positions[0]
+        tracker = ConstantTracker(ref)
+        report = evaluate_tracker(
+            "ref",
+            tracker,
+            path_data,
+            route_nodes=path_data.reference_positions,
+        )
+        assert report.structure_score == 1.0
+
+    def test_far_predictions_score_zero(self, path_data):
+        tracker = ConstantTracker([10_000.0, 10_000.0])
+        report = evaluate_tracker(
+            "far",
+            tracker,
+            path_data,
+            route_nodes=path_data.reference_positions,
+        )
+        assert report.structure_score == 0.0
+
+    def test_row_format(self, path_data):
+        tracker = ConstantTracker([0.0, 0.0])
+        report = evaluate_tracker("constant", tracker, path_data)
+        assert "constant" in report.row()

@@ -1,0 +1,57 @@
+"""Tests for the [8]-style map-corrected tracker."""
+
+import numpy as np
+import pytest
+
+from repro.data.imu import court_route_graph
+from repro.tracking.dead_reckoning import DeadReckoningTracker
+from repro.tracking.map_correction import MapCorrectedTracker
+
+
+@pytest.fixture(scope="module")
+def corners():
+    return court_route_graph().nodes
+
+
+class TestMapCorrectedTracker:
+    def test_fit_predict_shapes(
+        self, path_data, raw_segments, walk_headings, corners
+    ):
+        tracker = MapCorrectedTracker(
+            raw_segments,
+            corners,
+            initial_headings=walk_headings,
+        ).fit(path_data)
+        predicted = tracker.predict_coordinates(
+            path_data, path_data.test_indices
+        )
+        assert predicted.shape == (len(path_data.test_indices), 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_not_worse_than_plain_pdr(
+        self, path_data, raw_segments, walk_headings, corners
+    ):
+        # the headline claim of [8]: snapping at turns bounds drift
+        plain = DeadReckoningTracker(
+            raw_segments, method="pdr", initial_headings=walk_headings
+        ).fit(path_data)
+        corrected = MapCorrectedTracker(
+            raw_segments, corners, initial_headings=walk_headings
+        ).fit(path_data)
+        truth = path_data.end_positions(path_data.test_indices)
+        plain_err = np.linalg.norm(
+            plain.predict_coordinates(path_data, path_data.test_indices) - truth,
+            axis=1,
+        ).mean()
+        corrected_err = np.linalg.norm(
+            corrected.predict_coordinates(path_data, path_data.test_indices)
+            - truth,
+            axis=1,
+        ).mean()
+        assert corrected_err <= plain_err * 1.5  # at minimum not catastrophic
+
+    def test_validation(self, raw_segments, corners):
+        with pytest.raises(ValueError):
+            MapCorrectedTracker(np.zeros((5, 10, 4)), corners)
+        with pytest.raises(ValueError):
+            MapCorrectedTracker(raw_segments, np.zeros((3, 3)))

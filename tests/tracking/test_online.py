@@ -1,0 +1,88 @@
+"""Tests for online sequential tracking."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.noble_imu import NObLeTracker
+from repro.tracking.online import OnlineTracker
+
+
+class TestOnlineTracker:
+    def test_requires_fitted_tracker(self):
+        with pytest.raises(ValueError, match="fitted"):
+            OnlineTracker(NObLeTracker())
+
+    def test_invalid_hop(self, trained_noble_tracker):
+        with pytest.raises(ValueError):
+            OnlineTracker(trained_noble_tracker, hop=0)
+
+    def test_track_path_shape(self, trained_noble_tracker, path_data):
+        online = OnlineTracker(trained_noble_tracker, hop=1)
+        long_paths = [
+            i
+            for i in path_data.test_indices
+            if path_data.paths[int(i)].length >= 3
+        ]
+        trace = online.track_path(path_data, long_paths[0])
+        path = path_data.paths[int(long_paths[0])]
+        assert trace.predicted.shape == (path.length, 2)
+        assert trace.errors.shape == (path.length,)
+
+    def test_predictions_on_quantizer_centroids(
+        self, trained_noble_tracker, path_data
+    ):
+        online = OnlineTracker(trained_noble_tracker, hop=1)
+        long_paths = [
+            i
+            for i in path_data.test_indices
+            if path_data.paths[int(i)].length >= 3
+        ]
+        trace = online.track_path(path_data, long_paths[0])
+        centroids = trained_noble_tracker.quantizer_.centroids_
+        distances = np.linalg.norm(
+            trace.predicted[:, None, :] - centroids[None, :, :], axis=-1
+        ).min(axis=1)
+        np.testing.assert_allclose(distances, 0.0, atol=1e-9)
+
+    def test_hop_two_halves_steps(self, trained_noble_tracker, path_data):
+        candidates = [
+            i
+            for i in path_data.test_indices
+            if path_data.paths[int(i)].length >= 4
+        ]
+        path = path_data.paths[int(candidates[0])]
+        online = OnlineTracker(trained_noble_tracker, hop=2)
+        trace = online.track_path(path_data, candidates[0])
+        assert len(trace.predicted) == path.length // 2
+
+    def test_errors_bounded_by_court(self, trained_noble_tracker, path_data):
+        # online error can accumulate but quantized outputs stay on the
+        # route, so errors remain bounded by the court diagonal
+        online = OnlineTracker(trained_noble_tracker, hop=1)
+        candidates = [
+            i
+            for i in path_data.test_indices
+            if path_data.paths[int(i)].length >= 4
+        ]
+        for index in candidates[:5]:
+            trace = online.track_path(path_data, index)
+            assert trace.max_error < np.hypot(160.0, 60.0)
+
+    def test_truth_length_validated(self, trained_noble_tracker, path_data):
+        online = OnlineTracker(trained_noble_tracker, hop=1)
+        path = path_data.paths[int(path_data.test_indices[0])]
+        with pytest.raises(ValueError, match="one row per hop"):
+            online.track(
+                path_data,
+                path.segment_indices,
+                path.start_position,
+                path.start_heading,
+                truth=np.zeros((path.length + 3, 2)),
+            )
+
+    def test_too_few_segments_rejected(self, trained_noble_tracker, path_data):
+        online = OnlineTracker(trained_noble_tracker, hop=5)
+        with pytest.raises(ValueError, match="not enough segments"):
+            online.track(
+                path_data, np.array([0]), np.zeros(2), 0.0
+            )

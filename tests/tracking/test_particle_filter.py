@@ -1,0 +1,86 @@
+"""Tests for the particle-filter map-matching comparator."""
+
+import numpy as np
+import pytest
+
+from repro.data.imu import court_route_graph
+from repro.geometry.segments import route_graph_segments, segment_distances
+from repro.tracking.dead_reckoning import DeadReckoningTracker
+from repro.tracking.particle_filter import ParticleFilterTracker
+
+
+@pytest.fixture(scope="module")
+def route_segs():
+    route = court_route_graph()
+    return route_graph_segments(route.nodes, route.adjacency)
+
+
+@pytest.fixture(scope="module")
+def fitted_filter(raw_segments, route_segs, walk_headings, path_data):
+    tracker = ParticleFilterTracker(
+        raw_segments,
+        route_segs,
+        initial_headings=walk_headings,
+        n_particles=100,
+        seed=3,
+    )
+    return tracker.fit(path_data)
+
+
+class TestParticleFilter:
+    def test_predictions_finite(self, fitted_filter, path_data):
+        predicted = fitted_filter.predict_coordinates(
+            path_data, path_data.test_indices[:20]
+        )
+        assert predicted.shape == (20, 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_predictions_near_route(self, fitted_filter, path_data, route_segs):
+        # the map constraint keeps estimates close to legal space
+        predicted = fitted_filter.predict_coordinates(
+            path_data, path_data.test_indices[:20]
+        )
+        distances = segment_distances(predicted, route_segs)
+        assert np.median(distances) < 10.0
+
+    def test_not_worse_than_unconstrained_pdr(
+        self, fitted_filter, path_data, raw_segments, walk_headings
+    ):
+        indices = path_data.test_indices[:30]
+        truth = path_data.end_positions(indices)
+        pf_err = np.linalg.norm(
+            fitted_filter.predict_coordinates(path_data, indices) - truth,
+            axis=1,
+        ).mean()
+        pdr = DeadReckoningTracker(
+            raw_segments, method="pdr", initial_headings=walk_headings
+        ).fit(path_data)
+        pdr_err = np.linalg.norm(
+            pdr.predict_coordinates(path_data, indices) - truth, axis=1
+        ).mean()
+        assert pf_err <= pdr_err * 1.5
+
+    def test_deterministic_by_seed(
+        self, raw_segments, route_segs, walk_headings, path_data
+    ):
+        outputs = []
+        for _run in range(2):
+            tracker = ParticleFilterTracker(
+                raw_segments,
+                route_segs,
+                initial_headings=walk_headings,
+                n_particles=50,
+                seed=9,
+            ).fit(path_data)
+            outputs.append(
+                tracker.predict_coordinates(path_data, path_data.test_indices[:5])
+            )
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    def test_validation(self, raw_segments, route_segs):
+        with pytest.raises(ValueError):
+            ParticleFilterTracker(np.zeros((2, 3, 4)), route_segs)
+        with pytest.raises(ValueError):
+            ParticleFilterTracker(raw_segments, route_segs, n_particles=1)
+        with pytest.raises(ValueError):
+            ParticleFilterTracker(raw_segments, route_segs, map_sigma=0.0)

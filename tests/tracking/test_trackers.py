@@ -1,0 +1,84 @@
+"""Tests for NObLeTracker and DeepRegressionTracker."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.noble_imu import NObLeTracker
+from repro.tracking.regression import DeepRegressionTracker
+
+
+class TestNObLeTracker:
+    def test_predictions_are_cell_centroids(self, trained_noble_tracker, path_data):
+        tracker = trained_noble_tracker
+        predicted = tracker.predict_coordinates(path_data, path_data.test_indices)
+        centroids = tracker.quantizer_.centroids_
+        distances = np.linalg.norm(
+            predicted[:, None, :] - centroids[None, :, :], axis=-1
+        ).min(axis=1)
+        np.testing.assert_allclose(distances, 0.0, atol=1e-9)
+
+    def test_classes_in_range(self, trained_noble_tracker, path_data):
+        classes = trained_noble_tracker.predict_classes(
+            path_data, path_data.test_indices
+        )
+        assert classes.min() >= 0
+        assert classes.max() < trained_noble_tracker.quantizer_.n_classes
+
+    def test_displacements_shape_and_scale(self, trained_noble_tracker, path_data):
+        displacement = trained_noble_tracker.predict_displacements(
+            path_data, path_data.test_indices[:20]
+        )
+        assert displacement.shape == (20, 2)
+        # de-normalized displacements should be in court-scale meters
+        assert np.abs(displacement).max() < 500.0
+
+    def test_learns_better_than_center_guess(
+        self, trained_noble_tracker, path_data
+    ):
+        predicted = trained_noble_tracker.predict_coordinates(
+            path_data, path_data.test_indices
+        )
+        truth = path_data.end_positions(path_data.test_indices)
+        errors = np.linalg.norm(predicted - truth, axis=1)
+        center = path_data.reference_positions.mean(axis=0)
+        baseline = np.linalg.norm(center - truth, axis=1)
+        assert errors.mean() < baseline.mean()
+
+    def test_history_available(self, trained_noble_tracker):
+        assert trained_noble_tracker.history_.epochs_run > 0
+
+    def test_predict_before_fit_raises(self, path_data):
+        with pytest.raises(RuntimeError):
+            NObLeTracker().predict_coordinates(path_data, path_data.test_indices)
+
+    def test_empty_train_rejected(self, path_data):
+        import dataclasses
+
+        empty = dataclasses.replace(
+            path_data, train_indices=np.empty(0, dtype=int)
+        )
+        with pytest.raises(ValueError, match="no training paths"):
+            NObLeTracker().fit(empty)
+
+
+class TestDeepRegressionTracker:
+    def test_fit_predict_shapes(self, path_data):
+        tracker = DeepRegressionTracker(epochs=10, seed=3).fit(path_data)
+        predicted = tracker.predict_coordinates(path_data, path_data.test_indices)
+        assert predicted.shape == (len(path_data.test_indices), 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_predictions_unconstrained_by_grid(self, path_data):
+        # unlike NObLe the regression outputs are continuous: almost never
+        # exactly on a quantizer centroid
+        tracker = DeepRegressionTracker(epochs=10, seed=3).fit(path_data)
+        predicted = tracker.predict_coordinates(
+            path_data, path_data.test_indices
+        )
+        assert len(np.unique(predicted[:, 0])) > len(predicted) // 2
+
+    def test_predict_before_fit_raises(self, path_data):
+        with pytest.raises(RuntimeError):
+            DeepRegressionTracker().predict_coordinates(
+                path_data, path_data.test_indices
+            )

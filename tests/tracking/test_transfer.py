@@ -1,0 +1,114 @@
+"""Tests for displacement-module transfer (§V-B plug-in claim)."""
+
+import numpy as np
+import pytest
+
+from repro.data import CampusWalkSimulator, build_path_dataset
+from repro.data.imu import court_route_graph
+from repro.tracking.noble_imu import NObLeTracker
+
+
+@pytest.fixture(scope="module")
+def second_court_paths():
+    """Paths on a different court (other extent and route topology)."""
+    route = court_route_graph(extent=(100.0, 80.0), margin=8.0, n_cross_paths=2)
+    simulator = CampusWalkSimulator(samples_per_segment=128, route=route)
+    walks = simulator.record_session(n_walks=2, references_per_walk=14, rng=808)
+    return build_path_dataset(
+        walks, n_paths=240, max_length=6, downsample=16, rng=809
+    )
+
+
+class TestBackboneFreeze:
+    def test_frozen_modules_stay_eval_in_train_mode(self, trained_noble_tracker):
+        net = trained_noble_tracker.network_
+        net.freeze_backbone(True)
+        net.train()
+        assert not net.projection.training
+        assert not net.displacement[0].training
+        assert net.location[0].training
+        net.freeze_backbone(False)
+        net.train()
+        assert net.projection.training
+
+    def test_backbone_state_round_trip(self, trained_noble_tracker):
+        net = trained_noble_tracker.network_
+        state = net.backbone_state()
+        original = net.projection.weight.data.copy()
+        net.projection.weight.data += 1.0
+        net.load_backbone_state(state)
+        np.testing.assert_array_equal(net.projection.weight.data, original)
+
+    def test_backbone_state_rejects_mismatch(self, trained_noble_tracker):
+        net = trained_noble_tracker.network_
+        state = net.backbone_state()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="mismatch"):
+            net.load_backbone_state(state)
+
+
+class TestTransfer:
+    def test_transfer_produces_working_tracker(
+        self, trained_noble_tracker, second_court_paths
+    ):
+        transferred = trained_noble_tracker.transfer(
+            second_court_paths, freeze_backbone=True, epochs=15
+        )
+        predicted = transferred.predict_coordinates(
+            second_court_paths, second_court_paths.test_indices
+        )
+        assert predicted.shape == (len(second_court_paths.test_indices), 2)
+        assert np.all(np.isfinite(predicted))
+
+    def test_backbone_weights_copied_and_frozen(
+        self, trained_noble_tracker, second_court_paths
+    ):
+        transferred = trained_noble_tracker.transfer(
+            second_court_paths, freeze_backbone=True, epochs=3
+        )
+        np.testing.assert_array_equal(
+            transferred.network_.projection.weight.data,
+            trained_noble_tracker.network_.projection.weight.data,
+        )
+        assert transferred.network_.backbone_frozen
+
+    def test_unfrozen_transfer_fine_tunes_backbone(
+        self, trained_noble_tracker, second_court_paths
+    ):
+        transferred = trained_noble_tracker.transfer(
+            second_court_paths, freeze_backbone=False, epochs=3
+        )
+        assert not transferred.network_.backbone_frozen
+        # backbone weights move when not frozen
+        assert not np.array_equal(
+            transferred.network_.projection.weight.data,
+            trained_noble_tracker.network_.projection.weight.data,
+        )
+
+    def test_source_untouched(self, trained_noble_tracker, second_court_paths):
+        before = trained_noble_tracker.network_.projection.weight.data.copy()
+        trained_noble_tracker.transfer(second_court_paths, epochs=2)
+        np.testing.assert_array_equal(
+            before, trained_noble_tracker.network_.projection.weight.data
+        )
+
+    def test_feature_mismatch_rejected(self, trained_noble_tracker, walks_small):
+        mismatched = build_path_dataset(
+            walks_small, n_paths=40, max_length=6, downsample=32, rng=1
+        )
+        with pytest.raises(ValueError, match="featurization width"):
+            trained_noble_tracker.transfer(mismatched, epochs=1)
+
+    def test_max_length_mismatch_rejected(
+        self, trained_noble_tracker, walks_small
+    ):
+        mismatched = build_path_dataset(
+            walks_small, n_paths=40, max_length=4, downsample=16, rng=1
+        )
+        with pytest.raises(ValueError, match="max path length"):
+            trained_noble_tracker.transfer(mismatched, epochs=1)
+
+    def test_unfitted_source_rejected(self, second_court_paths):
+        with pytest.raises(RuntimeError):
+            NObLeTracker().transfer(second_court_paths)

@@ -1,0 +1,77 @@
+"""Tests for ASCII scatter rendering and CSV dumps."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.viz.scatter import ascii_scatter, save_scatter_csv
+
+
+class TestAsciiScatter:
+    def test_dimensions(self):
+        points = np.random.default_rng(0).uniform(0, 1, size=(50, 2))
+        plot = ascii_scatter(points, width=40, height=10)
+        lines = plot.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_title_included(self):
+        points = np.zeros((1, 2))
+        plot = ascii_scatter(points, title="Fig 4(d) NObLe")
+        assert plot.splitlines()[0] == "Fig 4(d) NObLe"
+
+    def test_point_lands_in_right_corner(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        plot = ascii_scatter(points, width=10, height=5)
+        lines = plot.splitlines()
+        assert lines[1][10] != " "   # top-right (y grows upward)
+        assert lines[5][1] != " "    # bottom-left
+
+    def test_shared_extent_alignment(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.5, 0.5]])
+        extent = (0.0, 0.0, 1.0, 1.0)
+        plot_a = ascii_scatter(a, width=11, height=11, extent=extent)
+        plot_b = ascii_scatter(b, width=11, height=11, extent=extent)
+        # the same cell is empty in one and filled in the other
+        assert plot_a != plot_b
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((1, 2)), width=1)
+
+    def test_denser_cells_darker(self):
+        points = np.vstack(
+            [np.tile([[0.1, 0.1]], (50, 1)), [[0.9, 0.9]]]
+        )
+        plot = ascii_scatter(points, width=10, height=10)
+        body = "".join(plot.splitlines()[1:-1])
+        # the dense cluster uses the darkest ramp character present
+        assert "@" in body
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        points = np.array([[1.5, 2.5], [3.0, 4.0]])
+        path = tmp_path / "points.csv"
+        save_scatter_csv(str(path), points)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert float(rows[1][0]) == 1.5
+
+    def test_with_labels(self, tmp_path):
+        points = np.array([[0.0, 0.0]])
+        path = tmp_path / "points.csv"
+        save_scatter_csv(str(path), points, labels=np.array([7]))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y", "label"]
+        assert rows[1][2] == "7"
+
+    def test_label_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_scatter_csv(
+                str(tmp_path / "x.csv"), np.zeros((2, 2)), labels=np.array([1])
+            )
