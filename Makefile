@@ -1,0 +1,17 @@
+# Developer entry points.  `make test` is the tier-1 verification command;
+# it clears compiled bytecode first so a stale __pycache__ can never
+# resurrect the seed's duplicate-basename collection failure.
+
+PYTHON ?= python
+
+.PHONY: test clean-pyc serve-bench
+
+test: clean-pyc
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+clean-pyc:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	find . -name '*.pyc' -delete
+
+serve-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench

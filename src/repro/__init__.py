@@ -12,6 +12,8 @@ Subpackages
 -----------
 ``repro.core``
     High-level estimator API and experiment configurations.
+``repro.serving``
+    Batched, cached model serving behind a unified estimator registry.
 ``repro.localization`` / ``repro.tracking``
     The paper's two applications (Wi-Fi fingerprinting, IMU tracking)
     with all baselines.
@@ -33,13 +35,14 @@ Subpackages
     Position-error metrics, CDFs, and ASCII/CSV figure output.
 """
 
-from repro.core.api import NObLeEstimator
+from repro.core.api import NObLeEstimator, create_estimator
 from repro.core.config import IMUExperimentConfig, WifiExperimentConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "NObLeEstimator",
+    "create_estimator",
     "WifiExperimentConfig",
     "IMUExperimentConfig",
     "__version__",

@@ -6,6 +6,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli ipin            # single-building results
     python -m repro.cli imu             # Table III style comparison
     python -m repro.cli energy          # §IV-C / §V-D accounting
+    python -m repro.cli serve-bench     # per-query vs batched serving
     python -m repro.cli wifi --preset paper --csv trainingData.csv
 
 ``--preset fast`` (default) finishes in a couple of minutes on a laptop;
@@ -25,7 +26,7 @@ def main(argv: "list[str] | None" = None) -> int:
         prog="repro", description="NObLe reproduction experiment driver"
     )
     parser.add_argument(
-        "experiment", choices=("wifi", "ipin", "imu", "energy"),
+        "experiment", choices=("wifi", "ipin", "imu", "energy", "serve-bench"),
         help="which experiment to run",
     )
     parser.add_argument(
@@ -37,6 +38,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="path to a real UJIIndoorLoc CSV (wifi experiment only)",
     )
     parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument(
+        "--model", default="knn",
+        help="registered serving estimator name (serve-bench only)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64,
+        help="micro-batch size (serve-bench only)",
+    )
     args = parser.parse_args(argv)
 
     runner = {
@@ -44,6 +53,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "ipin": run_ipin,
         "imu": run_imu,
         "energy": run_energy,
+        "serve-bench": run_serve_bench,
     }[args.experiment]
     runner(args)
     return 0
@@ -189,6 +199,72 @@ def run_imu(args) -> None:
     print("\nmodel                          mean(m)  median(m)")
     for name, tracker in trackers:
         print(evaluate_tracker(name, tracker, data).row())
+
+
+def run_serve_bench(args) -> None:
+    """Benchmark the serving layer: per-query vs micro-batched vs cached.
+
+    Builds a synthetic UJIIndoorLoc-sized radio map, fits one registered
+    estimator through the :class:`repro.serving.ModelCache`, then serves
+    the same query workload (a) one request at a time and (b) through the
+    :class:`repro.serving.MicroBatcher`, asserting identical predictions.
+    """
+    import time
+
+    from repro.data import generate_uji_like
+    from repro.serving import MicroBatcher, ModelCache, get
+
+    get(args.model)  # fail fast on a typo'd name, before dataset generation
+    seed = args.seed if args.seed is not None else 42
+    scale = dict(fast=(48, 10, 10, 400), paper=(170, 20, 18, 2000))[args.preset]
+    n_spots, per_spot, n_aps, n_queries = scale
+    dataset = generate_uji_like(
+        n_spots_per_building=n_spots,
+        measurements_per_spot=per_spot,
+        n_aps_per_floor=n_aps,
+        seed=seed,
+    )
+    train, test = dataset.split((0.8, 0.2), rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    queries = test.rssi[rng.integers(0, len(test), size=n_queries)]
+    print(
+        f"radio map: {len(train)} fingerprints x {train.n_aps} WAPs, "
+        f"{n_queries} queries, model={args.model!r}\n"
+    )
+
+    cache = ModelCache(capacity=4)
+    tic = time.perf_counter()
+    estimator = cache.get_or_fit(args.model, train)
+    fit_cold = time.perf_counter() - tic
+    tic = time.perf_counter()
+    cache.get_or_fit(args.model, train)
+    fit_warm = time.perf_counter() - tic
+    print(f"fit (cache miss) : {fit_cold * 1000:9.2f} ms")
+    print(f"fit (cache hit)  : {fit_warm * 1000:9.2f} ms "
+          f"({fit_cold / max(fit_warm, 1e-9):.0f}x faster)")
+
+    tic = time.perf_counter()
+    single = [estimator.predict_batch(q[None, :]) for q in queries]
+    t_single = time.perf_counter() - tic
+
+    batcher = MicroBatcher(estimator, batch_size=args.batch_size)
+    tic = time.perf_counter()
+    batched = batcher.predict_many(queries)
+    t_batched = time.perf_counter() - tic
+
+    single_xy = np.vstack([p.coordinates for p in single])
+    if not np.allclose(single_xy, batched.coordinates, rtol=0.0, atol=1e-9):
+        raise AssertionError("batched predictions diverge from per-query")
+
+    print(f"\nper-query        : {t_single:9.4f} s "
+          f"({n_queries / t_single:10.0f} req/s)")
+    print(f"micro-batched    : {t_batched:9.4f} s "
+          f"({n_queries / t_batched:10.0f} req/s, "
+          f"batch={args.batch_size}, {batcher.n_batches} calls)")
+    print(f"batching speedup : {t_single / t_batched:9.1f}x")
+    stats = cache.stats()
+    print(f"cache            : {stats.hits} hits / {stats.misses} misses "
+          f"({stats.size}/{stats.capacity} slots)")
 
 
 def run_energy(args) -> None:

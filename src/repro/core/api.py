@@ -8,6 +8,11 @@ not need to know about datasets, quantizers, or heads:
     >>> model = NObLeEstimator(tau=0.5)
     >>> model.fit(signals, coordinates)            # doctest: +SKIP
     >>> positions = model.predict(new_signals)     # doctest: +SKIP
+
+:func:`create_estimator` is the registry-backed sibling: it builds any
+serving backend (``"knn"``, ``"noble"``, ``"cnnloc"``, ...) behind the
+uniform ``fit(dataset)`` / ``predict_batch(signals)`` protocol of
+:mod:`repro.serving`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,20 @@ import numpy as np
 from repro.data.ujiindoor import NOT_DETECTED, FingerprintDataset
 from repro.localization.noble import NObLeWifi
 from repro.utils.validation import check_2d, check_fitted, check_lengths_match
+
+
+def create_estimator(name: str, **hyperparams):
+    """Instantiate a registered serving estimator by name.
+
+    Thin alias of :func:`repro.serving.create`, re-exported here so the
+    core API is the only import downstream users need:
+
+        >>> from repro import create_estimator
+        >>> model = create_estimator("knn", k=3)   # doctest: +SKIP
+    """
+    from repro.serving import create
+
+    return create(name, **hyperparams)
 
 
 class NObLeEstimator:
@@ -108,6 +127,21 @@ class NObLeEstimator:
         check_fitted(self, "model_")
         return self.model_.predict(self._wrap(check_2d(signals, "signals")))
 
+    def predict_batch(self, signals: np.ndarray):
+        """Serving-protocol output (:class:`repro.serving.Prediction`).
+
+        Makes a fitted :class:`NObLeEstimator` a drop-in backend for the
+        :class:`repro.serving.MicroBatcher`.
+        """
+        from repro.serving import Prediction
+
+        detail = self.predict_detail(signals)
+        return Prediction(
+            coordinates=detail.coordinates,
+            building=detail.building,
+            floor=detail.floor,
+        )
+
     @property
     def n_classes(self) -> int:
         """Number of populated fine grid classes after fitting."""
@@ -118,10 +152,6 @@ class NObLeEstimator:
 
     @staticmethod
     def _wrap(signals: np.ndarray) -> FingerprintDataset:
-        n = len(signals)
-        return FingerprintDataset(
-            rssi=signals,
-            coordinates=np.zeros((n, 2)),
-            floor=np.zeros(n, dtype=int),
-            building=np.zeros(n, dtype=int),
-        )
+        from repro.serving import Estimator
+
+        return Estimator._as_dataset(signals)

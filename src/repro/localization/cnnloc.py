@@ -151,23 +151,35 @@ class CNNLocWifi:
         return self
 
     def predict_coordinates(self, dataset) -> np.ndarray:
-        check_fitted(self, "model_")
-        signals = self._signals(dataset)
-        self.model_.eval()
-        out = self.model_(signals)
+        out = self._forward(dataset)
         standardized = out[:, self.head_slices_["position"]]
         return standardized * self.coord_std_ + self.coord_mean_
 
     def predict_labels(self, dataset) -> tuple[np.ndarray, np.ndarray]:
         """(building, floor) argmax predictions."""
-        check_fitted(self, "model_")
-        signals = self._signals(dataset)
-        self.model_.eval()
-        out = self.model_(signals)
+        out = self._forward(dataset)
         return (
             out[:, self.head_slices_["building"]].argmax(axis=1),
             out[:, self.head_slices_["floor"]].argmax(axis=1),
         )
+
+    def predict_full(
+        self, dataset
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(coordinates, building, floor) from a single forward pass."""
+        out = self._forward(dataset)
+        standardized = out[:, self.head_slices_["position"]]
+        return (
+            standardized * self.coord_std_ + self.coord_mean_,
+            out[:, self.head_slices_["building"]].argmax(axis=1),
+            out[:, self.head_slices_["floor"]].argmax(axis=1),
+        )
+
+    def _forward(self, dataset) -> np.ndarray:
+        check_fitted(self, "model_")
+        signals = self._signals(dataset)
+        self.model_.eval()
+        return self.model_(signals)
 
     @staticmethod
     def _signals(dataset) -> np.ndarray:

@@ -45,8 +45,31 @@ class KNNFingerprinting:
 
     def predict_coordinates(self, dataset) -> np.ndarray:
         check_fitted(self, "index_")
-        signals = self._signals(dataset)
-        distances, indices = self.index_.query(signals, k=self.k)
+        distances, indices = self.index_.query(self._signals(dataset), k=self.k)
+        return self._coordinates_from(distances, indices)
+
+    def predict_labels(self, dataset) -> tuple[np.ndarray, np.ndarray]:
+        """(building, floor) by majority vote among the k neighbors."""
+        check_fitted(self, "index_")
+        _dist, indices = self.index_.query(self._signals(dataset), k=self.k)
+        return self._labels_from(indices)
+
+    def predict_full(
+        self, dataset
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(coordinates, building, floor) from a single neighbor query.
+
+        The serving hot path: one brute-force index query serves both the
+        position regression and the label votes.
+        """
+        check_fitted(self, "index_")
+        distances, indices = self.index_.query(self._signals(dataset), k=self.k)
+        building, floor = self._labels_from(indices)
+        return self._coordinates_from(distances, indices), building, floor
+
+    def _coordinates_from(
+        self, distances: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
         neighbor_coords = self.coordinates_[indices]  # (N, k, 2)
         if self.weighted:
             weights = 1.0 / (distances + 1e-9)
@@ -54,14 +77,8 @@ class KNNFingerprinting:
             return np.sum(neighbor_coords * weights[:, :, None], axis=1)
         return neighbor_coords.mean(axis=1)
 
-    def predict_labels(self, dataset) -> tuple[np.ndarray, np.ndarray]:
-        """(building, floor) by majority vote among the k neighbors."""
-        check_fitted(self, "index_")
-        signals = self._signals(dataset)
-        _dist, indices = self.index_.query(signals, k=self.k)
-        building = _majority(self.building_[indices])
-        floor = _majority(self.floor_[indices])
-        return building, floor
+    def _labels_from(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return _majority(self.building_[indices]), _majority(self.floor_[indices])
 
     @staticmethod
     def _signals(dataset) -> np.ndarray:
@@ -72,8 +89,20 @@ class KNNFingerprinting:
 
 def _majority(labels: np.ndarray) -> np.ndarray:
     """Row-wise mode of an integer label matrix (ties → smallest label)."""
-    out = np.empty(len(labels), dtype=int)
-    for i, row in enumerate(labels):
-        values, counts = np.unique(row, return_counts=True)
-        out[i] = values[np.argmax(counts)]
-    return out
+    labels = np.asarray(labels, dtype=int)
+    n, k = labels.shape
+    if n == 0:
+        return np.empty(0, dtype=int)
+    # Sort each row, find run boundaries, and give every element the length
+    # of the run it belongs to.  Rows are contiguous in the flattened view
+    # and every row starts a new run, so runs never span rows.
+    ordered = np.sort(labels, axis=1)
+    starts = np.concatenate(
+        [np.ones((n, 1), dtype=bool), ordered[:, 1:] != ordered[:, :-1]], axis=1
+    )
+    run_id = np.cumsum(starts.ravel()) - 1
+    run_lengths = np.bincount(run_id)[run_id].reshape(n, k)
+    # argmax takes the first maximal run; rows are sorted ascending, so that
+    # is the smallest label among the modes — the documented tie-break.
+    best = np.argmax(run_lengths, axis=1)
+    return ordered[np.arange(n), best]

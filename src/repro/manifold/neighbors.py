@@ -98,28 +98,34 @@ def kneighbors(
 
 
 def epsilon_neighbors(points: np.ndarray, radius: float) -> list[np.ndarray]:
-    """Indices of all neighbors within ``radius`` of each point (self excluded)."""
+    """Indices of all neighbors within ``radius`` of each point (self excluded).
+
+    Neighbor indices are returned in ascending order per point.
+    """
     points = check_2d(points, "points")
     if radius <= 0:
         raise ValueError(f"radius must be positive, got {radius}")
+    n = len(points)
+    if n == 0:
+        return []
     tree = cKDTree(points)
-    result = []
-    for i, nearby in enumerate(tree.query_ball_point(points, r=radius)):
-        result.append(np.array([j for j in nearby if j != i], dtype=int))
-    return result
+    # query_pairs gives each in-radius (i, j) pair once with i < j and never
+    # pairs a point with itself; mirroring it yields both directions at once.
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    both = np.concatenate([pairs, pairs[:, ::-1]]).astype(int)
+    order = np.lexsort((both[:, 1], both[:, 0]))
+    sources, targets = both[order, 0], both[order, 1]
+    counts = np.bincount(sources, minlength=n)
+    return np.split(targets, np.cumsum(counts)[:-1])
 
 
 def _drop_self_matches(distances: np.ndarray, indices: np.ndarray, k: int):
-    """Remove the first zero-distance self column, keep k columns."""
-    m = distances.shape[0]
-    out_d = np.empty((m, k))
-    out_i = np.empty((m, k), dtype=int)
-    rows = np.arange(distances.shape[1])
-    for row in range(m):
-        # the self match is the first zero-distance hit whose index equals
-        # any identical point; dropping column 0 is correct because queries
-        # are the indexed points themselves (distance 0 sorts first)
-        keep = rows != 0
-        out_d[row] = distances[row, keep][:k]
-        out_i[row] = indices[row, keep][:k]
-    return out_d, out_i
+    """Remove the first zero-distance self column, keep k columns.
+
+    Dropping column 0 is correct because queries are the indexed points
+    themselves: the zero-distance self match sorts first in every row.
+    """
+    return (
+        np.ascontiguousarray(distances[:, 1 : k + 1]),
+        np.ascontiguousarray(indices[:, 1 : k + 1]).astype(int, copy=False),
+    )

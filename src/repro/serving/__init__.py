@@ -1,0 +1,58 @@
+"""repro.serving — batched, cached model serving behind one protocol.
+
+The production-facing seam of the repo.  Three pieces compose:
+
+``registry``
+    :class:`Estimator` protocol (``fit(dataset)`` /
+    ``predict_batch(raw_signals) -> Prediction``) plus a name-keyed
+    registry adapting every localization backend — ``"knn"``,
+    ``"noble"``, ``"cnnloc"``, ``"knn-regressor"``, ``"forest"``.
+``cache``
+    :class:`ModelCache`, an LRU of fitted models keyed by dataset
+    fingerprint + hyperparameters, so repeated requests against the
+    same radio map never re-fit or re-index.
+``batcher``
+    :class:`MicroBatcher`, which accumulates single-query requests into
+    fixed-size micro-batches served by one vectorized model call.
+
+Typical serving loop::
+
+    from repro.serving import MicroBatcher, ModelCache
+
+    cache = ModelCache(capacity=8)
+    estimator = cache.get_or_fit("knn", radio_map, k=3)
+    batcher = MicroBatcher(estimator, batch_size=64)
+    tickets = [batcher.submit(scan) for scan in incoming]
+    batcher.flush()
+    positions = [t.result().coordinates[0] for t in tickets]
+
+``python -m repro.cli serve-bench`` benchmarks this path against naive
+per-query serving.
+"""
+
+from repro.serving.batcher import MicroBatcher, Ticket
+from repro.serving.cache import CacheStats, ModelCache, dataset_fingerprint
+from repro.serving.registry import (
+    Estimator,
+    Prediction,
+    available,
+    concatenate,
+    create,
+    get,
+    register,
+)
+
+__all__ = [
+    "Estimator",
+    "Prediction",
+    "available",
+    "concatenate",
+    "create",
+    "get",
+    "register",
+    "ModelCache",
+    "CacheStats",
+    "dataset_fingerprint",
+    "MicroBatcher",
+    "Ticket",
+]

@@ -1,0 +1,134 @@
+"""LRU model/index cache for the serving layer.
+
+Fitting a localization model — training the NObLe network, or even just
+building the brute-force kNN index — dominates request latency.  The
+cache keys a fitted estimator by (registry name, dataset fingerprint,
+hyperparameters) so repeated requests against the same radio map never
+re-fit or re-index:
+
+    cache = ModelCache(capacity=8)
+    est = cache.get_or_fit("knn", dataset, k=3)   # miss: fits
+    est = cache.get_or_fit("knn", dataset, k=3)   # hit: cached instance
+
+The dataset fingerprint is a content digest of the arrays themselves, so
+two structurally identical datasets hit the same entry and any mutation
+(new survey points, relabeled floors) transparently misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.serving.registry import Estimator, create
+
+
+def dataset_fingerprint(dataset: FingerprintDataset) -> str:
+    """Stable content digest of a fingerprint dataset.
+
+    Hashes shape, dtype, and bytes of every array the models consume
+    (rssi, coordinates, floor, building); the optional floor plan and
+    spot ids do not affect any estimator and are excluded.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for array in (dataset.rssi, dataset.coordinates, dataset.floor, dataset.building):
+        array = np.ascontiguousarray(array)
+        digest.update(repr((array.shape, str(array.dtype))).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _params_key(hyperparams: dict) -> str:
+    return repr(sorted(hyperparams.items()))
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :meth:`ModelCache.stats`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ModelCache:
+    """LRU cache of fitted estimators.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of fitted models held; least-recently-used
+        entries are evicted beyond it.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, Estimator]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_fit(
+        self,
+        name: str,
+        dataset: FingerprintDataset,
+        fingerprint: "str | None" = None,
+        **hyperparams,
+    ) -> Estimator:
+        """Return a fitted estimator, fitting (and caching) on first use.
+
+        ``fingerprint`` skips re-hashing the dataset on the hit path —
+        pass :func:`dataset_fingerprint`'s output, computed once, when
+        serving many requests against the same (immutable) radio map;
+        hashing a UJIIndoorLoc-scale dataset costs more than a kNN query.
+        """
+        # key on the estimator's canonicalized params, not the raw kwargs,
+        # so omitted defaults / equivalent spellings (k=5 vs k=5.0) dedupe;
+        # construction is cheap — adapters only store params until fit()
+        estimator = create(name, **hyperparams)
+        if fingerprint is None:
+            fingerprint = dataset_fingerprint(dataset)
+        key = (name, fingerprint, _params_key(estimator.params))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        estimator.fit(dataset)
+        self._entries[key] = estimator
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return estimator
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction counters and occupancy."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def clear(self) -> None:
+        """Drop all cached models and reset the counters."""
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0

@@ -1,0 +1,334 @@
+"""Unified estimator protocol and registry.
+
+Every localization model in the repo — classic kNN fingerprinting, the
+paper's NObLe network, the CNNLoc baseline, and the generic ml
+regressors — historically exposed a slightly different fit/predict
+surface.  The serving layer flattens them behind one contract:
+
+    estimator = create("knn", k=3)
+    estimator.fit(dataset)                      # FingerprintDataset
+    prediction = estimator.predict_batch(raw)   # (N, W) raw RSSI rows
+
+``predict_batch`` always takes **raw** RSSI matrices in UJIIndoorLoc
+conventions (``NOT_DETECTED`` = +100 for unheard WAPs, dBm otherwise)
+and always returns a :class:`Prediction`; normalization happens inside
+the adapter so a request never has to know which backend serves it.
+
+Registering a new backend is one decorator::
+
+    @register("my-model")
+    class MyEstimator(Estimator):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.utils.validation import check_2d, check_fitted
+
+#: name -> Estimator subclass; populated by :func:`register`.
+_REGISTRY: "dict[str, type]" = {}
+
+
+@dataclass
+class Prediction:
+    """Uniform output of :meth:`Estimator.predict_batch`.
+
+    Attributes
+    ----------
+    coordinates:
+        (N, 2) predicted positions in meters.
+    building, floor:
+        (N,) integer labels, or None when the backend has no such head.
+    """
+
+    coordinates: np.ndarray
+    building: "np.ndarray | None" = None
+    floor: "np.ndarray | None" = None
+
+    def __len__(self) -> int:
+        return len(self.coordinates)
+
+    def take(self, indices) -> "Prediction":
+        """A new Prediction restricted to ``indices`` (rows)."""
+        return Prediction(
+            coordinates=self.coordinates[indices],
+            building=None if self.building is None else self.building[indices],
+            floor=None if self.floor is None else self.floor[indices],
+        )
+
+
+def concatenate(predictions: "list[Prediction]") -> Prediction:
+    """Stack per-batch predictions back into one (label heads must agree).
+
+    Raises ``ValueError`` when some predictions carry a building/floor
+    head and others do not — silently dropping valid labels would hide a
+    backend mismatch.
+    """
+    if not predictions:
+        return Prediction(coordinates=np.empty((0, 2)))
+    heads = {}
+    for name in ("building", "floor"):
+        present = [getattr(p, name) is not None for p in predictions]
+        if any(present) and not all(present):
+            raise ValueError(
+                f"cannot concatenate predictions with mixed {name} heads"
+            )
+        heads[name] = (
+            np.concatenate([getattr(p, name) for p in predictions])
+            if all(present)
+            else None
+        )
+    return Prediction(
+        coordinates=np.vstack([p.coordinates for p in predictions]),
+        building=heads["building"],
+        floor=heads["floor"],
+    )
+
+
+class Estimator:
+    """Base class of the serving protocol.
+
+    Subclasses implement :meth:`fit` on a :class:`FingerprintDataset`
+    and :meth:`predict_batch` on a raw (N, W) RSSI matrix, and call
+    ``super().__init__(**hyperparams)`` so :attr:`params` (used for
+    cache keys and ``describe()``) reflects their configuration.
+    """
+
+    def __init__(self, **params):
+        self.params = dict(params)
+
+    def fit(self, dataset: FingerprintDataset) -> "Estimator":
+        """Train on a fingerprint dataset; returns self."""
+        raise NotImplementedError
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        """Predict one vectorized batch of raw RSSI rows."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Canonical ``name(key=value, ...)`` string (stable param order)."""
+        name = getattr(self, "registry_name", type(self).__name__)
+        inner = ", ".join(f"{k}={self.params[k]!r}" for k in sorted(self.params))
+        return f"{name}({inner})"
+
+    @staticmethod
+    def _as_dataset(signals: np.ndarray) -> FingerprintDataset:
+        """Wrap raw RSSI rows so backends normalize them like training data."""
+        signals = check_2d(signals, "signals")
+        n = len(signals)
+        return FingerprintDataset(
+            rssi=signals,
+            coordinates=np.zeros((n, 2)),
+            floor=np.zeros(n, dtype=int),
+            building=np.zeros(n, dtype=int),
+        )
+
+
+def register(name: str):
+    """Class decorator adding an :class:`Estimator` subclass to the registry."""
+
+    def decorator(cls):
+        if not issubclass(cls, Estimator):
+            raise TypeError(f"{cls.__name__} must subclass Estimator")
+        if name in _REGISTRY:
+            raise ValueError(f"estimator {name!r} already registered")
+        cls.registry_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available() -> "tuple[str, ...]":
+    """Registered estimator names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str) -> type:
+    """The Estimator subclass registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown estimator {name!r}; available: {', '.join(available())}"
+        ) from None
+
+
+def create(name: str, **hyperparams) -> Estimator:
+    """Instantiate a registered estimator with ``hyperparams``."""
+    return get(name)(**hyperparams)
+
+
+def _canonical_seed(seed):
+    """Collapse equivalent integer seed spellings for stable cache keys."""
+    return int(seed) if isinstance(seed, (bool, int, np.integer)) else seed
+
+
+# --------------------------------------------------------------------- adapters
+@register("knn")
+class KNNFingerprintingEstimator(Estimator):
+    """Classic weighted-kNN fingerprinting behind the serving protocol."""
+
+    def __init__(self, k: int = 5, weighted: bool = True):
+        super().__init__(k=int(k), weighted=bool(weighted))
+        self.model_ = None
+
+    def fit(self, dataset: FingerprintDataset) -> "KNNFingerprintingEstimator":
+        from repro.localization.knn import KNNFingerprinting
+
+        self.model_ = KNNFingerprinting(**self.params).fit(dataset)
+        return self
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        check_fitted(self, "model_")
+        coordinates, building, floor = self.model_.predict_full(
+            self._as_dataset(signals)
+        )
+        return Prediction(coordinates=coordinates, building=building, floor=floor)
+
+
+@register("noble")
+class NObLeWifiEstimator(Estimator):
+    """The paper's NObLe Wi-Fi network behind the serving protocol."""
+
+    def __init__(
+        self,
+        tau: float = 0.2,
+        coarse: float = 4.0,
+        hidden: int = 128,
+        adjacency_weight: float = 0.3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        val_fraction: float = 0.0,
+        seed=0,
+    ):
+        super().__init__(
+            tau=float(tau),
+            coarse=float(coarse),
+            hidden=int(hidden),
+            adjacency_weight=float(adjacency_weight),
+            epochs=int(epochs),
+            batch_size=int(batch_size),
+            lr=float(lr),
+            val_fraction=float(val_fraction),
+            seed=_canonical_seed(seed),
+        )
+        self.model_ = None
+
+    def fit(self, dataset: FingerprintDataset) -> "NObLeWifiEstimator":
+        from repro.localization.noble import NObLeWifi
+
+        self.model_ = NObLeWifi(**self.params).fit(dataset)
+        return self
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        check_fitted(self, "model_")
+        detail = self.model_.predict(self._as_dataset(signals))
+        return Prediction(
+            coordinates=detail.coordinates,
+            building=detail.building,
+            floor=detail.floor,
+        )
+
+
+@register("cnnloc")
+class CNNLocEstimator(Estimator):
+    """CNNLoc (SAE + 1-D CNN) baseline behind the serving protocol."""
+
+    def __init__(
+        self,
+        encoder_sizes: tuple = (128, 64),
+        conv_channels: tuple = (8, 16),
+        pretrain_epochs: int = 20,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed=0,
+    ):
+        super().__init__(
+            encoder_sizes=tuple(int(s) for s in encoder_sizes),
+            conv_channels=tuple(int(c) for c in conv_channels),
+            pretrain_epochs=int(pretrain_epochs),
+            epochs=int(epochs),
+            batch_size=int(batch_size),
+            lr=float(lr),
+            seed=_canonical_seed(seed),
+        )
+        self.model_ = None
+
+    def fit(self, dataset: FingerprintDataset) -> "CNNLocEstimator":
+        from repro.localization.cnnloc import CNNLocWifi
+
+        self.model_ = CNNLocWifi(**self.params).fit(dataset)
+        return self
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        check_fitted(self, "model_")
+        coordinates, building, floor = self.model_.predict_full(
+            self._as_dataset(signals)
+        )
+        return Prediction(coordinates=coordinates, building=building, floor=floor)
+
+
+class _RegressorEstimator(Estimator):
+    """Shared adapter for coordinate-only regressors on normalized signals."""
+
+    def _build(self):
+        raise NotImplementedError
+
+    def fit(self, dataset: FingerprintDataset) -> "_RegressorEstimator":
+        self.model_ = self._build()
+        self.model_.fit(dataset.normalized_signals(), dataset.coordinates)
+        return self
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        check_fitted(self, "model_")
+        normalized = self._as_dataset(signals).normalized_signals()
+        return Prediction(coordinates=self.model_.predict(normalized))
+
+
+@register("knn-regressor")
+class KNNRegressorEstimator(_RegressorEstimator):
+    """Generic kNN regression (signals → coordinates) for serving."""
+
+    def __init__(self, k: int = 5, weights: str = "uniform"):
+        super().__init__(k=int(k), weights=weights)
+        self.model_ = None
+
+    def _build(self):
+        from repro.ml.knn_regressor import KNNRegressor
+
+        return KNNRegressor(**self.params)
+
+
+@register("forest")
+class RandomForestEstimator(_RegressorEstimator):
+    """Random-forest regression (signals → coordinates) for serving."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: "int | None" = 8,
+        min_samples_leaf: int = 1,
+        seed=0,
+    ):
+        super().__init__(
+            n_estimators=int(n_estimators),
+            max_depth=None if max_depth is None else int(max_depth),
+            min_samples_leaf=int(min_samples_leaf),
+            seed=_canonical_seed(seed),
+        )
+        self.model_ = None
+
+    def _build(self):
+        from repro.ml.forest import RandomForestRegressor
+
+        params = dict(self.params)
+        params["rng"] = params.pop("seed")
+        return RandomForestRegressor(**params)

@@ -21,3 +21,14 @@ class TestCLIParsing:
             cli.main(["--help"])
         assert excinfo.value.code == 0
         assert "experiment" in capsys.readouterr().out
+
+    def test_serve_bench_runs(self, capsys):
+        assert cli.main(["serve-bench", "--batch-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "cache miss" in out
+        assert "micro-batched" in out
+        assert "batching speedup" in out
+
+    def test_serve_bench_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            cli.main(["serve-bench", "--model", "teleport"])

@@ -1,0 +1,48 @@
+"""Regression tests pinning the vectorized `_majority` to its loop oracle."""
+
+import numpy as np
+import pytest
+
+from repro.localization.knn import _majority
+
+
+def _majority_loop(labels):
+    """Pre-vectorization implementation, kept as the regression oracle."""
+    out = np.empty(len(labels), dtype=int)
+    for i, row in enumerate(labels):
+        values, counts = np.unique(row, return_counts=True)
+        out[i] = values[np.argmax(counts)]
+    return out
+
+
+class TestMajority:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 3, 5, 8])
+    def test_pins_loop_output_on_random_labels(self, seed, k):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 5, size=(40, k))
+        got = _majority(labels)
+        np.testing.assert_array_equal(got, _majority_loop(labels))
+        assert got.dtype.kind == "i"
+
+    def test_clear_majority(self):
+        labels = np.array([[2, 2, 1], [0, 3, 3], [4, 4, 4]])
+        np.testing.assert_array_equal(_majority(labels), [2, 3, 4])
+
+    def test_tie_breaks_to_smallest_label(self):
+        labels = np.array([[3, 1, 3, 1], [2, 0, 0, 2], [5, 4, 3, 2]])
+        np.testing.assert_array_equal(_majority(labels), [1, 0, 2])
+        np.testing.assert_array_equal(_majority(labels), _majority_loop(labels))
+
+    def test_negative_labels(self):
+        labels = np.array([[-2, -2, 7], [-1, 5, -1]])
+        np.testing.assert_array_equal(_majority(labels), [-2, -1])
+        np.testing.assert_array_equal(_majority(labels), _majority_loop(labels))
+
+    def test_single_column(self):
+        labels = np.array([[4], [0], [9]])
+        np.testing.assert_array_equal(_majority(labels), [4, 0, 9])
+
+    def test_empty_input(self):
+        labels = np.empty((0, 3), dtype=int)
+        assert _majority(labels).shape == (0,)

@@ -4,8 +4,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from scipy.spatial import cKDTree
 
-from repro.manifold.neighbors import KNNIndex, epsilon_neighbors, kneighbors
+from repro.manifold.neighbors import (
+    KNNIndex,
+    _drop_self_matches,
+    epsilon_neighbors,
+    kneighbors,
+)
 
 RNG = np.random.default_rng(11)
 
@@ -86,6 +92,115 @@ class TestKneighbors:
         assert idx[0, 0] == 1
         assert idx[3, 0] == 2
         assert dist[3, 0] == pytest.approx(8.0)
+
+
+class TestBackendParity:
+    """brute and kdtree must return byte-identical (distances, indices)."""
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_separate_queries(self, k):
+        rng = np.random.default_rng(900 + k)
+        points = rng.normal(size=(60, 3))
+        queries = rng.normal(size=(25, 3))
+        d_brute, i_brute = KNNIndex(points, method="brute").query(queries, k=k)
+        d_tree, i_tree = KNNIndex(points, method="kdtree").query(queries, k=k)
+        np.testing.assert_array_equal(i_brute, i_tree)
+        np.testing.assert_allclose(d_brute, d_tree, atol=1e-12)
+
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_self_queries_with_exclude_self(self, k):
+        rng = np.random.default_rng(910 + k)
+        points = rng.normal(size=(40, 2))
+        d_brute, i_brute = KNNIndex(points, method="brute").query(
+            points, k=k, exclude_self=True
+        )
+        d_tree, i_tree = KNNIndex(points, method="kdtree").query(
+            points, k=k, exclude_self=True
+        )
+        np.testing.assert_array_equal(i_brute, i_tree)
+        np.testing.assert_allclose(d_brute, d_tree, atol=1e-12)
+        assert i_brute.shape == (40, k)
+        assert not np.any(i_brute == np.arange(40)[:, None])
+
+    def test_k1_exclude_self_is_true_nearest_other(self):
+        rng = np.random.default_rng(920)
+        points = rng.normal(size=(30, 4))
+        for method in ("brute", "kdtree"):
+            dist, idx = KNNIndex(points, method=method).query(
+                points, k=1, exclude_self=True
+            )
+            full = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+            np.fill_diagonal(full, np.inf)
+            np.testing.assert_array_equal(idx[:, 0], full.argmin(axis=1))
+            np.testing.assert_allclose(dist[:, 0], full.min(axis=1), atol=1e-12)
+
+
+def _drop_self_matches_loop(distances, indices, k):
+    """Pre-vectorization implementation, kept as the regression oracle."""
+    m = distances.shape[0]
+    out_d = np.empty((m, k))
+    out_i = np.empty((m, k), dtype=int)
+    rows = np.arange(distances.shape[1])
+    for row in range(m):
+        keep = rows != 0
+        out_d[row] = distances[row, keep][:k]
+        out_i[row] = indices[row, keep][:k]
+    return out_d, out_i
+
+
+def _epsilon_neighbors_loop(points, radius):
+    """Pre-vectorization implementation, kept as the regression oracle."""
+    tree = cKDTree(points)
+    result = []
+    for i, nearby in enumerate(tree.query_ball_point(points, r=radius)):
+        result.append(np.array([j for j in nearby if j != i], dtype=int))
+    return result
+
+
+class TestVectorizationRegression:
+    """Vectorized hot paths must match the original per-row loops."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_drop_self_matches_pins_loop_output(self, seed, k):
+        rng = np.random.default_rng(seed)
+        distances = np.sort(rng.uniform(size=(12, k + 1)), axis=1)
+        distances[:, 0] = 0.0
+        indices = rng.permuted(
+            np.tile(np.arange(k + 1), (12, 1)), axis=1
+        )
+        got_d, got_i = _drop_self_matches(distances, indices, k)
+        want_d, want_i = _drop_self_matches_loop(distances, indices, k)
+        np.testing.assert_array_equal(got_d, want_d)
+        np.testing.assert_array_equal(got_i, want_i)
+        assert got_i.dtype == want_i.dtype
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    @pytest.mark.parametrize("radius", [0.3, 1.0, 4.0])
+    def test_epsilon_neighbors_pins_loop_output(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(35, 2))
+        got = epsilon_neighbors(points, radius=radius)
+        want = _epsilon_neighbors_loop(points, radius=radius)
+        assert len(got) == len(want)
+        for row_got, row_want in zip(got, want):
+            # the vectorized version guarantees ascending order; the loop
+            # oracle's order came from query_ball_point, so compare sorted
+            np.testing.assert_array_equal(row_got, np.sort(row_want))
+            assert row_got.dtype.kind == "i"
+
+    def test_epsilon_neighbors_no_pairs(self):
+        points = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]])
+        result = epsilon_neighbors(points, radius=1.0)
+        assert [row.tolist() for row in result] == [[], [], []]
+        assert all(row.dtype.kind == "i" for row in result)
+
+    def test_epsilon_neighbors_duplicate_points(self):
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [3.0, 0.0]])
+        result = epsilon_neighbors(points, radius=1.0)
+        assert result[0].tolist() == [1]
+        assert result[1].tolist() == [0]
+        assert result[2].tolist() == []
 
 
 class TestEpsilonNeighbors:

@@ -1,0 +1,150 @@
+"""Registry round-trip: register → create → fit → predict_batch."""
+
+import numpy as np
+import pytest
+
+from repro.serving import registry
+from repro.serving.registry import (
+    Estimator,
+    Prediction,
+    available,
+    concatenate,
+    create,
+    get,
+    register,
+)
+
+
+class TestRegistryLookup:
+    def test_all_backends_registered(self):
+        names = available()
+        for expected in ("knn", "noble", "cnnloc", "knn-regressor", "forest"):
+            assert expected in names
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            create("teleport")
+
+    def test_get_returns_class(self):
+        cls = get("knn")
+        assert issubclass(cls, Estimator)
+        assert cls.registry_name == "knn"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("knn")(type("Dup", (Estimator,), {}))
+
+    def test_non_estimator_registration_rejected(self):
+        with pytest.raises(TypeError):
+            register("not-an-estimator")(object)
+        assert "not-an-estimator" not in available()
+
+    def test_register_and_cleanup(self):
+        @register("test-only")
+        class TestOnly(Estimator):
+            pass
+
+        try:
+            assert isinstance(create("test-only"), TestOnly)
+        finally:
+            del registry._REGISTRY["test-only"]
+
+
+class TestRoundTrip:
+    def test_knn_fit_predict_batch(self, uji_split):
+        train, _val, test = uji_split
+        estimator = create("knn", k=3).fit(train)
+        prediction = estimator.predict_batch(test.rssi)
+        assert isinstance(prediction, Prediction)
+        assert prediction.coordinates.shape == (len(test), 2)
+        assert prediction.building.shape == (len(test),)
+        assert prediction.floor.shape == (len(test),)
+        assert len(prediction) == len(test)
+
+    def test_knn_matches_underlying_model(self, uji_split):
+        from repro.localization.knn import KNNFingerprinting
+
+        train, _val, test = uji_split
+        served = create("knn", k=3).fit(train).predict_batch(test.rssi)
+        direct = KNNFingerprinting(k=3).fit(train)
+        np.testing.assert_allclose(
+            served.coordinates, direct.predict_coordinates(test)
+        )
+        building, floor = direct.predict_labels(test)
+        np.testing.assert_array_equal(served.building, building)
+        np.testing.assert_array_equal(served.floor, floor)
+
+    def test_regressors_fit_predict_batch(self, uji_split):
+        train, _val, test = uji_split
+        for name, params in [
+            ("knn-regressor", dict(k=3)),
+            ("forest", dict(n_estimators=3, max_depth=4)),
+        ]:
+            prediction = create(name, **params).fit(train).predict_batch(test.rssi)
+            assert prediction.coordinates.shape == (len(test), 2)
+            assert prediction.building is None
+            assert prediction.floor is None
+
+    def test_noble_fit_predict_batch(self, uji_split):
+        train, _val, test = uji_split
+        estimator = create("noble", epochs=3, hidden=16, seed=1).fit(train)
+        prediction = estimator.predict_batch(test.rssi[:5])
+        assert prediction.coordinates.shape == (5, 2)
+        assert prediction.building.shape == (5,)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            create("knn").predict_batch(np.zeros((2, 4)))
+
+    def test_describe_is_canonical(self):
+        assert create("knn", k=3).describe() == "knn(k=3, weighted=True)"
+
+
+class TestPrediction:
+    def test_take_slices_all_heads(self):
+        prediction = Prediction(
+            coordinates=np.arange(10.0).reshape(5, 2),
+            building=np.arange(5),
+            floor=np.arange(5) + 10,
+        )
+        row = prediction.take(slice(2, 3))
+        np.testing.assert_allclose(row.coordinates, [[4.0, 5.0]])
+        assert row.building.tolist() == [2]
+        assert row.floor.tolist() == [12]
+
+    def test_take_keeps_missing_heads_none(self):
+        row = Prediction(coordinates=np.zeros((3, 2))).take([0])
+        assert row.building is None and row.floor is None
+
+    def test_concatenate_round_trip(self):
+        parts = [
+            Prediction(
+                coordinates=np.full((2, 2), float(i)),
+                building=np.full(2, i),
+                floor=np.full(2, i + 5),
+            )
+            for i in range(3)
+        ]
+        whole = concatenate(parts)
+        assert whole.coordinates.shape == (6, 2)
+        assert whole.building.tolist() == [0, 0, 1, 1, 2, 2]
+        assert whole.floor.tolist() == [5, 5, 6, 6, 7, 7]
+
+    def test_concatenate_empty(self):
+        assert len(concatenate([])) == 0
+
+    def test_concatenate_rejects_mixed_heads(self):
+        with pytest.raises(ValueError, match="mixed building"):
+            concatenate(
+                [
+                    Prediction(coordinates=np.zeros((1, 2)), building=np.zeros(1)),
+                    Prediction(coordinates=np.ones((1, 2))),
+                ]
+            )
+
+    def test_concatenate_all_headless(self):
+        whole = concatenate(
+            [Prediction(coordinates=np.zeros((2, 2))) for _ in range(2)]
+        )
+        assert len(whole) == 4
+        assert whole.building is None and whole.floor is None
