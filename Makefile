@@ -1,13 +1,21 @@
 # Developer entry points.  `make test` is the tier-1 verification command;
 # it clears compiled bytecode first so a stale __pycache__ can never
 # resurrect the seed's duplicate-basename collection failure.
+# `make test-fast` skips tests marked `slow` (sharding stress runs);
+# `make check` additionally fails on any pytest collection warning.
 
 PYTHON ?= python
 
-.PHONY: test clean-pyc serve-bench
+.PHONY: test test-fast check clean-pyc serve-bench shard-bench
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+test-fast: clean-pyc
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m "not slow"
+
+check:
+	bash scripts/check_suite.sh
 
 clean-pyc:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
@@ -15,3 +23,6 @@ clean-pyc:
 
 serve-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench
+
+shard-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli shard-bench

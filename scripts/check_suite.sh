@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Strict suite gate (invoked by `make check`).
+#
+# Runs the tier-1 suite exactly like `make test`, but escalates every
+# pytest collection warning into a hard error.  This guards the
+# invariant documented in ROADMAP.md ("Test-suite invariants"): the
+# suite only collects cleanly because every tests/ subpackage has an
+# __init__.py AND pytest.ini forces --import-mode=importlib.  A dropped
+# __init__.py or a duplicate-basename regression surfaces here as a
+# failure instead of a warning that scrolls past.
+#
+# --strict-markers additionally rejects any marker not registered in
+# pytest.ini (e.g. a typo'd @pytest.mark.slaw that would silently run
+# in the "fast" lane).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+make clean-pyc
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \
+    --strict-markers \
+    -W error::pytest.PytestCollectionWarning \
+    "$@"

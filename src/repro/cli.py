@@ -7,6 +7,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli imu             # Table III style comparison
     python -m repro.cli energy          # §IV-C / §V-D accounting
     python -m repro.cli serve-bench     # per-query vs batched serving
+    python -m repro.cli shard-bench     # sharded vs monolithic kNN index
     python -m repro.cli wifi --preset paper --csv trainingData.csv
 
 ``--preset fast`` (default) finishes in a couple of minutes on a laptop;
@@ -26,7 +27,8 @@ def main(argv: "list[str] | None" = None) -> int:
         prog="repro", description="NObLe reproduction experiment driver"
     )
     parser.add_argument(
-        "experiment", choices=("wifi", "ipin", "imu", "energy", "serve-bench"),
+        "experiment",
+        choices=("wifi", "ipin", "imu", "energy", "serve-bench", "shard-bench"),
         help="which experiment to run",
     )
     parser.add_argument(
@@ -44,7 +46,20 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--batch-size", type=int, default=64,
-        help="micro-batch size (serve-bench only)",
+        help="query batch size (serve-bench and shard-bench)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=None,
+        help="radio-map size override (shard-bench only)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count override (shard-bench only)",
+    )
+    parser.add_argument(
+        "--partitioner", default="kmeans",
+        choices=("kmeans", "labels", "chunk"),
+        help="shard partitioning policy (shard-bench only)",
     )
     args = parser.parse_args(argv)
 
@@ -54,6 +69,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "imu": run_imu,
         "energy": run_energy,
         "serve-bench": run_serve_bench,
+        "shard-bench": run_shard_bench,
     }[args.experiment]
     runner(args)
     return 0
@@ -265,6 +281,45 @@ def run_serve_bench(args) -> None:
     stats = cache.stats()
     print(f"cache            : {stats.hits} hits / {stats.misses} misses "
           f"({stats.size}/{stats.capacity} slots)")
+
+
+def run_shard_bench(args) -> None:
+    """Benchmark the sharded radio-map index against the monolithic scan.
+
+    Synthesizes a campus-scale clustered radio map (200k fingerprints on
+    the fast preset, 1M on paper scale), builds one monolithic
+    :class:`repro.manifold.neighbors.KNNIndex` and one
+    :class:`repro.sharding.ShardedKNNIndex`, then serves an identical
+    batched query stream through both — asserting distance parity on
+    every batch — and reports throughput.
+    """
+    from repro.sharding.bench import run_shard_bench as bench
+
+    seed = args.seed if args.seed is not None else 7
+    # (n_points, n_aps, n_queries, n_shards, n_spots)
+    scale = dict(
+        fast=(200_000, 32, 512, 96, 96),
+        paper=(1_000_000, 48, 512, 256, 256),
+    )[args.preset]
+    n_points, n_aps, n_queries, n_shards, n_spots = scale
+    if args.points is not None:
+        n_points = args.points
+    if args.shards is not None:
+        n_shards = args.shards
+    try:
+        result = bench(
+            n_points=n_points,
+            n_aps=n_aps,
+            n_queries=n_queries,
+            n_shards=n_shards,
+            n_spots=n_spots,
+            batch_size=args.batch_size,
+            partitioner=args.partitioner,
+            seed=seed,
+        )
+    except ValueError as error:
+        raise SystemExit(f"shard-bench: {error}") from None
+    print(result.report())
 
 
 def run_energy(args) -> None:

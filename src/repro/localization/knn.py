@@ -20,14 +20,32 @@ class KNNFingerprinting:
 
     Position = (inverse-distance-)weighted mean of the k nearest stored
     fingerprints; building/floor by majority vote of the same neighbors.
+
+    ``shards > 1`` builds a :class:`repro.sharding.ShardedKNNIndex` over
+    the radio map instead of one monolithic index; the sharded merge is
+    exact (identical sorted neighbor distances; neighbor identity can
+    differ only within exact distance ties, which a monolithic scan
+    also leaves unspecified), only the scan strategy differs.  The
+    default ``partitioner="auto"`` shards by the dataset's
+    (building, floor) labels.
     """
 
-    def __init__(self, k: int = 5, weighted: bool = True):
+    def __init__(
+        self,
+        k: int = 5,
+        weighted: bool = True,
+        shards: int = 1,
+        partitioner="auto",
+    ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.k = int(k)
         self.weighted = weighted
-        self.index_: "KNNIndex | None" = None
+        self.shards = int(shards)
+        self.partitioner = partitioner
+        self.index_ = None  # KNNIndex | ShardedKNNIndex after fit
         self.coordinates_: "np.ndarray | None" = None
         self.building_: "np.ndarray | None" = None
         self.floor_: "np.ndarray | None" = None
@@ -37,7 +55,25 @@ class KNNFingerprinting:
             raise ValueError(
                 f"training set has {len(dataset)} samples but k={self.k}"
             )
-        self.index_ = KNNIndex(dataset.normalized_signals(), method="brute")
+        signals = dataset.normalized_signals()
+        if self.shards > 1:
+            from repro.sharding import ShardedKNNIndex
+
+            # one label per (building, floor) pair so label partitioning
+            # never splits a floor across shards
+            labels = (
+                dataset.building * (int(dataset.floor.max()) + 1)
+                + dataset.floor
+            )
+            self.index_ = ShardedKNNIndex(
+                signals,
+                n_shards=self.shards,
+                partitioner=self.partitioner,
+                labels=labels,
+                method="brute",
+            )
+        else:
+            self.index_ = KNNIndex(signals, method="brute")
         self.coordinates_ = dataset.coordinates
         self.building_ = dataset.building
         self.floor_ = dataset.floor

@@ -33,31 +33,48 @@ class KNNIndex:
             method = "kdtree" if self.points.shape[1] <= 20 else "brute"
         self.method = method
         self._tree = cKDTree(self.points) if method == "kdtree" else None
+        # |p|^2 term of the brute-force expansion; computed once so repeated
+        # queries against the same index never rescan the point set for it
+        self._sq_points = (
+            np.sum(self.points**2, axis=1) if method == "brute" else None
+        )
 
     def __len__(self) -> int:
         return len(self.points)
 
     def query(
-        self, queries: np.ndarray, k: int, exclude_self: bool = False
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude_self: bool = False,
+        on_excess: str = "raise",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Return (distances, indices), each (M, k), sorted by distance.
 
-        ``exclude_self`` drops a zero-distance exact match of the query
-        itself — use when querying the index with its own points.
+        ``exclude_self`` drops each query's own entry by index identity.
+        It requires ``queries`` to be exactly the indexed point set, in
+        order (row ``i`` is point ``i``) — the :func:`kneighbors`
+        pattern.  A zero-distance *duplicate* of the query is a
+        legitimate neighbor and is kept.  For a subset of the points,
+        query without ``exclude_self`` and drop the unwanted entry by
+        its known index instead.
+
+        ``on_excess`` sets the policy when ``k`` (plus the self match,
+        when excluded) exceeds the index size: ``"raise"`` rejects the
+        query with ``ValueError``; ``"clamp"`` returns every indexed
+        point — i.e. fewer than ``k`` columns — sorted by distance.  The
+        policy is identical on the brute and KD-tree backends (scipy
+        would otherwise pad the KD-tree result with ``inf`` placeholder
+        rows silently).
         """
-        queries = check_2d(queries, "queries")
-        if queries.shape[1] != self.points.shape[1]:
-            raise ValueError(
-                f"query dim {queries.shape[1]} != index dim {self.points.shape[1]}"
-            )
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        effective_k = k + 1 if exclude_self else k
-        if effective_k > len(self.points):
-            raise ValueError(
-                f"k={k} (self-excluded: {exclude_self}) exceeds index size "
-                f"{len(self.points)}"
-            )
+        queries, effective_k = _resolve_query_k(
+            queries,
+            index_dim=self.points.shape[1],
+            index_size=len(self.points),
+            k=k,
+            exclude_self=exclude_self,
+            on_excess=on_excess,
+        )
         if self._tree is not None:
             distances, indices = self._tree.query(queries, k=effective_k)
             if effective_k == 1:
@@ -66,12 +83,12 @@ class KNNIndex:
         else:
             distances, indices = self._brute_query(queries, effective_k)
         if exclude_self:
-            distances, indices = _drop_self_matches(distances, indices, k)
+            distances, indices = _drop_self_matches(distances, indices, effective_k - 1)
         return distances, indices
 
     def _brute_query(self, queries: np.ndarray, k: int):
         # ||q - p||^2 = |q|^2 - 2 q·p + |p|^2, computed blockwise to bound memory
-        sq_points = np.sum(self.points**2, axis=1)
+        sq_points = self._sq_points
         all_dist = np.empty((len(queries), k))
         all_idx = np.empty((len(queries), k), dtype=int)
         block = max(1, int(2e7) // max(len(self.points), 1))
@@ -90,25 +107,73 @@ class KNNIndex:
 
 
 def kneighbors(
-    points: np.ndarray, k: int, method: str = "auto"
+    points: np.ndarray,
+    k: int,
+    method: str = "auto",
+    shards: int = 1,
+    partitioner="auto",
+    max_workers: "int | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Self-kNN of a point set, excluding each point itself."""
-    index = KNNIndex(points, method=method)
+    """Self-kNN of a point set, excluding each point itself.
+
+    ``shards > 1`` routes through :class:`repro.sharding.ShardedKNNIndex`
+    (partition policy set by ``partitioner``); distances are exactly the
+    monolithic ones — sharding only changes how the scan is executed.
+    (Neighbor identity can differ only within exact distance ties,
+    which a monolithic scan leaves unspecified too.)
+    """
+    if shards > 1:
+        from repro.sharding import ShardedKNNIndex
+
+        index = ShardedKNNIndex(
+            points,
+            n_shards=shards,
+            partitioner=partitioner,
+            method=method,
+            max_workers=max_workers,
+        )
+    else:
+        index = KNNIndex(points, method=method)
     return index.query(index.points, k=k, exclude_self=True)
 
 
-def epsilon_neighbors(points: np.ndarray, radius: float) -> list[np.ndarray]:
+def epsilon_neighbors(
+    points: np.ndarray,
+    radius: float,
+    shards: int = 1,
+    max_workers: "int | None" = None,
+) -> list[np.ndarray]:
     """Indices of all neighbors within ``radius`` of each point (self excluded).
 
     Neighbor indices are returned in ascending order per point.
+    ``shards > 1`` fans the query side out: the point set is split into
+    ``shards`` row-chunks, each scanned against the shared KD-tree on a
+    thread pool (radius search is query-independent, so this is exact).
     """
     points = check_2d(points, "points")
     if radius <= 0:
         raise ValueError(f"radius must be positive, got {radius}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     n = len(points)
     if n == 0:
         return []
     tree = cKDTree(points)
+    if shards > 1:
+        from repro.sharding import fanout_over_slices
+
+        def scan(sl: slice) -> "list[np.ndarray]":
+            rows = tree.query_ball_point(
+                points[sl], r=radius, return_sorted=True
+            )
+            out = []
+            for i, row in enumerate(rows):
+                row = np.asarray(row, dtype=int)
+                out.append(row[row != sl.start + i])
+            return out
+
+        chunks = fanout_over_slices(scan, n, shards, max_workers=max_workers)
+        return [row for chunk in chunks for row in chunk]
     # query_pairs gives each in-radius (i, j) pair once with i < j and never
     # pairs a point with itself; mirroring it yields both directions at once.
     pairs = tree.query_pairs(r=radius, output_type="ndarray")
@@ -119,13 +184,64 @@ def epsilon_neighbors(points: np.ndarray, radius: float) -> list[np.ndarray]:
     return np.split(targets, np.cumsum(counts)[:-1])
 
 
-def _drop_self_matches(distances: np.ndarray, indices: np.ndarray, k: int):
-    """Remove the first zero-distance self column, keep k columns.
+def _resolve_query_k(
+    queries: np.ndarray,
+    index_dim: int,
+    index_size: int,
+    k: int,
+    exclude_self: bool,
+    on_excess: str,
+) -> tuple[np.ndarray, int]:
+    """Shared query validation + clamp-or-raise policy.
 
-    Dropping column 0 is correct because queries are the indexed points
-    themselves: the zero-distance self match sorts first in every row.
+    One implementation serves both :class:`KNNIndex` and
+    :class:`repro.sharding.ShardedKNNIndex`, so the documented
+    "identical policy across backends and shards" guarantee cannot
+    drift.  Returns ``(validated queries, effective k)`` where the
+    effective k includes the self column and is clamped to the index
+    size under ``on_excess="clamp"``.
     """
+    queries = check_2d(queries, "queries")
+    if queries.shape[1] != index_dim:
+        raise ValueError(
+            f"query dim {queries.shape[1]} != index dim {index_dim}"
+        )
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if on_excess not in ("raise", "clamp"):
+        raise ValueError(
+            f"on_excess must be 'raise' or 'clamp', got {on_excess!r}"
+        )
+    effective_k = k + 1 if exclude_self else k
+    if effective_k > index_size:
+        if on_excess == "raise":
+            raise ValueError(
+                f"k={k} (self-excluded: {exclude_self}) exceeds index size "
+                f"{index_size}"
+            )
+        effective_k = index_size
+    return queries, effective_k
+
+
+def _drop_self_matches(distances: np.ndarray, indices: np.ndarray, k: int):
+    """Remove each row's own point, keep k columns.
+
+    Queries are the indexed points themselves (row ``i`` is point ``i``),
+    so the entry whose index equals its row is dropped *by identity* —
+    a zero-distance duplicate of the query is a legitimate neighbor and
+    must survive, wherever tie-breaking happened to sort it.  If the
+    self entry was crowded out of the candidate set entirely (only
+    possible when every kept candidate is a zero-distance duplicate),
+    the first column is dropped instead, which is distance-equivalent.
+    """
+    m = distances.shape[0]
+    is_self = indices == np.arange(m)[:, None]
+    drop = np.where(is_self.any(axis=1), is_self.argmax(axis=1), 0)
+    keep = np.ones(distances.shape, dtype=bool)
+    keep[np.arange(m), drop] = False
     return (
-        np.ascontiguousarray(distances[:, 1 : k + 1]),
-        np.ascontiguousarray(indices[:, 1 : k + 1]).astype(int, copy=False),
+        np.ascontiguousarray(distances[keep].reshape(m, -1)[:, :k]),
+        np.ascontiguousarray(indices[keep].reshape(m, -1)[:, :k]).astype(
+            int, copy=False
+        ),
     )

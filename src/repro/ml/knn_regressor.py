@@ -13,18 +13,34 @@ class KNNRegressor:
 
     ``weights="uniform"`` averages the k neighbors; ``"distance"`` uses
     inverse-distance weighting (exact matches dominate).
+
+    ``shards > 1`` swaps the monolithic index for an exact
+    :class:`repro.sharding.ShardedKNNIndex` (k-means cells by default,
+    since generic regression carries no building/floor labels); neighbor
+    distances match the monolithic scan exactly, with neighbor identity
+    unspecified only within exact distance ties (as in any full scan).
     """
 
-    def __init__(self, k: int = 5, weights: str = "uniform"):
+    def __init__(
+        self,
+        k: int = 5,
+        weights: str = "uniform",
+        shards: int = 1,
+        partitioner="kmeans",
+    ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if weights not in ("uniform", "distance"):
             raise ValueError(
                 f"weights must be 'uniform' or 'distance', got {weights!r}"
             )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.k = int(k)
         self.weights = weights
-        self.index_: "KNNIndex | None" = None
+        self.shards = int(shards)
+        self.partitioner = partitioner
+        self.index_ = None  # KNNIndex | ShardedKNNIndex after fit
         self.targets_: "np.ndarray | None" = None
         self._squeeze = False
 
@@ -37,7 +53,17 @@ class KNNRegressor:
         check_lengths_match(x, y, "x", "y")
         if len(x) < self.k:
             raise ValueError(f"need at least k={self.k} samples, got {len(x)}")
-        self.index_ = KNNIndex(x, method="brute")
+        if self.shards > 1:
+            from repro.sharding import ShardedKNNIndex
+
+            self.index_ = ShardedKNNIndex(
+                x,
+                n_shards=self.shards,
+                partitioner=self.partitioner,
+                method="brute",
+            )
+        else:
+            self.index_ = KNNIndex(x, method="brute")
         self.targets_ = y
         return self
 

@@ -23,6 +23,7 @@ Registering a new backend is one decorator::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -128,6 +129,23 @@ class Estimator:
             building=np.zeros(n, dtype=int),
         )
 
+    #: Adapters without a kNN index to shard set this True so a
+    #: ``shards`` hyperparameter fans the *query batch* out instead.
+    #: Only safe when ``predict_fn`` is row-wise AND thread-safe (pure
+    #: reads of the fitted state); models that mutate shared state
+    #: during forward passes need their own replica per thread instead
+    #: (see :meth:`NObLeWifiEstimator.predict_batch`).
+    fanout_shards = False
+
+    def _shard_predictions(self, signals: np.ndarray, predict_fn) -> Prediction:
+        """Serve one batch, fanning chunks across threads when sharded."""
+        shards = int(self.params.get("shards", 1))
+        if not type(self).fanout_shards or shards <= 1 or len(signals) < 2:
+            return predict_fn(signals)
+        from repro.sharding import fanout_map
+
+        return concatenate(fanout_map(predict_fn, signals, shards))
+
 
 def register(name: str):
     """Class decorator adding an :class:`Estimator` subclass to the registry."""
@@ -169,19 +187,76 @@ def _canonical_seed(seed):
     return int(seed) if isinstance(seed, (bool, int, np.integer)) else seed
 
 
+def _sharding_params(shards, partitioner=None) -> dict:
+    """Canonical ``shards``/``partitioner`` entries for an adapter's params.
+
+    Returns ``{}`` for the unsharded default so existing describe()
+    strings and :class:`repro.serving.cache.ModelCache` keys are
+    untouched — ``shards=1`` is behaviorally identical to omitting it.
+    A partitioner instance is keyed by its canonical ``describe()``
+    string, so differing policies never share a cache entry.
+    """
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if (
+        partitioner is not None
+        and hasattr(partitioner, "n_shards")
+        and partitioner.n_shards != shards
+    ):
+        raise ValueError(
+            f"shards={shards} conflicts with the partitioner's "
+            f"n_shards={partitioner.n_shards}"
+        )
+    if shards == 1:
+        return {}
+    params = {"shards": shards}
+    if partitioner is not None:
+        params["partitioner"] = (
+            partitioner.describe()
+            if hasattr(partitioner, "describe")
+            else str(partitioner)
+        )
+    return params
+
+
 # --------------------------------------------------------------------- adapters
 @register("knn")
 class KNNFingerprintingEstimator(Estimator):
-    """Classic weighted-kNN fingerprinting behind the serving protocol."""
+    """Classic weighted-kNN fingerprinting behind the serving protocol.
 
-    def __init__(self, k: int = 5, weighted: bool = True):
-        super().__init__(k=int(k), weighted=bool(weighted))
+    ``shards > 1`` serves from an exact sharded radio-map index
+    (:class:`repro.sharding.ShardedKNNIndex`): neighbor distances are
+    identical to the monolithic configuration, so predictions match
+    except on maps where distinct-coordinate fingerprints tie *exactly*
+    at the k-th neighbor distance — there, which tied twin is kept is
+    unspecified in both configurations (argpartition order), and either
+    answer is a valid k-NN estimate.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        weighted: bool = True,
+        shards: int = 1,
+        partitioner="auto",
+    ):
+        self._partitioner = partitioner
+        super().__init__(
+            k=int(k),
+            weighted=bool(weighted),
+            **_sharding_params(shards, partitioner),
+        )
         self.model_ = None
 
     def fit(self, dataset: FingerprintDataset) -> "KNNFingerprintingEstimator":
         from repro.localization.knn import KNNFingerprinting
 
-        self.model_ = KNNFingerprinting(**self.params).fit(dataset)
+        kwargs = dict(self.params)
+        if "partitioner" in kwargs:
+            # the model needs the raw spec, not the cache-key string
+            kwargs["partitioner"] = self._partitioner
+        self.model_ = KNNFingerprinting(**kwargs).fit(dataset)
         return self
 
     def predict_batch(self, signals: np.ndarray) -> Prediction:
@@ -207,6 +282,7 @@ class NObLeWifiEstimator(Estimator):
         lr: float = 1e-3,
         val_fraction: float = 0.0,
         seed=0,
+        shards: int = 1,
     ):
         super().__init__(
             tau=float(tau),
@@ -218,18 +294,64 @@ class NObLeWifiEstimator(Estimator):
             lr=float(lr),
             val_fraction=float(val_fraction),
             seed=_canonical_seed(seed),
+            **_sharding_params(shards),
         )
         self.model_ = None
+        self._replicas_: list = []
 
     def fit(self, dataset: FingerprintDataset) -> "NObLeWifiEstimator":
         from repro.localization.noble import NObLeWifi
 
-        self.model_ = NObLeWifi(**self.params).fit(dataset)
+        kwargs = {k: v for k, v in self.params.items() if k != "shards"}
+        self.model_ = NObLeWifi(**kwargs).fit(dataset)
+        self._replicas_ = []
         return self
 
     def predict_batch(self, signals: np.ndarray) -> Prediction:
         check_fitted(self, "model_")
-        detail = self.model_.predict(self._as_dataset(signals))
+        signals = check_2d(signals, "signals")
+        shards = int(self.params.get("shards", 1))
+        if shards <= 1 or len(signals) < 2:
+            return self._predict_with(self.model_, signals)
+        # the numpy nn caches activations on its modules for backward(),
+        # so one network must never serve two chunks concurrently: fan
+        # the batch out over per-thread replicas of the fitted model.
+        # Chunks beyond the core count can't run concurrently anyway, so
+        # cap there — it bounds the replicas held in memory too.
+        shards = min(shards, os.cpu_count() or 1)
+        if shards <= 1:
+            return self._predict_with(self.model_, signals)
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.sharding import fanout_slices
+
+        slices = fanout_slices(len(signals), shards)
+        models = self._predict_replicas(len(slices))
+        workers = len(slices)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(
+                pool.map(
+                    lambda job: self._predict_with(job[0], signals[job[1]]),
+                    zip(models, slices),
+                )
+            )
+        return concatenate(parts)
+
+    def _predict_replicas(self, count: int) -> list:
+        """The fitted model plus ``count - 1`` deep copies, cached.
+
+        Replicas are built lazily on the first sharded predict and
+        reused across calls (``fit`` invalidates them), so steady-state
+        serving pays no copy cost.
+        """
+        import copy
+
+        while len(self._replicas_) < count - 1:
+            self._replicas_.append(copy.deepcopy(self.model_))
+        return [self.model_] + self._replicas_[: count - 1]
+
+    def _predict_with(self, model, signals: np.ndarray) -> Prediction:
+        detail = model.predict(self._as_dataset(signals))
         return Prediction(
             coordinates=detail.coordinates,
             building=detail.building,
@@ -290,21 +412,42 @@ class _RegressorEstimator(Estimator):
     def predict_batch(self, signals: np.ndarray) -> Prediction:
         check_fitted(self, "model_")
         normalized = self._as_dataset(signals).normalized_signals()
-        return Prediction(coordinates=self.model_.predict(normalized))
+        return self._shard_predictions(
+            normalized,
+            lambda chunk: Prediction(coordinates=self.model_.predict(chunk)),
+        )
 
 
 @register("knn-regressor")
 class KNNRegressorEstimator(_RegressorEstimator):
-    """Generic kNN regression (signals → coordinates) for serving."""
+    """Generic kNN regression (signals → coordinates) for serving.
 
-    def __init__(self, k: int = 5, weights: str = "uniform"):
-        super().__init__(k=int(k), weights=weights)
+    ``shards > 1`` shards the underlying index (exact merge), so the
+    served coordinates equal the monolithic configuration's.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        weights: str = "uniform",
+        shards: int = 1,
+        partitioner="kmeans",
+    ):
+        self._partitioner = partitioner
+        super().__init__(
+            k=int(k),
+            weights=weights,
+            **_sharding_params(shards, partitioner),
+        )
         self.model_ = None
 
     def _build(self):
         from repro.ml.knn_regressor import KNNRegressor
 
-        return KNNRegressor(**self.params)
+        kwargs = dict(self.params)
+        if "partitioner" in kwargs:
+            kwargs["partitioner"] = self._partitioner
+        return KNNRegressor(**kwargs)
 
 
 @register("forest")
@@ -317,18 +460,24 @@ class RandomForestEstimator(_RegressorEstimator):
         max_depth: "int | None" = 8,
         min_samples_leaf: int = 1,
         seed=0,
+        shards: int = 1,
     ):
         super().__init__(
             n_estimators=int(n_estimators),
             max_depth=None if max_depth is None else int(max_depth),
             min_samples_leaf=int(min_samples_leaf),
             seed=_canonical_seed(seed),
+            **_sharding_params(shards),
         )
         self.model_ = None
+
+    fanout_shards = True  # trees predict row-wise: fan the batch out
 
     def _build(self):
         from repro.ml.forest import RandomForestRegressor
 
-        params = dict(self.params)
+        params = {
+            k: v for k, v in self.params.items() if k != "shards"
+        }
         params["rng"] = params.pop("seed")
         return RandomForestRegressor(**params)

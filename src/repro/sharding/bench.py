@@ -1,0 +1,185 @@
+"""The shard-bench engine: sharded vs monolithic query throughput.
+
+Synthesizes a scaled UJIIndoorLoc-shaped workload — reference-spot
+blobs in normalized RSSI space, each spot hearing a sparse subset of
+WAPs — then serves an identical batched query stream through the
+monolithic :class:`~repro.manifold.neighbors.KNNIndex` and a
+:class:`~repro.sharding.ShardedKNNIndex`, asserting distance parity on
+every batch.  ``python -m repro.cli shard-bench`` (or
+``make shard-bench``) prints the report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.manifold.neighbors import KNNIndex
+from repro.sharding.index import ShardedKNNIndex
+
+
+def synthetic_radio_map(
+    n_points: int,
+    n_aps: int = 32,
+    n_spots: int = 96,
+    heard_fraction: float = 0.25,
+    noise: float = 0.03,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(points, spot_labels) of a UJIIndoorLoc-like normalized radio map.
+
+    Mirrors the structure the real dataset shows after normalization:
+    measurements cluster around reference spots, each spot hears only a
+    sparse subset of WAPs (the rest sit at the "not detected" zero), and
+    repeated measurements jitter by shadowing noise.
+    """
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    rng = np.random.default_rng(seed)
+    heard = rng.random((n_spots, n_aps)) < heard_fraction
+    # every spot hears at least one WAP, like any surveyable location
+    silent = ~heard.any(axis=1)
+    heard[silent, rng.integers(0, n_aps, size=silent.sum())] = True
+    centers = heard * rng.uniform(0.2, 1.0, size=(n_spots, n_aps))
+    labels = rng.integers(0, n_spots, size=n_points)
+    points = centers[labels] + noise * rng.standard_normal((n_points, n_aps))
+    return np.clip(points, 0.0, 1.0), labels
+
+
+@dataclass
+class ShardBenchResult:
+    """Timings and workload shape reported by :func:`run_shard_bench`."""
+
+    n_points: int
+    n_aps: int
+    n_queries: int
+    n_shards: int
+    k: int
+    batch_size: int
+    partitioner: str
+    build_mono_s: float
+    build_sharded_s: float
+    query_mono_s: float
+    query_sharded_s: float
+    scanned_fraction: float  # sharded scan work / full-scan work
+
+    @property
+    def speedup(self) -> float:
+        return self.query_mono_s / max(self.query_sharded_s, 1e-12)
+
+    @property
+    def mono_qps(self) -> float:
+        return self.n_queries / max(self.query_mono_s, 1e-12)
+
+    @property
+    def sharded_qps(self) -> float:
+        return self.n_queries / max(self.query_sharded_s, 1e-12)
+
+    def report(self) -> str:
+        lines = [
+            f"radio map        : {self.n_points} fingerprints x "
+            f"{self.n_aps} WAPs, {self.n_queries} queries "
+            f"(batch={self.batch_size}, k={self.k})",
+            f"shards           : {self.n_shards} via {self.partitioner}",
+            f"build monolithic : {self.build_mono_s * 1000:9.1f} ms",
+            f"build sharded    : {self.build_sharded_s * 1000:9.1f} ms",
+            f"query monolithic : {self.query_mono_s:9.4f} s "
+            f"({self.mono_qps:10.0f} req/s)",
+            f"query sharded    : {self.query_sharded_s:9.4f} s "
+            f"({self.sharded_qps:10.0f} req/s)",
+            f"sharding speedup : {self.speedup:9.1f}x "
+            f"(scanned {self.scanned_fraction * 100:.1f}% of the map "
+            f"per query on average)",
+        ]
+        return "\n".join(lines)
+
+
+def run_shard_bench(
+    n_points: int = 200_000,
+    n_aps: int = 32,
+    n_queries: int = 512,
+    n_shards: int = 96,
+    n_spots: int = 96,
+    k: int = 5,
+    batch_size: int = 128,
+    partitioner: str = "kmeans",
+    method: str = "brute",
+    max_workers: "int | None" = None,
+    seed: int = 0,
+) -> ShardBenchResult:
+    """Benchmark sharded vs monolithic top-k on one synthetic workload.
+
+    Every batch's sharded distances are checked against the monolithic
+    result; a mismatch raises ``AssertionError`` (the benchmark must
+    never trade exactness for throughput silently).
+    """
+    if n_points < k:
+        raise ValueError(
+            f"n_points={n_points} must be >= k={k} to benchmark a top-k query"
+        )
+    points, labels = synthetic_radio_map(
+        n_points, n_aps=n_aps, n_spots=n_spots, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    # queries follow the map's spot structure, like live scans would
+    query_pool, _ = synthetic_radio_map(
+        max(n_queries, 1), n_aps=n_aps, n_spots=n_spots, seed=seed + 2
+    )
+    queries = query_pool[rng.permutation(len(query_pool))[:n_queries]]
+
+    tic = time.perf_counter()
+    mono = KNNIndex(points, method=method)
+    build_mono = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    sharded = ShardedKNNIndex(
+        points,
+        n_shards=n_shards,
+        partitioner=partitioner,
+        labels=labels if partitioner == "labels" else None,
+        method=method,
+        max_workers=max_workers,
+    )
+    build_sharded = time.perf_counter() - tic
+
+    batches = [
+        queries[start : start + batch_size]
+        for start in range(0, len(queries), batch_size)
+    ]
+    # warm both paths once so first-touch costs don't skew either side
+    mono.query(queries[:2], k=k)
+    sharded.query(queries[:2], k=k)
+    sharded.reset_stats()
+
+    tic = time.perf_counter()
+    mono_out = [mono.query(batch, k=k) for batch in batches]
+    query_mono = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    sharded_out = [sharded.query(batch, k=k) for batch in batches]
+    query_sharded = time.perf_counter() - tic
+
+    for (d_mono, _), (d_sharded, _) in zip(mono_out, sharded_out):
+        np.testing.assert_allclose(
+            d_sharded, d_mono, rtol=1e-9, atol=1e-9,
+            err_msg="sharded distances diverge from the monolithic scan",
+        )
+
+    return ShardBenchResult(
+        n_points=n_points,
+        n_aps=n_aps,
+        n_queries=len(queries),
+        n_shards=sharded.n_shards,
+        k=k,
+        batch_size=batch_size,
+        partitioner=sharded.partitioner.describe(),
+        build_mono_s=build_mono,
+        build_sharded_s=build_sharded,
+        query_mono_s=query_mono,
+        query_sharded_s=query_sharded,
+        scanned_fraction=(
+            sharded.points_scanned_ / (len(queries) * len(points))
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Query-side fan-out: run a row-wise function over batch chunks in parallel.
+
+Index sharding (:mod:`repro.sharding.index`) partitions the *map*;
+this module partitions the *batch*.  It is the exactness-preserving way
+to parallelize backends that have no kNN index to shard (the NObLe
+network's forward pass, random-forest regression): every model in the
+serving registry predicts row-independently, so splitting a batch into
+chunks, predicting each on a pool thread (numpy kernels release the
+GIL), and concatenating in order is bit-for-bit equal to one call.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fanout_slices(n: int, shards: int) -> "list[slice]":
+    """Split ``range(n)`` into at most ``shards`` balanced, ordered slices."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, n) or 1
+    bounds = [(n * s) // shards for s in range(shards + 1)]
+    return [slice(lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def fanout_over_slices(
+    fn, n: int, shards: int, max_workers: "int | None" = None
+) -> list:
+    """Call ``fn(sl)`` for each of ``fanout_slices(n, shards)``, in order.
+
+    Slices are processed on a thread pool (``max_workers`` defaults to
+    ``min(slice count, cpu count)`` — the work is CPU-bound numpy, so
+    more threads than cores is pure context-switch overhead); results
+    come back in slice order regardless of completion order.
+    """
+    slices = fanout_slices(n, shards)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    workers = min(max_workers, len(slices))
+    if workers <= 1:
+        return [fn(sl) for sl in slices]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, slices))
+
+
+def fanout_map(fn, rows, shards: int, max_workers: "int | None" = None) -> list:
+    """Apply ``fn`` to ``shards`` row-chunks of ``rows``, results in order.
+
+    ``fn`` receives one contiguous chunk (``rows[sl]``) per call, so
+    ``concatenate(fanout_map(f, x, s))`` equals ``f(x)`` for any
+    row-wise ``f``.
+    """
+    return fanout_over_slices(
+        lambda sl: fn(rows[sl]), len(rows), shards, max_workers=max_workers
+    )

@@ -1,0 +1,325 @@
+"""Sharded k-nearest-neighbor index with parallel fan-out and exact merge.
+
+:class:`ShardedKNNIndex` partitions a radio map into per-shard
+:class:`~repro.manifold.neighbors.KNNIndex` instances (policy pluggable
+via :mod:`repro.sharding.partitioner`), queries shards concurrently
+through a ``ThreadPoolExecutor`` (numpy's distance kernels release the
+GIL), and merges per-shard candidates into the exact global top-k with
+``np.argpartition``.
+
+Two properties make it a drop-in for the monolithic index:
+
+**Exactness.**  Every shard returns its local top-``min(k, |shard|)``;
+the union of shards is the whole point set, so the merged global top-k
+is identical (as a sorted distance vector) to a brute-force scan —
+including when ``k`` exceeds the smallest shard.
+
+**Pruning.**  Each shard carries its centroid and covering radius.  By
+the triangle inequality no point of shard ``s`` can be closer to query
+``q`` than ``lb(q, s) = max(0, ||q - c_s|| - r_s)``, so after scanning
+the nearest shard any shard with ``lb >= tau`` (``tau`` = current k-th
+best distance) is skipped without changing the result's distances (only
+tie membership at exactly ``tau`` can differ, which a full scan leaves
+unspecified too).  On clustered maps most queries touch one or two
+shards, which is where the throughput win over the monolithic scan
+comes from; ``prune=False`` forces the plain all-shard fan-out.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.manifold.neighbors import (
+    KNNIndex,
+    _drop_self_matches,
+    _resolve_query_k,
+)
+from repro.sharding.partitioner import Partitioner, make_partitioner
+from repro.utils.validation import check_2d
+
+#: Relative slack applied to pruning bounds so float round-off in the
+#: distance expansion can never skip a shard holding a strictly closer
+#: point than the current k-th candidate.
+_PRUNE_SLACK = 1e-7
+
+
+class ShardedKNNIndex:
+    """Partitioned kNN index over a fixed point set, exact under merge.
+
+    Parameters
+    ----------
+    points:
+        (N, D) array indexed once at construction.  Global indices
+        returned by :meth:`query` refer to rows of this array.
+    n_shards:
+        Target shard count; the actual count can be lower when the
+        partitioner produces fewer non-empty cells.  Defaults to 4 for
+        spec strings; when ``partitioner`` is an instance it defaults
+        to the instance's own ``n_shards``, and a conflicting explicit
+        value raises rather than being silently overridden.
+    partitioner:
+        A :class:`~repro.sharding.partitioner.Partitioner` instance or
+        spec string (``"auto"``, ``"labels"``, ``"kmeans"``,
+        ``"chunk"``); ``"auto"`` partitions by ``labels`` when given,
+        else by k-means cells.
+    labels:
+        Optional (N,) integer labels (e.g. building/floor) consumed by
+        label-based partitioners.
+    method:
+        Backend for every per-shard :class:`KNNIndex` (``"auto"`` /
+        ``"kdtree"`` / ``"brute"``).
+    max_workers:
+        Thread-pool width for the per-shard fan-out.  Defaults to
+        ``min(n_shards, cpu_count)``; ``1`` scans serially (and lets
+        pruning tighten its bound shard by shard).
+    prune:
+        Enable centroid-radius shard pruning (exact; see module docs).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_shards: "int | None" = None,
+        partitioner="auto",
+        labels: "np.ndarray | None" = None,
+        method: str = "auto",
+        max_workers: "int | None" = None,
+        prune: bool = True,
+    ):
+        self.points = check_2d(points, "points")
+        if len(self.points) == 0:
+            raise ValueError("cannot index an empty point set")
+        if isinstance(partitioner, Partitioner):
+            if n_shards is not None and int(n_shards) != partitioner.n_shards:
+                raise ValueError(
+                    f"n_shards={n_shards} conflicts with the partitioner's "
+                    f"n_shards={partitioner.n_shards}; pass matching values "
+                    f"or omit n_shards"
+                )
+        elif n_shards is None:
+            n_shards = 4
+        self.partitioner: Partitioner = make_partitioner(
+            partitioner, n_shards, labels_available=labels is not None
+        )
+        assignment = np.asarray(
+            self.partitioner.assign(self.points, labels)
+        ).ravel()
+        if len(assignment) != len(self.points):
+            raise ValueError(
+                f"partitioner returned {len(assignment)} assignments for "
+                f"{len(self.points)} points"
+            )
+        # compact shard ids so empty cells vanish and ids are dense
+        _uniq, compact = np.unique(assignment, return_inverse=True)
+        self.shard_indices_ = [
+            np.flatnonzero(compact == s) for s in range(int(compact.max()) + 1)
+        ]
+        self.shards_ = [
+            KNNIndex(self.points[idx], method=method)
+            for idx in self.shard_indices_
+        ]
+        # reuse the per-shard copies the KNNIndexes already hold instead of
+        # fancy-indexing the full map a second time
+        shard_points = [shard.points for shard in self.shards_]
+        self.centroids_ = np.stack([p.mean(axis=0) for p in shard_points])
+        self.radii_ = np.array(
+            [
+                np.sqrt(np.max(np.sum((p - c) ** 2, axis=1)))
+                for p, c in zip(shard_points, self.centroids_)
+            ]
+        )
+        if max_workers is None:
+            max_workers = min(self.n_shards, os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self.prune = bool(prune)
+        self._stats_lock = threading.Lock()
+        self.points_scanned_ = 0  # cumulative (queries x shard-size) work
+
+    #: Element budget for one query block's temporaries (see query());
+    #: class-level so tests can shrink it to exercise multi-block runs.
+    _block_elements = int(2e7)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def n_shards(self) -> int:
+        """Number of non-empty shards actually built."""
+        return len(self.shards_)
+
+    @property
+    def shard_sizes(self) -> "list[int]":
+        return [len(idx) for idx in self.shard_indices_]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # ------------------------------------------------------------------ query
+    def query(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude_self: bool = False,
+        on_excess: str = "raise",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact global (distances, indices), each (M, k), sorted by distance.
+
+        Same contract as :meth:`KNNIndex.query`, including the
+        ``on_excess`` clamp-or-raise policy against the **global** point
+        count (per-shard clamping is internal and lossless).
+        ``exclude_self`` assumes row ``i`` of ``queries`` is point ``i``
+        of the indexed set and removes that exact entry by identity, so
+        it stays correct even when duplicate points straddle shards.
+        """
+        queries, eff_k = _resolve_query_k(
+            queries,
+            index_dim=self.points.shape[1],
+            index_size=len(self.points),
+            k=k,
+            exclude_self=exclude_self,
+            on_excess=on_excess,
+        )
+        out_k = eff_k - 1 if exclude_self else eff_k
+        if len(queries) == 0:
+            return np.empty((0, out_k)), np.empty((0, out_k), dtype=int)
+        # bound the per-block temporaries — qc/lb are (block, S) and the
+        # candidate concat is (block, <= k*S) — so a campus-scale self-kNN
+        # (10^6 queries in one call) never materializes gigabytes at once
+        block = max(1, self._block_elements // max(self.n_shards * eff_k, 1))
+        parts = []
+        for start in range(0, len(queries), block):
+            chunk = queries[start : start + block]
+            if self.prune and self.n_shards > 1:
+                parts.append(self._query_pruned(chunk, eff_k))
+            else:
+                parts.append(self._query_all(chunk, eff_k))
+        if len(parts) == 1:
+            distances, indices = parts[0]
+        else:
+            distances = np.concatenate([d for d, _ in parts])
+            indices = np.concatenate([i for _, i in parts])
+        if exclude_self:
+            # identity-based drop (shared with the monolithic index), so a
+            # zero-distance duplicate in another shard survives and the
+            # query's own row never leaks into its neighbor list
+            distances, indices = _drop_self_matches(
+                distances, indices, eff_k - 1
+            )
+        return distances, indices
+
+    # ------------------------------------------------------------ query plans
+    def _query_all(self, queries: np.ndarray, eff_k: int):
+        """Fan out every query to every shard, then merge exactly."""
+        results = self._map_shards(
+            lambda s: self._scan_shard(s, queries, eff_k), range(self.n_shards)
+        )
+        cand_d = np.concatenate([d for d, _ in results], axis=1)
+        cand_i = np.concatenate([i for _, i in results], axis=1)
+        return _global_top_k(cand_d, cand_i, eff_k)
+
+    def _query_pruned(self, queries: np.ndarray, eff_k: int):
+        """Two-phase scan: nearest shard first, then only unpruned shards."""
+        m = len(queries)
+        qc = self._centroid_distances(queries)  # (M, S) exact distances
+        nearest = np.argmin(qc, axis=1)
+        cand_d = np.full((m, eff_k), np.inf)
+        cand_i = np.full((m, eff_k), -1, dtype=int)
+
+        groups = [
+            (s, np.flatnonzero(nearest == s)) for s in range(self.n_shards)
+        ]
+        groups = [(s, rows) for s, rows in groups if len(rows)]
+        first = self._map_shards(
+            lambda job: self._scan_shard(job[0], queries[job[1]], eff_k), groups
+        )
+        for (s, rows), (d, gi) in zip(groups, first):
+            cand_d[rows, : d.shape[1]] = d
+            cand_i[rows, : d.shape[1]] = gi
+        tau = cand_d[:, eff_k - 1]  # inf while fewer than eff_k candidates
+
+        # triangle-inequality lower bound per (query, shard), with float slack
+        lb = np.maximum(qc - self.radii_[None, :], 0.0)
+        lb -= _PRUNE_SLACK * (qc + self.radii_[None, :] + 1.0)
+        pending = lb < tau[:, None]
+        pending[np.arange(m), nearest] = False
+
+        if self.max_workers > 1:
+            jobs = [
+                (s, np.flatnonzero(pending[:, s])) for s in range(self.n_shards)
+            ]
+            jobs = [(s, rows) for s, rows in jobs if len(rows)]
+            scans = self._map_shards(
+                lambda job: self._scan_shard(job[0], queries[job[1]], eff_k),
+                jobs,
+            )
+            for (s, rows), (d, gi) in zip(jobs, scans):
+                _merge_rows(cand_d, cand_i, rows, d, gi, eff_k)
+        else:
+            # serial scan, cheapest-bound shards first, re-tightening tau so
+            # later shards prune against the best candidates found so far
+            for s in np.argsort(lb.min(axis=0)):
+                rows = np.flatnonzero(pending[:, s] & (lb[:, s] < tau))
+                if not rows.size:
+                    continue
+                d, gi = self._scan_shard(s, queries[rows], eff_k)
+                _merge_rows(cand_d, cand_i, rows, d, gi, eff_k)
+                tau[rows] = cand_d[rows, eff_k - 1]
+        return cand_d, cand_i
+
+    # -------------------------------------------------------------- internals
+    def _scan_shard(self, s: int, queries: np.ndarray, eff_k: int):
+        """One shard's local top-k mapped to global indices."""
+        distances, local = self.shards_[s].query(
+            queries, k=eff_k, on_excess="clamp"
+        )
+        with self._stats_lock:
+            self.points_scanned_ += len(queries) * len(self.shards_[s])
+        return distances, self.shard_indices_[s][local]
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative scan-work counter (used by shard-bench)."""
+        with self._stats_lock:
+            self.points_scanned_ = 0
+
+    def _map_shards(self, fn, jobs) -> list:
+        """Run ``fn`` over jobs, threaded when the pool allows it."""
+        jobs = list(jobs)
+        workers = min(self.max_workers, len(jobs))
+        if workers <= 1:
+            return [fn(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, jobs))
+
+    def _centroid_distances(self, queries: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.sum(queries**2, axis=1)[:, None]
+            - 2.0 * queries @ self.centroids_.T
+            + np.sum(self.centroids_**2, axis=1)
+        )
+        return np.sqrt(np.maximum(d2, 0.0))
+
+
+def _global_top_k(cand_d: np.ndarray, cand_i: np.ndarray, k: int):
+    """Exact top-k over concatenated per-shard candidates, sorted rows."""
+    if cand_d.shape[1] > k:
+        part = np.argpartition(cand_d, kth=k - 1, axis=1)[:, :k]
+        cand_d = np.take_along_axis(cand_d, part, axis=1)
+        cand_i = np.take_along_axis(cand_i, part, axis=1)
+    order = np.argsort(cand_d, axis=1, kind="stable")
+    return (
+        np.take_along_axis(cand_d, order, axis=1),
+        np.take_along_axis(cand_i, order, axis=1),
+    )
+
+
+def _merge_rows(cand_d, cand_i, rows, d, gi, eff_k):
+    """Fold one shard's candidates into the running top-k of ``rows``."""
+    merged_d = np.concatenate([cand_d[rows], d], axis=1)
+    merged_i = np.concatenate([cand_i[rows], gi], axis=1)
+    merged_d, merged_i = _global_top_k(merged_d, merged_i, eff_k)
+    cand_d[rows] = merged_d
+    cand_i[rows] = merged_i

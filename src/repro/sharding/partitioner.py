@@ -1,0 +1,229 @@
+"""Radio-map partitioners: decide which shard owns each fingerprint.
+
+A :class:`Partitioner` maps an (N, D) point set (and optionally per-point
+integer labels such as building/floor ids) to shard assignments.  The
+:class:`~repro.sharding.index.ShardedKNNIndex` is agnostic to the policy;
+anything implementing ``assign`` plugs in:
+
+``LabelPartitioner``
+    Groups points that share a label (building/floor in UJIIndoorLoc
+    maps) into the same shard — the natural split for surveyed campuses,
+    where a scan's strongest WAPs confine it to one building anyway.
+``KMeansPartitioner``
+    Lloyd's k-means over (a subsample of) the points, for unlabeled
+    maps.  Clustered shards make the index's centroid-radius pruning
+    effective: most queries only ever touch one or two shards.
+``ChunkPartitioner``
+    Balanced contiguous chunks.  No geometry — the worst case for
+    pruning, but perfectly balanced; useful as a baseline and in tests.
+
+Every partitioner exposes :meth:`~Partitioner.describe`, a canonical
+string that the serving layer folds into :class:`repro.serving.ModelCache`
+keys so differing partitioning policies never share a cache entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+class Partitioner:
+    """Base partitioner protocol.
+
+    Subclasses implement :meth:`assign`, returning one integer shard id
+    per point.  Ids need not be dense — the sharded index compacts them
+    and drops empty shards.
+    """
+
+    name = "base"
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+
+    def assign(
+        self, points: np.ndarray, labels: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """(N,) integer shard id per point."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Canonical ``name(key=value, ...)`` string for cache keying."""
+        return f"{self.name}(n_shards={self.n_shards})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class ChunkPartitioner(Partitioner):
+    """Balanced contiguous chunks in input order (no geometry)."""
+
+    name = "chunk"
+
+    def assign(self, points, labels=None):
+        points = check_2d(points, "points")
+        n = len(points)
+        shards = min(self.n_shards, max(n, 1))
+        # same balanced sizes as np.array_split: first n % shards chunks
+        # get one extra point
+        return (np.arange(n) * shards) // max(n, 1)
+
+
+class LabelPartitioner(Partitioner):
+    """Group points sharing an integer label (e.g. building/floor id).
+
+    Unique labels are assigned to shards round-robin in sorted order, so
+    a map with more distinct labels than shards still yields at most
+    ``n_shards`` shards while never splitting one label across two.
+    """
+
+    name = "labels"
+
+    def assign(self, points, labels=None):
+        points = check_2d(points, "points")
+        if labels is None:
+            raise ValueError(
+                "LabelPartitioner requires per-point labels; use "
+                "KMeansPartitioner for unlabeled maps"
+            )
+        labels = np.asarray(labels).ravel()
+        if len(labels) != len(points):
+            raise ValueError(
+                f"labels length {len(labels)} != points length {len(points)}"
+            )
+        _uniq, inverse = np.unique(labels, return_inverse=True)
+        return inverse % self.n_shards
+
+
+class KMeansPartitioner(Partitioner):
+    """Lloyd's k-means cells for unlabeled radio maps.
+
+    Centroids are fitted on a bounded random subsample (``sample_size``)
+    so partitioning a 10^6-point map stays cheap; every point is then
+    assigned to its nearest centroid.  Deterministic given ``seed``.
+    """
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        n_shards: int,
+        n_iter: int = 25,
+        sample_size: int = 16384,
+        seed: int = 0,
+    ):
+        super().__init__(n_shards)
+        if n_iter < 1:
+            raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.n_iter = int(n_iter)
+        self.sample_size = int(sample_size)
+        self.seed = int(seed)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(n_shards={self.n_shards}, n_iter={self.n_iter}, "
+            f"sample_size={self.sample_size}, seed={self.seed})"
+        )
+
+    def assign(self, points, labels=None):
+        points = check_2d(points, "points")
+        n = len(points)
+        k = min(self.n_shards, n)
+        if k <= 1:
+            return np.zeros(n, dtype=int)
+        rng = np.random.default_rng(self.seed)
+        if n > self.sample_size:
+            sample = points[rng.choice(n, self.sample_size, replace=False)]
+        else:
+            sample = points
+        centroids = _kmeans_pp_init(sample, k, rng)
+        for _ in range(self.n_iter):
+            nearest = _nearest_centroid(sample, centroids)
+            updated = centroids.copy()
+            for cell in range(k):
+                members = sample[nearest == cell]
+                if len(members):
+                    updated[cell] = members.mean(axis=0)
+            if np.array_equal(updated, centroids):
+                break
+            centroids = updated
+        return _nearest_centroid(points, centroids)
+
+
+def _kmeans_pp_init(sample: np.ndarray, k: int, rng) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids D^2-proportionally.
+
+    Random init routinely drops two seeds into one dense cell, leaving
+    another cell unowned and merged into a far shard — which inflates
+    shard radii and defeats the index's centroid-radius pruning.
+    """
+    centroids = np.empty((k, sample.shape[1]))
+    centroids[0] = sample[rng.integers(len(sample))]
+    d2 = np.sum((sample - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = d2.sum()
+        if total <= 0.0:  # all remaining points coincide with a centroid
+            centroids[i:] = centroids[0]
+            break
+        centroids[i] = sample[rng.choice(len(sample), p=d2 / total)]
+        d2 = np.minimum(d2, np.sum((sample - centroids[i]) ** 2, axis=1))
+    return centroids
+
+
+def _nearest_centroid(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of each point's nearest centroid (squared-distance argmin).
+
+    Computed blockwise so the (block, n_centroids) distance matrix stays
+    bounded — assigning a 10^6-point map to 256 cells must not
+    materialize gigabytes of temporaries.
+    """
+    sq_centroids = np.sum(centroids**2, axis=1)
+    nearest = np.empty(len(points), dtype=int)
+    block = max(1, int(2e7) // max(len(centroids), 1))
+    for start in range(0, len(points), block):
+        p = points[start : start + block]
+        d2 = -2.0 * p @ centroids.T + sq_centroids
+        nearest[start : start + len(p)] = np.argmin(d2, axis=1)
+    return nearest
+
+
+#: String specs accepted by :func:`make_partitioner`.
+_SPECS = {
+    "chunk": ChunkPartitioner,
+    "labels": LabelPartitioner,
+    "kmeans": KMeansPartitioner,
+}
+
+
+def make_partitioner(
+    spec,
+    n_shards: int,
+    labels_available: bool = False,
+    seed: int = 0,
+) -> Partitioner:
+    """Resolve a partitioner spec into a :class:`Partitioner` instance.
+
+    ``spec`` may be an instance (returned unchanged), one of the strings
+    ``"chunk"`` / ``"labels"`` / ``"kmeans"``, or ``"auto"``/``None``,
+    which picks ``"labels"`` when per-point labels are available and
+    ``"kmeans"`` otherwise.
+    """
+    if isinstance(spec, Partitioner):
+        return spec
+    if spec is None or spec == "auto":
+        spec = "labels" if labels_available else "kmeans"
+    try:
+        cls = _SPECS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown partitioner {spec!r}; expected a Partitioner instance, "
+            f"'auto', or one of {', '.join(sorted(_SPECS))}"
+        ) from None
+    if cls is KMeansPartitioner:
+        return cls(n_shards, seed=seed)
+    return cls(n_shards)

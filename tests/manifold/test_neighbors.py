@@ -79,12 +79,107 @@ class TestKNNIndex:
             np.testing.assert_allclose(np.sort(dist[qi]), expected, atol=1e-9)
 
 
+class TestKExcessPolicy:
+    """clamp-or-raise for k > index size, identical across backends."""
+
+    @pytest.mark.parametrize("method", ["brute", "kdtree"])
+    def test_clamp_returns_whole_index(self, method):
+        points = RNG.normal(size=(6, 2))
+        queries = RNG.normal(size=(3, 2))
+        dist, idx = KNNIndex(points, method=method).query(
+            queries, k=50, on_excess="clamp"
+        )
+        assert dist.shape == (3, 6)
+        for row in idx:
+            assert sorted(row.tolist()) == list(range(6))
+        assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+    def test_clamp_backends_agree(self):
+        points = RNG.normal(size=(7, 3))
+        queries = RNG.normal(size=(4, 3))
+        d_brute, i_brute = KNNIndex(points, method="brute").query(
+            queries, k=9, on_excess="clamp"
+        )
+        d_tree, i_tree = KNNIndex(points, method="kdtree").query(
+            queries, k=9, on_excess="clamp"
+        )
+        np.testing.assert_allclose(d_brute, d_tree, atol=1e-9)
+        np.testing.assert_array_equal(i_brute, i_tree)
+
+    def test_clamp_with_exclude_self(self):
+        points = RNG.normal(size=(5, 2))
+        dist, idx = KNNIndex(points).query(
+            points, k=99, exclude_self=True, on_excess="clamp"
+        )
+        assert dist.shape == (5, 4)
+        assert not np.any(idx == np.arange(5)[:, None])
+
+    def test_clamp_no_effect_when_k_fits(self):
+        points = RNG.normal(size=(20, 3))
+        queries = RNG.normal(size=(4, 3))
+        index = KNNIndex(points, method="brute")
+        d_plain, i_plain = index.query(queries, k=5)
+        d_clamp, i_clamp = index.query(queries, k=5, on_excess="clamp")
+        np.testing.assert_array_equal(d_clamp, d_plain)
+        np.testing.assert_array_equal(i_clamp, i_plain)
+
+    def test_raise_is_default(self):
+        index = KNNIndex(RNG.normal(size=(4, 2)))
+        with pytest.raises(ValueError, match="exceeds index size"):
+            index.query(RNG.normal(size=(1, 2)), k=5)
+
+    def test_unknown_policy_rejected(self):
+        index = KNNIndex(RNG.normal(size=(4, 2)))
+        with pytest.raises(ValueError, match="on_excess"):
+            index.query(RNG.normal(size=(1, 2)), k=2, on_excess="pad")
+
+
+class TestShardedPaths:
+    """shards= routing must be invisible in the results."""
+
+    def test_kneighbors_sharded_equals_monolithic(self):
+        points = RNG.normal(size=(60, 4))
+        d_mono, _ = kneighbors(points, k=5)
+        d_shard, i_shard = kneighbors(points, k=5, shards=3)
+        np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+        assert not np.any(i_shard == np.arange(60)[:, None])
+
+    def test_epsilon_neighbors_sharded_equals_monolithic(self):
+        points = RNG.normal(size=(50, 3))
+        mono = epsilon_neighbors(points, radius=1.5)
+        for shards in (2, 5, 50, 64):
+            sharded = epsilon_neighbors(points, radius=1.5, shards=shards)
+            assert len(sharded) == len(mono)
+            for row_sharded, row_mono in zip(sharded, mono):
+                np.testing.assert_array_equal(row_sharded, row_mono)
+                assert row_sharded.dtype.kind == "i"
+
+    def test_epsilon_neighbors_invalid_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            epsilon_neighbors(RNG.normal(size=(5, 2)), radius=1.0, shards=0)
+
+
 class TestKneighbors:
     def test_excludes_self(self):
         points = RNG.normal(size=(15, 3))
         _dist, idx = kneighbors(points, k=4)
         for i in range(15):
             assert i not in idx[i]
+
+    @pytest.mark.parametrize("method", ["brute", "kdtree"])
+    def test_duplicate_points_keep_twin_not_self(self, method):
+        # two coincident points: each must list the *other* at distance 0,
+        # never itself (regression: the old positional drop could return
+        # the query's own index when tie-breaking sorted the twin first)
+        points = np.array(
+            [[0.0, 0.0], [0.0, 0.0], [5.0, 5.0], [6.0, 6.0], [7.0, 7.0]]
+        )
+        dist, idx = KNNIndex(points, method=method).query(
+            points, k=2, exclude_self=True
+        )
+        assert not np.any(idx == np.arange(len(points))[:, None])
+        assert idx[0, 0] == 1 and idx[1, 0] == 0
+        np.testing.assert_allclose(dist[:2, 0], 0.0, atol=1e-12)
 
     def test_known_line_geometry(self):
         points = np.array([[0.0], [1.0], [2.0], [10.0]])
@@ -136,13 +231,20 @@ class TestBackendParity:
 
 
 def _drop_self_matches_loop(distances, indices, k):
-    """Pre-vectorization implementation, kept as the regression oracle."""
+    """Per-row implementation of the identity drop, kept as the oracle.
+
+    Mirrors the documented contract: drop the entry whose index equals
+    its row (the query's own point); fall back to column 0 when the self
+    entry is absent.
+    """
     m = distances.shape[0]
     out_d = np.empty((m, k))
     out_i = np.empty((m, k), dtype=int)
-    rows = np.arange(distances.shape[1])
+    positions = np.arange(distances.shape[1])
     for row in range(m):
-        keep = rows != 0
+        matches = np.flatnonzero(indices[row] == row)
+        drop = matches[0] if len(matches) else 0
+        keep = positions != drop
         out_d[row] = distances[row, keep][:k]
         out_i[row] = indices[row, keep][:k]
     return out_d, out_i

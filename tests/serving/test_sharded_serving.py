@@ -1,0 +1,167 @@
+"""Serving-layer sharding: prediction parity and cache-key isolation.
+
+Two guarantees: a backend fitted with ``shards=N`` predicts exactly what
+``shards=1`` predicts (index sharding merges exactly; batch fan-out is
+row-wise), and :class:`ModelCache` treats differing ``shards`` /
+``partitioner`` hyperparameters as distinct keys, so a sharded and an
+unsharded fit never alias.
+
+The prediction-equality tests rely on the fixture datasets being free
+of *exact* duplicate-distance ties at the k-th neighbor (continuous
+synthetic RSSI with noise guarantees this): at such a tie both
+configurations return the same distances but may keep a different tied
+twin, which is unspecified in a monolithic scan too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelCache, create
+
+
+class TestShardedPredictionParity:
+    def test_knn_sharded_equals_unsharded(self, uji_split):
+        train, _val, test = uji_split
+        base = create("knn", k=3).fit(train).predict_batch(test.rssi)
+        for partitioner in ("auto", "kmeans", "chunk"):
+            sharded = (
+                create("knn", k=3, shards=4, partitioner=partitioner)
+                .fit(train)
+                .predict_batch(test.rssi)
+            )
+            np.testing.assert_allclose(
+                sharded.coordinates, base.coordinates, rtol=1e-9, atol=1e-9
+            )
+            np.testing.assert_array_equal(sharded.building, base.building)
+            np.testing.assert_array_equal(sharded.floor, base.floor)
+
+    def test_knn_regressor_sharded_equals_unsharded(self, uji_split):
+        train, _val, test = uji_split
+        base = create("knn-regressor", k=3).fit(train).predict_batch(test.rssi)
+        sharded = (
+            create("knn-regressor", k=3, shards=3)
+            .fit(train)
+            .predict_batch(test.rssi)
+        )
+        np.testing.assert_allclose(
+            sharded.coordinates, base.coordinates, rtol=1e-9, atol=1e-9
+        )
+
+    def test_forest_fanout_equals_unsharded(self, uji_split):
+        train, _val, test = uji_split
+        kwargs = dict(n_estimators=3, max_depth=4, seed=2)
+        base = create("forest", **kwargs).fit(train).predict_batch(test.rssi)
+        sharded = (
+            create("forest", shards=3, **kwargs)
+            .fit(train)
+            .predict_batch(test.rssi)
+        )
+        np.testing.assert_array_equal(sharded.coordinates, base.coordinates)
+
+    def test_noble_fanout_equals_unsharded(self, uji_split, monkeypatch):
+        import os
+
+        train, _val, test = uji_split
+        estimator = create("noble", epochs=2, hidden=8, seed=4).fit(train)
+        base = estimator.predict_batch(test.rssi)
+        # flipping shards on the fitted estimator isolates the fan-out
+        # path: same weights, chunked concurrent forward passes.  Pin the
+        # core count so the path runs identically on any test host (the
+        # adapter caps fan-out width at cpu_count).
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        estimator.params["shards"] = 3
+        sharded = estimator.predict_batch(test.rssi)
+        np.testing.assert_array_equal(sharded.coordinates, base.coordinates)
+        np.testing.assert_array_equal(sharded.building, base.building)
+        np.testing.assert_array_equal(sharded.floor, base.floor)
+        # concurrent chunks must never share a network: the numpy nn
+        # caches activations on its modules, so each thread needs its
+        # own replica (cached across calls)
+        assert len(estimator._replicas_) == 2
+        assert all(r is not estimator.model_ for r in estimator._replicas_)
+        again = estimator.predict_batch(test.rssi)
+        np.testing.assert_array_equal(again.coordinates, base.coordinates)
+        assert len(estimator._replicas_) == 2
+
+    def test_noble_fanout_capped_by_cpu_count(self, uji_split, monkeypatch):
+        import os
+
+        train, _val, test = uji_split
+        estimator = create("noble", epochs=2, hidden=8, seed=4).fit(train)
+        base = estimator.predict_batch(test.rssi)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        estimator.params["shards"] = 16
+        sharded = estimator.predict_batch(test.rssi)
+        np.testing.assert_array_equal(sharded.coordinates, base.coordinates)
+        # replicas beyond the core count can never run concurrently, so
+        # they are never built (16 requested shards -> 1 replica on 2 cores)
+        assert len(estimator._replicas_) == 1
+
+    def test_single_row_batch_served_directly(self, uji_split):
+        train, _val, test = uji_split
+        sharded = create("knn", k=3, shards=4).fit(train)
+        single = sharded.predict_batch(test.rssi[:1])
+        assert single.coordinates.shape == (1, 2)
+
+    def test_invalid_shards_rejected(self):
+        for name in ("knn", "noble", "knn-regressor", "forest"):
+            with pytest.raises(ValueError, match="shards"):
+                create(name, shards=0)
+
+    def test_partitioner_instance_conflicting_shards_rejected(self):
+        from repro.sharding import ChunkPartitioner
+
+        with pytest.raises(ValueError, match="conflicts"):
+            create("knn", k=3, shards=4, partitioner=ChunkPartitioner(8))
+
+
+class TestHyperparamKeying:
+    def test_default_describe_unchanged(self):
+        # shards=1 must not leak into params: pre-sharding cache keys and
+        # describe() strings stay valid
+        assert create("knn", k=3).describe() == "knn(k=3, weighted=True)"
+        assert "shards" not in create("knn", k=3, shards=1).params
+
+    def test_sharded_describe_lists_policy(self):
+        described = create("knn", k=3, shards=4, partitioner="chunk").describe()
+        assert "shards=4" in described
+        assert "partitioner='chunk'" in described
+
+    def test_partitioner_instance_keyed_canonically(self):
+        from repro.sharding import ChunkPartitioner
+
+        estimator = create("knn", k=3, shards=4,
+                           partitioner=ChunkPartitioner(4))
+        assert estimator.params["partitioner"] == "chunk(n_shards=4)"
+
+    def test_cache_distinguishes_shard_counts(self, uji_split):
+        train, _val, _test = uji_split
+        cache = ModelCache(capacity=8)
+        cache.get_or_fit("knn", train, k=3)
+        cache.get_or_fit("knn", train, k=3, shards=4)
+        cache.get_or_fit("knn", train, k=3, shards=2)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 3)
+
+    def test_cache_distinguishes_partitioners(self, uji_split):
+        train, _val, _test = uji_split
+        cache = ModelCache(capacity=8)
+        cache.get_or_fit("knn", train, k=3, shards=4, partitioner="kmeans")
+        cache.get_or_fit("knn", train, k=3, shards=4, partitioner="chunk")
+        assert cache.stats().misses == 2
+
+    def test_cache_hits_same_sharded_config(self, uji_split):
+        train, _val, _test = uji_split
+        cache = ModelCache(capacity=8)
+        first = cache.get_or_fit("knn", train, k=3, shards=4)
+        again = cache.get_or_fit("knn", train, k=3, shards=4)
+        assert first is again
+        assert cache.stats().hits == 1
+
+    def test_shards_one_aliases_default(self, uji_split):
+        # behaviorally identical configs share one entry by design
+        train, _val, _test = uji_split
+        cache = ModelCache(capacity=8)
+        cache.get_or_fit("knn", train, k=3)
+        cache.get_or_fit("knn", train, k=3, shards=1)
+        assert cache.stats().hits == 1

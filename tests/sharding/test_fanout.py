@@ -1,0 +1,53 @@
+"""Query-side fan-out helpers: slicing invariants and row-wise exactness."""
+
+import numpy as np
+import pytest
+
+from repro.sharding import fanout_map, fanout_over_slices, fanout_slices
+
+
+class TestFanoutSlices:
+    @pytest.mark.parametrize("n,shards", [(10, 3), (7, 7), (5, 9), (100, 1)])
+    def test_partition_covers_range_in_order(self, n, shards):
+        slices = fanout_slices(n, shards)
+        covered = [i for sl in slices for i in range(sl.start, sl.stop)]
+        assert covered == list(range(n))
+        assert len(slices) == min(shards, n)
+
+    def test_balanced_within_one(self):
+        sizes = [sl.stop - sl.start for sl in fanout_slices(11, 4)]
+        assert sum(sizes) == 11
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_input_single_empty_slice(self):
+        assert fanout_slices(0, 4) == [slice(0, 0)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="shards"):
+            fanout_slices(5, 0)
+        with pytest.raises(ValueError, match="n must be"):
+            fanout_slices(-1, 2)
+
+
+class TestFanoutMap:
+    def test_concatenation_equals_direct_call(self):
+        rows = np.arange(23.0).reshape(23, 1)
+        direct = rows * 2.0
+        parts = fanout_map(lambda chunk: chunk * 2.0, rows, shards=4)
+        np.testing.assert_array_equal(np.concatenate(parts), direct)
+
+    def test_results_in_input_order_despite_threads(self):
+        rows = np.arange(40)
+        parts = fanout_map(lambda chunk: chunk.copy(), rows, shards=8,
+                           max_workers=8)
+        np.testing.assert_array_equal(np.concatenate(parts), rows)
+
+    def test_single_shard_single_call(self):
+        calls = []
+        fanout_map(lambda chunk: calls.append(len(chunk)), np.arange(9), 1)
+        assert calls == [9]
+
+    def test_over_slices_passes_slices(self):
+        seen = []
+        fanout_over_slices(lambda sl: seen.append(sl), 10, 2, max_workers=1)
+        assert seen == [slice(0, 5), slice(5, 10)]

@@ -1,0 +1,130 @@
+"""Partitioner policies: balance, label grouping, k-means cells, resolution."""
+
+import numpy as np
+import pytest
+
+from repro.sharding.partitioner import (
+    ChunkPartitioner,
+    KMeansPartitioner,
+    LabelPartitioner,
+    Partitioner,
+    make_partitioner,
+)
+
+RNG = np.random.default_rng(21)
+
+
+class TestChunkPartitioner:
+    def test_balanced_and_ordered(self):
+        ids = ChunkPartitioner(4).assign(RNG.normal(size=(10, 3)))
+        assert ids.tolist() == [0, 0, 0, 1, 1, 2, 2, 2, 3, 3]
+
+    def test_fewer_points_than_shards(self):
+        ids = ChunkPartitioner(8).assign(RNG.normal(size=(3, 2)))
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_single_shard(self):
+        ids = ChunkPartitioner(1).assign(RNG.normal(size=(5, 2)))
+        assert ids.tolist() == [0] * 5
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ChunkPartitioner(0)
+
+
+class TestLabelPartitioner:
+    def test_same_label_same_shard(self):
+        points = RNG.normal(size=(12, 2))
+        labels = np.array([0, 1, 2, 3] * 3)
+        ids = LabelPartitioner(4).assign(points, labels)
+        for label in range(4):
+            assert len(set(ids[labels == label])) == 1
+
+    def test_round_robin_when_more_labels_than_shards(self):
+        points = RNG.normal(size=(6, 2))
+        labels = np.array([10, 20, 30, 40, 50, 60])
+        ids = LabelPartitioner(2).assign(points, labels)
+        assert ids.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_requires_labels(self):
+        with pytest.raises(ValueError, match="requires per-point labels"):
+            LabelPartitioner(2).assign(RNG.normal(size=(4, 2)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels length"):
+            LabelPartitioner(2).assign(RNG.normal(size=(4, 2)), labels=[0, 1])
+
+
+class TestKMeansPartitioner:
+    def test_separated_blobs_land_in_distinct_shards(self):
+        centers = np.array([[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]])
+        points = np.concatenate(
+            [c + RNG.normal(scale=0.5, size=(30, 2)) for c in centers]
+        )
+        ids = KMeansPartitioner(3, seed=5).assign(points)
+        blobs = [ids[i * 30 : (i + 1) * 30] for i in range(3)]
+        # each blob is pure, and the three blobs use three different cells
+        assert all(len(set(blob)) == 1 for blob in blobs)
+        assert len({blob[0] for blob in blobs}) == 3
+
+    def test_deterministic_given_seed(self):
+        points = RNG.normal(size=(60, 3))
+        a = KMeansPartitioner(4, seed=9).assign(points)
+        b = KMeansPartitioner(4, seed=9).assign(points)
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_shards_than_points_collapses(self):
+        ids = KMeansPartitioner(10, seed=0).assign(RNG.normal(size=(4, 2)))
+        assert len(ids) == 4
+        assert ids.max() < 4
+
+    def test_single_point(self):
+        ids = KMeansPartitioner(3, seed=0).assign(np.zeros((1, 2)))
+        assert ids.tolist() == [0]
+
+    def test_duplicate_points_do_not_crash_seeding(self):
+        points = np.zeros((20, 3))  # k-means++ D^2 mass is all zero
+        ids = KMeansPartitioner(4, seed=1).assign(points)
+        assert len(ids) == 20
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="n_iter"):
+            KMeansPartitioner(2, n_iter=0)
+        with pytest.raises(ValueError, match="sample_size"):
+            KMeansPartitioner(2, sample_size=0)
+
+
+class TestMakePartitioner:
+    def test_instance_passthrough(self):
+        instance = ChunkPartitioner(3)
+        assert make_partitioner(instance, 8) is instance
+
+    def test_string_specs(self):
+        assert isinstance(make_partitioner("chunk", 2), ChunkPartitioner)
+        assert isinstance(make_partitioner("labels", 2), LabelPartitioner)
+        assert isinstance(make_partitioner("kmeans", 2), KMeansPartitioner)
+
+    def test_auto_prefers_labels_when_available(self):
+        assert isinstance(
+            make_partitioner("auto", 2, labels_available=True), LabelPartitioner
+        )
+        assert isinstance(
+            make_partitioner("auto", 2, labels_available=False),
+            KMeansPartitioner,
+        )
+        assert isinstance(make_partitioner(None, 2), KMeansPartitioner)
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("geohash", 2)
+
+    def test_describe_is_canonical(self):
+        assert ChunkPartitioner(3).describe() == "chunk(n_shards=3)"
+        assert (
+            KMeansPartitioner(4, n_iter=10, sample_size=256, seed=2).describe()
+            == "kmeans(n_shards=4, n_iter=10, sample_size=256, seed=2)"
+        )
+
+    def test_base_assign_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Partitioner(2).assign(np.zeros((2, 2)))

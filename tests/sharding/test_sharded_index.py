@@ -1,0 +1,302 @@
+"""ShardedKNNIndex parity: sharded query == monolithic brute-force oracle.
+
+The contract under test (the tentpole guarantee): for ANY partitioning,
+shard count, worker count, and pruning mode, the sharded query returns
+the exact same sorted distance rows as a monolithic brute-force scan —
+including duplicate-distance ties and k larger than the smallest shard —
+and every returned index really is at its reported distance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manifold.neighbors import KNNIndex, kneighbors
+from repro.sharding import ChunkPartitioner, ShardedKNNIndex
+
+RNG = np.random.default_rng(31)
+
+
+def _clustered(rng, n_blobs, per_blob, dim):
+    centers = rng.normal(scale=10.0, size=(n_blobs, dim))
+    return np.concatenate(
+        [c + rng.normal(size=(per_blob, dim)) for c in centers]
+    )
+
+
+def _oracle_distances(points, queries, k):
+    """Sorted k smallest distances per query, by the naive full scan."""
+    full = np.linalg.norm(queries[:, None, :] - points[None, :, :], axis=2)
+    return np.sort(full, axis=1)[:, :k]
+
+
+def _assert_self_consistent(points, queries, distances, indices):
+    """Every returned (index, distance) pair must actually measure out."""
+    recomputed = np.linalg.norm(
+        queries[:, None, :] - points[indices], axis=2
+    )
+    np.testing.assert_allclose(distances, recomputed, rtol=1e-9, atol=1e-9)
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("partitioner", ["kmeans", "chunk"])
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_matches_monolithic_brute(self, partitioner, prune):
+        points = _clustered(RNG, n_blobs=5, per_blob=30, dim=6)
+        queries = _clustered(RNG, n_blobs=5, per_blob=4, dim=6)
+        mono = KNNIndex(points, method="brute")
+        sharded = ShardedKNNIndex(
+            points, n_shards=4, partitioner=partitioner, method="brute",
+            prune=prune,
+        )
+        for k in (1, 5, 40):
+            d_mono, _ = mono.query(queries, k=k)
+            d_shard, i_shard = sharded.query(queries, k=k)
+            np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+            _assert_self_consistent(points, queries, d_shard, i_shard)
+
+    def test_k_larger_than_smallest_shard(self):
+        # labels force one 3-point shard; k=10 must still be exact
+        points = RNG.normal(size=(43, 4))
+        labels = np.array([0] * 3 + [1] * 40)
+        sharded = ShardedKNNIndex(
+            points, n_shards=2, partitioner="labels", labels=labels
+        )
+        assert min(sharded.shard_sizes) == 3
+        queries = RNG.normal(size=(7, 4))
+        d_mono, _ = KNNIndex(points, method="brute").query(queries, k=10)
+        d_shard, i_shard = sharded.query(queries, k=10)
+        np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+        _assert_self_consistent(points, queries, d_shard, i_shard)
+
+    def test_duplicate_distance_ties_across_shards(self):
+        # exact duplicates in different shards: distance multiset must match
+        base = RNG.integers(0, 3, size=(30, 3)).astype(float)
+        points = np.concatenate([base, base, base])  # every point x3
+        sharded = ShardedKNNIndex(
+            points, n_shards=3, partitioner=ChunkPartitioner(3)
+        )
+        queries = base[:8]
+        for k in (1, 3, 7):
+            d_mono, _ = KNNIndex(points, method="brute").query(queries, k=k)
+            d_shard, i_shard = sharded.query(queries, k=k)
+            np.testing.assert_array_equal(d_shard, d_mono)
+            _assert_self_consistent(points, queries, d_shard, i_shard)
+
+    def test_threaded_fanout_equals_serial(self):
+        points = _clustered(RNG, n_blobs=4, per_blob=25, dim=5)
+        queries = _clustered(RNG, n_blobs=4, per_blob=3, dim=5)
+        serial = ShardedKNNIndex(
+            points, n_shards=4, partitioner="chunk", max_workers=1
+        )
+        threaded = ShardedKNNIndex(
+            points, n_shards=4, partitioner="chunk", max_workers=4
+        )
+        d_serial, i_serial = serial.query(queries, k=6)
+        d_threaded, i_threaded = threaded.query(queries, k=6)
+        np.testing.assert_array_equal(d_threaded, d_serial)
+        np.testing.assert_array_equal(i_threaded, i_serial)
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_blocked_query_loop_matches_single_block(self, prune):
+        # shrink the per-block element budget so this small query set runs
+        # through the multi-block path that bounds campus-scale memory
+        points = _clustered(RNG, n_blobs=4, per_blob=20, dim=5)
+        queries = _clustered(RNG, n_blobs=4, per_blob=10, dim=5)
+        sharded = ShardedKNNIndex(
+            points, n_shards=4, partitioner="chunk", method="brute",
+            prune=prune,
+        )
+        d_one, i_one = sharded.query(queries, k=6)
+        sharded._block_elements = 7 * 6  # ~7 query rows per block
+        d_blocked, i_blocked = sharded.query(queries, k=6)
+        # blocking changes the BLAS matmul shape, so distances agree to
+        # float round-off (~1e-15), not bitwise
+        np.testing.assert_allclose(d_blocked, d_one, rtol=1e-12, atol=1e-12)
+        np.testing.assert_array_equal(i_blocked, i_one)
+        # exclude_self (identity drop spans blocks via global row ids)
+        d_self, i_self = sharded.query(points, k=3, exclude_self=True)
+        sharded._block_elements = int(2e7)
+        d_ref, _ = sharded.query(points, k=3, exclude_self=True)
+        np.testing.assert_allclose(d_self, d_ref, rtol=1e-12, atol=1e-12)
+        assert not np.any(i_self == np.arange(len(points))[:, None])
+
+    def test_empty_query_batch(self):
+        points = RNG.normal(size=(12, 3))
+        sharded = ShardedKNNIndex(points, n_shards=3, partitioner="chunk")
+        distances, indices = sharded.query(np.empty((0, 3)), k=4)
+        assert distances.shape == (0, 4) and indices.shape == (0, 4)
+        assert indices.dtype.kind == "i"
+
+    def test_single_shard_degenerates_to_monolithic(self):
+        points = RNG.normal(size=(25, 3))
+        queries = RNG.normal(size=(5, 3))
+        d_mono, i_mono = KNNIndex(points, method="brute").query(queries, k=4)
+        sharded = ShardedKNNIndex(points, n_shards=1, partitioner="chunk",
+                                  method="brute")
+        d_shard, i_shard = sharded.query(queries, k=4)
+        np.testing.assert_array_equal(d_shard, d_mono)
+        np.testing.assert_array_equal(i_shard, i_mono)
+
+
+class TestExcludeSelf:
+    def test_matches_monolithic_kneighbors(self):
+        points = _clustered(RNG, n_blobs=3, per_blob=20, dim=4)
+        d_mono, _ = kneighbors(points, k=5, method="brute")
+        sharded = ShardedKNNIndex(points, n_shards=3, method="brute")
+        d_shard, i_shard = sharded.query(points, k=5, exclude_self=True)
+        np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+        assert not np.any(i_shard == np.arange(len(points))[:, None])
+
+    def test_duplicates_straddling_shards(self):
+        # each point duplicated into a *different* shard: the self row must
+        # go, its zero-distance twin must stay
+        base = RNG.normal(size=(12, 3))
+        points = np.concatenate([base, base])
+        sharded = ShardedKNNIndex(
+            points, n_shards=2, partitioner=ChunkPartitioner(2)
+        )
+        distances, indices = sharded.query(points, k=1, exclude_self=True)
+        np.testing.assert_allclose(distances[:, 0], 0.0, atol=1e-12)
+        assert not np.any(indices[:, 0] == np.arange(len(points)))
+
+
+class TestKExcessPolicy:
+    """The k > index-size edge: clamp-or-raise, identical to monolithic."""
+
+    def test_raises_by_default_like_monolithic(self):
+        points = RNG.normal(size=(10, 3))
+        sharded = ShardedKNNIndex(points, n_shards=2, partitioner="chunk")
+        with pytest.raises(ValueError, match="exceeds index size"):
+            sharded.query(points[:2], k=11)
+
+    def test_clamp_returns_whole_index_sorted(self):
+        points = RNG.normal(size=(10, 3))
+        queries = RNG.normal(size=(4, 3))
+        sharded = ShardedKNNIndex(points, n_shards=3, partitioner="chunk",
+                                  method="brute")
+        d_shard, i_shard = sharded.query(queries, k=99, on_excess="clamp")
+        assert d_shard.shape == (4, 10)
+        d_mono, _ = KNNIndex(points, method="brute").query(queries, k=10)
+        np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+        # every point appears exactly once per row
+        for row in i_shard:
+            assert sorted(row.tolist()) == list(range(10))
+
+    def test_clamp_with_exclude_self(self):
+        points = RNG.normal(size=(8, 2))
+        sharded = ShardedKNNIndex(points, n_shards=2, partitioner="chunk")
+        distances, indices = sharded.query(
+            points, k=20, exclude_self=True, on_excess="clamp"
+        )
+        assert distances.shape == (8, 7)
+        assert not np.any(indices == np.arange(8)[:, None])
+
+    def test_invalid_policy_rejected(self):
+        sharded = ShardedKNNIndex(RNG.normal(size=(6, 2)), n_shards=2,
+                                  partitioner="chunk")
+        with pytest.raises(ValueError, match="on_excess"):
+            sharded.query(RNG.normal(size=(1, 2)), k=2, on_excess="pad")
+
+
+class TestValidation:
+    def test_dim_mismatch(self):
+        sharded = ShardedKNNIndex(RNG.normal(size=(10, 3)), n_shards=2)
+        with pytest.raises(ValueError, match="dim"):
+            sharded.query(RNG.normal(size=(1, 4)), k=1)
+
+    def test_nonpositive_k(self):
+        sharded = ShardedKNNIndex(RNG.normal(size=(10, 3)), n_shards=2)
+        with pytest.raises(ValueError, match="k must be positive"):
+            sharded.query(RNG.normal(size=(1, 3)), k=0)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ShardedKNNIndex(np.empty((0, 3)), n_shards=2)
+
+    def test_bad_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ShardedKNNIndex(RNG.normal(size=(6, 2)), n_shards=2, max_workers=0)
+
+    def test_partitioner_instance_shard_count_adopted(self):
+        # an instance carries its own n_shards; omitting n_shards adopts it
+        sharded = ShardedKNNIndex(
+            RNG.normal(size=(24, 2)), partitioner=ChunkPartitioner(6)
+        )
+        assert sharded.n_shards == 6
+
+    def test_partitioner_instance_conflict_rejected(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            ShardedKNNIndex(
+                RNG.normal(size=(24, 2)),
+                n_shards=4,
+                partitioner=ChunkPartitioner(8),
+            )
+
+    def test_empty_shards_compacted(self):
+        # 3 distinct labels into 8 requested shards -> exactly 3 non-empty
+        points = RNG.normal(size=(30, 2))
+        labels = np.repeat([5, 9, 11], 10)
+        sharded = ShardedKNNIndex(
+            points, n_shards=8, partitioner="labels", labels=labels
+        )
+        assert sharded.n_shards == 3
+        assert sorted(sharded.shard_sizes) == [10, 10, 10]
+
+
+class TestPropertyParity:
+    """Property-based parity in the loop-oracle style of test_neighbors."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=60),
+        d=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=12),
+        n_shards=st.integers(min_value=1, max_value=7),
+        partitioner=st.sampled_from(["kmeans", "chunk"]),
+        prune=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_sorted_distances_match_oracle(
+        self, n, d, k, n_shards, partitioner, prune, seed
+    ):
+        rng = np.random.default_rng(seed)
+        # integer grid coordinates force plenty of duplicate-distance ties
+        points = rng.integers(0, 4, size=(n, d)).astype(float)
+        queries = rng.integers(0, 4, size=(3, d)).astype(float)
+        k = min(k, n)  # keep k valid; the excess edge has its own tests
+        sharded = ShardedKNNIndex(
+            points,
+            n_shards=n_shards,
+            partitioner=partitioner,
+            method="brute",
+            prune=prune,
+        )
+        distances, indices = sharded.query(queries, k=k)
+        np.testing.assert_allclose(
+            distances, _oracle_distances(points, queries, k),
+            rtol=1e-9, atol=1e-9,
+        )
+        _assert_self_consistent(points, queries, distances, indices)
+        # rows sorted ascending, as documented
+        assert np.all(np.diff(distances, axis=1) >= -1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=40),
+        d=st.integers(min_value=1, max_value=4),
+        n_shards=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_exclude_self_property(self, n, d, n_shards, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, d))
+        k = min(4, n - 1)
+        d_mono, _ = kneighbors(points, k=k, method="brute")
+        sharded = ShardedKNNIndex(
+            points, n_shards=n_shards, partitioner="chunk", method="brute"
+        )
+        d_shard, i_shard = sharded.query(points, k=k, exclude_self=True)
+        np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+        assert not np.any(i_shard == np.arange(n)[:, None])

@@ -1,0 +1,55 @@
+"""Slow sharding stress runs: large synthetic maps, thread-pool fan-out.
+
+Marked ``slow``: excluded from the tier-1 fast lane (``make test-fast``)
+but part of every full run (``make test`` / ``make check``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.manifold.neighbors import KNNIndex
+from repro.sharding import ShardedKNNIndex
+from repro.sharding.bench import run_shard_bench, synthetic_radio_map
+
+pytestmark = pytest.mark.slow
+
+
+class TestLargeMapParity:
+    def test_60k_map_kmeans_parity_and_pruning(self):
+        points, _labels = synthetic_radio_map(60_000, n_aps=32, seed=3)
+        queries, _ = synthetic_radio_map(128, n_aps=32, seed=4)
+        mono = KNNIndex(points, method="brute")
+        sharded = ShardedKNNIndex(
+            points, n_shards=96, partitioner="kmeans", method="brute"
+        )
+        d_mono, _ = mono.query(queries, k=5)
+        d_shard, i_shard = sharded.query(queries, k=5)
+        np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
+        # clustered workload: pruning must skip the large majority of rows
+        scanned = sharded.points_scanned_ / (len(queries) * len(points))
+        assert scanned < 0.5, f"pruning ineffective: scanned {scanned:.0%}"
+
+    def test_threadpool_fanout_large_batch(self):
+        points, labels = synthetic_radio_map(30_000, n_aps=24, seed=5)
+        queries, _ = synthetic_radio_map(256, n_aps=24, seed=6)
+        serial = ShardedKNNIndex(
+            points, n_shards=16, partitioner="labels", labels=labels,
+            max_workers=1, prune=False,
+        )
+        threaded = ShardedKNNIndex(
+            points, n_shards=16, partitioner="labels", labels=labels,
+            max_workers=8, prune=False,
+        )
+        d_serial, i_serial = serial.query(queries, k=7)
+        d_threaded, i_threaded = threaded.query(queries, k=7)
+        np.testing.assert_array_equal(d_threaded, d_serial)
+        np.testing.assert_array_equal(i_threaded, i_serial)
+
+    def test_bench_engine_end_to_end_small(self):
+        # the bench itself asserts per-batch distance parity internally
+        result = run_shard_bench(
+            n_points=20_000, n_queries=96, n_shards=48, batch_size=32, seed=11
+        )
+        assert result.n_points == 20_000
+        assert result.query_mono_s > 0 and result.query_sharded_s > 0
+        assert 0.0 < result.scanned_fraction <= 1.0
