@@ -6,7 +6,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast check clean-pyc serve-bench shard-bench
+.PHONY: test test-fast check clean-pyc serve-bench shard-bench train-bench bench-smoke
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -26,3 +26,17 @@ serve-bench:
 
 shard-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard-bench
+
+# Times NObLe/CNNLoc cold fits (seed-equivalent float64 reference vs the
+# fused float32 fast path), asserts metric parity + minimum speedup, and
+# writes BENCH_train.json — the persistent perf trajectory.
+train-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli train-bench
+
+# Tiny-workload train-bench: validates the emitted BENCH_train.json
+# schema without overwriting the real trajectory; hooked into
+# scripts/check_suite.sh so a broken bench fails `make check`.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli train-bench --preset smoke \
+		--output /tmp/BENCH_train.smoke.json
+	rm -f /tmp/BENCH_train.smoke.json

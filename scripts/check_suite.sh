@@ -20,3 +20,8 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \
     --strict-markers \
     -W error::pytest.PytestCollectionWarning \
     "$@"
+
+# Smoke the training benchmark: runs a tiny train-bench workload and
+# schema-validates the emitted BENCH_train.json, so a bench or schema
+# regression fails `make check` instead of rotting silently.
+make bench-smoke

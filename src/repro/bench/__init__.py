@@ -1,0 +1,24 @@
+"""Persistent performance benchmarks for the training fast path.
+
+``repro.bench.train`` times NObLe/CNNLoc cold fits through the numpy NN
+stack — the seed-equivalent float64 reference loop against the fused
+float32 fast path — asserts metric parity between the precisions, and
+emits ``BENCH_train.json``, the repo's perf-trajectory artifact.  Run it
+via ``python -m repro.cli train-bench`` or ``make train-bench``;
+``make bench-smoke`` exercises a tiny workload and validates the schema
+as part of ``make check``.
+"""
+
+from repro.bench.train import (
+    BENCH_SCHEMA,
+    TrainBenchResult,
+    run_train_bench,
+    validate_bench_payload,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "TrainBenchResult",
+    "run_train_bench",
+    "validate_bench_payload",
+]

@@ -8,6 +8,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli energy          # §IV-C / §V-D accounting
     python -m repro.cli serve-bench     # per-query vs batched serving
     python -m repro.cli shard-bench     # sharded vs monolithic kNN index
+    python -m repro.cli train-bench     # float32 fast path vs seed training loop
     python -m repro.cli wifi --preset paper --csv trainingData.csv
 
 ``--preset fast`` (default) finishes in a couple of minutes on a laptop;
@@ -28,12 +29,15 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=("wifi", "ipin", "imu", "energy", "serve-bench", "shard-bench"),
+        choices=(
+            "wifi", "ipin", "imu", "energy",
+            "serve-bench", "shard-bench", "train-bench",
+        ),
         help="which experiment to run",
     )
     parser.add_argument(
-        "--preset", choices=("fast", "paper"), default="fast",
-        help="experiment scale (default: fast)",
+        "--preset", choices=("fast", "paper", "smoke"), default="fast",
+        help="experiment scale (default: fast; smoke is train-bench only)",
     )
     parser.add_argument(
         "--csv", default=None,
@@ -61,8 +65,23 @@ def main(argv: "list[str] | None" = None) -> int:
         choices=("kmeans", "labels", "chunk"),
         help="shard partitioning policy (shard-bench only)",
     )
+    parser.add_argument(
+        "--output", default="BENCH_train.json",
+        help="where train-bench writes its JSON trajectory entry",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="override the asserted NObLe cold-fit speedup floor "
+             "(train-bench only; 0 disables the assertion)",
+    )
+    parser.add_argument(
+        "--models", default="noble,cnnloc",
+        help="comma-separated train-bench models (noble, cnnloc)",
+    )
     args = parser.parse_args(argv)
 
+    if args.experiment != "train-bench" and args.preset == "smoke":
+        raise SystemExit("--preset smoke is only supported by train-bench")
     runner = {
         "wifi": run_wifi,
         "ipin": run_ipin,
@@ -70,6 +89,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "energy": run_energy,
         "serve-bench": run_serve_bench,
         "shard-bench": run_shard_bench,
+        "train-bench": run_train_bench,
     }[args.experiment]
     runner(args)
     return 0
@@ -320,6 +340,40 @@ def run_shard_bench(args) -> None:
     except ValueError as error:
         raise SystemExit(f"shard-bench: {error}") from None
     print(result.report())
+
+
+def run_train_bench(args) -> None:
+    """Benchmark the float32 fused training fast path vs the seed loop.
+
+    Trains NObLe (and CNNLoc) through the seed-equivalent float64
+    reference configuration and the fused float32 fast path on one
+    seeded workload, asserts coordinate-error parity and the minimum
+    cold-fit speedup, prints the comparison, and writes the
+    ``BENCH_train.json`` perf-trajectory artifact (schema-validated
+    before writing).
+    """
+    import json
+
+    from repro.bench import run_train_bench as bench, validate_bench_payload
+
+    seed = args.seed if args.seed is not None else 42
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    try:
+        result = bench(
+            preset=args.preset,
+            seed=seed,
+            models=models,
+            min_speedup=args.min_speedup,
+        )
+    except (ValueError, AssertionError) as error:
+        raise SystemExit(f"train-bench: {error}") from None
+    print(result.report())
+    payload = result.payload()
+    validate_bench_payload(payload)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
 
 
 def run_energy(args) -> None:

@@ -28,6 +28,23 @@ from repro.utils.validation import check_lengths_match
 #: UJIIndoorLoc's placeholder for a WAP that was not heard.
 NOT_DETECTED = 100.0
 
+
+def content_digest(arrays) -> str:
+    """Stable hex digest of a sequence of arrays (shape + dtype + bytes).
+
+    The single definition both :meth:`FingerprintDataset.content_fingerprint`
+    and :func:`repro.serving.cache.dataset_fingerprint` hash through, so
+    dataset cache keys can never diverge between the two paths.
+    """
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(repr((array.shape, str(array.dtype))).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
 #: Receiver sensitivity used when normalizing (dBm).
 SENSITIVITY_DBM = -104.0
 
@@ -67,6 +84,25 @@ class FingerprintDataset:
         check_lengths_match(self.rssi, self.coordinates, "rssi", "coordinates")
         check_lengths_match(self.rssi, self.floor, "rssi", "floor")
         check_lengths_match(self.rssi, self.building, "rssi", "building")
+        self._fingerprint: "str | None" = None
+
+    def content_fingerprint(self) -> str:
+        """Memoized content digest of the arrays the models consume.
+
+        Hashes shape, dtype, and bytes of rssi/coordinates/floor/building
+        (the optional floor plan and spot ids affect no estimator).  The
+        digest is computed **once** and never invalidated — datasets are
+        treated as immutable after construction; derive changed data via
+        :meth:`subset`/:meth:`split` or a new instance, never by mutating
+        the arrays in place after fingerprinting.  This keeps repeated
+        :class:`repro.serving.ModelCache` hits from re-paying the ~2 ms
+        hashing cost that otherwise dominates the cache-hit path.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = content_digest(
+                (self.rssi, self.coordinates, self.floor, self.building)
+            )
+        return self._fingerprint
 
     def __len__(self) -> int:
         return len(self.rssi)

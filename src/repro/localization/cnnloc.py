@@ -30,6 +30,7 @@ from repro.nn import (
 )
 from repro.nn.autoencoder import pretrain_stacked_autoencoder
 from repro.nn.conv import Conv1d, Flatten, MaxPool1d, Unflatten
+from repro.nn.dtypes import resolve_dtype
 from repro.quantization.labels import multi_hot
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_fitted
@@ -58,6 +59,8 @@ class CNNLocWifi:
         batch_size: int = 64,
         lr: float = 1e-3,
         seed=0,
+        dtype=None,
+        fused: bool = True,
     ):
         if not encoder_sizes:
             raise ValueError("encoder_sizes must not be empty")
@@ -72,6 +75,9 @@ class CNNLocWifi:
         self.batch_size = int(batch_size)
         self.lr = float(lr)
         self.seed = seed
+        self.dtype = dtype
+        self._dtype = resolve_dtype(dtype)
+        self.fused = bool(fused)
         self.model_: "Sequential | None" = None
         self.head_slices_: "dict | None" = None
         self.coord_mean_: "np.ndarray | None" = None
@@ -80,7 +86,7 @@ class CNNLocWifi:
 
     def fit(self, dataset: FingerprintDataset) -> "CNNLocWifi":
         rng = ensure_rng(self.seed)
-        signals = dataset.normalized_signals()
+        signals = dataset.normalized_signals().astype(self._dtype, copy=False)
         n_buildings = dataset.n_buildings
         n_floors = dataset.n_floors
 
@@ -91,6 +97,8 @@ class CNNLocWifi:
             batch_size=self.batch_size,
             lr=self.lr,
             rng=rng,
+            dtype=self._dtype,
+            fused=self.fused,
         )
 
         layers: list = []
@@ -100,7 +108,10 @@ class CNNLocWifi:
         length = self.encoder_sizes[-1]
         in_channels = 1
         for out_channels in self.conv_channels:
-            conv = Conv1d(in_channels, out_channels, self.kernel_size, rng=rng)
+            conv = Conv1d(
+                in_channels, out_channels, self.kernel_size, rng=rng,
+                dtype=self._dtype,
+            )
             layers.extend([conv, ReLU(), MaxPool1d(self.pool)])
             length = (length - self.kernel_size + 1) // self.pool
             if length < 1:
@@ -113,7 +124,7 @@ class CNNLocWifi:
         flat_width = in_channels * length
 
         head_width = n_buildings + n_floors + 2
-        layers.append(Linear(flat_width, head_width, rng=rng))
+        layers.append(Linear(flat_width, head_width, rng=rng, dtype=self._dtype))
         self.model_ = Sequential(*layers)
         self.head_slices_ = {
             "building": slice(0, n_buildings),
@@ -130,22 +141,35 @@ class CNNLocWifi:
                 multi_hot(dataset.floor, n_floors),
                 (dataset.coordinates - self.coord_mean_) / self.coord_std_,
             ]
-        )
+        ).astype(self._dtype, copy=False)
+        compat = not self.fused
         loss = MultiHeadLoss(
             {
-                "building": (self.head_slices_["building"], BCEWithLogitsLoss(), 1.0),
-                "floor": (self.head_slices_["floor"], BCEWithLogitsLoss(), 1.0),
-                "position": (self.head_slices_["position"], MSELoss(), 1.0),
+                "building": (
+                    self.head_slices_["building"],
+                    BCEWithLogitsLoss(compat=compat),
+                    1.0,
+                ),
+                "floor": (
+                    self.head_slices_["floor"],
+                    BCEWithLogitsLoss(compat=compat),
+                    1.0,
+                ),
+                "position": (self.head_slices_["position"], MSELoss(compat=compat), 1.0),
             }
         )
         trainer = Trainer(
-            self.model_, loss, Adam(self.model_.parameters(), lr=self.lr)
+            self.model_,
+            loss,
+            Adam(self.model_.parameters(), lr=self.lr, fused=self.fused),
+            fused=self.fused,
         )
         loader = DataLoader(
             TensorDataset(signals, targets),
             batch_size=self.batch_size,
             drop_last=True,
             rng=rng,
+            fast_collate=self.fused,
         )
         self.history_ = trainer.fit(loader, epochs=self.epochs)
         return self

@@ -29,6 +29,7 @@ from repro.nn import (
     Trainer,
     TrainingHistory,
 )
+from repro.nn.dtypes import resolve_dtype
 from repro.quantization.grid import GridQuantizer
 from repro.quantization.labels import multi_hot, soft_multi_hot
 from repro.quantization.multires import MultiResolutionQuantizer
@@ -75,6 +76,15 @@ class NObLeWifi:
         Optional representation applied after normalization — a callable
         or a name from :mod:`repro.localization.representations`
         (``"powed"``, ``"exponential"``, ``"binary"``).
+    dtype:
+        Training/inference precision of the network — ``"float32"`` for
+        the fast path, ``"float64"``/``None`` for the historical
+        default.  Signals, targets, weights, and gradients all follow
+        it; there are no silent upcasts in between.
+    fused:
+        Use the allocation-free trainer/optimizer fast path (default).
+        ``fused=False`` reproduces the seed's allocating loops exactly —
+        kept as the reference baseline for ``train-bench``.
     """
 
     def __init__(
@@ -93,6 +103,8 @@ class NObLeWifi:
         patience: int = 10,
         signal_transform=None,
         seed=0,
+        dtype=None,
+        fused: bool = True,
     ):
         if "fine" not in heads:
             raise ValueError("the 'fine' head is mandatory (it provides positions)")
@@ -119,6 +131,9 @@ class NObLeWifi:
             signal_transform = get_representation(signal_transform)
         self.signal_transform = signal_transform
         self.seed = seed
+        self.dtype = dtype
+        self._dtype = resolve_dtype(dtype)
+        self.fused = bool(fused)
 
         self.model_: "Sequential | None" = None
         self.quantizer_: "MultiResolutionQuantizer | GridQuantizer | None" = None
@@ -164,7 +179,8 @@ class NObLeWifi:
             blocks.append(target)
             slices[head] = slice(cursor, cursor + target.shape[1])
             cursor += target.shape[1]
-        targets = np.hstack(blocks)
+        targets = np.hstack(blocks).astype(self._dtype, copy=False)
+        signals = signals.astype(self._dtype, copy=False)
         self.head_slices_ = slices
 
         # majority building per fine class, for hierarchical inference
@@ -183,14 +199,21 @@ class NObLeWifi:
         self.model_ = self._build_model(signals.shape[1], cursor, rng)
         loss = MultiHeadLoss(
             {
-                head: (slices[head], BCEWithLogitsLoss(), self.head_weights.get(head, 1.0))
+                head: (
+                    slices[head],
+                    BCEWithLogitsLoss(compat=not self.fused),
+                    self.head_weights.get(head, 1.0),
+                )
                 for head in self.heads
             }
         )
         optimizer = Adam(
-            self.model_.parameters(), lr=self.lr, weight_decay=self.weight_decay
+            self.model_.parameters(),
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            fused=self.fused,
         )
-        trainer = Trainer(self.model_, loss, optimizer)
+        trainer = Trainer(self.model_, loss, optimizer, fused=self.fused)
 
         if self.val_fraction > 0 and len(signals) >= 20:
             n_val = max(1, int(len(signals) * self.val_fraction))
@@ -201,11 +224,13 @@ class NObLeWifi:
                 batch_size=self.batch_size,
                 drop_last=True,
                 rng=rng,
+                fast_collate=self.fused,
             )
             val_loader = DataLoader(
                 TensorDataset(signals[val_idx], targets[val_idx]),
                 batch_size=self.batch_size,
                 shuffle=False,
+                fast_collate=self.fused,
             )
             self.history_ = trainer.fit(
                 train_loader,
@@ -219,19 +244,22 @@ class NObLeWifi:
                 batch_size=self.batch_size,
                 drop_last=True,
                 rng=rng,
+                fast_collate=self.fused,
             )
             self.history_ = trainer.fit(train_loader, epochs=self.epochs)
         return self
 
     def _build_model(self, n_inputs: int, n_outputs: int, rng) -> Sequential:
+        dtype = self._dtype
         return Sequential(
-            Linear(n_inputs, self.hidden, rng=rng),
-            BatchNorm1d(self.hidden),
+            # the first layer's input gradient is never consumed
+            Linear(n_inputs, self.hidden, rng=rng, dtype=dtype, input_grad=False),
+            BatchNorm1d(self.hidden, dtype=dtype),
             Tanh(),
-            Linear(self.hidden, self.hidden, rng=rng),
-            BatchNorm1d(self.hidden),
+            Linear(self.hidden, self.hidden, rng=rng, dtype=dtype),
+            BatchNorm1d(self.hidden, dtype=dtype),
             Tanh(),
-            Linear(self.hidden, n_outputs, rng=rng),
+            Linear(self.hidden, n_outputs, rng=rng, dtype=dtype),
         )
 
     # -------------------------------------------------------------- inference

@@ -15,6 +15,7 @@ All layers implement explicit ``forward``/``backward`` passes; gradients
 are accumulated on ``Parameter.grad`` exactly as in torch's eager mode.
 """
 
+from repro.nn.dtypes import DEFAULT_DTYPE, as_float, resolve_dtype
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import Linear, Tanh, ReLU, Sigmoid, Softmax, Dropout, Identity
 from repro.nn.batchnorm import BatchNorm1d
@@ -34,6 +35,9 @@ from repro.nn.serialization import save_state, load_state
 from repro.nn import init
 
 __all__ = [
+    "DEFAULT_DTYPE",
+    "as_float",
+    "resolve_dtype",
     "Module",
     "Parameter",
     "Sequential",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.data import DataLoader, TensorDataset
+from repro.nn.dtypes import resolve_dtype
 from repro.nn.layers import Linear, Tanh
 from repro.nn.losses import MSELoss
 from repro.nn.module import Sequential
@@ -29,6 +30,8 @@ def pretrain_stacked_autoencoder(
     lr: float = 1e-3,
     noise_std: float = 0.0,
     rng=None,
+    dtype=None,
+    fused: bool = True,
 ) -> list[Linear]:
     """Greedy layer-wise AE pretraining.
 
@@ -40,6 +43,12 @@ def pretrain_stacked_autoencoder(
         Encoder widths, e.g. ``[256, 128, 64]``.
     noise_std:
         Gaussian input corruption for denoising AEs (0 = plain AE).
+    dtype:
+        Compute precision of the autoencoder layers (``"float32"`` for
+        the fast path; ``None`` keeps the float64 default).
+    fused:
+        Use the allocation-free trainer/optimizer fast path; False
+        reproduces the historical allocating loops.
 
     Returns
     -------
@@ -52,25 +61,38 @@ def pretrain_stacked_autoencoder(
     if noise_std < 0:
         raise ValueError(f"noise_std must be >= 0, got {noise_std}")
     rng = ensure_rng(rng)
+    dtype = resolve_dtype(dtype)
     encoders: list[Linear] = []
-    current = data
-    for size in layer_sizes:
+    current = np.asarray(data).astype(dtype, copy=False)
+    for index, size in enumerate(layer_sizes):
         if size <= 0:
             raise ValueError(f"layer sizes must be positive, got {size}")
-        encoder = Linear(current.shape[1], size, rng=rng)
-        decoder = Linear(size, current.shape[1], rng=rng)
+        # every encoder fronts its own autoencoder during greedy
+        # pretraining, so its input gradient is never consumed here —
+        # skip that matmul; re-enabled below for encoders that will sit
+        # mid-stack in the composed downstream model
+        encoder = Linear(
+            current.shape[1], size, rng=rng, dtype=dtype, input_grad=False
+        )
+        decoder = Linear(size, current.shape[1], rng=rng, dtype=dtype)
         auto = Sequential(encoder, Tanh(), decoder)
         inputs = current
         if noise_std > 0:
-            inputs = current + rng.normal(0.0, noise_std, size=current.shape)
+            noise = rng.normal(0.0, noise_std, size=current.shape)
+            inputs = current + noise.astype(dtype, copy=False)
         loader = DataLoader(
             TensorDataset(inputs, current),
             batch_size=batch_size,
             rng=rng,
+            fast_collate=fused,
         )
-        Trainer(auto, MSELoss(), Adam(auto.parameters(), lr=lr)).fit(
-            loader, epochs=epochs
-        )
+        Trainer(auto, MSELoss(compat=not fused),
+                Adam(auto.parameters(), lr=lr, fused=fused),
+                fused=fused).fit(loader, epochs=epochs)
+        # per the return contract encoders[0] stays the front of the
+        # composed model (input gradient still unused); later encoders
+        # sit mid-stack there and must propagate gradients again
+        encoder.input_grad = index != 0
         encoders.append(encoder)
         current = np.tanh(current @ encoder.weight.data + encoder.bias.data)
     return encoders

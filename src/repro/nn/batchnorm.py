@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import as_float, resolve_dtype
 from repro.nn.module import Module, Parameter
 
 
@@ -14,45 +15,71 @@ class BatchNorm1d(Module):
     statistics are updated with exponential ``momentum``; in eval mode the
     running statistics are used, so single-sample inference is well
     defined (important for the on-device latency story in the paper).
+    ``dtype`` selects the compute precision (float64 default); running
+    statistics are updated in place so steady-state training allocates
+    nothing for them.
     """
 
     _buffer_names = ("running_mean", "running_var")
 
-    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        dtype=None,
+    ):
         super().__init__()
         if num_features <= 0:
             raise ValueError(f"num_features must be positive, got {num_features}")
         self.num_features = num_features
         self.eps = float(eps)
         self.momentum = float(momentum)
-        self.gamma = Parameter(np.ones(num_features), name="gamma")
-        self.beta = Parameter(np.zeros(num_features), name="beta")
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.dtype = resolve_dtype(dtype)
+        self.gamma = Parameter(np.ones(num_features, dtype=self.dtype), name="gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=self.dtype), name="beta")
+        self.running_mean = np.zeros(num_features, dtype=self.dtype)
+        self.running_var = np.ones(num_features, dtype=self.dtype)
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x, self.dtype)
         if x.ndim != 2 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"BatchNorm1d expected shape (N, {self.num_features}), got {x.shape}"
             )
+        if self.training and x.shape[0] < 2:
+            raise ValueError(
+                "BatchNorm1d in training mode needs a batch of at least 2 samples"
+            )
+        if self._use_workspaces:
+            x_hat = self._workspace("x_hat", x.shape, self.dtype)
+            if self.training:
+                n = x.shape[0]
+                # bare add.reduce skips np.mean's wrapper overhead
+                mean = np.add.reduce(x, axis=0)
+                mean *= 1.0 / n
+                np.subtract(x, mean, out=x_hat)
+                # fused biased variance from the centered activations —
+                # one einsum pass instead of np.var's extra sweeps
+                var = np.einsum("ij,ij->j", x_hat, x_hat)
+                var *= 1.0 / n
+                self._update_running(mean, var, n)
+            else:
+                mean = self.running_mean
+                var = self.running_var
+                np.subtract(x, mean, out=x_hat)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat *= inv_std
+            out = self._workspace("out", x.shape, self.dtype)
+            np.multiply(x_hat, self.gamma.data, out=out)
+            out += self.beta.data
+            self._cache = (x_hat, inv_std)
+            return out
         if self.training:
-            if x.shape[0] < 2:
-                raise ValueError(
-                    "BatchNorm1d in training mode needs a batch of at least 2 samples"
-                )
             mean = x.mean(axis=0)
             var = x.var(axis=0)
-            self.running_mean = (
-                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            # unbiased variance for the running estimate, as torch does
-            n = x.shape[0]
-            unbiased = var * n / (n - 1)
-            self.running_var = (
-                (1.0 - self.momentum) * self.running_var + self.momentum * unbiased
-            )
+            self._update_running(mean, var, x.shape[0])
         else:
             mean = self.running_mean
             var = self.running_var
@@ -61,11 +88,45 @@ class BatchNorm1d(Module):
         self._cache = (x_hat, inv_std)
         return self.gamma.data * x_hat + self.beta.data
 
+    def _update_running(self, mean: np.ndarray, var: np.ndarray, n: int) -> None:
+        """Exponential running-statistics update, in place.
+
+        The running variance uses the unbiased estimate, as torch does.
+        """
+        self.running_mean *= 1.0 - self.momentum
+        self.running_mean += self.momentum * mean
+        self.running_var *= 1.0 - self.momentum
+        self.running_var += (self.momentum * n / (n - 1)) * var
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_hat, inv_std = self._cache
         n = grad_output.shape[0]
+        if self._use_workspaces:
+            # the parameter-gradient reductions double as the backward's
+            # batch statistics: since gamma is a per-feature constant,
+            # dx = gamma*inv_std * (go - Σgo/n - x_hat*Σ(go*x_hat)/n),
+            # so Σgo (beta grad) and Σ(go*x_hat) (gamma grad) are each
+            # computed once and reused — two single-pass reductions
+            # total, no (N, F) temporaries
+            go_xhat = np.einsum("ij,ij->j", grad_output, x_hat)
+            go_sum = grad_output.sum(axis=0)
+            if self._overwrite_grads:
+                self.gamma.grad[...] = go_xhat
+                self.beta.grad[...] = go_sum
+            else:
+                self.gamma.grad += go_xhat
+                self.beta.grad += go_sum
+            if not self.training:
+                return grad_output * self.gamma.data * inv_std
+            grad = self._workspace("grad", grad_output.shape, self.dtype)
+            np.multiply(x_hat, go_xhat, out=grad)
+            grad += go_sum
+            grad *= 1.0 / n
+            np.subtract(grad_output, grad, out=grad)
+            grad *= self.gamma.data * inv_std
+            return grad
         self.gamma.grad += np.sum(grad_output * x_hat, axis=0)
         self.beta.grad += grad_output.sum(axis=0)
         if not self.training:

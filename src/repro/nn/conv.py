@@ -10,16 +10,37 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import as_float, resolve_dtype
 from repro.nn.module import Module, Parameter
 from repro.nn import init as init_schemes
 from repro.utils.rng import ensure_rng
 
 
+def _im2col(x: np.ndarray, kernel_size: int, l_out: int) -> np.ndarray:
+    """Lower (N, C, L) into (N, L_out, C*K) patch columns, loop-free.
+
+    A zero-copy ``as_strided`` view exposes every length-K window of the
+    last axis; the single ``ascontiguousarray`` gather replaces the
+    historical per-offset Python loop (K slice-copies plus transposes).
+    """
+    n, c, _length = x.shape
+    sn, sc, sl = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, l_out, c, kernel_size),
+        strides=(sn, sl, sc, sl),
+        writeable=False,
+    )
+    return np.ascontiguousarray(windows).reshape(n, l_out, c * kernel_size)
+
+
 class Conv1d(Module):
     """Valid (no padding) 1-D convolution with stride 1.
 
-    Implemented with an im2col lowering so forward/backward are single
-    matmuls.  Output length is ``L - kernel_size + 1``.
+    Implemented with a stride-tricks im2col lowering so forward and both
+    backward gradients are single BLAS matmuls — no per-offset Python
+    loops.  Output length is ``L - kernel_size + 1``.  ``dtype`` selects
+    the compute precision (float64 default).
     """
 
     def __init__(
@@ -29,6 +50,7 @@ class Conv1d(Module):
         kernel_size: int,
         bias: bool = True,
         rng=None,
+        dtype=None,
     ):
         super().__init__()
         if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
@@ -38,20 +60,23 @@ class Conv1d(Module):
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.kernel_size = int(kernel_size)
+        self.dtype = resolve_dtype(dtype)
         fan_in = in_channels * kernel_size
         flat = init_schemes.xavier_uniform(
-            (fan_in, out_channels), rng=ensure_rng(rng)
+            (fan_in, out_channels), rng=ensure_rng(rng), dtype=self.dtype
         )
         self.weight = Parameter(
             flat.T.reshape(out_channels, in_channels, kernel_size), name="weight"
         )
         self.has_bias = bias
         if bias:
-            self.bias = Parameter(np.zeros(out_channels), name="bias")
+            self.bias = Parameter(
+                init_schemes.zeros(out_channels, dtype=self.dtype), name="bias"
+            )
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x, self.dtype)
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv1d expected (N, {self.in_channels}, L), got {x.shape}"
@@ -62,7 +87,7 @@ class Conv1d(Module):
             raise ValueError(
                 f"input length {length} shorter than kernel {self.kernel_size}"
             )
-        columns = self._im2col(x, l_out)  # (N, L_out, C_in*K)
+        columns = _im2col(x, self.kernel_size, l_out)  # (N, L_out, C_in*K)
         w = self.weight.data.reshape(self.out_channels, -1)  # (C_out, C_in*K)
         out = columns @ w.T  # (N, L_out, C_out)
         if self.has_bias:
@@ -74,37 +99,36 @@ class Conv1d(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_shape, columns = self._cache
-        grad_out = np.transpose(grad_output, (0, 2, 1))  # (N, L_out, C_out)
+        grad_output = as_float(grad_output, self.dtype)
+        grad_out = np.ascontiguousarray(
+            np.transpose(grad_output, (0, 2, 1))
+        )  # (N, L_out, C_out)
         n, l_out, _ = grad_out.shape
-        # weight gradient: sum over batch and positions
-        grad_w = np.einsum("nlk,nlo->ok", columns, grad_out)
-        self.weight.grad += grad_w.reshape(self.weight.data.shape)
+        k = self.kernel_size
+        ck = self.in_channels * k
+        # weight gradient: one (C_in*K, N*L_out) @ (N*L_out, C_out) matmul
+        grad_w = columns.reshape(-1, ck).T @ grad_out.reshape(-1, self.out_channels)
+        self.weight.grad += grad_w.T.reshape(self.weight.data.shape)
         if self.has_bias:
             self.bias.grad += grad_out.sum(axis=(0, 1))
-        # input gradient: scatter the column gradients back
-        w = self.weight.data.reshape(self.out_channels, -1)
-        grad_columns = grad_out @ w  # (N, L_out, C_in*K)
-        grad_x = np.zeros(x_shape)
-        k = self.kernel_size
-        grad_columns = grad_columns.reshape(n, l_out, self.in_channels, k)
-        for offset in range(k):
-            grad_x[:, :, offset : offset + l_out] += np.transpose(
-                grad_columns[:, :, :, offset], (0, 2, 1)
-            )
-        return grad_x
+        # input gradient: a valid correlation of the zero-padded output
+        # gradient with the flipped kernels — the same im2col + matmul
+        # shape as forward, instead of a per-offset scatter loop.
+        length = x_shape[2]
+        padded = np.zeros(
+            (n, self.out_channels, l_out + 2 * (k - 1)), dtype=self.dtype
+        )
+        padded[:, :, k - 1 : k - 1 + l_out] = grad_output
+        grad_cols = _im2col(padded, k, length)  # (N, L, C_out*K)
+        # W2[c_in, c_out*K] = weight[c_out, c_in, ::-1]
+        w_flipped = self.weight.data[:, :, ::-1].transpose(1, 0, 2).reshape(
+            self.in_channels, -1
+        )
+        grad_x = grad_cols @ w_flipped.T  # (N, L, C_in)
+        return np.ascontiguousarray(np.transpose(grad_x, (0, 2, 1)))
 
     def output_length(self, input_length: int) -> int:
         return input_length - self.kernel_size + 1
-
-    def _im2col(self, x: np.ndarray, l_out: int) -> np.ndarray:
-        n, c, _length = x.shape
-        k = self.kernel_size
-        columns = np.empty((n, l_out, c, k))
-        for offset in range(k):
-            columns[:, :, :, offset] = np.transpose(
-                x[:, :, offset : offset + l_out], (0, 2, 1)
-            )
-        return columns.reshape(n, l_out, c * k)
 
 
 class MaxPool1d(Module):
@@ -118,7 +142,7 @@ class MaxPool1d(Module):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x)
         if x.ndim != 3:
             raise ValueError(f"MaxPool1d expected (N, C, L), got {x.shape}")
         n, c, length = x.shape
@@ -129,17 +153,17 @@ class MaxPool1d(Module):
         trimmed = x[:, :, : l_out * k].reshape(n, c, l_out, k)
         argmax = trimmed.argmax(axis=3)
         out = np.take_along_axis(trimmed, argmax[..., None], axis=3)[..., 0]
-        self._cache = (x.shape, argmax)
+        self._cache = (x.shape, x.dtype, argmax)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        x_shape, argmax = self._cache
+        x_shape, x_dtype, argmax = self._cache
         n, c, length = x_shape
         k = self.kernel_size
         l_out = argmax.shape[2]
-        grad_x = np.zeros(x_shape)
+        grad_x = np.zeros(x_shape, dtype=x_dtype)
         window = grad_x[:, :, : l_out * k].reshape(n, c, l_out, k)
         np.put_along_axis(window, argmax[..., None], grad_output[..., None], axis=3)
         return grad_x
@@ -156,7 +180,7 @@ class Flatten(Module):
         self._shape: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x)
         if x.ndim != 3:
             raise ValueError(f"Flatten expected (N, C, L), got {x.shape}")
         self._shape = x.shape
@@ -178,7 +202,7 @@ class Unflatten(Module):
         self.channels = int(channels)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x)
         if x.ndim != 2 or x.shape[1] % self.channels != 0:
             raise ValueError(
                 f"Unflatten({self.channels}) cannot reshape input {x.shape}"

@@ -46,6 +46,10 @@ class DataLoader:
     batch — needed when batchnorm requires batches of at least 2.
     """
 
+    #: Above this many bytes the shuffled fast path gathers per batch
+    #: instead of materializing a full shuffled copy of the arrays.
+    PREGATHER_LIMIT_BYTES = 1 << 28
+
     def __init__(
         self,
         dataset: "Dataset | Sequence",
@@ -53,6 +57,7 @@ class DataLoader:
         shuffle: bool = True,
         drop_last: bool = False,
         rng=None,
+        fast_collate: bool = True,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -60,6 +65,10 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = shuffle
         self.drop_last = drop_last
+        #: ``False`` forces the historical per-sample ``__getitem__`` +
+        #: ``np.stack`` collation even for a :class:`TensorDataset` —
+        #: the seed's exact loop, used by the train-bench reference leg.
+        self.fast_collate = bool(fast_collate)
         self._rng = ensure_rng(rng)
 
     def __len__(self) -> int:
@@ -73,9 +82,28 @@ class DataLoader:
         order = np.arange(n)
         if self.shuffle:
             self._rng.shuffle(order)
+        # Fast path: a TensorDataset is just parallel arrays, so a batch
+        # is a slice or one fancy-index gather per array — identical
+        # values and dtypes to the per-sample stack, without N python
+        # __getitem__ calls and an np.stack per column.  Small shuffled
+        # datasets are permuted once per epoch so every batch is a
+        # zero-copy view; unshuffled iteration always yields views.
+        arrays = getattr(self.dataset, "arrays", None) if self.fast_collate else None
+        pregathered = None
+        if arrays is not None:
+            if not self.shuffle:
+                pregathered = arrays
+            elif sum(a.nbytes for a in arrays) <= self.PREGATHER_LIMIT_BYTES:
+                pregathered = [a[order] for a in arrays]
         for start in range(0, n, self.batch_size):
-            index = order[start : start + self.batch_size]
+            stop = start + self.batch_size
+            index = order[start:stop]
             if self.drop_last and len(index) < self.batch_size:
                 return
-            samples = [self.dataset[int(i)] for i in index]
-            yield tuple(np.stack(column) for column in zip(*samples))
+            if pregathered is not None:
+                yield tuple(a[start:stop] for a in pregathered)
+            elif arrays is not None:
+                yield tuple(a[index] for a in arrays)
+            else:
+                samples = [self.dataset[int(i)] for i in index]
+                yield tuple(np.stack(column) for column in zip(*samples))

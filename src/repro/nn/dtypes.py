@@ -1,0 +1,68 @@
+"""Floating dtype discipline for the numpy NN stack.
+
+The framework historically computed everything in float64 (every layer
+began with ``np.asarray(x, dtype=float)``).  The float32 fast path needs
+the opposite guarantee: once a graph is built with ``dtype="float32"``,
+no layer, loss, or optimizer may silently upcast an activation or a
+gradient back to float64 — a single stray ``np.asarray(..., dtype=float)``
+or float64 constant doubles the memory traffic of every downstream op.
+
+Two helpers enforce the discipline:
+
+* :func:`resolve_dtype` canonicalizes a user-facing ``dtype`` argument
+  (``None`` keeps the historical float64 default) and rejects anything
+  that is not float32/float64.
+* :func:`as_float` replaces ``np.asarray(x, dtype=float)`` at every
+  graph entry point: it keeps float32/float64 arrays untouched (no copy,
+  no upcast) and converts everything else (ints, bools, lists) to the
+  requested dtype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The historical default of the whole stack.
+DEFAULT_DTYPE = np.dtype(np.float64)
+
+#: dtypes the stack is allowed to compute in.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Canonicalize a ``dtype`` argument; ``None`` means float64.
+
+    Accepts anything ``np.dtype`` does (``"float32"``, ``np.float32``,
+    a dtype instance) and raises ``ValueError`` for non-float32/float64
+    dtypes so integer or float16 graphs fail loudly at construction.
+    """
+    if dtype is None:
+        return DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dtype!r}; the nn stack computes in "
+            f"float32 or float64"
+        )
+    return resolved
+
+
+def as_float(x, dtype=None) -> np.ndarray:
+    """Coerce ``x`` to a floating array without silent upcasts.
+
+    With ``dtype=None``: float32/float64 arrays pass through untouched
+    (this is what keeps a float32 graph float32 end to end); any other
+    dtype (int labels, bool masks, python lists) converts to float64,
+    matching the stack's historical behavior.  With an explicit
+    ``dtype``, the result is cast to exactly that dtype (no copy when it
+    already matches).
+    """
+    x = np.asarray(x)
+    if dtype is None:
+        if x.dtype in SUPPORTED_DTYPES:
+            return x
+        return x.astype(DEFAULT_DTYPE)
+    dtype = np.dtype(dtype)
+    if x.dtype == dtype:
+        return x
+    return x.astype(dtype)

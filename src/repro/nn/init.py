@@ -2,48 +2,63 @@
 
 The paper uses Xavier (Glorot) initialization [20]; He initialization is
 provided for the ReLU variants used in ablations.
+
+All schemes accept a ``dtype`` argument.  Draws always happen in
+float64 from the shared RNG and are then cast, so a float32 graph is
+initialized with (down-cast) *exactly* the same weights as its float64
+twin under the same seed — the property the float32/float64 parity
+suite relies on.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import resolve_dtype
 from repro.utils.rng import ensure_rng
 
 
-def xavier_uniform(shape: tuple[int, int], rng=None, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(
+    shape: tuple[int, int], rng=None, gain: float = 1.0, dtype=None
+) -> np.ndarray:
     """Glorot & Bengio (2010) uniform init: U(-a, a), a = gain * sqrt(6/(fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return ensure_rng(rng).uniform(-bound, bound, size=shape)
+    draw = ensure_rng(rng).uniform(-bound, bound, size=shape)
+    return draw.astype(resolve_dtype(dtype), copy=False)
 
 
-def xavier_normal(shape: tuple[int, int], rng=None, gain: float = 1.0) -> np.ndarray:
+def xavier_normal(
+    shape: tuple[int, int], rng=None, gain: float = 1.0, dtype=None
+) -> np.ndarray:
     """Glorot normal init: N(0, gain^2 * 2/(fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return ensure_rng(rng).normal(0.0, std, size=shape)
+    draw = ensure_rng(rng).normal(0.0, std, size=shape)
+    return draw.astype(resolve_dtype(dtype), copy=False)
 
 
-def he_uniform(shape: tuple[int, int], rng=None) -> np.ndarray:
+def he_uniform(shape: tuple[int, int], rng=None, dtype=None) -> np.ndarray:
     """He et al. uniform init for ReLU fan-in scaling."""
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return ensure_rng(rng).uniform(-bound, bound, size=shape)
+    draw = ensure_rng(rng).uniform(-bound, bound, size=shape)
+    return draw.astype(resolve_dtype(dtype), copy=False)
 
 
-def he_normal(shape: tuple[int, int], rng=None) -> np.ndarray:
+def he_normal(shape: tuple[int, int], rng=None, dtype=None) -> np.ndarray:
     """He et al. normal init: N(0, 2/fan_in)."""
     fan_in, _ = _fans(shape)
-    return ensure_rng(rng).normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    draw = ensure_rng(rng).normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return draw.astype(resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape) -> np.ndarray:
-    return np.zeros(shape, dtype=float)
+def zeros(shape, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def constant(shape, value: float) -> np.ndarray:
-    return np.full(shape, float(value))
+def constant(shape, value: float, dtype=None) -> np.ndarray:
+    return np.full(shape, float(value), dtype=resolve_dtype(dtype))
 
 
 _SCHEMES = {

@@ -1,9 +1,19 @@
-"""Dense layers and element-wise activations with explicit backward passes."""
+"""Dense layers and element-wise activations with explicit backward passes.
+
+Every layer is dtype-disciplined: parameterized layers take a ``dtype``
+argument (float32/float64, default float64) and cast their input to it;
+parameter-free activations simply follow the dtype of the stream, so a
+float32 graph never silently upcasts.  When workspaces are enabled (see
+:meth:`repro.nn.Module.use_workspaces`) the hot-path layers serve
+forward outputs and backward gradients from reused per-module buffers
+instead of allocating fresh arrays each call.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import as_float, resolve_dtype
 from repro.nn.module import Module, Parameter
 from repro.nn import init as init_schemes
 from repro.utils.rng import ensure_rng
@@ -13,7 +23,10 @@ class Linear(Module):
     """Affine map ``y = x @ W + b`` with W of shape (in_features, out_features).
 
     Weights follow the initialization scheme named by ``weight_init``
-    (Xavier uniform by default, matching the paper); biases start at zero.
+    (Xavier uniform by default, matching the paper); biases start at
+    zero.  ``dtype`` selects the compute precision of the whole layer —
+    weights, activations, and gradients; inputs are cast to it on entry
+    so a float64 caller cannot silently upcast a float32 graph.
     """
 
     def __init__(
@@ -23,6 +36,8 @@ class Linear(Module):
         bias: bool = True,
         weight_init: str = "xavier_uniform",
         rng=None,
+        dtype=None,
+        input_grad: bool = True,
     ):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
@@ -31,34 +46,75 @@ class Linear(Module):
             )
         self.in_features = in_features
         self.out_features = out_features
+        #: False on a network's first layer skips the input-gradient
+        #: matmul in backward (nothing consumes d loss/d input there);
+        #: backward then returns None.
+        self.input_grad = bool(input_grad)
+        self.dtype = resolve_dtype(dtype)
         initializer = init_schemes.get_initializer(weight_init)
         self.weight = Parameter(
-            initializer((in_features, out_features), rng=ensure_rng(rng)),
+            initializer(
+                (in_features, out_features), rng=ensure_rng(rng), dtype=self.dtype
+            ),
             name="weight",
         )
         self.has_bias = bias
         if bias:
-            self.bias = Parameter(np.zeros(out_features), name="bias")
+            self.bias = Parameter(
+                init_schemes.zeros(out_features, dtype=self.dtype), name="bias"
+            )
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x, self.dtype)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Linear expected input of shape (N, {self.in_features}), got {x.shape}"
             )
         self._input = x
+        if self._use_workspaces:
+            out = self._workspace("out", (x.shape[0], self.out_features), self.dtype)
+            np.matmul(x, self.weight.data, out=out)
+            if self.has_bias:
+                out += self.bias.data
+            return out
         out = x @ self.weight.data
         if self.has_bias:
             out = out + self.bias.data
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output: np.ndarray) -> "np.ndarray | None":
         if self._input is None:
             raise RuntimeError("backward called before forward")
+        grad_output = as_float(grad_output, self.dtype)
+        if self._use_workspaces:
+            if self._overwrite_grads:
+                # grads are zero before the (single) backward of the
+                # training step, so accumulate == overwrite — matmul
+                # straight into the gradient arrays
+                np.matmul(self._input.T, grad_output, out=self.weight.grad)
+                if self.has_bias:
+                    np.sum(grad_output, axis=0, out=self.bias.grad)
+            else:
+                grad_w = self._workspace("grad_w", self.weight.data.shape, self.dtype)
+                np.matmul(self._input.T, grad_output, out=grad_w)
+                self.weight.grad += grad_w
+                if self.has_bias:
+                    grad_b = self._workspace(
+                        "grad_b", self.bias.data.shape, self.dtype
+                    )
+                    np.sum(grad_output, axis=0, out=grad_b)
+                    self.bias.grad += grad_b
+            if not self.input_grad:
+                return None
+            grad_x = self._workspace("grad_x", self._input.shape, self.dtype)
+            np.matmul(grad_output, self.weight.data.T, out=grad_x)
+            return grad_x
         self.weight.grad += self._input.T @ grad_output
         if self.has_bias:
             self.bias.grad += grad_output.sum(axis=0)
+        if not self.input_grad:
+            return None
         return grad_output @ self.weight.data.T
 
 
@@ -66,7 +122,7 @@ class Identity(Module):
     """Pass-through layer; useful as a no-op placeholder in ablations."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(x, dtype=float)
+        return as_float(x)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output
@@ -80,12 +136,24 @@ class Tanh(Module):
         self._output: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_float(x)
+        if self._use_workspaces:
+            out = self._workspace("out", x.shape, x.dtype)
+            np.tanh(x, out=out)
+            self._output = out
+            return out
         self._output = np.tanh(x)
         return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise RuntimeError("backward called before forward")
+        if self._use_workspaces:
+            grad = self._workspace("grad", self._output.shape, self._output.dtype)
+            np.multiply(self._output, self._output, out=grad)
+            np.subtract(1.0, grad, out=grad)
+            grad *= grad_output
+            return grad
         return grad_output * (1.0 - self._output**2)
 
 
@@ -97,13 +165,21 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x)
         self._mask = x > 0
+        if self._use_workspaces:
+            out = self._workspace("out", x.shape, x.dtype)
+            np.multiply(x, self._mask, out=out)
+            return out
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
+        if self._use_workspaces:
+            grad = self._workspace("grad", grad_output.shape, grad_output.dtype)
+            np.multiply(grad_output, self._mask, out=grad)
+            return grad
         return grad_output * self._mask
 
 
@@ -160,12 +236,15 @@ class Dropout(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_float(x)
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # build the mask in the stream dtype so float32 graphs stay float32
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= keep
+        self._mask = mask
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -174,8 +253,44 @@ class Dropout(Module):
         return grad_output * self._mask
 
 
-def stable_sigmoid(x: np.ndarray) -> np.ndarray:
-    """Sigmoid that avoids overflow for large |x|."""
+try:  # scipy ships in the reference environment; keep a pure-numpy fallback
+    from scipy.special import expit as _expit
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _expit = None
+
+
+def stable_sigmoid(x: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+    """Sigmoid that avoids overflow for large |x|, preserving float32.
+
+    Delegates to ``scipy.special.expit`` when available (a single
+    branch-stable C pass, ~2.5x faster than composing numpy ufuncs);
+    otherwise uses the single-exp identity ``z = exp(-|x|)``: the result
+    is ``1/(1+z)`` for non-negative x and ``z/(1+z)`` otherwise — still
+    far cheaper than the historical two boolean-masked partial exps
+    (mask gather/scatter dominated that formulation's cost).
+    """
+    x = as_float(x)
+    if _expit is not None:
+        if out is None:
+            out = np.empty_like(x)
+        _expit(x, out=out)
+        return out
+    z = np.exp(-np.abs(x))
+    t = z / (1.0 + z)  # sigmoid(-|x|)
+    if out is None:
+        out = np.empty_like(x)
+    np.subtract(1.0, t, out=out)  # sigmoid(|x|)
+    np.copyto(out, t, where=x < 0)
+    return out
+
+
+def seed_sigmoid(x: np.ndarray) -> np.ndarray:
+    """The seed's sigmoid: numerically stable split on sign.
+
+    Kept verbatim (boolean-masked partial exps and all) as the
+    ``compat=True`` loss formulation, so the ``train-bench`` float64
+    reference leg measures the seed's actual training loop.
+    """
     x = np.asarray(x, dtype=float)
     out = np.empty_like(x)
     positive = x >= 0
@@ -187,7 +302,7 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
 
 def stable_softmax(x: np.ndarray) -> np.ndarray:
     """Row-wise softmax with max subtraction for stability."""
-    x = np.asarray(x, dtype=float)
+    x = as_float(x)
     shifted = x - x.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=-1, keepdims=True)

@@ -3,13 +3,20 @@
 Each loss exposes ``forward(predictions, targets) -> float`` and
 ``backward() -> ndarray`` (gradient w.r.t. predictions, already averaged
 over the batch so optimizers see per-batch means).
+
+Losses are dtype-disciplined: the prediction/logit dtype governs — a
+float32 graph gets float32 gradients back (targets and ``pos_weight``
+are cast to match).  Scalar loss values use fused reductions (BLAS dot,
+float64-accumulated means) so reported loss curves stay cheap and
+precise.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.layers import stable_sigmoid, stable_softmax
+from repro.nn.dtypes import as_float
+from repro.nn.layers import seed_sigmoid, stable_sigmoid, stable_softmax
 
 
 class Loss:
@@ -21,30 +28,59 @@ class Loss:
     def backward(self) -> np.ndarray:
         raise NotImplementedError
 
+    def use_buffers(self, enabled: bool = True) -> "Loss":
+        """Toggle scratch-buffer reuse (no-op for losses without one).
+
+        Enabled by the :class:`repro.nn.Trainer` for the duration of
+        ``fit``; with buffers on, returned gradients are overwritten by
+        the next forward/backward, so callers must consume them
+        immediately (the training loop does).
+        """
+        return self
+
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         return self.forward(predictions, targets)
 
 
 class MSELoss(Loss):
-    """Mean squared error over all elements; the Deep Regression loss."""
+    """Mean squared error over all elements; the Deep Regression loss.
 
-    def __init__(self):
+    ``compat=True`` keeps the seed's ``mean(diff**2)`` formulation (and
+    its temporary) for the ``train-bench`` reference leg.
+    """
+
+    def __init__(self, compat: bool = False):
+        self.compat = bool(compat)
         self._diff: np.ndarray | None = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions = np.asarray(predictions, dtype=float)
-        targets = np.asarray(targets, dtype=float)
+        if self.compat:
+            predictions = np.asarray(predictions, dtype=float)
+            targets = np.asarray(targets, dtype=float)
+        else:
+            predictions = as_float(predictions)
+            targets = as_float(targets, predictions.dtype)
         if predictions.shape != targets.shape:
             raise ValueError(
                 f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
             )
         self._diff = predictions - targets
-        return float(np.mean(self._diff**2))
+        if self.compat:
+            return float(np.mean(self._diff**2))
+        # single fused pass: dot(d, d) avoids the d**2 temporary; for
+        # float32 graphs einsum forces float64 accumulation so the
+        # reported loss (which drives early stopping) keeps precision
+        flat = self._diff.ravel()
+        if flat.dtype == np.float64:
+            return float(np.dot(flat, flat) / flat.size)
+        return float(np.einsum("i,i->", flat, flat, dtype=np.float64) / flat.size)
 
     def backward(self) -> np.ndarray:
         if self._diff is None:
             raise RuntimeError("backward called before forward")
-        return 2.0 * self._diff / self._diff.size
+        if self.compat:
+            return 2.0 * self._diff / self._diff.size
+        return (2.0 / self._diff.size) * self._diff
 
 
 class BCEWithLogitsLoss(Loss):
@@ -52,21 +88,51 @@ class BCEWithLogitsLoss(Loss):
 
     Matches the paper's J(h, ĥ) with ĥ = sigmoid(w·z): works on multi-hot
     targets of shape (N, K).  The log-sum-exp form ``max(x,0) - x*t +
-    log(1+exp(-|x|))`` is numerically stable for large logits.
+    log(1+exp(-|x|))`` is numerically stable for large logits.  The fast
+    formulation computes probabilities with :func:`stable_sigmoid`
+    (expit) and the softplus term in a handful of full-array passes;
+    ``compat=True`` keeps the seed's boolean-masked formulation verbatim
+    for the ``train-bench`` reference leg and numerical archaeology.
     """
 
-    def __init__(self, pos_weight: "np.ndarray | float | None" = None):
+    def __init__(
+        self, pos_weight: "np.ndarray | float | None" = None, compat: bool = False
+    ):
         self.pos_weight = None if pos_weight is None else np.asarray(pos_weight, float)
+        self.compat = bool(compat)
         self._cache: tuple | None = None
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if self.compat:
+            return self._forward_compat(logits, targets)
+        logits = as_float(logits)
+        targets = as_float(targets, logits.dtype)
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: logits {logits.shape} vs targets {targets.shape}"
+            )
+        probs = stable_sigmoid(logits)
+        self._cache = (probs, targets)
+        z = np.abs(logits)
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        per_element = np.log1p(z, out=z)  # softplus(-|x|)
+        per_element += np.maximum(logits, 0.0)
+        per_element -= logits * targets
+        if self.pos_weight is not None:
+            pos_weight = as_float(self.pos_weight, logits.dtype)
+            per_element *= targets * pos_weight + (1.0 - targets)
+        return float(np.mean(per_element, dtype=np.float64))
+
+    def _forward_compat(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """The seed's forward, allocation for allocation."""
         logits = np.asarray(logits, dtype=float)
         targets = np.asarray(targets, dtype=float)
         if logits.shape != targets.shape:
             raise ValueError(
                 f"shape mismatch: logits {logits.shape} vs targets {targets.shape}"
             )
-        probs = stable_sigmoid(logits)
+        probs = seed_sigmoid(logits)
         self._cache = (probs, targets)
         per_element = (
             np.maximum(logits, 0.0)
@@ -82,13 +148,21 @@ class BCEWithLogitsLoss(Loss):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         probs, targets = self._cache
+        if self.compat:
+            grad = probs - targets
+            if self.pos_weight is not None:
+                grad = targets * self.pos_weight * (probs - 1.0) + (
+                    1.0 - targets
+                ) * probs
+            return grad / probs.size
         grad = probs - targets
         if self.pos_weight is not None:
-            weight = targets * self.pos_weight + (1.0 - targets)
+            pos_weight = as_float(self.pos_weight, probs.dtype)
             # d/dx [w*(softplus terms)] — for weighted BCE the gradient is
             # w_pos*t*(p-1) + (1-t)*p with the same stable probs
-            grad = targets * self.pos_weight * (probs - 1.0) + (1.0 - targets) * probs
-        return grad / probs.size
+            grad = targets * pos_weight * (probs - 1.0) + (1.0 - targets) * probs
+        grad *= 1.0 / probs.size
+        return grad
 
 
 class SoftmaxCrossEntropyLoss(Loss):
@@ -101,9 +175,9 @@ class SoftmaxCrossEntropyLoss(Loss):
         self._cache: tuple | None = None
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        logits = np.asarray(logits, dtype=float)
+        logits = as_float(logits)
         n, k = logits.shape
-        one_hot = self._as_one_hot(targets, n, k)
+        one_hot = self._as_one_hot(targets, n, k, logits.dtype)
         if self.label_smoothing > 0.0:
             one_hot = (
                 one_hot * (1.0 - self.label_smoothing) + self.label_smoothing / k
@@ -111,7 +185,7 @@ class SoftmaxCrossEntropyLoss(Loss):
         shifted = logits - logits.max(axis=1, keepdims=True)
         log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
         self._cache = (stable_softmax(logits), one_hot)
-        return float(-np.sum(one_hot * log_probs) / n)
+        return float(-np.sum(one_hot * log_probs, dtype=np.float64) / n)
 
     def backward(self) -> np.ndarray:
         if self._cache is None:
@@ -120,7 +194,7 @@ class SoftmaxCrossEntropyLoss(Loss):
         return (probs - one_hot) / probs.shape[0]
 
     @staticmethod
-    def _as_one_hot(targets: np.ndarray, n: int, k: int) -> np.ndarray:
+    def _as_one_hot(targets: np.ndarray, n: int, k: int, dtype) -> np.ndarray:
         targets = np.asarray(targets)
         if targets.ndim == 1:
             if targets.shape[0] != n:
@@ -129,14 +203,14 @@ class SoftmaxCrossEntropyLoss(Loss):
                 )
             if targets.min() < 0 or targets.max() >= k:
                 raise ValueError("integer targets out of range for logits width")
-            one_hot = np.zeros((n, k), dtype=float)
+            one_hot = np.zeros((n, k), dtype=dtype)
             one_hot[np.arange(n), targets.astype(int)] = 1.0
             return one_hot
         if targets.shape != (n, k):
             raise ValueError(
                 f"one-hot targets must have shape ({n}, {k}), got {targets.shape}"
             )
-        return np.asarray(targets, dtype=float)
+        return as_float(targets, dtype)
 
 
 class MultiHeadLoss(Loss):
@@ -155,24 +229,122 @@ class MultiHeadLoss(Loss):
         self.heads = dict(heads)
         self._cache: tuple | None = None
         self.last_per_head: dict[str, float] = {}
+        # NObLe's configuration — every head a plain BCE — admits a fused
+        # path: one sigmoid/log1p sweep over the whole logit block, with
+        # per-head means and gradient scales applied on slices.  The
+        # per-element values are computed by the same formulas, so the
+        # result is identical to the per-head path.
+        self._all_bce = all(
+            type(loss) is BCEWithLogitsLoss
+            and loss.pos_weight is None
+            and not loss.compat
+            for _sl, loss, _w in self.heads.values()
+        )
+        self._tiling_ok: dict[int, bool] = {}
+        self._reuse_buffers = False
+        self._buffers: dict[str, np.ndarray] = {}
+        self._scale_rows: dict[tuple, np.ndarray] = {}
+
+    def use_buffers(self, enabled: bool = True) -> "MultiHeadLoss":
+        self._reuse_buffers = bool(enabled)
+        if not enabled:
+            self._buffers.clear()
+        return self
+
+    def _buffer(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """Uninitialized scratch, persistent across steps when enabled."""
+        if not self._reuse_buffers:
+            return np.empty(shape, dtype=dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.shape != tuple(shape) or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def _scale_row(self, n: int, width: int, dtype) -> np.ndarray:
+        """Per-column gradient scale: head weight / head size, cached."""
+        key = (n, width, np.dtype(dtype).str)
+        row = self._scale_rows.get(key)
+        if row is None:
+            row = np.empty(width, dtype=dtype)
+            for _name, (sl, _loss, weight) in self.heads.items():
+                head_width = len(range(*sl.indices(width)))
+                row[sl] = weight / (n * head_width)
+            self._scale_rows[key] = row
+        return row
+
+    def _slices_tile(self, width: int) -> bool:
+        """True when the head slices exactly partition [0, width).
+
+        The fused gradient scales slice regions in place, which is only
+        equivalent to the per-head sum when no column is shared or
+        skipped; unusual head layouts fall back to the per-head path.
+        """
+        cached = self._tiling_ok.get(width)
+        if cached is None:
+            spans = sorted(
+                sl.indices(width)[:2] for sl, _loss, _w in self.heads.values()
+            )
+            cursor = 0
+            for start, stop in spans:
+                if start != cursor or stop < start:
+                    break
+                cursor = stop
+            cached = cursor == width
+            self._tiling_ok[width] = cached
+        return cached
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        logits = np.asarray(logits, dtype=float)
-        targets = np.asarray(targets, dtype=float)
+        logits = as_float(logits)
+        targets = as_float(targets, logits.dtype)
         total = 0.0
         self.last_per_head = {}
+        if self._all_bce and self._slices_tile(logits.shape[1]):
+            if logits.shape != targets.shape:
+                raise ValueError(
+                    f"shape mismatch: logits {logits.shape} vs targets {targets.shape}"
+                )
+            n, width = logits.shape
+            probs = self._buffer("probs", logits.shape, logits.dtype)
+            stable_sigmoid(logits, out=probs)
+            z = self._buffer("z", logits.shape, logits.dtype)
+            np.abs(logits, out=z)
+            np.negative(z, out=z)
+            np.exp(z, out=z)  # z = exp(-|x|)
+            per_element = np.log1p(z, out=z)  # softplus(-|x|)
+            scratch = self._buffer("grad", logits.shape, logits.dtype)
+            np.maximum(logits, 0.0, out=scratch)
+            per_element += scratch
+            np.multiply(logits, targets, out=scratch)
+            per_element -= scratch
+            # one float64 column-sum pass; per-head means are slice sums
+            column_sums = np.add.reduce(per_element, axis=0, dtype=np.float64)
+            for name, (sl, _loss, weight) in self.heads.items():
+                head_width = len(range(*sl.indices(width)))
+                value = float(column_sums[sl].sum() / (n * head_width))
+                self.last_per_head[name] = value
+                total += weight * value
+            self._cache = (logits.shape, logits.dtype, probs, targets)
+            return float(total)
         for name, (sl, loss, weight) in self.heads.items():
             value = loss.forward(logits[:, sl], targets[:, sl])
             self.last_per_head[name] = value
             total += weight * value
-        self._cache = (logits.shape,)
+        self._cache = (logits.shape, logits.dtype, None, None)
         return float(total)
 
     def backward(self) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        (shape,) = self._cache
-        grad = np.zeros(shape, dtype=float)
+        shape, dtype, probs, targets = self._cache
+        if probs is not None:
+            # fused path: grad = (probs - targets) scaled per head by
+            # weight / head_size — exactly each BCE's averaged gradient
+            grad = self._buffer("grad", shape, dtype)
+            np.subtract(probs, targets, out=grad)
+            grad *= self._scale_row(shape[0], shape[1], dtype)
+            return grad
+        grad = np.zeros(shape, dtype=dtype)
         for _name, (sl, loss, weight) in self.heads.items():
             grad[:, sl] += weight * loss.backward()
         return grad

@@ -7,19 +7,26 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn.dtypes import as_float, resolve_dtype
+
 
 class Parameter:
     """A trainable tensor: a value array plus an accumulated gradient.
 
     Layers register their parameters as attributes; optimizers update
     ``data`` in place using ``grad``, which is zeroed between steps by
-    :meth:`Optimizer.zero_grad`.
+    :meth:`Optimizer.zero_grad`.  Float32/float64 input arrays keep
+    their dtype; anything else is converted to float64.
     """
 
     def __init__(self, data: np.ndarray, name: str = "param"):
-        self.data = np.asarray(data, dtype=float)
+        self.data = as_float(data)
         self.grad = np.zeros_like(self.data)
         self.name = name
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def shape(self) -> tuple:
@@ -47,13 +54,27 @@ class Module:
         self.training = True
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        #: When True, layers may serve forward/backward results from
+        #: per-module scratch buffers that are overwritten on the next
+        #: call (see :meth:`use_workspaces`).
+        self._use_workspaces = False
+        #: When True (set together with workspaces by the Trainer),
+        #: layers may write parameter gradients with ``out=`` instead of
+        #: accumulating ``+=`` — valid only under the training-loop
+        #: contract of one backward per zero_grad with each layer
+        #: appearing once in the graph.
+        self._overwrite_grads = False
+        self._workspaces: "dict[str, np.ndarray]" = {}
 
     # -- attribute registration -------------------------------------------------
     def __setattr__(self, name: str, value) -> None:
-        if isinstance(value, Parameter):
-            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
-        elif isinstance(value, Module):
-            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        # hot path: layers re-assign cached activations (ndarrays/tuples)
+        # every forward — skip the registration isinstance checks for them
+        if not isinstance(value, (np.ndarray, tuple)):
+            if isinstance(value, Parameter):
+                self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+            elif isinstance(value, Module):
+                self.__dict__.setdefault("_modules", OrderedDict())[name] = value
         object.__setattr__(self, name, value)
 
     # -- interface to implement -------------------------------------------------
@@ -100,6 +121,67 @@ class Module:
         """Total number of scalar trainable parameters."""
         return sum(p.data.size for p in self.parameters())
 
+    # -- dtype and workspace control ----------------------------------------------
+    def astype(self, dtype) -> "Module":
+        """Cast all parameters, gradients, and buffers to ``dtype`` in place.
+
+        Cast *before* constructing an optimizer — optimizer state is
+        allocated from the parameter arrays it is given.
+        """
+        dtype = resolve_dtype(dtype)
+        for param in self.parameters():
+            param.data = param.data.astype(dtype, copy=False)
+            param.grad = param.grad.astype(dtype, copy=False)
+        for _name, (holder, attr) in self.named_buffers_refs():
+            setattr(holder, attr, getattr(holder, attr).astype(dtype, copy=False))
+        for module in self.modules():
+            # layers cast their inputs to self.dtype — update it too, or
+            # the recast graph would keep computing in the old precision
+            if isinstance(getattr(module, "dtype", None), np.dtype):
+                module.dtype = dtype
+            module._workspaces.clear()
+        return self
+
+    def use_workspaces(
+        self, enabled: bool = True, overwrite_grads: "bool | None" = None
+    ) -> "Module":
+        """Toggle scratch-buffer reuse on this module and its children.
+
+        With workspaces enabled, layers write forward outputs and
+        backward input-gradients into per-module buffers that are
+        **overwritten by the next call**, eliminating per-step
+        allocations in the training hot loop.  Callers must therefore
+        not retain references to layer outputs across calls — the
+        :class:`repro.nn.Trainer` enables this only for the duration of
+        ``fit`` so inference keeps the allocate-fresh semantics.
+
+        ``overwrite_grads`` (defaults to ``enabled``) additionally lets
+        layers write parameter gradients with ``out=`` instead of
+        ``+=``; only valid when every backward is preceded by a
+        ``zero_grad`` and no layer appears twice in the graph — both
+        guaranteed inside :meth:`Trainer.fit`, which is the only caller.
+        """
+        if overwrite_grads is None:
+            overwrite_grads = enabled
+        for module in self.modules():
+            module._use_workspaces = enabled
+            module._overwrite_grads = enabled and overwrite_grads
+            if not enabled:
+                module._workspaces.clear()
+        return self
+
+    def _workspace(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """A reusable uninitialized scratch array for this module.
+
+        The buffer persists across calls while shape and dtype match;
+        contents are garbage on return — callers must fully overwrite it.
+        """
+        buffer = self._workspaces.get(key)
+        if buffer is None or buffer.shape != tuple(shape) or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._workspaces[key] = buffer
+        return buffer
+
     # -- state dict ---------------------------------------------------------------
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
         """Flat name → array mapping of parameter values and buffers."""
@@ -115,7 +197,7 @@ class Module:
         params = dict(self.named_parameters())
         buffers = dict(self.named_buffers_refs())
         for name, value in state.items():
-            value = np.asarray(value, dtype=float)
+            value = as_float(value)
             if name in params:
                 if params[name].data.shape != value.shape:
                     raise ValueError(
@@ -166,7 +248,7 @@ class Sequential(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self._layers:
-            x = layer(x)
+            x = layer.forward(x)
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

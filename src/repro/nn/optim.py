@@ -1,4 +1,21 @@
-"""First-order optimizers operating on :class:`Parameter` objects."""
+"""First-order optimizers operating on :class:`Parameter` objects.
+
+All three optimizers have a **fused** update path (the default): when
+every parameter shares one dtype, parameter values and gradients are
+repacked into a single contiguous flat buffer (each ``Parameter.data`` /
+``.grad`` becomes a view into it), optimizer state lives in matching
+flat arrays, and a step is a dozen in-place ``out=`` ufunc calls over
+one array — instead of ~12 allocating calls *per parameter*.  The fused
+math is algebraically identical to the legacy allocating path;
+``fused=False`` keeps the original per-parameter formulation,
+byte-for-byte the seed implementation, as a reference for parity tests
+and for the ``train-bench`` float64 baseline leg.
+
+Because fusing rebinds ``Parameter.data``, construct the optimizer
+*after* any ``Module.astype`` casts and do not rebind parameter arrays
+afterwards (in-place updates like ``load_state_dict`` are fine — they
+write through the views).
+"""
 
 from __future__ import annotations
 
@@ -10,18 +27,66 @@ from repro.nn.module import Parameter
 class Optimizer:
     """Base optimizer holding a parameter list and the learning rate."""
 
-    def __init__(self, parameters, lr: float):
+    def __init__(self, parameters, lr: float, fused: bool = True):
         self.parameters: list[Parameter] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
         if lr <= 0:
             raise ValueError(f"lr must be positive, got {lr}")
         self.lr = float(lr)
+        self.fused = bool(fused)
+        self._flat_data: "np.ndarray | None" = None
+        self._flat_grad: "np.ndarray | None" = None
+        if self.fused:
+            self._flatten_parameters()
+        #: (data, grad) pairs the fused step iterates — one flat pair
+        #: when parameters were packed, else one pair per parameter.
+        if self._flat_data is not None:
+            self._groups = [(self._flat_data, self._flat_grad)]
+        else:
+            self._groups = [(p.data, p.grad) for p in self.parameters]
+        self._scratch = (
+            [np.empty_like(data) for data, _grad in self._groups]
+            if self.fused
+            else []
+        )
+
+    def _flatten_parameters(self) -> None:
+        """Repack all parameters into one flat value/grad buffer pair.
+
+        Skipped (harmlessly) for a single parameter or mixed dtypes —
+        the fused step then just iterates per-parameter buffers.
+        """
+        dtypes = {p.data.dtype for p in self.parameters}
+        if len(self.parameters) < 2 or len(dtypes) != 1:
+            return
+        total = sum(p.data.size for p in self.parameters)
+        flat_data = np.empty(total, dtype=dtypes.pop())
+        flat_grad = np.zeros(total, dtype=flat_data.dtype)
+        offset = 0
+        for param in self.parameters:
+            size = param.data.size
+            view = flat_data[offset : offset + size]
+            view[...] = param.data.ravel()
+            param.data = view.reshape(param.data.shape)
+            grad_view = flat_grad[offset : offset + size]
+            grad_view[...] = param.grad.ravel()
+            param.grad = grad_view.reshape(param.grad.shape)
+            offset += size
+        self._flat_data = flat_data
+        self._flat_grad = flat_grad
+
+    def _state(self) -> "list[np.ndarray]":
+        """Zero-initialized state arrays matching the update groups."""
+        return [np.zeros_like(data) for data, _grad in self._groups]
 
     def step(self) -> None:
         raise NotImplementedError
 
     def zero_grad(self) -> None:
+        if self._flat_grad is not None:
+            self._flat_grad[...] = 0.0
+            return
         for param in self.parameters:
             param.zero_grad()
 
@@ -36,8 +101,9 @@ class SGD(Optimizer):
         momentum: float = 0.0,
         weight_decay: float = 0.0,
         nesterov: bool = False,
+        fused: bool = True,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, fused=fused)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         if weight_decay < 0.0:
@@ -47,9 +113,15 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = nesterov
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        if self.fused:
+            self._velocity = self._state() if momentum else []
+        else:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        if self.fused:
+            self._step_fused()
+            return
         for param, velocity in zip(self.parameters, self._velocity):
             grad = param.grad
             if self.weight_decay:
@@ -62,6 +134,37 @@ class SGD(Optimizer):
                 update = grad
             param.data -= self.lr * update
 
+    def _step_fused(self) -> None:
+        velocities = self._velocity or [None] * len(self._groups)
+        for (data, grad), velocity, scratch in zip(
+            self._groups, velocities, self._scratch
+        ):
+            if self.weight_decay:
+                # scratch := grad + wd * data  (the gradient stays intact)
+                np.multiply(data, self.weight_decay, out=scratch)
+                scratch += grad
+                grad = scratch
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    # scratch := grad + momentum * velocity
+                    if grad is scratch:
+                        scratch += self.momentum * velocity
+                    else:
+                        np.multiply(velocity, self.momentum, out=scratch)
+                        scratch += grad
+                    update = scratch
+                else:
+                    update = velocity
+            else:
+                update = grad
+            if update is scratch:
+                scratch *= self.lr
+            else:
+                np.multiply(update, self.lr, out=scratch)
+            data -= scratch
+
 
 class RMSProp(Optimizer):
     """RMSProp (Tieleman & Hinton): per-parameter adaptive step sizes."""
@@ -73,8 +176,9 @@ class RMSProp(Optimizer):
         alpha: float = 0.99,
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        fused: bool = True,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, fused=fused)
         if not 0.0 <= alpha < 1.0:
             raise ValueError(f"alpha must be in [0, 1), got {alpha}")
         if eps <= 0:
@@ -82,9 +186,19 @@ class RMSProp(Optimizer):
         self.alpha = float(alpha)
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._sq_avg = [np.zeros_like(p.data) for p in self.parameters]
+        if self.fused:
+            self._sq_avg = self._state()
+            self._decayed = (
+                [np.empty_like(d) for d, _ in self._groups] if weight_decay else []
+            )
+        else:
+            self._sq_avg = [np.zeros_like(p.data) for p in self.parameters]
+            self._decayed = []
 
     def step(self) -> None:
+        if self.fused:
+            self._step_fused()
+            return
         for param, sq_avg in zip(self.parameters, self._sq_avg):
             grad = param.grad
             if self.weight_decay:
@@ -92,6 +206,25 @@ class RMSProp(Optimizer):
             sq_avg *= self.alpha
             sq_avg += (1.0 - self.alpha) * grad**2
             param.data -= self.lr * grad / (np.sqrt(sq_avg) + self.eps)
+
+    def _step_fused(self) -> None:
+        for index, ((data, grad), sq_avg, scratch) in enumerate(
+            zip(self._groups, self._sq_avg, self._scratch)
+        ):
+            if self.weight_decay:
+                decayed = self._decayed[index]
+                np.multiply(data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
+            sq_avg *= self.alpha
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.alpha
+            sq_avg += scratch
+            np.sqrt(sq_avg, out=scratch)
+            scratch += self.eps
+            np.divide(grad, scratch, out=scratch)
+            scratch *= self.lr
+            data -= scratch
 
 
 class Adam(Optimizer):
@@ -104,8 +237,9 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        fused: bool = True,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, fused=fused)
         beta1, beta2 = betas
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
             raise ValueError(f"betas must be in [0, 1), got {betas}")
@@ -114,14 +248,25 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = float(beta1), float(beta2)
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        if self.fused:
+            self._m = self._state()
+            self._v = self._state()
+            self._decayed = (
+                [np.empty_like(d) for d, _ in self._groups] if weight_decay else []
+            )
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.parameters]
+            self._v = [np.zeros_like(p.data) for p in self.parameters]
+            self._decayed = []
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
+        if self.fused:
+            self._step_fused(bias1, bias2)
+            return
         for param, m, v in zip(self.parameters, self._m, self._v):
             grad = param.grad
             if self.weight_decay:
@@ -133,3 +278,34 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _step_fused(self, bias1: float, bias2: float) -> None:
+        # The fused state is *unnormalized*: M = m/(1-beta1) and
+        # V = v/(1-beta2), i.e. M_t = beta1*M_{t-1} + g (no scratch
+        # multiply) and V_t = beta2*V_{t-1} + g^2.  The (1-beta) factors
+        # and both bias corrections fold into scalars of the final step
+        #   data -= c * M / (sqrt(V) + eps')
+        # with c = lr*(1-beta1)*k/bias1, k = sqrt(bias2/(1-beta2)),
+        # eps' = eps*k — three fewer full-array passes per step than the
+        # naive in-place formulation, algebraically identical to Adam.
+        k = float(np.sqrt(bias2 / (1.0 - self.beta2)))
+        eps_corrected = self.eps * k
+        scale = self.lr * (1.0 - self.beta1) * k / bias1
+        for index, ((data, grad), m, v, scratch) in enumerate(
+            zip(self._groups, self._m, self._v, self._scratch)
+        ):
+            if self.weight_decay:
+                decayed = self._decayed[index]
+                np.multiply(data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
+            m *= self.beta1
+            m += grad
+            v *= self.beta2
+            np.multiply(grad, grad, out=scratch)
+            v += scratch
+            np.sqrt(v, out=scratch)
+            scratch += eps_corrected
+            np.divide(m, scratch, out=scratch)
+            scratch *= scale
+            data -= scratch

@@ -17,13 +17,10 @@ two structurally identical datasets hit the same entry and any mutation
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.data.ujiindoor import FingerprintDataset
+from repro.data.ujiindoor import FingerprintDataset, content_digest
 from repro.serving.registry import Estimator, create
 
 
@@ -32,14 +29,18 @@ def dataset_fingerprint(dataset: FingerprintDataset) -> str:
 
     Hashes shape, dtype, and bytes of every array the models consume
     (rssi, coordinates, floor, building); the optional floor plan and
-    spot ids do not affect any estimator and are excluded.
+    spot ids do not affect any estimator and are excluded.  Delegates to
+    :meth:`FingerprintDataset.content_fingerprint`, which memoizes the
+    digest (datasets are immutable), so only the first call per dataset
+    pays the hashing cost; plain objects with the same four array
+    attributes hash the slow way.
     """
-    digest = hashlib.blake2b(digest_size=16)
-    for array in (dataset.rssi, dataset.coordinates, dataset.floor, dataset.building):
-        array = np.ascontiguousarray(array)
-        digest.update(repr((array.shape, str(array.dtype))).encode())
-        digest.update(array.tobytes())
-    return digest.hexdigest()
+    fingerprint = getattr(dataset, "content_fingerprint", None)
+    if fingerprint is not None:
+        return fingerprint()
+    return content_digest(
+        (dataset.rssi, dataset.coordinates, dataset.floor, dataset.building)
+    )
 
 
 def _params_key(hyperparams: dict) -> str:

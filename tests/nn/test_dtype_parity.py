@@ -1,0 +1,147 @@
+"""float32/float64 parity: same seeds, same data, agreeing models.
+
+The float32 fast path must be a *precision* change, not a *model*
+change: seeded NObLe and stacked-autoencoder training in both dtypes
+must produce agreeing loss curves and predictions, and the stride-tricks
+im2col convolution must match a straightforward loop oracle exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.ujiindoor import generate_uji_like
+from repro.localization.noble import NObLeWifi
+from repro.nn.autoencoder import pretrain_stacked_autoencoder, reconstruction_error
+from repro.nn.conv import Conv1d
+
+RNG = np.random.default_rng(99)
+
+
+@pytest.fixture(scope="module")
+def tiny_wifi():
+    dataset = generate_uji_like(
+        n_spots_per_building=10, measurements_per_spot=6, n_aps_per_floor=6, seed=5
+    )
+    return dataset.split((0.8, 0.2), rng=6)
+
+
+def fit_noble(train, **kwargs):
+    model = NObLeWifi(
+        epochs=8, batch_size=32, val_fraction=0.0, seed=3, **kwargs
+    )
+    model.fit(train)
+    return model
+
+
+class TestNObLeParity:
+    def test_loss_curves_and_predictions_agree(self, tiny_wifi):
+        train, test = tiny_wifi
+        ref = fit_noble(train, dtype="float64", fused=False)
+        fast = fit_noble(train, dtype="float32")
+        # same seeded init (float32 weights are the float64 draw cast
+        # down), so the loss curves must track closely
+        np.testing.assert_allclose(
+            fast.history_.train_loss, ref.history_.train_loss, rtol=0.05
+        )
+        err_ref = np.linalg.norm(
+            ref.predict(test).coordinates - test.coordinates, axis=1
+        ).mean()
+        err_fast = np.linalg.norm(
+            fast.predict(test).coordinates - test.coordinates, axis=1
+        ).mean()
+        assert abs(err_fast - err_ref) <= max(2.0, 0.2 * err_ref)
+        # the argmaxed fine cells should mostly coincide
+        cells_ref = ref.predict(test).fine_class
+        cells_fast = fast.predict(test).fine_class
+        assert (cells_ref == cells_fast).mean() >= 0.8
+
+    def test_fused_float64_matches_reference_exactly_enough(self, tiny_wifi):
+        train, _test = tiny_wifi
+        ref = fit_noble(train, dtype="float64", fused=False)
+        fused = fit_noble(train, dtype="float64")
+        np.testing.assert_allclose(
+            fused.history_.train_loss, ref.history_.train_loss, rtol=1e-6
+        )
+
+
+class TestAutoencoderParity:
+    def test_reconstruction_error_agrees_across_dtypes(self, tiny_wifi):
+        train, _ = tiny_wifi
+        signals = train.normalized_signals()
+        enc64 = pretrain_stacked_autoencoder(
+            signals, [16, 8], epochs=6, batch_size=32, rng=2
+        )
+        enc32 = pretrain_stacked_autoencoder(
+            signals, [16, 8], epochs=6, batch_size=32, rng=2, dtype="float32"
+        )
+        err64 = reconstruction_error(enc64, signals)
+        err32 = reconstruction_error(enc32, signals)
+        assert err32 == pytest.approx(err64, rel=0.05)
+        for encoder in enc32:
+            assert encoder.weight.data.dtype == np.float32
+        # return contract: only the stack's front layer skips its input
+        # gradient; later encoders sit mid-stack in the composed model
+        assert [encoder.input_grad for encoder in enc32] == [False, True]
+
+
+def conv_oracle_forward(x, weight, bias):
+    """Direct per-offset loop convolution — the seed's formulation."""
+    n, c_in, length = x.shape
+    c_out, _, k = weight.shape
+    l_out = length - k + 1
+    out = np.zeros((n, c_out, l_out))
+    for i in range(l_out):
+        window = x[:, :, i : i + k]  # (N, C_in, K)
+        out[:, :, i] = np.einsum("nck,ock->no", window, weight)
+    if bias is not None:
+        out += bias[None, :, None]
+    return out
+
+
+def conv_oracle_backward(x, weight, grad_output):
+    """Loop gradients for weight and input."""
+    n, c_in, length = x.shape
+    c_out, _, k = weight.shape
+    l_out = length - k + 1
+    grad_w = np.zeros_like(weight)
+    grad_x = np.zeros_like(x)
+    for i in range(l_out):
+        window = x[:, :, i : i + k]
+        grad_w += np.einsum("no,nck->ock", grad_output[:, :, i], window)
+        grad_x[:, :, i : i + k] += np.einsum(
+            "no,ock->nck", grad_output[:, :, i], weight
+        )
+    grad_b = grad_output.sum(axis=(0, 2))
+    return grad_w, grad_x, grad_b
+
+
+class TestConvLoopOracle:
+    @pytest.mark.parametrize("shape,k", [((3, 2, 9), 3), ((2, 4, 7), 2), ((1, 1, 5), 4)])
+    def test_forward_matches_oracle(self, shape, k):
+        conv = Conv1d(shape[1], 5, k, rng=1)
+        x = RNG.normal(size=shape)
+        expected = conv_oracle_forward(x, conv.weight.data, conv.bias.data)
+        np.testing.assert_allclose(conv(x), expected, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("shape,k", [((3, 2, 9), 3), ((2, 4, 7), 2)])
+    def test_backward_matches_oracle(self, shape, k):
+        conv = Conv1d(shape[1], 5, k, rng=1)
+        x = RNG.normal(size=shape)
+        out = conv(x)
+        grad_out = RNG.normal(size=out.shape)
+        conv.zero_grad()
+        grad_x = conv.backward(grad_out)
+        exp_w, exp_x, exp_b = conv_oracle_backward(x, conv.weight.data, grad_out)
+        np.testing.assert_allclose(conv.weight.grad, exp_w, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(conv.bias.grad, exp_b, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(grad_x, exp_x, rtol=1e-10, atol=1e-12)
+
+    def test_float32_conv_tracks_oracle(self):
+        conv = Conv1d(2, 3, 3, rng=4, dtype="float32")
+        x = RNG.normal(size=(2, 2, 8))
+        expected = conv_oracle_forward(
+            x.astype(np.float32).astype(float),
+            conv.weight.data.astype(float),
+            conv.bias.data.astype(float),
+        )
+        np.testing.assert_allclose(conv(x), expected, rtol=1e-5, atol=1e-5)

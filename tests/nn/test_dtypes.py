@@ -1,0 +1,210 @@
+"""Dtype discipline: float32 graphs stay float32 end to end."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    BCEWithLogitsLoss,
+    DataLoader,
+    Linear,
+    MSELoss,
+    MultiHeadLoss,
+    Parameter,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropyLoss,
+    Tanh,
+    TensorDataset,
+    Trainer,
+    as_float,
+    resolve_dtype,
+)
+from repro.nn import init as init_schemes
+from repro.nn.conv import Conv1d, Flatten, MaxPool1d, Unflatten
+
+RNG = np.random.default_rng(7)
+
+
+class TestHelpers:
+    def test_resolve_none_is_float64(self):
+        assert resolve_dtype(None) == np.float64
+
+    def test_resolve_accepts_spellings(self):
+        assert resolve_dtype("float32") == np.float32
+        assert resolve_dtype(np.float32) == np.float32
+        assert resolve_dtype(np.dtype("float64")) == np.float64
+
+    def test_resolve_rejects_non_float(self):
+        for bad in ("int32", np.int64, "float16", bool):
+            with pytest.raises(ValueError):
+                resolve_dtype(bad)
+
+    def test_as_float_preserves_floats(self):
+        x32 = np.ones(3, dtype=np.float32)
+        x64 = np.ones(3, dtype=np.float64)
+        assert as_float(x32) is x32
+        assert as_float(x64) is x64
+
+    def test_as_float_upcasts_everything_else(self):
+        assert as_float(np.ones(3, dtype=np.int64)).dtype == np.float64
+        assert as_float([1, 2, 3]).dtype == np.float64
+
+    def test_as_float_explicit_cast(self):
+        assert as_float(np.ones(3), np.float32).dtype == np.float32
+        x = np.ones(3, dtype=np.float32)
+        assert as_float(x, np.float32) is x
+
+
+class TestInitializers:
+    def test_dtype_argument(self):
+        for name in ("xavier_uniform", "xavier_normal", "he_uniform", "he_normal"):
+            init = init_schemes.get_initializer(name)
+            assert init((4, 5), rng=0, dtype="float32").dtype == np.float32
+            assert init((4, 5), rng=0).dtype == np.float64
+
+    def test_float32_is_cast_of_float64_draw(self):
+        # same seed => float32 weights are exactly the float64 draw cast
+        w64 = init_schemes.xavier_uniform((6, 3), rng=11)
+        w32 = init_schemes.xavier_uniform((6, 3), rng=11, dtype="float32")
+        np.testing.assert_array_equal(w32, w64.astype(np.float32))
+
+
+class TestParameter:
+    def test_preserves_float32(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        assert p.data.dtype == np.float32
+        assert p.grad.dtype == np.float32
+        assert p.dtype == np.float32
+
+    def test_upcasts_ints(self):
+        assert Parameter(np.arange(3)).data.dtype == np.float64
+
+
+def float32_model(n_in=6, hidden=8, n_out=5, rng=3):
+    return Sequential(
+        Linear(n_in, hidden, rng=rng, dtype="float32"),
+        BatchNorm1d(hidden, dtype="float32"),
+        Tanh(),
+        Linear(hidden, n_out, rng=rng, dtype="float32"),
+    )
+
+
+class TestFloat32Graph:
+    def test_forward_backward_stay_float32(self):
+        model = float32_model()
+        x = RNG.normal(size=(16, 6))  # float64 input is cast at the door
+        out = model(x)
+        assert out.dtype == np.float32
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.dtype == np.float32
+        for param in model.parameters():
+            assert param.grad.dtype == np.float32, param.name
+
+    def test_training_step_keeps_params_float32(self):
+        model = float32_model()
+        loss = BCEWithLogitsLoss()
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        x = RNG.normal(size=(16, 6))
+        targets = (RNG.random((16, 5)) > 0.5).astype(float)
+        loader = DataLoader(
+            TensorDataset(x.astype(np.float32), targets.astype(np.float32)),
+            batch_size=8,
+            rng=0,
+        )
+        Trainer(model, loss, optimizer).fit(loader, epochs=2)
+        for param in model.parameters():
+            assert param.data.dtype == np.float32, param.name
+        for module in model.modules():
+            if isinstance(module, BatchNorm1d):
+                assert module.running_mean.dtype == np.float32
+                assert module.running_var.dtype == np.float32
+
+    def test_relu_dropout_follow_stream(self):
+        x32 = RNG.normal(size=(4, 3)).astype(np.float32)
+        relu = ReLU()
+        assert relu(x32).dtype == np.float32
+        assert relu.backward(x32).dtype == np.float32
+
+    def test_conv_stack_float32(self):
+        model = Sequential(
+            Unflatten(1),
+            Conv1d(1, 3, 3, rng=0, dtype="float32"),
+            ReLU(),
+            MaxPool1d(2),
+            Flatten(),
+        )
+        out = model(RNG.normal(size=(4, 12)))
+        assert out.dtype == np.float32
+        grad = model.backward(np.ones_like(out))
+        assert grad.dtype == np.float32
+
+
+class TestLossDtypes:
+    def test_mse_gradient_follows_predictions(self):
+        loss = MSELoss()
+        preds = RNG.normal(size=(5, 2)).astype(np.float32)
+        loss.forward(preds, np.zeros((5, 2)))  # float64 targets
+        assert loss.backward().dtype == np.float32
+
+    def test_bce_gradient_follows_logits(self):
+        loss = BCEWithLogitsLoss()
+        logits = RNG.normal(size=(5, 4)).astype(np.float32)
+        loss.forward(logits, np.zeros((5, 4)))
+        assert loss.backward().dtype == np.float32
+
+    def test_softmax_ce_gradient_follows_logits(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = RNG.normal(size=(5, 4)).astype(np.float32)
+        loss.forward(logits, np.array([0, 1, 2, 3, 0]))
+        assert loss.backward().dtype == np.float32
+
+    def test_multihead_gradient_follows_logits(self):
+        heads = {
+            "a": (slice(0, 2), BCEWithLogitsLoss(), 1.0),
+            "b": (slice(2, 5), BCEWithLogitsLoss(), 0.5),
+        }
+        loss = MultiHeadLoss(heads)
+        logits = RNG.normal(size=(6, 5)).astype(np.float32)
+        loss.forward(logits, np.zeros((6, 5)))
+        assert loss.backward().dtype == np.float32
+
+
+class TestAstype:
+    def test_roundtrip(self):
+        model = Sequential(Linear(4, 3, rng=0), BatchNorm1d(3))
+        model.astype("float32")
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        assert model[1].running_mean.dtype == np.float32
+        model.astype("float64")
+        assert all(p.data.dtype == np.float64 for p in model.parameters())
+
+    def test_values_survive(self):
+        model = Sequential(Linear(4, 3, rng=0))
+        before = model[0].weight.data.copy()
+        model.astype("float32")
+        np.testing.assert_allclose(model[0].weight.data, before, atol=1e-6)
+
+    def test_compute_precision_follows(self):
+        # layers cast inputs to their own dtype — astype must retarget it
+        model = Sequential(Linear(4, 3, rng=0), BatchNorm1d(3), Tanh())
+        model.astype("float32")
+        assert model[0].dtype == np.float32
+        out = model(RNG.normal(size=(4, 4)))
+        assert out.dtype == np.float32
+        assert model.backward(np.ones_like(out)).dtype == np.float32
+
+
+class TestInputGrad:
+    def test_first_layer_skips_input_gradient(self):
+        layer = Linear(4, 3, rng=0, input_grad=False)
+        out = layer(RNG.normal(size=(5, 4)))
+        assert layer.backward(np.ones_like(out)) is None
+        # parameter gradients are still produced
+        assert float(np.abs(layer.weight.grad).sum()) > 0.0
+
+    def test_default_keeps_input_gradient(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(RNG.normal(size=(5, 4)))
+        assert layer.backward(np.ones_like(out)).shape == (5, 4)

@@ -1,0 +1,273 @@
+"""Allocation-free fast path: workspaces, fused optimizers, fast collation.
+
+Every fused/in-place formulation is pinned against its allocating
+reference: identical results (up to float round-off from reassociation)
+are the contract that lets the Trainer flip the fast path on by default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BatchNorm1d,
+    BCEWithLogitsLoss,
+    DataLoader,
+    Linear,
+    MSELoss,
+    MultiHeadLoss,
+    Parameter,
+    RMSProp,
+    Sequential,
+    Tanh,
+    TensorDataset,
+    Trainer,
+)
+
+RNG = np.random.default_rng(21)
+
+
+def small_model(rng=5, dtype=None):
+    return Sequential(
+        Linear(6, 8, rng=rng, dtype=dtype),
+        BatchNorm1d(8, dtype=dtype),
+        Tanh(),
+        Linear(8, 4, rng=rng, dtype=dtype),
+    )
+
+
+class TestWorkspaces:
+    def test_forward_backward_match_fresh_allocation(self):
+        x = RNG.normal(size=(12, 6))
+        grad_out = RNG.normal(size=(12, 4))
+        plain, reused = small_model(), small_model()
+        reused.use_workspaces(True)
+        for _repeat in range(3):  # buffers are reused across calls
+            out_plain = plain(x)
+            out_reused = reused(x)
+            np.testing.assert_allclose(out_reused, out_plain, rtol=1e-12, atol=1e-12)
+            plain.zero_grad()
+            reused.zero_grad()
+            gin_plain = plain.backward(grad_out)
+            gin_reused = reused.backward(grad_out)
+            np.testing.assert_allclose(gin_reused, gin_plain, rtol=1e-9, atol=1e-12)
+            for p_plain, p_reused in zip(plain.parameters(), reused.parameters()):
+                np.testing.assert_allclose(
+                    p_reused.grad, p_plain.grad, rtol=1e-9, atol=1e-12
+                )
+
+    def test_disable_restores_fresh_outputs(self):
+        model = small_model()
+        x = RNG.normal(size=(8, 6))
+        model.use_workspaces(True)
+        first = model(x)
+        second = model(x)
+        assert first is second  # same buffer while enabled
+        model.use_workspaces(False)
+        assert model(x) is not model(x)
+
+    def test_trainer_toggles_workspaces_only_during_fit(self):
+        model = small_model()
+        loader = DataLoader(
+            TensorDataset(RNG.normal(size=(24, 6)), RNG.normal(size=(24, 4))),
+            batch_size=8,
+            rng=0,
+        )
+        Trainer(model, MSELoss(), Adam(model.parameters())).fit(loader, epochs=1)
+        assert not any(m._use_workspaces for m in model.modules())
+        assert model(RNG.normal(size=(4, 6))) is not model(RNG.normal(size=(4, 6)))
+
+
+class TestFusedOptimizers:
+    def _run(self, optimizer_cls, fused, steps=12, **kwargs):
+        rng = np.random.default_rng(3)
+        params = [
+            Parameter(np.linspace(1.0, 2.0, 6).reshape(2, 3)),
+            Parameter(np.linspace(-1.0, 1.0, 4)),
+        ]
+        grads = [rng.normal(size=(steps, 2, 3)), rng.normal(size=(steps, 4))]
+        optimizer = optimizer_cls(params, fused=fused, **kwargs)
+        for step in range(steps):
+            optimizer.zero_grad()
+            params[0].grad += grads[0][step]
+            params[1].grad += grads[1][step]
+            optimizer.step()
+        return [p.data.copy() for p in params]
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (SGD, dict(lr=0.05)),
+            (SGD, dict(lr=0.05, momentum=0.9)),
+            (SGD, dict(lr=0.05, momentum=0.9, nesterov=True)),
+            (SGD, dict(lr=0.05, weight_decay=0.1)),
+            (RMSProp, dict(lr=0.01)),
+            (RMSProp, dict(lr=0.01, weight_decay=0.1)),
+            (Adam, dict(lr=0.01)),
+            (Adam, dict(lr=0.01, weight_decay=0.1)),
+        ],
+    )
+    def test_fused_matches_legacy(self, cls, kwargs):
+        fused = self._run(cls, fused=True, **kwargs)
+        legacy = self._run(cls, fused=False, **kwargs)
+        for a, b in zip(fused, legacy):
+            np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-12)
+
+    def test_flattened_parameters_stay_views(self):
+        params = [Parameter(np.ones((2, 2))), Parameter(np.zeros(3))]
+        optimizer = Adam(params, lr=0.1)
+        assert optimizer._flat_data is not None
+        # writes through the parameter views hit the flat buffer
+        params[0].data[0, 0] = 7.0
+        assert optimizer._flat_data[0] == 7.0
+        optimizer.zero_grad()
+        params[0].grad += 1.0
+        assert optimizer._flat_grad[:4].sum() == 4.0
+
+    def test_mixed_dtypes_skip_flattening(self):
+        params = [
+            Parameter(np.ones(2, dtype=np.float32)),
+            Parameter(np.ones(2, dtype=np.float64)),
+        ]
+        optimizer = SGD(params, lr=0.1)
+        assert optimizer._flat_data is None
+        optimizer.zero_grad()
+        for p in params:
+            p.grad += 1.0
+        optimizer.step()  # per-parameter fused groups still work
+        np.testing.assert_allclose(params[0].data, 0.9, rtol=1e-6)
+
+
+class TestTrainerFused:
+    def _fit(self, fused):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(64, 6))
+        y = rng.normal(size=(64, 4))
+        model = small_model(rng=9)
+        loader = DataLoader(
+            TensorDataset(x, y), batch_size=16, rng=1, fast_collate=fused
+        )
+        trainer = Trainer(
+            model, MSELoss(compat=not fused),
+            Adam(model.parameters(), lr=1e-2, fused=fused),
+            fused=fused,
+        )
+        return trainer.fit(loader, epochs=4).train_loss
+
+    def test_fused_loop_matches_reference_losses(self):
+        np.testing.assert_allclose(self._fit(True), self._fit(False), rtol=1e-7)
+
+    def test_clip_under_threshold_leaves_gradients_untouched(self):
+        model = Sequential(Linear(3, 2, rng=0))
+        optimizer = SGD(model.parameters(), lr=0.1)
+        trainer = Trainer(model, MSELoss(), optimizer, grad_clip=1e9)
+        out = model(RNG.normal(size=(4, 3)))
+        model.zero_grad()
+        model.backward(np.ones_like(out))
+        before = [p.grad.copy() for p in optimizer.parameters]
+        trainer._clip_gradients()
+        for prev, param in zip(before, optimizer.parameters):
+            np.testing.assert_array_equal(prev, param.grad)
+
+    def test_clip_over_threshold_scales_global_norm(self):
+        model = Sequential(Linear(3, 2, rng=0))
+        optimizer = SGD(model.parameters(), lr=0.1)
+        trainer = Trainer(model, MSELoss(), optimizer, grad_clip=0.5)
+        out = model(RNG.normal(size=(4, 3)))
+        model.zero_grad()
+        model.backward(np.ones_like(out))
+        trainer._clip_gradients()
+        norm = np.sqrt(
+            sum(float(np.sum(p.grad**2)) for p in optimizer.parameters)
+        )
+        assert norm == pytest.approx(0.5, rel=1e-6)
+
+
+class TestFastCollate:
+    def _loader(self, fast, shuffle=True, drop_last=False):
+        x = np.arange(44.0).reshape(11, 4)
+        y = np.arange(11.0)
+        return DataLoader(
+            TensorDataset(x, y),
+            batch_size=4,
+            shuffle=shuffle,
+            drop_last=drop_last,
+            rng=5,
+            fast_collate=fast,
+        )
+
+    @pytest.mark.parametrize("shuffle", [True, False])
+    @pytest.mark.parametrize("drop_last", [True, False])
+    def test_matches_slow_collation(self, shuffle, drop_last):
+        fast_batches = list(self._loader(True, shuffle, drop_last))
+        slow_batches = list(self._loader(False, shuffle, drop_last))
+        assert len(fast_batches) == len(slow_batches)
+        for fast, slow in zip(fast_batches, slow_batches):
+            for a, b in zip(fast, slow):
+                np.testing.assert_array_equal(a, b)
+                assert a.dtype == b.dtype
+
+    def test_large_arrays_fall_back_to_per_batch_gather(self, monkeypatch):
+        monkeypatch.setattr(DataLoader, "PREGATHER_LIMIT_BYTES", 1)
+        fast = list(self._loader(True))
+        slow = list(self._loader(False))
+        for f, s in zip(fast, slow):
+            np.testing.assert_array_equal(f[0], s[0])
+
+
+class TestLossBuffers:
+    def _heads(self):
+        return {
+            "a": (slice(0, 2), BCEWithLogitsLoss(), 1.0),
+            "b": (slice(2, 5), BCEWithLogitsLoss(), 0.5),
+        }
+
+    def test_fused_multihead_matches_per_head(self):
+        logits = RNG.normal(size=(8, 5))
+        targets = (RNG.random((8, 5)) > 0.5).astype(float)
+        fused = MultiHeadLoss(self._heads())
+        compat_heads = {
+            name: (sl, BCEWithLogitsLoss(compat=True), w)
+            for name, (sl, _loss, w) in self._heads().items()
+        }
+        reference = MultiHeadLoss(compat_heads)
+        assert fused._all_bce and not reference._all_bce
+        value_fused = fused.forward(logits, targets)
+        value_ref = reference.forward(logits, targets)
+        assert value_fused == pytest.approx(value_ref, rel=1e-12)
+        for name in ("a", "b"):
+            assert fused.last_per_head[name] == pytest.approx(
+                reference.last_per_head[name], rel=1e-12
+            )
+        np.testing.assert_allclose(
+            fused.backward(), reference.backward(), rtol=1e-10, atol=1e-14
+        )
+
+    def test_non_tiling_heads_fall_back(self):
+        heads = {"a": (slice(0, 2), BCEWithLogitsLoss(), 1.0)}  # misses cols 2+
+        loss = MultiHeadLoss(heads)
+        logits = RNG.normal(size=(4, 5))
+        targets = np.zeros((4, 5))
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        np.testing.assert_array_equal(grad[:, 2:], 0.0)
+
+    def test_buffers_disabled_returns_independent_grads(self):
+        loss = MultiHeadLoss(self._heads())
+        logits = RNG.normal(size=(4, 5))
+        targets = np.zeros((4, 5))
+        loss.forward(logits, targets)
+        first = loss.backward()
+        loss.forward(logits + 1.0, targets)
+        second = loss.backward()
+        assert first is not second
+
+    def test_buffers_enabled_reuses_grad(self):
+        loss = MultiHeadLoss(self._heads()).use_buffers(True)
+        logits = RNG.normal(size=(4, 5))
+        targets = np.zeros((4, 5))
+        loss.forward(logits, targets)
+        first = loss.backward()
+        loss.forward(logits, targets)
+        assert loss.backward() is first

@@ -1,0 +1,112 @@
+"""Serving-layer satellites: dtype as a cache-keyed hyperparameter and
+the memoized dataset content fingerprint."""
+
+import numpy as np
+
+from repro.data.ujiindoor import FingerprintDataset
+from repro.serving import ModelCache, create, dataset_fingerprint
+
+
+def _tiny_dataset(seed=0, n=40, w=6):
+    rng = np.random.default_rng(seed)
+    return FingerprintDataset(
+        rssi=rng.uniform(-90, -30, size=(n, w)),
+        coordinates=rng.uniform(0, 50, size=(n, 2)),
+        floor=rng.integers(0, 3, size=n),
+        building=rng.integers(0, 2, size=n),
+    )
+
+
+class TestFingerprintMemoization:
+    def test_memoized_and_stable(self):
+        data = _tiny_dataset()
+        first = data.content_fingerprint()
+        assert data.content_fingerprint() is first  # cached string object
+
+    def test_dataset_fingerprint_delegates(self):
+        data = _tiny_dataset()
+        assert dataset_fingerprint(data) == data.content_fingerprint()
+        assert dataset_fingerprint(data) is data.content_fingerprint()
+
+    def test_equal_content_equal_digest(self):
+        assert (
+            _tiny_dataset(3).content_fingerprint()
+            == _tiny_dataset(3).content_fingerprint()
+        )
+        assert (
+            _tiny_dataset(3).content_fingerprint()
+            != _tiny_dataset(4).content_fingerprint()
+        )
+
+    def test_subsets_get_fresh_fingerprints(self):
+        data = _tiny_dataset()
+        whole = data.content_fingerprint()
+        part = data.subset(np.arange(10)).content_fingerprint()
+        assert whole != part
+
+    def test_immutability_contract_never_invalidates(self):
+        # documented semantics: the digest is computed once; in-place
+        # mutation after fingerprinting is out of contract and ignored
+        data = _tiny_dataset()
+        before = data.content_fingerprint()
+        data.rssi[0, 0] += 1.0
+        assert data.content_fingerprint() is before
+
+    def test_cache_hit_skips_rehash(self, monkeypatch):
+        cache = ModelCache(capacity=2)
+        data = _tiny_dataset()
+        cache.get_or_fit("knn", data, k=3)
+        calls = {"n": 0}
+        original = FingerprintDataset.content_fingerprint
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(FingerprintDataset, "content_fingerprint", counting)
+        cache.get_or_fit("knn", data, k=3)
+        assert cache.stats().hits == 1
+        assert calls["n"] == 1  # memoized lookup, no re-hash of the arrays
+
+
+class TestDtypeHyperparameter:
+    def test_default_omits_dtype_for_key_stability(self):
+        estimator = create("noble", epochs=1)
+        assert "dtype" not in estimator.params
+        assert "dtype" not in estimator.describe()
+
+    def test_dtype_spellings_canonicalize(self):
+        a = create("noble", epochs=1, dtype="float32")
+        b = create("noble", epochs=1, dtype=np.float32)
+        assert a.params["dtype"] == "float32"
+        assert a.describe() == b.describe()
+
+    def test_cnnloc_exposes_dtype(self):
+        estimator = create("cnnloc", dtype="float32")
+        assert estimator.params["dtype"] == "float32"
+
+    def test_precisions_never_share_a_cache_entry(self):
+        cache = ModelCache(capacity=4)
+        data = _tiny_dataset()
+        common = dict(
+            epochs=2, batch_size=16, adjacency_weight=0.0, tau=2.0, coarse=8.0
+        )
+        first = cache.get_or_fit("noble", data, dtype="float32", **common)
+        again = cache.get_or_fit("noble", data, dtype="float32", **common)
+        other = cache.get_or_fit("noble", data, dtype="float64", **common)
+        assert first is again
+        assert first is not other
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_dtype_reaches_the_fitted_model(self):
+        data = _tiny_dataset()
+        estimator = create(
+            "noble", epochs=2, batch_size=16, adjacency_weight=0.0,
+            tau=2.0, coarse=8.0, dtype="float32",
+        ).fit(data)
+        assert all(
+            p.data.dtype == np.float32 for p in estimator.model_.model_.parameters()
+        )
+        prediction = estimator.predict_batch(data.rssi[:5])
+        assert prediction.coordinates.shape == (5, 2)
