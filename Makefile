@@ -6,7 +6,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast check clean-pyc serve-bench shard-bench train-bench bench-smoke
+.PHONY: test test-fast check clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench train-bench bench-smoke
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -23,6 +23,21 @@ clean-pyc:
 
 serve-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench
+
+# Deadline-driven async front end: sweeps flush deadline vs throughput
+# with concurrent producers, asserts prediction parity + the headline
+# speedup over per-query serving, and writes BENCH_serve.json.
+serve-bench-async:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async
+
+# Tiny-workload async serve-bench: validates the emitted
+# BENCH_serve.json schema without overwriting the real trajectory;
+# hooked into scripts/check_suite.sh so a broken async bench fails
+# `make check`.
+serve-bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async --preset smoke \
+		--output /tmp/BENCH_serve.smoke.json
+	rm -f /tmp/BENCH_serve.smoke.json
 
 shard-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard-bench

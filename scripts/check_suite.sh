@@ -25,3 +25,8 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \
 # schema-validates the emitted BENCH_train.json, so a bench or schema
 # regression fails `make check` instead of rotting silently.
 make bench-smoke
+
+# Smoke the async serving benchmark the same way: a tiny deadline sweep
+# through the ServingFrontend, schema-validating BENCH_serve.json, so a
+# broken front end or payload drift fails `make check` too.
+make serve-bench-smoke

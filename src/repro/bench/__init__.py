@@ -1,24 +1,62 @@
-"""Persistent performance benchmarks for the training fast path.
+"""Persistent performance benchmarks: training and serving trajectories.
 
 ``repro.bench.train`` times NObLe/CNNLoc cold fits through the numpy NN
 stack — the seed-equivalent float64 reference loop against the fused
 float32 fast path — asserts metric parity between the precisions, and
-emits ``BENCH_train.json``, the repo's perf-trajectory artifact.  Run it
-via ``python -m repro.cli train-bench`` or ``make train-bench``;
-``make bench-smoke`` exercises a tiny workload and validates the schema
-as part of ``make check``.
+emits ``BENCH_train.json``.  Run it via ``python -m repro.cli
+train-bench`` or ``make train-bench``.
+
+``repro.bench.serve`` drives the deadline-driven async serving front
+end (:class:`repro.serving.ServingFrontend`) with concurrent producers,
+sweeps flush deadline vs throughput against a naive per-query baseline,
+asserts prediction parity on every leg, and emits
+``BENCH_serve.json``.  Run it via ``python -m repro.cli serve-bench
+--async``.
+
+Both artifacts are schema-tagged; :func:`validate_bench_payload`
+dispatches on the tag, and ``make bench-smoke`` / ``make
+serve-bench-smoke`` exercise tiny workloads and validate the schemas as
+part of ``make check``.
 """
 
+from repro.bench.serve import (
+    SERVE_BENCH_SCHEMA,
+    ServeBenchResult,
+    run_serve_bench,
+    validate_serve_bench_payload,
+)
 from repro.bench.train import (
     BENCH_SCHEMA,
     TrainBenchResult,
     run_train_bench,
-    validate_bench_payload,
 )
+from repro.bench.train import (
+    validate_bench_payload as validate_train_bench_payload,
+)
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Validate any bench artifact; dispatches on its ``schema`` tag.
+
+    ``repro-serve-bench/*`` payloads go to
+    :func:`validate_serve_bench_payload`; everything else (including
+    the historical ``repro-train-bench/1``) goes to the train-bench
+    validator, which reports an unknown tag as a schema mismatch.
+    Raises ``ValueError`` on problems.
+    """
+    if isinstance(payload, dict) and payload.get("schema") == SERVE_BENCH_SCHEMA:
+        return validate_serve_bench_payload(payload)
+    return validate_train_bench_payload(payload)
+
 
 __all__ = [
     "BENCH_SCHEMA",
+    "SERVE_BENCH_SCHEMA",
     "TrainBenchResult",
+    "ServeBenchResult",
     "run_train_bench",
+    "run_serve_bench",
     "validate_bench_payload",
+    "validate_train_bench_payload",
+    "validate_serve_bench_payload",
 ]

@@ -1,0 +1,459 @@
+"""The serve-bench async engine: deadline-vs-throughput trajectory.
+
+Benchmarks the :class:`repro.serving.ServingFrontend` against naive
+per-query serving on the repo's synthetic UJIIndoorLoc workload.  For
+each deadline in the sweep, N producer threads hammer the front end
+with single-scan submissions; the engine measures end-to-end wall time
+(first submit to last resolved ticket), asserts **prediction parity**
+against the synchronous ``predict_batch`` oracle on every leg, asserts
+a minimum throughput speedup over the per-query baseline at the
+headline deadline, and emits the ``BENCH_serve.json`` payload (schema
+``repro-serve-bench/1``, validated by
+:func:`repro.bench.validate_bench_payload`).
+
+Run it via ``python -m repro.cli serve-bench --async`` or ``make
+serve-bench-async``; ``make serve-bench-smoke`` exercises a tiny
+workload and schema-validates the artifact as part of ``make check``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Identifier (and version) of the emitted JSON payload.
+SERVE_BENCH_SCHEMA = "repro-serve-bench/1"
+
+#: Keys every async leg record must carry, with their types.
+_LEG_FIELDS = {
+    "deadline_ms": float,
+    "seconds": float,
+    "requests_per_second": float,
+    "n_batches": int,
+    "mean_batch_fill": float,
+    "n_timeouts": int,
+    "mean_latency_ms": float,
+    "p95_latency_ms": float,
+    "parity_ok": bool,
+    "speedup_vs_naive": float,
+}
+
+
+class ServeParityError(AssertionError):
+    """Async predictions diverged from the synchronous oracle."""
+
+
+class ServeSpeedupError(AssertionError):
+    """Async throughput fell below the asserted floor over per-query."""
+
+
+@dataclass
+class ServePreset:
+    """One workload scale for the serving benchmark."""
+
+    name: str
+    n_spots_per_building: int
+    measurements_per_spot: int
+    n_aps_per_floor: int
+    n_queries: int
+    batch_size: int
+    producers: int
+    deadlines_ms: "tuple[float, ...]"
+    #: The deadline whose throughput is asserted against ``min_speedup``
+    #: and reported as the headline (the ISSUE's 50 ms budget).
+    headline_deadline_ms: float
+    min_speedup: float
+    max_pending: int
+    #: Runs per leg (naive and each deadline); the reported run is the
+    #: MEDIAN by elapsed time.  A median resists one-off scheduler
+    #: bursts in either direction — min-of-N would let a single lucky
+    #: baseline run poison the asserted speedup ratio on a noisy
+    #: shared machine.
+    repeats: int = 1
+
+
+PRESETS = {
+    # Schema/plumbing validation in seconds: far too small for a stable
+    # throughput ratio, so none is asserted.
+    "smoke": ServePreset(
+        name="smoke",
+        n_spots_per_building=10,
+        measurements_per_spot=4,
+        n_aps_per_floor=6,
+        n_queries=160,
+        batch_size=16,
+        producers=4,
+        deadlines_ms=(50.0,),
+        headline_deadline_ms=50.0,
+        min_speedup=0.0,
+        max_pending=64,
+    ),
+    # The PR 1 serve-bench workload, now pushed through the async path.
+    "fast": ServePreset(
+        name="fast",
+        n_spots_per_building=48,
+        measurements_per_spot=10,
+        n_aps_per_floor=10,
+        n_queries=4000,
+        batch_size=64,
+        producers=4,
+        deadlines_ms=(5.0, 20.0, 50.0),
+        headline_deadline_ms=50.0,
+        min_speedup=5.0,
+        max_pending=1024,
+        repeats=3,
+    ),
+    "paper": ServePreset(
+        name="paper",
+        n_spots_per_building=170,
+        measurements_per_spot=20,
+        n_aps_per_floor=18,
+        n_queries=4000,
+        batch_size=64,
+        producers=16,
+        deadlines_ms=(5.0, 20.0, 50.0),
+        headline_deadline_ms=50.0,
+        min_speedup=5.0,
+        max_pending=4096,
+        repeats=3,
+    ),
+}
+
+
+@dataclass
+class ServeBenchResult:
+    """Everything ``run_serve_bench`` measured, ready for JSON or print."""
+
+    preset: str
+    seed: int
+    min_speedup: float
+    workload: dict
+    naive: dict = field(default_factory=dict)
+    legs: "list[dict]" = field(default_factory=list)
+
+    @property
+    def headline(self) -> dict:
+        deadline = self.workload["headline_deadline_ms"]
+        leg = next(
+            (l for l in self.legs if l["deadline_ms"] == deadline), None
+        )
+        return {
+            "deadline_ms": deadline,
+            "async_speedup": None if leg is None else leg["speedup_vs_naive"],
+            "min_speedup_asserted": self.min_speedup,
+        }
+
+    def payload(self) -> dict:
+        """The ``BENCH_serve.json`` dictionary (a detached deep copy)."""
+        import copy
+
+        return {
+            "schema": SERVE_BENCH_SCHEMA,
+            "preset": self.preset,
+            "seed": self.seed,
+            "workload": dict(self.workload),
+            "naive": dict(self.naive),
+            "async": copy.deepcopy(self.legs),
+            "headline": dict(self.headline),
+        }
+
+    def report(self) -> str:
+        w = self.workload
+        lines = [
+            f"serve-bench[async] preset={self.preset} seed={self.seed} "
+            f"({w['n_train']} fingerprints x {w['n_aps']} WAPs, "
+            f"{w['n_queries']} queries, model={w['model']!r}, "
+            f"batch={w['batch_size']}, {w['producers']} producers)",
+            "",
+            f"per-query baseline : {self.naive['seconds']:8.3f} s "
+            f"({self.naive['requests_per_second']:9.0f} req/s)",
+            "",
+            "  deadline(ms)   time(s)      req/s   batches   fill   "
+            "lat~mean/p95(ms)   speedup",
+        ]
+        for leg in self.legs:
+            lines.append(
+                f"  {leg['deadline_ms']:10.1f} {leg['seconds']:9.3f} "
+                f"{leg['requests_per_second']:10.0f} {leg['n_batches']:9d} "
+                f"{leg['mean_batch_fill']:6.1f}   "
+                f"{leg['mean_latency_ms']:7.1f}/{leg['p95_latency_ms']:-7.1f}   "
+                f"{leg['speedup_vs_naive']:6.1f}x"
+            )
+        head = self.headline
+        lines.append(
+            f"\nheadline: {head['async_speedup']:.1f}x over per-query at a "
+            f"{head['deadline_ms']:.0f} ms deadline "
+            f"(floor {head['min_speedup_asserted']:.1f}x); "
+            "per-leg prediction parity asserted vs the synchronous oracle"
+        )
+        return "\n".join(lines)
+
+
+def _async_leg(
+    estimator,
+    queries: np.ndarray,
+    oracle_xy: np.ndarray,
+    deadline_ms: float,
+    preset: ServePreset,
+    batch_size: int,
+    producers: int,
+) -> dict:
+    """One deadline sweep point, median-of-``preset.repeats`` runs.
+
+    Every run hammers a fresh front end and checks parity; the reported
+    record is the run with the median elapsed time (scheduler-noise
+    shielding — see :class:`ServePreset`), counters included.
+    """
+    runs = [
+        _async_run(
+            estimator, queries, oracle_xy, deadline_ms, preset, batch_size,
+            producers,
+        )
+        for _ in range(max(preset.repeats, 1))
+    ]
+    runs.sort(key=lambda leg: leg["seconds"])
+    return runs[len(runs) // 2]
+
+
+def _async_run(
+    estimator,
+    queries: np.ndarray,
+    oracle_xy: np.ndarray,
+    deadline_ms: float,
+    preset: ServePreset,
+    batch_size: int,
+    producers: int,
+) -> dict:
+    """One measured pass: producer threads through a fresh front end."""
+    from repro.serving import ServingFrontend
+
+    frontend = ServingFrontend(
+        estimator,
+        batch_size=batch_size,
+        deadline_ms=deadline_ms,
+        max_pending=preset.max_pending,
+        overflow="block",
+    )
+    tickets: "list" = [None] * len(queries)
+    errors: "list[BaseException]" = []
+
+    def producer(lane: int) -> None:
+        try:
+            for i in range(lane, len(queries), producers):
+                tickets[i] = frontend.submit(queries[i])
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=producer, args=(lane,), daemon=True)
+        for lane in range(producers)
+    ]
+    tic = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    frontend.close(drain=True)
+    if errors:
+        raise errors[0]  # before the gather, which would mask this
+    coordinates = np.vstack([t.result().coordinates for t in tickets])
+    elapsed = time.perf_counter() - tic
+
+    parity_ok = bool(
+        np.allclose(coordinates, oracle_xy, rtol=0.0, atol=1e-9)
+    )
+    if not parity_ok:
+        worst = float(np.abs(coordinates - oracle_xy).max())
+        raise ServeParityError(
+            f"async predictions diverge from the synchronous oracle at "
+            f"deadline {deadline_ms} ms (max |Δ| {worst:.3e} m)"
+        )
+    stats = frontend.stats()
+    latencies = np.array([t.latency_s for t in tickets]) * 1e3
+    return {
+        "deadline_ms": float(deadline_ms),
+        "seconds": float(elapsed),
+        "requests_per_second": float(len(queries) / elapsed),
+        "n_batches": int(stats.batches),
+        "mean_batch_fill": float(stats.mean_batch_fill),
+        "n_timeouts": int(stats.timeouts),
+        "mean_latency_ms": float(latencies.mean()),
+        "p95_latency_ms": float(np.percentile(latencies, 95)),
+        "parity_ok": parity_ok,
+    }
+
+
+def run_serve_bench(
+    preset: str = "fast",
+    seed: int = 42,
+    model: str = "knn",
+    batch_size: "int | None" = None,
+    deadlines_ms: "tuple[float, ...] | None" = None,
+    producers: "int | None" = None,
+    min_speedup: "float | None" = None,
+    **model_params,
+) -> ServeBenchResult:
+    """Benchmark async serving and assert parity + headline speedup.
+
+    Raises :class:`ServeParityError` when any leg's predictions diverge
+    from the synchronous oracle and :class:`ServeSpeedupError` when the
+    headline-deadline throughput falls below ``min_speedup`` times the
+    per-query baseline (preset default; pass 0 to disable).  Extra
+    keyword arguments are forwarded to the registered ``model``.
+    """
+    from repro.data import generate_uji_like
+    from repro.serving import ModelCache, get
+
+    try:
+        config = PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r}; choices: {sorted(PRESETS)}"
+        ) from None
+    get(model)  # fail fast on a typo'd name, before dataset generation
+    if batch_size is None:
+        batch_size = config.batch_size
+    if producers is None:
+        producers = config.producers
+    if producers < 1:
+        raise ValueError(f"producers must be >= 1, got {producers}")
+    if deadlines_ms is None:
+        deadlines_ms = config.deadlines_ms
+    deadlines_ms = tuple(float(d) for d in deadlines_ms)
+    if not deadlines_ms or any(d <= 0 for d in deadlines_ms):
+        raise ValueError(f"deadlines must be positive, got {deadlines_ms}")
+    if min_speedup is None:
+        min_speedup = config.min_speedup
+    # the speedup is asserted at the headline deadline; keep it in the sweep
+    headline_deadline = (
+        config.headline_deadline_ms
+        if config.headline_deadline_ms in deadlines_ms
+        else deadlines_ms[-1]
+    )
+
+    dataset = generate_uji_like(
+        n_spots_per_building=config.n_spots_per_building,
+        measurements_per_spot=config.measurements_per_spot,
+        n_aps_per_floor=config.n_aps_per_floor,
+        seed=seed,
+    )
+    train, test = dataset.split((0.8, 0.2), rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    queries = test.rssi[rng.integers(0, len(test), size=config.n_queries)]
+
+    cache = ModelCache(capacity=4)
+    tic = time.perf_counter()
+    estimator = cache.get_or_fit(model, train, **model_params)
+    fit_seconds = time.perf_counter() - tic
+
+    # synchronous oracle for parity (one vectorized call)
+    oracle_xy = estimator.predict_batch(queries).coordinates
+
+    # naive per-query baseline, median-of-repeats like the async legs
+    naive_times = []
+    for _ in range(max(config.repeats, 1)):
+        tic = time.perf_counter()
+        naive_xy = np.vstack(
+            [estimator.predict_batch(q[None, :]).coordinates for q in queries]
+        )
+        naive_times.append(time.perf_counter() - tic)
+    naive_seconds = sorted(naive_times)[len(naive_times) // 2]
+    if not np.allclose(naive_xy, oracle_xy, rtol=0.0, atol=1e-9):
+        raise ServeParityError(
+            "per-query predictions diverge from the batched oracle"
+        )
+
+    result = ServeBenchResult(
+        preset=config.name,
+        seed=seed,
+        min_speedup=float(min_speedup),
+        workload={
+            "n_train": len(train),
+            "n_queries": int(config.n_queries),
+            "n_aps": int(train.n_aps),
+            "model": model,
+            "batch_size": int(batch_size),
+            "producers": int(producers),
+            "headline_deadline_ms": float(headline_deadline),
+            "fit_seconds": float(fit_seconds),
+        },
+        naive={
+            "seconds": float(naive_seconds),
+            "requests_per_second": float(len(queries) / naive_seconds),
+        },
+    )
+    for deadline in deadlines_ms:
+        leg = _async_leg(
+            estimator, queries, oracle_xy, deadline, config, batch_size, producers
+        )
+        leg["speedup_vs_naive"] = float(
+            leg["requests_per_second"] / result.naive["requests_per_second"]
+        )
+        result.legs.append(leg)
+
+    headline = result.headline["async_speedup"]
+    if min_speedup > 0 and headline is not None and headline < min_speedup:
+        raise ServeSpeedupError(
+            f"async throughput speedup {headline:.2f}x at the "
+            f"{headline_deadline:.0f} ms deadline is below the asserted "
+            f"minimum {min_speedup:.2f}x"
+        )
+    return result
+
+
+def validate_serve_bench_payload(payload: dict) -> None:
+    """Validate a ``BENCH_serve.json`` dictionary; raises ``ValueError``.
+
+    Guards the persistent trajectory's shape: schema tag, workload and
+    naive-baseline blocks, at least one async leg with complete fields,
+    and a headline block — so ``make serve-bench-smoke`` (and through
+    it ``make check``) fails loudly when the emitted artifact drifts.
+    """
+
+    def _is(value, kind) -> bool:
+        if kind is float:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if kind is int:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, kind)
+
+    problems: "list[str]" = []
+    if payload.get("schema") != SERVE_BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {SERVE_BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key in ("preset", "seed", "workload", "naive", "async", "headline"):
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    workload = payload.get("workload", {})
+    for key in ("n_train", "n_queries", "n_aps", "batch_size", "producers"):
+        if not isinstance(workload.get(key), int):
+            problems.append(f"workload.{key} must be an int")
+    if not isinstance(workload.get("model"), str):
+        problems.append("workload.model must be a string")
+    naive = payload.get("naive", {})
+    for key in ("seconds", "requests_per_second"):
+        if not _is(naive.get(key), float):
+            problems.append(f"naive.{key} must be a number")
+    legs = payload.get("async", [])
+    if not isinstance(legs, list) or not legs:
+        problems.append("async must be a non-empty list of deadline legs")
+    else:
+        for i, leg in enumerate(legs):
+            for field_name, field_type in _LEG_FIELDS.items():
+                if not _is(leg.get(field_name), field_type):
+                    problems.append(
+                        f"async[{i}].{field_name} must be "
+                        f"{field_type.__name__}"
+                    )
+            if leg.get("parity_ok") is False:
+                problems.append(f"async[{i}].parity_ok is False")
+    headline = payload.get("headline", {})
+    for key in ("deadline_ms", "async_speedup", "min_speedup_asserted"):
+        if key not in headline:
+            problems.append(f"headline missing {key!r}")
+    if problems:
+        raise ValueError("invalid BENCH_serve payload: " + "; ".join(problems))

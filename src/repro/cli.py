@@ -7,12 +7,21 @@ Run the paper's experiments without writing code::
     python -m repro.cli imu             # Table III style comparison
     python -m repro.cli energy          # §IV-C / §V-D accounting
     python -m repro.cli serve-bench     # per-query vs batched serving
+    python -m repro.cli serve-bench --async   # deadline-driven front end sweep
     python -m repro.cli shard-bench     # sharded vs monolithic kNN index
     python -m repro.cli train-bench     # float32 fast path vs seed training loop
     python -m repro.cli wifi --preset paper --csv trainingData.csv
 
 ``--preset fast`` (default) finishes in a couple of minutes on a laptop;
-``--preset paper`` approaches the paper's scale.
+``--preset paper`` approaches the paper's scale; ``--preset smoke`` is a
+seconds-scale schema check for the benches that emit JSON artifacts
+(train-bench, serve-bench --async).
+
+``serve-bench --async`` pushes the query stream through
+:class:`repro.serving.ServingFrontend` — concurrent producer threads,
+micro-batches drained on a latency deadline — sweeping deadline vs
+throughput, asserting prediction parity with the synchronous path, and
+writing the ``BENCH_serve.json`` trajectory artifact.
 """
 
 from __future__ import annotations
@@ -37,7 +46,8 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--preset", choices=("fast", "paper", "smoke"), default="fast",
-        help="experiment scale (default: fast; smoke is train-bench only)",
+        help="experiment scale (default: fast; smoke is for the JSON "
+             "benches: train-bench and serve-bench --async)",
     )
     parser.add_argument(
         "--csv", default=None,
@@ -49,8 +59,26 @@ def main(argv: "list[str] | None" = None) -> int:
         help="registered serving estimator name (serve-bench only)",
     )
     parser.add_argument(
-        "--batch-size", type=int, default=64,
-        help="query batch size (serve-bench and shard-bench)",
+        "--batch-size", type=int, default=None,
+        help="query batch size (serve-bench and shard-bench; "
+             "default: 64, or the preset's for serve-bench --async)",
+    )
+    parser.add_argument(
+        "--async", dest="run_async", action="store_true",
+        help="serve-bench only: benchmark the deadline-driven async "
+             "front end (deadline sweep, parity assertion, "
+             "BENCH_serve.json artifact)",
+    )
+    parser.add_argument(
+        "--deadlines", default=None,
+        help="comma-separated flush deadlines in ms for the "
+             "serve-bench --async sweep (default: the preset's, "
+             "e.g. 5,20,50)",
+    )
+    parser.add_argument(
+        "--producers", type=int, default=None,
+        help="concurrent producer threads for serve-bench --async "
+             "(default: the preset's)",
     )
     parser.add_argument(
         "--points", type=int, default=None,
@@ -66,13 +94,16 @@ def main(argv: "list[str] | None" = None) -> int:
         help="shard partitioning policy (shard-bench only)",
     )
     parser.add_argument(
-        "--output", default="BENCH_train.json",
-        help="where train-bench writes its JSON trajectory entry",
+        "--output", default=None,
+        help="where the JSON trajectory entry is written (default: "
+             "BENCH_train.json for train-bench, BENCH_serve.json for "
+             "serve-bench --async)",
     )
     parser.add_argument(
         "--min-speedup", type=float, default=None,
-        help="override the asserted NObLe cold-fit speedup floor "
-             "(train-bench only; 0 disables the assertion)",
+        help="override the asserted speedup floor (train-bench NObLe "
+             "cold fit / serve-bench --async headline throughput; "
+             "0 disables the assertion)",
     )
     parser.add_argument(
         "--models", default="noble,cnnloc",
@@ -80,8 +111,11 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.experiment != "train-bench" and args.preset == "smoke":
-        raise SystemExit("--preset smoke is only supported by train-bench")
+    if args.experiment not in ("train-bench", "serve-bench") and args.preset == "smoke":
+        raise SystemExit(
+            "--preset smoke is only supported by train-bench and "
+            "serve-bench --async"
+        )
     runner = {
         "wifi": run_wifi,
         "ipin": run_ipin,
@@ -244,14 +278,25 @@ def run_serve_bench(args) -> None:
     estimator through the :class:`repro.serving.ModelCache`, then serves
     the same query workload (a) one request at a time and (b) through the
     :class:`repro.serving.MicroBatcher`, asserting identical predictions.
+
+    With ``--async``, the workload instead goes through the
+    deadline-driven :class:`repro.serving.ServingFrontend`: concurrent
+    producers, a flush-deadline sweep, per-leg prediction parity against
+    the synchronous oracle, and a schema-validated ``BENCH_serve.json``
+    trajectory artifact.
     """
     import time
 
     from repro.data import generate_uji_like
     from repro.serving import MicroBatcher, ModelCache, get
 
+    if args.run_async:
+        return run_serve_bench_async(args)
+    if args.preset == "smoke":
+        raise SystemExit("serve-bench --preset smoke requires --async")
     get(args.model)  # fail fast on a typo'd name, before dataset generation
     seed = args.seed if args.seed is not None else 42
+    batch_size = args.batch_size if args.batch_size is not None else 64
     scale = dict(fast=(48, 10, 10, 400), paper=(170, 20, 18, 2000))[args.preset]
     n_spots, per_spot, n_aps, n_queries = scale
     dataset = generate_uji_like(
@@ -283,7 +328,7 @@ def run_serve_bench(args) -> None:
     single = [estimator.predict_batch(q[None, :]) for q in queries]
     t_single = time.perf_counter() - tic
 
-    batcher = MicroBatcher(estimator, batch_size=args.batch_size)
+    batcher = MicroBatcher(estimator, batch_size=batch_size)
     tic = time.perf_counter()
     batched = batcher.predict_many(queries)
     t_batched = time.perf_counter() - tic
@@ -296,11 +341,59 @@ def run_serve_bench(args) -> None:
           f"({n_queries / t_single:10.0f} req/s)")
     print(f"micro-batched    : {t_batched:9.4f} s "
           f"({n_queries / t_batched:10.0f} req/s, "
-          f"batch={args.batch_size}, {batcher.n_batches} calls)")
+          f"batch={batch_size}, {batcher.n_batches} calls)")
     print(f"batching speedup : {t_single / t_batched:9.1f}x")
     stats = cache.stats()
     print(f"cache            : {stats.hits} hits / {stats.misses} misses "
           f"({stats.size}/{stats.capacity} slots)")
+
+
+def run_serve_bench_async(args) -> None:
+    """Benchmark the deadline-driven async serving front end.
+
+    Sweeps flush deadline vs throughput through
+    :class:`repro.serving.ServingFrontend` with concurrent producer
+    threads, asserts per-leg prediction parity against the synchronous
+    path and a minimum headline speedup over naive per-query serving,
+    prints the comparison, and writes the ``BENCH_serve.json``
+    perf-trajectory artifact (schema-validated before writing).
+    """
+    import json
+
+    from repro.bench import run_serve_bench as bench, validate_bench_payload
+
+    seed = args.seed if args.seed is not None else 42
+    deadlines = None
+    if args.deadlines is not None:
+        try:
+            deadlines = tuple(
+                float(d) for d in args.deadlines.split(",") if d.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"serve-bench: --deadlines must be comma-separated numbers, "
+                f"got {args.deadlines!r}"
+            ) from None
+    try:
+        result = bench(
+            preset=args.preset,
+            seed=seed,
+            model=args.model,
+            batch_size=args.batch_size,
+            deadlines_ms=deadlines,
+            producers=args.producers,
+            min_speedup=args.min_speedup,
+        )
+    except (ValueError, AssertionError) as error:
+        raise SystemExit(f"serve-bench: {error}") from None
+    print(result.report())
+    payload = result.payload()
+    validate_bench_payload(payload)
+    output = args.output if args.output is not None else "BENCH_serve.json"
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {output}")
 
 
 def run_shard_bench(args) -> None:
@@ -333,7 +426,7 @@ def run_shard_bench(args) -> None:
             n_queries=n_queries,
             n_shards=n_shards,
             n_spots=n_spots,
-            batch_size=args.batch_size,
+            batch_size=args.batch_size if args.batch_size is not None else 64,
             partitioner=args.partitioner,
             seed=seed,
         )
@@ -370,10 +463,11 @@ def run_train_bench(args) -> None:
     print(result.report())
     payload = result.payload()
     validate_bench_payload(payload)
-    with open(args.output, "w") as handle:
+    output = args.output if args.output is not None else "BENCH_train.json"
+    with open(output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"\nwrote {args.output}")
+    print(f"\nwrote {output}")
 
 
 def run_energy(args) -> None:

@@ -282,15 +282,23 @@ class MultiHeadLoss(Loss):
         """
         cached = self._tiling_ok.get(width)
         if cached is None:
-            spans = sorted(
-                sl.indices(width)[:2] for sl, _loss, _w in self.heads.values()
-            )
-            cursor = 0
-            for start, stop in spans:
-                if start != cursor or stop < start:
+            spans = []
+            stepped = False
+            for sl, _loss, _w in self.heads.values():
+                start, stop, step = sl.indices(width)
+                if step != 1:
+                    # a stepped slice skips columns inside its span; the
+                    # fused path would leave them uninitialized
+                    stepped = True
                     break
-                cursor = stop
-            cached = cursor == width
+                spans.append((start, stop))
+            cursor = 0
+            if not stepped:
+                for start, stop in sorted(spans):
+                    if start != cursor or stop < start:
+                        break
+                    cursor = stop
+            cached = not stepped and cursor == width
             self._tiling_ok[width] = cached
         return cached
 

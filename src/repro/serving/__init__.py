@@ -1,21 +1,30 @@
-"""repro.serving — batched, cached model serving behind one protocol.
+"""repro.serving — batched, cached, deadline-driven model serving.
 
-The production-facing seam of the repo.  Three pieces compose:
+The production-facing seam of the repo.  Four pieces compose:
 
 ``registry``
     :class:`Estimator` protocol (``fit(dataset)`` /
     ``predict_batch(raw_signals) -> Prediction``) plus a name-keyed
     registry adapting every localization backend — ``"knn"``,
-    ``"noble"``, ``"cnnloc"``, ``"knn-regressor"``, ``"forest"``.
+    ``"noble"``, ``"cnnloc"``, ``"knn-regressor"``, ``"forest"``, and
+    the multi-backend ``"ensemble"`` (NObLe primary with a kNN fallback
+    for out-of-distribution scans).
 ``cache``
-    :class:`ModelCache`, an LRU of fitted models keyed by dataset
-    fingerprint + hyperparameters, so repeated requests against the
-    same radio map never re-fit or re-index.
+    :class:`ModelCache`, a thread-safe LRU of fitted models keyed by
+    dataset fingerprint + hyperparameters, with a per-key in-flight
+    guard so a stampede of identical misses fits exactly once.
 ``batcher``
     :class:`MicroBatcher`, which accumulates single-query requests into
-    fixed-size micro-batches served by one vectorized model call.
+    fixed-size micro-batches served by one vectorized model call
+    (internally locked for concurrent producers).
+``frontend``
+    :class:`ServingFrontend`, the asynchronous front end: a worker
+    thread drains the batcher with deadline-based flush (a partial
+    batch goes out when its oldest request's latency budget expires),
+    bounded-queue backpressure (``block`` or ``reject``), per-request
+    timeouts, and deterministic drain-or-cancel shutdown.
 
-Typical serving loop::
+Typical synchronous loop::
 
     from repro.serving import MicroBatcher, ModelCache
 
@@ -26,12 +35,29 @@ Typical serving loop::
     batcher.flush()
     positions = [t.result().coordinates[0] for t in tickets]
 
-``python -m repro.cli serve-bench`` benchmarks this path against naive
-per-query serving.
+Asynchronous serving under a 50 ms latency budget::
+
+    from repro.serving import ServingFrontend
+
+    with ServingFrontend(estimator, batch_size=64, deadline_ms=50) as fe:
+        tickets = [fe.submit(scan) for scan in incoming]
+        positions = [t.result().coordinates[0] for t in tickets]
+
+``python -m repro.cli serve-bench`` benchmarks the synchronous path;
+``serve-bench --async`` sweeps deadline vs throughput through the
+front end and writes the ``BENCH_serve.json`` trajectory artifact.
 """
 
 from repro.serving.batcher import MicroBatcher, Ticket
 from repro.serving.cache import CacheStats, ModelCache, dataset_fingerprint
+from repro.serving.frontend import (
+    AsyncTicket,
+    FrontendClosedError,
+    FrontendStats,
+    QueueFullError,
+    RequestTimeoutError,
+    ServingFrontend,
+)
 from repro.serving.registry import (
     Estimator,
     Prediction,
@@ -55,4 +81,10 @@ __all__ = [
     "dataset_fingerprint",
     "MicroBatcher",
     "Ticket",
+    "ServingFrontend",
+    "AsyncTicket",
+    "FrontendStats",
+    "QueueFullError",
+    "FrontendClosedError",
+    "RequestTimeoutError",
 ]

@@ -16,9 +16,21 @@ vectorized model call:
 A full batch flushes automatically inside :meth:`submit`; ``flush()``
 drains whatever remains.  :meth:`predict_many` is the convenience path
 for an already-materialized query matrix.
+
+Thread safety: every mutating operation (``submit`` / ``flush`` /
+``discard_pending`` / ``predict_many``) serializes on one reentrant
+lock, so concurrent producers can share a batcher without losing or
+duplicating tickets — an auto-flush triggered by one thread's submit
+runs to completion before any other thread's submit interleaves.  The
+lock is held across the model call inside ``flush``, which serializes
+batches by design (one vectorized call at a time is the whole point).
+For deadline-driven serving, wrap the batcher in
+:class:`repro.serving.ServingFrontend`, which owns it single-writer.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -69,11 +81,14 @@ class MicroBatcher:
         self._pending_tickets: "list[Ticket]" = []
         self.n_requests = 0
         self.n_batches = 0
+        # reentrant: submit auto-flushes while already holding the lock
+        self._lock = threading.RLock()
 
     @property
     def n_pending(self) -> int:
         """Queries submitted but not yet run through the model."""
-        return len(self._pending_tickets)
+        with self._lock:
+            return len(self._pending_tickets)
 
     def submit(self, signal: np.ndarray) -> Ticket:
         """Enqueue one raw RSSI row; auto-flushes when the batch fills."""
@@ -82,27 +97,32 @@ class MicroBatcher:
             raise ValueError(
                 f"submit takes a single (W,) signal row, got shape {signal.shape}"
             )
-        if self._pending_signals and signal.shape != self._pending_signals[0].shape:
-            raise ValueError(
-                f"signal width {signal.shape[0]} does not match the pending "
-                f"batch width {self._pending_signals[0].shape[0]}"
-            )
-        ticket = Ticket()
-        self._pending_signals.append(signal)
-        self._pending_tickets.append(ticket)
-        self.n_requests += 1
-        if len(self._pending_tickets) >= self.batch_size:
-            try:
-                self.flush()
-            except Exception:
-                # the caller never receives this ticket when submit raises —
-                # undo the enqueue so the query can be resubmitted without
-                # duplication (earlier queries keep their held tickets)
-                self._pending_signals.pop()
-                self._pending_tickets.pop()
-                self.n_requests -= 1
-                raise
-        return ticket
+        with self._lock:
+            if (
+                self._pending_signals
+                and signal.shape != self._pending_signals[0].shape
+            ):
+                raise ValueError(
+                    f"signal width {signal.shape[0]} does not match the pending "
+                    f"batch width {self._pending_signals[0].shape[0]}"
+                )
+            ticket = Ticket()
+            self._pending_signals.append(signal)
+            self._pending_tickets.append(ticket)
+            self.n_requests += 1
+            if len(self._pending_tickets) >= self.batch_size:
+                try:
+                    self.flush()
+                except Exception:
+                    # the caller never receives this ticket when submit
+                    # raises — undo the enqueue so the query can be
+                    # resubmitted without duplication (earlier queries
+                    # keep their held tickets)
+                    self._pending_signals.pop()
+                    self._pending_tickets.pop()
+                    self.n_requests -= 1
+                    raise
+            return ticket
 
     def discard_pending(self) -> int:
         """Drop all pending queries without running them; returns the count.
@@ -112,10 +132,11 @@ class MicroBatcher:
         discarded tickets stay permanently unresolved and their queries
         must be resubmitted.
         """
-        dropped = len(self._pending_tickets)
-        self._pending_signals = []
-        self._pending_tickets = []
-        return dropped
+        with self._lock:
+            dropped = len(self._pending_tickets)
+            self._pending_signals = []
+            self._pending_tickets = []
+            return dropped
 
     def flush(self) -> int:
         """Run pending queries in one model call; returns how many ran.
@@ -123,16 +144,20 @@ class MicroBatcher:
         If the model call raises, the pending queue is left intact so the
         batch can be retried (or inspected) instead of silently dropped.
         """
-        if not self._pending_tickets:
-            return 0
-        signals = np.vstack(self._pending_signals)
-        prediction = self.estimator.predict_batch(signals)
-        tickets = self._pending_tickets
-        self._pending_signals = []
-        self._pending_tickets = []
-        self.n_batches += 1
-        for i, ticket in enumerate(tickets):
-            ticket._prediction = prediction.take(slice(i, i + 1))
+        with self._lock:
+            if not self._pending_tickets:
+                return 0
+            signals = np.vstack(self._pending_signals)
+            prediction = self.estimator.predict_batch(signals)
+            tickets = self._pending_tickets
+            self._pending_signals = []
+            self._pending_tickets = []
+            self.n_batches += 1
+            # resolve before releasing the lock: a concurrent producer
+            # whose flush() returns 0 (queue already swapped empty) must
+            # find its ticket resolved, not in a half-flushed limbo
+            for i, ticket in enumerate(tickets):
+                ticket._prediction = prediction.take(slice(i, i + 1))
         return len(tickets)
 
     def predict_many(self, signals: np.ndarray) -> Prediction:
@@ -146,14 +171,15 @@ class MicroBatcher:
         signals = np.asarray(signals, dtype=float)
         if signals.ndim != 2:
             raise ValueError(f"signals must be 2-D, got shape {signals.shape}")
-        self.flush()
-        if len(signals) == 0:
-            # one empty model call, so label heads survive for concatenate()
-            return self.estimator.predict_batch(signals)
-        batches = []
-        for start in range(0, len(signals), self.batch_size):
-            batch = signals[start : start + self.batch_size]
-            batches.append(self.estimator.predict_batch(batch))
-            self.n_batches += 1
-            self.n_requests += len(batch)
+        with self._lock:
+            self.flush()
+            if len(signals) == 0:
+                # one empty model call, so label heads survive for concatenate()
+                return self.estimator.predict_batch(signals)
+            batches = []
+            for start in range(0, len(signals), self.batch_size):
+                batch = signals[start : start + self.batch_size]
+                batches.append(self.estimator.predict_batch(batch))
+                self.n_batches += 1
+                self.n_requests += len(batch)
         return concatenate(batches)

@@ -13,10 +13,17 @@ re-fit or re-index:
 The dataset fingerprint is a content digest of the arrays themselves, so
 two structurally identical datasets hit the same entry and any mutation
 (new survey points, relabeled floors) transparently misses.
+
+The cache is thread-safe: lookups and LRU bookkeeping run under one
+lock (a hit stays lock-cheap — a dict probe plus ``move_to_end``), and
+a per-key in-flight guard ensures that when many threads miss the same
+key at once exactly one of them fits while the rest wait and then share
+the fitted instance (a waiter counts as a hit).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -63,14 +70,33 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+class _InFlightFit:
+    """Rendezvous for threads that missed the same key concurrently."""
+
+    __slots__ = ("done", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.error: "BaseException | None" = None
+
+
 class ModelCache:
-    """LRU cache of fitted estimators.
+    """Thread-safe LRU cache of fitted estimators.
 
     Parameters
     ----------
     capacity:
         Maximum number of fitted models held; least-recently-used
         entries are evicted beyond it.
+
+    Concurrency: safe to share across threads.  A hit takes one short
+    lock (dict probe + LRU bump — no hashing, no fitting, well under
+    the ~0.1 ms memoized-fingerprint budget).  Concurrent misses of the
+    *same* key are collapsed by a per-key in-flight guard: one thread
+    fits, the others block until the fit lands and then return the
+    shared instance (counted as hits).  If the owning fit raises, every
+    waiter sees that error.  Misses of *different* keys fit in parallel
+    — the lock is never held across ``fit``.
     """
 
     def __init__(self, capacity: int = 8):
@@ -78,12 +104,15 @@ class ModelCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[tuple, Estimator]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: "dict[tuple, _InFlightFit]" = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get_or_fit(
         self,
@@ -98,38 +127,71 @@ class ModelCache:
         pass :func:`dataset_fingerprint`'s output, computed once, when
         serving many requests against the same (immutable) radio map;
         hashing a UJIIndoorLoc-scale dataset costs more than a kNN query.
+
+        Under a concurrent stampede on one key, exactly one caller fits;
+        the rest wait on the in-flight fit and share its result.
         """
         # key on the estimator's canonicalized params, not the raw kwargs,
         # so omitted defaults / equivalent spellings (k=5 vs k=5.0) dedupe;
         # construction is cheap — adapters only store params until fit()
         estimator = create(name, **hyperparams)
         if fingerprint is None:
+            # hash outside the lock: memoized after the first call, and a
+            # benign first-call race just computes the same digest twice
             fingerprint = dataset_fingerprint(dataset)
         key = (name, fingerprint, _params_key(estimator.params))
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
-        estimator.fit(dataset)
-        self._entries[key] = estimator
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return cached
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = self._inflight[key] = _InFlightFit()
+                    break  # this thread owns the fit
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            # the fit landed; loop to take it as a hit (or, if it was
+            # already evicted by unrelated churn, become the new owner)
+        try:
+            estimator.fit(dataset)
+        except BaseException as error:
+            flight.error = error
+            with self._lock:
+                self.misses += 1
+                self._inflight.pop(key, None)
+            flight.done.set()
+            raise
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = estimator
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key, None)
+        flight.done.set()
         return estimator
 
     def stats(self) -> CacheStats:
         """Current hit/miss/eviction counters and occupancy."""
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
 
     def clear(self) -> None:
-        """Drop all cached models and reset the counters."""
-        self._entries.clear()
-        self.hits = self.misses = self.evictions = 0
+        """Drop all cached models and reset the counters.
+
+        In-flight fits are unaffected: they land in the cleared cache
+        when they finish.
+        """
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0

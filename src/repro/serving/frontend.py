@@ -1,0 +1,543 @@
+"""Deadline-driven asynchronous serving front end.
+
+:class:`repro.serving.MicroBatcher` only drains when a batch fills or
+someone calls ``flush()`` — fine for offline evaluation, wrong for a
+production front end where the last few requests of a lull would wait
+forever.  :class:`ServingFrontend` wraps the batcher in a worker thread
+with the four properties a real serving tier needs:
+
+* **deadline-based flush** — every request carries a latency budget
+  (``deadline_ms``); a partial batch drains as soon as its *oldest*
+  request's budget expires, not only when the batch fills.
+* **bounded-queue backpressure** — at most ``max_pending`` requests may
+  be queued; beyond that ``submit`` either blocks until the worker
+  drains (``overflow="block"``) or rejects immediately with
+  :class:`QueueFullError` (``overflow="reject"``).
+* **per-request timeouts** — a request still queued when its
+  ``timeout_ms`` elapses fails with :class:`RequestTimeoutError`
+  instead of being served stale.
+* **deterministic shutdown** — ``close(drain=True)`` serves everything
+  still queued, ``close(drain=False)`` fails it with
+  :class:`FrontendClosedError`; either way every ticket ever returned
+  by ``submit`` is resolved when ``close`` returns.
+
+Typical use::
+
+    with ServingFrontend(estimator, batch_size=64, deadline_ms=50) as fe:
+        tickets = [fe.submit(scan) for scan in incoming]
+        positions = [t.result().coordinates[0] for t in tickets]
+
+Concurrency contract: ``submit`` is safe from any number of producer
+threads.  The wrapped :class:`MicroBatcher` is owned exclusively by the
+front end's drain path (a single-writer contract — the worker thread,
+or the caller of :meth:`pump` in manual mode); nothing else may touch
+it.  The batcher itself is also internally locked, so even an aliased
+handle cannot corrupt the queue — the contract exists so batch
+composition stays deterministic.
+
+Determinism for tests: pass ``clock=`` (any monotonic ``() -> seconds``
+callable) and ``start=False`` to get a *manual* front end with no
+worker thread; drive it by advancing the fake clock and calling
+:meth:`pump`.  All deadline/timeout semantics are expressed against the
+injected clock, so the property suite in
+``tests/serving/test_deadline_properties.py`` runs without a single
+``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.registry import Estimator, Prediction
+
+
+class QueueFullError(RuntimeError):
+    """``submit`` rejected: the bounded queue is at ``max_pending``."""
+
+
+class FrontendClosedError(RuntimeError):
+    """The front end is closed: submission refused or ticket cancelled."""
+
+
+class RequestTimeoutError(TimeoutError):
+    """A queued request outlived its ``timeout_ms`` and was dropped."""
+
+
+class AsyncTicket:
+    """Future-like handle for one request submitted to the front end.
+
+    Resolved exactly once — either with a single-row
+    :class:`repro.serving.Prediction` or with an error
+    (:class:`RequestTimeoutError`, :class:`FrontendClosedError`, or
+    whatever the model raised).  ``result()`` blocks until then.
+
+    Tickets are deliberately lighter than ``threading.Event``-per-ticket
+    futures: all tickets of one front end share its resolution
+    condition, which the drain path notifies once per *batch*.  Under
+    the GIL, ``_done`` is written last in ``_resolve``/``_fail``, so the
+    lock-free fast path in :meth:`result` can never observe a
+    half-resolved ticket.
+    """
+
+    __slots__ = ("_cond", "_done", "_prediction", "_error", "_submitted_at",
+                 "_resolved_at")
+
+    def __init__(self, cond: threading.Condition, submitted_at: float):
+        self._cond = cond
+        self._done = False
+        self._prediction: "Prediction | None" = None
+        self._error: "BaseException | None" = None
+        self._submitted_at = submitted_at
+        self._resolved_at: "float | None" = None
+
+    @property
+    def done(self) -> bool:
+        """True once the ticket carries a prediction or an error."""
+        return self._done
+
+    @property
+    def latency_s(self) -> "float | None":
+        """Submit-to-resolve time on the front end's clock, once done."""
+        if self._resolved_at is None:
+            return None
+        return self._resolved_at - self._submitted_at
+
+    def _wait(self, timeout: "float | None") -> None:
+        if self._done:
+            return
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("ticket not resolved within the wait timeout")
+
+    def result(self, timeout: "float | None" = None) -> Prediction:
+        """Block until resolved; return the prediction or raise the error.
+
+        ``timeout`` bounds the *wait* (real seconds) and raises plain
+        ``TimeoutError`` when it expires — distinct from
+        :class:`RequestTimeoutError`, which means the request itself
+        expired inside the queue.
+        """
+        self._wait(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._prediction
+
+    def exception(self, timeout: "float | None" = None) -> "BaseException | None":
+        """Block until resolved; return the recorded error (or None)."""
+        self._wait(timeout)
+        return self._error
+
+    def _resolve(self, prediction: Prediction, at: float) -> None:
+        self._prediction = prediction
+        self._resolved_at = at
+        self._done = True
+
+    def _fail(self, error: BaseException, at: float) -> None:
+        self._error = error
+        self._resolved_at = at
+        self._done = True
+
+
+class _Request:
+    """One queued query: its signal, ticket, and clock bookkeeping."""
+
+    __slots__ = ("signal", "ticket", "due", "expires")
+
+    def __init__(self, signal, ticket, due, expires):
+        self.signal = signal
+        self.ticket = ticket
+        self.due = due          # oldest-request flush trigger
+        self.expires = expires  # per-request timeout, or None
+
+
+@dataclass
+class FrontendStats:
+    """Counters exposed by :meth:`ServingFrontend.stats`."""
+
+    submitted: int
+    served: int
+    timeouts: int
+    rejected: int
+    cancelled: int
+    pending: int
+    batches: int
+
+    @property
+    def mean_batch_fill(self) -> float:
+        """Average queries per model call (batch efficiency)."""
+        return self.served / self.batches if self.batches else 0.0
+
+
+class ServingFrontend:
+    """Event-loop front end: deadline flush, backpressure, timeouts.
+
+    Parameters
+    ----------
+    estimator:
+        A fitted :class:`repro.serving.Estimator`; served through a
+        privately owned :class:`MicroBatcher`.
+    batch_size:
+        Maximum queries per vectorized model call; a full batch drains
+        immediately, a partial one when its oldest request's deadline
+        expires.
+    deadline_ms:
+        Default per-request latency budget before a partial batch is
+        forced out; ``submit`` can override per request.
+    timeout_ms:
+        Default per-request expiry: a request still *queued* this long
+        after submission fails with :class:`RequestTimeoutError`
+        instead of being served.  ``None`` (default) disables expiry.
+    max_pending:
+        Bound on queued (not yet served) requests — the backpressure
+        limit.
+    overflow:
+        Policy at the bound: ``"block"`` makes ``submit`` wait for the
+        worker to drain, ``"reject"`` raises :class:`QueueFullError`.
+    clock:
+        Monotonic ``() -> seconds`` callable; defaults to
+        ``time.monotonic``.  Inject a fake for deterministic tests.
+    start:
+        When True (default) a daemon worker thread drives the queue.
+        ``start=False`` creates a *manual* front end: no thread, the
+        caller drives it with :meth:`pump` (pairs with a fake clock).
+    """
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        batch_size: int = 64,
+        deadline_ms: float = 50.0,
+        timeout_ms: "float | None" = None,
+        max_pending: int = 1024,
+        overflow: str = "block",
+        clock=None,
+        start: bool = True,
+    ):
+        if deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if overflow not in ("block", "reject"):
+            raise ValueError(
+                f"overflow must be 'block' or 'reject', got {overflow!r}"
+            )
+        # MicroBatcher validates batch_size; the front end is its single
+        # writer (see module docstring)
+        self.batcher = MicroBatcher(estimator, batch_size=batch_size)
+        self.batch_size = self.batcher.batch_size
+        self.deadline_ms = float(deadline_ms)
+        self.timeout_ms = None if timeout_ms is None else float(timeout_ms)
+        self.max_pending = int(max_pending)
+        self.overflow = overflow
+        self._clock = time.monotonic if clock is None else clock
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)   # worker waits here
+        self._space = threading.Condition(self._lock)  # blocked producers
+        # shared by all tickets; its own lock, always acquired AFTER
+        # self._lock (never the reverse), notified once per batch
+        self._resolution = threading.Condition()
+        self._queue: "deque[_Request]" = deque()
+        # cached horizons, kept O(1) on submit and recomputed once per
+        # drain cycle: the earliest due time triggers a batch take (a
+        # younger request with a shorter per-request deadline can come
+        # due before the queue head — the FIFO prefix rides out with
+        # it), the earliest expiry only wakes the worker to expire
+        self._earliest_due: "float | None" = None
+        self._earliest_expiry: "float | None" = None
+        self._closed = False
+        self.n_submitted = 0
+        self.n_served = 0
+        self.n_timeouts = 0
+        self.n_rejected = 0
+        self.n_cancelled = 0
+        self._worker: "threading.Thread | None" = None
+        if start:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="serving-frontend", daemon=True
+            )
+            self._worker.start()
+
+    # ------------------------------------------------------------- producers
+    def submit(
+        self,
+        signal: np.ndarray,
+        deadline_ms: "float | None" = None,
+        timeout_ms: "float | None" = None,
+    ) -> AsyncTicket:
+        """Enqueue one raw RSSI row; returns immediately with a ticket.
+
+        ``deadline_ms`` / ``timeout_ms`` override the front end's
+        defaults for this request only.  Raises
+        :class:`FrontendClosedError` after :meth:`close`, and
+        :class:`QueueFullError` at the backpressure bound under the
+        ``"reject"`` policy (under ``"block"`` it waits for space).
+        """
+        signal = np.asarray(signal, dtype=float)
+        if signal.ndim != 1:
+            raise ValueError(
+                f"submit takes a single (W,) signal row, got shape {signal.shape}"
+            )
+        deadline = (self.deadline_ms if deadline_ms is None else deadline_ms) / 1e3
+        if deadline <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        timeout = self.timeout_ms if timeout_ms is None else timeout_ms
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+        with self._lock:
+            if self._closed:
+                raise FrontendClosedError("submit on a closed front end")
+            if len(self._queue) >= self.max_pending:
+                if self.overflow == "reject":
+                    self.n_rejected += 1
+                    raise QueueFullError(
+                        f"{len(self._queue)} requests pending "
+                        f"(max_pending={self.max_pending})"
+                    )
+                while len(self._queue) >= self.max_pending and not self._closed:
+                    self._space.wait()
+                if self._closed:
+                    raise FrontendClosedError("front end closed while blocked")
+            now = self._clock()
+            ticket = AsyncTicket(self._resolution, submitted_at=now)
+            due = now + deadline
+            expires = None if timeout is None else now + timeout / 1e3
+            self._queue.append(_Request(signal, ticket, due=due, expires=expires))
+            if expires is not None and (
+                self._earliest_expiry is None or expires < self._earliest_expiry
+            ):
+                self._earliest_expiry = expires
+            self.n_submitted += 1
+            # wake the worker only when its schedule actually changes: a
+            # batch just filled, or this request's deadline/timeout lands
+            # before the worker's current wake timer
+            wake = len(self._queue) >= self.batch_size
+            if self._earliest_due is None or due < self._earliest_due:
+                self._earliest_due = due
+                wake = True
+            if expires is not None and expires == self._earliest_expiry:
+                wake = True
+            if wake:
+                self._work.notify()
+        return ticket
+
+    # ---------------------------------------------------------- drain logic
+    def _notify_resolved(self) -> None:
+        """Wake every thread blocked in ``AsyncTicket.result``."""
+        with self._resolution:
+            self._resolution.notify_all()
+
+    def _recompute_horizons_locked(self) -> None:
+        """Rebuild the cached due/expiry horizons after the queue shrank."""
+        self._earliest_due = None
+        self._earliest_expiry = None
+        for request in self._queue:
+            if self._earliest_due is None or request.due < self._earliest_due:
+                self._earliest_due = request.due
+            if request.expires is not None and (
+                self._earliest_expiry is None
+                or request.expires < self._earliest_expiry
+            ):
+                self._earliest_expiry = request.expires
+
+    def _expire_locked(self, now: float) -> None:
+        """Fail every queued request whose timeout has elapsed."""
+        if self._earliest_expiry is None or now < self._earliest_expiry:
+            return
+        kept = deque()
+        for request in self._queue:
+            if request.expires is not None and now >= request.expires:
+                self.n_timeouts += 1
+                request.ticket._fail(
+                    RequestTimeoutError("request timed out before it was served"),
+                    now,
+                )
+            else:
+                kept.append(request)
+        self._queue = kept
+        self._recompute_horizons_locked()
+        # expiry frees queue slots just like a batch take does: without
+        # this, producers blocked at max_pending would hang until an
+        # unrelated drain happened to notify them
+        self._space.notify_all()
+        self._notify_resolved()
+
+    def _take_batch_locked(self, now: float) -> "list[_Request]":
+        """Pop the next due batch (empty list when nothing is due yet).
+
+        A batch is due when it is full, when the front end is closed
+        (drain), or when *any* queued request's deadline has passed —
+        the queue drains FIFO, so an overdue request pulls the whole
+        prefix ahead of it into the batch.
+        """
+        self._expire_locked(now)
+        if not self._queue:
+            return []
+        due = (
+            self._closed
+            or len(self._queue) >= self.batch_size
+            or (self._earliest_due is not None and now >= self._earliest_due)
+        )
+        if not due:
+            return []
+        batch = [
+            self._queue.popleft()
+            for _ in range(min(self.batch_size, len(self._queue)))
+        ]
+        self._recompute_horizons_locked()
+        return batch
+
+    def _next_wake_locked(self, now: float) -> "float | None":
+        """Seconds until the next deadline/timeout event (None = idle)."""
+        if not self._queue:
+            return None
+        horizon = self._earliest_due
+        if self._earliest_expiry is not None and self._earliest_expiry < horizon:
+            horizon = self._earliest_expiry
+        return max(horizon - now, 0.0)
+
+    def _serve_batch(self, batch: "list[_Request]") -> None:
+        """Run one batch through the micro-batcher (single-writer path).
+
+        A request the batcher refuses (e.g. wrong signal width against
+        the rest of the batch) fails alone; a model error fails the
+        whole batch and clears the batcher so later batches still serve.
+        """
+        submitted: "list[tuple[_Request, object]]" = []
+        for request in batch:
+            try:
+                submitted.append((request, self.batcher.submit(request.signal)))
+            except Exception as error:
+                request.ticket._fail(error, self._clock())
+        if not submitted:
+            self._notify_resolved()
+            return
+        try:
+            self.batcher.flush()
+        except Exception as error:
+            self.batcher.discard_pending()
+            now = self._clock()
+            for request, _sync_ticket in submitted:
+                request.ticket._fail(error, now)
+            self._notify_resolved()
+            return
+        now = self._clock()
+        for request, sync_ticket in submitted:
+            request.ticket._resolve(sync_ticket.result(), now)
+        self._notify_resolved()
+        with self._lock:
+            self.n_served += len(submitted)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while True:
+                    if self._closed and not self._queue:
+                        return
+                    batch = self._take_batch_locked(self._clock())
+                    if batch:
+                        break
+                    self._work.wait(timeout=self._next_wake_locked(self._clock()))
+                self._space.notify_all()
+            self._serve_batch(batch)
+
+    # ------------------------------------------------------------ manual mode
+    def pump(self) -> int:
+        """Run one drain cycle against the current clock (manual mode).
+
+        Expires timed-out requests, then — if a batch is due (full, or
+        its oldest request's deadline has passed) — serves it.  Returns
+        the number of requests taken this cycle.  Only valid on a front
+        end built with ``start=False``; threaded front ends drain
+        themselves.
+        """
+        if self._worker is not None:
+            raise RuntimeError(
+                "pump() is for manual front ends (start=False); "
+                "this one has a worker thread"
+            )
+        with self._lock:
+            batch = self._take_batch_locked(self._clock())
+            if batch:
+                self._space.notify_all()
+        if not batch:
+            return 0
+        self._serve_batch(batch)
+        return len(batch)
+
+    # --------------------------------------------------------------- shutdown
+    def close(self, drain: bool = True) -> None:
+        """Shut down; every outstanding ticket is resolved on return.
+
+        ``drain=True`` serves all queued requests (deadlines no longer
+        apply — everything flushes immediately, in FIFO batches);
+        ``drain=False`` cancels them with :class:`FrontendClosedError`.
+        Idempotent; subsequent :meth:`submit` calls raise
+        :class:`FrontendClosedError`.
+        """
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    now = self._clock()
+                    cancelled = bool(self._queue)
+                    while self._queue:
+                        request = self._queue.popleft()
+                        self.n_cancelled += 1
+                        request.ticket._fail(
+                            FrontendClosedError("cancelled at shutdown"), now
+                        )
+                    self._earliest_due = None
+                    self._earliest_expiry = None
+                    if cancelled:
+                        self._notify_resolved()
+            self._work.notify_all()
+            self._space.notify_all()
+        # never swap _worker out: concurrent close() calls must all join
+        # the same thread (join is idempotent), not race one into the
+        # manual-drain branch alongside a still-running worker
+        if self._worker is not None:
+            self._worker.join()
+        else:
+            while True:
+                with self._lock:
+                    batch = self._take_batch_locked(self._clock())
+                if not batch:
+                    break
+                self._serve_batch(batch)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def n_pending(self) -> int:
+        """Requests queued but not yet handed to the model."""
+        with self._lock:
+            return len(self._queue)
+
+    def stats(self) -> FrontendStats:
+        """Current lifecycle counters (see :class:`FrontendStats`)."""
+        with self._lock:
+            return FrontendStats(
+                submitted=self.n_submitted,
+                served=self.n_served,
+                timeouts=self.n_timeouts,
+                rejected=self.n_rejected,
+                cancelled=self.n_cancelled,
+                pending=len(self._queue),
+                batches=self.batcher.n_batches,
+            )
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

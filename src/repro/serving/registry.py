@@ -481,6 +481,146 @@ class KNNRegressorEstimator(_RegressorEstimator):
         return KNNRegressor(**kwargs)
 
 
+@register("ensemble")
+class EnsembleEstimator(Estimator):
+    """Primary backend with a kNN fallback for out-of-distribution scans.
+
+    The ROADMAP's multi-backend ensemble: serve the paper's NObLe
+    network for scans that look like the radio map it was trained on,
+    and fall back to classic kNN fingerprinting — which can never
+    extrapolate off the map — for scans that do not.  A scan is ruled
+    out-of-distribution when its nearest-neighbor distance to the
+    training fingerprints (in normalized signal space) exceeds the
+    ``ood_quantile`` quantile of the training set's own leave-one-out
+    nearest-neighbor distances.
+
+    Routing is strictly row-wise (each scan's gate depends only on that
+    scan), so batched predictions equal per-query predictions and the
+    micro-batcher/front-end parity guarantees carry over unchanged.
+    Building/floor heads are served only when *both* sides produce them
+    (probed once at fit time) — otherwise every prediction drops them,
+    so head presence never depends on how a batch happened to route and
+    :func:`repro.serving.concatenate` always sees a consistent shape.
+
+    ``primary`` / ``fallback`` name any two registered backends;
+    ``primary_params`` / ``fallback_params`` are forwarded to them and
+    canonicalized into this estimator's cache key, so two spellings of
+    the same child configuration share one
+    :class:`repro.serving.cache.ModelCache` entry.  ``routes_`` counts
+    how many rows each side served since ``fit`` (observability for the
+    front end's multiplexing).
+    """
+
+    def __init__(
+        self,
+        primary: str = "noble",
+        fallback: str = "knn",
+        ood_quantile: float = 0.99,
+        primary_params: "dict | None" = None,
+        fallback_params: "dict | None" = None,
+    ):
+        if "ensemble" in (primary, fallback):
+            raise ValueError("ensemble backends cannot nest")
+        if not 0.0 <= float(ood_quantile) <= 1.0:
+            raise ValueError(
+                f"ood_quantile must be in [0, 1], got {ood_quantile}"
+            )
+        self._primary = create(primary, **dict(primary_params or {}))
+        self._fallback = create(fallback, **dict(fallback_params or {}))
+        super().__init__(
+            primary=primary,
+            fallback=fallback,
+            ood_quantile=float(ood_quantile),
+            # children canonicalize their own params (defaults filled,
+            # spellings collapsed), so the cache key inherits that
+            primary_params=dict(sorted(self._primary.params.items())),
+            fallback_params=dict(sorted(self._fallback.params.items())),
+        )
+        self.ood_threshold_: "float | None" = None
+        self.routes_ = {"primary": 0, "fallback": 0}
+
+    def fit(self, dataset: FingerprintDataset) -> "EnsembleEstimator":
+        from repro.manifold.neighbors import KNNIndex
+
+        self._primary.fit(dataset)
+        self._fallback.fit(dataset)
+        signals = dataset.normalized_signals()
+        self._ood_index = KNNIndex(signals, method="brute")
+        if len(signals) > 1:
+            distances, _ = self._ood_index.query(
+                signals, k=1, exclude_self=True, on_excess="clamp"
+            )
+            self.ood_threshold_ = float(
+                np.quantile(distances[:, 0], self.params["ood_quantile"])
+            )
+        else:
+            # a single-point map has no leave-one-out distances: nothing
+            # is ever ruled out-of-distribution
+            self.ood_threshold_ = float("inf")
+        # probe with one real row: heads are served only when both sides
+        # have them, so presence never depends on batch routing
+        probe = dataset.rssi[:1]
+        probed = [
+            child.predict_batch(probe)
+            for child in (self._primary, self._fallback)
+        ]
+        self._heads_ok = all(
+            p.building is not None and p.floor is not None for p in probed
+        )
+        self.routes_ = {"primary": 0, "fallback": 0}
+        return self
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        check_fitted(self, "ood_threshold_")
+        signals = check_2d(signals, "signals")
+        if len(signals) == 0:
+            return self._strip(self._primary.predict_batch(signals))
+        normalized = self._as_dataset(signals).normalized_signals()
+        distances, _ = self._ood_index.query(normalized, k=1)
+        ood = distances[:, 0] > self.ood_threshold_
+        self.routes_["primary"] += int((~ood).sum())
+        self.routes_["fallback"] += int(ood.sum())
+        if not ood.any():
+            return self._strip(self._primary.predict_batch(signals))
+        if ood.all():
+            return self._strip(self._fallback.predict_batch(signals))
+        return self._strip(
+            self._merge(
+                ood,
+                self._primary.predict_batch(signals[~ood]),
+                self._fallback.predict_batch(signals[ood]),
+            )
+        )
+
+    def _strip(self, prediction: Prediction) -> Prediction:
+        """Drop label heads unless both children serve them (see class doc)."""
+        if self._heads_ok:
+            return prediction
+        return Prediction(coordinates=prediction.coordinates)
+
+    @staticmethod
+    def _merge(
+        ood: np.ndarray, primary: Prediction, fallback: Prediction
+    ) -> Prediction:
+        """Interleave the two routed predictions back into request order."""
+        n = len(ood)
+        coordinates = np.empty((n, 2), dtype=float)
+        coordinates[~ood] = primary.coordinates
+        coordinates[ood] = fallback.coordinates
+        heads = {}
+        for name in ("building", "floor"):
+            a, b = getattr(primary, name), getattr(fallback, name)
+            if a is None or b is None:
+                # a head only survives when both sides can fill it
+                heads[name] = None
+            else:
+                merged = np.empty(n, dtype=np.asarray(a).dtype)
+                merged[~ood] = a
+                merged[ood] = b
+                heads[name] = merged
+        return Prediction(coordinates=coordinates, **heads)
+
+
 @register("forest")
 class RandomForestEstimator(_RegressorEstimator):
     """Random-forest regression (signals → coordinates) for serving."""

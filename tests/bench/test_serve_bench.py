@@ -1,0 +1,148 @@
+"""serve-bench --async: smoke execution, schema validation, CLI artifact."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SERVE_BENCH_SCHEMA,
+    run_serve_bench,
+    validate_bench_payload,
+    validate_serve_bench_payload,
+    validate_train_bench_payload,
+)
+from repro.bench.serve import PRESETS, ServeSpeedupError
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_serve_bench(preset="smoke", seed=9)
+
+
+class TestRunServeBench:
+    def test_payload_validates(self, smoke_result):
+        payload = smoke_result.payload()
+        validate_serve_bench_payload(payload)  # raises on problems
+        validate_bench_payload(payload)  # the dispatcher routes it too
+        assert payload["schema"] == SERVE_BENCH_SCHEMA
+        assert payload["preset"] == "smoke"
+
+    def test_legs_cover_the_deadline_sweep(self, smoke_result):
+        deadlines = [leg["deadline_ms"] for leg in smoke_result.legs]
+        assert deadlines == list(PRESETS["smoke"].deadlines_ms)
+        for leg in smoke_result.legs:
+            assert leg["parity_ok"] is True
+            assert leg["requests_per_second"] > 0
+            assert leg["n_batches"] >= 1
+            assert 0 < leg["mean_batch_fill"] <= PRESETS["smoke"].batch_size
+            assert leg["n_timeouts"] == 0
+            assert leg["p95_latency_ms"] >= leg["mean_latency_ms"] >= 0
+
+    def test_naive_baseline_recorded(self, smoke_result):
+        assert smoke_result.naive["seconds"] > 0
+        assert smoke_result.naive["requests_per_second"] > 0
+
+    def test_headline_block(self, smoke_result):
+        headline = smoke_result.headline
+        assert headline["deadline_ms"] == PRESETS["smoke"].headline_deadline_ms
+        assert headline["async_speedup"] > 0
+        assert headline["min_speedup_asserted"] == 0.0
+
+    def test_report_renders(self, smoke_result):
+        report = smoke_result.report()
+        assert "per-query baseline" in report
+        assert "deadline" in report and "headline" in report
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            run_serve_bench(preset="warp")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            run_serve_bench(preset="smoke", model="resnet")
+
+    def test_bad_sweep_parameters_rejected(self):
+        with pytest.raises(ValueError, match="deadlines"):
+            run_serve_bench(preset="smoke", deadlines_ms=())
+        with pytest.raises(ValueError, match="deadlines"):
+            run_serve_bench(preset="smoke", deadlines_ms=(0.0,))
+        with pytest.raises(ValueError, match="producers"):
+            run_serve_bench(preset="smoke", producers=0)
+
+    def test_impossible_speedup_floor_raises(self):
+        with pytest.raises(ServeSpeedupError):
+            run_serve_bench(preset="smoke", seed=9, min_speedup=1e9)
+
+
+class TestValidatePayload:
+    def test_rejects_wrong_schema(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["schema"] = "nope/0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_serve_bench_payload(payload)
+
+    def test_rejects_empty_sweep(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["async"] = []
+        with pytest.raises(ValueError, match="async"):
+            validate_serve_bench_payload(payload)
+
+    def test_rejects_broken_leg_field(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["async"][0]["requests_per_second"] = "fast"
+        with pytest.raises(ValueError, match="requests_per_second"):
+            validate_serve_bench_payload(payload)
+
+    def test_rejects_failed_parity(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["async"][0]["parity_ok"] = False
+        with pytest.raises(ValueError, match="parity_ok"):
+            validate_serve_bench_payload(payload)
+
+    def test_rejects_missing_headline_key(self, smoke_result):
+        payload = smoke_result.payload()
+        del payload["headline"]["async_speedup"]
+        with pytest.raises(ValueError, match="async_speedup"):
+            validate_serve_bench_payload(payload)
+
+    def test_train_validator_rejects_serve_payload(self, smoke_result):
+        with pytest.raises(ValueError, match="schema"):
+            validate_train_bench_payload(smoke_result.payload())
+
+
+class TestCLI:
+    def test_async_serve_bench_writes_artifact(self, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_serve.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--async",
+                    "--preset",
+                    "smoke",
+                    "--seed",
+                    "9",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(output.read_text())
+        validate_bench_payload(payload)
+        assert payload["schema"] == SERVE_BENCH_SCHEMA
+
+    def test_smoke_preset_requires_async(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="async"):
+            main(["serve-bench", "--preset", "smoke"])
+
+    def test_malformed_deadlines_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="deadlines"):
+            main(["serve-bench", "--async", "--preset", "smoke",
+                  "--deadlines", "fast,slow"])

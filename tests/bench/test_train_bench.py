@@ -117,4 +117,4 @@ class TestCLI:
         from repro.cli import main
 
         with pytest.raises(SystemExit):
-            main(["serve-bench", "--preset", "smoke"])
+            main(["shard-bench", "--preset", "smoke"])

@@ -253,6 +253,20 @@ class TestLossBuffers:
         grad = loss.backward()
         np.testing.assert_array_equal(grad[:, 2:], 0.0)
 
+    def test_stepped_slice_heads_fall_back(self):
+        # a stepped slice spans [0, 4) but skips columns 1 and 3; the
+        # fused path would leave them uninitialized — it must fall back
+        # to the per-head path, whose gradient there is exactly 0
+        heads = {"a": (slice(0, 4, 2), BCEWithLogitsLoss(), 1.0)}
+        loss = MultiHeadLoss(heads)
+        assert not loss._slices_tile(4)
+        logits = RNG.normal(size=(3, 4))
+        targets = np.zeros((3, 4))
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        np.testing.assert_array_equal(grad[:, 1], 0.0)
+        np.testing.assert_array_equal(grad[:, 3], 0.0)
+
     def test_buffers_disabled_returns_independent_grads(self):
         loss = MultiHeadLoss(self._heads())
         logits = RNG.normal(size=(4, 5))

@@ -89,6 +89,67 @@ class TestTicketLifecycle:
             MicroBatcher(fitted_knn, batch_size=0)
 
 
+class TestErrorPathEdges:
+    """The previously untested edges: double-flush, discard interplay,
+    repeated results."""
+
+    def test_double_flush_second_is_a_noop(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        batcher = MicroBatcher(fitted_knn, batch_size=8)
+        ticket = batcher.submit(test.rssi[0])
+        assert batcher.flush() == 1
+        first = ticket.result()
+        assert batcher.flush() == 0  # nothing pending: no model call
+        assert batcher.n_batches == 1  # the empty flush is not a batch
+        assert ticket.result() is first  # resolution is stable
+
+    def test_result_repeated_returns_same_object(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        batcher = MicroBatcher(fitted_knn, batch_size=8)
+        ticket = batcher.submit(test.rssi[0])
+        batcher.flush()
+        assert ticket.result() is ticket.result()
+
+    def test_discard_then_flush_returns_zero(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        batcher = MicroBatcher(fitted_knn, batch_size=8)
+        tickets = [batcher.submit(row) for row in test.rssi[:3]]
+        assert batcher.discard_pending() == 3
+        assert batcher.flush() == 0
+        assert batcher.n_batches == 0
+        # discarded tickets stay permanently unresolved, as documented
+        for ticket in tickets:
+            assert not ticket.ready
+            with pytest.raises(RuntimeError, match="pending"):
+                ticket.result()
+
+    def test_discard_on_empty_queue_returns_zero(self, fitted_knn):
+        batcher = MicroBatcher(fitted_knn, batch_size=8)
+        assert batcher.discard_pending() == 0
+
+    def test_discard_keeps_submission_counter(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        batcher = MicroBatcher(fitted_knn, batch_size=8)
+        batcher.submit(test.rssi[0])
+        batcher.submit(test.rssi[1])
+        batcher.discard_pending()
+        # n_requests counts submissions (load), not completions
+        assert batcher.n_requests == 2
+        assert batcher.n_pending == 0
+
+    def test_submit_after_discard_serves_normally(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        batcher = MicroBatcher(fitted_knn, batch_size=8)
+        batcher.submit(test.rssi[0])
+        batcher.discard_pending()
+        ticket = batcher.submit(test.rssi[1])
+        assert batcher.flush() == 1
+        np.testing.assert_allclose(
+            ticket.result().coordinates,
+            fitted_knn.predict_batch(test.rssi[1:2]).coordinates,
+        )
+
+
 class TestEquivalence:
     def test_tickets_match_per_query_predictions(self, fitted_knn, uji_split):
         _train, _val, test = uji_split

@@ -1,0 +1,200 @@
+"""The "ensemble" backend: OOD routing, parity, cache keys, serving."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    MicroBatcher,
+    ModelCache,
+    ServingFrontend,
+    available,
+    create,
+)
+
+#: Cheap-but-real configuration: a briefly trained NObLe primary with a
+#: kNN fallback, as the ROADMAP prescribes.
+FAST_PARAMS = dict(
+    primary="noble",
+    fallback="knn",
+    ood_quantile=0.9,
+    primary_params={"epochs": 6, "batch_size": 32, "seed": 5},
+    fallback_params={"k": 3},
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble(uji_split):
+    train, _val, _test = uji_split
+    return create("ensemble", **FAST_PARAMS).fit(train)
+
+
+def _ood_scans(n_aps: int, n: int = 4) -> np.ndarray:
+    """Scans far off the radio map: every WAP blasting at -25 dBm."""
+    return np.full((n, n_aps), -25.0)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "ensemble" in available()
+
+    def test_nesting_rejected(self):
+        with pytest.raises(ValueError, match="nest"):
+            create("ensemble", primary="ensemble")
+        with pytest.raises(ValueError, match="nest"):
+            create("ensemble", fallback="ensemble")
+
+    def test_quantile_validated(self):
+        with pytest.raises(ValueError, match="ood_quantile"):
+            create("ensemble", ood_quantile=1.5)
+
+    def test_unfitted_predict_raises(self, uji_split):
+        _train, _val, test = uji_split
+        with pytest.raises(RuntimeError, match="not fitted"):
+            create("ensemble").predict_batch(test.rssi[:2])
+
+
+class TestRouting:
+    def test_in_distribution_scans_served_by_primary(
+        self, fitted_ensemble, uji_split
+    ):
+        train, _val, _test = uji_split
+        before = dict(fitted_ensemble.routes_)
+        scans = train.rssi[:6]  # training scans: distance 0 to the map
+        prediction = fitted_ensemble.predict_batch(scans)
+        assert fitted_ensemble.routes_["primary"] == before["primary"] + 6
+        assert fitted_ensemble.routes_["fallback"] == before["fallback"]
+        expected = fitted_ensemble._primary.predict_batch(scans)
+        np.testing.assert_allclose(prediction.coordinates, expected.coordinates)
+
+    def test_ood_scans_served_by_fallback(self, fitted_ensemble, uji_split):
+        train, _val, _test = uji_split
+        before = dict(fitted_ensemble.routes_)
+        scans = _ood_scans(train.n_aps)
+        prediction = fitted_ensemble.predict_batch(scans)
+        assert fitted_ensemble.routes_["fallback"] == before["fallback"] + 4
+        expected = fitted_ensemble._fallback.predict_batch(scans)
+        np.testing.assert_allclose(prediction.coordinates, expected.coordinates)
+        np.testing.assert_array_equal(prediction.building, expected.building)
+        np.testing.assert_array_equal(prediction.floor, expected.floor)
+
+    def test_mixed_batch_interleaves_in_request_order(
+        self, fitted_ensemble, uji_split
+    ):
+        train, _val, test = uji_split
+        scans = np.vstack(
+            [test.rssi[:2], _ood_scans(train.n_aps, 2), test.rssi[2:4]]
+        )
+        prediction = fitted_ensemble.predict_batch(scans)
+        per_row = [
+            fitted_ensemble.predict_batch(row[None, :]) for row in scans
+        ]
+        np.testing.assert_allclose(
+            prediction.coordinates,
+            np.vstack([p.coordinates for p in per_row]),
+            rtol=0.0, atol=1e-9,
+        )
+        np.testing.assert_array_equal(
+            prediction.building,
+            np.concatenate([p.building for p in per_row]),
+        )
+        np.testing.assert_array_equal(
+            prediction.floor,
+            np.concatenate([p.floor for p in per_row]),
+        )
+
+    def test_heads_present_when_both_children_have_them(
+        self, fitted_ensemble, uji_split
+    ):
+        _train, _val, test = uji_split
+        prediction = fitted_ensemble.predict_batch(test.rssi[:3])
+        assert prediction.building is not None and prediction.floor is not None
+
+    def test_heads_dropped_when_fallback_lacks_them(self, uji_split):
+        train, _val, test = uji_split
+        # knn-regressor has no building/floor head: presence must not
+        # depend on how a batch happens to route
+        ensemble = create(
+            "ensemble",
+            primary="knn",
+            fallback="knn-regressor",
+            ood_quantile=0.9,
+            primary_params={"k": 3},
+            fallback_params={"k": 3},
+        ).fit(train)
+        in_dist = ensemble.predict_batch(test.rssi[:3])
+        ood = ensemble.predict_batch(_ood_scans(train.n_aps))
+        assert in_dist.building is None and in_dist.floor is None
+        assert ood.building is None and ood.floor is None
+        # and so micro-batching across differently-routed batches works
+        mixed = np.vstack([test.rssi[:3], _ood_scans(train.n_aps, 3)])
+        batched = MicroBatcher(ensemble, batch_size=3).predict_many(mixed)
+        assert len(batched) == 6 and batched.building is None
+
+
+class TestBatchingParity:
+    def test_predict_many_matches_single_call(self, fitted_ensemble, uji_split):
+        train, _val, test = uji_split
+        mixed = np.vstack([test.rssi[:7], _ood_scans(train.n_aps, 3)])
+        whole = fitted_ensemble.predict_batch(mixed)
+        batched = MicroBatcher(fitted_ensemble, batch_size=4).predict_many(mixed)
+        np.testing.assert_allclose(
+            batched.coordinates, whole.coordinates, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_array_equal(batched.building, whole.building)
+
+    def test_frontend_multiplexes_heterogeneous_backends(
+        self, fitted_ensemble, uji_split
+    ):
+        """One queue, two models: NObLe and kNN serve the same stream."""
+        train, _val, test = uji_split
+        mixed = np.vstack([test.rssi[:6], _ood_scans(train.n_aps, 4)])
+        oracle = fitted_ensemble.predict_batch(mixed)
+        before = dict(fitted_ensemble.routes_)
+        with ServingFrontend(
+            fitted_ensemble, batch_size=4, deadline_ms=10
+        ) as frontend:
+            tickets = [frontend.submit(row) for row in mixed]
+            results = [t.result(timeout=30) for t in tickets]
+        np.testing.assert_allclose(
+            np.vstack([r.coordinates for r in results]),
+            oracle.coordinates,
+            rtol=0.0, atol=1e-9,
+        )
+        # both backends demonstrably served part of the one queue
+        assert fitted_ensemble.routes_["primary"] >= before["primary"] + 6
+        assert fitted_ensemble.routes_["fallback"] >= before["fallback"] + 4
+
+
+class TestCacheKeys:
+    def test_child_param_spellings_share_one_entry(self):
+        a = create("ensemble", fallback_params={"k": 5})
+        b = create("ensemble", fallback_params={"k": 5.0, "weighted": True})
+        assert a.params == b.params
+
+    def test_different_child_params_are_distinct(self):
+        a = create("ensemble", fallback_params={"k": 5})
+        b = create("ensemble", fallback_params={"k": 7})
+        assert a.params != b.params
+
+    def test_cache_dedupes_equivalent_ensembles(self, uji_split):
+        train, _val, _test = uji_split
+        cache = ModelCache(capacity=4)
+        kwargs = dict(
+            primary="knn",
+            fallback="knn-regressor",
+            primary_params={"k": 3},
+        )
+        first = cache.get_or_fit("ensemble", train, **kwargs)
+        second = cache.get_or_fit(
+            "ensemble", train,
+            primary="knn",
+            fallback="knn-regressor",
+            primary_params={"k": 3.0},
+        )
+        assert first is second
+        assert cache.stats().hits == 1
+
+    def test_describe_canonical(self):
+        described = create("ensemble", **FAST_PARAMS).describe()
+        assert described.startswith("ensemble(")
+        assert "noble" in described and "knn" in described

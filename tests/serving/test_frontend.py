@@ -1,0 +1,245 @@
+"""ServingFrontend: ticket lifecycle, backpressure, shutdown, errors.
+
+Threaded behavior runs against the real clock with generous margins
+(no timing assertions tighter than "it completed"); the precise
+deadline/timeout semantics live in ``test_deadline_properties.py``
+under an injected fake clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    FrontendClosedError,
+    QueueFullError,
+    ServingFrontend,
+    create,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_knn(uji_split):
+    train, _val, _test = uji_split
+    return create("knn", k=3).fit(train)
+
+
+class TestRoundtrip:
+    def test_submit_result_matches_direct_prediction(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        with ServingFrontend(fitted_knn, batch_size=8, deadline_ms=5) as frontend:
+            tickets = [frontend.submit(row) for row in test.rssi[:20]]
+            results = [t.result(timeout=30) for t in tickets]
+        direct = fitted_knn.predict_batch(test.rssi[:20])
+        for i, result in enumerate(results):
+            np.testing.assert_allclose(
+                result.coordinates, direct.coordinates[i : i + 1]
+            )
+            np.testing.assert_array_equal(result.building, direct.building[i : i + 1])
+            np.testing.assert_array_equal(result.floor, direct.floor[i : i + 1])
+
+    def test_full_batch_drains_without_waiting_for_deadline(
+        self, fitted_knn, uji_split
+    ):
+        _train, _val, test = uji_split
+        # a huge deadline: only the batch-full trigger can drain these
+        with ServingFrontend(
+            fitted_knn, batch_size=4, deadline_ms=60_000
+        ) as frontend:
+            tickets = [frontend.submit(row) for row in test.rssi[:4]]
+            for ticket in tickets:
+                ticket.result(timeout=30)
+        assert frontend.stats().batches >= 1
+
+    def test_stats_counters(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        with ServingFrontend(fitted_knn, batch_size=4, deadline_ms=5) as frontend:
+            tickets = [frontend.submit(row) for row in test.rssi[:10]]
+            for ticket in tickets:
+                ticket.result(timeout=30)
+            stats = frontend.stats()
+        assert stats.submitted == 10
+        assert stats.served == 10
+        assert stats.timeouts == stats.rejected == stats.cancelled == 0
+        assert stats.batches >= 3  # 10 queries through batches of <= 4
+        assert 0 < stats.mean_batch_fill <= 4
+
+    def test_ticket_latency_recorded(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        with ServingFrontend(fitted_knn, batch_size=1, deadline_ms=50) as frontend:
+            ticket = frontend.submit(test.rssi[0])
+            ticket.result(timeout=30)
+        assert ticket.latency_s is not None and ticket.latency_s >= 0.0
+        assert ticket.exception() is None
+
+
+class TestShutdown:
+    def test_close_drains_pending(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(
+            fitted_knn, batch_size=100, deadline_ms=60_000, start=True
+        )
+        tickets = [frontend.submit(row) for row in test.rssi[:7]]
+        frontend.close(drain=True)
+        assert all(t.done for t in tickets)
+        assert all(t.exception() is None for t in tickets)
+        assert frontend.stats().served == 7
+
+    def test_close_without_drain_cancels(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(
+            fitted_knn, batch_size=100, deadline_ms=60_000, start=False
+        )
+        tickets = [frontend.submit(row) for row in test.rssi[:5]]
+        frontend.close(drain=False)
+        assert all(t.done for t in tickets)
+        for ticket in tickets:
+            with pytest.raises(FrontendClosedError):
+                ticket.result()
+        assert frontend.stats().cancelled == 5
+
+    def test_submit_after_close_raises(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(fitted_knn)
+        frontend.close()
+        assert frontend.closed
+        with pytest.raises(FrontendClosedError):
+            frontend.submit(test.rssi[0])
+
+    def test_close_idempotent(self, fitted_knn):
+        frontend = ServingFrontend(fitted_knn)
+        frontend.close()
+        frontend.close()  # no error, still closed
+        assert frontend.closed
+
+    def test_context_manager_exit_drains(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        with ServingFrontend(
+            fitted_knn, batch_size=100, deadline_ms=60_000
+        ) as frontend:
+            ticket = frontend.submit(test.rssi[0])
+        assert ticket.done and ticket.exception() is None
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_queue_full(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        # manual mode: nothing drains, so the bound is actually reached
+        frontend = ServingFrontend(
+            fitted_knn,
+            batch_size=100,
+            deadline_ms=60_000,
+            max_pending=2,
+            overflow="reject",
+            start=False,
+        )
+        frontend.submit(test.rssi[0])
+        frontend.submit(test.rssi[1])
+        with pytest.raises(QueueFullError):
+            frontend.submit(test.rssi[2])
+        assert frontend.stats().rejected == 1
+        assert frontend.n_pending == 2
+        frontend.close()
+
+    def test_block_policy_completes_under_tiny_bound(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        # producers must block and be released by the worker's drain
+        with ServingFrontend(
+            fitted_knn, batch_size=2, deadline_ms=5, max_pending=2,
+            overflow="block",
+        ) as frontend:
+            tickets = [frontend.submit(row) for row in test.rssi[:12]]
+            results = [t.result(timeout=30) for t in tickets]
+        assert len(results) == 12
+        assert frontend.stats().rejected == 0
+
+
+class TestErrorPaths:
+    def test_model_error_fails_the_batch_tickets(self, uji_split):
+        _train, _val, test = uji_split
+        unfitted = create("knn", k=3)  # predict_batch raises RuntimeError
+        frontend = ServingFrontend(
+            unfitted, batch_size=2, deadline_ms=60_000, start=False
+        )
+        tickets = [frontend.submit(row) for row in test.rssi[:2]]
+        frontend.pump()
+        for ticket in tickets:
+            with pytest.raises(RuntimeError, match="not fitted"):
+                ticket.result()
+        frontend.close()
+
+    def test_width_mismatch_fails_only_that_ticket(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(
+            fitted_knn, batch_size=3, deadline_ms=60_000, start=False
+        )
+        good_a = frontend.submit(test.rssi[0])
+        bad = frontend.submit(np.zeros(test.n_aps + 1))
+        good_b = frontend.submit(test.rssi[1])
+        frontend.pump()
+        assert good_a.exception() is None and good_b.exception() is None
+        with pytest.raises(ValueError, match="width"):
+            bad.result()
+        frontend.close()
+
+    def test_poisoned_first_row_recovers(self, fitted_knn, uji_split):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(
+            fitted_knn, batch_size=2, deadline_ms=60_000, start=False
+        )
+        # the wrong-width row is first, so it sets the batcher's pending
+        # width and the model call itself fails — the whole batch errors,
+        # but the batcher is cleared and the front end keeps serving
+        bad = frontend.submit(np.zeros(test.n_aps + 1))
+        widthless = frontend.submit(test.rssi[0])
+        frontend.pump()
+        assert isinstance(bad.exception(), Exception)
+        assert isinstance(widthless.exception(), Exception)
+        assert frontend.batcher.n_pending == 0
+        ok = frontend.submit(test.rssi[1])
+        frontend.submit(test.rssi[2])
+        frontend.pump()
+        assert ok.exception() is None
+        frontend.close()
+
+    def test_result_wait_timeout_is_plain_timeout_error(
+        self, fitted_knn, uji_split
+    ):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(fitted_knn, deadline_ms=60_000, start=False)
+        ticket = frontend.submit(test.rssi[0])
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+        frontend.close()  # drains; the ticket resolves after all
+        assert ticket.done
+
+    def test_pump_rejected_on_threaded_frontend(self, fitted_knn):
+        with ServingFrontend(fitted_knn) as frontend:
+            with pytest.raises(RuntimeError, match="manual"):
+                frontend.pump()
+
+
+class TestValidation:
+    def test_invalid_constructor_args(self, fitted_knn):
+        with pytest.raises(ValueError):
+            ServingFrontend(fitted_knn, batch_size=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(fitted_knn, deadline_ms=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(fitted_knn, timeout_ms=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(fitted_knn, max_pending=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(fitted_knn, overflow="maybe")
+
+    def test_submit_rejects_matrices_and_bad_overrides(
+        self, fitted_knn, uji_split
+    ):
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(fitted_knn, start=False)
+        with pytest.raises(ValueError, match="single"):
+            frontend.submit(np.zeros((2, test.n_aps)))
+        with pytest.raises(ValueError, match="deadline_ms"):
+            frontend.submit(test.rssi[0], deadline_ms=0)
+        with pytest.raises(ValueError, match="timeout_ms"):
+            frontend.submit(test.rssi[0], timeout_ms=-1)
+        frontend.close()
