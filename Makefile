@@ -2,11 +2,16 @@
 # it clears compiled bytecode first so a stale __pycache__ can never
 # resurrect the seed's duplicate-basename collection failure.
 # `make test-fast` skips tests marked `slow` (sharding stress runs);
-# `make check` additionally fails on any pytest collection warning.
+# `make check` additionally fails on any pytest collection warning and
+# runs the bench smokes + committed-artifact validation.
+# `make ci` / `make ci-fast` are the CI pipeline (lint + check), exactly
+# what .github/workflows/ci.yml runs — reproducible locally in one line.
 
 PYTHON ?= python
 
-.PHONY: test test-fast check clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench train-bench bench-smoke
+.PHONY: test test-fast check check-fast lint ci ci-fast check-bench-artifacts \
+	clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench \
+	train-bench bench-smoke snapshot warm-serve
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -17,6 +22,28 @@ test-fast: clean-pyc
 check:
 	bash scripts/check_suite.sh
 
+# The fast CI lane: the same strict gate minus tests marked `slow`.
+check-fast:
+	bash scripts/check_suite.sh -m "not slow"
+
+# Lint gate (pyflakes-class findings only, no style churn): ruff when
+# installed, the bundled scripts/lint.py fallback checker otherwise.
+lint:
+	$(PYTHON) scripts/lint.py
+
+# Bench-drift guard: schema-validate the committed BENCH_train.json /
+# BENCH_serve.json trajectories (headline-floor fields included), so a
+# hand-edited or stale artifact fails the build.
+check-bench-artifacts:
+	$(PYTHON) scripts/check_bench_artifacts.py
+
+# The CI pipeline, end to end: lint, full strict suite (slow markers
+# included), bench smokes, committed-artifact validation.
+ci: lint check
+
+# Two-python fast lane run by CI on every push/PR.
+ci-fast: lint check-fast
+
 clean-pyc:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
 	find . -name '*.pyc' -delete
@@ -26,18 +53,25 @@ serve-bench:
 
 # Deadline-driven async front end: sweeps flush deadline vs throughput
 # with concurrent producers, asserts prediction parity + the headline
-# speedup over per-query serving, and writes BENCH_serve.json.
+# speedup over per-query serving, runs the model-store cold-vs-warm
+# restart leg, and writes BENCH_serve.json.
 serve-bench-async:
-	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async
+	rm -rf /tmp/repro-model-store.bench
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async \
+		--store /tmp/repro-model-store.bench
+	rm -rf /tmp/repro-model-store.bench
 
 # Tiny-workload async serve-bench: validates the emitted
-# BENCH_serve.json schema without overwriting the real trajectory;
-# hooked into scripts/check_suite.sh so a broken async bench fails
-# `make check`.
+# BENCH_serve.json schema (store restart leg included) without
+# overwriting the real trajectory; hooked into scripts/check_suite.sh
+# so a broken async bench fails `make check`.  The artifact is left in
+# /tmp so CI can upload it.
 serve-bench-smoke:
+	rm -rf /tmp/repro-model-store.smoke /tmp/BENCH_serve.smoke.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async --preset smoke \
+		--store /tmp/repro-model-store.smoke \
 		--output /tmp/BENCH_serve.smoke.json
-	rm -f /tmp/BENCH_serve.smoke.json
+	rm -rf /tmp/repro-model-store.smoke
 
 shard-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard-bench
@@ -50,8 +84,17 @@ train-bench:
 
 # Tiny-workload train-bench: validates the emitted BENCH_train.json
 # schema without overwriting the real trajectory; hooked into
-# scripts/check_suite.sh so a broken bench fails `make check`.
+# scripts/check_suite.sh so a broken bench fails `make check`.  The
+# artifact is left in /tmp so CI can upload it.
 bench-smoke:
+	rm -f /tmp/BENCH_train.smoke.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli train-bench --preset smoke \
 		--output /tmp/BENCH_train.smoke.json
-	rm -f /tmp/BENCH_train.smoke.json
+
+# Persist a fitted model to ./model-store, then restore and serve it
+# without re-fitting — the warm-start deployment story, end to end.
+snapshot:
+	PYTHONPATH=src $(PYTHON) -m repro.cli snapshot --model noble
+
+warm-serve:
+	PYTHONPATH=src $(PYTHON) -m repro.cli warm-serve --model noble

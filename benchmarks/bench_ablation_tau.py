@@ -6,8 +6,6 @@ classify but caps precision at the cell radius.  This bench sweeps τ
 and reports class count, quantization floor, and test error.
 """
 
-import numpy as np
-
 from conftest import emit
 from repro.localization import NObLeWifi, evaluate_localizer
 from repro.quantization.grid import GridQuantizer

@@ -9,8 +9,6 @@ hit rates, and a median error far below the mean (most predictions land
 on the exact cell).
 """
 
-import numpy as np
-
 from conftest import emit
 from repro.localization import evaluate_localizer
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Bench-drift guard: validate the committed BENCH_*.json trajectories.
+
+The repo commits its performance trajectory (``BENCH_train.json``,
+``BENCH_serve.json``) so regressions are visible in review.  That only
+works if the artifacts stay well-formed and honest — a hand-edited,
+truncated, or stale file must fail the build, not rot silently.  This
+script re-runs each committed payload through
+:func:`repro.bench.validate_bench_payload` (schema tag, required blocks,
+per-leg fields, headline floors) and additionally requires the
+headline-floor fields that review relies on to be present and satisfied.
+
+Run via ``make check-bench-artifacts`` (part of ``make check`` /
+``make ci`` and the CI workflow).  Exit status 0 = all artifacts valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+#: Committed artifacts and the headline fields each must carry.
+ARTIFACTS = {
+    "BENCH_train.json": ("noble_cold_fit_speedup", "min_speedup_asserted"),
+    "BENCH_serve.json": (
+        "deadline_ms",
+        "async_speedup",
+        "min_speedup_asserted",
+    ),
+}
+
+
+def check_artifact(name: str, headline_fields: "tuple[str, ...]") -> "list[str]":
+    from repro.bench import validate_bench_payload
+
+    path = os.path.join(REPO, name)
+    if not os.path.exists(path):
+        return [f"{name}: missing (the trajectory artifact must be committed)"]
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{name}: unreadable JSON: {error}"]
+    problems: list[str] = []
+    try:
+        validate_bench_payload(payload)
+    except ValueError as error:
+        problems.append(f"{name}: {error}")
+    headline = payload.get("headline")
+    if not isinstance(headline, dict):
+        problems.append(f"{name}: headline block missing")
+        return problems
+    for field in headline_fields:
+        if field not in headline:
+            problems.append(f"{name}: headline missing {field!r}")
+    # the headline claim itself must clear its asserted floor — a stale
+    # artifact pasted over a regression would fail here
+    speedup = headline.get(
+        "noble_cold_fit_speedup", headline.get("async_speedup")
+    )
+    floor = headline.get("min_speedup_asserted")
+    if (
+        isinstance(speedup, (int, float))
+        and isinstance(floor, (int, float))
+        and floor > 0
+        and speedup < floor
+    ):
+        problems.append(
+            f"{name}: headline speedup {speedup} is below its own asserted "
+            f"floor {floor}"
+        )
+    return problems
+
+
+def main() -> int:
+    failures: list[str] = []
+    for name, headline_fields in ARTIFACTS.items():
+        failures.extend(check_artifact(name, headline_fields))
+    if failures:
+        for failure in failures:
+            print(f"bench-artifact check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench artifacts OK: {', '.join(ARTIFACTS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

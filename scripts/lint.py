@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Lint gate: ruff when available, a bundled pyflakes-lite otherwise.
+
+``make lint`` (and through it ``make ci`` / the CI workflow) runs this
+script.  On machines with ruff installed it defers entirely to
+``ruff check`` with the repo's ``ruff.toml`` (pyflakes rules only — no
+style churn).  The container this repo grows in has no ruff and no
+network, so the fallback implements the highest-value subset natively:
+
+* syntax errors (every file must compile),
+* unused imports (F401), including names used only inside string
+  annotations (``"str | os.PathLike"``) and ``__all__`` re-export
+  lists, with ``__init__.py`` exempt exactly like the ruff config,
+* duplicate import aliases within one scope-free module pass (F811-lite).
+
+Exit status 0 = clean, 1 = findings (printed as ``path:line: code msg``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_PATHS = ("src", "tests", "scripts", "examples", "benchmarks")
+
+
+def iter_python_files():
+    for root in LINT_PATHS:
+        base = os.path.join(REPO, root)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def run_ruff() -> int:
+    return subprocess.call(
+        ["ruff", "check", *LINT_PATHS],
+        cwd=REPO,
+    )
+
+
+# ----------------------------------------------------------- fallback checker
+class _NameCollector(ast.NodeVisitor):
+    """Collect every name that could consume an imported binding."""
+
+    def __init__(self):
+        self.used: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.used.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # the root of a dotted use (os.path.join -> os) arrives as a
+        # Name node anyway; nothing extra to do, but keep walking
+        self.generic_visit(node)
+
+    def _collect_string_annotation(self, node) -> None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                return
+            self.visit(parsed)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if node.annotation is not None:
+            self._collect_string_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._collect_string_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.returns is not None:
+            self._collect_string_annotation(node.returns)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def _exported_names(tree: ast.Module) -> set[str]:
+    """String entries of module-level ``__all__`` lists/tuples."""
+    exported: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        exported.add(element.value)
+    return exported
+
+
+def check_file(path: str) -> "list[tuple[int, str, str]]":
+    with open(path, "rb") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [(error.lineno or 0, "E999", f"syntax error: {error.msg}")]
+
+    findings: list[tuple[int, str, str]] = []
+    imports: dict[str, tuple[int, str]] = {}  # alias -> (line, display)
+    # module-level imports only: a function-local import is a separate
+    # scope, where a rebinding is not a redefinition (matching ruff)
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                display = alias.name + (
+                    f" as {alias.asname}" if alias.asname else ""
+                )
+                if bound in imports:
+                    findings.append(
+                        (node.lineno, "F811", f"redefinition of {bound!r} "
+                         f"(first imported on line {imports[bound][0]})")
+                    )
+                imports[bound] = (node.lineno, display)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                display = f"from {node.module}: {alias.name}"
+                if bound in imports:
+                    findings.append(
+                        (node.lineno, "F811", f"redefinition of {bound!r} "
+                         f"(first imported on line {imports[bound][0]})")
+                    )
+                imports[bound] = (node.lineno, display)
+
+    if os.path.basename(path) == "__init__.py":
+        return findings  # re-export files: unused imports are the point
+
+    collector = _NameCollector()
+    collector.visit(tree)
+    used = collector.used | _exported_names(tree)
+    for bound, (line, display) in sorted(imports.items(), key=lambda kv: kv[1]):
+        if bound not in used:
+            findings.append((line, "F401", f"unused import: {display}"))
+    return findings
+
+
+def run_fallback() -> int:
+    total = 0
+    for path in iter_python_files():
+        for line, code, message in check_file(path):
+            rel = os.path.relpath(path, REPO)
+            print(f"{rel}:{line}: {code} {message}")
+            total += 1
+    if total:
+        print(f"\n{total} finding(s)")
+        return 1
+    return 0
+
+
+def main() -> int:
+    if shutil.which("ruff"):
+        return run_ruff()
+    print("lint: ruff not installed; using the bundled fallback checker")
+    return run_fallback()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ part of ``make check``.
 
 from repro.bench.serve import (
     SERVE_BENCH_SCHEMA,
+    SERVE_BENCH_SCHEMA_PREFIX,
     ServeBenchResult,
     run_serve_bench,
     validate_serve_bench_payload,
@@ -39,12 +40,15 @@ def validate_bench_payload(payload: dict) -> None:
     """Validate any bench artifact; dispatches on its ``schema`` tag.
 
     ``repro-serve-bench/*`` payloads go to
-    :func:`validate_serve_bench_payload`; everything else (including
-    the historical ``repro-train-bench/1``) goes to the train-bench
-    validator, which reports an unknown tag as a schema mismatch.
-    Raises ``ValueError`` on problems.
+    :func:`validate_serve_bench_payload` (which rejects versions other
+    than the current one — e.g. a stale ``repro-serve-bench/1``
+    artifact fails as a schema mismatch rather than being half-read);
+    everything else (including the historical ``repro-train-bench/1``)
+    goes to the train-bench validator, which reports an unknown tag as
+    a schema mismatch.  Raises ``ValueError`` on problems.
     """
-    if isinstance(payload, dict) and payload.get("schema") == SERVE_BENCH_SCHEMA:
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if isinstance(schema, str) and schema.startswith(SERVE_BENCH_SCHEMA_PREFIX):
         return validate_serve_bench_payload(payload)
     return validate_train_bench_payload(payload)
 
@@ -52,6 +56,7 @@ def validate_bench_payload(payload: dict) -> None:
 __all__ = [
     "BENCH_SCHEMA",
     "SERVE_BENCH_SCHEMA",
+    "SERVE_BENCH_SCHEMA_PREFIX",
     "TrainBenchResult",
     "ServeBenchResult",
     "run_train_bench",

@@ -18,14 +18,21 @@ workload and schema-validates the artifact as part of ``make check``.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-#: Identifier (and version) of the emitted JSON payload.
-SERVE_BENCH_SCHEMA = "repro-serve-bench/1"
+#: Identifier (and version) of the emitted JSON payload.  Version 2
+#: added the optional ``store`` block (cold-fit vs warm-restart leg
+#: through the persistent model store).
+SERVE_BENCH_SCHEMA = "repro-serve-bench/2"
+
+#: Schema-tag prefix shared by every serve-bench payload version; the
+#: validator dispatcher routes on it and rejects unknown versions.
+SERVE_BENCH_SCHEMA_PREFIX = "repro-serve-bench/"
 
 #: Keys every async leg record must carry, with their types.
 _LEG_FIELDS = {
@@ -73,6 +80,10 @@ class ServePreset:
     #: baseline run poison the asserted speedup ratio on a noisy
     #: shared machine.
     repeats: int = 1
+    #: Floor asserted on cold-fit / warm-restore for the ``--store`` leg
+    #: (the persistent model store's warm-start contract); 0 disables —
+    #: the smoke workload's cold fit is too small for a stable ratio.
+    store_min_speedup: float = 10.0
 
 
 PRESETS = {
@@ -90,6 +101,7 @@ PRESETS = {
         headline_deadline_ms=50.0,
         min_speedup=0.0,
         max_pending=64,
+        store_min_speedup=0.0,
     ),
     # The PR 1 serve-bench workload, now pushed through the async path.
     "fast": ServePreset(
@@ -133,6 +145,9 @@ class ServeBenchResult:
     workload: dict
     naive: dict = field(default_factory=dict)
     legs: "list[dict]" = field(default_factory=list)
+    #: Cold-fit vs warm-restore comparison through the persistent model
+    #: store (``--store``); None when the leg was not requested.
+    store: "dict | None" = None
 
     @property
     def headline(self) -> dict:
@@ -150,7 +165,7 @@ class ServeBenchResult:
         """The ``BENCH_serve.json`` dictionary (a detached deep copy)."""
         import copy
 
-        return {
+        payload = {
             "schema": SERVE_BENCH_SCHEMA,
             "preset": self.preset,
             "seed": self.seed,
@@ -159,6 +174,9 @@ class ServeBenchResult:
             "async": copy.deepcopy(self.legs),
             "headline": dict(self.headline),
         }
+        if self.store is not None:
+            payload["store"] = dict(self.store)
+        return payload
 
     def report(self) -> str:
         w = self.workload
@@ -189,6 +207,16 @@ class ServeBenchResult:
             f"(floor {head['min_speedup_asserted']:.1f}x); "
             "per-leg prediction parity asserted vs the synchronous oracle"
         )
+        if self.store is not None:
+            s = self.store
+            lines.append(
+                f"store: {s['backend']!r} cold fit "
+                f"{s['cold_fit_seconds'] * 1e3:.0f} ms vs warm restore "
+                f"{s['warm_restore_seconds'] * 1e3:.1f} ms — "
+                f"{s['speedup']:.0f}x restart speedup "
+                f"(floor {s['min_speedup_asserted']:.1f}x), "
+                "prediction parity asserted vs the in-memory model"
+            )
         return "\n".join(lines)
 
 
@@ -286,6 +314,113 @@ def _async_run(
     }
 
 
+def serve_workload(
+    preset: str, seed: int = 42
+) -> "tuple[ServePreset, object, np.ndarray]":
+    """(preset config, training radio map, query matrix) for one preset.
+
+    The single definition of the serving workload, shared by the bench
+    and the ``snapshot``/``warm-serve`` CLI commands — both sides must
+    synthesize byte-identical datasets so the dataset fingerprint (and
+    with it every cache/store key) matches across processes.
+    """
+    from repro.data import generate_uji_like
+
+    try:
+        config = PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r}; choices: {sorted(PRESETS)}"
+        ) from None
+    dataset = generate_uji_like(
+        n_spots_per_building=config.n_spots_per_building,
+        measurements_per_spot=config.measurements_per_spot,
+        n_aps_per_floor=config.n_aps_per_floor,
+        seed=seed,
+    )
+    train, test = dataset.split((0.8, 0.2), rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    queries = test.rssi[rng.integers(0, len(test), size=config.n_queries)]
+    return config, train, queries
+
+
+#: Backend measured by the ``--store`` restart leg: the paper's model,
+#: whose seconds-scale cold fit is exactly what warm-starting amortizes.
+STORE_LEG_MODEL = "noble"
+
+
+def _store_leg(
+    train,
+    queries: np.ndarray,
+    store_dir: "str | os.PathLike",
+    min_speedup: float,
+) -> dict:
+    """Cold-start vs warm-start restart comparison through the store.
+
+    Fits the ``noble`` backend through a store-backed
+    :class:`~repro.serving.ModelCache` (write-through), then simulates a
+    process restart with a *fresh* cache over the same store: the second
+    ``get_or_fit`` must resolve from disk (``disk_hits == 1``), produce
+    bit-identical predictions, and restore at least ``min_speedup``
+    times faster than the cold fit.
+    """
+    from repro.core.persistence import ModelStore
+    from repro.serving import ModelCache, create, dataset_fingerprint, params_key
+
+    store = ModelStore(store_dir)
+    # a previous bench run may have left this key's artifact behind —
+    # drop it so the cold leg measures a real fit, not a disk restore
+    stale = store.path_for(
+        STORE_LEG_MODEL,
+        dataset_fingerprint(train),
+        params_key(create(STORE_LEG_MODEL).params),
+    )
+    if os.path.exists(stale):
+        os.unlink(stale)
+    cold_cache = ModelCache(capacity=2, store=store)
+    tic = time.perf_counter()
+    fitted = cold_cache.get_or_fit(STORE_LEG_MODEL, train)
+    cold_seconds = time.perf_counter() - tic
+    if cold_cache.stats().misses != 1:
+        raise AssertionError(
+            "store leg: the cold-start cache did not actually fit "
+            f"(stats: {cold_cache.stats()})"
+        )
+    oracle_xy = fitted.predict_batch(queries).coordinates
+
+    warm_cache = ModelCache(capacity=2, store=store)  # simulated restart
+    tic = time.perf_counter()
+    restored = warm_cache.get_or_fit(STORE_LEG_MODEL, train)
+    warm_seconds = time.perf_counter() - tic
+    if warm_cache.stats().disk_hits != 1:
+        raise AssertionError(
+            "store leg: the restarted cache re-fit instead of restoring "
+            f"from the store (stats: {warm_cache.stats()})"
+        )
+    restored_xy = restored.predict_batch(queries).coordinates
+    parity_ok = bool(np.array_equal(restored_xy, oracle_xy))
+    if not parity_ok:
+        worst = float(np.abs(restored_xy - oracle_xy).max())
+        raise ServeParityError(
+            f"restored model predictions diverge from the in-memory fit "
+            f"(max |Δ| {worst:.3e} m)"
+        )
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    if min_speedup > 0 and speedup < min_speedup:
+        raise ServeSpeedupError(
+            f"warm restore is only {speedup:.1f}x faster than the cold "
+            f"fit, below the asserted minimum {min_speedup:.1f}x"
+        )
+    return {
+        "backend": STORE_LEG_MODEL,
+        "cold_fit_seconds": float(cold_seconds),
+        "warm_restore_seconds": float(warm_seconds),
+        "speedup": float(speedup),
+        "parity_ok": parity_ok,
+        "min_speedup_asserted": float(min_speedup),
+    }
+
+
 def run_serve_bench(
     preset: str = "fast",
     seed: int = 42,
@@ -294,6 +429,8 @@ def run_serve_bench(
     deadlines_ms: "tuple[float, ...] | None" = None,
     producers: "int | None" = None,
     min_speedup: "float | None" = None,
+    store_dir: "str | os.PathLike | None" = None,
+    store_min_speedup: "float | None" = None,
     **model_params,
 ) -> ServeBenchResult:
     """Benchmark async serving and assert parity + headline speedup.
@@ -301,19 +438,18 @@ def run_serve_bench(
     Raises :class:`ServeParityError` when any leg's predictions diverge
     from the synchronous oracle and :class:`ServeSpeedupError` when the
     headline-deadline throughput falls below ``min_speedup`` times the
-    per-query baseline (preset default; pass 0 to disable).  Extra
-    keyword arguments are forwarded to the registered ``model``.
+    per-query baseline (preset default; pass 0 to disable).  With
+    ``store_dir``, an additional restart leg measures cold fit vs warm
+    restore of the ``noble`` backend through a
+    :class:`repro.core.persistence.ModelStore` at that directory,
+    asserting prediction parity and a ``store_min_speedup`` floor
+    (preset default 10x).  Extra keyword arguments are forwarded to the
+    registered ``model``.
     """
-    from repro.data import generate_uji_like
     from repro.serving import ModelCache, get
 
-    try:
-        config = PRESETS[preset]
-    except KeyError:
-        raise ValueError(
-            f"unknown preset {preset!r}; choices: {sorted(PRESETS)}"
-        ) from None
     get(model)  # fail fast on a typo'd name, before dataset generation
+    config, train, queries = serve_workload(preset, seed)
     if batch_size is None:
         batch_size = config.batch_size
     if producers is None:
@@ -334,15 +470,8 @@ def run_serve_bench(
         else deadlines_ms[-1]
     )
 
-    dataset = generate_uji_like(
-        n_spots_per_building=config.n_spots_per_building,
-        measurements_per_spot=config.measurements_per_spot,
-        n_aps_per_floor=config.n_aps_per_floor,
-        seed=seed,
-    )
-    train, test = dataset.split((0.8, 0.2), rng=seed + 1)
-    rng = np.random.default_rng(seed + 2)
-    queries = test.rssi[rng.integers(0, len(test), size=config.n_queries)]
+    if store_min_speedup is None:
+        store_min_speedup = config.store_min_speedup
 
     cache = ModelCache(capacity=4)
     tic = time.perf_counter()
@@ -401,6 +530,10 @@ def run_serve_bench(
             f"{headline_deadline:.0f} ms deadline is below the asserted "
             f"minimum {min_speedup:.2f}x"
         )
+    if store_dir is not None:
+        result.store = _store_leg(
+            train, queries, store_dir, float(store_min_speedup)
+        )
     return result
 
 
@@ -409,8 +542,11 @@ def validate_serve_bench_payload(payload: dict) -> None:
 
     Guards the persistent trajectory's shape: schema tag, workload and
     naive-baseline blocks, at least one async leg with complete fields,
-    and a headline block — so ``make serve-bench-smoke`` (and through
-    it ``make check``) fails loudly when the emitted artifact drifts.
+    a headline block, and — when present — the ``store`` restart leg
+    (complete fields, parity true, a positive asserted floor satisfied)
+    — so ``make serve-bench-smoke`` (and through it ``make check`` /
+    CI's bench-artifact guard) fails loudly when the emitted artifact
+    drifts or a committed trajectory is hand-edited.
     """
 
     def _is(value, kind) -> bool:
@@ -455,5 +591,34 @@ def validate_serve_bench_payload(payload: dict) -> None:
     for key in ("deadline_ms", "async_speedup", "min_speedup_asserted"):
         if key not in headline:
             problems.append(f"headline missing {key!r}")
+    store = payload.get("store")
+    if store is not None:
+        if not isinstance(store, dict):
+            problems.append("store must be a dict when present")
+        else:
+            if not isinstance(store.get("backend"), str):
+                problems.append("store.backend must be a string")
+            for key in (
+                "cold_fit_seconds",
+                "warm_restore_seconds",
+                "speedup",
+                "min_speedup_asserted",
+            ):
+                if not _is(store.get(key), float):
+                    problems.append(f"store.{key} must be a number")
+            if store.get("parity_ok") is not True:
+                problems.append("store.parity_ok must be True")
+            floor = store.get("min_speedup_asserted")
+            speedup = store.get("speedup")
+            if (
+                _is(floor, float)
+                and _is(speedup, float)
+                and floor > 0
+                and speedup < floor
+            ):
+                problems.append(
+                    f"store.speedup {speedup} is below the asserted floor "
+                    f"{floor} (stale or hand-edited artifact?)"
+                )
     if problems:
         raise ValueError("invalid BENCH_serve payload: " + "; ".join(problems))

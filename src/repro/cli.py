@@ -10,6 +10,8 @@ Run the paper's experiments without writing code::
     python -m repro.cli serve-bench --async   # deadline-driven front end sweep
     python -m repro.cli shard-bench     # sharded vs monolithic kNN index
     python -m repro.cli train-bench     # float32 fast path vs seed training loop
+    python -m repro.cli snapshot --model noble --store models/   # fit + persist
+    python -m repro.cli warm-serve --model noble --store models/ # restore + serve
     python -m repro.cli wifi --preset paper --csv trainingData.csv
 
 ``--preset fast`` (default) finishes in a couple of minutes on a laptop;
@@ -21,7 +23,17 @@ seconds-scale schema check for the benches that emit JSON artifacts
 :class:`repro.serving.ServingFrontend` — concurrent producer threads,
 micro-batches drained on a latency deadline — sweeping deadline vs
 throughput, asserting prediction parity with the synchronous path, and
-writing the ``BENCH_serve.json`` trajectory artifact.
+writing the ``BENCH_serve.json`` trajectory artifact.  With ``--store
+DIR`` it additionally measures the cold-start vs warm-start restart leg
+through the persistent model store at ``DIR``.
+
+``snapshot`` fits a registered backend on the serving workload and
+persists it through :class:`repro.core.persistence.ModelStore`;
+``warm-serve`` simulates the restarted process — it restores the fitted
+model from the store (no re-fit) and serves the query stream through
+the async front end.  Both commands derive the store key from the same
+(backend, dataset fingerprint, hyperparameters) triple, so they find
+each other's artifacts across processes.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ def main(argv: "list[str] | None" = None) -> int:
         choices=(
             "wifi", "ipin", "imu", "energy",
             "serve-bench", "shard-bench", "train-bench",
+            "snapshot", "warm-serve",
         ),
         help="which experiment to run",
     )
@@ -56,7 +69,15 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=None, help="override seed")
     parser.add_argument(
         "--model", default="knn",
-        help="registered serving estimator name (serve-bench only)",
+        help="registered serving estimator name "
+             "(serve-bench, snapshot, warm-serve)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent model-store directory: enables the serve-bench "
+             "--async cold-vs-warm restart leg, and is where snapshot "
+             "writes / warm-serve reads fitted-model artifacts "
+             "(snapshot and warm-serve default to ./model-store)",
     )
     parser.add_argument(
         "--batch-size", type=int, default=None,
@@ -111,10 +132,11 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.experiment not in ("train-bench", "serve-bench") and args.preset == "smoke":
+    smoke_capable = ("train-bench", "serve-bench", "snapshot", "warm-serve")
+    if args.experiment not in smoke_capable and args.preset == "smoke":
         raise SystemExit(
-            "--preset smoke is only supported by train-bench and "
-            "serve-bench --async"
+            "--preset smoke is only supported by train-bench, "
+            "serve-bench --async, snapshot, and warm-serve"
         )
     runner = {
         "wifi": run_wifi,
@@ -124,6 +146,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "serve-bench": run_serve_bench,
         "shard-bench": run_shard_bench,
         "train-bench": run_train_bench,
+        "snapshot": run_snapshot,
+        "warm-serve": run_warm_serve,
     }[args.experiment]
     runner(args)
     return 0
@@ -383,6 +407,7 @@ def run_serve_bench_async(args) -> None:
             deadlines_ms=deadlines,
             producers=args.producers,
             min_speedup=args.min_speedup,
+            store_dir=args.store,
         )
     except (ValueError, AssertionError) as error:
         raise SystemExit(f"serve-bench: {error}") from None
@@ -394,6 +419,128 @@ def run_serve_bench_async(args) -> None:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {output}")
+
+
+def _store_cache_and_workload(args):
+    """(cache, train, queries, fingerprint) for snapshot / warm-serve.
+
+    Both commands rebuild the deterministic serving workload for the
+    chosen preset + seed so the dataset fingerprint — and with it the
+    store key — matches across processes, then speak to the store
+    through a :class:`repro.serving.ModelCache` spill tier.
+    """
+    from repro.bench.serve import serve_workload
+    from repro.core.persistence import ModelStore
+    from repro.serving import ModelCache, dataset_fingerprint, get
+
+    get(args.model)  # fail fast on a typo'd name
+    seed = args.seed if args.seed is not None else 42
+    _config, train, queries = serve_workload(args.preset, seed)
+    store = ModelStore(args.store if args.store is not None else "model-store")
+    cache = ModelCache(capacity=2, store=store)
+    return cache, train, queries, dataset_fingerprint(train)
+
+
+def run_snapshot(args) -> None:
+    """Fit a serving backend and persist it to the model store.
+
+    Idempotent: if the store already holds an artifact for this
+    (backend, workload fingerprint, hyperparameters) triple, the model
+    is restored instead of re-fitted and the command reports so.
+    """
+    import time
+
+    from repro.serving import params_key
+
+    cache, train, _queries, fingerprint = _store_cache_and_workload(args)
+    print(
+        f"radio map: {len(train)} fingerprints x {train.n_aps} WAPs "
+        f"(fingerprint {fingerprint[:12]}…), model={args.model!r}"
+    )
+    tic = time.perf_counter()
+    estimator = cache.get_or_fit(args.model, train, fingerprint=fingerprint)
+    elapsed = time.perf_counter() - tic
+    stats = cache.stats()
+    path = cache.store.path_for(
+        args.model, fingerprint, params_key(estimator.params)
+    )
+    import os
+
+    if not os.path.exists(path):
+        # the cache degrades spill failures to a warning so serving can
+        # continue, but snapshot's whole job is producing the artifact
+        raise SystemExit(
+            f"snapshot: the model was fitted but no artifact could be "
+            f"written to {cache.store.directory!r} (see the warning "
+            "above); fix the store directory and re-run"
+        )
+    size_kib = os.path.getsize(path) / 1024
+    verb = "restored existing snapshot" if stats.disk_hits else "fitted + spilled"
+    print(f"{verb} in {elapsed:.2f} s")
+    print(f"artifact: {path} ({size_kib:.0f} KiB)")
+    print(f"warm-serve it with: python -m repro.cli warm-serve "
+          f"--model {args.model} --preset {args.preset} "
+          f"--store {cache.store.directory}")
+
+
+def run_warm_serve(args) -> None:
+    """Restore a snapshotted model from the store and serve with it.
+
+    The restarted-process half of the deployment story: no training
+    happens when the artifact is present — the model is loaded from
+    disk (a ``disk_hit``) and immediately serves the query stream
+    through the deadline-driven async front end.  Without an artifact
+    the command cold-fits, spills, and says so.
+    """
+    import time
+
+    from repro.serving import ServingFrontend
+
+    cache, train, queries, fingerprint = _store_cache_and_workload(args)
+    tic = time.perf_counter()
+    estimator = cache.get_or_fit(args.model, train, fingerprint=fingerprint)
+    restore = time.perf_counter() - tic
+    stats = cache.stats()
+    if stats.disk_hits:
+        print(f"warm start: restored {args.model!r} from the store in "
+              f"{restore * 1e3:.1f} ms (no re-fit)")
+    else:
+        import os
+
+        from repro.serving import params_key
+
+        spilled = os.path.exists(
+            cache.store.path_for(
+                args.model, fingerprint, params_key(estimator.params)
+            )
+        )
+        outcome = (
+            "fitted + spilled (the next warm-serve restores it)"
+            if spilled
+            else "fitted, but the artifact could not be written — the "
+                 "next warm-serve will fit again (see the warning above)"
+        )
+        print(f"cold start: no usable artifact in "
+              f"{cache.store.directory!r}; {outcome}; "
+              f"fit took {restore:.2f} s")
+
+    batch_size = args.batch_size if args.batch_size is not None else 64
+    tic = time.perf_counter()
+    with ServingFrontend(
+        estimator, batch_size=batch_size, deadline_ms=50.0
+    ) as frontend:
+        tickets = [frontend.submit(q) for q in queries]
+        coordinates = np.vstack(
+            [t.result().coordinates for t in tickets]
+        )
+    elapsed = time.perf_counter() - tic
+    fe_stats = frontend.stats()
+    print(
+        f"served {len(coordinates)} queries in {elapsed:.3f} s "
+        f"({len(coordinates) / elapsed:.0f} req/s, "
+        f"{fe_stats.batches} batches, "
+        f"mean fill {fe_stats.mean_batch_fill:.1f}/{batch_size})"
+    )
 
 
 def run_shard_bench(args) -> None:

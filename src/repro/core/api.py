@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.data.ujiindoor import NOT_DETECTED, FingerprintDataset
+from repro.data.ujiindoor import FingerprintDataset
 from repro.localization.noble import NObLeWifi
 from repro.utils.validation import check_2d, check_fitted, check_lengths_match
 

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.campus import (
-    UJI_BUILDINGS,
     UJI_FLOORS,
     sample_reference_spots,
     uji_campus_plan,

@@ -101,36 +101,9 @@ class CNNLocWifi:
             fused=self.fused,
         )
 
-        layers: list = []
-        for encoder in encoders:
-            layers.extend([encoder, Tanh()])
-        layers.append(Unflatten(1))
-        length = self.encoder_sizes[-1]
-        in_channels = 1
-        for out_channels in self.conv_channels:
-            conv = Conv1d(
-                in_channels, out_channels, self.kernel_size, rng=rng,
-                dtype=self._dtype,
-            )
-            layers.extend([conv, ReLU(), MaxPool1d(self.pool)])
-            length = (length - self.kernel_size + 1) // self.pool
-            if length < 1:
-                raise ValueError(
-                    "CNN stack shrinks the encoded fingerprint to nothing; "
-                    "reduce conv_channels/kernel_size/pool"
-                )
-            in_channels = out_channels
-        layers.append(Flatten())
-        flat_width = in_channels * length
-
-        head_width = n_buildings + n_floors + 2
-        layers.append(Linear(flat_width, head_width, rng=rng, dtype=self._dtype))
-        self.model_ = Sequential(*layers)
-        self.head_slices_ = {
-            "building": slice(0, n_buildings),
-            "floor": slice(n_buildings, n_buildings + n_floors),
-            "position": slice(n_buildings + n_floors, head_width),
-        }
+        self.model_, self.head_slices_ = self._build_network(
+            signals.shape[1], n_buildings, n_floors, rng, encoders=encoders
+        )
 
         self.coord_mean_ = dataset.coordinates.mean(axis=0)
         self.coord_std_ = dataset.coordinates.std(axis=0)
@@ -173,6 +146,59 @@ class CNNLocWifi:
         )
         self.history_ = trainer.fit(loader, epochs=self.epochs)
         return self
+
+    def _build_network(
+        self,
+        n_inputs: int,
+        n_buildings: int,
+        n_floors: int,
+        rng,
+        encoders: "list[Linear] | None" = None,
+    ) -> "tuple[Sequential, dict]":
+        """Assemble the SAE + CNN + multi-head network and its head layout.
+
+        ``encoders`` are the pretrained SAE layers from :meth:`fit`; when
+        None (the persistence restore path), architecturally identical
+        fresh :class:`Linear` layers are built instead — pretraining only
+        shapes the weights, which the caller then overwrites via
+        ``load_state_dict``.
+        """
+        if encoders is None:
+            sizes = (int(n_inputs), *self.encoder_sizes)
+            encoders = [
+                Linear(n_in, n_out, rng=rng, dtype=self._dtype)
+                for n_in, n_out in zip(sizes, sizes[1:])
+            ]
+        layers: list = []
+        for encoder in encoders:
+            layers.extend([encoder, Tanh()])
+        layers.append(Unflatten(1))
+        length = self.encoder_sizes[-1]
+        in_channels = 1
+        for out_channels in self.conv_channels:
+            conv = Conv1d(
+                in_channels, out_channels, self.kernel_size, rng=rng,
+                dtype=self._dtype,
+            )
+            layers.extend([conv, ReLU(), MaxPool1d(self.pool)])
+            length = (length - self.kernel_size + 1) // self.pool
+            if length < 1:
+                raise ValueError(
+                    "CNN stack shrinks the encoded fingerprint to nothing; "
+                    "reduce conv_channels/kernel_size/pool"
+                )
+            in_channels = out_channels
+        layers.append(Flatten())
+        flat_width = in_channels * length
+
+        head_width = n_buildings + n_floors + 2
+        layers.append(Linear(flat_width, head_width, rng=rng, dtype=self._dtype))
+        head_slices = {
+            "building": slice(0, n_buildings),
+            "floor": slice(n_buildings, n_buildings + n_floors),
+            "position": slice(n_buildings + n_floors, head_width),
+        }
+        return Sequential(*layers), head_slices
 
     def predict_coordinates(self, dataset) -> np.ndarray:
         out = self._forward(dataset)

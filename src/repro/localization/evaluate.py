@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.data.ujiindoor import FingerprintDataset
 from repro.metrics.classification import hit_rate
 from repro.metrics.errors import ErrorSummary, position_errors, summarize_errors

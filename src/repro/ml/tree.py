@@ -122,6 +122,71 @@ class DecisionTreeRegressor:
         check_fitted(self, "nodes_")
         return sum(1 for node in self.nodes_ if node.is_leaf)
 
+    # ------------------------------------------------------------ persistence
+    def to_arrays(self) -> "dict[str, np.ndarray]":
+        """The fitted tree as flat parallel arrays (for persistence).
+
+        ``feature``/``threshold``/``left``/``right`` are per-node;
+        ``value`` is (n_nodes, T) with rows meaningful only where
+        ``is_leaf`` is set.  :meth:`from_arrays` rebuilds an identical
+        predictor; growth hyperparameters are not included (they do not
+        affect a fitted tree's predictions).
+        """
+        check_fitted(self, "nodes_")
+        n = len(self.nodes_)
+        arrays = {
+            "feature": np.array([nd.feature for nd in self.nodes_], dtype=np.int64),
+            "threshold": np.array(
+                [nd.threshold for nd in self.nodes_], dtype=float
+            ),
+            "left": np.array([nd.left for nd in self.nodes_], dtype=np.int64),
+            "right": np.array([nd.right for nd in self.nodes_], dtype=np.int64),
+            "is_leaf": np.array([nd.is_leaf for nd in self.nodes_], dtype=bool),
+            "value": np.zeros((n, self._leaf_width()), dtype=float),
+            "n_features": np.array(self.n_features_, dtype=np.int64),
+        }
+        for row, node in enumerate(self.nodes_):
+            if node.is_leaf:
+                arrays["value"][row] = node.value
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: "dict[str, np.ndarray]") -> "DecisionTreeRegressor":
+        """Rebuild a fitted tree from :meth:`to_arrays` output."""
+        tree = cls()
+        is_leaf = np.asarray(arrays["is_leaf"], dtype=bool).ravel()
+        feature = np.asarray(arrays["feature"], dtype=int).ravel()
+        threshold = np.asarray(arrays["threshold"], dtype=float).ravel()
+        left = np.asarray(arrays["left"], dtype=int).ravel()
+        right = np.asarray(arrays["right"], dtype=int).ravel()
+        value = np.asarray(arrays["value"], dtype=float)
+        n = len(is_leaf)
+        if n == 0 or not is_leaf.any():
+            raise ValueError("tree arrays describe a tree without leaves")
+        if not (
+            len(feature) == len(threshold) == len(left) == len(right)
+            == len(value) == n
+        ):
+            raise ValueError("tree arrays have mismatched node counts")
+        children = np.concatenate([left[~is_leaf], right[~is_leaf]])
+        if len(children) and (
+            children.min() < 0 or children.max() >= n
+        ):
+            raise ValueError("tree arrays reference out-of-range child nodes")
+        tree.nodes_ = [
+            _Node(value=value[i].copy())
+            if is_leaf[i]
+            else _Node(
+                feature=int(feature[i]),
+                threshold=float(threshold[i]),
+                left=int(left[i]),
+                right=int(right[i]),
+            )
+            for i in range(n)
+        ]
+        tree.n_features_ = int(np.asarray(arrays["n_features"]))
+        return tree
+
     # ----------------------------------------------------------------- growth
     def _grow(self, x: np.ndarray, y: np.ndarray, index: np.ndarray, depth: int) -> int:
         node_id = len(self.nodes_)

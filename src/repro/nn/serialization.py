@@ -9,6 +9,37 @@ import numpy as np
 from repro.nn.module import Module
 
 
+def state_arrays(model: Module, prefix: str = "") -> "dict[str, np.ndarray]":
+    """The model's state dict as ``{prefix}{name}`` → array copies.
+
+    The composable half of :func:`save_state`: callers embedding network
+    weights inside a larger archive (e.g. the versioned estimator
+    artifacts in :mod:`repro.core.persistence`) prefix the keys so
+    several models can share one .npz namespace.
+    """
+    return {
+        f"{prefix}{name}": value for name, value in model.state_dict().items()
+    }
+
+
+def load_state_arrays(
+    model: Module, arrays: "dict[str, np.ndarray]", prefix: str = ""
+) -> Module:
+    """Load ``{prefix}``-keyed entries of ``arrays`` into ``model``.
+
+    Inverse of :func:`state_arrays`; entries outside the prefix are
+    ignored (they belong to other components of the archive).
+    """
+    model.load_state_dict(
+        {
+            name[len(prefix):]: value
+            for name, value in arrays.items()
+            if name.startswith(prefix)
+        }
+    )
+    return model
+
+
 def save_state(model: Module, path: "str | os.PathLike") -> None:
     """Write the model's state dict to ``path`` as a compressed .npz.
 

@@ -23,6 +23,11 @@ The production-facing seam of the repo.  Four pieces compose:
     batch goes out when its oldest request's latency budget expires),
     bounded-queue backpressure (``block`` or ``reject``), per-request
     timeouts, and deterministic drain-or-cancel shutdown.
+``store`` (re-exported from :mod:`repro.core.persistence`)
+    :class:`ModelStore`, the persistent spill tier: versioned on-disk
+    artifacts (``save_estimator``/``load_estimator``) keyed like the
+    cache, so ``ModelCache(store=ModelStore(dir))`` warm-starts a
+    restarted process from disk instead of re-fitting every model.
 
 Typical synchronous loop::
 
@@ -65,7 +70,17 @@ from repro.serving.registry import (
     concatenate,
     create,
     get,
+    params_key,
     register,
+)
+
+# imported last: persistence pulls in the model stacks and reaches back
+# into repro.serving.registry, which the lines above fully initialized
+from repro.core.persistence import (  # noqa: E402
+    ArtifactError,
+    ModelStore,
+    load_estimator,
+    save_estimator,
 )
 
 __all__ = [
@@ -76,9 +91,14 @@ __all__ = [
     "create",
     "get",
     "register",
+    "params_key",
     "ModelCache",
     "CacheStats",
     "dataset_fingerprint",
+    "ModelStore",
+    "ArtifactError",
+    "save_estimator",
+    "load_estimator",
     "MicroBatcher",
     "Ticket",
     "ServingFrontend",

@@ -19,6 +19,23 @@ lock (a hit stays lock-cheap — a dict probe plus ``move_to_end``), and
 a per-key in-flight guard ensures that when many threads miss the same
 key at once exactly one of them fits while the rest wait and then share
 the fitted instance (a waiter counts as a hit).
+
+With a spill tier (``store=``, a
+:class:`repro.core.persistence.ModelStore`), fitted models are written
+through to disk on insert and a miss consults the store before
+re-fitting::
+
+    cache = ModelCache(capacity=8, store=ModelStore("models/"))
+    est = cache.get_or_fit("noble", dataset)  # first process: fits + spills
+    # ... process restarts ...
+    est = cache.get_or_fit("noble", dataset)  # disk hit: restores, no fit
+
+Disk restores are counted as ``disk_hits`` in :meth:`ModelCache.stats`
+and run under the same per-key in-flight guard, so a restart stampede
+loads each artifact exactly once.  Store keys are the same (backend,
+dataset fingerprint, hyperparameters) triple as memory keys, so a stale
+artifact can never serve a changed radio map — new data means a new
+fingerprint, which simply misses.
 """
 
 from __future__ import annotations
@@ -28,7 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.data.ujiindoor import FingerprintDataset, content_digest
-from repro.serving.registry import Estimator, create
+from repro.serving.registry import Estimator, create, params_key
 
 
 def dataset_fingerprint(dataset: FingerprintDataset) -> str:
@@ -50,24 +67,31 @@ def dataset_fingerprint(dataset: FingerprintDataset) -> str:
     )
 
 
-def _params_key(hyperparams: dict) -> str:
-    return repr(sorted(hyperparams.items()))
+#: Canonical hyperparameter key (shared with ModelStore via the registry).
+_params_key = params_key
 
 
 @dataclass
 class CacheStats:
-    """Counters exposed by :meth:`ModelCache.stats`."""
+    """Counters exposed by :meth:`ModelCache.stats`.
+
+    ``disk_hits`` counts memory-tier misses resolved by restoring an
+    artifact from the spill store instead of re-fitting; they are not
+    included in ``hits`` (which stay memory-only) or ``misses`` (which
+    mean a fit actually ran).
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     capacity: int
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self.hits + self.misses + self.disk_hits
+        return (self.hits + self.disk_hits) / total if total else 0.0
 
 
 class _InFlightFit:
@@ -88,27 +112,36 @@ class ModelCache:
     capacity:
         Maximum number of fitted models held; least-recently-used
         entries are evicted beyond it.
+    store:
+        Optional :class:`repro.core.persistence.ModelStore` spill tier.
+        Freshly fitted models are written through on insert (so a later
+        process can warm-start), and a memory miss is resolved from disk
+        before re-fitting.  Disk-tier eviction is the operator's
+        business — the store is a directory, not an LRU.
 
     Concurrency: safe to share across threads.  A hit takes one short
     lock (dict probe + LRU bump — no hashing, no fitting, well under
     the ~0.1 ms memoized-fingerprint budget).  Concurrent misses of the
     *same* key are collapsed by a per-key in-flight guard: one thread
-    fits, the others block until the fit lands and then return the
-    shared instance (counted as hits).  If the owning fit raises, every
-    waiter sees that error.  Misses of *different* keys fit in parallel
-    — the lock is never held across ``fit``.
+    fits — or restores from the store — while the others block until
+    the result lands and then share the instance (counted as hits).  If
+    the owning fit raises, every waiter sees that error.  Misses of
+    *different* keys fit in parallel — the lock is never held across
+    ``fit`` or disk I/O.
     """
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, store=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
+        self.store = store
         self._entries: "OrderedDict[tuple, Estimator]" = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: "dict[tuple, _InFlightFit]" = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -128,8 +161,9 @@ class ModelCache:
         serving many requests against the same (immutable) radio map;
         hashing a UJIIndoorLoc-scale dataset costs more than a kNN query.
 
-        Under a concurrent stampede on one key, exactly one caller fits;
-        the rest wait on the in-flight fit and share its result.
+        Under a concurrent stampede on one key, exactly one caller fits
+        (or restores from the spill store); the rest wait on the
+        in-flight fit and share its result.
         """
         # key on the estimator's canonicalized params, not the raw kwargs,
         # so omitted defaults / equivalent spellings (k=5 vs k=5.0) dedupe;
@@ -156,8 +190,30 @@ class ModelCache:
                 raise flight.error
             # the fit landed; loop to take it as a hit (or, if it was
             # already evicted by unrelated churn, become the new owner)
+        restored = None
         try:
-            estimator.fit(dataset)
+            if self.store is not None:
+                # disk probe before the fit, outside the lock; under a
+                # restart stampede only this owner thread reaches here,
+                # so the artifact is loaded exactly once
+                restored = self.store.get(name, fingerprint, key[2])
+            if restored is None:
+                estimator.fit(dataset)
+                if self.store is not None:
+                    # spill failures (disk full, permissions) must not
+                    # discard a successful fit: the memory tier keeps
+                    # serving, only the warm-start coverage degrades
+                    try:
+                        self.store.put(name, fingerprint, key[2], estimator)
+                    except Exception as spill_error:
+                        import warnings
+
+                        warnings.warn(
+                            f"model store write-through failed for "
+                            f"{name!r}: {spill_error}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
         except BaseException as error:
             flight.error = error
             with self._lock:
@@ -165,8 +221,13 @@ class ModelCache:
                 self._inflight.pop(key, None)
             flight.done.set()
             raise
+        if restored is not None:
+            estimator = restored
         with self._lock:
-            self.misses += 1
+            if restored is not None:
+                self.disk_hits += 1
+            else:
+                self.misses += 1
             self._entries[key] = estimator
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -184,14 +245,16 @@ class ModelCache:
                 evictions=self.evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                disk_hits=self.disk_hits,
             )
 
     def clear(self) -> None:
         """Drop all cached models and reset the counters.
 
         In-flight fits are unaffected: they land in the cleared cache
-        when they finish.
+        when they finish.  The spill store is untouched — dropping disk
+        artifacts is :meth:`repro.core.persistence.ModelStore.clear`.
         """
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = self.evictions = 0
+            self.hits = self.misses = self.evictions = self.disk_hits = 0

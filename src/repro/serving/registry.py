@@ -182,6 +182,18 @@ def create(name: str, **hyperparams) -> Estimator:
     return get(name)(**hyperparams)
 
 
+def params_key(hyperparams: dict) -> str:
+    """Canonical string form of an estimator's hyperparameters.
+
+    The single definition both :class:`repro.serving.cache.ModelCache`
+    and :class:`repro.core.persistence.ModelStore` key through, so an
+    in-memory entry and its on-disk artifact can never disagree about
+    which configuration they hold.  Assumes ``hyperparams`` is already
+    canonicalized (i.e. an :class:`Estimator`'s ``params``).
+    """
+    return repr(sorted(hyperparams.items()))
+
+
 def _canonical_seed(seed):
     """Collapse equivalent integer seed spellings for stable cache keys."""
     return int(seed) if isinstance(seed, (bool, int, np.integer)) else seed

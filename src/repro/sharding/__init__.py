@@ -32,6 +32,7 @@ from repro.sharding.partitioner import (
     KMeansPartitioner,
     LabelPartitioner,
     Partitioner,
+    RestoredPartitioner,
     make_partitioner,
 )
 
@@ -41,6 +42,7 @@ __all__ = [
     "ChunkPartitioner",
     "KMeansPartitioner",
     "LabelPartitioner",
+    "RestoredPartitioner",
     "make_partitioner",
     "fanout_map",
     "fanout_over_slices",

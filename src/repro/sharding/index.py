@@ -38,7 +38,11 @@ from repro.manifold.neighbors import (
     _drop_self_matches,
     _resolve_query_k,
 )
-from repro.sharding.partitioner import Partitioner, make_partitioner
+from repro.sharding.partitioner import (
+    Partitioner,
+    RestoredPartitioner,
+    make_partitioner,
+)
 from repro.utils.validation import check_2d
 
 #: Relative slack applied to pruning bounds so float round-off in the
@@ -144,6 +148,104 @@ class ShardedKNNIndex:
     #: Element budget for one query block's temporaries (see query());
     #: class-level so tests can shrink it to exercise multi-block runs.
     _block_elements = int(2e7)
+
+    # ------------------------------------------------------------ persistence
+    def shard_state(self) -> "dict[str, np.ndarray]":
+        """The fitted partition as flat arrays (for persistence).
+
+        Returns the concatenated per-shard global indices plus shard
+        sizes and the centroid/radius pruning metadata — everything
+        :meth:`from_shard_state` needs to rebuild the index without
+        re-running the partitioner (whose k-means fit dominates
+        construction on large maps).  The point set itself is *not*
+        included; callers persist it alongside.
+        """
+        return {
+            "shard_concat": np.concatenate(
+                [idx.astype(np.int64) for idx in self.shard_indices_]
+            ),
+            "shard_sizes": np.array(self.shard_sizes, dtype=np.int64),
+            "centroids": self.centroids_,
+            "radii": self.radii_,
+        }
+
+    @classmethod
+    def from_shard_state(
+        cls,
+        points: np.ndarray,
+        state: "dict[str, np.ndarray]",
+        partitioner_description: str = "restored",
+        method: str = "brute",
+        max_workers: "int | None" = None,
+        prune: bool = True,
+    ) -> "ShardedKNNIndex":
+        """Rebuild an index from :meth:`shard_state`, skipping the partition fit.
+
+        ``points`` must be the original indexed point set (global indices
+        in ``state`` refer to its rows); the shard assignment, centroids,
+        and covering radii are taken verbatim from ``state`` instead of
+        re-running the partitioner, so restoring a 10^6-point k-means
+        index costs per-shard index construction only.  The partition is
+        validated to cover every point exactly once.  ``max_workers``
+        defaults to ``min(n_shards, cpu_count)`` — deliberately not
+        persisted, since it is a property of the serving machine.
+        """
+        self = cls.__new__(cls)
+        self.points = check_2d(points, "points")
+        if len(self.points) == 0:
+            raise ValueError("cannot index an empty point set")
+        sizes = np.asarray(state["shard_sizes"], dtype=int).ravel()
+        concat = np.asarray(state["shard_concat"], dtype=int).ravel()
+        if sizes.sum() != len(self.points) or len(concat) != len(self.points):
+            raise ValueError(
+                f"shard state covers {len(concat)} assignments in "
+                f"{sizes.sum()} shard slots for {len(self.points)} points"
+            )
+        if (sizes < 1).any():
+            raise ValueError("shard state contains an empty shard")
+        if len(concat) and (
+            concat.min() < 0 or concat.max() >= len(self.points)
+        ):
+            raise ValueError(
+                "shard state references out-of-range point indices"
+            )
+        bounds = np.cumsum(sizes)
+        self.shard_indices_ = [
+            concat[start:stop]
+            for start, stop in zip(np.concatenate([[0], bounds[:-1]]), bounds)
+        ]
+        covered = np.zeros(len(self.points), dtype=bool)
+        covered[concat] = True
+        if not covered.all() or len(np.unique(concat)) != len(concat):
+            raise ValueError(
+                "shard state is not a partition of the point set "
+                "(every point must appear in exactly one shard)"
+            )
+        self.partitioner = RestoredPartitioner(
+            partitioner_description, n_shards=len(self.shard_indices_)
+        )
+        self.shards_ = [
+            KNNIndex(self.points[idx], method=method)
+            for idx in self.shard_indices_
+        ]
+        self.centroids_ = np.asarray(state["centroids"], dtype=float)
+        self.radii_ = np.asarray(state["radii"], dtype=float).ravel()
+        if len(self.centroids_) != len(self.shards_) or len(self.radii_) != len(
+            self.shards_
+        ):
+            raise ValueError(
+                f"shard state carries {len(self.centroids_)} centroids / "
+                f"{len(self.radii_)} radii for {len(self.shards_)} shards"
+            )
+        if max_workers is None:
+            max_workers = min(len(self.shards_), os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self.prune = bool(prune)
+        self._stats_lock = threading.Lock()
+        self.points_scanned_ = 0
+        return self
 
     # ------------------------------------------------------------- properties
     @property

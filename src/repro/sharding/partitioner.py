@@ -192,6 +192,34 @@ def _nearest_centroid(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     return nearest
 
 
+class RestoredPartitioner(Partitioner):
+    """Placeholder policy carried by a deserialized sharded index.
+
+    A persisted :class:`~repro.sharding.index.ShardedKNNIndex` ships its
+    finished shard assignment (the whole point of the artifact is to
+    skip the partition fit), so the restored index has no live policy to
+    re-run — only the canonical ``describe()`` string recorded at save
+    time, which must survive verbatim so cache keys stay stable across
+    a save/load round trip.  Calling :meth:`assign` is a contract error.
+    """
+
+    name = "restored"
+
+    def __init__(self, description: str, n_shards: int):
+        super().__init__(n_shards)
+        self._description = str(description)
+
+    def describe(self) -> str:
+        return self._description
+
+    def assign(self, points, labels=None):
+        raise RuntimeError(
+            "a restored sharded index carries a finished shard assignment "
+            f"(policy {self._description!r}) and cannot re-partition; "
+            "rebuild the index from data to change the partitioning"
+        )
+
+
 #: String specs accepted by :func:`make_partitioner`.
 _SPECS = {
     "chunk": ChunkPartitioner,

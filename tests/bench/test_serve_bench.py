@@ -146,3 +146,69 @@ class TestCLI:
         with pytest.raises(SystemExit, match="deadlines"):
             main(["serve-bench", "--async", "--preset", "smoke",
                   "--deadlines", "fast,slow"])
+
+
+@pytest.fixture(scope="module")
+def smoke_store_result(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("bench-store")
+    return run_serve_bench(preset="smoke", seed=9, store_dir=store_dir)
+
+
+class TestStoreLeg:
+    def test_absent_without_store_dir(self, smoke_result):
+        assert smoke_result.store is None
+        assert "store" not in smoke_result.payload()
+
+    def test_store_block_emitted_and_valid(self, smoke_store_result):
+        payload = smoke_store_result.payload()
+        validate_serve_bench_payload(payload)
+        store = payload["store"]
+        assert store["backend"] == "noble"
+        assert store["parity_ok"] is True
+        assert store["cold_fit_seconds"] > 0
+        assert store["warm_restore_seconds"] > 0
+        assert store["speedup"] == pytest.approx(
+            store["cold_fit_seconds"] / store["warm_restore_seconds"], rel=1e-6
+        )
+
+    def test_report_mentions_the_restart_leg(self, smoke_store_result):
+        report = smoke_store_result.report()
+        assert "warm restore" in report and "restart speedup" in report
+
+    def test_impossible_store_floor_raises(self, tmp_path):
+        with pytest.raises(ServeSpeedupError, match="warm restore"):
+            run_serve_bench(
+                preset="smoke", seed=9, store_dir=tmp_path,
+                store_min_speedup=1e9,
+            )
+
+    def test_validator_rejects_failed_store_parity(self, smoke_store_result):
+        payload = smoke_store_result.payload()
+        payload["store"]["parity_ok"] = False
+        with pytest.raises(ValueError, match="store.parity_ok"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_incomplete_store_block(self, smoke_store_result):
+        payload = smoke_store_result.payload()
+        del payload["store"]["warm_restore_seconds"]
+        with pytest.raises(ValueError, match="warm_restore_seconds"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_speedup_below_floor(self, smoke_store_result):
+        payload = smoke_store_result.payload()
+        payload["store"]["min_speedup_asserted"] = 10.0
+        payload["store"]["speedup"] = 3.0
+        with pytest.raises(ValueError, match="below the asserted floor"):
+            validate_serve_bench_payload(payload)
+
+
+class TestSchemaVersioning:
+    def test_stale_v1_artifact_fails_validation(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["schema"] = "repro-serve-bench/1"
+        with pytest.raises(ValueError, match="schema"):
+            validate_serve_bench_payload(payload)
+        # the dispatcher still routes it to the serve validator, which
+        # reports the version mismatch (instead of half-reading it)
+        with pytest.raises(ValueError, match="repro-serve-bench"):
+            validate_bench_payload(payload)

@@ -83,3 +83,305 @@ class TestRoundTrip:
         np.testing.assert_array_equal(
             model.predict_coordinates(test), restored.predict_coordinates(test)
         )
+
+
+# --------------------------------------------------------- estimator artifacts
+import json
+
+from repro.core.persistence import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    available_serializers,
+    load_estimator,
+    save_estimator,
+)
+from repro.serving import available, create
+
+
+#: Small-but-real configurations, one per registered backend (plus the
+#: sharded kNN variant the ISSUE singles out).
+ARTIFACT_CONFIGS = {
+    "knn": {"k": 3},
+    "knn-sharded": {"k": 3, "shards": 3},
+    "knn-regressor": {"k": 3},
+    "forest": {"n_estimators": 4, "max_depth": 4},
+    "noble": {"epochs": 2, "hidden": 16, "val_fraction": 0.0},
+    "noble-float32": {
+        "epochs": 2, "hidden": 16, "val_fraction": 0.0, "dtype": "float32",
+    },
+    "cnnloc": {
+        "encoder_sizes": (16, 8), "conv_channels": (4,),
+        "pretrain_epochs": 1, "epochs": 2,
+    },
+    "ensemble": {
+        "primary_params": {"epochs": 2, "hidden": 16, "val_fraction": 0.0},
+        "fallback_params": {"k": 3},
+    },
+}
+
+_BACKEND_OF = {
+    "knn-sharded": "knn",
+    "noble-float32": "noble",
+}
+
+
+@pytest.fixture(scope="module")
+def fitted_estimators(uji_split):
+    """One fitted estimator per artifact configuration (fit once)."""
+    train, _val, _test = uji_split
+    fitted = {}
+    for label, params in ARTIFACT_CONFIGS.items():
+        backend = _BACKEND_OF.get(label, label)
+        fitted[label] = create(backend, **params).fit(train)
+    return fitted
+
+
+#: The backends the repo ships (other tests may register throwaway
+#: backends in the shared registry, so don't assert against available()).
+SHIPPED_BACKENDS = (
+    "knn", "knn-regressor", "forest", "noble", "cnnloc", "ensemble",
+)
+
+
+class TestEstimatorRoundTrips:
+    def test_every_shipped_backend_has_a_serializer(self):
+        assert set(SHIPPED_BACKENDS) <= set(available())
+        assert set(SHIPPED_BACKENDS) <= set(available_serializers())
+
+    def test_configs_cover_every_shipped_backend(self):
+        covered = {_BACKEND_OF.get(label, label) for label in ARTIFACT_CONFIGS}
+        assert covered == set(SHIPPED_BACKENDS)
+
+    @pytest.mark.parametrize("label", sorted(ARTIFACT_CONFIGS))
+    def test_predictions_bit_identical(
+        self, label, fitted_estimators, uji_split, tmp_path
+    ):
+        _train, _val, test = uji_split
+        estimator = fitted_estimators[label]
+        path = tmp_path / f"{label}.npz"
+        save_estimator(estimator, path)
+        restored = load_estimator(path)
+        queries = test.rssi
+        original = estimator.predict_batch(queries)
+        loaded = restored.predict_batch(queries)
+        np.testing.assert_array_equal(
+            original.coordinates, loaded.coordinates
+        )
+        for head in ("building", "floor"):
+            a, b = getattr(original, head), getattr(loaded, head)
+            assert (a is None) == (b is None)
+            if a is not None:
+                np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("label", sorted(ARTIFACT_CONFIGS))
+    def test_identity_round_trips(self, label, fitted_estimators, tmp_path):
+        estimator = fitted_estimators[label]
+        path = tmp_path / f"{label}.npz"
+        save_estimator(estimator, path)
+        restored = load_estimator(path)
+        assert restored.registry_name == estimator.registry_name
+        assert restored.describe() == estimator.describe()
+        assert json.dumps(restored.params, sort_keys=True) == json.dumps(
+            estimator.params, sort_keys=True
+        )
+
+    def test_sharded_restore_skips_partition_fit(
+        self, fitted_estimators, tmp_path, monkeypatch
+    ):
+        from repro.sharding import ShardedKNNIndex
+        from repro.sharding.partitioner import Partitioner
+
+        estimator = fitted_estimators["knn-sharded"]
+        path = tmp_path / "sharded.npz"
+        save_estimator(estimator, path)
+
+        def _boom(self, points, labels=None):  # pragma: no cover - guard
+            raise AssertionError("restore must not re-run the partitioner")
+
+        for cls in Partitioner.__subclasses__():
+            monkeypatch.setattr(cls, "assign", _boom, raising=False)
+        monkeypatch.setattr(Partitioner, "assign", _boom)
+        restored = load_estimator(path)
+        index = restored.model_.index_
+        assert isinstance(index, ShardedKNNIndex)
+        original_index = estimator.model_.index_
+        assert index.shard_sizes == original_index.shard_sizes
+        assert (
+            index.partitioner.describe()
+            == original_index.partitioner.describe()
+        )
+
+    def test_ensemble_round_trip_preserves_routing(
+        self, fitted_estimators, uji_split, tmp_path
+    ):
+        _train, _val, test = uji_split
+        estimator = fitted_estimators["ensemble"]
+        path = tmp_path / "ensemble.npz"
+        save_estimator(estimator, path)
+        restored = load_estimator(path)
+        assert restored.ood_threshold_ == estimator.ood_threshold_
+        assert restored._heads_ok == estimator._heads_ok
+        assert restored.routes_ == {"primary": 0, "fallback": 0}
+        # an obviously out-of-distribution scan must still route to the
+        # fallback after the round trip
+        weird = np.full((1, test.rssi.shape[1]), -30.0)
+        restored.predict_batch(weird)
+        assert restored.routes_["fallback"] == 1
+
+    def test_float32_noble_stays_float32(self, fitted_estimators, tmp_path):
+        estimator = fitted_estimators["noble-float32"]
+        path = tmp_path / "nf32.npz"
+        save_estimator(estimator, path)
+        restored = load_estimator(path)
+        for param in restored.model_.model_.parameters():
+            assert param.data.dtype == np.float32
+
+
+class TestArtifactErrorPaths:
+    def test_unfitted_estimator_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_estimator(create("knn", k=3), tmp_path / "x.npz")
+
+    def test_non_registry_object_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="registered serving estimator"):
+            save_estimator(object(), tmp_path / "x.npz")
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_estimator(tmp_path / "nope.npz")
+
+    def test_corrupted_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_estimator(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, weights=np.zeros(3))
+        with pytest.raises(ArtifactError, match="not a repro estimator"):
+            load_estimator(path)
+
+    def _tampered(self, fitted, tmp_path, mutate):
+        """Save a valid artifact, rewrite its envelope, return the path."""
+        path = tmp_path / "tampered.npz"
+        save_estimator(fitted, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        envelope = json.loads(bytes(arrays.pop("artifact_json")).decode())
+        mutate(envelope)
+        arrays["artifact_json"] = np.frombuffer(
+            json.dumps(envelope).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @pytest.fixture()
+    def fitted_knn(self, fitted_estimators):
+        return fitted_estimators["knn"]
+
+    def test_version_mismatch_rejected(self, fitted_knn, tmp_path):
+        path = self._tampered(
+            fitted_knn, tmp_path,
+            lambda env: env.update(schema="repro-estimator/0"),
+        )
+        with pytest.raises(ArtifactError, match="repro-estimator/0"):
+            load_estimator(path)
+        assert ARTIFACT_SCHEMA != "repro-estimator/0"
+
+    def test_unknown_backend_rejected(self, fitted_knn, tmp_path):
+        path = self._tampered(
+            fitted_knn, tmp_path, lambda env: env.update(backend="warp-drive")
+        )
+        with pytest.raises(ArtifactError, match="no serializer"):
+            load_estimator(path)
+
+    def test_drifted_params_rejected(self, fitted_knn, tmp_path):
+        def _drift(env):
+            env["params"] = dict(env["params"], k=env["params"]["k"] + 0.5)
+
+        path = self._tampered(fitted_knn, tmp_path, _drift)
+        with pytest.raises(ArtifactError, match="round-trip"):
+            load_estimator(path)
+
+    def test_truncated_arrays_rejected(self, fitted_knn, tmp_path):
+        path = tmp_path / "truncated.npz"
+        save_estimator(fitted_knn, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        del arrays["coordinates"]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ArtifactError, match="incomplete"):
+            load_estimator(path)
+
+    def test_store_key_guard(self, fitted_knn, tmp_path):
+        path = tmp_path / "keyed.npz"
+        save_estimator(fitted_knn, path, store_key=("knn", "fp", "params"))
+        assert load_estimator(
+            path, expected_store_key=("knn", "fp", "params")
+        ).registry_name == "knn"
+        with pytest.raises(ArtifactError, match="store key"):
+            load_estimator(path, expected_store_key=("knn", "other", "params"))
+
+    def test_unkeyed_artifact_rejected_under_expected_key(
+        self, fitted_knn, tmp_path
+    ):
+        path = tmp_path / "unkeyed.npz"
+        save_estimator(fitted_knn, path)
+        with pytest.raises(ArtifactError, match="store key"):
+            load_estimator(path, expected_store_key=("knn", "fp", "params"))
+
+
+class TestRestoredRefitBehavior:
+    """A restored estimator's fit() path after the round trip."""
+
+    def test_spec_string_partitioner_stays_refittable(
+        self, uji_split, tmp_path
+    ):
+        train, _val, test = uji_split
+        fitted = create("knn", k=3, shards=3).fit(train)  # partitioner="auto"
+        path = tmp_path / "spec.npz"
+        save_estimator(fitted, path)
+        restored = load_estimator(path)
+        restored.fit(train)  # a spec string survives: refit just works
+        np.testing.assert_array_equal(
+            fitted.predict_batch(test.rssi).coordinates,
+            restored.predict_batch(test.rssi).coordinates,
+        )
+
+    def test_custom_partitioner_instance_refit_raises_clearly(
+        self, uji_split, tmp_path
+    ):
+        from repro.sharding import KMeansPartitioner
+
+        train, _val, test = uji_split
+        fitted = create(
+            "knn", k=3, shards=3, partitioner=KMeansPartitioner(3)
+        ).fit(train)
+        path = tmp_path / "instance.npz"
+        save_estimator(fitted, path)
+        restored = load_estimator(path)
+        # serving works — bit-identical
+        np.testing.assert_array_equal(
+            fitted.predict_batch(test.rssi).coordinates,
+            restored.predict_batch(test.rssi).coordinates,
+        )
+        # but the instance is gone, so a refit must say so usefully
+        # (not choke on the recorded describe() string)
+        with pytest.raises(RuntimeError, match="cannot re-partition"):
+            restored.fit(train)
+
+    def test_custom_partitioner_regressor_refit_raises_clearly(
+        self, uji_split, tmp_path
+    ):
+        from repro.sharding import KMeansPartitioner
+
+        train, _val, _test = uji_split
+        fitted = create(
+            "knn-regressor", k=3, shards=3, partitioner=KMeansPartitioner(3)
+        ).fit(train)
+        path = tmp_path / "reg.npz"
+        save_estimator(fitted, path)
+        restored = load_estimator(path)
+        with pytest.raises(RuntimeError, match="cannot re-partition"):
+            restored.fit(train)

@@ -1,0 +1,260 @@
+"""ModelStore + ModelCache spill tier: warm-start serving contract.
+
+The restart story under test: a store-backed cache writes every fitted
+model through to disk, and a *fresh* cache over the same store resolves
+the miss from disk (``disk_hits``) with bit-identical predictions —
+loading exactly once under a restart stampede — while corrupted or
+renamed artifacts degrade to a re-fit, never to serving the wrong
+model, and a changed radio map can never be served by a stale artifact.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import ModelStore
+from repro.serving import ModelCache, create, dataset_fingerprint, params_key
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ModelStore(tmp_path / "store")
+
+
+@pytest.fixture(scope="module")
+def train(uji_split):
+    train, _val, _test = uji_split
+    return train
+
+
+def _key_of(name, dataset, **hyperparams):
+    estimator = create(name, **hyperparams)
+    return name, dataset_fingerprint(dataset), params_key(estimator.params)
+
+
+class TestModelStore:
+    def test_put_get_round_trip(self, store, train, uji_split):
+        _train, _val, test = uji_split
+        fitted = create("knn", k=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        assert os.path.exists(path)
+        assert len(store) == 1
+        restored = store.get(name, fingerprint, pkey)
+        np.testing.assert_array_equal(
+            fitted.predict_batch(test.rssi).coordinates,
+            restored.predict_batch(test.rssi).coordinates,
+        )
+
+    def test_missing_key_is_none(self, store, train):
+        assert store.get("knn", "nope", "params") is None
+
+    def test_stable_paths(self, store):
+        a = store.path_for("knn", "fp", "params")
+        assert a == store.path_for("knn", "fp", "params")
+        assert a != store.path_for("knn", "fp2", "params")
+        assert a != store.path_for("knn", "fp", "params2")
+        assert a.endswith(".npz")
+
+    def test_renamed_artifact_never_serves_wrong_key(self, store, train):
+        fitted = create("knn", k=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        # an operator renames the file onto another key's slot
+        other = store.path_for(name, "a-different-radio-map", pkey)
+        os.rename(path, other)
+        with pytest.warns(RuntimeWarning, match="unreadable|store key"):
+            assert store.get(name, "a-different-radio-map", pkey) is None
+        assert store.get(name, fingerprint, pkey) is None  # original gone
+
+    def test_corrupted_artifact_is_soft_miss(self, store, train):
+        fitted = create("knn", k=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00garbage\x00")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert store.get(name, fingerprint, pkey) is None
+
+    def test_clear_empties_the_directory(self, store, train):
+        fitted = create("knn", k=3).fit(train)
+        store.put(*_key_of("knn", train, k=3), fitted)
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0 and store.paths() == []
+
+    def test_failed_put_leaves_no_debris(self, store, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            store.put("knn", "fp", "params", create("knn", k=3))
+        assert os.listdir(store.directory) == []
+
+
+class TestCacheSpillTier:
+    def test_write_through_on_insert(self, store, train):
+        cache = ModelCache(capacity=4, store=store)
+        cache.get_or_fit("knn", train, k=3)
+        assert len(store) == 1
+        stats = cache.stats()
+        assert (stats.misses, stats.disk_hits, stats.hits) == (1, 0, 0)
+
+    def test_restart_resolves_from_disk(self, store, train, uji_split):
+        _train, _val, test = uji_split
+        first = ModelCache(capacity=4, store=store)
+        fitted = first.get_or_fit("knn", train, k=3)
+        restarted = ModelCache(capacity=4, store=store)  # fresh process
+        restored = restarted.get_or_fit("knn", train, k=3)
+        stats = restarted.stats()
+        assert (stats.misses, stats.disk_hits) == (0, 1)
+        np.testing.assert_array_equal(
+            fitted.predict_batch(test.rssi).coordinates,
+            restored.predict_batch(test.rssi).coordinates,
+        )
+        # after the disk hit the entry lives in memory: plain hit now
+        again = restarted.get_or_fit("knn", train, k=3)
+        assert again is restored
+        assert restarted.stats().hits == 1
+
+    def test_disk_hits_count_into_hit_rate(self, store, train):
+        first = ModelCache(capacity=4, store=store)
+        first.get_or_fit("knn", train, k=3)
+        restarted = ModelCache(capacity=4, store=store)
+        restarted.get_or_fit("knn", train, k=3)
+        assert restarted.stats().hit_rate == pytest.approx(1.0)
+
+    def test_changed_dataset_never_served_stale(self, store, train):
+        first = ModelCache(capacity=4, store=store)
+        first.get_or_fit("knn", train, k=3)
+        # the radio map gains a survey point: new fingerprint, new key
+        from repro.data.ujiindoor import FingerprintDataset
+
+        grown = FingerprintDataset(
+            rssi=np.vstack([train.rssi, train.rssi[:1] + 1.0]),
+            coordinates=np.vstack([train.coordinates, train.coordinates[:1]]),
+            floor=np.concatenate([train.floor, train.floor[:1]]),
+            building=np.concatenate([train.building, train.building[:1]]),
+        )
+        restarted = ModelCache(capacity=4, store=store)
+        restarted.get_or_fit("knn", grown, k=3)
+        stats = restarted.stats()
+        assert (stats.misses, stats.disk_hits) == (1, 0)  # re-fit, no stale
+        assert len(store) == 2  # and the new fit spilled under its own key
+
+    def test_different_hyperparams_never_alias(self, store, train):
+        first = ModelCache(capacity=4, store=store)
+        first.get_or_fit("knn", train, k=3)
+        restarted = ModelCache(capacity=4, store=store)
+        restarted.get_or_fit("knn", train, k=5)
+        stats = restarted.stats()
+        assert (stats.misses, stats.disk_hits) == (1, 0)
+
+    def test_corrupted_artifact_falls_back_to_refit(self, store, train):
+        first = ModelCache(capacity=4, store=store)
+        first.get_or_fit("knn", train, k=3)
+        for path in store.paths():
+            with open(path, "wb") as handle:
+                handle.write(b"garbage")
+        restarted = ModelCache(capacity=4, store=store)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            restored = restarted.get_or_fit("knn", train, k=3)
+        stats = restarted.stats()
+        assert (stats.misses, stats.disk_hits) == (1, 0)
+        assert restored.model_ is not None
+        # the re-fit wrote a fresh artifact over the bad one
+        restarted2 = ModelCache(capacity=4, store=store)
+        restarted2.get_or_fit("knn", train, k=3)
+        assert restarted2.stats().disk_hits == 1
+
+    def test_restart_stampede_loads_exactly_once(self, store, train):
+        first = ModelCache(capacity=4, store=store)
+        first.get_or_fit("knn", train, k=3)
+
+        loads = []
+        original_get = store.get
+
+        def counting_get(*args, **kwargs):
+            loads.append(threading.get_ident())
+            return original_get(*args, **kwargs)
+
+        store.get = counting_get
+        restarted = ModelCache(capacity=4, store=store)
+        fingerprint = dataset_fingerprint(train)
+        barrier = threading.Barrier(8)
+        results = [None] * 8
+
+        def stampede(lane):
+            barrier.wait()
+            results[lane] = restarted.get_or_fit(
+                "knn", train, fingerprint=fingerprint, k=3
+            )
+
+        threads = [
+            threading.Thread(target=stampede, args=(lane,)) for lane in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(loads) == 1  # one disk load for the whole stampede
+        stats = restarted.stats()
+        assert stats.disk_hits == 1 and stats.misses == 0
+        assert stats.hits == 7  # waiters share the restored instance
+        assert all(r is results[0] for r in results)
+
+    def test_clear_resets_disk_hits(self, store, train):
+        first = ModelCache(capacity=4, store=store)
+        first.get_or_fit("knn", train, k=3)
+        restarted = ModelCache(capacity=4, store=store)
+        restarted.get_or_fit("knn", train, k=3)
+        restarted.clear()
+        stats = restarted.stats()
+        assert (stats.hits, stats.misses, stats.disk_hits) == (0, 0, 0)
+        # the store is deliberately untouched by cache.clear()
+        assert len(store) == 1
+
+
+class TestReviewHardening:
+    """Regressions pinned from review findings on the spill tier."""
+
+    def test_failed_write_through_keeps_serving(self, store, train):
+        def broken_put(*args, **kwargs):
+            raise OSError("disk full")
+
+        store.put = broken_put
+        cache = ModelCache(capacity=4, store=store)
+        with pytest.warns(RuntimeWarning, match="write-through failed"):
+            fitted = cache.get_or_fit("knn", train, k=3)
+        assert fitted.model_ is not None  # the fit survived the disk error
+        stats = cache.stats()
+        assert (stats.misses, stats.disk_hits) == (1, 0)
+        # and the memory tier serves it as a plain hit afterwards
+        assert cache.get_or_fit("knn", train, k=3) is fitted
+        assert cache.stats().hits == 1
+
+    def test_out_of_range_shard_artifact_is_soft_miss(self, store, train):
+        fitted = create("knn", k=3, shards=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3, shards=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        concat = arrays["index.shard_concat"].copy()
+        concat[0] = 10**9  # points far outside the map
+        arrays["index.shard_concat"] = concat
+        np.savez_compressed(path, **arrays)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert store.get(name, fingerprint, pkey) is None
+        # the same corruption through load_estimator is a hard ArtifactError
+        from repro.core.persistence import ArtifactError, load_estimator
+
+        with pytest.raises(ArtifactError, match="incomplete|out-of-range"):
+            load_estimator(path, expected_store_key=(name, fingerprint, pkey))
+
+    def test_orphaned_tmp_files_are_not_artifacts(self, store, train):
+        fitted = create("knn", k=3).fit(train)
+        path = store.put(*_key_of("knn", train, k=3), fitted)
+        debris = f"{path}.tmp-999-888.npz"  # crash-orphaned atomic write
+        with open(debris, "wb") as handle:
+            handle.write(b"half-written")
+        assert len(store) == 1
+        assert debris not in store.paths()

@@ -1,6 +1,5 @@
 """Tests for the grid-search harness."""
 
-import numpy as np
 import pytest
 
 from repro.core.tuning import grid_search

@@ -1,6 +1,5 @@
 """Tests for FLOP counting and the energy model."""
 
-import numpy as np
 import pytest
 
 from repro.energy.flops import count_flops

@@ -1,7 +1,6 @@
 """Tests for the snap-to-map projection."""
 
 import numpy as np
-import pytest
 
 from repro.geometry.floorplan import FloorPlan
 from repro.geometry.polygon import Polygon

@@ -300,3 +300,83 @@ class TestPropertyParity:
         d_shard, i_shard = sharded.query(points, k=k, exclude_self=True)
         np.testing.assert_allclose(d_shard, d_mono, rtol=1e-9, atol=1e-9)
         assert not np.any(i_shard == np.arange(n)[:, None])
+
+
+class TestShardStateRoundTrip:
+    """shard_state()/from_shard_state(): persistence without a re-partition."""
+
+    def _index(self, n=220, dim=4, shards=6):
+        points = _clustered(RNG, n_blobs=shards, per_blob=n // shards, dim=dim)
+        return points, ShardedKNNIndex(
+            points, n_shards=shards, partitioner="kmeans", method="brute"
+        )
+
+    def test_restored_query_matches_original(self):
+        points, index = self._index()
+        restored = ShardedKNNIndex.from_shard_state(
+            points,
+            index.shard_state(),
+            partitioner_description=index.partitioner.describe(),
+        )
+        queries = RNG.normal(scale=10.0, size=(40, points.shape[1]))
+        d0, i0 = index.query(queries, k=5)
+        d1, i1 = restored.query(queries, k=5)
+        np.testing.assert_array_equal(d0, d1)
+        np.testing.assert_array_equal(i0, i1)
+
+    def test_restore_skips_the_partition_fit(self, monkeypatch):
+        from repro.sharding.partitioner import Partitioner
+
+        points, index = self._index()
+        state = index.shard_state()
+
+        def _boom(self, points, labels=None):  # pragma: no cover - guard
+            raise AssertionError("restore must not re-run the partitioner")
+
+        for cls in Partitioner.__subclasses__():
+            monkeypatch.setattr(cls, "assign", _boom, raising=False)
+        monkeypatch.setattr(Partitioner, "assign", _boom)
+        restored = ShardedKNNIndex.from_shard_state(points, state)
+        assert restored.n_shards == index.n_shards
+        assert restored.shard_sizes == index.shard_sizes
+
+    def test_describe_string_survives(self):
+        points, index = self._index()
+        restored = ShardedKNNIndex.from_shard_state(
+            points,
+            index.shard_state(),
+            partitioner_description=index.partitioner.describe(),
+        )
+        assert restored.partitioner.describe() == index.partitioner.describe()
+        with pytest.raises(RuntimeError, match="cannot re-partition"):
+            restored.partitioner.assign(points)
+
+    def test_exclude_self_still_exact(self):
+        points, index = self._index()
+        restored = ShardedKNNIndex.from_shard_state(points, index.shard_state())
+        d0, _ = index.query(points, k=4, exclude_self=True)
+        d1, _ = restored.query(points, k=4, exclude_self=True)
+        np.testing.assert_array_equal(d0, d1)
+
+    def test_incomplete_partition_rejected(self):
+        points, index = self._index()
+        state = dict(index.shard_state())
+        concat = state["shard_concat"].copy()
+        concat[0] = concat[1]  # a point now appears twice, another never
+        state["shard_concat"] = concat
+        with pytest.raises(ValueError, match="partition"):
+            ShardedKNNIndex.from_shard_state(points, state)
+
+    def test_mismatched_sizes_rejected(self):
+        points, index = self._index()
+        state = dict(index.shard_state())
+        state["shard_sizes"] = state["shard_sizes"][:-1]
+        with pytest.raises(ValueError, match="shard"):
+            ShardedKNNIndex.from_shard_state(points, state)
+
+    def test_mismatched_centroids_rejected(self):
+        points, index = self._index()
+        state = dict(index.shard_state())
+        state["centroids"] = state["centroids"][:-1]
+        with pytest.raises(ValueError, match="centroids"):
+            ShardedKNNIndex.from_shard_state(points, state)
