@@ -53,8 +53,9 @@ serve-bench:
 
 # Deadline-driven async front end: sweeps flush deadline vs throughput
 # with concurrent producers, asserts prediction parity + the headline
-# speedup over per-query serving, runs the model-store cold-vs-warm
-# restart leg, and writes BENCH_serve.json.
+# speedup over per-query serving, sweeps the multi-process shard-worker
+# tier against the thread front end (preset worker counts), runs the
+# model-store cold-vs-warm restart leg, and writes BENCH_serve.json.
 serve-bench-async:
 	rm -rf /tmp/repro-model-store.bench
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async \
@@ -62,13 +63,14 @@ serve-bench-async:
 	rm -rf /tmp/repro-model-store.bench
 
 # Tiny-workload async serve-bench: validates the emitted
-# BENCH_serve.json schema (store restart leg included) without
-# overwriting the real trajectory; hooked into scripts/check_suite.sh
-# so a broken async bench fails `make check`.  The artifact is left in
-# /tmp so CI can upload it.
+# BENCH_serve.json schema (store restart leg and a workers=2
+# multi-process leg included) without overwriting the real trajectory;
+# hooked into scripts/check_suite.sh so a broken async bench fails
+# `make check`.  The artifact is left in /tmp so CI can upload it.
 serve-bench-smoke:
 	rm -rf /tmp/repro-model-store.smoke /tmp/BENCH_serve.smoke.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench --async --preset smoke \
+		--workers 2 \
 		--store /tmp/repro-model-store.smoke \
 		--output /tmp/BENCH_serve.smoke.json
 	rm -rf /tmp/repro-model-store.smoke

@@ -73,6 +73,42 @@ def check_artifact(name: str, headline_fields: "tuple[str, ...]") -> "list[str]"
             f"{name}: headline speedup {speedup} is below its own asserted "
             f"floor {floor}"
         )
+    problems.extend(check_workers_headline(name, payload))
+    return problems
+
+
+def check_workers_headline(name: str, payload: dict) -> "list[str]":
+    """Multi-process headline floor for serve artifacts (schema v3).
+
+    The workers block records whether its ≥2x floor was actually
+    enforceable on the machine that produced the artifact (≥2 cores,
+    working shared memory, a ≥2-worker leg); when it was, the recorded
+    speedup must clear the recorded floor — the same stale-artifact
+    guard as the async headline above.
+    """
+    workers = payload.get("workers")
+    if workers is None:
+        return []  # not a serve artifact (train payloads have no block)
+    problems: list[str] = []
+    headline = workers.get("headline") if isinstance(workers, dict) else None
+    if not isinstance(headline, dict):
+        return [f"{name}: workers.headline block missing"]
+    for field in ("speedup_vs_threads", "min_speedup_asserted", "floor_enforced"):
+        if field not in headline:
+            problems.append(f"{name}: workers.headline missing {field!r}")
+    if headline.get("floor_enforced") is True:
+        speedup = headline.get("speedup_vs_threads")
+        floor = headline.get("min_speedup_asserted")
+        if not isinstance(speedup, (int, float)):
+            problems.append(
+                f"{name}: workers floor is enforced but speedup_vs_threads "
+                f"is {speedup!r}"
+            )
+        elif isinstance(floor, (int, float)) and speedup < floor:
+            problems.append(
+                f"{name}: workers headline speedup {speedup} is below its "
+                f"own asserted floor {floor}"
+            )
     return problems
 
 

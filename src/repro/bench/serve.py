@@ -8,8 +8,16 @@ with single-scan submissions; the engine measures end-to-end wall time
 against the synchronous ``predict_batch`` oracle on every leg, asserts
 a minimum throughput speedup over the per-query baseline at the
 headline deadline, and emits the ``BENCH_serve.json`` payload (schema
-``repro-serve-bench/1``, validated by
+:data:`SERVE_BENCH_SCHEMA`, validated by
 :func:`repro.bench.validate_bench_payload`).
+
+Since schema v3 every run also sweeps the **multi-process tier**: the
+headline deadline is measured once through the thread front end over a
+sharded ``knn`` estimator and once per ``--workers N`` count through a
+:class:`repro.serving.workers.ShardWorkerPool`, with per-leg parity vs
+the synchronous oracle and a req/s-vs-workers headline whose ≥2x floor
+is enforced whenever the machine has ≥2 cores and working shared
+memory.
 
 Run it via ``python -m repro.cli serve-bench --async`` or ``make
 serve-bench-async``; ``make serve-bench-smoke`` exercises a tiny
@@ -27,8 +35,10 @@ import numpy as np
 
 #: Identifier (and version) of the emitted JSON payload.  Version 2
 #: added the optional ``store`` block (cold-fit vs warm-restart leg
-#: through the persistent model store).
-SERVE_BENCH_SCHEMA = "repro-serve-bench/2"
+#: through the persistent model store); version 3 added the mandatory
+#: ``workers`` block (thread front end vs process-backed shard workers
+#: at the headline deadline, with a req/s-vs-workers headline).
+SERVE_BENCH_SCHEMA = "repro-serve-bench/3"
 
 #: Schema-tag prefix shared by every serve-bench payload version; the
 #: validator dispatcher routes on it and rejects unknown versions.
@@ -84,6 +94,17 @@ class ServePreset:
     #: (the persistent model store's warm-start contract); 0 disables —
     #: the smoke workload's cold fit is too small for a stable ratio.
     store_min_speedup: float = 10.0
+    #: Worker counts swept by the multi-process block; 0 is the thread
+    #: front end the others are compared against (always included).
+    workers: "tuple[int, ...]" = (0, 2)
+    #: Floor asserted on best-worker-leg req/s over the thread leg —
+    #: but only when the machine actually has ≥ 2 cores and shared
+    #: memory (``floor_enforced`` in the emitted block); 0 disables.
+    workers_min_speedup: float = 2.0
+    #: Shards the workers block's estimator is fitted with (partitioned
+    #: across the worker processes; also the thread leg's index layout,
+    #: so the comparison isolates processes-vs-threads).
+    workers_shards: int = 4
 
 
 PRESETS = {
@@ -102,6 +123,9 @@ PRESETS = {
         min_speedup=0.0,
         max_pending=64,
         store_min_speedup=0.0,
+        workers=(0, 2),
+        workers_min_speedup=0.0,
+        workers_shards=2,
     ),
     # The PR 1 serve-bench workload, now pushed through the async path.
     "fast": ServePreset(
@@ -117,6 +141,8 @@ PRESETS = {
         min_speedup=5.0,
         max_pending=1024,
         repeats=3,
+        workers=(0, 1, 2),
+        workers_shards=4,
     ),
     "paper": ServePreset(
         name="paper",
@@ -131,6 +157,8 @@ PRESETS = {
         min_speedup=5.0,
         max_pending=4096,
         repeats=3,
+        workers=(0, 2, 4),
+        workers_shards=8,
     ),
 }
 
@@ -148,6 +176,9 @@ class ServeBenchResult:
     #: Cold-fit vs warm-restore comparison through the persistent model
     #: store (``--store``); None when the leg was not requested.
     store: "dict | None" = None
+    #: Thread front end vs process-backed shard workers at the headline
+    #: deadline (schema v3; always present in emitted payloads).
+    workers: dict = field(default_factory=dict)
 
     @property
     def headline(self) -> dict:
@@ -173,6 +204,7 @@ class ServeBenchResult:
             "naive": dict(self.naive),
             "async": copy.deepcopy(self.legs),
             "headline": dict(self.headline),
+            "workers": copy.deepcopy(self.workers),
         }
         if self.store is not None:
             payload["store"] = dict(self.store)
@@ -217,6 +249,42 @@ class ServeBenchResult:
                 f"(floor {s['min_speedup_asserted']:.1f}x), "
                 "prediction parity asserted vs the in-memory model"
             )
+        if self.workers:
+            wb = self.workers
+            lines.append(
+                f"\nworkers: model={wb['model']!r} shards={wb['shards']} "
+                f"at a {wb['deadline_ms']:.0f} ms deadline "
+                f"(cpu_count={wb['cpu_count']}, "
+                f"shm={'yes' if wb['shm_available'] else 'no'})"
+            )
+            for leg in wb["legs"]:
+                label = (
+                    "threads"
+                    if leg["workers"] == 0
+                    else f"{leg['workers']} proc"
+                )
+                lines.append(
+                    f"  {label:>8}: {leg['seconds']:7.3f} s "
+                    f"({leg['requests_per_second']:9.0f} req/s, "
+                    f"respawns={leg['respawns']})"
+                )
+            head = wb["headline"]
+            speed = head["speedup_vs_threads"]
+            lines.append(
+                "  headline: "
+                + (
+                    "n/a (no worker leg ran)"
+                    if speed is None
+                    else f"{speed:.2f}x over the thread front end "
+                    f"with {head['workers']} workers"
+                )
+                + (
+                    f" — floor {head['min_speedup_asserted']:.1f}x enforced"
+                    if head["floor_enforced"]
+                    else " — floor not enforced "
+                    "(needs >=2 cores, shared memory, and a >=2-worker leg)"
+                )
+            )
         return "\n".join(lines)
 
 
@@ -228,17 +296,20 @@ def _async_leg(
     preset: ServePreset,
     batch_size: int,
     producers: int,
+    executor_factory=None,
 ) -> dict:
     """One deadline sweep point, median-of-``preset.repeats`` runs.
 
     Every run hammers a fresh front end and checks parity; the reported
     record is the run with the median elapsed time (scheduler-noise
-    shielding — see :class:`ServePreset`), counters included.
+    shielding — see :class:`ServePreset`), counters included.  With
+    ``executor_factory`` each run's front end uses a fresh executor from
+    the factory (the workers block) instead of the thread path.
     """
     runs = [
         _async_run(
             estimator, queries, oracle_xy, deadline_ms, preset, batch_size,
-            producers,
+            producers, executor_factory=executor_factory,
         )
         for _ in range(max(preset.repeats, 1))
     ]
@@ -254,17 +325,27 @@ def _async_run(
     preset: ServePreset,
     batch_size: int,
     producers: int,
+    executor_factory=None,
 ) -> dict:
     """One measured pass: producer threads through a fresh front end."""
     from repro.serving import ServingFrontend
 
-    frontend = ServingFrontend(
-        estimator,
-        batch_size=batch_size,
-        deadline_ms=deadline_ms,
-        max_pending=preset.max_pending,
-        overflow="block",
-    )
+    if executor_factory is None:
+        frontend = ServingFrontend(
+            estimator,
+            batch_size=batch_size,
+            deadline_ms=deadline_ms,
+            max_pending=preset.max_pending,
+            overflow="block",
+        )
+    else:
+        frontend = ServingFrontend(
+            executor=executor_factory(),
+            batch_size=batch_size,
+            deadline_ms=deadline_ms,
+            max_pending=preset.max_pending,
+            overflow="block",
+        )
     tickets: "list" = [None] * len(queries)
     errors: "list[BaseException]" = []
 
@@ -421,6 +502,145 @@ def _store_leg(
     }
 
 
+#: Backend measured by the workers block: the shard workers serve the
+#: ``knn`` radio-map scan (the only backend with a sharded index).
+WORKERS_LEG_MODEL = "knn"
+
+
+def _workers_block(
+    config: ServePreset,
+    train,
+    queries: np.ndarray,
+    store_dir: "str | os.PathLike | None",
+    workers: "tuple[int, ...]",
+    min_speedup: float,
+    batch_size: int,
+    producers: int,
+    deadline_ms: float,
+) -> dict:
+    """Thread front end vs N shard-worker processes, same workload.
+
+    Fits a *sharded* ``knn`` estimator (through a store-backed cache,
+    which write-through-spills the artifact the workers warm-start
+    from), then measures the headline deadline once per worker count:
+    ``workers == 0`` is the plain thread front end over the very same
+    sharded estimator, ``workers > 0`` runs the batches through a
+    :class:`~repro.serving.workers.ShardWorkerPool` shared across the
+    leg's repeats.  Every leg asserts prediction parity against the
+    synchronous oracle; the headline ratio (best worker leg over the
+    thread leg) is asserted against ``min_speedup`` only when the
+    machine can actually express it — ≥ 2 cores, working shared
+    memory, and a ≥ 2-worker leg (``floor_enforced``).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.persistence import ModelStore
+    from repro.serving import ModelCache, dataset_fingerprint
+    from repro.serving.shm import shm_available
+    from repro.serving.workers import ShardWorkerPool, WorkerPoolExecutor
+
+    workers = tuple(sorted({int(w) for w in workers} | {0}))
+    if any(w < 0 for w in workers):
+        raise ValueError(f"worker counts must be >= 0, got {workers}")
+    available = shm_available()
+    cpu_count = os.cpu_count() or 1
+
+    cleanup_dir = None
+    if store_dir is None:
+        cleanup_dir = store_dir = tempfile.mkdtemp(
+            prefix="repro-serve-bench-workers-"
+        )
+    try:
+        store = ModelStore(store_dir)
+        fingerprint = dataset_fingerprint(train)
+        cache = ModelCache(capacity=2, store=store)
+        tic = time.perf_counter()
+        estimator = cache.get_or_fit(
+            WORKERS_LEG_MODEL,
+            train,
+            fingerprint=fingerprint,
+            shards=config.workers_shards,
+            partitioner="kmeans",
+        )
+        fit_seconds = time.perf_counter() - tic
+        oracle_xy = estimator.predict_batch(queries).coordinates
+
+        legs: "list[dict]" = []
+        for count in workers:
+            if count == 0:
+                leg = _async_leg(
+                    estimator, queries, oracle_xy, deadline_ms, config,
+                    batch_size, producers,
+                )
+                leg["respawns"] = 0
+            elif not available:
+                continue  # recorded via shm_available; thread leg stands
+            else:
+                with ShardWorkerPool(
+                    estimator,
+                    store,
+                    fingerprint=fingerprint,
+                    n_workers=count,
+                    max_rows=batch_size,
+                ) as pool:
+                    leg = _async_leg(
+                        estimator, queries, oracle_xy, deadline_ms, config,
+                        batch_size, producers,
+                        executor_factory=lambda: WorkerPoolExecutor(pool),
+                    )
+                    leg["respawns"] = int(pool.respawns)
+            del leg["deadline_ms"]  # block-level: one deadline for all legs
+            legs.append({"workers": int(count), **leg})
+
+        thread_leg = legs[0]
+        worker_legs = [leg for leg in legs if leg["workers"] > 0]
+        best = (
+            max(worker_legs, key=lambda leg: leg["requests_per_second"])
+            if worker_legs
+            else None
+        )
+        speedup = (
+            None
+            if best is None
+            else float(
+                best["requests_per_second"]
+                / thread_leg["requests_per_second"]
+            )
+        )
+        floor_enforced = bool(
+            min_speedup > 0
+            and available
+            and cpu_count >= 2
+            and any(leg["workers"] >= 2 for leg in worker_legs)
+        )
+        if floor_enforced and speedup < min_speedup:
+            raise ServeSpeedupError(
+                f"process-backed serving is only {speedup:.2f}x the thread "
+                f"front end at the {deadline_ms:.0f} ms deadline, below "
+                f"the asserted minimum {min_speedup:.2f}x "
+                f"(cpu_count={cpu_count})"
+            )
+        return {
+            "model": WORKERS_LEG_MODEL,
+            "shards": int(config.workers_shards),
+            "deadline_ms": float(deadline_ms),
+            "fit_seconds": float(fit_seconds),
+            "cpu_count": int(cpu_count),
+            "shm_available": bool(available),
+            "legs": legs,
+            "headline": {
+                "workers": None if best is None else int(best["workers"]),
+                "speedup_vs_threads": speedup,
+                "min_speedup_asserted": float(min_speedup),
+                "floor_enforced": floor_enforced,
+            },
+        }
+    finally:
+        if cleanup_dir is not None:
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
+
+
 def run_serve_bench(
     preset: str = "fast",
     seed: int = 42,
@@ -431,6 +651,8 @@ def run_serve_bench(
     min_speedup: "float | None" = None,
     store_dir: "str | os.PathLike | None" = None,
     store_min_speedup: "float | None" = None,
+    workers: "tuple[int, ...] | None" = None,
+    workers_min_speedup: "float | None" = None,
     **model_params,
 ) -> ServeBenchResult:
     """Benchmark async serving and assert parity + headline speedup.
@@ -443,7 +665,12 @@ def run_serve_bench(
     restore of the ``noble`` backend through a
     :class:`repro.core.persistence.ModelStore` at that directory,
     asserting prediction parity and a ``store_min_speedup`` floor
-    (preset default 10x).  Extra keyword arguments are forwarded to the
+    (preset default 10x).  The ``workers`` sweep (preset default; 0 =
+    the thread front end baseline) always runs and lands in the
+    payload's ``workers`` block, asserting per-leg parity and — on
+    machines with ≥ 2 cores and working shared memory — a
+    ``workers_min_speedup`` throughput floor of the process tier over
+    the thread tier.  Extra keyword arguments are forwarded to the
     registered ``model``.
     """
     from repro.serving import ModelCache, get
@@ -530,6 +757,21 @@ def run_serve_bench(
             f"{headline_deadline:.0f} ms deadline is below the asserted "
             f"minimum {min_speedup:.2f}x"
         )
+    if workers is None:
+        workers = config.workers
+    if workers_min_speedup is None:
+        workers_min_speedup = config.workers_min_speedup
+    result.workers = _workers_block(
+        config,
+        train,
+        queries,
+        store_dir,
+        tuple(workers),
+        float(workers_min_speedup),
+        batch_size,
+        producers,
+        headline_deadline,
+    )
     if store_dir is not None:
         result.store = _store_leg(
             train, queries, store_dir, float(store_min_speedup)
@@ -542,7 +784,9 @@ def validate_serve_bench_payload(payload: dict) -> None:
 
     Guards the persistent trajectory's shape: schema tag, workload and
     naive-baseline blocks, at least one async leg with complete fields,
-    a headline block, and — when present — the ``store`` restart leg
+    a headline block, the mandatory ``workers`` block (thread-baseline
+    leg first, per-leg parity true, floor satisfied whenever
+    ``floor_enforced``), and — when present — the ``store`` restart leg
     (complete fields, parity true, a positive asserted floor satisfied)
     — so ``make serve-bench-smoke`` (and through it ``make check`` /
     CI's bench-artifact guard) fails loudly when the emitted artifact
@@ -561,7 +805,9 @@ def validate_serve_bench_payload(payload: dict) -> None:
         problems.append(
             f"schema must be {SERVE_BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
         )
-    for key in ("preset", "seed", "workload", "naive", "async", "headline"):
+    for key in (
+        "preset", "seed", "workload", "naive", "async", "headline", "workers"
+    ):
         if key not in payload:
             problems.append(f"missing top-level key {key!r}")
     workload = payload.get("workload", {})
@@ -591,6 +837,74 @@ def validate_serve_bench_payload(payload: dict) -> None:
     for key in ("deadline_ms", "async_speedup", "min_speedup_asserted"):
         if key not in headline:
             problems.append(f"headline missing {key!r}")
+    workers = payload.get("workers")
+    if not isinstance(workers, dict):
+        problems.append("workers must be a dict")
+    else:
+        if not isinstance(workers.get("model"), str):
+            problems.append("workers.model must be a string")
+        for key in ("shards", "cpu_count"):
+            if not _is(workers.get(key), int):
+                problems.append(f"workers.{key} must be an int")
+        if not isinstance(workers.get("shm_available"), bool):
+            problems.append("workers.shm_available must be a bool")
+        if not _is(workers.get("deadline_ms"), float):
+            problems.append("workers.deadline_ms must be a number")
+        wlegs = workers.get("legs", [])
+        if not isinstance(wlegs, list) or not wlegs:
+            problems.append("workers.legs must be a non-empty list")
+        else:
+            if wlegs[0].get("workers") != 0:
+                problems.append(
+                    "workers.legs[0] must be the thread baseline (workers=0)"
+                )
+            for i, leg in enumerate(wlegs):
+                for field_name, field_type in (
+                    ("workers", int),
+                    ("seconds", float),
+                    ("requests_per_second", float),
+                    ("n_batches", int),
+                    ("mean_batch_fill", float),
+                    ("n_timeouts", int),
+                    ("mean_latency_ms", float),
+                    ("p95_latency_ms", float),
+                    ("respawns", int),
+                ):
+                    if not _is(leg.get(field_name), field_type):
+                        problems.append(
+                            f"workers.legs[{i}].{field_name} must be "
+                            f"{field_type.__name__}"
+                        )
+                if leg.get("parity_ok") is not True:
+                    problems.append(f"workers.legs[{i}].parity_ok is not True")
+        whead = workers.get("headline")
+        if not isinstance(whead, dict):
+            problems.append("workers.headline must be a dict")
+        else:
+            for key in (
+                "workers",
+                "speedup_vs_threads",
+                "min_speedup_asserted",
+                "floor_enforced",
+            ):
+                if key not in whead:
+                    problems.append(f"workers.headline missing {key!r}")
+            if not isinstance(whead.get("floor_enforced"), bool):
+                problems.append("workers.headline.floor_enforced must be bool")
+            floor = whead.get("min_speedup_asserted")
+            speedup = whead.get("speedup_vs_threads")
+            if whead.get("floor_enforced") is True:
+                if not _is(speedup, float):
+                    problems.append(
+                        "workers.headline.speedup_vs_threads must be a "
+                        "number when the floor is enforced"
+                    )
+                elif _is(floor, float) and speedup < floor:
+                    problems.append(
+                        f"workers.headline.speedup_vs_threads {speedup} is "
+                        f"below the asserted floor {floor} "
+                        "(stale or hand-edited artifact?)"
+                    )
     store = payload.get("store")
     if store is not None:
         if not isinstance(store, dict):

@@ -102,6 +102,13 @@ def main(argv: "list[str] | None" = None) -> int:
              "(default: the preset's)",
     )
     parser.add_argument(
+        "--workers", default=None,
+        help="comma-separated shard-worker process counts for the "
+             "serve-bench --async multi-process sweep (0 = thread "
+             "front end, always included; default: the preset's, "
+             "e.g. 0,1,2)",
+    )
+    parser.add_argument(
         "--points", type=int, default=None,
         help="radio-map size override (shard-bench only)",
     )
@@ -379,8 +386,11 @@ def run_serve_bench_async(args) -> None:
     :class:`repro.serving.ServingFrontend` with concurrent producer
     threads, asserts per-leg prediction parity against the synchronous
     path and a minimum headline speedup over naive per-query serving,
-    prints the comparison, and writes the ``BENCH_serve.json``
-    perf-trajectory artifact (schema-validated before writing).
+    then sweeps the multi-process shard-worker tier (``--workers``,
+    preset default) against the thread front end at the headline
+    deadline, prints the comparison, and writes the
+    ``BENCH_serve.json`` perf-trajectory artifact (schema-validated
+    before writing).
     """
     import json
 
@@ -398,6 +408,17 @@ def run_serve_bench_async(args) -> None:
                 f"serve-bench: --deadlines must be comma-separated numbers, "
                 f"got {args.deadlines!r}"
             ) from None
+    workers = None
+    if args.workers is not None:
+        try:
+            workers = tuple(
+                int(w) for w in args.workers.split(",") if w.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"serve-bench: --workers must be comma-separated integers, "
+                f"got {args.workers!r}"
+            ) from None
     try:
         result = bench(
             preset=args.preset,
@@ -408,6 +429,7 @@ def run_serve_bench_async(args) -> None:
             producers=args.producers,
             min_speedup=args.min_speedup,
             store_dir=args.store,
+            workers=workers,
         )
     except (ValueError, AssertionError) as error:
         raise SystemExit(f"serve-bench: {error}") from None

@@ -34,7 +34,6 @@ from __future__ import annotations
 import json
 import os
 import re
-import threading
 
 import numpy as np
 
@@ -676,10 +675,12 @@ class ModelStore:
     subsequent insert replaces the bad file.  Use :func:`load_estimator`
     directly when a hard failure is wanted.
 
-    Writes are atomic (temp file + ``os.replace``), so a crashed writer
-    never leaves a half-written artifact under a live key.  Thread-safe:
-    concurrent puts of the same key last-write-win with either file
-    intact.
+    Writes are atomic (O_EXCL temp file via ``tempfile.mkstemp`` +
+    ``os.replace``), so a crashed writer never leaves a half-written
+    artifact under a live key.  Safe across threads *and processes*:
+    concurrent puts of the same key write disjoint temp files and
+    last-write-win with an intact artifact either way — the contract
+    the multi-process serving tier's warm-start path relies on.
     """
 
     def __init__(self, directory: "str | os.PathLike"):
@@ -701,18 +702,32 @@ class ModelStore:
         self, name: str, fingerprint: str, params_key: str, estimator
     ) -> str:
         """Write ``estimator`` under the key triple; returns the path."""
+        import tempfile
+
         path = self.path_for(name, fingerprint, params_key)
-        # keep the .npz suffix: np.savez would silently append one to a
-        # bare temp name and the atomic rename would miss the real file
-        tmp = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}.npz"
+        base = os.path.basename(path)[: -len(".npz")]
+        # O_EXCL temp file in the store directory: every writer —
+        # thread *or process* — gets a name nobody else can open, so
+        # concurrent puts of one key can never clobber each other's
+        # half-written temp (a deterministic temp name can, across
+        # processes).  Same filesystem as ``path``, so the final
+        # ``os.replace`` stays atomic.  The ``.tmp-`` infix keeps
+        # :meth:`paths` from listing in-flight writes; the ``.npz``
+        # suffix stops np.savez from silently appending one and
+        # dodging the rename.
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f"{base}.tmp-", suffix=".npz"
+        )
+        os.close(fd)
         try:
             save_estimator(
                 estimator, tmp, store_key=(name, fingerprint, params_key)
             )
             os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):  # failed save: never leave debris
+        except BaseException:  # failed save: never leave debris
+            if os.path.exists(tmp):
                 os.unlink(tmp)
+            raise
         return path
 
     def get(self, name: str, fingerprint: str, params_key: str):

@@ -28,6 +28,34 @@ The production-facing seam of the repo.  Four pieces compose:
     artifacts (``save_estimator``/``load_estimator``) keyed like the
     cache, so ``ModelCache(store=ModelStore(dir))`` warm-starts a
     restarted process from disk instead of re-fitting every model.
+``workers`` / ``shm``
+    The multi-process execution tier: :class:`ShardWorkerPool` scatters
+    each micro-batch to N shard-worker processes over shared-memory
+    ring buffers and merges their per-shard top-k exactly; plugged into
+    the front end via ``executor=`` (:class:`WorkerPoolExecutor`) or
+    all at once with :func:`make_worker_frontend`, which falls back to
+    the thread path when ``workers=0`` or shared memory is unavailable.
+
+Spawn-vs-fork policy
+--------------------
+Worker processes are started with the **spawn** method, never fork:
+
+* a forked child inherits every lock, condition variable, and
+  in-flight event of the parent at the instant of the fork — with the
+  owning threads gone, any of them can deadlock the child.  A spawned
+  worker begins from a clean interpreter and warm-starts its model
+  from the :class:`ModelStore` artifact instead (milliseconds, since
+  PR 5 artifacts carry the finished shard state).
+* spawn keeps worker memory disjoint by construction, so the only
+  shared state is the explicitly designed shared-memory channel of
+  :mod:`repro.serving.shm`.
+
+Code that *does* fork around serving objects (e.g. a preforking web
+server holding a :class:`ModelCache`) is still protected where it
+matters: the cache registers an ``os.register_at_fork`` hook that
+gives children a fresh lock and in-flight table.  Forking a live
+:class:`ServingFrontend` or :class:`ShardWorkerPool` is not supported
+— create them after the fork.
 
 Typical synchronous loop::
 
@@ -50,7 +78,8 @@ Asynchronous serving under a 50 ms latency budget::
 
 ``python -m repro.cli serve-bench`` benchmarks the synchronous path;
 ``serve-bench --async`` sweeps deadline vs throughput through the
-front end and writes the ``BENCH_serve.json`` trajectory artifact.
+front end — and, with ``--workers N``, through the process-backed
+tier — and writes the ``BENCH_serve.json`` trajectory artifact.
 """
 
 from repro.serving.batcher import MicroBatcher, Ticket
@@ -72,6 +101,14 @@ from repro.serving.registry import (
     get,
     params_key,
     register,
+)
+
+from repro.serving.shm import shm_available
+from repro.serving.workers import (
+    ShardWorkerPool,
+    WorkerPoolError,
+    WorkerPoolExecutor,
+    make_worker_frontend,
 )
 
 # imported last: persistence pulls in the model stacks and reaches back
@@ -107,4 +144,9 @@ __all__ = [
     "QueueFullError",
     "FrontendClosedError",
     "RequestTimeoutError",
+    "ShardWorkerPool",
+    "WorkerPoolExecutor",
+    "WorkerPoolError",
+    "make_worker_frontend",
+    "shm_available",
 ]

@@ -40,12 +40,43 @@ fingerprint, which simply misses.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.data.ujiindoor import FingerprintDataset, content_digest
 from repro.serving.registry import Estimator, create, params_key
+
+#: Every live cache, so the fork hook below can reach them; weak so the
+#: registry never keeps a discarded cache alive.
+_LIVE_CACHES: "weakref.WeakSet[ModelCache]" = weakref.WeakSet()
+_FORK_HOOK_INSTALLED = False
+
+
+def _reset_caches_after_fork() -> None:
+    """Repair every cache in a freshly forked child.
+
+    A fork can happen while some thread holds a cache's lock or owns an
+    in-flight fit; the child inherits the lock *locked* and the
+    ``_InFlightFit`` events *unset*, with no thread left alive to ever
+    release or set them — the first child thread to touch the cache
+    would deadlock.  Fresh lock, empty in-flight table (fitted entries
+    are plain data and stay valid; an interrupted owner's fit simply
+    re-runs in the child on demand).
+    """
+    for cache in list(_LIVE_CACHES):
+        cache._lock = threading.Lock()
+        cache._inflight = {}
+
+
+def _install_fork_hook() -> None:
+    global _FORK_HOOK_INSTALLED
+    if _FORK_HOOK_INSTALLED or not hasattr(os, "register_at_fork"):
+        return
+    os.register_at_fork(after_in_child=_reset_caches_after_fork)
+    _FORK_HOOK_INSTALLED = True
 
 
 def dataset_fingerprint(dataset: FingerprintDataset) -> str:
@@ -128,6 +159,14 @@ class ModelCache:
     the owning fit raises, every waiter sees that error.  Misses of
     *different* keys fit in parallel — the lock is never held across
     ``fit`` or disk I/O.
+
+    Fork-safe: a child forked while another thread held the lock (or
+    owned an in-flight fit) gets a fresh lock and an empty in-flight
+    table via an ``os.register_at_fork`` hook, so touching an inherited
+    cache can never deadlock — the orphaned fit simply re-runs in the
+    child on demand.  (The multi-process serving tier itself uses the
+    spawn start method and never inherits caches; the hook protects
+    code that forks around a live cache.)
     """
 
     def __init__(self, capacity: int = 8, store=None):
@@ -138,6 +177,11 @@ class ModelCache:
         self._entries: "OrderedDict[tuple, Estimator]" = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: "dict[tuple, _InFlightFit]" = {}
+        # forked children inherit the lock/in-flight state of whatever
+        # instant the fork hit; the at-fork hook resets both (see
+        # _reset_caches_after_fork) so a child can always make progress
+        _LIVE_CACHES.add(self)
+        _install_fork_hook()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -35,6 +35,15 @@ it.  The batcher itself is also internally locked, so even an aliased
 handle cannot corrupt the queue — the contract exists so batch
 composition stays deterministic.
 
+Execution is pluggable: by default batches run through an in-process
+:class:`MicroBatcher` over the given estimator (the *thread path*), but
+``executor=`` accepts any object with ``predict(signals) ->
+Prediction``, an ``n_batches`` counter, and ``close()`` — notably
+:class:`repro.serving.workers.WorkerPoolExecutor`, which scatters each
+batch across shard worker *processes*.  Queueing, deadlines,
+backpressure, and ticket semantics are identical either way; only the
+batch execution engine changes.
+
 Determinism for tests: pass ``clock=`` (any monotonic ``() -> seconds``
 callable) and ``start=False`` to get a *manual* front end with no
 worker thread; drive it by advancing the fake clock and calling
@@ -144,6 +153,31 @@ class AsyncTicket:
         self._done = True
 
 
+class _BatcherExecutor:
+    """Default executor: an in-process :class:`MicroBatcher`.
+
+    The thread path.  ``predict`` delegates to
+    :meth:`MicroBatcher.predict_many`, which serves one front-end batch
+    as one vectorized model call (the front end never hands over more
+    than ``batch_size`` rows at a time).
+    """
+
+    __slots__ = ("batcher",)
+
+    def __init__(self, batcher: MicroBatcher):
+        self.batcher = batcher
+
+    @property
+    def n_batches(self) -> int:
+        return self.batcher.n_batches
+
+    def predict(self, signals: np.ndarray) -> Prediction:
+        return self.batcher.predict_many(signals)
+
+    def close(self) -> None:
+        pass
+
+
 class _Request:
     """One queued query: its signal, ticket, and clock bookkeeping."""
 
@@ -181,7 +215,14 @@ class ServingFrontend:
     ----------
     estimator:
         A fitted :class:`repro.serving.Estimator`; served through a
-        privately owned :class:`MicroBatcher`.
+        privately owned :class:`MicroBatcher`.  Mutually exclusive with
+        ``executor`` — pass exactly one.
+    executor:
+        Alternative batch execution engine: any object exposing
+        ``predict(signals) -> Prediction``, ``n_batches``, and
+        ``close()``.  The front end owns it — ``close()`` is called at
+        shutdown (see :class:`repro.serving.workers.WorkerPoolExecutor`
+        for the multi-process tier).
     batch_size:
         Maximum queries per vectorized model call; a full batch drains
         immediately, a partial one when its oldest request's deadline
@@ -210,7 +251,7 @@ class ServingFrontend:
 
     def __init__(
         self,
-        estimator: Estimator,
+        estimator: "Estimator | None" = None,
         batch_size: int = 64,
         deadline_ms: float = 50.0,
         timeout_ms: "float | None" = None,
@@ -218,7 +259,12 @@ class ServingFrontend:
         overflow: str = "block",
         clock=None,
         start: bool = True,
+        executor=None,
     ):
+        if (estimator is None) == (executor is None):
+            raise ValueError(
+                "pass exactly one of estimator (thread path) or executor"
+            )
         if deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
         if timeout_ms is not None and timeout_ms <= 0:
@@ -229,10 +275,18 @@ class ServingFrontend:
             raise ValueError(
                 f"overflow must be 'block' or 'reject', got {overflow!r}"
             )
-        # MicroBatcher validates batch_size; the front end is its single
-        # writer (see module docstring)
-        self.batcher = MicroBatcher(estimator, batch_size=batch_size)
-        self.batch_size = self.batcher.batch_size
+        if executor is None:
+            # MicroBatcher validates batch_size; the front end is its
+            # single writer (see module docstring)
+            self.batcher = MicroBatcher(estimator, batch_size=batch_size)
+            self.batch_size = self.batcher.batch_size
+            self._executor = _BatcherExecutor(self.batcher)
+        else:
+            if int(batch_size) < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            self.batcher = None
+            self.batch_size = int(batch_size)
+            self._executor = executor
         self.deadline_ms = float(deadline_ms)
         self.timeout_ms = None if timeout_ms is None else float(timeout_ms)
         self.max_pending = int(max_pending)
@@ -404,36 +458,46 @@ class ServingFrontend:
         return max(horizon - now, 0.0)
 
     def _serve_batch(self, batch: "list[_Request]") -> None:
-        """Run one batch through the micro-batcher (single-writer path).
+        """Run one batch through the executor (single-writer path).
 
-        A request the batcher refuses (e.g. wrong signal width against
-        the rest of the batch) fails alone; a model error fails the
-        whole batch and clears the batcher so later batches still serve.
+        The first request fixes the batch's signal width — a later
+        request that disagrees fails alone (same contract and message
+        the :class:`MicroBatcher` enforces); an executor error fails
+        the whole batch, and later batches still serve.
         """
-        submitted: "list[tuple[_Request, object]]" = []
+        accepted: "list[_Request]" = []
+        width: "int | None" = None
         for request in batch:
-            try:
-                submitted.append((request, self.batcher.submit(request.signal)))
-            except Exception as error:
-                request.ticket._fail(error, self._clock())
-        if not submitted:
+            if width is None:
+                width = request.signal.shape[0]
+            if request.signal.shape[0] != width:
+                request.ticket._fail(
+                    ValueError(
+                        f"signal width {request.signal.shape[0]} does not "
+                        f"match the pending batch width {width}"
+                    ),
+                    self._clock(),
+                )
+                continue
+            accepted.append(request)
+        if not accepted:
             self._notify_resolved()
             return
+        signals = np.vstack([request.signal for request in accepted])
         try:
-            self.batcher.flush()
+            prediction = self._executor.predict(signals)
         except Exception as error:
-            self.batcher.discard_pending()
             now = self._clock()
-            for request, _sync_ticket in submitted:
+            for request in accepted:
                 request.ticket._fail(error, now)
             self._notify_resolved()
             return
         now = self._clock()
-        for request, sync_ticket in submitted:
-            request.ticket._resolve(sync_ticket.result(), now)
+        for i, request in enumerate(accepted):
+            request.ticket._resolve(prediction.take([i]), now)
         self._notify_resolved()
         with self._lock:
-            self.n_served += len(submitted)
+            self.n_served += len(accepted)
 
     def _worker_loop(self) -> None:
         while True:
@@ -512,6 +576,9 @@ class ServingFrontend:
                 if not batch:
                     break
                 self._serve_batch(batch)
+        # the front end owns its executor (worker pools tear down their
+        # processes here); both built-in executors close idempotently
+        self._executor.close()
 
     @property
     def closed(self) -> bool:
@@ -533,7 +600,7 @@ class ServingFrontend:
                 rejected=self.n_rejected,
                 cancelled=self.n_cancelled,
                 pending=len(self._queue),
-                batches=self.batcher.n_batches,
+                batches=self._executor.n_batches,
             )
 
     def __enter__(self) -> "ServingFrontend":

@@ -1,0 +1,339 @@
+"""Shared-memory SPSC ring buffers for the multi-process serving tier.
+
+The process-backed execution tier (:mod:`repro.serving.workers`) moves
+query matrices to shard workers and per-shard top-k candidates back
+without pickling anything on the hot path.  This module is the
+transport: one :class:`WorkerChannel` per worker, a single
+``multiprocessing.shared_memory`` segment holding
+
+* a **control block** — stop flag, heartbeat counter, ready flag — the
+  parent's crash-detection and shutdown signal surface;
+* a **query ring** (parent → worker): per-slot float64 payload of up to
+  ``max_rows`` query rows plus an int64 header ``(batch_id, n_rows,
+  k)``;
+* a **result ring** (worker → parent): per-slot float64 distances and
+  int64 global indices, ``(max_rows, k)`` each, same header layout.
+
+Each ring is single-producer/single-consumer with monotonically
+increasing ``head``/``tail`` counters (the slot in use is ``counter %
+n_slots``).  The producer writes the payload and header *first* and
+publishes by bumping ``head`` last; the consumer copies the slot out
+and releases it by bumping ``tail`` last.  Every push stamps the slot
+with its ``batch_id``, so a consumer can discard stale slots left over
+from a batch that was re-dispatched after a worker crash — buffer reuse
+can never surface an old batch's rows as a fresh result.
+
+Cross-process visibility relies on each int64 counter store being a
+single aligned write (numpy scalar assignment) and on the payload
+stores being issued before the ``head`` publish; the Python-level
+interpreter overhead between those statements dwarfs any store-buffer
+window on the platforms the repo targets.
+
+Blocking variants (:meth:`_Ring.push` / :meth:`_Ring.pop`) spin with a
+short backoff sleep — latencies here are sub-millisecond, a condition
+variable across processes would cost more than it saves — and honor an
+``abort`` predicate so a dead peer never strands the caller.
+
+On Python < 3.13 attaching a :class:`~multiprocessing.shared_memory.
+SharedMemory` segment registers it with the ``resource_tracker``, which
+unlinks it when *any* attached process exits; a worker detaching must
+therefore unregister its attachment (:func:`attach_segment`) so the
+parent — the segment's owner — controls the lifetime.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: int64 words in the control block (indices below; rest reserved).
+_CTRL_WORDS = 8
+CTRL_STOP = 0       #: parent sets 1 to request a clean worker exit
+CTRL_HEARTBEAT = 1  #: worker increments every serve-loop iteration
+CTRL_READY = 2      #: worker sets 1 once warm-started, -1 on a failed start
+
+#: int64 words in a slot header: (batch_id, n_rows, extra, reserved).
+_HEADER_WORDS = 4
+
+_INT64 = np.dtype(np.int64)
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here (probed once).
+
+    Containers occasionally mount ``/dev/shm`` noexec/absent or cap it
+    at zero; the serving tier falls back to the thread path rather than
+    crash, so the probe failure mode is graceful degradation.
+    """
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            segment.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+_SHM_AVAILABLE: "bool | None" = None
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    The creating process (the pool parent) owns unlink; Python < 3.13
+    has no ``track=False``, so without intervention the resource
+    tracker would adopt every attachment too and tear the segment down
+    when *any* attached process exits.  Registering and unregistering
+    after the fact is also wrong — the tracker cache is a set keyed by
+    name, so the worker's unregister would erase the parent's
+    registration.  Suppress the child-side registration instead.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class RingSpec:
+    """Fixed geometry shared by both rings of one worker channel."""
+
+    __slots__ = ("n_slots", "max_rows", "width", "k")
+
+    def __init__(self, n_slots: int, max_rows: int, width: int, k: int):
+        for field, value in (
+            ("n_slots", n_slots), ("max_rows", max_rows),
+            ("width", width), ("k", k),
+        ):
+            if int(value) < 1:
+                raise ValueError(f"{field} must be >= 1, got {value}")
+        self.n_slots = int(n_slots)
+        self.max_rows = int(max_rows)
+        self.width = int(width)
+        self.k = int(k)
+
+    def as_tuple(self) -> "tuple[int, int, int, int]":
+        """Picklable form handed to spawned workers."""
+        return (self.n_slots, self.max_rows, self.width, self.k)
+
+
+class _Ring:
+    """One SPSC ring mapped over a slice of a shared buffer.
+
+    ``payloads`` describes the per-slot arrays as ``(dtype,
+    trailing_shape)`` pairs; every payload slot holds ``max_rows`` rows
+    of that trailing shape and pushes fill the first ``n_rows`` of each.
+    """
+
+    def __init__(self, buffer, offset: int, n_slots: int, max_rows: int,
+                 payloads):
+        self.n_slots = int(n_slots)
+        self._counters = np.ndarray(
+            (2,), dtype=_INT64, buffer=buffer, offset=offset
+        )  # [head, tail]
+        offset += self._counters.nbytes
+        self._headers = np.ndarray(
+            (n_slots, _HEADER_WORDS), dtype=_INT64, buffer=buffer,
+            offset=offset,
+        )
+        offset += self._headers.nbytes
+        self._payloads = []
+        for dtype, trailing in payloads:
+            array = np.ndarray(
+                (n_slots, max_rows) + tuple(trailing), dtype=dtype,
+                buffer=buffer, offset=offset,
+            )
+            offset += array.nbytes
+            self._payloads.append(array)
+        self.end = offset
+
+    @staticmethod
+    def nbytes(n_slots: int, max_rows: int, payloads) -> int:
+        total = 2 * _INT64.itemsize
+        total += n_slots * _HEADER_WORDS * _INT64.itemsize
+        for dtype, trailing in payloads:
+            per_row = int(np.prod(trailing, dtype=np.int64)) if trailing else 1
+            total += n_slots * max_rows * per_row * np.dtype(dtype).itemsize
+        return total
+
+    def reset(self) -> None:
+        """Zero the ring (only safe with no live peer on the other side)."""
+        self._counters[:] = 0
+        self._headers[:] = 0
+
+    @property
+    def depth(self) -> int:
+        return int(self._counters[0]) - int(self._counters[1])
+
+    def try_push(self, batch_id: int, n_rows: int, *arrays, extra: int = 0):
+        """Publish one slot; False when the ring is full.
+
+        ``arrays`` must match the ring's payloads, each ``(n_rows,
+        ...)``; only the first ``n_rows`` rows of the slot are written.
+        """
+        head = int(self._counters[0])
+        if head - int(self._counters[1]) >= self.n_slots:
+            return False
+        slot = head % self.n_slots
+        for payload, array in zip(self._payloads, arrays):
+            payload[slot, :n_rows] = array
+        self._headers[slot, 0] = batch_id
+        self._headers[slot, 1] = n_rows
+        self._headers[slot, 2] = extra
+        self._counters[0] = head + 1  # publish last
+        return True
+
+    def try_pop(self):
+        """``(batch_id, n_rows, extra, *copies)`` or None when empty."""
+        tail = int(self._counters[1])
+        if int(self._counters[0]) - tail <= 0:
+            return None
+        slot = tail % self.n_slots
+        batch_id = int(self._headers[slot, 0])
+        n_rows = int(self._headers[slot, 1])
+        extra = int(self._headers[slot, 2])
+        copies = tuple(payload[slot, :n_rows].copy() for payload in self._payloads)
+        self._counters[1] = tail + 1  # release the slot last
+        return (batch_id, n_rows, extra) + copies
+
+    def push(self, batch_id, n_rows, *arrays, extra=0, timeout=None,
+             abort=None) -> bool:
+        """Blocking :meth:`try_push`; False on timeout or abort."""
+        return _spin(
+            lambda: self.try_push(batch_id, n_rows, *arrays, extra=extra),
+            lambda done: done,
+            timeout=timeout,
+            abort=abort,
+        )
+
+    def pop(self, timeout=None, abort=None):
+        """Blocking :meth:`try_pop`; None on timeout or abort."""
+        return _spin(
+            self.try_pop,
+            lambda item: item is not None,
+            timeout=timeout,
+            abort=abort,
+        )
+
+
+def _spin(attempt, succeeded, timeout=None, abort=None):
+    """Retry ``attempt`` with backoff until success, timeout, or abort."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    pause = 0.0
+    while True:
+        result = attempt()
+        if succeeded(result):
+            return result
+        if abort is not None and abort():
+            return result
+        if deadline is not None and time.monotonic() >= deadline:
+            return result
+        time.sleep(pause)
+        pause = min(pause + 5e-5, 1e-3)
+
+
+class WorkerChannel:
+    """One worker's shared segment: control block + the two rings.
+
+    The parent constructs with ``create=True`` (owns ``unlink``); the
+    worker attaches by name.  Query payload: one float64 ``(max_rows,
+    width)`` matrix.  Result payload: float64 distances and int64
+    global indices, ``(max_rows, k)`` each.
+    """
+
+    def __init__(self, spec: RingSpec, name: "str | None" = None,
+                 create: bool = False):
+        self.spec = spec
+        query_payloads = [(np.float64, (spec.width,))]
+        result_payloads = [(np.float64, (spec.k,)), (np.int64, (spec.k,))]
+        ctrl_bytes = _CTRL_WORDS * _INT64.itemsize
+        total = (
+            ctrl_bytes
+            + _Ring.nbytes(spec.n_slots, spec.max_rows, query_payloads)
+            + _Ring.nbytes(spec.n_slots, spec.max_rows, result_payloads)
+        )
+        if create:
+            self.segment = shared_memory.SharedMemory(create=True, size=total)
+        else:
+            if name is None:
+                raise ValueError("attaching a channel requires its name")
+            self.segment = attach_segment(name)
+        self._owner = bool(create)
+        buffer = self.segment.buf
+        self.control = np.ndarray(
+            (_CTRL_WORDS,), dtype=_INT64, buffer=buffer
+        )
+        self.queries = _Ring(
+            buffer, ctrl_bytes, spec.n_slots, spec.max_rows, query_payloads
+        )
+        self.results = _Ring(
+            buffer, self.queries.end, spec.n_slots, spec.max_rows,
+            result_payloads,
+        )
+        if create:
+            self.reset()
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    def reset(self) -> None:
+        """Zero control words and both rings (pre-spawn / post-crash)."""
+        self.control[:] = 0
+        self.queries.reset()
+        self.results.reset()
+
+    # ------------------------------------------------------------- control
+    def request_stop(self) -> None:
+        self.control[CTRL_STOP] = 1
+
+    def stop_requested(self) -> bool:
+        return bool(self.control[CTRL_STOP])
+
+    def bump_heartbeat(self) -> None:
+        self.control[CTRL_HEARTBEAT] += 1
+
+    def heartbeat(self) -> int:
+        return int(self.control[CTRL_HEARTBEAT])
+
+    def set_ready(self, ok: bool = True) -> None:
+        self.control[CTRL_READY] = 1 if ok else -1
+
+    def ready_state(self) -> int:
+        """0 = warming up, 1 = serving, -1 = failed to start."""
+        return int(self.control[CTRL_READY])
+
+    # ------------------------------------------------------------ lifetime
+    def close(self) -> None:
+        """Drop this process's mapping (views first, then the segment)."""
+        self.control = None
+        self.queries = None
+        self.results = None
+        try:
+            self.segment.close()
+        except BufferError:
+            # a stray numpy view still pins the buffer; the mapping dies
+            # with the process, and the owner's unlink is unaffected
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:
+            pass

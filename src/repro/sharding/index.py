@@ -313,6 +313,46 @@ class ShardedKNNIndex:
             )
         return distances, indices
 
+    def scan_shards(
+        self, shard_ids, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Local top-k over a subset of shards, mapped to global indices.
+
+        The per-worker entrypoint of the multi-process serving tier
+        (:mod:`repro.serving.workers`): each worker process restores a
+        copy of the index and scans only the shards it owns; the parent
+        merges the per-worker candidates with the same exact
+        ``argpartition`` top-k the in-process fan-out uses, so the union
+        over a partition of the shard ids equals :meth:`query` with
+        pruning disabled.  Returns ``(distances, indices)`` of shape
+        ``(M, min(k, points in the listed shards))``, rows sorted
+        ascending by distance; ``indices`` are global (rows of
+        ``self.points``).  Scans the listed shards serially — worker
+        *processes* are the parallelism axis here.
+        """
+        queries = check_2d(np.asarray(queries, dtype=float), "queries")
+        if queries.shape[1] != self.points.shape[1]:
+            raise ValueError(
+                f"queries have {queries.shape[1]} features, the index has "
+                f"{self.points.shape[1]}"
+            )
+        if int(k) < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        shard_ids = [int(s) for s in shard_ids]
+        if not shard_ids:
+            raise ValueError("scan_shards requires at least one shard id")
+        bad = [s for s in shard_ids if not 0 <= s < self.n_shards]
+        if bad or len(set(shard_ids)) != len(shard_ids):
+            raise ValueError(
+                f"shard ids must be unique and in [0, {self.n_shards}), "
+                f"got {shard_ids}"
+            )
+        eff_k = min(int(k), sum(len(self.shards_[s]) for s in shard_ids))
+        results = [self._scan_shard(s, queries, eff_k) for s in shard_ids]
+        cand_d = np.concatenate([d for d, _ in results], axis=1)
+        cand_i = np.concatenate([i for _, i in results], axis=1)
+        return _global_top_k(cand_d, cand_i, eff_k)
+
     # ------------------------------------------------------------ query plans
     def _query_all(self, queries: np.ndarray, eff_k: int):
         """Fan out every query to every shard, then merge exactly."""

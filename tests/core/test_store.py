@@ -258,3 +258,75 @@ class TestReviewHardening:
             handle.write(b"half-written")
         assert len(store) == 1
         assert debris not in store.paths()
+
+
+class TestCrossProcessSafety:
+    """Two processes hammering ``put`` on the same key (PR 6 bugfix).
+
+    The old atomic-write scheme derived the temp name from pid/thread
+    ids deterministically, so two writers could collide on the same
+    temp file: one's ``os.replace`` promotes the other's half-written
+    archive, or one's cleanup unlinks the temp out from under the
+    other, surfacing as a crash or a corrupt committed artifact.  With
+    ``tempfile.mkstemp`` every writer owns a unique O_EXCL temp, so
+    concurrent same-key puts can only ever promote a complete archive.
+    """
+
+    _WRITER = """\
+import sys
+
+from repro.core.persistence import ModelStore
+from repro.data import generate_uji_like
+from repro.serving import create, dataset_fingerprint, params_key
+
+store_dir, rounds = sys.argv[1], int(sys.argv[2])
+train = generate_uji_like(
+    n_spots_per_building=8, measurements_per_spot=4, n_aps_per_floor=4,
+    seed=7,
+)
+fitted = create("knn", k=1).fit(train)
+store = ModelStore(store_dir)
+key = ("knn", dataset_fingerprint(train), params_key(fitted.params))
+for _ in range(rounds):
+    store.put(*key, fitted)
+print("writer done")
+"""
+
+    def test_concurrent_same_key_puts_from_two_processes(self, tmp_path):
+        import subprocess
+        import sys
+
+        script = tmp_path / "writer.py"
+        script.write_text(self._WRITER)
+        store_dir = tmp_path / "race-store"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(store_dir), "25"],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            _out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        # exactly one committed artifact, zero temp debris
+        listing = sorted(os.listdir(store_dir))
+        assert len(listing) == 1 and listing[0].endswith(".npz")
+        assert not any(".tmp-" in name for name in listing)
+        store = ModelStore(store_dir)
+        assert len(store) == 1
+        # and the surviving artifact is complete and loadable
+        from repro.data import generate_uji_like
+
+        train = generate_uji_like(
+            n_spots_per_building=8, measurements_per_spot=4,
+            n_aps_per_floor=4, seed=7,
+        )
+        name, fingerprint, pkey = _key_of("knn", train, k=1)
+        assert store.get(name, fingerprint, pkey) is not None

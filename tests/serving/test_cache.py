@@ -1,5 +1,9 @@
 """Model cache: hit/miss counters, keying, LRU eviction."""
 
+import os
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -124,3 +128,100 @@ class TestModelCache:
             prediction.coordinates,
             estimator.predict_batch(data.rssi[:4]).coordinates,
         )
+
+
+class TestForkSafety:
+    """A forked child must never inherit a locked cache (PR 6 bugfix).
+
+    ``fork()`` copies the cache's ``threading.Lock`` and in-flight fit
+    events in whatever state the parent's threads had them — but the
+    owning threads don't exist in the child, so a child that touches
+    the cache while a parent thread held the lock (or while a fit was
+    in flight) deadlocks forever.  The ``os.register_at_fork`` hook
+    replaces the lock and drops the in-flight table in the child.
+    """
+
+    def test_fork_hook_resets_locked_lock_and_inflight(self):
+        from repro.serving.cache import _reset_caches_after_fork
+
+        cache = ModelCache(capacity=2)
+        cache._lock.acquire()  # what a mid-fit parent thread looks like
+        cache._inflight[("knn", "fp", "params")] = object()
+        try:
+            _reset_caches_after_fork()
+            # a fresh, unlocked lock and an empty in-flight table
+            assert cache._lock.acquire(blocking=False)
+            cache._lock.release()
+            assert cache._inflight == {}
+        finally:
+            pass  # the pre-fork lock object was discarded by the reset
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="fork() unavailable"
+    )
+    def test_forked_child_makes_progress_while_parent_holds_lock(self):
+        cache = ModelCache(capacity=2)
+        train = _tiny_dataset(seed=3)
+        cache.get_or_fit("knn", train, k=1)  # warm entry survives the fork
+        cache._lock.acquire()
+        try:
+            pid = os.fork()
+        except BaseException:
+            cache._lock.release()
+            raise
+        if pid == 0:  # child: inherited lock must have been reset
+            status = 1
+            try:
+                fitted = cache.get_or_fit("knn", train, k=1)
+                status = 0 if fitted.model_ is not None else 2
+            finally:
+                os._exit(status)
+        try:
+            deadline = time.monotonic() + 30.0
+            status = None
+            while time.monotonic() < deadline:
+                done, raw = os.waitpid(pid, os.WNOHANG)
+                if done == pid:
+                    status = raw
+                    break
+                time.sleep(0.05)
+            if status is None:  # the child deadlocked on the stale lock
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+                pytest.fail("forked child deadlocked on the inherited lock")
+            assert os.WIFEXITED(status) and os.WEXITSTATUS(status) == 0
+        finally:
+            cache._lock.release()
+
+    def test_spawned_worker_pool_is_unaffected_by_held_parent_lock(
+        self, uji_small
+    ):
+        """The supported start method: a pool spawned while some thread
+        holds a live cache's lock warm-starts anyway, because spawn
+        re-imports instead of inheriting locks."""
+        from repro.core.persistence import ModelStore
+        from repro.serving.shm import shm_available
+        from repro.serving.workers import ShardWorkerPool
+
+        if not shm_available():
+            pytest.skip("POSIX shared memory unavailable")
+        import tempfile
+
+        cache = ModelCache(capacity=2)
+        estimator = ModelCache(capacity=2).get_or_fit(
+            "knn", uji_small, k=3, shards=2, partitioner="kmeans"
+        )
+        with tempfile.TemporaryDirectory() as store_dir:
+            store = ModelStore(store_dir)
+            cache._lock.acquire()
+            try:
+                with ShardWorkerPool(
+                    estimator, store,
+                    fingerprint=dataset_fingerprint(uji_small), n_workers=2,
+                ) as pool:
+                    distances, indices = pool.query(
+                        uji_small.normalized_signals()[:5], k=3
+                    )
+            finally:
+                cache._lock.release()
+        assert distances.shape == (5, 3) and indices.shape == (5, 3)

@@ -243,3 +243,127 @@ class TestValidation:
         with pytest.raises(ValueError, match="timeout_ms"):
             frontend.submit(test.rssi[0], timeout_ms=-1)
         frontend.close()
+
+
+class TestMonotonicLatency:
+    """Ticket latency is measured on the injected monotonic clock only
+    (PR 6 audit): a wall-clock step — NTP slew, DST, operator `date`
+    — during a request must never corrupt ``latency_s``.
+    """
+
+    def test_latency_ignores_wall_clock_steps(self, monkeypatch):
+        import time as time_mod
+
+        from repro.serving import Estimator, Prediction
+
+        class Echo(Estimator):
+            def fit(self, dataset):
+                return self
+
+            def predict_batch(self, signals):
+                signals = np.asarray(signals, dtype=float)
+                return Prediction(
+                    coordinates=np.column_stack(
+                        [signals[:, 0], signals[:, 0]]
+                    )
+                )
+
+        class FakeClock:
+            def __init__(self):
+                self.now = 100.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        # wall clock jumps an hour backwards mid-request; a wall-based
+        # latency would come out at -3600s
+        monkeypatch.setattr(time_mod, "time", lambda: -3600.0)
+        frontend = ServingFrontend(
+            Echo(), batch_size=4, deadline_ms=50, clock=clock, start=False
+        )
+        try:
+            ticket = frontend.submit(np.array([1.0, 2.0]))
+            clock.now += 0.25
+            frontend.pump()
+            assert ticket.done
+            assert ticket.latency_s == pytest.approx(0.25)
+        finally:
+            frontend.close(drain=False)
+
+    def test_failed_ticket_latency_is_monotonic_too(self, monkeypatch):
+        import time as time_mod
+
+        from repro.serving import Estimator
+
+        class Broken(Estimator):
+            def fit(self, dataset):
+                return self
+
+            def predict_batch(self, signals):
+                raise RuntimeError("model exploded")
+
+        class FakeClock:
+            def __init__(self):
+                self.now = 7.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        monkeypatch.setattr(time_mod, "time", lambda: 1e12)
+        frontend = ServingFrontend(
+            Broken(), batch_size=1, deadline_ms=50, clock=clock, start=False
+        )
+        try:
+            ticket = frontend.submit(np.array([1.0]))
+            clock.now += 0.125
+            frontend.pump()
+            assert isinstance(ticket.exception(), RuntimeError)
+            assert ticket.latency_s == pytest.approx(0.125)
+        finally:
+            frontend.close(drain=False)
+
+
+class TestCloseWakesBlockedProducers:
+    """``close(drain=False)`` must wake producers blocked on the
+    backpressure condition (PR 6 audit): a producer stuck in a full
+    ``overflow="block"`` queue gets :class:`FrontendClosedError`
+    promptly instead of waiting forever for space that will never come.
+    """
+
+    def test_blocked_producer_unblocks_with_closed_error(
+        self, fitted_knn, uji_split
+    ):
+        import threading
+
+        _train, _val, test = uji_split
+        frontend = ServingFrontend(
+            fitted_knn, batch_size=100, deadline_ms=60_000,
+            max_pending=1, overflow="block", start=False,
+        )
+        frontend.submit(test.rssi[0])  # fills the queue
+        outcome = {}
+        started = threading.Event()
+
+        def producer():
+            started.set()
+            try:
+                frontend.submit(test.rssi[1])
+                outcome["result"] = "submitted"
+            except FrontendClosedError:
+                outcome["result"] = "closed"
+            except Exception as error:  # pragma: no cover - diagnostic
+                outcome["result"] = repr(error)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        started.wait(timeout=10)
+        # let the producer actually park on the condition variable
+        import time
+
+        time.sleep(0.1)
+        frontend.close(drain=False)
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "producer still blocked after close"
+        assert outcome["result"] == "closed"

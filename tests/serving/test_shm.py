@@ -1,0 +1,150 @@
+"""Shared-memory ring-buffer unit tests (single process).
+
+The SPSC rings of :mod:`repro.serving.shm` are exercised here through
+plain in-process pushes/pops — cross-process behavior (a real producer
+and consumer on opposite ends) is covered by the worker-pool suite in
+``test_workers.py``; these tests pin the slot lifecycle itself:
+publish/release ordering, wraparound reuse, full-ring refusal, and the
+batch-id stamping that makes stale slots detectable after a respawn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.shm import RingSpec, WorkerChannel, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture
+def channel():
+    chan = WorkerChannel(
+        RingSpec(n_slots=2, max_rows=4, width=3, k=2), create=True
+    )
+    yield chan
+    chan.close()
+    chan.unlink()
+
+
+class TestRingSpec:
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            RingSpec(n_slots=0, max_rows=4, width=3, k=2)
+        with pytest.raises(ValueError, match="k"):
+            RingSpec(n_slots=2, max_rows=4, width=3, k=0)
+
+    def test_round_trips_through_tuple(self):
+        spec = RingSpec(4, 256, 72, 5)
+        assert RingSpec(*spec.as_tuple()).as_tuple() == (4, 256, 72, 5)
+
+
+class TestQueryRing:
+    def test_push_pop_roundtrip(self, channel):
+        rows = np.arange(6, dtype=float).reshape(2, 3)
+        assert channel.queries.try_push(7, 2, rows, extra=5)
+        batch_id, n_rows, extra, out = channel.queries.try_pop()
+        assert (batch_id, n_rows, extra) == (7, 2, 5)
+        np.testing.assert_array_equal(out, rows)
+
+    def test_pop_on_empty_returns_none(self, channel):
+        assert channel.queries.try_pop() is None
+
+    def test_full_ring_refuses_push(self, channel):
+        rows = np.zeros((1, 3))
+        assert channel.queries.try_push(1, 1, rows)
+        assert channel.queries.try_push(2, 1, rows)
+        assert not channel.queries.try_push(3, 1, rows)  # n_slots=2
+        channel.queries.try_pop()
+        assert channel.queries.try_push(3, 1, rows)  # slot freed
+
+    def test_wraparound_reuses_slots_without_stale_rows(self, channel):
+        """Many batches through a 2-slot ring: every pop must see its
+        own batch's rows, never residue from a previous occupant."""
+        for batch_id in range(1, 26):
+            rows = np.full((3, 3), float(batch_id))
+            assert channel.queries.try_push(batch_id, 3, rows)
+            got_id, n_rows, _extra, out = channel.queries.try_pop()
+            assert got_id == batch_id
+            assert n_rows == 3
+            np.testing.assert_array_equal(out, rows)
+
+    def test_partial_slot_copies_only_n_rows(self, channel):
+        wide = np.full((4, 3), 9.0)
+        channel.queries.try_push(1, 4, wide)
+        channel.queries.try_pop()
+        narrow = np.full((1, 3), 2.0)
+        channel.queries.try_push(2, 1, narrow)
+        _id, n_rows, _extra, out = channel.queries.try_pop()
+        # the slot still physically holds batch 1's other rows, but the
+        # header's n_rows bounds the copy-out
+        assert out.shape == (1, 3)
+        np.testing.assert_array_equal(out, narrow)
+
+
+class TestResultRing:
+    def test_carries_both_payloads(self, channel):
+        distances = np.array([[0.5, 1.5]])
+        indices = np.array([[3, 8]])
+        assert channel.results.try_push(4, 1, distances, indices)
+        _id, _n, _extra, d_out, i_out = channel.results.try_pop()
+        np.testing.assert_array_equal(d_out, distances)
+        np.testing.assert_array_equal(i_out, indices)
+        assert i_out.dtype == np.int64
+
+    def test_blocking_pop_honors_abort(self, channel):
+        assert channel.results.pop(timeout=0.05, abort=lambda: True) is None
+
+    def test_blocking_pop_times_out(self, channel):
+        assert channel.results.pop(timeout=0.01) is None
+
+
+class TestControlBlock:
+    def test_stop_heartbeat_ready(self, channel):
+        assert not channel.stop_requested()
+        assert channel.heartbeat() == 0
+        assert channel.ready_state() == 0
+        channel.bump_heartbeat()
+        channel.bump_heartbeat()
+        channel.set_ready()
+        channel.request_stop()
+        assert channel.heartbeat() == 2
+        assert channel.ready_state() == 1
+        assert channel.stop_requested()
+
+    def test_failed_start_state(self, channel):
+        channel.set_ready(ok=False)
+        assert channel.ready_state() == -1
+
+    def test_reset_clears_everything(self, channel):
+        channel.queries.try_push(1, 1, np.zeros((1, 3)))
+        channel.request_stop()
+        channel.bump_heartbeat()
+        channel.reset()
+        assert channel.queries.try_pop() is None
+        assert not channel.stop_requested()
+        assert channel.heartbeat() == 0
+
+
+class TestAttach:
+    def test_attached_channel_shares_the_rings(self, channel):
+        from repro.serving.shm import WorkerChannel as WC
+
+        peer = WC(channel.spec, name=channel.name)
+        try:
+            rows = np.ones((2, 3))
+            channel.queries.try_push(11, 2, rows)
+            got_id, _n, _extra, out = peer.queries.try_pop()
+            assert got_id == 11
+            np.testing.assert_array_equal(out, rows)
+            peer.bump_heartbeat()
+            assert channel.heartbeat() == 1
+        finally:
+            peer.close()
+
+    def test_attach_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            WorkerChannel(RingSpec(2, 4, 3, 2), create=False)
