@@ -11,7 +11,7 @@ PYTHON ?= python
 
 .PHONY: test test-fast check check-fast lint ci ci-fast check-bench-artifacts \
 	clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench \
-	train-bench bench-smoke snapshot warm-serve
+	train-bench bench-smoke quant-bench quant-bench-smoke snapshot warm-serve
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -77,6 +77,19 @@ serve-bench-smoke:
 
 shard-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard-bench
+
+# Quantized uint8 radio-map scan vs the monolithic float32 brute scan
+# on the ~200k-point quant map: asserts the req/s, recall-at-k, and
+# bytes-per-fingerprint floors (the serve-bench quant block, standalone).
+quant-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli quant-bench
+
+# Tiny-map quant-bench: exercises the binned index + rerank path and
+# the recall/bytes floors in seconds (the throughput floor is disabled
+# at smoke scale); hooked into scripts/check_suite.sh so a broken
+# quantized scan fails `make check`.
+quant-bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli quant-bench --preset smoke
 
 # Times NObLe/CNNLoc cold fits (seed-equivalent float64 reference vs the
 # fused float32 fast path), asserts metric parity + minimum speedup, and

@@ -74,6 +74,7 @@ def check_artifact(name: str, headline_fields: "tuple[str, ...]") -> "list[str]"
             f"floor {floor}"
         )
     problems.extend(check_workers_headline(name, payload))
+    problems.extend(check_quant_headline(name, payload))
     return problems
 
 
@@ -109,6 +110,72 @@ def check_workers_headline(name: str, payload: dict) -> "list[str]":
                 f"{name}: workers headline speedup {speedup} is below its "
                 f"own asserted floor {floor}"
             )
+    return problems
+
+
+def check_quant_headline(name: str, payload: dict) -> "list[str]":
+    """Quantized-scan headline floors for serve artifacts (schema v4).
+
+    The quant block records a req/s speedup over the monolithic float32
+    scan (enforced when ``floor_enforced``), a top-k recall floor, and
+    a bytes-per-fingerprint ceiling; each recorded value must clear its
+    own recorded floor — the same stale-artifact guard as above.
+    """
+    quant = payload.get("quant")
+    if quant is None:
+        return []  # not a serve artifact (train payloads have no block)
+    problems: list[str] = []
+    headline = quant.get("headline") if isinstance(quant, dict) else None
+    if not isinstance(headline, dict):
+        return [f"{name}: quant.headline block missing"]
+    for field in (
+        "speedup_vs_float32",
+        "min_speedup_asserted",
+        "recall_at_k",
+        "min_recall_asserted",
+        "bytes_ratio",
+        "max_bytes_ratio_asserted",
+        "floor_enforced",
+    ):
+        if field not in headline:
+            problems.append(f"{name}: quant.headline missing {field!r}")
+    if headline.get("floor_enforced") is True:
+        speedup = headline.get("speedup_vs_float32")
+        floor = headline.get("min_speedup_asserted")
+        if not isinstance(speedup, (int, float)):
+            problems.append(
+                f"{name}: quant floor is enforced but speedup_vs_float32 "
+                f"is {speedup!r}"
+            )
+        elif isinstance(floor, (int, float)) and speedup < floor:
+            problems.append(
+                f"{name}: quant headline speedup {speedup} is below its "
+                f"own asserted floor {floor}"
+            )
+    recall = headline.get("recall_at_k")
+    recall_floor = headline.get("min_recall_asserted")
+    if (
+        isinstance(recall, (int, float))
+        and isinstance(recall_floor, (int, float))
+        and recall_floor > 0
+        and recall < recall_floor
+    ):
+        problems.append(
+            f"{name}: quant headline recall {recall} is below its own "
+            f"asserted floor {recall_floor}"
+        )
+    ratio = headline.get("bytes_ratio")
+    ceiling = headline.get("max_bytes_ratio_asserted")
+    if (
+        isinstance(ratio, (int, float))
+        and isinstance(ceiling, (int, float))
+        and ceiling > 0
+        and ratio > ceiling
+    ):
+        problems.append(
+            f"{name}: quant headline bytes ratio {ratio} is above its own "
+            f"asserted ceiling {ceiling}"
+        )
     return problems
 
 

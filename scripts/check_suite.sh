@@ -51,6 +51,12 @@ make bench-smoke
 # payload drift fails `make check` too.
 make serve-bench-smoke
 
+# Smoke the quantized-scan benchmark: a tiny binned map through the
+# uint8 scan + exact-rerank path, asserting the recall and
+# bytes-per-fingerprint floors (throughput floor is disabled at smoke
+# scale), so a broken quantizer or rerank fails `make check`.
+make quant-bench-smoke
+
 # Bench-drift guard: the committed trajectory artifacts must stay
 # schema-valid with their headline floors intact.
 make check-bench-artifacts

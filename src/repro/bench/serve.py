@@ -37,8 +37,11 @@ import numpy as np
 #: added the optional ``store`` block (cold-fit vs warm-restart leg
 #: through the persistent model store); version 3 added the mandatory
 #: ``workers`` block (thread front end vs process-backed shard workers
-#: at the headline deadline, with a req/s-vs-workers headline).
-SERVE_BENCH_SCHEMA = "repro-serve-bench/3"
+#: at the headline deadline, with a req/s-vs-workers headline);
+#: version 4 added the mandatory ``quant`` block (uint8 radio-map scan
+#: vs the monolithic float32 brute scan, with req/s, recall-at-k, and
+#: bytes-per-fingerprint floors).
+SERVE_BENCH_SCHEMA = "repro-serve-bench/4"
 
 #: Schema-tag prefix shared by every serve-bench payload version; the
 #: validator dispatcher routes on it and rejects unknown versions.
@@ -105,6 +108,32 @@ class ServePreset:
     #: across the worker processes; also the thread leg's index layout,
     #: so the comparison isolates processes-vs-threads).
     workers_shards: int = 4
+    #: Radio map synthesized for the ``quant`` block, as
+    #: ``generate_uji_like`` scale knobs — sized independently of the
+    #: async workload because the quantization claim is about scans
+    #: over *large* maps (the fast/paper presets use a ~200k-point
+    #: map; the smoke preset a tiny schema-validation map).
+    quant_spots_per_building: int = 550
+    quant_measurements_per_spot: int = 121
+    quant_aps_per_floor: int = 4
+    quant_queries: int = 256
+    quant_k: int = 10
+    quant_bins: int = 256
+    #: Shortlist factor for the ADC scan + exact-rerank two-stage plan;
+    #: 2 already recovers full recall on the UJI-like map while keeping
+    #: the scan's top-k merge cheap (the library default of 4 trades a
+    #: little throughput for headroom on harder geometries).
+    quant_refine: int = 2
+    #: Floor asserted on the quantized scan's req/s over the monolithic
+    #: float32 brute scan it replaced; 0 disables (smoke maps are too
+    #: small for a stable ratio).
+    quant_min_speedup: float = 1.5
+    #: Floor asserted on top-k recall of the refined uint8 scan against
+    #: the full-precision oracle neighbor sets; 0 disables.
+    quant_min_recall: float = 0.99
+    #: Ceiling asserted on quantized-vs-float32 scan-state bytes per
+    #: fingerprint (uint8 codes are exactly 1/4 of float32); 0 disables.
+    quant_max_bytes_ratio: float = 0.25
 
 
 PRESETS = {
@@ -126,6 +155,11 @@ PRESETS = {
         workers=(0, 2),
         workers_min_speedup=0.0,
         workers_shards=2,
+        quant_spots_per_building=20,
+        quant_measurements_per_spot=10,
+        quant_aps_per_floor=3,
+        quant_queries=64,
+        quant_min_speedup=0.0,
     ),
     # The PR 1 serve-bench workload, now pushed through the async path.
     "fast": ServePreset(
@@ -179,6 +213,9 @@ class ServeBenchResult:
     #: Thread front end vs process-backed shard workers at the headline
     #: deadline (schema v3; always present in emitted payloads).
     workers: dict = field(default_factory=dict)
+    #: Quantized uint8 radio-map scan vs the monolithic float32 brute
+    #: scan (schema v4; always present in emitted payloads).
+    quant: dict = field(default_factory=dict)
 
     @property
     def headline(self) -> dict:
@@ -205,6 +242,7 @@ class ServeBenchResult:
             "async": copy.deepcopy(self.legs),
             "headline": dict(self.headline),
             "workers": copy.deepcopy(self.workers),
+            "quant": copy.deepcopy(self.quant),
         }
         if self.store is not None:
             payload["store"] = dict(self.store)
@@ -284,6 +322,35 @@ class ServeBenchResult:
                     else " — floor not enforced "
                     "(needs >=2 cores, shared memory, and a >=2-worker leg)"
                 )
+            )
+        if self.quant:
+            q = self.quant
+            head = q["headline"]
+            lines.append(
+                f"\nquant: {q['n_points']} x {q['n_aps']} map, "
+                f"{q['n_bins']} bins, k={q['k']}, refine={q['refine']}"
+            )
+            lines.append(
+                f"  float32 scan: {q['baseline']['seconds']:7.3f} s "
+                f"({q['baseline']['requests_per_second']:7.0f} req/s, "
+                f"{q['baseline']['bytes_per_fingerprint']:.0f} B/fp)"
+            )
+            lines.append(
+                f"  uint8 scan  : {q['quant']['seconds']:7.3f} s "
+                f"({q['quant']['requests_per_second']:7.0f} req/s, "
+                f"{q['quant']['bytes_per_fingerprint']:.0f} B/fp)"
+            )
+            lines.append(
+                f"  headline: {head['speedup_vs_float32']:.2f}x req/s "
+                f"(floor {head['min_speedup_asserted']:.1f}x"
+                + ("" if head["floor_enforced"] else ", not enforced")
+                + f"), recall@k {head['recall_at_k']:.4f} "
+                f"(floor {head['min_recall_asserted']:.2f}), "
+                f"{head['bytes_ratio']:.2f}x scan bytes "
+                f"(ceiling {head['max_bytes_ratio_asserted']:.2f}x); "
+                f"position error {q['quant_error_m']:.2f} m vs oracle "
+                f"{q['oracle_error_m']:.2f} m "
+                f"(delta {q['error_delta_m']:+.3f} m)"
             )
         return "\n".join(lines)
 
@@ -641,6 +708,197 @@ def _workers_block(
             shutil.rmtree(cleanup_dir, ignore_errors=True)
 
 
+def _median_seconds(fn, repeats: int) -> "tuple[float, object]":
+    """Median elapsed seconds of ``repeats`` calls, plus one result."""
+    times, result = [], None
+    for _ in range(max(int(repeats), 1)):
+        tic = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - tic)
+    return sorted(times)[len(times) // 2], result
+
+
+def _monolithic_float32_scan(
+    points32: np.ndarray, sq_norms: np.ndarray, queries32: np.ndarray, k: int
+) -> np.ndarray:
+    """The pre-chunking serving scan this PR's kernel replaced.
+
+    Materializes full ``(block, N)`` float32 distance matrices exactly
+    like the old monolithic ``_brute_query`` did, so the quant block's
+    baseline measures the code path the uint8 + cache-blocked scan is
+    claimed to beat — not a strawman.
+    """
+    block = max(1, int(2e7) // max(len(points32), 1))
+    out = np.empty((len(queries32), k), dtype=int)
+    for start in range(0, len(queries32), block):
+        q = queries32[start : start + block]
+        d2 = (
+            np.sum(q**2, axis=1)[:, None]
+            - 2.0 * q @ points32.T
+            + sq_norms
+        )
+        part = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        pd = np.take_along_axis(d2, part, axis=1)
+        order = np.argsort(pd, axis=1, kind="stable")
+        out[start : start + len(q)] = np.take_along_axis(part, order, axis=1)
+    return out
+
+
+def _quant_block(config: ServePreset, seed: int, min_speedup: float) -> dict:
+    """Quantized uint8 radio-map scan vs the monolithic float32 scan.
+
+    Synthesizes a UJI-like map at the preset's quant scale, then
+    measures batched top-k queries through two scans of the *same*
+    normalized-signal radio map:
+
+    - **baseline** — the monolithic float32 brute scan serving used
+      before the cache-blocked kernel landed
+      (:func:`_monolithic_float32_scan`);
+    - **quant** — a binned :class:`~repro.sharding.ShardedKNNIndex`
+      whose scan state is uint8 codes (1/4 the float32 bytes), queried
+      through the ADC shortlist + exact-rerank two-stage plan.
+
+    Asserts three floors: req/s speedup over the baseline (enforced
+    only when ``min_speedup > 0`` — the smoke map is too small for a
+    stable ratio), top-k recall against the full-precision oracle
+    neighbor sets, and the quant/float32 scan-state bytes ratio.  Also
+    reports the end metric that actually matters for localization:
+    inverse-distance-weighted position error of the quantized neighbors
+    vs the oracle's, on the same queries.
+    """
+    from repro.data import generate_uji_like
+    from repro.manifold.chunked import chunked_argkmin
+    from repro.quantization import FeatureBinner
+    from repro.sharding import ShardedKNNIndex
+
+    dataset = generate_uji_like(
+        n_spots_per_building=config.quant_spots_per_building,
+        measurements_per_spot=config.quant_measurements_per_spot,
+        n_aps_per_floor=config.quant_aps_per_floor,
+        seed=seed + 3,
+    )
+    points = dataset.normalized_signals()
+    coords = dataset.coordinates
+    k = min(int(config.quant_k), len(points))
+    rng = np.random.default_rng(seed + 4)
+    source_rows = rng.integers(0, len(points), size=int(config.quant_queries))
+    # plausible online scans: stored fingerprints re-observed with ~1 dB
+    # of measurement jitter (0.01 in normalized signal units)
+    queries = points[source_rows] + rng.normal(
+        0.0, 0.01, size=(len(source_rows), points.shape[1])
+    )
+    points32 = np.ascontiguousarray(points, dtype=np.float32)
+    queries32 = queries.astype(np.float32)
+    sq32 = np.sum(points32**2, axis=1)
+
+    binner = FeatureBinner(
+        n_bins=config.quant_bins, strategy="uniform"
+    ).fit(points)
+    tic = time.perf_counter()
+    index = ShardedKNNIndex(
+        points,
+        n_shards=1,
+        partitioner="chunk",
+        binner=binner,
+        refine=config.quant_refine,
+    )
+    build_seconds = time.perf_counter() - tic
+
+    # full-precision oracle: exact float64 top-k (recall + error anchor)
+    oracle_d, oracle_i = chunked_argkmin(queries, points, k)
+
+    baseline_seconds, baseline_i = _median_seconds(
+        lambda: _monolithic_float32_scan(points32, sq32, queries32, k),
+        config.repeats,
+    )
+    quant_seconds, quant_top = _median_seconds(
+        lambda: index.query(queries32, k=k), config.repeats
+    )
+    quant_d, quant_i = quant_top
+
+    recall = float(
+        np.mean(
+            [
+                len(set(quant_i[i]) & set(oracle_i[i])) / k
+                for i in range(len(oracle_i))
+            ]
+        )
+    )
+
+    def _idw_error(distances: np.ndarray, indices: np.ndarray) -> float:
+        weights = 1.0 / (distances + 1e-12)
+        weights /= weights.sum(axis=1, keepdims=True)
+        estimate = np.sum(coords[indices] * weights[:, :, None], axis=1)
+        truth = coords[source_rows]
+        return float(np.mean(np.linalg.norm(estimate - truth, axis=1)))
+
+    oracle_error = _idw_error(oracle_d, oracle_i)
+    quant_error = _idw_error(quant_d, quant_i)
+
+    n_aps = points.shape[1]
+    baseline_bytes = float(points32.itemsize * n_aps)
+    quant_bytes = float(index.shards_[0].codes.itemsize * n_aps)
+    bytes_ratio = quant_bytes / baseline_bytes
+    speedup = (len(queries) / quant_seconds) / (
+        len(queries) / baseline_seconds
+    )
+
+    floor_enforced = min_speedup > 0
+    if floor_enforced and speedup < min_speedup:
+        raise ServeSpeedupError(
+            f"quantized scan is only {speedup:.2f}x the monolithic "
+            f"float32 scan on the {len(points)}-point map, below the "
+            f"asserted minimum {min_speedup:.2f}x"
+        )
+    if config.quant_min_recall > 0 and recall < config.quant_min_recall:
+        raise ServeParityError(
+            f"quantized scan recall@{k} is {recall:.4f} against the "
+            f"full-precision oracle, below the asserted minimum "
+            f"{config.quant_min_recall:.2f}"
+        )
+    if (
+        config.quant_max_bytes_ratio > 0
+        and bytes_ratio > config.quant_max_bytes_ratio
+    ):
+        raise ServeSpeedupError(
+            f"quantized scan state is {bytes_ratio:.2f}x the float32 "
+            f"bytes per fingerprint, above the asserted ceiling "
+            f"{config.quant_max_bytes_ratio:.2f}x"
+        )
+    return {
+        "n_points": int(len(points)),
+        "n_aps": int(n_aps),
+        "n_queries": int(len(queries)),
+        "k": int(k),
+        "n_bins": int(config.quant_bins),
+        "refine": int(index.refine),
+        "build_seconds": float(build_seconds),
+        "baseline": {
+            "seconds": float(baseline_seconds),
+            "requests_per_second": float(len(queries) / baseline_seconds),
+            "bytes_per_fingerprint": baseline_bytes,
+        },
+        "quant": {
+            "seconds": float(quant_seconds),
+            "requests_per_second": float(len(queries) / quant_seconds),
+            "bytes_per_fingerprint": quant_bytes,
+        },
+        "recall_at_k": recall,
+        "oracle_error_m": oracle_error,
+        "quant_error_m": quant_error,
+        "error_delta_m": float(quant_error - oracle_error),
+        "headline": {
+            "speedup_vs_float32": float(speedup),
+            "min_speedup_asserted": float(min_speedup),
+            "recall_at_k": recall,
+            "min_recall_asserted": float(config.quant_min_recall),
+            "bytes_ratio": float(bytes_ratio),
+            "max_bytes_ratio_asserted": float(config.quant_max_bytes_ratio),
+            "floor_enforced": floor_enforced,
+        },
+    }
+
+
 def run_serve_bench(
     preset: str = "fast",
     seed: int = 42,
@@ -653,6 +911,7 @@ def run_serve_bench(
     store_min_speedup: "float | None" = None,
     workers: "tuple[int, ...] | None" = None,
     workers_min_speedup: "float | None" = None,
+    quant_min_speedup: "float | None" = None,
     **model_params,
 ) -> ServeBenchResult:
     """Benchmark async serving and assert parity + headline speedup.
@@ -670,8 +929,12 @@ def run_serve_bench(
     payload's ``workers`` block, asserting per-leg parity and — on
     machines with ≥ 2 cores and working shared memory — a
     ``workers_min_speedup`` throughput floor of the process tier over
-    the thread tier.  Extra keyword arguments are forwarded to the
-    registered ``model``.
+    the thread tier.  The ``quant`` block (schema v4) always runs too:
+    it benchmarks the uint8 radio-map scan against the monolithic
+    float32 brute scan on the preset's quant-scale map, asserting
+    ``quant_min_speedup`` (preset default; 0 disables) plus the
+    preset's recall and bytes-per-fingerprint floors.  Extra keyword
+    arguments are forwarded to the registered ``model``.
     """
     from repro.serving import ModelCache, get
 
@@ -772,6 +1035,9 @@ def run_serve_bench(
         producers,
         headline_deadline,
     )
+    if quant_min_speedup is None:
+        quant_min_speedup = config.quant_min_speedup
+    result.quant = _quant_block(config, seed, float(quant_min_speedup))
     if store_dir is not None:
         result.store = _store_leg(
             train, queries, store_dir, float(store_min_speedup)
@@ -786,7 +1052,9 @@ def validate_serve_bench_payload(payload: dict) -> None:
     naive-baseline blocks, at least one async leg with complete fields,
     a headline block, the mandatory ``workers`` block (thread-baseline
     leg first, per-leg parity true, floor satisfied whenever
-    ``floor_enforced``), and — when present — the ``store`` restart leg
+    ``floor_enforced``), the mandatory ``quant`` block (speedup floor
+    whenever ``floor_enforced``, recall and bytes-ratio floors whenever
+    positive), and — when present — the ``store`` restart leg
     (complete fields, parity true, a positive asserted floor satisfied)
     — so ``make serve-bench-smoke`` (and through it ``make check`` /
     CI's bench-artifact guard) fails loudly when the emitted artifact
@@ -806,7 +1074,8 @@ def validate_serve_bench_payload(payload: dict) -> None:
             f"schema must be {SERVE_BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
         )
     for key in (
-        "preset", "seed", "workload", "naive", "async", "headline", "workers"
+        "preset", "seed", "workload", "naive", "async", "headline",
+        "workers", "quant",
     ):
         if key not in payload:
             problems.append(f"missing top-level key {key!r}")
@@ -905,6 +1174,85 @@ def validate_serve_bench_payload(payload: dict) -> None:
                         f"below the asserted floor {floor} "
                         "(stale or hand-edited artifact?)"
                     )
+    quant = payload.get("quant")
+    if not isinstance(quant, dict):
+        problems.append("quant must be a dict")
+    else:
+        for key in ("n_points", "n_aps", "n_queries", "k", "n_bins", "refine"):
+            if not _is(quant.get(key), int):
+                problems.append(f"quant.{key} must be an int")
+        for side in ("baseline", "quant"):
+            leg = quant.get(side)
+            if not isinstance(leg, dict):
+                problems.append(f"quant.{side} must be a dict")
+                continue
+            for key in (
+                "seconds", "requests_per_second", "bytes_per_fingerprint"
+            ):
+                if not _is(leg.get(key), float):
+                    problems.append(f"quant.{side}.{key} must be a number")
+        for key in (
+            "recall_at_k", "oracle_error_m", "quant_error_m", "error_delta_m"
+        ):
+            if not _is(quant.get(key), float):
+                problems.append(f"quant.{key} must be a number")
+        qhead = quant.get("headline")
+        if not isinstance(qhead, dict):
+            problems.append("quant.headline must be a dict")
+        else:
+            for key in (
+                "speedup_vs_float32",
+                "min_speedup_asserted",
+                "recall_at_k",
+                "min_recall_asserted",
+                "bytes_ratio",
+                "max_bytes_ratio_asserted",
+                "floor_enforced",
+            ):
+                if key not in qhead:
+                    problems.append(f"quant.headline missing {key!r}")
+            if not isinstance(qhead.get("floor_enforced"), bool):
+                problems.append("quant.headline.floor_enforced must be bool")
+            speedup = qhead.get("speedup_vs_float32")
+            floor = qhead.get("min_speedup_asserted")
+            if qhead.get("floor_enforced") is True:
+                if not _is(speedup, float):
+                    problems.append(
+                        "quant.headline.speedup_vs_float32 must be a "
+                        "number when the floor is enforced"
+                    )
+                elif _is(floor, float) and speedup < floor:
+                    problems.append(
+                        f"quant.headline.speedup_vs_float32 {speedup} is "
+                        f"below the asserted floor {floor} "
+                        "(stale or hand-edited artifact?)"
+                    )
+            recall = qhead.get("recall_at_k")
+            recall_floor = qhead.get("min_recall_asserted")
+            if (
+                _is(recall, float)
+                and _is(recall_floor, float)
+                and recall_floor > 0
+                and recall < recall_floor
+            ):
+                problems.append(
+                    f"quant.headline.recall_at_k {recall} is below the "
+                    f"asserted floor {recall_floor} "
+                    "(stale or hand-edited artifact?)"
+                )
+            ratio = qhead.get("bytes_ratio")
+            ratio_ceiling = qhead.get("max_bytes_ratio_asserted")
+            if (
+                _is(ratio, float)
+                and _is(ratio_ceiling, float)
+                and ratio_ceiling > 0
+                and ratio > ratio_ceiling
+            ):
+                problems.append(
+                    f"quant.headline.bytes_ratio {ratio} is above the "
+                    f"asserted ceiling {ratio_ceiling} "
+                    "(stale or hand-edited artifact?)"
+                )
     store = payload.get("store")
     if store is not None:
         if not isinstance(store, dict):

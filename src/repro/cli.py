@@ -10,6 +10,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli serve-bench --async   # deadline-driven front end sweep
     python -m repro.cli shard-bench     # sharded vs monolithic kNN index
     python -m repro.cli train-bench     # float32 fast path vs seed training loop
+    python -m repro.cli quant-bench     # uint8 radio-map scan vs float32 scan
     python -m repro.cli snapshot --model noble --store models/   # fit + persist
     python -m repro.cli warm-serve --model noble --store models/ # restore + serve
     python -m repro.cli wifi --preset paper --csv trainingData.csv
@@ -52,7 +53,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "experiment",
         choices=(
             "wifi", "ipin", "imu", "energy",
-            "serve-bench", "shard-bench", "train-bench",
+            "serve-bench", "shard-bench", "train-bench", "quant-bench",
             "snapshot", "warm-serve",
         ),
         help="which experiment to run",
@@ -139,11 +140,13 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    smoke_capable = ("train-bench", "serve-bench", "snapshot", "warm-serve")
+    smoke_capable = (
+        "train-bench", "serve-bench", "quant-bench", "snapshot", "warm-serve"
+    )
     if args.experiment not in smoke_capable and args.preset == "smoke":
         raise SystemExit(
             "--preset smoke is only supported by train-bench, "
-            "serve-bench --async, snapshot, and warm-serve"
+            "serve-bench --async, quant-bench, snapshot, and warm-serve"
         )
     runner = {
         "wifi": run_wifi,
@@ -153,6 +156,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "serve-bench": run_serve_bench,
         "shard-bench": run_shard_bench,
         "train-bench": run_train_bench,
+        "quant-bench": run_quant_bench,
         "snapshot": run_snapshot,
         "warm-serve": run_warm_serve,
     }[args.experiment]
@@ -441,6 +445,62 @@ def run_serve_bench_async(args) -> None:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {output}")
+
+
+def run_quant_bench(args) -> None:
+    """Standalone run of the serve-bench quant block.
+
+    Benchmarks the uint8 radio-map scan (binned
+    :class:`~repro.sharding.ShardedKNNIndex` with ADC shortlist +
+    exact rerank) against the monolithic float32 brute scan on the
+    preset's quant-scale map, asserting the preset's req/s, recall,
+    and bytes-per-fingerprint floors — the same block ``serve-bench
+    --async`` embeds in ``BENCH_serve.json``, runnable in isolation
+    (``--preset smoke`` for a seconds-scale check, ``--min-speedup``
+    to override or disable the throughput floor).
+    """
+    from repro.bench.serve import PRESETS, _quant_block
+
+    seed = args.seed if args.seed is not None else 42
+    config = PRESETS[args.preset]
+    min_speedup = (
+        config.quant_min_speedup
+        if args.min_speedup is None
+        else float(args.min_speedup)
+    )
+    try:
+        block = _quant_block(config, seed, min_speedup)
+    except (ValueError, AssertionError) as error:
+        raise SystemExit(f"quant-bench: {error}") from None
+    head = block["headline"]
+    print(
+        f"quant-bench preset={args.preset} seed={seed}: "
+        f"{block['n_points']} x {block['n_aps']} map, "
+        f"{block['n_bins']} bins, k={block['k']}, refine={block['refine']}"
+    )
+    print(
+        f"  float32 scan: {block['baseline']['seconds']:7.3f} s "
+        f"({block['baseline']['requests_per_second']:7.0f} req/s, "
+        f"{block['baseline']['bytes_per_fingerprint']:.0f} B/fp)"
+    )
+    print(
+        f"  uint8 scan  : {block['quant']['seconds']:7.3f} s "
+        f"({block['quant']['requests_per_second']:7.0f} req/s, "
+        f"{block['quant']['bytes_per_fingerprint']:.0f} B/fp)"
+    )
+    print(
+        f"  {head['speedup_vs_float32']:.2f}x req/s "
+        f"(floor {head['min_speedup_asserted']:.1f}x"
+        + ("" if head["floor_enforced"] else ", not enforced")
+        + f"), recall@k {head['recall_at_k']:.4f} "
+        f"(floor {head['min_recall_asserted']:.2f}), "
+        f"{head['bytes_ratio']:.2f}x scan bytes "
+        f"(ceiling {head['max_bytes_ratio_asserted']:.2f}x)"
+    )
+    print(
+        f"  position error {block['quant_error_m']:.2f} m vs oracle "
+        f"{block['oracle_error_m']:.2f} m (delta {block['error_delta_m']:+.3f} m)"
+    )
 
 
 def _store_cache_and_workload(args):

@@ -83,6 +83,9 @@ def _noble_arrays(model: NObLeWifi) -> "dict[str, np.ndarray]":
         arrays["coarse.origin"] = quantizer.coarse.origin_
     if model.fine_class_building_ is not None:
         arrays["fine_class_building"] = model.fine_class_building_
+    if model.binner_ is not None:
+        for name, value in model.binner_.state_arrays().items():
+            arrays[name] = value
 
     transform_name = None
     if model.signal_transform is not None:
@@ -118,6 +121,7 @@ def _noble_arrays(model: NObLeWifi) -> "dict[str, np.ndarray]":
         },
         "multires": isinstance(quantizer, MultiResolutionQuantizer),
         "representative": fine.representative,
+        "quantize_bins": model.quantize_bins,
     }
     arrays["meta_json"] = _json_blob(meta)
     return arrays
@@ -136,7 +140,12 @@ def _noble_from_arrays(arrays: "dict[str, np.ndarray]") -> NObLeWifi:
         adjacency_weight=meta["adjacency_weight"],
         signal_transform=meta.get("signal_transform"),
         dtype=meta.get("dtype"),
+        quantize_bins=meta.get("quantize_bins"),
     )
+    if model.quantize_bins is not None:
+        from repro.quantization import FeatureBinner
+
+        model.binner_ = FeatureBinner.from_state_arrays(arrays)
     model.n_buildings_ = meta["n_buildings"]
     model.n_floors_ = meta["n_floors"]
     model.head_slices_ = {
@@ -180,10 +189,7 @@ def _restore_grid(tau: float, representative: str, arrays: dict, prefix: str):
     grid.classes_ = arrays[f"{prefix}.classes"].astype(int)
     grid.centroids_ = arrays[f"{prefix}.centroids"]
     grid.counts_ = arrays[f"{prefix}.counts"].astype(int)
-    grid._cell_to_class = {
-        (int(cx), int(cy)): class_id
-        for class_id, (cx, cy) in enumerate(grid.classes_)
-    }
+    grid._rebuild_lookup()
     return grid
 
 
@@ -394,7 +400,15 @@ def _strip_prefix(arrays: dict, prefix: str) -> dict:
 
 # ----------------------------------------------------------- index (de)hydration
 def _index_state(index, prefix: str) -> "tuple[dict, dict]":
-    """(arrays, meta) for a KNNIndex or ShardedKNNIndex."""
+    """(arrays, meta) for a KNNIndex or ShardedKNNIndex.
+
+    A binned (quantized) index persists its uint8 codes plus the fitted
+    binner state instead of float points — the artifact gets the same 8x
+    size cut the resident index enjoys, and restore rebuilds straight
+    from the codes with no re-quantization.  Sharded binned indexes
+    still persist the float map (shard state references it), plus the
+    binner so per-shard indexes rebuild binned.
+    """
     from repro.sharding.index import ShardedKNNIndex
 
     if isinstance(index, ShardedKNNIndex):
@@ -409,7 +423,16 @@ def _index_state(index, prefix: str) -> "tuple[dict, dict]":
             "partitioner": index.partitioner.describe(),
             "prune": bool(index.prune),
         }
+        if index.binner is not None:
+            for name, value in index.binner.state_arrays().items():
+                arrays[f"{prefix}{name}"] = value
+            meta["binned"] = True
         return arrays, meta
+    if index.binner is not None:
+        arrays = {f"{prefix}codes": index.codes}
+        for name, value in index.binner.state_arrays().items():
+            arrays[f"{prefix}{name}"] = value
+        return arrays, {"sharded": False, "method": "brute", "binned": True}
     return (
         {f"{prefix}points": index.points},
         {"sharded": False, "method": index.method},
@@ -421,19 +444,28 @@ def _restore_index(arrays: dict, meta: dict, prefix: str):
     from repro.manifold.neighbors import KNNIndex
     from repro.sharding.index import ShardedKNNIndex
 
-    points = arrays[f"{prefix}points"]
+    binner = None
+    if meta.get("binned"):
+        from repro.quantization import FeatureBinner
+
+        binner = FeatureBinner.from_state_arrays(
+            _strip_prefix(arrays, prefix)
+        )
     if not meta["sharded"]:
-        return KNNIndex(points, method=meta["method"])
+        if binner is not None:
+            return KNNIndex.from_codes(arrays[f"{prefix}codes"], binner)
+        return KNNIndex(arrays[f"{prefix}points"], method=meta["method"])
     state = {
         name: arrays[f"{prefix}{name}"]
         for name in ("shard_concat", "shard_sizes", "centroids", "radii")
     }
     return ShardedKNNIndex.from_shard_state(
-        points,
+        arrays[f"{prefix}points"],
         state,
         partitioner_description=meta["partitioner"],
         method=meta["method"],
         prune=meta["prune"],
+        binner=binner,
     )
 
 

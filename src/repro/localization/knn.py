@@ -36,6 +36,7 @@ class KNNFingerprinting:
         weighted: bool = True,
         shards: int = 1,
         partitioner="auto",
+        quantize_bins: "int | None" = None,
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -45,6 +46,9 @@ class KNNFingerprinting:
         self.weighted = weighted
         self.shards = int(shards)
         self.partitioner = partitioner
+        self.quantize_bins = (
+            None if quantize_bins is None else int(quantize_bins)
+        )
         self.index_ = None  # KNNIndex | ShardedKNNIndex after fit
         self.coordinates_: "np.ndarray | None" = None
         self.building_: "np.ndarray | None" = None
@@ -56,6 +60,7 @@ class KNNFingerprinting:
                 f"training set has {len(dataset)} samples but k={self.k}"
             )
         signals = dataset.normalized_signals()
+        binner = self._fit_binner(signals)
         if self.shards > 1:
             from repro.sharding import ShardedKNNIndex
 
@@ -71,13 +76,22 @@ class KNNFingerprinting:
                 partitioner=self.partitioner,
                 labels=labels,
                 method="brute",
+                binner=binner,
             )
         else:
-            self.index_ = KNNIndex(signals, method="brute")
+            self.index_ = KNNIndex(signals, method="brute", binner=binner)
         self.coordinates_ = dataset.coordinates
         self.building_ = dataset.building
         self.floor_ = dataset.floor
         return self
+
+    def _fit_binner(self, signals: np.ndarray):
+        """Fit the uint8 radio-map quantizer when ``quantize_bins`` is set."""
+        if self.quantize_bins is None:
+            return None
+        from repro.quantization import FeatureBinner
+
+        return FeatureBinner(n_bins=self.quantize_bins).fit(signals)
 
     def predict_coordinates(self, dataset) -> np.ndarray:
         check_fitted(self, "index_")

@@ -2,7 +2,10 @@
 
 The KD-tree comes from scipy (cKDTree); the brute-force path exists both
 as a correctness oracle for tests and for the high-dimensional RSSI
-vectors where KD-trees degrade to linear scans anyway.
+vectors where KD-trees degrade to linear scans anyway.  The brute scan
+runs through the cache-blocked :func:`repro.manifold.chunked.chunked_argkmin`
+kernel, and can operate over a quantized uint8 radio map (``binner``)
+that streams dequantized tiles instead of holding float points.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.manifold.chunked import chunked_argkmin, chunked_radius_neighbors
 from repro.utils.validation import check_2d
 
 
@@ -23,24 +27,76 @@ class KNNIndex:
     method:
         ``"auto"`` picks a KD-tree for D <= 20 and brute force otherwise;
         ``"kdtree"`` / ``"brute"`` force a backend.
+    binner:
+        Optional fitted :class:`repro.quantization.FeatureBinner`.  When
+        given, the index stores only the uint8 bin codes of ``points``
+        (8x smaller than float64) and the brute kernel streams
+        bin-midpoint dequantized tiles; queries stay raw floats
+        (asymmetric distance — no query-side quantization error).
+        Binned indexes are brute-force only, and ``self.points`` is
+        ``None`` — the float map is deliberately not retained.
     """
 
-    def __init__(self, points: np.ndarray, method: str = "auto"):
-        self.points = check_2d(points, "points")
+    def __init__(
+        self, points: np.ndarray, method: str = "auto", binner=None
+    ):
         if method not in ("auto", "kdtree", "brute"):
             raise ValueError(f"unknown method {method!r}")
+        if binner is not None:
+            if method == "kdtree":
+                raise ValueError("binned indexes are brute-force only")
+            points = check_2d(points, "points")
+            self._init_binned(binner, binner.transform(points))
+            return
+        self.points = check_2d(points, "points")
         if method == "auto":
             method = "kdtree" if self.points.shape[1] <= 20 else "brute"
         self.method = method
+        self.binner = None
+        self._n, self._dim = self.points.shape
         self._tree = cKDTree(self.points) if method == "kdtree" else None
+        # brute-force scans stream straight from the float point set
+        self._source = self.points if method == "brute" else None
         # |p|^2 term of the brute-force expansion; computed once so repeated
         # queries against the same index never rescan the point set for it
         self._sq_points = (
             np.sum(self.points**2, axis=1) if method == "brute" else None
         )
 
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, binner) -> "KNNIndex":
+        """Rebuild a binned index directly from stored uint8 codes.
+
+        The persistence restore path: codes round-trip through artifacts
+        verbatim, so no float map and no re-quantization is needed.
+        """
+        index = cls.__new__(cls)
+        index._init_binned(binner, codes)
+        return index
+
+    def _init_binned(self, binner, codes: np.ndarray) -> None:
+        from repro.quantization.binning import BinnedPoints
+
+        self.method = "brute"
+        self.binner = binner
+        self.points = None
+        self._tree = None
+        self._source = BinnedPoints(binner, codes)
+        self._n, self._dim = self._source.shape
+        self._sq_points = self._source.sq_norms()
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimension (valid for float and binned indexes alike)."""
+        return self._dim
+
+    @property
+    def codes(self) -> "np.ndarray | None":
+        """The stored uint8 codes of a binned index (``None`` otherwise)."""
+        return self._source.codes if self.binner is not None else None
+
     def __len__(self) -> int:
-        return len(self.points)
+        return self._n
 
     def query(
         self,
@@ -69,8 +125,8 @@ class KNNIndex:
         """
         queries, effective_k = _resolve_query_k(
             queries,
-            index_dim=self.points.shape[1],
-            index_size=len(self.points),
+            index_dim=self._dim,
+            index_size=self._n,
             k=k,
             exclude_self=exclude_self,
             on_excess=on_excess,
@@ -87,23 +143,14 @@ class KNNIndex:
         return distances, indices
 
     def _brute_query(self, queries: np.ndarray, k: int):
-        # ||q - p||^2 = |q|^2 - 2 q·p + |p|^2, computed blockwise to bound memory
-        sq_points = self._sq_points
-        all_dist = np.empty((len(queries), k))
-        all_idx = np.empty((len(queries), k), dtype=int)
-        block = max(1, int(2e7) // max(len(self.points), 1))
-        for start in range(0, len(queries), block):
-            q = queries[start : start + block]
-            d2 = np.sum(q**2, axis=1)[:, None] - 2.0 * q @ self.points.T + sq_points
-            np.maximum(d2, 0.0, out=d2)
-            part = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
-            part_d = np.take_along_axis(d2, part, axis=1)
-            order = np.argsort(part_d, axis=1, kind="stable")
-            all_idx[start : start + len(q)] = np.take_along_axis(part, order, axis=1)
-            all_dist[start : start + len(q)] = np.sqrt(
-                np.take_along_axis(part_d, order, axis=1)
-            )
-        return all_dist, all_idx
+        # cache-blocked ||q - p||^2 GEMM with fused per-tile top-k; a binned
+        # index streams dequantized float32 tiles, and casting the queries
+        # down keeps the whole scan on sgemm (~2x dgemm on this hardware)
+        if self.binner is not None:
+            queries = queries.astype(self._source.dtype, copy=False)
+        return chunked_argkmin(
+            queries, self._source, k, sq_norms=self._sq_points
+        )
 
 
 def kneighbors(
@@ -142,22 +189,52 @@ def epsilon_neighbors(
     radius: float,
     shards: int = 1,
     max_workers: "int | None" = None,
+    method: str = "auto",
 ) -> list[np.ndarray]:
     """Indices of all neighbors within ``radius`` of each point (self excluded).
 
     Neighbor indices are returned in ascending order per point.
-    ``shards > 1`` fans the query side out: the point set is split into
-    ``shards`` row-chunks, each scanned against the shared KD-tree on a
-    thread pool (radius search is query-independent, so this is exact).
+    ``method`` mirrors :class:`KNNIndex`: ``"auto"`` picks a KD-tree for
+    D <= 20 and the cache-blocked brute kernel
+    (:func:`repro.manifold.chunked.chunked_radius_neighbors`) for the
+    high-dimensional RSSI regime where the tree degrades to a linear
+    scan anyway.  ``shards > 1`` fans the query side out: the point set
+    is split into ``shards`` row-chunks, each scanned against the shared
+    index on a thread pool (radius search is query-independent, so this
+    is exact).
     """
     points = check_2d(points, "points")
     if radius <= 0:
         raise ValueError(f"radius must be positive, got {radius}")
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if method not in ("auto", "kdtree", "brute"):
+        raise ValueError(f"unknown method {method!r}")
     n = len(points)
     if n == 0:
         return []
+    if method == "auto":
+        method = "kdtree" if points.shape[1] <= 20 else "brute"
+    if method == "brute":
+        sq_points = np.sum(points**2, axis=1)
+        if shards > 1:
+            from repro.sharding import fanout_over_slices
+
+            def scan_brute(sl: slice) -> "list[np.ndarray]":
+                rows = chunked_radius_neighbors(
+                    points[sl], points, radius, sq_norms=sq_points
+                )
+                return [
+                    row[row != sl.start + i] for i, row in enumerate(rows)
+                ]
+
+            chunks = fanout_over_slices(
+                scan_brute, n, shards, max_workers=max_workers
+            )
+            return [row for chunk in chunks for row in chunk]
+        return chunked_radius_neighbors(
+            points, points, radius, sq_norms=sq_points, exclude_self=True
+        )
     tree = cKDTree(points)
     if shards > 1:
         from repro.sharding import fanout_over_slices

@@ -27,6 +27,7 @@ class KNNRegressor:
         weights: str = "uniform",
         shards: int = 1,
         partitioner="kmeans",
+        quantize_bins: "int | None" = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -40,6 +41,9 @@ class KNNRegressor:
         self.weights = weights
         self.shards = int(shards)
         self.partitioner = partitioner
+        self.quantize_bins = (
+            None if quantize_bins is None else int(quantize_bins)
+        )
         self.index_ = None  # KNNIndex | ShardedKNNIndex after fit
         self.targets_: "np.ndarray | None" = None
         self._squeeze = False
@@ -53,6 +57,11 @@ class KNNRegressor:
         check_lengths_match(x, y, "x", "y")
         if len(x) < self.k:
             raise ValueError(f"need at least k={self.k} samples, got {len(x)}")
+        binner = None
+        if self.quantize_bins is not None:
+            from repro.quantization import FeatureBinner
+
+            binner = FeatureBinner(n_bins=self.quantize_bins).fit(x)
         if self.shards > 1:
             from repro.sharding import ShardedKNNIndex
 
@@ -61,9 +70,10 @@ class KNNRegressor:
                 n_shards=self.shards,
                 partitioner=self.partitioner,
                 method="brute",
+                binner=binner,
             )
         else:
-            self.index_ = KNNIndex(x, method="brute")
+            self.index_ = KNNIndex(x, method="brute", binner=binner)
         self.targets_ = y
         return self
 

@@ -50,6 +50,9 @@ class GridQuantizer:
         self.centroids_: np.ndarray | None = None
         self.counts_: np.ndarray | None = None
         self._cell_to_class: dict[tuple[int, int], int] | None = None
+        self._cell_lo: np.ndarray | None = None
+        self._cell_hi: np.ndarray | None = None
+        self._class_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------ fitting
     def fit(self, coordinates: np.ndarray) -> "GridQuantizer":
@@ -60,12 +63,13 @@ class GridQuantizer:
         unique_cells, inverse, counts = np.unique(
             cells, axis=0, return_inverse=True, return_counts=True
         )
+        # numpy 2.0 returns a keep-dims (N, 1) inverse from axis unique;
+        # fed to add.at unraveled it mis-shapes the scatter, so flatten
+        # unconditionally (a no-op on every other numpy)
+        inverse = np.reshape(inverse, -1)
         self.classes_ = unique_cells
         self.counts_ = counts
-        self._cell_to_class = {
-            (int(cx), int(cy)): int(class_id)
-            for class_id, (cx, cy) in enumerate(unique_cells)
-        }
+        self._rebuild_lookup()
         if self.representative == "center":
             self.centroids_ = (unique_cells + 0.5) * self.tau + self.origin_
         else:
@@ -90,21 +94,22 @@ class GridQuantizer:
         check_fitted(self, "classes_")
         coords = self._check_coords(coordinates)
         cells = self._cells_for(coords)
-        out = np.empty(len(coords), dtype=int)
-        misses = []
-        for i, (cx, cy) in enumerate(cells):
-            class_id = self._cell_to_class.get((int(cx), int(cy)))
-            if class_id is None:
-                misses.append(i)
-                out[i] = -1
-            else:
-                out[i] = class_id
-        if misses:
+        # vectorized cell -> class lookup: encode cells into the same
+        # lexicographic key space as the fitted classes and binary-search;
+        # out-of-bounding-box cells encode to -1 and miss by construction
+        keys = self._encode_cells(cells)
+        pos = np.searchsorted(self._class_keys, keys)
+        pos = np.minimum(pos, len(self._class_keys) - 1)
+        hit = (keys >= 0) & (self._class_keys[pos] == keys)
+        out = np.where(hit, pos, -1)
+        if not hit.all():
             if strict:
                 raise ValueError(
-                    f"{len(misses)} coordinate(s) fall outside all populated "
-                    "cells; pass strict=False to snap them to the nearest class"
+                    f"{int((~hit).sum())} coordinate(s) fall outside all "
+                    "populated cells; pass strict=False to snap them to "
+                    "the nearest class"
                 )
+            misses = np.flatnonzero(~hit)
             out[misses] = self._nearest_class(coords[misses])
         return out
 
@@ -154,6 +159,40 @@ class GridQuantizer:
     def _cells_for(self, coords: np.ndarray) -> np.ndarray:
         return np.floor((coords - self.origin_) / self.tau).astype(int)
 
+    def _rebuild_lookup(self) -> None:
+        """Derive the cell -> class lookup state from ``classes_``.
+
+        Shared by :meth:`fit` and the persistence restore path.  The
+        axis-unique rows of ``classes_`` are lexicographically sorted,
+        so a cell's class id equals its rank among the encoded (cx, cy)
+        keys — the ``searchsorted`` lookup :meth:`transform` runs over.
+        The dict stays for the :meth:`class_of_cell` point API.
+        """
+        self._cell_to_class = {
+            (int(cx), int(cy)): int(class_id)
+            for class_id, (cx, cy) in enumerate(self.classes_)
+        }
+        self._cell_lo = self.classes_.min(axis=0)
+        self._cell_hi = self.classes_.max(axis=0)
+        self._class_keys = self._encode_cells(self.classes_)
+
+    def _encode_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Lexicographic int64 key per cell; -1 for out-of-bbox cells.
+
+        Keys order exactly like the (cx, cy) rows of ``classes_``, so
+        ``searchsorted`` over the fitted keys recovers dense class ids.
+        """
+        lo, hi = self._cell_lo, self._cell_hi
+        cells = cells.astype(np.int64, copy=False)
+        span_y = int(hi[1]) - int(lo[1]) + 1
+        keys = (cells[:, 0] - lo[0]) * span_y + (cells[:, 1] - lo[1])
+        inside = np.all((cells >= lo) & (cells <= hi), axis=1)
+        return np.where(inside, keys, -1)
+
     def _nearest_class(self, coords: np.ndarray) -> np.ndarray:
-        diffs = coords[:, None, :] - self.centroids_[None, :, :]
-        return np.argmin(np.sum(diffs**2, axis=-1), axis=1)
+        # chunked k=1 scan: never materializes the (M, K, 2) broadcast
+        # that blew memory on fine grids with many off-cell points
+        from repro.manifold.chunked import chunked_argkmin
+
+        _dist, indices = chunked_argkmin(coords, self.centroids_, k=1)
+        return indices[:, 0]

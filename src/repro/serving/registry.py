@@ -216,6 +216,26 @@ def _dtype_param(dtype) -> dict:
     return {"dtype": str(resolve_dtype(dtype))}
 
 
+def _quantize_param(quantize_bins) -> dict:
+    """Canonical ``quantize_bins`` entry for an adapter's params.
+
+    Returns ``{}`` for ``None`` (the raw-float default) so pre-existing
+    describe() strings and :class:`repro.serving.cache.ModelCache` keys
+    are untouched; a set value is validated here so a bad bin count
+    fails at construction, before any fit work happens.
+    """
+    if quantize_bins is None:
+        return {}
+    from repro.quantization.binning import MAX_BINS
+
+    bins = int(quantize_bins)
+    if not 2 <= bins <= MAX_BINS:
+        raise ValueError(
+            f"quantize_bins must be in [2, {MAX_BINS}], got {bins}"
+        )
+    return {"quantize_bins": bins}
+
+
 def _sharding_params(shards, partitioner=None) -> dict:
     """Canonical ``shards``/``partitioner`` entries for an adapter's params.
 
@@ -269,12 +289,14 @@ class KNNFingerprintingEstimator(Estimator):
         weighted: bool = True,
         shards: int = 1,
         partitioner="auto",
+        quantize_bins: "int | None" = None,
     ):
         self._partitioner = partitioner
         super().__init__(
             k=int(k),
             weighted=bool(weighted),
             **_sharding_params(shards, partitioner),
+            **_quantize_param(quantize_bins),
         )
         self.model_ = None
 
@@ -319,6 +341,7 @@ class NObLeWifiEstimator(Estimator):
         seed=0,
         shards: int = 1,
         dtype=None,
+        quantize_bins: "int | None" = None,
     ):
         super().__init__(
             tau=float(tau),
@@ -332,6 +355,7 @@ class NObLeWifiEstimator(Estimator):
             seed=_canonical_seed(seed),
             **_sharding_params(shards),
             **_dtype_param(dtype),
+            **_quantize_param(quantize_bins),
         )
         self.model_ = None
         self._replicas_: list = []
@@ -475,12 +499,14 @@ class KNNRegressorEstimator(_RegressorEstimator):
         weights: str = "uniform",
         shards: int = 1,
         partitioner="kmeans",
+        quantize_bins: "int | None" = None,
     ):
         self._partitioner = partitioner
         super().__init__(
             k=int(k),
             weights=weights,
             **_sharding_params(shards, partitioner),
+            **_quantize_param(quantize_bins),
         )
         self.model_ = None
 

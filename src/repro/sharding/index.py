@@ -82,7 +82,27 @@ class ShardedKNNIndex:
         pruning tighten its bound shard by shard).
     prune:
         Enable centroid-radius shard pruning (exact; see module docs).
+    binner:
+        Optional fitted :class:`repro.quantization.FeatureBinner`; every
+        per-shard index then stores uint8 codes instead of float points
+        (see :class:`KNNIndex`).  Pruning metadata is still computed from
+        the float map at construction, and the top-level ``points`` is
+        retained for persistence — the 8x memory cut applies to the
+        per-shard scan state that worker processes hold resident.
+    refine:
+        Shortlist factor for the quantized two-stage query.  When a
+        binner is set, :meth:`query` scans shards for the top
+        ``refine * k`` candidates with the uint8 ADC distance, then
+        reranks that shortlist with exact float distances against the
+        retained ``points`` — the standard quantized-search refine step
+        that recovers near-perfect top-k recall at negligible cost (the
+        shortlist is tiny next to the scan).  ``None`` defaults to 4
+        when a binner is set and to 0 (disabled) otherwise; pass 0
+        explicitly to serve the raw quantized distances.
     """
+
+    #: Default shortlist factor for binned indexes (``refine=None``).
+    _DEFAULT_REFINE = 4
 
     def __init__(
         self,
@@ -93,6 +113,8 @@ class ShardedKNNIndex:
         method: str = "auto",
         max_workers: "int | None" = None,
         prune: bool = True,
+        binner=None,
+        refine: "int | None" = None,
     ):
         self.points = check_2d(points, "points")
         if len(self.points) == 0:
@@ -122,13 +144,20 @@ class ShardedKNNIndex:
         self.shard_indices_ = [
             np.flatnonzero(compact == s) for s in range(int(compact.max()) + 1)
         ]
+        self.binner = binner
+        self.refine = _resolve_refine(refine, binner)
         self.shards_ = [
-            KNNIndex(self.points[idx], method=method)
+            KNNIndex(self.points[idx], method=method, binner=binner)
             for idx in self.shard_indices_
         ]
-        # reuse the per-shard copies the KNNIndexes already hold instead of
-        # fancy-indexing the full map a second time
-        shard_points = [shard.points for shard in self.shards_]
+        if binner is None:
+            # reuse the per-shard copies the KNNIndexes already hold instead
+            # of fancy-indexing the full map a second time
+            shard_points = [shard.points for shard in self.shards_]
+        else:
+            # binned shards hold no float points; prune metadata comes from
+            # the full-precision map so bounds stay exact
+            shard_points = [self.points[idx] for idx in self.shard_indices_]
         self.centroids_ = np.stack([p.mean(axis=0) for p in shard_points])
         self.radii_ = np.array(
             [
@@ -178,6 +207,8 @@ class ShardedKNNIndex:
         method: str = "brute",
         max_workers: "int | None" = None,
         prune: bool = True,
+        binner=None,
+        refine: "int | None" = None,
     ) -> "ShardedKNNIndex":
         """Rebuild an index from :meth:`shard_state`, skipping the partition fit.
 
@@ -224,8 +255,10 @@ class ShardedKNNIndex:
         self.partitioner = RestoredPartitioner(
             partitioner_description, n_shards=len(self.shard_indices_)
         )
+        self.binner = binner
+        self.refine = _resolve_refine(refine, binner)
         self.shards_ = [
-            KNNIndex(self.points[idx], method=method)
+            KNNIndex(self.points[idx], method=method, binner=binner)
             for idx in self.shard_indices_
         ]
         self.centroids_ = np.asarray(state["centroids"], dtype=float)
@@ -288,17 +321,26 @@ class ShardedKNNIndex:
         out_k = eff_k - 1 if exclude_self else eff_k
         if len(queries) == 0:
             return np.empty((0, out_k)), np.empty((0, out_k), dtype=int)
+        # quantized two-stage plan: scan shards for a refine*k shortlist
+        # with the uint8 ADC distance, then rerank it exactly below
+        refining = self.refine > 0 and self.binner is not None
+        scan_k = (
+            min(eff_k * self.refine, len(self.points)) if refining else eff_k
+        )
         # bound the per-block temporaries — qc/lb are (block, S) and the
         # candidate concat is (block, <= k*S) — so a campus-scale self-kNN
         # (10^6 queries in one call) never materializes gigabytes at once
-        block = max(1, self._block_elements // max(self.n_shards * eff_k, 1))
+        block = max(1, self._block_elements // max(self.n_shards * scan_k, 1))
         parts = []
         for start in range(0, len(queries), block):
             chunk = queries[start : start + block]
             if self.prune and self.n_shards > 1:
-                parts.append(self._query_pruned(chunk, eff_k))
+                scanned = self._query_pruned(chunk, scan_k)
             else:
-                parts.append(self._query_all(chunk, eff_k))
+                scanned = self._query_all(chunk, scan_k)
+            if refining:
+                scanned = self._exact_rerank(chunk, scanned[1], eff_k)
+            parts.append(scanned)
         if len(parts) == 1:
             distances, indices = parts[0]
         else:
@@ -329,6 +371,11 @@ class ShardedKNNIndex:
         ascending by distance; ``indices`` are global (rows of
         ``self.points``).  Scans the listed shards serially — worker
         *processes* are the parallelism axis here.
+
+        When a binner is set, the returned distances are the raw uint8
+        ADC scan distances — the :attr:`refine` rerank deliberately does
+        not run here, since the multi-process parent merges candidates
+        across workers and owns any final refinement.
         """
         queries = check_2d(np.asarray(queries, dtype=float), "queries")
         if queries.shape[1] != self.points.shape[1]:
@@ -413,6 +460,34 @@ class ShardedKNNIndex:
         return cand_d, cand_i
 
     # -------------------------------------------------------------- internals
+    def _exact_rerank(self, queries: np.ndarray, cand_i: np.ndarray, eff_k: int):
+        """Rerank a quantized shortlist with exact float distances.
+
+        ``cand_i`` is the (M, scan_k) shortlist from the uint8 ADC scan;
+        rows may carry ``-1`` padding when the scan could not fill
+        ``scan_k`` slots (kept at infinite distance so real candidates
+        always win).  Processes row blocks so the (rows, scan_k, D)
+        gather stays within the temporary budget.
+        """
+        m, scan_k = cand_i.shape
+        keep = min(eff_k, scan_k)
+        dim = self.points.shape[1]
+        out_d = np.empty((m, keep))
+        out_i = np.empty((m, keep), dtype=cand_i.dtype)
+        rows = max(1, self._block_elements // max(scan_k * dim, 1))
+        for start in range(0, m, rows):
+            ci = cand_i[start : start + rows]
+            missing = ci < 0
+            gathered = self.points[np.where(missing, 0, ci)]
+            diff = gathered - queries[start : start + rows, None, :]
+            d = np.sqrt(np.einsum("mkd,mkd->mk", diff, diff))
+            if missing.any():
+                d[missing] = np.inf
+            d_top, i_top = _global_top_k(d, ci, keep)
+            out_d[start : start + rows] = d_top
+            out_i[start : start + rows] = i_top
+        return out_d, out_i
+
     def _scan_shard(self, s: int, queries: np.ndarray, eff_k: int):
         """One shard's local top-k mapped to global indices."""
         distances, local = self.shards_[s].query(
@@ -443,6 +518,16 @@ class ShardedKNNIndex:
             + np.sum(self.centroids_**2, axis=1)
         )
         return np.sqrt(np.maximum(d2, 0.0))
+
+
+def _resolve_refine(refine: "int | None", binner) -> int:
+    """Effective shortlist factor: default 4 for binned indexes, else 0."""
+    if refine is None:
+        return ShardedKNNIndex._DEFAULT_REFINE if binner is not None else 0
+    refine = int(refine)
+    if refine < 0:
+        raise ValueError(f"refine must be >= 0, got {refine}")
+    return refine
 
 
 def _global_top_k(cand_d: np.ndarray, cand_i: np.ndarray, k: int):

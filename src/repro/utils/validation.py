@@ -9,9 +9,20 @@ from __future__ import annotations
 import numpy as np
 
 
-def check_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
-    """Return ``array`` as a float 2-D ndarray or raise ``ValueError``."""
-    out = np.asarray(array, dtype=float)
+def check_2d(array: np.ndarray, name: str = "array", dtype=float) -> np.ndarray:
+    """Return ``array`` as a float 2-D ndarray or raise ``ValueError``.
+
+    ``dtype=None`` preserves an existing float32/float64 dtype instead of
+    force-casting to float64 (non-float inputs are still promoted) — the
+    mode the cache-blocked kernels use so a float32 pipeline stays on
+    sgemm end to end.
+    """
+    if dtype is None:
+        out = np.asarray(array)
+        if out.dtype not in (np.float32, np.float64):
+            out = out.astype(float)
+    else:
+        out = np.asarray(array, dtype=dtype)
     if out.ndim == 1:
         out = out.reshape(-1, 1)
     if out.ndim != 2:

@@ -1,0 +1,201 @@
+"""FeatureBinner: uint8 quantization, round trips, and kNN recall."""
+
+import numpy as np
+import pytest
+
+from repro.manifold.chunked import chunked_argkmin
+from repro.manifold.neighbors import KNNIndex
+from repro.quantization import MAX_BINS, BinnedPoints, FeatureBinner
+
+RNG = np.random.default_rng(41)
+
+
+class TestConstruction:
+    def test_rejects_bad_bin_counts(self):
+        for bad in (1, 0, MAX_BINS + 1, -5):
+            with pytest.raises(ValueError, match="n_bins"):
+                FeatureBinner(n_bins=bad)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            FeatureBinner(strategy="entropy")
+
+    def test_rejects_tiny_subsample(self):
+        with pytest.raises(ValueError, match="subsample"):
+            FeatureBinner(subsample=1)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FeatureBinner().transform(np.zeros((2, 3)))
+
+
+class TestTransform:
+    def test_codes_are_uint8_and_in_range(self):
+        x = RNG.uniform(-80, 0, size=(400, 12))
+        for strategy in ("quantile", "uniform"):
+            binner = FeatureBinner(n_bins=32, strategy=strategy).fit(x)
+            codes = binner.transform(x)
+            assert codes.dtype == np.uint8
+            assert codes.min() >= 0 and codes.max() <= 31
+
+    def test_quantization_error_bounded_by_bin_width(self):
+        x = RNG.uniform(0, 1, size=(500, 8))
+        binner = FeatureBinner(n_bins=64, strategy="uniform").fit(x)
+        snapped = binner.quantize(x)
+        # uniform bins over [0, 1]: midpoints are within half a bin width
+        assert np.abs(snapped - x).max() <= 0.5 / 64 + 1e-6
+
+    def test_transform_is_monotone_per_feature(self):
+        x = RNG.normal(size=(300, 1))
+        binner = FeatureBinner(n_bins=16).fit(x)
+        order = np.argsort(x[:, 0])
+        codes = binner.transform(x)[order, 0].astype(int)
+        assert (np.diff(codes) >= 0).all()
+
+    def test_out_of_range_values_clip_into_end_bins(self):
+        x = RNG.uniform(0, 1, size=(100, 2))
+        binner = FeatureBinner(n_bins=8, strategy="uniform").fit(x)
+        codes = binner.transform(np.array([[-5.0, 10.0]]))
+        assert codes[0, 0] == 0 and codes[0, 1] == 7
+
+    def test_constant_feature_collapses_to_one_bin(self):
+        x = np.column_stack(
+            [np.full(50, 3.0), RNG.uniform(0, 1, size=50)]
+        )
+        binner = FeatureBinner(n_bins=16).fit(x)
+        codes = binner.transform(x)
+        assert len(np.unique(codes[:, 0])) == 1
+        np.testing.assert_allclose(binner.dequantize(codes)[:, 0], 3.0)
+
+    def test_feature_count_mismatch_raises(self):
+        binner = FeatureBinner().fit(RNG.uniform(size=(20, 4)))
+        with pytest.raises(ValueError, match="features"):
+            binner.transform(RNG.uniform(size=(5, 3)))
+
+    def test_nonfinite_training_values_rejected(self):
+        x = RNG.uniform(size=(10, 2))
+        x[3, 1] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            FeatureBinner().fit(x)
+
+    def test_subsample_keeps_fit_deterministic(self):
+        x = RNG.uniform(size=(500, 3))
+        a = FeatureBinner(n_bins=16, subsample=100, seed=7).fit(x)
+        b = FeatureBinner(n_bins=16, subsample=100, seed=7).fit(x)
+        np.testing.assert_array_equal(a.thresholds_, b.thresholds_)
+
+
+class TestPersistence:
+    def test_state_round_trip_is_exact(self):
+        x = RNG.uniform(-100, 0, size=(300, 9))
+        binner = FeatureBinner(
+            n_bins=48, strategy="uniform", subsample=None, seed=3
+        ).fit(x)
+        restored = FeatureBinner.from_state_arrays(binner.state_arrays())
+        assert restored.params == binner.params
+        np.testing.assert_array_equal(
+            restored.thresholds_, binner.thresholds_
+        )
+        np.testing.assert_array_equal(
+            restored.midpoints_, binner.midpoints_
+        )
+        probe = RNG.uniform(-120, 20, size=(40, 9))
+        np.testing.assert_array_equal(
+            restored.transform(probe), binner.transform(probe)
+        )
+        np.testing.assert_array_equal(
+            restored.quantize(probe), binner.quantize(probe)
+        )
+
+    def test_inconsistent_state_rejected(self):
+        binner = FeatureBinner(n_bins=8).fit(RNG.uniform(size=(50, 4)))
+        state = binner.state_arrays()
+        state["binner_midpoints"] = state["binner_midpoints"][:, :-1]
+        with pytest.raises(ValueError, match="inconsistent"):
+            FeatureBinner.from_state_arrays(state)
+
+
+class TestBinnedPoints:
+    def test_protocol_surface(self):
+        x = RNG.uniform(0, 1, size=(120, 7))
+        binner = FeatureBinner(n_bins=32).fit(x)
+        source = BinnedPoints(binner, binner.transform(x))
+        assert source.shape == (120, 7)
+        assert len(source) == 120
+        assert source.dtype == np.float32
+        assert source.nbytes == 120 * 7  # one byte per stored element
+        tile = source.chunk(10, 20)
+        np.testing.assert_array_equal(
+            tile, binner.dequantize(binner.transform(x))[10:20]
+        )
+        np.testing.assert_allclose(
+            source.sq_norms(chunk_rows=13),
+            np.einsum("ij,ij->i", tile_full := source.chunk(0, 120), tile_full),
+            rtol=1e-6,
+        )
+
+    def test_rejects_non_uint8_codes(self):
+        binner = FeatureBinner(n_bins=8).fit(RNG.uniform(size=(30, 3)))
+        with pytest.raises(ValueError, match="uint8"):
+            BinnedPoints(binner, np.zeros((30, 3), dtype=np.int32))
+
+
+class TestBinnedRecall:
+    def test_binned_index_recall_near_raw(self):
+        # a moderately clustered map: 256-bin quantization must keep
+        # raw-scan top-k recall high, and the error is bounded by the
+        # displacement argument (bin_width * sqrt(D / 12))
+        centers = RNG.uniform(0, 1, size=(30, 16))
+        x = np.repeat(centers, 40, axis=0) + RNG.normal(
+            0, 0.05, size=(1200, 16)
+        )
+        queries = x[RNG.choice(1200, 64, replace=False)] + RNG.normal(
+            0, 0.01, size=(64, 16)
+        )
+        k = 10
+        _, exact_idx = KNNIndex(x, method="brute").query(queries, k=k)
+        binner = FeatureBinner(n_bins=256, strategy="uniform").fit(x)
+        _, binned_idx = KNNIndex(x, method="brute", binner=binner).query(
+            queries, k=k
+        )
+        overlap = [
+            len(set(a) & set(b)) for a, b in zip(exact_idx, binned_idx)
+        ]
+        assert np.mean(overlap) / k >= 0.9
+
+    def test_binned_distances_match_dequantized_oracle(self):
+        x = RNG.uniform(0, 1, size=(200, 10))
+        queries = RNG.uniform(0, 1, size=(20, 10))
+        binner = FeatureBinner(n_bins=16, strategy="uniform").fit(x)
+        index = KNNIndex(x, method="brute", binner=binner)
+        dist, idx = index.query(queries, k=5)
+        # the binned scan is an exact scan over the dequantized map
+        odist, oidx = chunked_argkmin(
+            queries.astype(np.float32), binner.quantize(x), k=5
+        )
+        np.testing.assert_allclose(dist, odist, atol=1e-5)
+        np.testing.assert_array_equal(idx, oidx)
+
+    def test_binned_index_stores_codes_not_points(self):
+        x = RNG.uniform(0, 1, size=(100, 6))
+        binner = FeatureBinner(n_bins=32).fit(x)
+        index = KNNIndex(x, method="brute", binner=binner)
+        assert index.points is None
+        assert index.codes.dtype == np.uint8
+        assert index.codes.shape == (100, 6)
+        assert index.n_features == 6
+
+    def test_binned_kdtree_rejected(self):
+        binner = FeatureBinner(n_bins=8).fit(RNG.uniform(size=(30, 2)))
+        with pytest.raises(ValueError, match="brute"):
+            KNNIndex(RNG.uniform(size=(30, 2)), method="kdtree", binner=binner)
+
+    def test_from_codes_round_trip(self):
+        x = RNG.uniform(0, 1, size=(80, 5))
+        binner = FeatureBinner(n_bins=64).fit(x)
+        index = KNNIndex(x, method="brute", binner=binner)
+        restored = KNNIndex.from_codes(index.codes, binner)
+        queries = RNG.uniform(0, 1, size=(10, 5))
+        np.testing.assert_array_equal(
+            index.query(queries, k=3)[1], restored.query(queries, k=3)[1]
+        )

@@ -94,6 +94,99 @@ class TestHelpers:
         assert np.max(errors) <= 0.5 * np.sqrt(2) / 2 + 1e-9
 
 
+class TestTransformVectorization:
+    """Regression pins for the quantizer bugfix sweep.
+
+    Each test encodes a pre-fix failure mode: the per-row dict lookup
+    that made ``transform`` quadratic-feeling on 10^5-point maps, the
+    (M, K, 2) broadcast that blew memory in ``_nearest_class``, and the
+    numpy-2.0 keep-dims ``(N, 1)`` inverse that mis-shaped the centroid
+    scatter.
+    """
+
+    def test_transform_matches_dict_loop_oracle(self):
+        rng = np.random.default_rng(97)
+        coords = rng.uniform(0, 200, size=(100_000, 2))
+        q = GridQuantizer(tau=0.8).fit(coords)
+        ids = q.transform(coords)
+        # loop oracle: the per-row dict lookup the fix replaced
+        cells = np.floor((coords - q.origin_) / q.tau).astype(int)
+        expected = np.array(
+            [q._cell_to_class[(int(cx), int(cy))] for cx, cy in cells]
+        )
+        np.testing.assert_array_equal(ids, expected)
+
+    def test_transform_never_touches_the_dict(self):
+        # the vectorized path must run entirely on searchsorted: poison
+        # the dict lookup and transform must still succeed (the point
+        # API class_of_cell is the dict's only remaining consumer)
+        rng = np.random.default_rng(98)
+        coords = rng.uniform(0, 50, size=(500, 2))
+        q = GridQuantizer(tau=1.0).fit(coords)
+        expected = q.transform(coords)
+
+        class Poison:
+            def get(self, *args, **kwargs):
+                raise AssertionError("transform fell back to the dict")
+
+            def __getitem__(self, key):
+                raise AssertionError("transform fell back to the dict")
+
+        q._cell_to_class = Poison()
+        np.testing.assert_array_equal(q.transform(coords), expected)
+
+    def test_nearest_class_routes_through_chunked_kernel(self, monkeypatch):
+        import repro.manifold.chunked as chunked_mod
+
+        rng = np.random.default_rng(99)
+        coords = rng.uniform(0, 30, size=(200, 2))
+        q = GridQuantizer(tau=0.5).fit(coords)
+        off_cell = rng.uniform(-10, 40, size=(150, 2))
+
+        calls = {"n": 0}
+        real = chunked_mod.chunked_argkmin
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(chunked_mod, "chunked_argkmin", counting)
+        ids = q.transform(off_cell, strict=False)
+        assert calls["n"] >= 1
+        # broadcast oracle: the (M, K, 2) materialization the fix removed
+        d = np.linalg.norm(
+            off_cell[:, None, :] - q.centroids_[None, :, :], axis=2
+        )
+        expected_dist = d[np.arange(len(off_cell)), ids]
+        np.testing.assert_allclose(expected_dist, d.min(axis=1), atol=1e-9)
+
+    def test_keepdims_inverse_from_axis_unique(self, monkeypatch):
+        # numpy 2.0 returned a keep-dims (N, 1) inverse from axis
+        # unique; fed to np.add.at it mis-shaped the centroid scatter.
+        # Simulate that numpy here and require exact centroid parity.
+        real_unique = np.unique
+
+        def keepdims_unique(*args, **kwargs):
+            out = real_unique(*args, **kwargs)
+            if kwargs.get("axis") is not None and kwargs.get("return_inverse"):
+                out = list(out)
+                out[1] = out[1].reshape(-1, 1)
+                out = tuple(out)
+            return out
+
+        monkeypatch.setattr(np, "unique", keepdims_unique)
+        rng = np.random.default_rng(100)
+        coords = rng.uniform(0, 10, size=(300, 2))
+        q = GridQuantizer(tau=1.0, representative="centroid").fit(coords)
+        monkeypatch.undo()
+        cells = np.floor((coords - q.origin_) / q.tau).astype(int)
+        for class_id, (cx, cy) in enumerate(q.classes_):
+            members = (cells[:, 0] == cx) & (cells[:, 1] == cy)
+            np.testing.assert_allclose(
+                q.centroids_[class_id], coords[members].mean(axis=0)
+            )
+
+
 class TestProperties:
     @settings(max_examples=40, deadline=None)
     @given(
