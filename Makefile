@@ -11,7 +11,8 @@ PYTHON ?= python
 
 .PHONY: test test-fast check check-fast lint ci ci-fast check-bench-artifacts \
 	clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench \
-	train-bench bench-smoke quant-bench quant-bench-smoke snapshot warm-serve
+	train-bench bench-smoke quant-bench quant-bench-smoke chaos-bench \
+	chaos-smoke snapshot warm-serve
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -90,6 +91,21 @@ quant-bench:
 # quantized scan fails `make check`.
 quant-bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli quant-bench --preset smoke
+
+# Fault-injection storm against the self-protecting serving tier:
+# seeded worker kills, SIGSTOP heartbeat stalls, shm-slot and
+# store-artifact corruption against fair-shed admission + the
+# circuit-broken thread fallback, asserting availability >= the
+# preset floor, zero hung requests, and parity on every answered
+# request (the serve-bench resilience block, standalone).
+chaos-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos-bench
+
+# Seconds-scale chaos storm; hooked into scripts/check_suite.sh so a
+# resilience regression (lost request, dirty failure, parity break)
+# fails `make check`.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos-bench --preset smoke
 
 # Times NObLe/CNNLoc cold fits (seed-equivalent float64 reference vs the
 # fused float32 fast path), asserts metric parity + minimum speedup, and

@@ -75,6 +75,7 @@ def check_artifact(name: str, headline_fields: "tuple[str, ...]") -> "list[str]"
         )
     problems.extend(check_workers_headline(name, payload))
     problems.extend(check_quant_headline(name, payload))
+    problems.extend(check_resilience_headline(name, payload))
     return problems
 
 
@@ -176,6 +177,65 @@ def check_quant_headline(name: str, payload: dict) -> "list[str]":
             f"{name}: quant headline bytes ratio {ratio} is above its own "
             f"asserted ceiling {ceiling}"
         )
+    return problems
+
+
+def check_resilience_headline(name: str, payload: dict) -> "list[str]":
+    """Chaos-harness headline floors for serve artifacts (schema v5).
+
+    The resilience block records availability under a seeded fault
+    storm plus the hard outcome invariants: no hung ticket, no dirty
+    failure, and prediction parity on every answered request.  A
+    committed artifact that violates its own recorded floor — or that
+    records a lost or wrong answer at all — fails the build.
+    """
+    resilience = payload.get("resilience")
+    if resilience is None:
+        return []  # not a serve artifact (train payloads have no block)
+    problems: list[str] = []
+    headline = (
+        resilience.get("headline") if isinstance(resilience, dict) else None
+    )
+    if not isinstance(headline, dict):
+        return [f"{name}: resilience.headline block missing"]
+    for field in (
+        "availability",
+        "min_availability_asserted",
+        "hung",
+        "failed",
+        "parity_ok",
+        "fairness_ok",
+        "floor_enforced",
+    ):
+        if field not in headline:
+            problems.append(f"{name}: resilience.headline missing {field!r}")
+    if headline.get("hung") != 0:
+        problems.append(
+            f"{name}: resilience headline records {headline.get('hung')} "
+            "hung requests (must be 0)"
+        )
+    if headline.get("failed") != 0:
+        problems.append(
+            f"{name}: resilience headline records {headline.get('failed')} "
+            "dirty request failures (must be 0)"
+        )
+    if headline.get("parity_ok") is not True:
+        problems.append(
+            f"{name}: resilience headline parity_ok is not True"
+        )
+    if headline.get("floor_enforced") is True:
+        availability = headline.get("availability")
+        floor = headline.get("min_availability_asserted")
+        if not isinstance(availability, (int, float)):
+            problems.append(
+                f"{name}: resilience floor is enforced but availability "
+                f"is {availability!r}"
+            )
+        elif isinstance(floor, (int, float)) and availability < floor:
+            problems.append(
+                f"{name}: resilience headline availability {availability} "
+                f"is below its own asserted floor {floor}"
+            )
     return problems
 
 

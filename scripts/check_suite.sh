@@ -57,6 +57,13 @@ make serve-bench-smoke
 # scale), so a broken quantizer or rerank fails `make check`.
 make quant-bench-smoke
 
+# Smoke the chaos harness: a seeded fault storm (worker kills,
+# heartbeat stalls, shm-slot and store-artifact corruption) against
+# the fair-shed + circuit-broken front end, asserting availability,
+# zero hung requests, and answered-request parity — so a resilience
+# regression fails `make check` instead of surfacing in production.
+make chaos-smoke
+
 # Bench-drift guard: the committed trajectory artifacts must stay
 # schema-valid with their headline floors intact.
 make check-bench-artifacts

@@ -40,8 +40,12 @@ import numpy as np
 #: at the headline deadline, with a req/s-vs-workers headline);
 #: version 4 added the mandatory ``quant`` block (uint8 radio-map scan
 #: vs the monolithic float32 brute scan, with req/s, recall-at-k, and
-#: bytes-per-fingerprint floors).
-SERVE_BENCH_SCHEMA = "repro-serve-bench/4"
+#: bytes-per-fingerprint floors); version 5 added the mandatory
+#: ``resilience`` block (chaos harness: availability under injected
+#: worker kills / heartbeat stalls / store corruption / slow batches,
+#: per-tenant shed fairness, circuit-breaker counters, with floors on
+#: availability, hung requests, and answered-request parity).
+SERVE_BENCH_SCHEMA = "repro-serve-bench/5"
 
 #: Schema-tag prefix shared by every serve-bench payload version; the
 #: validator dispatcher routes on it and rejects unknown versions.
@@ -134,6 +138,35 @@ class ServePreset:
     #: Ceiling asserted on quantized-vs-float32 scan-state bytes per
     #: fingerprint (uint8 codes are exactly 1/4 of float32); 0 disables.
     quant_max_bytes_ratio: float = 0.25
+    #: Chaos-harness knobs for the ``resilience`` block.  The chaos
+    #: workload is sized independently of the throughput sweeps — it
+    #: validates *outcome accounting* under injected faults (every
+    #: request answered correctly, cleanly shed, or loudly failed),
+    #: not speed, so every preset shares seconds-scale defaults.
+    chaos_queries: int = 480
+    chaos_workers: int = 2
+    chaos_kills: int = 4
+    chaos_stalls: int = 1
+    chaos_store_corruptions: int = 1
+    #: Queue bound for the overload sub-phase; small enough that the
+    #: single-threaded submission burst forces real shedding.
+    chaos_max_pending: int = 32
+    #: Seeded fraction of fallback-path batches served slowly (latency
+    #: pressure without changing any prediction) and the stall length.
+    chaos_delay_rate: float = 0.05
+    chaos_delay_s: float = 0.01
+    #: SIGSTOP length; must exceed ``chaos_heartbeat_timeout_s`` so a
+    #: stalled worker is detected as wedged, not ridden out.
+    chaos_stall_s: float = 0.8
+    chaos_heartbeat_timeout_s: float = 0.4
+    #: Deliberately tight respawn token bucket: the kill storm is meant
+    #: to exhaust it so the circuit breaker trips and the front end
+    #: degrades to the thread path (the recovery story under test).
+    chaos_respawn_budget: int = 2
+    chaos_respawn_window_s: float = 20.0
+    #: Floor asserted on (answered-correct + cleanly-shed) / submitted
+    #: across the whole chaos run; 0 disables.
+    chaos_min_availability: float = 0.99
 
 
 PRESETS = {
@@ -216,6 +249,9 @@ class ServeBenchResult:
     #: Quantized uint8 radio-map scan vs the monolithic float32 brute
     #: scan (schema v4; always present in emitted payloads).
     quant: dict = field(default_factory=dict)
+    #: Chaos harness: availability, shed fairness, and breaker/failover
+    #: counters under injected faults (schema v5; always present).
+    resilience: dict = field(default_factory=dict)
 
     @property
     def headline(self) -> dict:
@@ -243,6 +279,7 @@ class ServeBenchResult:
             "headline": dict(self.headline),
             "workers": copy.deepcopy(self.workers),
             "quant": copy.deepcopy(self.quant),
+            "resilience": copy.deepcopy(self.resilience),
         }
         if self.store is not None:
             payload["store"] = dict(self.store)
@@ -351,6 +388,41 @@ class ServeBenchResult:
                 f"position error {q['quant_error_m']:.2f} m vs oracle "
                 f"{q['oracle_error_m']:.2f} m "
                 f"(delta {q['error_delta_m']:+.3f} m)"
+            )
+        if self.resilience:
+            r = self.resilience
+            f, o = r["faults"], r["outcomes"]
+            lines.append(
+                f"\nresilience: {r['queries']} chaos queries through "
+                f"{r['workers']} workers "
+                f"(shm={'yes' if r['shm_available'] else 'no'}, "
+                f"max_pending={r['max_pending']})"
+            )
+            lines.append(
+                f"  faults  : kills={f['kills']} stalls={f['stalls']} "
+                f"slot_corruptions={f['slot_corruptions']} "
+                f"store_corruptions={f['store_corruptions']} "
+                f"delayed_batches={f['delayed_batches']}"
+            )
+            lines.append(
+                f"  outcomes: answered={o['answered']} shed={o['shed']} "
+                f"failed={o['failed']} hung={o['hung']}; "
+                f"respawns={r['pool']['respawns']} "
+                f"heals={r['pool']['store_heals']} "
+                f"trips={r['breaker']['trips']} "
+                f"failovers={r['executor']['failovers']} "
+                f"(breaker now {r['breaker']['state']})"
+            )
+            head = r["headline"]
+            lines.append(
+                f"  headline: availability {head['availability']:.4f} "
+                f"(floor {head['min_availability_asserted']:.2f}"
+                + ("" if head["floor_enforced"] else ", not enforced")
+                + f"), parity on all answered requests "
+                f"{'ok' if head['parity_ok'] else 'FAILED'}, "
+                f"hot-tenant shed rate {r['shed']['hot_rate']:.2f} vs "
+                f"lightest {r['shed']['light_rate']:.2f} "
+                f"(fairness {'ok' if head['fairness_ok'] else 'INVERTED'})"
             )
         return "\n".join(lines)
 
@@ -899,6 +971,305 @@ def _quant_block(config: ServePreset, seed: int, min_speedup: float) -> dict:
     }
 
 
+#: Backend the chaos harness serves (sharded, so the worker tier — the
+#: fault surface under test — actually runs).
+CHAOS_LEG_MODEL = "knn"
+
+
+def _resilience_block(
+    config: ServePreset,
+    train,
+    queries: np.ndarray,
+    seed: int,
+    min_availability: float,
+) -> dict:
+    """Chaos harness: the serving tier under a seeded fault storm.
+
+    Runs the preset's chaos workload through a fully armored front end
+    — :class:`~repro.serving.resilience.FairShedAdmission` load
+    shedding, a :class:`~repro.serving.resilience.CircuitBreaker`-gated
+    :class:`~repro.serving.resilience.FallbackExecutor` degrading the
+    shard-worker tier to the in-process thread path — while a seeded
+    :class:`~repro.serving.faults.FaultInjector` kills workers, stalls
+    heartbeats (SIGSTOP past the heartbeat timeout), corrupts a store
+    artifact mid-run (forcing the quarantine + warm-start self-heal
+    path on the next respawn), smashes result-ring slots, and slows a
+    fraction of fallback batches.
+
+    Two sub-phases share one front end and one outcome ledger:
+
+    1. **overload** — a single-threaded submission burst of half the
+       chaos queries against a small ``chaos_max_pending`` bound, with
+       a hot tenant offering ~10x each light tenant's load; exercises
+       weighted-fair shedding (the hot tenant absorbs the evictions).
+    2. **fault waves** — the remaining queries in waves, one injected
+       fault per wave, each wave drained before the next fault lands
+       so recovery is actually exercised, not skipped.  The respawn
+       token bucket is deliberately tight (``chaos_respawn_budget``),
+       so the kill storm exhausts it, batches fail over to the thread
+       path, and the breaker trips — the degradation chain end to end.
+
+    Every submitted request must end answered-with-parity or cleanly
+    shed: raises :class:`ServeParityError` on any hung ticket or
+    oracle divergence and :class:`ServeSpeedupError` when availability
+    falls below ``min_availability``.  Without shared memory the storm
+    degrades to the thread path alone (process faults skipped,
+    recorded via ``shm_available``); the floors still apply.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.persistence import ModelStore
+    from repro.serving import ModelCache, dataset_fingerprint
+    from repro.serving.batcher import MicroBatcher
+    from repro.serving.faults import DelayedEstimator, FaultInjector
+    from repro.serving.frontend import (
+        ServingFrontend,
+        ShedError,
+        _BatcherExecutor,
+    )
+    from repro.serving.resilience import (
+        CircuitBreaker,
+        FairShedAdmission,
+        FallbackExecutor,
+    )
+    from repro.serving.shm import shm_available
+    from repro.serving.workers import ShardWorkerPool, WorkerPoolExecutor
+
+    available = shm_available()
+    rng = np.random.default_rng(seed + 7)
+    n_queries = int(config.chaos_queries)
+    chaos_q = queries[rng.integers(0, len(queries), size=n_queries)]
+    # hot tenant offers 10 of every 13 requests; three light tenants
+    # share the rest — the fairness claim is that *they* stay admitted
+    tenant_of = [
+        "hot" if i % 13 < 10 else f"light{i % 3}" for i in range(n_queries)
+    ]
+
+    cleanup_dir = tempfile.mkdtemp(prefix="repro-serve-bench-chaos-")
+    pool = None
+    injector = FaultInjector(seed=seed, stall_s=config.chaos_stall_s)
+    try:
+        store = ModelStore(cleanup_dir)
+        fingerprint = dataset_fingerprint(train)
+        cache = ModelCache(capacity=2, store=store)
+        estimator = cache.get_or_fit(
+            CHAOS_LEG_MODEL,
+            train,
+            fingerprint=fingerprint,
+            shards=config.workers_shards,
+            partitioner="kmeans",
+        )
+        oracle_xy = estimator.predict_batch(chaos_q).coordinates
+
+        breaker = CircuitBreaker(
+            failure_budget=2,
+            window_s=4.0,
+            cooldown_s=0.25,
+            cooldown_cap_s=1.0,
+            seed=seed,
+        )
+        delayed = DelayedEstimator(
+            estimator,
+            rate=config.chaos_delay_rate,
+            delay_s=config.chaos_delay_s,
+            seed=seed,
+        )
+        fallback = _BatcherExecutor(
+            MicroBatcher(delayed, batch_size=config.batch_size)
+        )
+        if available:
+            pool = ShardWorkerPool(
+                estimator,
+                store,
+                fingerprint=fingerprint,
+                n_workers=config.chaos_workers,
+                max_rows=config.batch_size,
+                heartbeat_timeout_s=config.chaos_heartbeat_timeout_s,
+                respawn_budget=config.chaos_respawn_budget,
+                respawn_window_s=config.chaos_respawn_window_s,
+                seed=seed,
+            )
+            executor = FallbackExecutor(
+                WorkerPoolExecutor(pool), fallback, breaker=breaker
+            )
+        else:
+            executor = fallback
+        frontend = ServingFrontend(
+            executor=executor,
+            batch_size=config.batch_size,
+            deadline_ms=10.0,
+            max_pending=config.chaos_max_pending,
+            admission=FairShedAdmission(),
+        )
+
+        outcomes = {"answered": 0, "shed": 0, "failed": 0, "hung": 0}
+        tickets: "list[tuple[int, object]]" = []
+
+        def submit_range(indices) -> None:
+            for i in indices:
+                try:
+                    tickets.append(
+                        (i, frontend.submit(chaos_q[i], tenant=tenant_of[i]))
+                    )
+                except ShedError:
+                    outcomes["shed"] += 1
+
+        def drain(budget_s: float = 60.0) -> None:
+            limit = time.monotonic() + budget_s
+            while time.monotonic() < limit:
+                injector.resume_stalled()
+                if all(ticket.done for _, ticket in tickets):
+                    return
+                time.sleep(0.01)
+
+        # phase 1: overload burst — fairness under pressure, no faults
+        overload_n = n_queries // 2
+        submit_range(range(overload_n))
+
+        # phase 2: fault waves over the remaining queries.  Stalls and
+        # the store corruption come before the kill storm: a stall needs
+        # a live worker to freeze, and corrupting the artifact first
+        # makes the very next respawn warm-start through it (quarantine
+        # + self-heal) while respawn tokens are still available.
+        plan: "list[str | None]" = (
+            ["stall"] * int(config.chaos_stalls)
+            + ["corrupt_store"] * int(config.chaos_store_corruptions)
+            + ["kill"] * int(config.chaos_kills)
+            + [None]  # recovery wave: no fault, just traffic
+        )
+        if pool is None:
+            plan = [None]
+        wave = max(1, (n_queries - overload_n) // len(plan))
+        cursor = overload_n
+        for step, fault in enumerate(plan):
+            if fault == "kill":
+                injector.kill_worker(pool)
+                injector.corrupt_result_slot(pool)  # best-effort slot rot
+            elif fault == "stall":
+                injector.stall_worker(pool)
+            elif fault == "corrupt_store":
+                injector.corrupt_store_artifact(store)
+            stop = n_queries if step == len(plan) - 1 else cursor + wave
+            submit_range(range(cursor, stop))
+            cursor = stop
+            drain()
+
+        injector.resume_stalled(force=True)
+        frontend.close(drain=True)
+
+        mismatches = 0
+        for i, ticket in tickets:
+            if not ticket.done:
+                outcomes["hung"] += 1
+                continue
+            try:
+                xy = ticket.result().coordinates[0]
+            except ShedError:  # evicted by fair shedding after admission
+                outcomes["shed"] += 1
+            except Exception:
+                outcomes["failed"] += 1
+            else:
+                outcomes["answered"] += 1
+                if not np.allclose(xy, oracle_xy[i], rtol=0.0, atol=1e-9):
+                    mismatches += 1
+
+        stats = frontend.stats()
+        shed_rates = {}
+        for tenant, counters in sorted(stats.tenants.items()):
+            total = counters["admitted"] + counters["shed"]
+            shed_rates[tenant] = (
+                float(counters["shed"]) / total if total else 0.0
+            )
+        hot_rate = shed_rates.get("hot", 0.0)
+        light_rates = [
+            rate for tenant, rate in shed_rates.items() if tenant != "hot"
+        ]
+        light_rate = min(light_rates) if light_rates else 0.0
+        fairness_ok = all(rate <= hot_rate + 1e-9 for rate in light_rates)
+
+        availability = (
+            outcomes["answered"] - mismatches + outcomes["shed"]
+        ) / max(n_queries, 1)
+        parity_ok = mismatches == 0
+        if outcomes["hung"]:
+            raise ServeParityError(
+                f"{outcomes['hung']} chaos requests never resolved (hung "
+                "tickets after drain-close)"
+            )
+        if not parity_ok:
+            raise ServeParityError(
+                f"{mismatches} answered chaos requests diverge from the "
+                "synchronous oracle"
+            )
+        if min_availability > 0 and availability < min_availability:
+            raise ServeSpeedupError(
+                f"availability under injected faults is {availability:.4f}, "
+                f"below the asserted minimum {min_availability:.2f} "
+                f"(failed={outcomes['failed']}, shed={outcomes['shed']})"
+            )
+        return {
+            "model": CHAOS_LEG_MODEL,
+            "workers": int(config.chaos_workers) if available else 0,
+            "shards": int(config.workers_shards),
+            "shm_available": bool(available),
+            "queries": int(n_queries),
+            "max_pending": int(config.chaos_max_pending),
+            "faults": {
+                "kills": int(injector.kills),
+                "stalls": int(injector.stalls),
+                "slot_corruptions": int(injector.slot_corruptions),
+                "store_corruptions": int(injector.store_corruptions),
+                "delayed_batches": int(delayed.n_delays),
+            },
+            "outcomes": dict(outcomes),
+            "availability": float(availability),
+            "parity_ok": parity_ok,
+            "pool": {
+                "respawns": 0 if pool is None else int(pool.respawns),
+                "corrupt_slots": (
+                    0 if pool is None else int(pool.n_corrupt_slots)
+                ),
+                "store_heals": (
+                    0 if pool is None else int(pool.n_store_heals)
+                ),
+            },
+            "breaker": {
+                "state": breaker.state,
+                "trips": int(breaker.n_trips),
+            },
+            "executor": {
+                "failovers": int(getattr(executor, "n_failovers", 0)),
+                "primary_batches": int(
+                    getattr(executor, "n_primary_batches", 0)
+                ),
+                "fallback_batches": int(
+                    getattr(executor, "n_fallback_batches", 0)
+                ),
+            },
+            "shed": {
+                "rates": shed_rates,
+                "hot_rate": float(hot_rate),
+                "light_rate": float(light_rate),
+                "fairness_ok": bool(fairness_ok),
+            },
+            "headline": {
+                "availability": float(availability),
+                "min_availability_asserted": float(min_availability),
+                "hung": int(outcomes["hung"]),
+                "failed": int(outcomes["failed"]),
+                "parity_ok": parity_ok,
+                "fairness_ok": bool(fairness_ok),
+                "floor_enforced": bool(min_availability > 0),
+            },
+        }
+    finally:
+        injector.resume_stalled(force=True)
+        if pool is not None:
+            pool.close()
+        shutil.rmtree(cleanup_dir, ignore_errors=True)
+
+
 def run_serve_bench(
     preset: str = "fast",
     seed: int = 42,
@@ -912,6 +1283,7 @@ def run_serve_bench(
     workers: "tuple[int, ...] | None" = None,
     workers_min_speedup: "float | None" = None,
     quant_min_speedup: "float | None" = None,
+    chaos_min_availability: "float | None" = None,
     **model_params,
 ) -> ServeBenchResult:
     """Benchmark async serving and assert parity + headline speedup.
@@ -933,8 +1305,14 @@ def run_serve_bench(
     it benchmarks the uint8 radio-map scan against the monolithic
     float32 brute scan on the preset's quant-scale map, asserting
     ``quant_min_speedup`` (preset default; 0 disables) plus the
-    preset's recall and bytes-per-fingerprint floors.  Extra keyword
-    arguments are forwarded to the registered ``model``.
+    preset's recall and bytes-per-fingerprint floors.  The
+    ``resilience`` block (schema v5) always runs as well: a seeded
+    chaos storm (worker kills, heartbeat stalls, shm-slot and
+    store-artifact corruption, slow batches) against the self-protecting
+    front end, asserting zero hung requests, parity on every answered
+    request, and a ``chaos_min_availability`` floor (preset default; 0
+    disables).  Extra keyword arguments are forwarded to the registered
+    ``model``.
     """
     from repro.serving import ModelCache, get
 
@@ -1038,6 +1416,11 @@ def run_serve_bench(
     if quant_min_speedup is None:
         quant_min_speedup = config.quant_min_speedup
     result.quant = _quant_block(config, seed, float(quant_min_speedup))
+    if chaos_min_availability is None:
+        chaos_min_availability = config.chaos_min_availability
+    result.resilience = _resilience_block(
+        config, train, queries, seed, float(chaos_min_availability)
+    )
     if store_dir is not None:
         result.store = _store_leg(
             train, queries, store_dir, float(store_min_speedup)
@@ -1075,7 +1458,7 @@ def validate_serve_bench_payload(payload: dict) -> None:
         )
     for key in (
         "preset", "seed", "workload", "naive", "async", "headline",
-        "workers", "quant",
+        "workers", "quant", "resilience",
     ):
         if key not in payload:
             problems.append(f"missing top-level key {key!r}")
@@ -1253,6 +1636,84 @@ def validate_serve_bench_payload(payload: dict) -> None:
                     f"asserted ceiling {ratio_ceiling} "
                     "(stale or hand-edited artifact?)"
                 )
+    resilience = payload.get("resilience")
+    if not isinstance(resilience, dict):
+        problems.append("resilience must be a dict")
+    else:
+        for key in ("workers", "shards", "queries", "max_pending"):
+            if not _is(resilience.get(key), int):
+                problems.append(f"resilience.{key} must be an int")
+        if not isinstance(resilience.get("shm_available"), bool):
+            problems.append("resilience.shm_available must be a bool")
+        if not _is(resilience.get("availability"), float):
+            problems.append("resilience.availability must be a number")
+        faults = resilience.get("faults")
+        if not isinstance(faults, dict):
+            problems.append("resilience.faults must be a dict")
+        else:
+            for key in (
+                "kills", "stalls", "slot_corruptions", "store_corruptions",
+                "delayed_batches",
+            ):
+                if not _is(faults.get(key), int):
+                    problems.append(f"resilience.faults.{key} must be an int")
+        rout = resilience.get("outcomes")
+        if not isinstance(rout, dict):
+            problems.append("resilience.outcomes must be a dict")
+        else:
+            for key in ("answered", "shed", "failed", "hung"):
+                if not _is(rout.get(key), int):
+                    problems.append(
+                        f"resilience.outcomes.{key} must be an int"
+                    )
+        rhead = resilience.get("headline")
+        if not isinstance(rhead, dict):
+            problems.append("resilience.headline must be a dict")
+        else:
+            for key in (
+                "availability",
+                "min_availability_asserted",
+                "hung",
+                "failed",
+                "parity_ok",
+                "fairness_ok",
+                "floor_enforced",
+            ):
+                if key not in rhead:
+                    problems.append(f"resilience.headline missing {key!r}")
+            if not isinstance(rhead.get("floor_enforced"), bool):
+                problems.append(
+                    "resilience.headline.floor_enforced must be bool"
+                )
+            if rhead.get("parity_ok") is not True:
+                problems.append(
+                    "resilience.headline.parity_ok is not True "
+                    "(answered chaos requests diverged from the oracle)"
+                )
+            if rhead.get("hung") != 0:
+                problems.append(
+                    f"resilience.headline.hung is {rhead.get('hung')}, "
+                    "must be 0 (requests were lost under faults)"
+                )
+            if rhead.get("failed") != 0:
+                problems.append(
+                    f"resilience.headline.failed is {rhead.get('failed')}, "
+                    "must be 0 (requests failed dirty under faults)"
+                )
+            availability = rhead.get("availability")
+            floor = rhead.get("min_availability_asserted")
+            if rhead.get("floor_enforced") is True:
+                if not _is(availability, float):
+                    problems.append(
+                        "resilience.headline.availability must be a number "
+                        "when the floor is enforced"
+                    )
+                elif _is(floor, float) and availability < floor:
+                    problems.append(
+                        f"resilience.headline.availability {availability} "
+                        f"is below the asserted floor {floor} "
+                        "(stale or hand-edited artifact?)"
+                    )
     store = payload.get("store")
     if store is not None:
         if not isinstance(store, dict):

@@ -11,6 +11,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli shard-bench     # sharded vs monolithic kNN index
     python -m repro.cli train-bench     # float32 fast path vs seed training loop
     python -m repro.cli quant-bench     # uint8 radio-map scan vs float32 scan
+    python -m repro.cli chaos-bench     # fault-injection storm vs the serving tier
     python -m repro.cli snapshot --model noble --store models/   # fit + persist
     python -m repro.cli warm-serve --model noble --store models/ # restore + serve
     python -m repro.cli wifi --preset paper --csv trainingData.csv
@@ -54,7 +55,7 @@ def main(argv: "list[str] | None" = None) -> int:
         choices=(
             "wifi", "ipin", "imu", "energy",
             "serve-bench", "shard-bench", "train-bench", "quant-bench",
-            "snapshot", "warm-serve",
+            "chaos-bench", "snapshot", "warm-serve",
         ),
         help="which experiment to run",
     )
@@ -141,12 +142,14 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     smoke_capable = (
-        "train-bench", "serve-bench", "quant-bench", "snapshot", "warm-serve"
+        "train-bench", "serve-bench", "quant-bench", "chaos-bench",
+        "snapshot", "warm-serve",
     )
     if args.experiment not in smoke_capable and args.preset == "smoke":
         raise SystemExit(
             "--preset smoke is only supported by train-bench, "
-            "serve-bench --async, quant-bench, snapshot, and warm-serve"
+            "serve-bench --async, quant-bench, chaos-bench, snapshot, "
+            "and warm-serve"
         )
     runner = {
         "wifi": run_wifi,
@@ -157,6 +160,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "shard-bench": run_shard_bench,
         "train-bench": run_train_bench,
         "quant-bench": run_quant_bench,
+        "chaos-bench": run_chaos_bench,
         "snapshot": run_snapshot,
         "warm-serve": run_warm_serve,
     }[args.experiment]
@@ -500,6 +504,66 @@ def run_quant_bench(args) -> None:
     print(
         f"  position error {block['quant_error_m']:.2f} m vs oracle "
         f"{block['oracle_error_m']:.2f} m (delta {block['error_delta_m']:+.3f} m)"
+    )
+
+
+def run_chaos_bench(args) -> None:
+    """Standalone run of the serve-bench resilience block.
+
+    Drives a seeded fault storm — worker SIGKILLs, SIGSTOP heartbeat
+    stalls, shared-memory slot corruption, store-artifact corruption,
+    and randomly slowed batches — against the self-protecting front end
+    (fair-shed admission, circuit-broken failover to the thread path)
+    and asserts the same floors ``serve-bench --async`` embeds in
+    ``BENCH_serve.json``: zero hung requests, prediction parity on
+    every answered request, and the preset's availability floor
+    (``--min-speedup`` is not used here; the floor comes from the
+    preset's ``chaos_min_availability``).
+    """
+    from repro.bench.serve import PRESETS, _resilience_block, serve_workload
+
+    seed = args.seed if args.seed is not None else 42
+    try:
+        config, train, queries = serve_workload(args.preset, seed)
+        block = _resilience_block(
+            config, train, queries, seed, config.chaos_min_availability
+        )
+    except (ValueError, AssertionError) as error:
+        raise SystemExit(f"chaos-bench: {error}") from None
+    faults, outcomes, head = block["faults"], block["outcomes"], block["headline"]
+    print(
+        f"chaos-bench preset={args.preset} seed={seed}: "
+        f"{block['queries']} queries through {block['workers']} workers "
+        f"(shm={'yes' if block['shm_available'] else 'no'}, "
+        f"max_pending={block['max_pending']})"
+    )
+    print(
+        f"  faults  : kills={faults['kills']} stalls={faults['stalls']} "
+        f"slot_corruptions={faults['slot_corruptions']} "
+        f"store_corruptions={faults['store_corruptions']} "
+        f"delayed_batches={faults['delayed_batches']}"
+    )
+    print(
+        f"  recovery: respawns={block['pool']['respawns']} "
+        f"store_heals={block['pool']['store_heals']} "
+        f"breaker_trips={block['breaker']['trips']} "
+        f"failovers={block['executor']['failovers']} "
+        f"(breaker now {block['breaker']['state']})"
+    )
+    print(
+        f"  outcomes: answered={outcomes['answered']} "
+        f"shed={outcomes['shed']} failed={outcomes['failed']} "
+        f"hung={outcomes['hung']}; hot-tenant shed rate "
+        f"{block['shed']['hot_rate']:.2f} vs lightest "
+        f"{block['shed']['light_rate']:.2f} "
+        f"(fairness {'ok' if head['fairness_ok'] else 'INVERTED'})"
+    )
+    print(
+        f"  availability {head['availability']:.4f} "
+        f"(floor {head['min_availability_asserted']:.2f}"
+        + ("" if head["floor_enforced"] else ", not enforced")
+        + "), parity on all answered requests "
+        + ("ok" if head["parity_ok"] else "FAILED")
     )
 
 

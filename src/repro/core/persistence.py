@@ -350,6 +350,11 @@ def _read_artifact(path) -> "tuple[dict, dict]":
             arrays = {name: archive[name] for name in archive.files}
     except FileNotFoundError:
         raise
+    except OSError:
+        # I/O failures (EIO, stale NFS handle) are transient, not
+        # corruption: propagate as-is so callers can retry instead of
+        # quarantining a healthy file
+        raise
     except Exception as error:
         raise ArtifactError(
             f"cannot read estimator artifact {path}: {error}"
@@ -702,10 +707,16 @@ class ModelStore:
     artifacts cannot shadow fresh data.
 
     ``get`` degrades unreadable artifacts (corrupt, foreign, other
-    schema version) to a miss and reports them via ``warnings`` —
-    serving then re-fits instead of dying, and the write-through on the
-    subsequent insert replaces the bad file.  Use :func:`load_estimator`
-    directly when a hard failure is wanted.
+    schema version) to a miss: the bad file is **quarantined** — renamed
+    aside to ``<name>.corrupt`` so later misses on the same key go
+    straight to a silent re-fit instead of re-reading and re-warning
+    forever — and the one warning is issued at quarantine time.  The
+    write-through on the subsequent insert replaces the artifact under
+    the original name.  Transient I/O errors (``OSError`` that is not
+    file-not-found) are retried ``read_retries`` times before degrading
+    to a miss *without* quarantine — a healthy file must survive an NFS
+    hiccup.  Use :func:`load_estimator` directly when a hard failure is
+    wanted.
 
     Writes are atomic (O_EXCL temp file via ``tempfile.mkstemp`` +
     ``os.replace``), so a crashed writer never leaves a half-written
@@ -715,8 +726,21 @@ class ModelStore:
     the multi-process serving tier's warm-start path relies on.
     """
 
-    def __init__(self, directory: "str | os.PathLike"):
+    def __init__(
+        self,
+        directory: "str | os.PathLike",
+        read_retries: int = 2,
+        retry_delay_s: float = 0.05,
+    ):
+        if read_retries < 0:
+            raise ValueError(f"read_retries must be >= 0, got {read_retries}")
+        if retry_delay_s < 0:
+            raise ValueError(
+                f"retry_delay_s must be >= 0, got {retry_delay_s}"
+            )
         self.directory = os.fspath(directory)
+        self.read_retries = int(read_retries)
+        self.retry_delay_s = float(retry_delay_s)
         os.makedirs(self.directory, exist_ok=True)
 
     def path_for(self, name: str, fingerprint: str, params_key: str) -> str:
@@ -763,23 +787,51 @@ class ModelStore:
         return path
 
     def get(self, name: str, fingerprint: str, params_key: str):
-        """The estimator stored under the triple, or None (soft miss)."""
-        path = self.path_for(name, fingerprint, params_key)
-        try:
-            return load_estimator(
-                path, expected_store_key=(name, fingerprint, params_key)
-            )
-        except FileNotFoundError:
-            return None
-        except ArtifactError as error:
-            import warnings
+        """The estimator stored under the triple, or None (soft miss).
 
-            warnings.warn(
-                f"ignoring unreadable model artifact {path}: {error}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return None
+        A corrupt artifact is quarantined (renamed to ``*.corrupt``)
+        with a single warning; a transient I/O error is retried
+        ``read_retries`` times, then degraded to a miss with a warning
+        but the file is left in place.
+        """
+        import time as _time
+        import warnings
+
+        path = self.path_for(name, fingerprint, params_key)
+        error: "Exception | None" = None
+        for attempt in range(self.read_retries + 1):
+            try:
+                return load_estimator(
+                    path, expected_store_key=(name, fingerprint, params_key)
+                )
+            except FileNotFoundError:
+                return None
+            except ArtifactError as artifact_error:
+                # quarantine: one warning now, silence (a plain miss)
+                # on every later get of this key — the write-through on
+                # the next insert recreates the artifact
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
+                warnings.warn(
+                    f"quarantining unreadable model artifact {path}: "
+                    f"{artifact_error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return None
+            except OSError as os_error:
+                error = os_error
+                if attempt < self.read_retries and self.retry_delay_s:
+                    _time.sleep(self.retry_delay_s)
+        warnings.warn(
+            f"ignoring unreadable model artifact {path} after "
+            f"{self.read_retries + 1} attempts: {error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
 
     def paths(self) -> "list[str]":
         """Paths of every artifact currently in the store, sorted.

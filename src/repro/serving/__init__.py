@@ -35,6 +35,17 @@ The production-facing seam of the repo.  Four pieces compose:
     the front end via ``executor=`` (:class:`WorkerPoolExecutor`) or
     all at once with :func:`make_worker_frontend`, which falls back to
     the thread path when ``workers=0`` or shared memory is unavailable.
+``resilience`` / ``faults``
+    The self-protection layer and the chaos harness that proves it:
+    pluggable :class:`AdmissionPolicy` load shedding on the front end
+    (:class:`FairShedAdmission` — per-tenant weighted-fair shedding
+    with deadline-aware early reject), :class:`CircuitBreaker` +
+    :class:`FallbackExecutor` degrading an unhealthy worker tier to the
+    thread path (and probing it back), :class:`RetryPolicy` for
+    transient store/dispatch failures, and a seeded
+    :class:`FaultInjector` (worker kills, heartbeat stalls, shm slot
+    and store-artifact corruption) driving ``python -m repro.cli
+    chaos-bench``.
 
 Spawn-vs-fork policy
 --------------------
@@ -84,6 +95,7 @@ tier — and writes the ``BENCH_serve.json`` trajectory artifact.
 
 from repro.serving.batcher import MicroBatcher, Ticket
 from repro.serving.cache import CacheStats, ModelCache, dataset_fingerprint
+from repro.serving.faults import DelayedEstimator, FaultInjector
 from repro.serving.frontend import (
     AsyncTicket,
     FrontendClosedError,
@@ -91,6 +103,16 @@ from repro.serving.frontend import (
     QueueFullError,
     RequestTimeoutError,
     ServingFrontend,
+    ShedError,
+)
+from repro.serving.resilience import (
+    AdmissionPolicy,
+    BlockAdmission,
+    CircuitBreaker,
+    FairShedAdmission,
+    FallbackExecutor,
+    RejectAdmission,
+    RetryPolicy,
 )
 from repro.serving.registry import (
     Estimator,
@@ -149,4 +171,14 @@ __all__ = [
     "WorkerPoolError",
     "make_worker_frontend",
     "shm_available",
+    "ShedError",
+    "AdmissionPolicy",
+    "BlockAdmission",
+    "RejectAdmission",
+    "FairShedAdmission",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "FallbackExecutor",
+    "DelayedEstimator",
+    "FaultInjector",
 ]

@@ -118,6 +118,8 @@ class CacheStats:
     size: int
     capacity: int
     disk_hits: int = 0
+    #: Write-throughs that failed even after retries (fit kept serving).
+    spill_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -169,11 +171,20 @@ class ModelCache:
     code that forks around a live cache.)
     """
 
-    def __init__(self, capacity: int = 8, store=None):
+    def __init__(self, capacity: int = 8, store=None, spill_retry=None):
+        from repro.serving.resilience import RetryPolicy
+
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.store = store
+        # transient spill failures (NFS hiccup, briefly full disk) get a
+        # small bounded retry before the write-through is abandoned
+        self.spill_retry = (
+            RetryPolicy(attempts=3, base_delay_s=0.01, max_delay_s=0.1)
+            if spill_retry is None
+            else spill_retry
+        )
         self._entries: "OrderedDict[tuple, Estimator]" = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: "dict[tuple, _InFlightFit]" = {}
@@ -186,6 +197,7 @@ class ModelCache:
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
+        self.spill_failures = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -245,13 +257,21 @@ class ModelCache:
                 estimator.fit(dataset)
                 if self.store is not None:
                     # spill failures (disk full, permissions) must not
-                    # discard a successful fit: the memory tier keeps
-                    # serving, only the warm-start coverage degrades
+                    # discard a successful fit: transient errors get a
+                    # bounded retry, then the memory tier keeps serving
+                    # and only the warm-start coverage degrades
                     try:
-                        self.store.put(name, fingerprint, key[2], estimator)
+                        self.spill_retry.call(
+                            lambda: self.store.put(
+                                name, fingerprint, key[2], estimator
+                            ),
+                            retry_on=(OSError,),
+                        )
                     except Exception as spill_error:
                         import warnings
 
+                        with self._lock:
+                            self.spill_failures += 1
                         warnings.warn(
                             f"model store write-through failed for "
                             f"{name!r}: {spill_error}",
@@ -290,6 +310,7 @@ class ModelCache:
                 size=len(self._entries),
                 capacity=self.capacity,
                 disk_hits=self.disk_hits,
+                spill_failures=self.spill_failures,
             )
 
     def clear(self) -> None:
@@ -302,3 +323,4 @@ class ModelCache:
         with self._lock:
             self._entries.clear()
             self.hits = self.misses = self.evictions = self.disk_hits = 0
+            self.spill_failures = 0

@@ -58,16 +58,34 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.serving.batcher import MicroBatcher
 from repro.serving.registry import Estimator, Prediction
+from repro.serving.resilience import (
+    ADMIT,
+    BLOCK,
+    EVICT,
+    SHED,
+    AdmissionPolicy,
+    BlockAdmission,
+    RejectAdmission,
+)
 
 
 class QueueFullError(RuntimeError):
     """``submit`` rejected: the bounded queue is at ``max_pending``."""
+
+
+class ShedError(QueueFullError):
+    """The admission policy shed this request (clean load shedding).
+
+    Subclasses :class:`QueueFullError` so callers handling the legacy
+    reject path keep working; raised both for arrivals refused at the
+    door and for queued requests evicted by a fairness policy.
+    """
 
 
 class FrontendClosedError(RuntimeError):
@@ -181,18 +199,66 @@ class _BatcherExecutor:
 class _Request:
     """One queued query: its signal, ticket, and clock bookkeeping."""
 
-    __slots__ = ("signal", "ticket", "due", "expires")
+    __slots__ = ("signal", "ticket", "due", "expires", "tenant")
 
-    def __init__(self, signal, ticket, due, expires):
+    def __init__(self, signal, ticket, due, expires, tenant):
         self.signal = signal
         self.ticket = ticket
         self.due = due          # oldest-request flush trigger
         self.expires = expires  # per-request timeout, or None
+        self.tenant = tenant    # admission-policy fairness label
+
+
+class _AdmissionView:
+    """Read surface handed to admission policies (under the lock).
+
+    Policies see queue occupancy, per-tenant pending counts, and the
+    measured per-request service-time estimate — enough for fairness
+    and deadline-aware decisions without touching front-end internals.
+    """
+
+    __slots__ = ("_frontend",)
+
+    def __init__(self, frontend: "ServingFrontend"):
+        self._frontend = frontend
+
+    @property
+    def pending(self) -> int:
+        return len(self._frontend._queue)
+
+    @property
+    def max_pending(self) -> int:
+        return self._frontend.max_pending
+
+    @property
+    def tenant_pending(self) -> "dict[str, int]":
+        return self._frontend._tenant_pending
+
+    @property
+    def service_estimate_s(self) -> "float | None":
+        """EWMA seconds-per-request through the executor (None = cold)."""
+        return self._frontend._service_ewma_s
+
+    def newest_request_of(self, tenant: str):
+        """The most recently queued request of ``tenant`` (or None)."""
+        queue = self._frontend._queue
+        for request in reversed(queue):
+            if request.tenant == tenant:
+                return request
+        return None
 
 
 @dataclass
 class FrontendStats:
-    """Counters exposed by :meth:`ServingFrontend.stats`."""
+    """Counters exposed by :meth:`ServingFrontend.stats`.
+
+    The one operator pane: besides the front end's own lifecycle
+    counters it surfaces the degradation state of everything behind it
+    — worker-pool ``respawns``, the circuit ``breaker_state`` and
+    ``failovers`` of a resilient executor, and the attached model
+    cache's ``disk_hits`` / ``spill_failures`` — so nobody has to poke
+    three objects to know whether the tier is healthy.
+    """
 
     submitted: int
     served: int
@@ -201,6 +267,24 @@ class FrontendStats:
     cancelled: int
     pending: int
     batches: int
+    #: Total requests shed by the admission policy (refused arrivals
+    #: plus queued requests evicted for fairness).
+    shed: int = 0
+    #: Per-tenant ``{"pending": n, "admitted": n, "shed": n}`` counters.
+    tenants: dict = field(default_factory=dict)
+    #: EWMA per-request service time through the executor, in ms
+    #: (None until the first batch lands).
+    service_estimate_ms: "float | None" = None
+    #: Worker-process respawns behind the executor (0 on the thread path).
+    respawns: int = 0
+    #: Circuit-breaker state of a resilient executor (None without one).
+    breaker_state: "str | None" = None
+    #: Batches failed over from the primary executor to its fallback.
+    failovers: int = 0
+    #: Disk-tier restores of the attached model cache (``cache=``).
+    disk_hits: int = 0
+    #: Failed store write-throughs of the attached model cache.
+    spill_failures: int = 0
 
     @property
     def mean_batch_fill(self) -> float:
@@ -238,8 +322,21 @@ class ServingFrontend:
         Bound on queued (not yet served) requests — the backpressure
         limit.
     overflow:
-        Policy at the bound: ``"block"`` makes ``submit`` wait for the
-        worker to drain, ``"reject"`` raises :class:`QueueFullError`.
+        Legacy policy at the bound: ``"block"`` makes ``submit`` wait
+        for the worker to drain, ``"reject"`` raises
+        :class:`QueueFullError`.  Shorthand for the corresponding
+        ``admission`` policy; ignored when ``admission`` is given.
+    admission:
+        Pluggable :class:`~repro.serving.resilience.AdmissionPolicy`
+        consulted on every ``submit`` — e.g.
+        :class:`~repro.serving.resilience.FairShedAdmission` for
+        per-tenant weighted-fair load shedding with deadline-aware
+        early reject.  Default: derived from ``overflow``.
+    cache:
+        Optional :class:`~repro.serving.ModelCache` whose
+        ``disk_hits`` / ``spill_failures`` counters surface in
+        :meth:`stats` (observability only; the front end never touches
+        it otherwise).
     clock:
         Monotonic ``() -> seconds`` callable; defaults to
         ``time.monotonic``.  Inject a fake for deterministic tests.
@@ -260,6 +357,8 @@ class ServingFrontend:
         clock=None,
         start: bool = True,
         executor=None,
+        admission: "AdmissionPolicy | None" = None,
+        cache=None,
     ):
         if (estimator is None) == (executor is None):
             raise ValueError(
@@ -274,6 +373,15 @@ class ServingFrontend:
         if overflow not in ("block", "reject"):
             raise ValueError(
                 f"overflow must be 'block' or 'reject', got {overflow!r}"
+            )
+        if admission is None:
+            admission = (
+                BlockAdmission() if overflow == "block" else RejectAdmission()
+            )
+        elif not isinstance(admission, AdmissionPolicy):
+            raise ValueError(
+                "admission must be an AdmissionPolicy, got "
+                f"{type(admission).__name__}"
             )
         if executor is None:
             # MicroBatcher validates batch_size; the front end is its
@@ -291,6 +399,8 @@ class ServingFrontend:
         self.timeout_ms = None if timeout_ms is None else float(timeout_ms)
         self.max_pending = int(max_pending)
         self.overflow = overflow
+        self.admission = admission
+        self.cache = cache
         self._clock = time.monotonic if clock is None else clock
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)   # worker waits here
@@ -312,6 +422,11 @@ class ServingFrontend:
         self.n_timeouts = 0
         self.n_rejected = 0
         self.n_cancelled = 0
+        self.n_shed = 0
+        self._tenant_pending: "dict[str, int]" = {}
+        self._tenant_stats: "dict[str, dict[str, int]]" = {}
+        self._service_ewma_s: "float | None" = None
+        self._admission_view = _AdmissionView(self)
         self._worker: "threading.Thread | None" = None
         if start:
             self._worker = threading.Thread(
@@ -320,19 +435,55 @@ class ServingFrontend:
             self._worker.start()
 
     # ------------------------------------------------------------- producers
+    def _tenant_counters_locked(self, tenant: str) -> "dict[str, int]":
+        counters = self._tenant_stats.get(tenant)
+        if counters is None:
+            counters = {"admitted": 0, "shed": 0}
+            self._tenant_stats[tenant] = counters
+        return counters
+
+    def _drop_tenant_pending_locked(self, tenant: str) -> None:
+        remaining = self._tenant_pending.get(tenant, 0) - 1
+        if remaining > 0:
+            self._tenant_pending[tenant] = remaining
+        else:
+            self._tenant_pending.pop(tenant, None)
+
+    def _evict_locked(self, victim: _Request) -> None:
+        """Shed a queued request so the admission policy can reuse its slot."""
+        try:
+            self._queue.remove(victim)
+        except ValueError:  # raced out of the queue already
+            return
+        self._drop_tenant_pending_locked(victim.tenant)
+        self.n_shed += 1
+        self._tenant_counters_locked(victim.tenant)["shed"] += 1
+        victim.ticket._fail(
+            ShedError(
+                "request evicted by the admission policy to admit a "
+                "lighter tenant"
+            ),
+            self._clock(),
+        )
+        self._recompute_horizons_locked()
+        self._notify_resolved()
+
     def submit(
         self,
         signal: np.ndarray,
         deadline_ms: "float | None" = None,
         timeout_ms: "float | None" = None,
+        tenant: str = "default",
     ) -> AsyncTicket:
         """Enqueue one raw RSSI row; returns immediately with a ticket.
 
         ``deadline_ms`` / ``timeout_ms`` override the front end's
-        defaults for this request only.  Raises
-        :class:`FrontendClosedError` after :meth:`close`, and
-        :class:`QueueFullError` at the backpressure bound under the
-        ``"reject"`` policy (under ``"block"`` it waits for space).
+        defaults for this request only; ``tenant`` is the fairness
+        label (radio map / backend key) the admission policy sheds by.
+        Raises :class:`FrontendClosedError` after :meth:`close`, and —
+        per the admission policy — either waits for space at the
+        backpressure bound (``BlockAdmission``) or refuses the request
+        with :class:`ShedError` (a :class:`QueueFullError` subclass).
         """
         signal = np.asarray(signal, dtype=float)
         if signal.ndim != 1:
@@ -345,25 +496,47 @@ class ServingFrontend:
         timeout = self.timeout_ms if timeout_ms is None else timeout_ms
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+        timeout_s = None if timeout is None else timeout / 1e3
         with self._lock:
             if self._closed:
                 raise FrontendClosedError("submit on a closed front end")
-            if len(self._queue) >= self.max_pending:
-                if self.overflow == "reject":
+            while True:
+                verb, victim = self.admission.decide(
+                    self._admission_view, tenant, timeout_s
+                )
+                if verb == ADMIT:
+                    break
+                if verb == EVICT:
+                    self._evict_locked(victim)
+                    break  # the arrival takes the victim's slot
+                if verb == SHED:
                     self.n_rejected += 1
-                    raise QueueFullError(
+                    self.n_shed += 1
+                    self._tenant_counters_locked(tenant)["shed"] += 1
+                    raise ShedError(
+                        f"request shed by {type(self.admission).__name__}: "
                         f"{len(self._queue)} requests pending "
                         f"(max_pending={self.max_pending})"
+                    )
+                if verb != BLOCK:
+                    raise RuntimeError(
+                        f"admission policy returned unknown verb {verb!r}"
                     )
                 while len(self._queue) >= self.max_pending and not self._closed:
                     self._space.wait()
                 if self._closed:
                     raise FrontendClosedError("front end closed while blocked")
+                # space opened up (or the policy blocked below the
+                # bound); ask it again against the fresh queue state
             now = self._clock()
             ticket = AsyncTicket(self._resolution, submitted_at=now)
             due = now + deadline
             expires = None if timeout is None else now + timeout / 1e3
-            self._queue.append(_Request(signal, ticket, due=due, expires=expires))
+            self._queue.append(
+                _Request(signal, ticket, due=due, expires=expires, tenant=tenant)
+            )
+            self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
+            self._tenant_counters_locked(tenant)["admitted"] += 1
             if expires is not None and (
                 self._earliest_expiry is None or expires < self._earliest_expiry
             ):
@@ -409,6 +582,7 @@ class ServingFrontend:
         for request in self._queue:
             if request.expires is not None and now >= request.expires:
                 self.n_timeouts += 1
+                self._drop_tenant_pending_locked(request.tenant)
                 request.ticket._fail(
                     RequestTimeoutError("request timed out before it was served"),
                     now,
@@ -445,6 +619,8 @@ class ServingFrontend:
             self._queue.popleft()
             for _ in range(min(self.batch_size, len(self._queue)))
         ]
+        for request in batch:
+            self._drop_tenant_pending_locked(request.tenant)
         self._recompute_horizons_locked()
         return batch
 
@@ -484,6 +660,7 @@ class ServingFrontend:
             self._notify_resolved()
             return
         signals = np.vstack([request.signal for request in accepted])
+        started = self._clock()
         try:
             prediction = self._executor.predict(signals)
         except Exception as error:
@@ -496,8 +673,15 @@ class ServingFrontend:
         for i, request in enumerate(accepted):
             request.ticket._resolve(prediction.take([i]), now)
         self._notify_resolved()
+        per_request = max(now - started, 0.0) / len(accepted)
         with self._lock:
             self.n_served += len(accepted)
+            # EWMA per-request service time feeds the admission policy's
+            # deadline-aware early reject (alpha=0.2: smooth but live)
+            if self._service_ewma_s is None:
+                self._service_ewma_s = per_request
+            else:
+                self._service_ewma_s += 0.2 * (per_request - self._service_ewma_s)
 
     def _worker_loop(self) -> None:
         while True:
@@ -558,6 +742,7 @@ class ServingFrontend:
                         request.ticket._fail(
                             FrontendClosedError("cancelled at shutdown"), now
                         )
+                    self._tenant_pending.clear()
                     self._earliest_due = None
                     self._earliest_expiry = None
                     if cancelled:
@@ -591,8 +776,31 @@ class ServingFrontend:
             return len(self._queue)
 
     def stats(self) -> FrontendStats:
-        """Current lifecycle counters (see :class:`FrontendStats`)."""
+        """Current lifecycle counters (see :class:`FrontendStats`).
+
+        Besides the front end's own counters this duck-types into the
+        executor and the attached cache for the degradation pane:
+        ``respawns`` (a worker pool behind the executor),
+        ``breaker_state`` / ``failovers`` (a
+        :class:`~repro.serving.resilience.FallbackExecutor`), and
+        ``disk_hits`` / ``spill_failures`` (the ``cache=``).
+        """
         with self._lock:
+            executor = self._executor
+            breaker = getattr(executor, "breaker", None)
+            respawns = getattr(executor, "respawns", None)
+            if respawns is None:
+                pool = getattr(executor, "pool", None)
+                respawns = getattr(pool, "respawns", 0)
+            tenants = {
+                tenant: {
+                    "pending": self._tenant_pending.get(tenant, 0),
+                    "admitted": counters["admitted"],
+                    "shed": counters["shed"],
+                }
+                for tenant, counters in self._tenant_stats.items()
+            }
+            ewma = self._service_ewma_s
             return FrontendStats(
                 submitted=self.n_submitted,
                 served=self.n_served,
@@ -600,7 +808,17 @@ class ServingFrontend:
                 rejected=self.n_rejected,
                 cancelled=self.n_cancelled,
                 pending=len(self._queue),
-                batches=self._executor.n_batches,
+                batches=executor.n_batches,
+                shed=self.n_shed,
+                tenants=tenants,
+                service_estimate_ms=None if ewma is None else ewma * 1e3,
+                respawns=int(respawns or 0),
+                breaker_state=None if breaker is None else breaker.state,
+                failovers=int(getattr(executor, "n_failovers", 0)),
+                disk_hits=int(getattr(self.cache, "disk_hits", 0) or 0),
+                spill_failures=int(
+                    getattr(self.cache, "spill_failures", 0) or 0
+                ),
             )
 
     def __enter__(self) -> "ServingFrontend":

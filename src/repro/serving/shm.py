@@ -21,7 +21,10 @@ publishes by bumping ``head`` last; the consumer copies the slot out
 and releases it by bumping ``tail`` last.  Every push stamps the slot
 with its ``batch_id``, so a consumer can discard stale slots left over
 from a batch that was re-dispatched after a worker crash — buffer reuse
-can never surface an old batch's rows as a fresh result.
+can never surface an old batch's rows as a fresh result.  Every push
+also stamps a payload **checksum** into the header's fourth word; a pop
+whose slot fails verification returns :data:`CORRUPT_SLOT` instead of
+corrupted rows, and the caller re-dispatches.
 
 Cross-process visibility relies on each int64 counter store being a
 single aligned write (numpy scalar assignment) and on the payload
@@ -54,10 +57,37 @@ CTRL_STOP = 0       #: parent sets 1 to request a clean worker exit
 CTRL_HEARTBEAT = 1  #: worker increments every serve-loop iteration
 CTRL_READY = 2      #: worker sets 1 once warm-started, -1 on a failed start
 
-#: int64 words in a slot header: (batch_id, n_rows, extra, reserved).
+#: int64 words in a slot header: (batch_id, n_rows, extra, checksum).
 _HEADER_WORDS = 4
 
 _INT64 = np.dtype(np.int64)
+
+#: Sentinel returned by ``try_pop``/``pop`` when a published slot fails
+#: its payload checksum — the transport detected corruption (cosmic-ray
+#: class, or a fault injector) instead of handing back silently wrong
+#: rows.  The slot is already released; the caller decides whether to
+#: re-dispatch.
+CORRUPT_SLOT = object()
+
+_CHECKSUM_MASK = 0x7FFFFFFFFFFFFFFF
+
+
+def _slot_checksum(batch_id: int, n_rows: int, extra: int, arrays) -> int:
+    """Cheap order-sensitive digest of one slot's header + payloads.
+
+    Payload bytes are folded as int64 sums (both ring dtypes are 8-byte,
+    so the reinterpreting view is exact and allocation-free); int64
+    wraparound is deterministic on both sides of the ring, which is all
+    a corruption check needs.  Not cryptographic — it guards against
+    bit rot and fault injection, not adversaries.
+    """
+    total = (batch_id * 1000003 + n_rows * 8191 + extra * 131) & _CHECKSUM_MASK
+    for array in arrays:
+        if array.size:
+            with np.errstate(over="ignore"):
+                folded = int(array.view(_INT64).sum(dtype=np.int64))
+            total ^= folded & _CHECKSUM_MASK
+    return total
 
 
 def shm_available() -> bool:
@@ -193,11 +223,19 @@ class _Ring:
         self._headers[slot, 0] = batch_id
         self._headers[slot, 1] = n_rows
         self._headers[slot, 2] = extra
+        # digest what actually landed in shared memory, not the source
+        # arrays (assignment may have cast them)
+        self._headers[slot, 3] = _slot_checksum(
+            batch_id, n_rows, extra,
+            [payload[slot, :n_rows] for payload in self._payloads],
+        )
         self._counters[0] = head + 1  # publish last
         return True
 
     def try_pop(self):
-        """``(batch_id, n_rows, extra, *copies)`` or None when empty."""
+        """``(batch_id, n_rows, extra, *copies)``, None when empty, or
+        :data:`CORRUPT_SLOT` when the slot fails its checksum (the slot
+        is released either way)."""
         tail = int(self._counters[1])
         if int(self._counters[0]) - tail <= 0:
             return None
@@ -205,8 +243,11 @@ class _Ring:
         batch_id = int(self._headers[slot, 0])
         n_rows = int(self._headers[slot, 1])
         extra = int(self._headers[slot, 2])
+        stored = int(self._headers[slot, 3])
         copies = tuple(payload[slot, :n_rows].copy() for payload in self._payloads)
         self._counters[1] = tail + 1  # release the slot last
+        if stored != _slot_checksum(batch_id, n_rows, extra, copies):
+            return CORRUPT_SLOT
         return (batch_id, n_rows, extra) + copies
 
     def push(self, batch_id, n_rows, *arrays, extra=0, timeout=None,

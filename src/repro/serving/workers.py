@@ -43,12 +43,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 
 import numpy as np
 
 from repro.serving.registry import Prediction
-from repro.serving.shm import RingSpec, WorkerChannel, _spin, shm_available
+from repro.serving.shm import (
+    CORRUPT_SLOT,
+    RingSpec,
+    WorkerChannel,
+    _spin,
+    shm_available,
+)
 
 #: Worker processes always use the spawn start method (fresh
 #: interpreter, no inherited locks); see the package docstring.
@@ -95,6 +102,8 @@ def _worker_main(
             )
             if item is None:
                 continue
+            if item is CORRUPT_SLOT:
+                continue  # corrupted query slot: parent re-dispatches
             batch_id, n_rows, k, queries = item
             distances, indices = index.scan_shards(
                 shard_ids, queries, min(k, k_slot)
@@ -122,7 +131,7 @@ class _WorkerHandle:
     """Parent-side state of one worker: process, channel, shard slice."""
 
     __slots__ = ("worker_id", "shard_ids", "channel", "process",
-                 "last_heartbeat", "last_beat_at")
+                 "last_heartbeat", "last_beat_at", "consecutive_respawns")
 
     def __init__(self, worker_id, shard_ids, channel):
         self.worker_id = worker_id
@@ -131,6 +140,7 @@ class _WorkerHandle:
         self.process = None
         self.last_heartbeat = -1
         self.last_beat_at = 0.0
+        self.consecutive_respawns = 0
 
 
 def _partition_shards(sizes: "list[int]", n_workers: int) -> "list[list[int]]":
@@ -177,6 +187,18 @@ class ShardWorkerPool:
         A worker whose heartbeat stalls this long mid-gather is
         declared dead and respawned even if the process object still
         reports alive (wedged child).
+    respawn_budget / respawn_window_s:
+        Token bucket bounding respawn storms: at most ``respawn_budget``
+        respawns per rolling ``respawn_window_s`` window; past the
+        budget :class:`WorkerPoolError` is raised instead of respawning
+        (the tier is unhealthy — let a circuit breaker degrade).
+    respawn_backoff_s / respawn_backoff_cap_s:
+        Capped exponential backoff (with seeded jitter) between
+        consecutive respawns of the *same* worker, so a crash-looping
+        child does not hot-spin the spawn path.
+    dispatch_retries:
+        Bound on re-dispatches of one in-flight batch to a respawned
+        worker before the batch fails with :class:`WorkerPoolError`.
     """
 
     def __init__(
@@ -190,12 +212,53 @@ class ShardWorkerPool:
         spawn_timeout_s: float = 60.0,
         batch_timeout_s: float = 60.0,
         heartbeat_timeout_s: float = 10.0,
+        respawn_budget: int = 8,
+        respawn_window_s: float = 60.0,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_cap_s: float = 2.0,
+        dispatch_retries: int = 3,
+        seed: int = 0,
     ):
         from repro.serving.registry import params_key as canonical_params_key
         from repro.sharding.index import ShardedKNNIndex
 
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        # timeouts first, before any estimator probing: a non-positive
+        # timeout used to construct silently and disable wedge detection
+        if spawn_timeout_s <= 0:
+            raise ValueError(
+                f"spawn_timeout_s must be > 0, got {spawn_timeout_s}"
+            )
+        if batch_timeout_s <= 0:
+            raise ValueError(
+                f"batch_timeout_s must be > 0, got {batch_timeout_s}"
+            )
+        if heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0, got {heartbeat_timeout_s}"
+            )
+        if respawn_budget < 1:
+            raise ValueError(
+                f"respawn_budget must be >= 1, got {respawn_budget}"
+            )
+        if respawn_window_s <= 0:
+            raise ValueError(
+                f"respawn_window_s must be > 0, got {respawn_window_s}"
+            )
+        if respawn_backoff_s < 0:
+            raise ValueError(
+                f"respawn_backoff_s must be >= 0, got {respawn_backoff_s}"
+            )
+        if respawn_backoff_cap_s < respawn_backoff_s:
+            raise ValueError(
+                "respawn_backoff_cap_s must be >= respawn_backoff_s, got "
+                f"{respawn_backoff_cap_s}"
+            )
+        if dispatch_retries < 0:
+            raise ValueError(
+                f"dispatch_retries must be >= 0, got {dispatch_retries}"
+            )
         if getattr(estimator, "registry_name", None) != "knn":
             raise WorkerPoolError(
                 "ShardWorkerPool serves the 'knn' backend; got "
@@ -226,6 +289,14 @@ class ShardWorkerPool:
         self.spawn_timeout_s = float(spawn_timeout_s)
         self.batch_timeout_s = float(batch_timeout_s)
         self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.respawn_budget = int(respawn_budget)
+        self.respawn_window_s = float(respawn_window_s)
+        self.respawn_backoff_s = float(respawn_backoff_s)
+        self.respawn_backoff_cap_s = float(respawn_backoff_cap_s)
+        self.dispatch_retries = int(dispatch_retries)
+        self._rng = random.Random(seed)
+        self._respawn_tokens = float(respawn_budget)
+        self._respawn_refill_at = time.monotonic()
         self.spec = RingSpec(
             n_slots=n_slots,
             max_rows=max_rows,
@@ -236,6 +307,8 @@ class ShardWorkerPool:
         self._batch_counter = 0
         self.respawns = 0
         self.n_batches = 0
+        self.n_corrupt_slots = 0
+        self.n_store_heals = 0
         self._closed = False
 
         # the workers restore from disk: make sure the artifact exists
@@ -299,16 +372,90 @@ class ShardWorkerPool:
                 f"shard worker {handle.worker_id} {detail}"
             )
 
+    def _spend_respawn_token(self) -> None:
+        """Charge the respawn token bucket; raise when the budget is dry.
+
+        Tokens refill continuously at ``respawn_budget`` per
+        ``respawn_window_s`` — a steady trickle of crashes is absorbed,
+        a storm exhausts the bucket and turns into
+        :class:`WorkerPoolError` so a circuit breaker above can degrade
+        to the thread path instead of respawning forever.
+        """
+        now = time.monotonic()
+        elapsed = now - self._respawn_refill_at
+        if elapsed > 0:
+            self._respawn_tokens = min(
+                float(self.respawn_budget),
+                self._respawn_tokens
+                + elapsed * self.respawn_budget / self.respawn_window_s,
+            )
+        self._respawn_refill_at = now
+        if self._respawn_tokens < 1.0:
+            raise WorkerPoolError(
+                f"respawn budget exhausted ({self.respawn_budget} per "
+                f"{self.respawn_window_s:.0f}s window); worker tier is "
+                "unhealthy"
+            )
+        self._respawn_tokens -= 1.0
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        """Make sure a worker process is really gone before respawning.
+
+        SIGTERM is never delivered to a SIGSTOPped child, so a wedged
+        (stopped) worker must be escalated to SIGKILL — which stopped
+        processes cannot block — before its rings are reset.
+        """
+        process = handle.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=1.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+
+    def _spawn_ready(self, handle: _WorkerHandle) -> None:
+        """Spawn + warm-start, self-healing a quarantined artifact once.
+
+        A worker that cannot restore usually means the on-disk artifact
+        was corrupted (and quarantined by the store on read).  The
+        parent still holds the fitted estimator, so re-write the
+        artifact and retry once before declaring the tier unhealthy.
+        """
+        self._spawn(handle)
+        try:
+            self._wait_ready(handle)
+        except WorkerPoolError:
+            self.store.put(
+                self.backend, self.fingerprint, self.params_key, self.estimator
+            )
+            self.n_store_heals += 1
+            self._reap(handle)
+            self._spawn(handle)
+            self._wait_ready(handle)
+
     def _respawn(self, handle: _WorkerHandle) -> None:
         """Replace a dead/wedged worker; its rings are reset, so any
-        in-flight batch must be re-dispatched by the caller."""
-        if handle.process is not None:
-            if handle.process.is_alive():
-                handle.process.terminate()
-            handle.process.join(timeout=5.0)
+        in-flight batch must be re-dispatched by the caller.
+
+        Bounded by the pool-wide token bucket (respawn storms raise
+        :class:`WorkerPoolError`) and paced by capped exponential
+        backoff per worker, with seeded jitter so several crash-looping
+        workers do not respawn in lockstep.
+        """
+        self._spend_respawn_token()
+        self._reap(handle)
+        if self.respawn_backoff_s and handle.consecutive_respawns:
+            backoff = min(
+                self.respawn_backoff_cap_s,
+                self.respawn_backoff_s
+                * (2.0 ** (handle.consecutive_respawns - 1)),
+            )
+            time.sleep(backoff * (1.0 + 0.25 * self._rng.random()))
+        handle.consecutive_respawns += 1
         self.respawns += 1
-        self._spawn(handle)
-        self._wait_ready(handle)
+        self._spawn_ready(handle)
 
     def _dead(self, handle: _WorkerHandle) -> bool:
         """Crash/wedge detection: the heartbeat slot plus liveness."""
@@ -334,6 +481,10 @@ class ShardWorkerPool:
                 handle.process.join(timeout=5.0)
                 if handle.process.is_alive():
                     handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+                if handle.process.is_alive():
+                    # a SIGSTOPped child ignores SIGTERM; SIGKILL does not
+                    handle.process.kill()
                     handle.process.join(timeout=5.0)
         for handle in self.workers:
             handle.channel.close()
@@ -424,17 +575,44 @@ class ShardWorkerPool:
         """One worker's ``(distances, indices)`` for ``batch_id``.
 
         Discards stale slots from pre-respawn incarnations; a worker
-        that dies mid-batch is respawned and the batch re-dispatched.
+        that dies mid-batch is respawned and the batch re-dispatched —
+        at most ``dispatch_retries`` times (each retry spends a respawn
+        token when the worker is dead) before the batch fails with
+        :class:`WorkerPoolError`.  A checksum-failed result slot
+        (:data:`~repro.serving.shm.CORRUPT_SLOT`) is counted and the
+        batch re-dispatched to the (healthy) worker — never merged.
         """
         deadline = time.monotonic() + self.batch_timeout_s
+        redispatches = 0
         while True:
             item = handle.channel.results.try_pop()
+            if item is CORRUPT_SLOT:
+                # payload failed its checksum: the data is gone but the
+                # worker is healthy — recompute instead of respawn
+                self.n_corrupt_slots += 1
+                redispatches += 1
+                if redispatches > self.dispatch_retries:
+                    raise WorkerPoolError(
+                        f"shard worker {handle.worker_id} failed batch "
+                        f"{batch_id} after {self.dispatch_retries} "
+                        "re-dispatches (corrupt result slots)"
+                    )
+                self._dispatch(handle, batch_id, queries, k)
+                continue
             if item is not None:
                 result_id, _n_rows, _extra, distances, indices = item
                 if result_id == batch_id:
+                    handle.consecutive_respawns = 0
                     return distances, indices
                 continue  # stale batch from before a crash: drop it
             if self._dead(handle):
+                redispatches += 1
+                if redispatches > self.dispatch_retries:
+                    raise WorkerPoolError(
+                        f"shard worker {handle.worker_id} lost batch "
+                        f"{batch_id} after {self.dispatch_retries} "
+                        "re-dispatches"
+                    )
                 self._respawn(handle)
                 self._dispatch(handle, batch_id, queries, k)
                 continue

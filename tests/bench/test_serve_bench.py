@@ -378,3 +378,99 @@ class TestWorkersBlock:
         del payload["workers"]["headline"]["floor_enforced"]
         with pytest.raises(ValueError, match="floor_enforced"):
             validate_serve_bench_payload(payload)
+
+
+class TestResilienceBlock:
+    """The chaos-harness leg (schema v5): emission + validation."""
+
+    def test_block_emitted_and_valid(self, smoke_result):
+        payload = smoke_result.payload()
+        validate_serve_bench_payload(payload)
+        resilience = payload["resilience"]
+        preset = PRESETS["smoke"]
+        assert resilience["queries"] == preset.chaos_queries
+        assert resilience["max_pending"] == preset.chaos_max_pending
+        outcomes = resilience["outcomes"]
+        # every submitted request is accounted for, none lost or dirty
+        assert outcomes["answered"] + outcomes["shed"] == preset.chaos_queries
+        assert outcomes["failed"] == 0
+        assert outcomes["hung"] == 0
+        head = resilience["headline"]
+        assert head["availability"] >= preset.chaos_min_availability
+        assert head["parity_ok"] is True
+        assert head["floor_enforced"] is True
+        if resilience["shm_available"]:
+            # the storm actually landed: workers died and recovery ran
+            assert resilience["faults"]["kills"] >= 1
+            assert (
+                resilience["pool"]["respawns"]
+                + resilience["executor"]["failovers"]
+            ) >= 1
+
+    def test_hot_tenant_sheds_more_than_light_tenants(self, smoke_result):
+        shed = smoke_result.resilience["shed"]
+        assert shed["fairness_ok"] is True
+        # the 10x tenant absorbs the evictions; every light tenant keeps
+        # a strictly lower shed rate under the same overload burst
+        for tenant, rate in shed["rates"].items():
+            if tenant != "hot":
+                assert rate <= shed["hot_rate"]
+
+    def test_report_mentions_the_chaos_storm(self, smoke_result):
+        report = smoke_result.report()
+        assert "resilience:" in report
+        assert "availability" in report and "faults" in report
+
+    def test_impossible_availability_floor_raises(self):
+        from repro.bench.serve import _resilience_block, serve_workload
+
+        config, train, queries = serve_workload("smoke", 9)
+        with pytest.raises(ServeSpeedupError, match="availability"):
+            _resilience_block(config, train, queries, 9, 2.0)
+
+    def test_validator_rejects_missing_block(self, smoke_result):
+        payload = smoke_result.payload()
+        del payload["resilience"]
+        with pytest.raises(ValueError, match="resilience"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_hung_requests(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["resilience"]["headline"]["hung"] = 3
+        with pytest.raises(ValueError, match="hung"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_dirty_failures(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["resilience"]["headline"]["failed"] = 1
+        with pytest.raises(ValueError, match="failed"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_failed_parity(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["resilience"]["headline"]["parity_ok"] = False
+        with pytest.raises(ValueError, match="parity_ok"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_enforced_floor_violation(self, smoke_result):
+        payload = smoke_result.payload()
+        head = payload["resilience"]["headline"]
+        head["floor_enforced"] = True
+        head["min_availability_asserted"] = 0.99
+        head["availability"] = 0.5
+        with pytest.raises(ValueError, match="below the asserted floor"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_missing_headline_key(self, smoke_result):
+        payload = smoke_result.payload()
+        del payload["resilience"]["headline"]["min_availability_asserted"]
+        with pytest.raises(ValueError, match="min_availability_asserted"):
+            validate_serve_bench_payload(payload)
+
+    def test_chaos_bench_cli_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos-bench", "--preset", "smoke", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "chaos-bench preset=smoke" in out

@@ -242,13 +242,17 @@ class TestReviewHardening:
         concat[0] = 10**9  # points far outside the map
         arrays["index.shard_concat"] = concat
         np.savez_compressed(path, **arrays)
-        with pytest.warns(RuntimeWarning, match="unreadable"):
-            assert store.get(name, fingerprint, pkey) is None
-        # the same corruption through load_estimator is a hard ArtifactError
+        # the corruption through load_estimator is a hard ArtifactError
+        # (checked first: store.get quarantines the file away below)
         from repro.core.persistence import ArtifactError, load_estimator
 
         with pytest.raises(ArtifactError, match="incomplete|out-of-range"):
             load_estimator(path, expected_store_key=(name, fingerprint, pkey))
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert store.get(name, fingerprint, pkey) is None
+        # quarantined aside, not deleted: forensics keep the bad bytes
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
 
     def test_orphaned_tmp_files_are_not_artifacts(self, store, train):
         fitted = create("knn", k=3).fit(train)
@@ -330,3 +334,92 @@ print("writer done")
         )
         name, fingerprint, pkey = _key_of("knn", train, k=1)
         assert store.get(name, fingerprint, pkey) is not None
+
+
+class TestRetryAndQuarantine:
+    """Transient I/O vs corruption: retried reads, one-shot quarantine.
+
+    The store's contract (ISSUE 8 retry discipline): an ``OSError``
+    that is not file-not-found is *transient* — retried
+    ``read_retries`` times and never quarantined (a healthy artifact
+    must survive an NFS hiccup) — while a corrupt artifact is
+    quarantined exactly once and every later miss on that key is
+    silent.
+    """
+
+    def test_validates_retry_parameters(self, tmp_path):
+        with pytest.raises(ValueError, match="read_retries"):
+            ModelStore(tmp_path, read_retries=-1)
+        with pytest.raises(ValueError, match="retry_delay_s"):
+            ModelStore(tmp_path, retry_delay_s=-0.1)
+
+    def test_quarantine_warns_once_then_misses_silently(self, store, train):
+        import warnings
+
+        fitted = create("knn", k=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        with open(path, "r+b") as handle:
+            handle.seek(32)
+            handle.write(b"\xff" * 64)
+        with pytest.warns(RuntimeWarning, match="quarantining"):
+            assert store.get(name, fingerprint, pkey) is None
+        assert os.path.exists(path + ".corrupt")
+        # every later get of the quarantined key is a *silent* miss:
+        # no re-read of the bad file, no warning spam
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(name, fingerprint, pkey) is None
+            assert store.get(name, fingerprint, pkey) is None
+
+    def test_transient_oserror_is_retried_not_quarantined(
+        self, tmp_path, train, monkeypatch
+    ):
+        from repro.core import persistence
+
+        store = ModelStore(tmp_path / "s", retry_delay_s=0.0)
+        fitted = create("knn", k=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        real = persistence.load_estimator
+        attempts = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("nfs hiccup")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(persistence, "load_estimator", flaky)
+        restored = store.get(name, fingerprint, pkey)
+        assert restored is not None and attempts["n"] == 2
+        # the healthy file was never punished for the flake
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_persistent_oserror_degrades_without_quarantine(
+        self, tmp_path, train, monkeypatch
+    ):
+        from repro.core import persistence
+
+        store = ModelStore(
+            tmp_path / "s", read_retries=2, retry_delay_s=0.0
+        )
+        fitted = create("knn", k=3).fit(train)
+        name, fingerprint, pkey = _key_of("knn", train, k=3)
+        path = store.put(name, fingerprint, pkey, fitted)
+        attempts = {"n": 0}
+
+        def dead_disk(*_args, **_kwargs):
+            attempts["n"] += 1
+            raise OSError("i/o error")
+
+        monkeypatch.setattr(persistence, "load_estimator", dead_disk)
+        with pytest.warns(RuntimeWarning, match="after 3 attempts"):
+            assert store.get(name, fingerprint, pkey) is None
+        assert attempts["n"] == 3  # 1 try + read_retries
+        # degraded to a miss, but the artifact is left in place: once
+        # the disk heals the very same file serves again
+        monkeypatch.undo()
+        assert store.get(name, fingerprint, pkey) is not None
+        assert not os.path.exists(path + ".corrupt")

@@ -245,3 +245,32 @@ class TestValidation:
             first.predict(queries[:4])
             second.predict(queries[:4])
             assert (first.n_batches, second.n_batches) == (2, 1)
+
+
+class TestResilienceParameterValidation:
+    """The watchdog/respawn knobs added for the chaos harness reject
+    nonsense up front instead of misbehaving mid-storm."""
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"heartbeat_timeout_s": 0.0}, "heartbeat_timeout_s"),
+            ({"heartbeat_timeout_s": -1.0}, "heartbeat_timeout_s"),
+            ({"respawn_budget": 0}, "respawn_budget"),
+            ({"respawn_window_s": 0.0}, "respawn_window_s"),
+            ({"dispatch_retries": -1}, "dispatch_retries"),
+            ({"respawn_backoff_s": -0.1}, "respawn_backoff_s"),
+            (
+                {"respawn_backoff_s": 1.0, "respawn_backoff_cap_s": 0.5},
+                "respawn_backoff_cap_s",
+            ),
+        ],
+    )
+    def test_rejects_bad_watchdog_parameters(
+        self, sharded_knn, store, fingerprint, kwargs, match
+    ):
+        with pytest.raises(ValueError, match=match):
+            ShardWorkerPool(
+                sharded_knn, store, fingerprint=fingerprint, n_workers=1,
+                **kwargs,
+            )
