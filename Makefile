@@ -12,7 +12,7 @@ PYTHON ?= python
 .PHONY: test test-fast check check-fast lint ci ci-fast check-bench-artifacts \
 	clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench \
 	train-bench bench-smoke quant-bench quant-bench-smoke chaos-bench \
-	chaos-smoke snapshot warm-serve
+	chaos-smoke track-bench track-smoke snapshot warm-serve
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -106,6 +106,20 @@ chaos-bench:
 # fails `make check`.
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos-bench --preset smoke
+
+# Streaming trajectory serving: concurrent per-user TrackingSessions
+# micro-batched across users per time step, asserting bitwise parity
+# of every served tick against the offline single-session oracle
+# (RMSE delta exactly 0.0 m), zero lost tracks across the
+# checkpoint/restart leg, and the preset's concurrent-ticks/sec floor
+# (the serve-bench sessions block, standalone).
+track-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli track-bench
+
+# Seconds-scale session workload; hooked into scripts/check_suite.sh
+# so a session-parity or restart-recovery regression fails `make check`.
+track-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli track-bench --preset smoke
 
 # Times NObLe/CNNLoc cold fits (seed-equivalent float64 reference vs the
 # fused float32 fast path), asserts metric parity + minimum speedup, and

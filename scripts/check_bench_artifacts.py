@@ -76,6 +76,7 @@ def check_artifact(name: str, headline_fields: "tuple[str, ...]") -> "list[str]"
     problems.extend(check_workers_headline(name, payload))
     problems.extend(check_quant_headline(name, payload))
     problems.extend(check_resilience_headline(name, payload))
+    problems.extend(check_sessions_headline(name, payload))
     return problems
 
 
@@ -235,6 +236,68 @@ def check_resilience_headline(name: str, payload: dict) -> "list[str]":
             problems.append(
                 f"{name}: resilience headline availability {availability} "
                 f"is below its own asserted floor {floor}"
+            )
+    return problems
+
+
+def check_sessions_headline(name: str, payload: dict) -> "list[str]":
+    """Streaming-session headline floors for serve artifacts (schema v6).
+
+    The sessions block records concurrent tracks/sec through stateful
+    per-user TrackingSessions plus the hard stateful-serving
+    invariants: bitwise trajectory parity with the offline
+    single-session oracle (RMSE delta exactly 0.0 m) and zero lost
+    tracks across the checkpoint/restart leg.  A committed artifact
+    recording a diverged or dropped track — or missing its own
+    recorded throughput floor — fails the build.
+    """
+    sessions = payload.get("sessions")
+    if sessions is None:
+        return []  # not a serve artifact (train payloads have no block)
+    problems: list[str] = []
+    headline = sessions.get("headline") if isinstance(sessions, dict) else None
+    if not isinstance(headline, dict):
+        return [f"{name}: sessions.headline block missing"]
+    for field in (
+        "tracks_per_second",
+        "concurrent_sessions",
+        "min_tracks_per_second_asserted",
+        "rmse_delta_m",
+        "lost_tracks",
+        "parity_ok",
+        "floor_enforced",
+    ):
+        if field not in headline:
+            problems.append(f"{name}: sessions.headline missing {field!r}")
+    if headline.get("parity_ok") is not True:
+        problems.append(f"{name}: sessions headline parity_ok is not True")
+    rmse_delta = headline.get("rmse_delta_m")
+    if not (
+        isinstance(rmse_delta, (int, float))
+        and not isinstance(rmse_delta, bool)
+        and float(rmse_delta) == 0.0
+    ):
+        problems.append(
+            f"{name}: sessions headline rmse_delta_m is {rmse_delta!r} "
+            "(must be exactly 0.0 — session parity is bitwise)"
+        )
+    if headline.get("lost_tracks") != 0:
+        problems.append(
+            f"{name}: sessions headline records "
+            f"{headline.get('lost_tracks')} lost tracks (must be 0)"
+        )
+    if headline.get("floor_enforced") is True:
+        rate = headline.get("tracks_per_second")
+        floor = headline.get("min_tracks_per_second_asserted")
+        if not isinstance(rate, (int, float)):
+            problems.append(
+                f"{name}: sessions floor is enforced but tracks_per_second "
+                f"is {rate!r}"
+            )
+        elif isinstance(floor, (int, float)) and rate < floor:
+            problems.append(
+                f"{name}: sessions headline tracks_per_second {rate} is "
+                f"below its own asserted floor {floor}"
             )
     return problems
 

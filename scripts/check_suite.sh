@@ -64,6 +64,13 @@ make quant-bench-smoke
 # regression fails `make check` instead of surfacing in production.
 make chaos-smoke
 
+# Smoke the streaming-session harness: concurrent tracking sessions
+# micro-batched across users behind the threaded front end, asserting
+# bitwise parity with the offline single-session oracle and a
+# zero-lost-tracks checkpoint/restart recovery — so a stateful-serving
+# regression fails `make check` before it can corrupt a trajectory.
+make track-smoke
+
 # Bench-drift guard: the committed trajectory artifacts must stay
 # schema-valid with their headline floors intact.
 make check-bench-artifacts

@@ -44,8 +44,13 @@ import numpy as np
 #: ``resilience`` block (chaos harness: availability under injected
 #: worker kills / heartbeat stalls / store corruption / slow batches,
 #: per-tenant shed fairness, circuit-breaker counters, with floors on
-#: availability, hung requests, and answered-request parity).
-SERVE_BENCH_SCHEMA = "repro-serve-bench/5"
+#: availability, hung requests, and answered-request parity); version 6
+#: added the mandatory ``sessions`` block (streaming trajectory
+#: serving: concurrent tracks/sec through stateful per-user
+#: TrackingSessions micro-batched across users per time step, bitwise
+#: trajectory parity vs the offline single-session oracle, and a
+#: checkpoint/restart recovery leg with a zero-lost-tracks floor).
+SERVE_BENCH_SCHEMA = "repro-serve-bench/6"
 
 #: Schema-tag prefix shared by every serve-bench payload version; the
 #: validator dispatcher routes on it and rejects unknown versions.
@@ -167,6 +172,24 @@ class ServePreset:
     #: Floor asserted on (answered-correct + cleanly-shed) / submitted
     #: across the whole chaos run; 0 disables.
     chaos_min_availability: float = 0.99
+    #: Streaming trajectory-serving workload for the ``sessions`` block
+    #: (schema v6): concurrent per-user :class:`TrackingSession`\ s
+    #: micro-batched *across users per time step* behind the threaded
+    #: front end.  Sized independently of the point-query sweeps — the
+    #: claim is stateful-workload parity + recovery, not raw scale.
+    track_users: int = 24
+    track_ticks: int = 10
+    #: IMU samples per served segment (one tick = one segment).
+    track_samples_per_segment: int = 96
+    track_batch: int = 16
+    track_producers: int = 4
+    #: Batching deadline for the session front end; short, because a
+    #: tracking tick is an elementwise stream update, not a kNN scan.
+    track_deadline_ms: float = 5.0
+    #: Floor asserted on concurrent session-ticks/sec through the
+    #: threaded front end; 0 disables (smoke workloads are too small
+    #: for a stable rate).
+    track_min_tracks_per_s: float = 50.0
 
 
 PRESETS = {
@@ -193,6 +216,12 @@ PRESETS = {
         quant_aps_per_floor=3,
         quant_queries=64,
         quant_min_speedup=0.0,
+        track_users=6,
+        track_ticks=4,
+        track_samples_per_segment=64,
+        track_batch=8,
+        track_producers=2,
+        track_min_tracks_per_s=0.0,
     ),
     # The PR 1 serve-bench workload, now pushed through the async path.
     "fast": ServePreset(
@@ -226,6 +255,8 @@ PRESETS = {
         repeats=3,
         workers=(0, 2, 4),
         workers_shards=8,
+        track_users=48,
+        track_producers=8,
     ),
 }
 
@@ -252,6 +283,10 @@ class ServeBenchResult:
     #: Chaos harness: availability, shed fairness, and breaker/failover
     #: counters under injected faults (schema v5; always present).
     resilience: dict = field(default_factory=dict)
+    #: Streaming trajectory serving: concurrent tracks/sec, bitwise
+    #: parity vs the offline single-session oracle, and the
+    #: checkpoint/restart recovery leg (schema v6; always present).
+    sessions: dict = field(default_factory=dict)
 
     @property
     def headline(self) -> dict:
@@ -280,6 +315,7 @@ class ServeBenchResult:
             "workers": copy.deepcopy(self.workers),
             "quant": copy.deepcopy(self.quant),
             "resilience": copy.deepcopy(self.resilience),
+            "sessions": copy.deepcopy(self.sessions),
         }
         if self.store is not None:
             payload["store"] = dict(self.store)
@@ -423,6 +459,41 @@ class ServeBenchResult:
                 f"hot-tenant shed rate {r['shed']['hot_rate']:.2f} vs "
                 f"lightest {r['shed']['light_rate']:.2f} "
                 f"(fairness {'ok' if head['fairness_ok'] else 'INVERTED'})"
+            )
+        if self.sessions:
+            s = self.sessions
+            t, p, rec = s["throughput"], s["parity"], s["recovery"]
+            head = s["headline"]
+            lines.append(
+                f"\nsessions: {s['users']} concurrent {s['engine']!r} "
+                f"tracks x {s['ticks_per_user']} ticks "
+                f"({s['samples_per_segment']} samples/segment, "
+                f"batch={s['batch_size']}, {s['producers']} producers)"
+            )
+            lines.append(
+                f"  throughput: {t['seconds']:7.3f} s "
+                f"({t['tracks_per_second']:8.0f} ticks/s across sessions, "
+                f"{t['n_batches']} batches, fill {t['mean_batch_fill']:.1f})"
+            )
+            lines.append(
+                f"  parity    : served RMSE {p['served_rmse_m']:.2f} m vs "
+                f"oracle {p['oracle_rmse_m']:.2f} m "
+                f"(delta {p['rmse_delta_m']:.1f} m, "
+                f"max |delta| {p['max_abs_delta_m']:.1f} m)"
+            )
+            lines.append(
+                f"  recovery  : {rec['checkpointed']} checkpointed, "
+                f"{rec['restored']} restored after restart, "
+                f"{rec['lost_tracks']} lost; resumed parity "
+                f"{'ok' if rec['resumed_parity_ok'] else 'FAILED'}"
+            )
+            lines.append(
+                f"  headline: {head['tracks_per_second']:.0f} ticks/s over "
+                f"{head['concurrent_sessions']} sessions "
+                f"(floor {head['min_tracks_per_second_asserted']:.0f}"
+                + ("" if head["floor_enforced"] else ", not enforced")
+                + f"), RMSE delta {head['rmse_delta_m']:.1f} m vs the "
+                f"offline oracle, {head['lost_tracks']} lost tracks"
             )
         return "\n".join(lines)
 
@@ -1270,6 +1341,220 @@ def _resilience_block(
         shutil.rmtree(cleanup_dir, ignore_errors=True)
 
 
+def _sessions_block(
+    config: ServePreset,
+    seed: int,
+    min_tracks_per_s: float,
+) -> dict:
+    """Streaming trajectory serving: stateful sessions, three legs.
+
+    Serves ``track_users`` concurrent dead-reckoning tracks (one
+    :class:`~repro.serving.sessions.TrackingSession` per user, IMU
+    segments arriving tick by tick) through the threaded
+    :class:`~repro.serving.sessions.TrackingFrontend`, which
+    micro-batches *across users per time step*.  The PDR engine is pure
+    elementwise float64, so the parity contract is exact, not
+    approximate:
+
+    1. **throughput** — ``track_producers`` threads drive disjoint
+       user groups through one front end; the headline is total
+       session-ticks/sec across all concurrent tracks.
+    2. **parity** — every served tick must equal the offline
+       single-session oracle
+       (:func:`~repro.serving.sessions.solo_trajectory`) *bitwise*;
+       the reported RMSE delta must be exactly 0.0 m or
+       :class:`ServeParityError` is raised.
+    3. **recovery** — a second manager checkpoints every session
+       through a :class:`~repro.core.persistence.ModelStore`, is
+       dropped mid-workload without ``close()`` (the SIGKILL stand-in:
+       no flush, only the periodic checkpoints survive), and a fresh
+       manager must warm-restore **all** sessions and continue each
+       trajectory to the same bitwise endpoint — zero lost tracks.
+
+    Raises :class:`ServeSpeedupError` when ticks/sec falls below
+    ``min_tracks_per_s`` (0 disables; smoke-scale workloads are too
+    small for a stable rate).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.persistence import ModelStore
+    from repro.data.imu import CampusWalkSimulator
+    from repro.serving.sessions import (
+        SessionManager,
+        StreamingPDRTracker,
+        TrackingFrontend,
+        solo_trajectory,
+    )
+
+    users = int(config.track_users)
+    ticks = int(config.track_ticks)
+    producers = max(1, int(config.track_producers))
+    sim = CampusWalkSimulator(
+        samples_per_segment=int(config.track_samples_per_segment)
+    )
+    walk = sim.record_session(
+        n_walks=1, references_per_walk=users + ticks + 1, rng=seed
+    )[0]
+    segments, refs, headings = walk.segments, walk.references, walk.headings
+    engine = StreamingPDRTracker()
+    # user u walks the route with a u-segment head start: distinct
+    # per-user streams (so cross-session bleed cannot cancel out) from
+    # one simulated session.
+    streams = [
+        [segments[u + k] for k in range(ticks)] for u in range(users)
+    ]
+    # ground truth: segment i ends at reference i + 1
+    truth = np.stack(
+        [[refs[u + k + 1] for k in range(ticks)] for u in range(users)]
+    )
+
+    # --- throughput + parity: producer threads, one threaded front end
+    manager = SessionManager(engine, seed=seed)
+    for u in range(users):
+        manager.start_session(u, refs[u], float(headings[u]))
+    frontend = TrackingFrontend(
+        manager,
+        batch_size=int(config.track_batch),
+        deadline_ms=float(config.track_deadline_ms),
+        max_pending=max(users * ticks, 1),
+    )
+    tickets: "list[list]" = [[] for _ in range(users)]
+    groups = [list(range(users))[p::producers] for p in range(producers)]
+
+    def produce(group: "list[int]") -> None:
+        for k in range(ticks):
+            for u in group:
+                tickets[u].append(frontend.submit(u, imu=streams[u][k]))
+
+    tic = time.perf_counter()
+    threads = [
+        threading.Thread(target=produce, args=(g,)) for g in groups if g
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    served = np.stack(
+        [
+            [ticket.result(60.0).coordinates[0] for ticket in user_tickets]
+            for user_tickets in tickets
+        ]
+    )
+    elapsed = time.perf_counter() - tic
+    stats = frontend.stats()
+    frontend.close()
+    tracks_per_second = float(users * ticks / elapsed) if elapsed > 0 else 0.0
+
+    oracle = np.stack(
+        [
+            solo_trajectory(
+                engine,
+                streams[u],
+                refs[u],
+                float(headings[u]),
+                seed=manager.session_seed(u),
+            )
+            for u in range(users)
+        ]
+    )
+    deltas = np.linalg.norm(served - oracle, axis=-1)
+    max_abs_delta = float(deltas.max())
+    rmse_delta = float(np.sqrt(np.mean(deltas**2)))
+    served_rmse = float(
+        np.sqrt(np.mean(np.linalg.norm(served - truth, axis=-1) ** 2))
+    )
+    oracle_rmse = float(
+        np.sqrt(np.mean(np.linalg.norm(oracle - truth, axis=-1) ** 2))
+    )
+    parity_ok = bool(np.array_equal(served, oracle))
+    if not parity_ok:
+        raise ServeParityError(
+            f"served session trajectories diverge from the offline "
+            f"single-session oracle (RMSE delta {rmse_delta:.3e} m, "
+            f"max {max_abs_delta:.3e} m)"
+        )
+    if min_tracks_per_s > 0 and tracks_per_second < min_tracks_per_s:
+        raise ServeSpeedupError(
+            f"concurrent session throughput {tracks_per_second:.0f} "
+            f"ticks/s is below the asserted minimum "
+            f"{min_tracks_per_s:.0f} ticks/s"
+        )
+
+    # --- recovery: checkpoint, simulated SIGKILL, warm restore
+    store_root = tempfile.mkdtemp(prefix="repro-track-bench-")
+    try:
+        store = ModelStore(store_root)
+        first = SessionManager(engine, store=store, seed=seed)
+        for u in range(users):
+            first.start_session(u, refs[u], float(headings[u]))
+        split = max(1, ticks // 2)
+        for k in range(split):
+            first.step_batch([(u, streams[u][k]) for u in range(users)])
+        first.checkpoint_all()
+        checkpointed = first.stats().checkpoints
+        # no close(): the manager is simply dropped, as a SIGKILL'd
+        # process would be — recovery must come from the store alone
+        resumed = SessionManager(engine, store=store, seed=seed)
+        finals = None
+        for k in range(split, ticks):
+            finals = resumed.step_batch(
+                [(u, streams[u][k]) for u in range(users)]
+            )
+        restored = int(resumed.stats().restored)
+        lost_tracks = users - restored
+        resumed_parity = finals is not None and bool(
+            np.array_equal(np.asarray(finals), oracle[:, -1])
+        )
+        resumed.close()
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    if lost_tracks != 0 or not resumed_parity:
+        raise ServeParityError(
+            f"restart recovery lost {lost_tracks} of {users} checkpointed "
+            f"sessions (restored={restored}, resumed parity "
+            f"{'ok' if resumed_parity else 'FAILED'})"
+        )
+
+    return {
+        "engine": engine.kind,
+        "users": users,
+        "ticks_per_user": ticks,
+        "samples_per_segment": int(config.track_samples_per_segment),
+        "batch_size": int(config.track_batch),
+        "producers": producers,
+        "deadline_ms": float(config.track_deadline_ms),
+        "throughput": {
+            "seconds": float(elapsed),
+            "tracks_per_second": tracks_per_second,
+            "n_batches": int(stats.batches),
+            "mean_batch_fill": float(stats.mean_batch_fill),
+        },
+        "parity": {
+            "max_abs_delta_m": max_abs_delta,
+            "rmse_delta_m": rmse_delta,
+            "served_rmse_m": served_rmse,
+            "oracle_rmse_m": oracle_rmse,
+            "parity_ok": parity_ok,
+        },
+        "recovery": {
+            "checkpointed": int(checkpointed),
+            "restored": restored,
+            "lost_tracks": int(lost_tracks),
+            "resumed_parity_ok": resumed_parity,
+        },
+        "headline": {
+            "tracks_per_second": tracks_per_second,
+            "concurrent_sessions": users,
+            "min_tracks_per_second_asserted": float(min_tracks_per_s),
+            "rmse_delta_m": rmse_delta,
+            "lost_tracks": int(lost_tracks),
+            "parity_ok": parity_ok,
+            "floor_enforced": bool(min_tracks_per_s > 0),
+        },
+    }
+
+
 def run_serve_bench(
     preset: str = "fast",
     seed: int = 42,
@@ -1284,6 +1569,7 @@ def run_serve_bench(
     workers_min_speedup: "float | None" = None,
     quant_min_speedup: "float | None" = None,
     chaos_min_availability: "float | None" = None,
+    track_min_tracks_per_s: "float | None" = None,
     **model_params,
 ) -> ServeBenchResult:
     """Benchmark async serving and assert parity + headline speedup.
@@ -1311,8 +1597,14 @@ def run_serve_bench(
     store-artifact corruption, slow batches) against the self-protecting
     front end, asserting zero hung requests, parity on every answered
     request, and a ``chaos_min_availability`` floor (preset default; 0
-    disables).  Extra keyword arguments are forwarded to the registered
-    ``model``.
+    disables).  The ``sessions`` block (schema v6) always runs last:
+    streaming trajectory serving through stateful per-user
+    TrackingSessions, asserting bitwise parity of every served tick
+    against the offline single-session oracle (RMSE delta exactly
+    0.0 m), zero lost tracks across a checkpoint/restart cycle, and a
+    ``track_min_tracks_per_s`` concurrent-ticks/sec floor (preset
+    default; 0 disables).  Extra keyword arguments are forwarded to
+    the registered ``model``.
     """
     from repro.serving import ModelCache, get
 
@@ -1421,6 +1713,11 @@ def run_serve_bench(
     result.resilience = _resilience_block(
         config, train, queries, seed, float(chaos_min_availability)
     )
+    if track_min_tracks_per_s is None:
+        track_min_tracks_per_s = config.track_min_tracks_per_s
+    result.sessions = _sessions_block(
+        config, seed, float(track_min_tracks_per_s)
+    )
     if store_dir is not None:
         result.store = _store_leg(
             train, queries, store_dir, float(store_min_speedup)
@@ -1437,7 +1734,10 @@ def validate_serve_bench_payload(payload: dict) -> None:
     leg first, per-leg parity true, floor satisfied whenever
     ``floor_enforced``), the mandatory ``quant`` block (speedup floor
     whenever ``floor_enforced``, recall and bytes-ratio floors whenever
-    positive), and — when present — the ``store`` restart leg
+    positive), the mandatory ``sessions`` block (RMSE delta vs the
+    offline oracle exactly 0.0 m, zero lost tracks, ticks/sec floor
+    whenever ``floor_enforced``), and — when present — the ``store``
+    restart leg
     (complete fields, parity true, a positive asserted floor satisfied)
     — so ``make serve-bench-smoke`` (and through it ``make check`` /
     CI's bench-artifact guard) fails loudly when the emitted artifact
@@ -1458,7 +1758,7 @@ def validate_serve_bench_payload(payload: dict) -> None:
         )
     for key in (
         "preset", "seed", "workload", "naive", "async", "headline",
-        "workers", "quant", "resilience",
+        "workers", "quant", "resilience", "sessions",
     ):
         if key not in payload:
             problems.append(f"missing top-level key {key!r}")
@@ -1712,6 +2012,105 @@ def validate_serve_bench_payload(payload: dict) -> None:
                     problems.append(
                         f"resilience.headline.availability {availability} "
                         f"is below the asserted floor {floor} "
+                        "(stale or hand-edited artifact?)"
+                    )
+    sessions = payload.get("sessions")
+    if not isinstance(sessions, dict):
+        problems.append("sessions must be a dict")
+    else:
+        if not isinstance(sessions.get("engine"), str):
+            problems.append("sessions.engine must be a string")
+        for key in (
+            "users", "ticks_per_user", "samples_per_segment",
+            "batch_size", "producers",
+        ):
+            if not _is(sessions.get(key), int):
+                problems.append(f"sessions.{key} must be an int")
+        throughput = sessions.get("throughput")
+        if not isinstance(throughput, dict):
+            problems.append("sessions.throughput must be a dict")
+        else:
+            for key in ("seconds", "tracks_per_second", "mean_batch_fill"):
+                if not _is(throughput.get(key), float):
+                    problems.append(
+                        f"sessions.throughput.{key} must be a number"
+                    )
+            if not _is(throughput.get("n_batches"), int):
+                problems.append(
+                    "sessions.throughput.n_batches must be an int"
+                )
+        parity = sessions.get("parity")
+        if not isinstance(parity, dict):
+            problems.append("sessions.parity must be a dict")
+        else:
+            for key in (
+                "max_abs_delta_m", "rmse_delta_m", "served_rmse_m",
+                "oracle_rmse_m",
+            ):
+                if not _is(parity.get(key), float):
+                    problems.append(f"sessions.parity.{key} must be a number")
+            if parity.get("parity_ok") is not True:
+                problems.append("sessions.parity.parity_ok is not True")
+        recovery = sessions.get("recovery")
+        if not isinstance(recovery, dict):
+            problems.append("sessions.recovery must be a dict")
+        else:
+            for key in ("checkpointed", "restored", "lost_tracks"):
+                if not _is(recovery.get(key), int):
+                    problems.append(f"sessions.recovery.{key} must be an int")
+            if recovery.get("resumed_parity_ok") is not True:
+                problems.append(
+                    "sessions.recovery.resumed_parity_ok is not True"
+                )
+        shead = sessions.get("headline")
+        if not isinstance(shead, dict):
+            problems.append("sessions.headline must be a dict")
+        else:
+            for key in (
+                "tracks_per_second",
+                "concurrent_sessions",
+                "min_tracks_per_second_asserted",
+                "rmse_delta_m",
+                "lost_tracks",
+                "parity_ok",
+                "floor_enforced",
+            ):
+                if key not in shead:
+                    problems.append(f"sessions.headline missing {key!r}")
+            if not isinstance(shead.get("floor_enforced"), bool):
+                problems.append(
+                    "sessions.headline.floor_enforced must be bool"
+                )
+            if shead.get("parity_ok") is not True:
+                problems.append(
+                    "sessions.headline.parity_ok is not True "
+                    "(served trajectories diverged from the offline oracle)"
+                )
+            rmse_delta = shead.get("rmse_delta_m")
+            if not (_is(rmse_delta, float) and float(rmse_delta) == 0.0):
+                problems.append(
+                    f"sessions.headline.rmse_delta_m is {rmse_delta!r}, "
+                    "must be exactly 0.0 (session parity is bitwise, "
+                    "not approximate)"
+                )
+            if shead.get("lost_tracks") != 0:
+                problems.append(
+                    f"sessions.headline.lost_tracks is "
+                    f"{shead.get('lost_tracks')}, must be 0 "
+                    "(sessions were lost across the restart leg)"
+                )
+            rate = shead.get("tracks_per_second")
+            floor = shead.get("min_tracks_per_second_asserted")
+            if shead.get("floor_enforced") is True:
+                if not _is(rate, float):
+                    problems.append(
+                        "sessions.headline.tracks_per_second must be a "
+                        "number when the floor is enforced"
+                    )
+                elif _is(floor, float) and rate < floor:
+                    problems.append(
+                        f"sessions.headline.tracks_per_second {rate} is "
+                        f"below the asserted floor {floor} "
                         "(stale or hand-edited artifact?)"
                     )
     store = payload.get("store")

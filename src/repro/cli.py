@@ -12,6 +12,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli train-bench     # float32 fast path vs seed training loop
     python -m repro.cli quant-bench     # uint8 radio-map scan vs float32 scan
     python -m repro.cli chaos-bench     # fault-injection storm vs the serving tier
+    python -m repro.cli track-bench     # streaming trajectory sessions vs the oracle
     python -m repro.cli snapshot --model noble --store models/   # fit + persist
     python -m repro.cli warm-serve --model noble --store models/ # restore + serve
     python -m repro.cli wifi --preset paper --csv trainingData.csv
@@ -55,7 +56,7 @@ def main(argv: "list[str] | None" = None) -> int:
         choices=(
             "wifi", "ipin", "imu", "energy",
             "serve-bench", "shard-bench", "train-bench", "quant-bench",
-            "chaos-bench", "snapshot", "warm-serve",
+            "chaos-bench", "track-bench", "snapshot", "warm-serve",
         ),
         help="which experiment to run",
     )
@@ -143,13 +144,13 @@ def main(argv: "list[str] | None" = None) -> int:
 
     smoke_capable = (
         "train-bench", "serve-bench", "quant-bench", "chaos-bench",
-        "snapshot", "warm-serve",
+        "track-bench", "snapshot", "warm-serve",
     )
     if args.experiment not in smoke_capable and args.preset == "smoke":
         raise SystemExit(
             "--preset smoke is only supported by train-bench, "
-            "serve-bench --async, quant-bench, chaos-bench, snapshot, "
-            "and warm-serve"
+            "serve-bench --async, quant-bench, chaos-bench, "
+            "track-bench, snapshot, and warm-serve"
         )
     runner = {
         "wifi": run_wifi,
@@ -161,6 +162,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "train-bench": run_train_bench,
         "quant-bench": run_quant_bench,
         "chaos-bench": run_chaos_bench,
+        "track-bench": run_track_bench,
         "snapshot": run_snapshot,
         "warm-serve": run_warm_serve,
     }[args.experiment]
@@ -564,6 +566,69 @@ def run_chaos_bench(args) -> None:
         + ("" if head["floor_enforced"] else ", not enforced")
         + "), parity on all answered requests "
         + ("ok" if head["parity_ok"] else "FAILED")
+    )
+
+
+def run_track_bench(args) -> None:
+    """Standalone run of the serve-bench sessions block.
+
+    Serves the preset's streaming-trajectory workload — concurrent
+    per-user :class:`~repro.serving.sessions.TrackingSession`\\ s
+    micro-batched across users per time step behind the threaded
+    :class:`~repro.serving.sessions.TrackingFrontend` — and asserts
+    the same floors ``serve-bench --async`` embeds in
+    ``BENCH_serve.json``: bitwise trajectory parity against the
+    offline single-session oracle (RMSE delta exactly 0.0 m), zero
+    lost tracks across the checkpoint/restart leg, and the preset's
+    concurrent-ticks/sec floor (``--min-speedup`` overrides it; 0
+    disables).
+    """
+    from repro.bench.serve import PRESETS, _sessions_block
+
+    seed = args.seed if args.seed is not None else 42
+    config = PRESETS[args.preset]
+    min_tracks = (
+        config.track_min_tracks_per_s
+        if args.min_speedup is None
+        else float(args.min_speedup)
+    )
+    try:
+        block = _sessions_block(config, seed, min_tracks)
+    except (ValueError, AssertionError) as error:
+        raise SystemExit(f"track-bench: {error}") from None
+    t, p, rec = block["throughput"], block["parity"], block["recovery"]
+    head = block["headline"]
+    print(
+        f"track-bench preset={args.preset} seed={seed}: "
+        f"{block['users']} concurrent {block['engine']!r} tracks x "
+        f"{block['ticks_per_user']} ticks "
+        f"({block['samples_per_segment']} samples/segment, "
+        f"batch={block['batch_size']}, {block['producers']} producers)"
+    )
+    print(
+        f"  throughput: {t['seconds']:7.3f} s "
+        f"({t['tracks_per_second']:8.0f} ticks/s across sessions, "
+        f"{t['n_batches']} batches, fill {t['mean_batch_fill']:.1f})"
+    )
+    print(
+        f"  parity    : served RMSE {p['served_rmse_m']:.2f} m vs "
+        f"oracle {p['oracle_rmse_m']:.2f} m "
+        f"(delta {p['rmse_delta_m']:.1f} m, "
+        f"max |delta| {p['max_abs_delta_m']:.1f} m)"
+    )
+    print(
+        f"  recovery  : {rec['checkpointed']} checkpointed, "
+        f"{rec['restored']} restored after restart, "
+        f"{rec['lost_tracks']} lost; resumed parity "
+        f"{'ok' if rec['resumed_parity_ok'] else 'FAILED'}"
+    )
+    print(
+        f"  headline: {head['tracks_per_second']:.0f} ticks/s over "
+        f"{head['concurrent_sessions']} sessions "
+        f"(floor {head['min_tracks_per_second_asserted']:.0f}"
+        + ("" if head["floor_enforced"] else ", not enforced")
+        + f"), RMSE delta {head['rmse_delta_m']:.1f} m, "
+        f"{head['lost_tracks']} lost tracks"
     )
 
 

@@ -35,6 +35,21 @@ The production-facing seam of the repo.  Four pieces compose:
     the front end via ``executor=`` (:class:`WorkerPoolExecutor`) or
     all at once with :func:`make_worker_frontend`, which falls back to
     the thread path when ``workers=0`` or shared memory is unavailable.
+``sessions``
+    The stateful streaming tier: :class:`SessionManager` owns one
+    :class:`TrackingSession` per user (any :class:`SessionTracker`
+    engine — PDR, map-matching particle filter, or NObLe fingerprint
+    snapping), micro-batching concurrent ticks *across users per time
+    step* so every served estimate stays bitwise equal to the user's
+    solo offline trajectory (:func:`solo_trajectory` is the oracle).
+    Sessions checkpoint through the :class:`ModelStore`
+    (``repro-session/1`` artifacts, periodic + on-evict + shutdown),
+    idle-TTL evict, and warm-restore on the next tick after a restart
+    — with an in-flight guard so a restore stampede loads exactly
+    once.  :class:`TrackingFrontend` puts the deadline front end on
+    top: ``submit(user_id, imu=segment)`` returns a ticket for that
+    user's next position.  ``python -m repro.cli track-bench`` proves
+    throughput, oracle parity, and restart recovery.
 ``resilience`` / ``faults``
     The self-protection layer and the chaos harness that proves it:
     pluggable :class:`AdmissionPolicy` load shedding on the front end
@@ -125,6 +140,19 @@ from repro.serving.registry import (
     register,
 )
 
+from repro.serving.sessions import (
+    SESSION_SCHEMA,
+    SessionManager,
+    SessionStats,
+    SessionTracker,
+    StreamingNobleTracker,
+    StreamingParticleTracker,
+    StreamingPDRTracker,
+    TrackingFrontend,
+    TrackingSession,
+    UnknownSessionError,
+    solo_trajectory,
+)
 from repro.serving.shm import shm_available
 from repro.serving.workers import (
     ShardWorkerPool,
@@ -181,4 +209,15 @@ __all__ = [
     "FallbackExecutor",
     "DelayedEstimator",
     "FaultInjector",
+    "SESSION_SCHEMA",
+    "SessionManager",
+    "SessionStats",
+    "SessionTracker",
+    "StreamingNobleTracker",
+    "StreamingParticleTracker",
+    "StreamingPDRTracker",
+    "TrackingFrontend",
+    "TrackingSession",
+    "UnknownSessionError",
+    "solo_trajectory",
 ]

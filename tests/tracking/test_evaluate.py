@@ -2,6 +2,8 @@
 
 import numpy as np
 
+from repro.serving.sessions import SessionManager, StreamingPDRTracker
+from repro.tracking.dead_reckoning import DeadReckoningTracker
 from repro.tracking.evaluate import evaluate_tracker
 
 
@@ -11,6 +13,42 @@ class ConstantTracker:
 
     def predict_coordinates(self, data, indices):
         return np.tile(self.position, (len(indices), 1))
+
+
+class SessionServedTracker:
+    """Adapter: answer ``predict_coordinates`` through live sessions.
+
+    Each requested path becomes a :class:`TrackingSession`; its IMU
+    segments are streamed one tick at a time, micro-batched *across*
+    paths per wave (wave k = every still-active path's k-th segment —
+    the across-users-not-across-time serving contract).  The returned
+    coordinates are each session's final estimate at ``end_session``.
+    """
+
+    def __init__(self, raw_segments, headings):
+        self.raw_segments = raw_segments
+        self.headings = np.asarray(headings, dtype=float)
+
+    def predict_coordinates(self, data, indices):
+        manager = SessionManager(StreamingPDRTracker(), seed=0)
+        paths = [data.paths[int(i)] for i in indices]
+        for slot, path in enumerate(paths):
+            manager.start_session(
+                slot,
+                path.start_position,
+                float(self.headings[path.start_reference]),
+            )
+        for k in range(max(path.length for path in paths)):
+            manager.step_batch(
+                [
+                    (slot, self.raw_segments[path.segment_indices[k]])
+                    for slot, path in enumerate(paths)
+                    if path.length > k
+                ]
+            )
+        return np.vstack(
+            [manager.end_session(slot) for slot in range(len(paths))]
+        )
 
 
 class TestEvaluateTracker:
@@ -52,3 +90,54 @@ class TestEvaluateTracker:
         tracker = ConstantTracker([0.0, 0.0])
         report = evaluate_tracker("constant", tracker, path_data)
         assert "constant" in report.row()
+
+
+class TestServedSessionReport:
+    """The evaluation harness over the streaming-session path.
+
+    Feeding the evaluator through live batched sessions must reproduce
+    the offline single-call report *exactly* — same error summary, same
+    near-route structure score — because served trajectories are
+    bitwise on the offline oracle.  Any drift here means the session
+    tier changed the answers, not just their delivery.
+    """
+
+    def test_served_report_equals_offline_pdr_report(
+        self, path_data, raw_segments, walk_headings
+    ):
+        indices = path_data.test_indices[:25]
+        offline = DeadReckoningTracker(
+            raw_segments, method="pdr", initial_headings=walk_headings
+        ).fit(path_data)
+        offline_report = evaluate_tracker(
+            "pdr",
+            offline,
+            path_data,
+            indices=indices,
+            route_nodes=path_data.reference_positions,
+        )
+        served = SessionServedTracker(raw_segments, walk_headings)
+        served_report = evaluate_tracker(
+            "pdr-served",
+            served,
+            path_data,
+            indices=indices,
+            route_nodes=path_data.reference_positions,
+        )
+        # bitwise-equal predictions ⇒ identical summaries, field by field
+        assert served_report.errors == offline_report.errors
+        assert served_report.structure_score == offline_report.structure_score
+        assert "pdr-served" in served_report.row()
+
+    def test_served_predictions_bitwise_equal_offline(
+        self, path_data, raw_segments, walk_headings
+    ):
+        indices = path_data.test_indices[:25]
+        offline = DeadReckoningTracker(
+            raw_segments, method="pdr", initial_headings=walk_headings
+        ).fit(path_data)
+        served = SessionServedTracker(raw_segments, walk_headings)
+        np.testing.assert_array_equal(
+            served.predict_coordinates(path_data, indices),
+            offline.predict_coordinates(path_data, indices),
+        )

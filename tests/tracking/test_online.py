@@ -86,3 +86,85 @@ class TestOnlineTracker:
             online.track(
                 path_data, np.array([0]), np.zeros(2), 0.0
             )
+
+    def test_track_deterministic(self, trained_noble_tracker, path_data):
+        """Same stretch, same start pose: bitwise-identical traces —
+        the invariant the session-parity harness leans on (a session
+        divergence must implicate the session layer, not the tracker)."""
+        candidates = [
+            i
+            for i in path_data.test_indices
+            if path_data.paths[int(i)].length >= 4
+        ]
+        path = path_data.paths[int(candidates[0])]
+        online = OnlineTracker(trained_noble_tracker, hop=1)
+        first = online.track(
+            path_data,
+            path.segment_indices,
+            path.start_position,
+            path.start_heading,
+        )
+        second = online.track(
+            path_data,
+            path.segment_indices,
+            path.start_position,
+            path.start_heading,
+        )
+        np.testing.assert_array_equal(first.predicted, second.predicted)
+
+
+class _HeadingStubData:
+    """Minimal dataset stub for exercising the heading integrator.
+
+    ``feature_dim=12`` means two block-means per IMU channel; the
+    gyro-z channel is the last block group (columns 10:12).  References
+    are spaced exactly 1.4 m apart, so the recovered segment duration
+    is exactly 1.0 s and expected headings are exact, not approximate.
+    """
+
+    feature_dim = 12
+
+    def __init__(self, gyro_blocks):
+        n = len(gyro_blocks)
+        self.segment_features = np.zeros((n, self.feature_dim))
+        self.segment_features[:, 10:12] = gyro_blocks
+        self.reference_positions = np.column_stack(
+            [1.4 * np.arange(8.0), np.zeros(8)]
+        )
+
+
+class TestHeadingUpdate:
+    """Edge cases of ``OnlineTracker._update_heading``, pinned exactly."""
+
+    def _online(self, trained_noble_tracker, hop=1):
+        return OnlineTracker(trained_noble_tracker, hop=hop)
+
+    def test_zero_gyro_leaves_heading_unchanged(self, trained_noble_tracker):
+        online = self._online(trained_noble_tracker)
+        data = _HeadingStubData(np.zeros((3, 2)))
+        assert online._update_heading(data, np.array([0]), 1.25) == 1.25
+        assert online._update_heading(data, np.array([0, 1, 2]), -0.5) == -0.5
+
+    def test_constant_rate_integrates_exactly(self, trained_noble_tracker):
+        # Δθ = mean rate × duration × windows; duration is exactly 1 s
+        online = self._online(trained_noble_tracker)
+        data = _HeadingStubData(np.full((4, 2), 0.25))
+        assert online._update_heading(data, np.array([0]), 0.0) == 0.25
+        # a hop-2 window integrates over both segments' worth of time
+        assert online._update_heading(data, np.array([0, 1]), 0.0) == 0.5
+
+    def test_negative_rate_turns_the_other_way(self, trained_noble_tracker):
+        online = self._online(trained_noble_tracker)
+        data = _HeadingStubData(np.full((2, 2), -0.1))
+        assert online._update_heading(data, np.array([1]), 0.3) == pytest.approx(
+            0.2
+        )
+
+    def test_blocks_average_within_the_window(self, trained_noble_tracker):
+        # gyro blocks [0.2, 0.4] average to 0.3 — block means are rates,
+        # not increments, so unequal blocks must not double-count
+        online = self._online(trained_noble_tracker)
+        data = _HeadingStubData(np.array([[0.2, 0.4]]))
+        assert online._update_heading(data, np.array([0]), 0.0) == pytest.approx(
+            0.3
+        )
