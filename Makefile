@@ -11,8 +11,9 @@ PYTHON ?= python
 
 .PHONY: test test-fast check check-fast lint ci ci-fast check-bench-artifacts \
 	clean-pyc serve-bench serve-bench-async serve-bench-smoke shard-bench \
-	train-bench bench-smoke quant-bench quant-bench-smoke chaos-bench \
-	chaos-smoke track-bench track-smoke snapshot warm-serve
+	train-bench bench-smoke quant-bench quant-bench-smoke embed-bench \
+	embed-bench-smoke chaos-bench chaos-smoke track-bench track-smoke \
+	snapshot warm-serve
 
 test: clean-pyc
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -91,6 +92,21 @@ quant-bench:
 # quantized scan fails `make check`.
 quant-bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli quant-bench --preset smoke
+
+# Learned-embedding kNN serving vs raw-RSSI kNN on the same noisy
+# radio map: the embed-knn backend serves held-out queries through the
+# composed feature-space pipeline (MLP encoder -> quantized index),
+# asserting the req/s floor at matched location-recall@k and the
+# position-error ceiling (the serve-bench embed block, standalone).
+embed-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli embed-bench
+
+# Tiny-map embed-bench: exercises the embedder fit + embedded scan
+# path in seconds (accuracy/throughput floors are disabled at smoke
+# scale); hooked into scripts/check_suite.sh so a broken embedding
+# pipeline fails `make check`.
+embed-bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli embed-bench --preset smoke
 
 # Fault-injection storm against the self-protecting serving tier:
 # seeded worker kills, SIGSTOP heartbeat stalls, shm-slot and

@@ -75,6 +75,7 @@ def check_artifact(name: str, headline_fields: "tuple[str, ...]") -> "list[str]"
         )
     problems.extend(check_workers_headline(name, payload))
     problems.extend(check_quant_headline(name, payload))
+    problems.extend(check_embed_headline(name, payload))
     problems.extend(check_resilience_headline(name, payload))
     problems.extend(check_sessions_headline(name, payload))
     return problems
@@ -177,6 +178,74 @@ def check_quant_headline(name: str, payload: dict) -> "list[str]":
         problems.append(
             f"{name}: quant headline bytes ratio {ratio} is above its own "
             f"asserted ceiling {ceiling}"
+        )
+    return problems
+
+
+def check_embed_headline(name: str, payload: dict) -> "list[str]":
+    """Learned-embedding headline floors for serve artifacts (schema v7).
+
+    The embed block records the ``embed-knn`` backend's req/s speedup
+    over raw-RSSI kNN on the same held-out queries (enforced when
+    ``floor_enforced``), a position-error ceiling relative to raw, and
+    a location-recall floor so the speedup is at matched neighbor
+    quality; each recorded value must clear its own recorded floor —
+    the same stale-artifact guard as above.
+    """
+    embed = payload.get("embed")
+    if embed is None:
+        return []  # not a serve artifact (train payloads have no block)
+    problems: list[str] = []
+    headline = embed.get("headline") if isinstance(embed, dict) else None
+    if not isinstance(headline, dict):
+        return [f"{name}: embed.headline block missing"]
+    for field in (
+        "speedup_vs_raw",
+        "min_speedup_asserted",
+        "error_ratio_vs_raw",
+        "max_error_ratio_asserted",
+        "recall_ratio_vs_raw",
+        "min_recall_ratio_asserted",
+        "floor_enforced",
+    ):
+        if field not in headline:
+            problems.append(f"{name}: embed.headline missing {field!r}")
+    if headline.get("floor_enforced") is True:
+        speedup = headline.get("speedup_vs_raw")
+        floor = headline.get("min_speedup_asserted")
+        if not isinstance(speedup, (int, float)):
+            problems.append(
+                f"{name}: embed floor is enforced but speedup_vs_raw "
+                f"is {speedup!r}"
+            )
+        elif isinstance(floor, (int, float)) and speedup < floor:
+            problems.append(
+                f"{name}: embed headline speedup {speedup} is below its "
+                f"own asserted floor {floor}"
+            )
+    error_ratio = headline.get("error_ratio_vs_raw")
+    error_ceiling = headline.get("max_error_ratio_asserted")
+    if (
+        isinstance(error_ratio, (int, float))
+        and isinstance(error_ceiling, (int, float))
+        and error_ceiling > 0
+        and error_ratio > error_ceiling
+    ):
+        problems.append(
+            f"{name}: embed headline error ratio {error_ratio} is above "
+            f"its own asserted ceiling {error_ceiling}"
+        )
+    recall_ratio = headline.get("recall_ratio_vs_raw")
+    recall_floor = headline.get("min_recall_ratio_asserted")
+    if (
+        isinstance(recall_ratio, (int, float))
+        and isinstance(recall_floor, (int, float))
+        and recall_floor > 0
+        and recall_ratio < recall_floor
+    ):
+        problems.append(
+            f"{name}: embed headline recall ratio {recall_ratio} is below "
+            f"its own asserted floor {recall_floor}"
         )
     return problems
 

@@ -57,6 +57,12 @@ make serve-bench-smoke
 # scale), so a broken quantizer or rerank fails `make check`.
 make quant-bench-smoke
 
+# Smoke the learned-embedding benchmark: fits the MLP embedder on a
+# tiny noisy map and serves held-out queries through both the raw and
+# embedded kNN backends (floors are disabled at smoke scale), so a
+# broken embedder or feature-pipeline regression fails `make check`.
+make embed-bench-smoke
+
 # Smoke the chaos harness: a seeded fault storm (worker kills,
 # heartbeat stalls, shm-slot and store-artifact corruption) against
 # the fair-shed + circuit-broken front end, asserting availability,

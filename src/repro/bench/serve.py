@@ -49,8 +49,11 @@ import numpy as np
 #: serving: concurrent tracks/sec through stateful per-user
 #: TrackingSessions micro-batched across users per time step, bitwise
 #: trajectory parity vs the offline single-session oracle, and a
-#: checkpoint/restart recovery leg with a zero-lost-tracks floor).
-SERVE_BENCH_SCHEMA = "repro-serve-bench/6"
+#: checkpoint/restart recovery leg with a zero-lost-tracks floor);
+#: version 7 added the mandatory ``embed`` block (learned-embedding
+#: ``embed-knn`` serving vs raw-RSSI kNN on the same map, with req/s,
+#: position-error-ratio, and matched-recall floors).
+SERVE_BENCH_SCHEMA = "repro-serve-bench/7"
 
 #: Schema-tag prefix shared by every serve-bench payload version; the
 #: validator dispatcher routes on it and rejects unknown versions.
@@ -143,6 +146,48 @@ class ServePreset:
     #: Ceiling asserted on quantized-vs-float32 scan-state bytes per
     #: fingerprint (uint8 codes are exactly 1/4 of float32); 0 disables.
     quant_max_bytes_ratio: float = 0.25
+    #: Radio map synthesized for the ``embed`` block (schema v7) —
+    #: sized independently of the async workload because the
+    #: learned-embedding claim is about *noisy, many-WAP* maps (heavy
+    #: shadowing + per-device RSSI offsets), where raw Euclidean
+    #: distances degrade and a coordinate-supervised embedding both
+    #: denoises the neighbor structure and shrinks the scan from the
+    #: raw WAP count to ``embed_components`` dims.
+    embed_spots_per_building: int = 250
+    embed_measurements_per_spot: int = 20
+    embed_aps_per_floor: int = 10
+    embed_shadowing_sigma: float = 8.0
+    embed_device_offset_sigma: float = 6.0
+    embed_queries: int = 1024
+    embed_k: int = 10
+    #: Embedder kind served by the ``embed-knn`` leg, its shape, and
+    #: its training budget (forwarded as ``embed_params``).
+    embed_embedder: str = "mlp"
+    embed_components: int = 32
+    embed_hidden: "tuple[int, ...]" = (128, 64)
+    embed_epochs: int = 60
+    embed_pretrain_epochs: int = 5
+    #: Bins for the embed leg's quantized index — the served config is
+    #: the full composed pipeline (embed → bin → scan), which is what
+    #: the ``transform=`` seam ships; 0 serves the float index.
+    embed_bins: int = 256
+    #: A query "recalls" its location when at least one returned
+    #: neighbor lies within this radius of the true position — the
+    #: neighbor-quality yardstick both legs are scored on (a learned
+    #: embedding trades exact-duplicate retrieval for geographically
+    #: tighter neighbors, so index recall would be the wrong metric).
+    embed_recall_radius_m: float = 10.0
+    #: Floor asserted on embed-knn req/s over raw-RSSI kNN serving the
+    #: same held-out queries; 0 disables (smoke maps are too small for
+    #: a stable ratio).
+    embed_min_speedup: float = 1.2
+    #: Ceiling asserted on embed-knn position error relative to raw
+    #: kNN's (1.0 = "no worse than raw RSSI"); 0 disables.
+    embed_max_error_ratio: float = 1.0
+    #: Floor asserted on embed-knn location-recall@k relative to raw
+    #: kNN's, so the speedup headline is measured at matched neighbor
+    #: quality rather than bought with a degraded scan; 0 disables.
+    embed_min_recall_ratio: float = 0.95
     #: Chaos-harness knobs for the ``resilience`` block.  The chaos
     #: workload is sized independently of the throughput sweeps — it
     #: validates *outcome accounting* under injected faults (every
@@ -216,6 +261,18 @@ PRESETS = {
         quant_aps_per_floor=3,
         quant_queries=64,
         quant_min_speedup=0.0,
+        embed_spots_per_building=12,
+        embed_measurements_per_spot=6,
+        embed_aps_per_floor=3,
+        embed_queries=48,
+        embed_components=8,
+        embed_hidden=(32,),
+        embed_epochs=4,
+        embed_pretrain_epochs=2,
+        embed_bins=16,
+        embed_min_speedup=0.0,
+        embed_max_error_ratio=0.0,
+        embed_min_recall_ratio=0.0,
         track_users=6,
         track_ticks=4,
         track_samples_per_segment=64,
@@ -280,6 +337,9 @@ class ServeBenchResult:
     #: Quantized uint8 radio-map scan vs the monolithic float32 brute
     #: scan (schema v4; always present in emitted payloads).
     quant: dict = field(default_factory=dict)
+    #: Learned-embedding ``embed-knn`` serving vs raw-RSSI kNN on the
+    #: same map (schema v7; always present in emitted payloads).
+    embed: dict = field(default_factory=dict)
     #: Chaos harness: availability, shed fairness, and breaker/failover
     #: counters under injected faults (schema v5; always present).
     resilience: dict = field(default_factory=dict)
@@ -314,6 +374,7 @@ class ServeBenchResult:
             "headline": dict(self.headline),
             "workers": copy.deepcopy(self.workers),
             "quant": copy.deepcopy(self.quant),
+            "embed": copy.deepcopy(self.embed),
             "resilience": copy.deepcopy(self.resilience),
             "sessions": copy.deepcopy(self.sessions),
         }
@@ -424,6 +485,31 @@ class ServeBenchResult:
                 f"position error {q['quant_error_m']:.2f} m vs oracle "
                 f"{q['oracle_error_m']:.2f} m "
                 f"(delta {q['error_delta_m']:+.3f} m)"
+            )
+        if self.embed:
+            e = self.embed
+            head = e["headline"]
+            lines.append(
+                f"\nembed: {e['n_points']} x {e['n_aps']} map -> "
+                f"{e['n_components']}-dim {e['embedder']!r} embedding, "
+                f"k={e['k']}, {e['n_queries']} queries"
+            )
+            for label, leg in (("raw kNN ", e["raw"]), ("embed-knn", e["embed"])):
+                lines.append(
+                    f"  {label}: {leg['seconds']:7.3f} s "
+                    f"({leg['requests_per_second']:7.0f} req/s, "
+                    f"error {leg['error_m']:.2f} m, "
+                    f"recall@k {leg['recall_at_k']:.3f}, "
+                    f"fit {leg['fit_seconds']:.1f} s)"
+                )
+            lines.append(
+                f"  headline: {head['speedup_vs_raw']:.2f}x req/s over raw "
+                f"kNN (floor {head['min_speedup_asserted']:.1f}x"
+                + ("" if head["floor_enforced"] else ", not enforced")
+                + f"), error ratio {head['error_ratio_vs_raw']:.3f} "
+                f"(ceiling {head['max_error_ratio_asserted']:.2f}), "
+                f"recall ratio {head['recall_ratio_vs_raw']:.3f} "
+                f"(floor {head['min_recall_ratio_asserted']:.2f})"
             )
         if self.resilience:
             r = self.resilience
@@ -1042,6 +1128,159 @@ def _quant_block(config: ServePreset, seed: int, min_speedup: float) -> dict:
     }
 
 
+def _embed_block(config: ServePreset, seed: int, min_speedup: float) -> dict:
+    """Learned-embedding ``embed-knn`` serving vs raw-RSSI kNN.
+
+    Synthesizes a *noisy* UJI-like map at the preset's embed scale
+    (heavy shadowing + per-device RSSI offsets — the regime §III-C's
+    learned feature space is for), fits the registry ``knn`` and
+    ``embed-knn`` backends on the same training split, and serves the
+    same held-out queries through both ``predict_batch`` hot paths.
+    The embed leg serves the full composed feature-space pipeline the
+    ``transform=`` seam ships — learned encoder, then the quantized
+    index over the ``embed_components``-dim points — so the claim is
+    double-ended and both ends carry floors: req/s at least
+    ``min_speedup``x raw kNN (enforced only when ``min_speedup > 0`` —
+    the smoke map is too small for a stable ratio) at matched neighbor
+    quality (location-recall@k within ``embed_min_recall_ratio`` of
+    raw, so the speedup is not bought with a degraded scan), and
+    inverse-distance-weighted position error no worse than
+    ``embed_max_error_ratio`` times raw kNN's.
+    """
+    from repro.data import generate_uji_like
+    from repro.serving.registry import create
+
+    dataset = generate_uji_like(
+        n_spots_per_building=config.embed_spots_per_building,
+        measurements_per_spot=config.embed_measurements_per_spot,
+        n_aps_per_floor=config.embed_aps_per_floor,
+        shadowing_sigma=config.embed_shadowing_sigma,
+        device_offset_sigma=config.embed_device_offset_sigma,
+        seed=seed + 5,
+    )
+    train, test = dataset.split((0.8, 0.2), rng=seed + 6)
+    k = min(int(config.embed_k), len(train))
+    rng = np.random.default_rng(seed + 7)
+    rows = rng.integers(0, len(test), size=int(config.embed_queries))
+    queries = test.rssi[rows]
+    truth = test.coordinates[rows]
+    radius = float(config.embed_recall_radius_m)
+
+    embed_params = {
+        "n_components": int(config.embed_components),
+        "epochs": int(config.embed_epochs),
+        "seed": seed,
+    }
+    if config.embed_embedder == "mlp":
+        embed_params["hidden"] = tuple(config.embed_hidden)
+        embed_params["pretrain_epochs"] = int(config.embed_pretrain_epochs)
+
+    def _leg(name: str, **params) -> dict:
+        estimator = create(name, **params)
+        tic = time.perf_counter()
+        estimator.fit(train)
+        fit_seconds = time.perf_counter() - tic
+        seconds, prediction = _median_seconds(
+            lambda: estimator.predict_batch(queries), config.repeats
+        )
+        error = float(
+            np.mean(
+                np.linalg.norm(prediction.coordinates - truth, axis=1)
+            )
+        )
+        # location recall@k — did any returned neighbor land within the
+        # recall radius of the true position?  Each backend scans its
+        # own feature space, so they are compared on the neighbor
+        # quality that actually matters for localization.
+        model = estimator.model_
+        _, indices = model.index_.query(
+            model._signals(estimator._as_dataset(queries)), k=k
+        )
+        neighbor_dist = np.linalg.norm(
+            train.coordinates[indices] - truth[:, None, :], axis=2
+        )
+        recall = float(np.mean(np.any(neighbor_dist <= radius, axis=1)))
+        return {
+            "fit_seconds": float(fit_seconds),
+            "seconds": float(seconds),
+            "requests_per_second": float(len(queries) / seconds),
+            "error_m": error,
+            "recall_at_k": recall,
+        }
+
+    raw = _leg("knn", k=k, weighted=True)
+    embed = _leg(
+        "embed-knn",
+        k=k,
+        weighted=True,
+        embedder=config.embed_embedder,
+        embed_params=embed_params,
+        quantize_bins=(
+            int(config.embed_bins) if config.embed_bins > 0 else None
+        ),
+    )
+
+    speedup = embed["requests_per_second"] / raw["requests_per_second"]
+    error_ratio = (
+        embed["error_m"] / raw["error_m"] if raw["error_m"] > 0 else 0.0
+    )
+    recall_ratio = (
+        embed["recall_at_k"] / raw["recall_at_k"]
+        if raw["recall_at_k"] > 0
+        else 1.0
+    )
+    floor_enforced = min_speedup > 0
+    if floor_enforced and speedup < min_speedup:
+        raise ServeSpeedupError(
+            f"embed-knn serves only {speedup:.2f}x the raw-RSSI kNN "
+            f"req/s on the {len(train)}-point map, below the asserted "
+            f"minimum {min_speedup:.2f}x"
+        )
+    if (
+        config.embed_max_error_ratio > 0
+        and error_ratio > config.embed_max_error_ratio
+    ):
+        raise ServeParityError(
+            f"embed-knn position error is {error_ratio:.3f}x raw kNN's "
+            f"({embed['error_m']:.2f} m vs {raw['error_m']:.2f} m), above "
+            f"the asserted ceiling {config.embed_max_error_ratio:.2f}x"
+        )
+    if (
+        config.embed_min_recall_ratio > 0
+        and recall_ratio < config.embed_min_recall_ratio
+    ):
+        raise ServeParityError(
+            f"embed-knn location-recall@{k} is {recall_ratio:.3f}x raw "
+            f"kNN's ({embed['recall_at_k']:.3f} vs "
+            f"{raw['recall_at_k']:.3f}), below the asserted floor "
+            f"{config.embed_min_recall_ratio:.2f}x — the speedup would "
+            "not be at matched recall"
+        )
+    return {
+        "n_points": int(len(train)),
+        "n_aps": int(train.n_aps),
+        "n_queries": int(len(queries)),
+        "k": int(k),
+        "embedder": str(config.embed_embedder),
+        "n_components": int(config.embed_components),
+        "n_bins": int(config.embed_bins),
+        "recall_radius_m": radius,
+        "raw": raw,
+        "embed": embed,
+        "headline": {
+            "speedup_vs_raw": float(speedup),
+            "min_speedup_asserted": float(min_speedup),
+            "error_ratio_vs_raw": float(error_ratio),
+            "max_error_ratio_asserted": float(config.embed_max_error_ratio),
+            "recall_ratio_vs_raw": float(recall_ratio),
+            "min_recall_ratio_asserted": float(
+                config.embed_min_recall_ratio
+            ),
+            "floor_enforced": floor_enforced,
+        },
+    }
+
+
 #: Backend the chaos harness serves (sharded, so the worker tier — the
 #: fault surface under test — actually runs).
 CHAOS_LEG_MODEL = "knn"
@@ -1568,6 +1807,7 @@ def run_serve_bench(
     workers: "tuple[int, ...] | None" = None,
     workers_min_speedup: "float | None" = None,
     quant_min_speedup: "float | None" = None,
+    embed_min_speedup: "float | None" = None,
     chaos_min_availability: "float | None" = None,
     track_min_tracks_per_s: "float | None" = None,
     **model_params,
@@ -1591,8 +1831,13 @@ def run_serve_bench(
     it benchmarks the uint8 radio-map scan against the monolithic
     float32 brute scan on the preset's quant-scale map, asserting
     ``quant_min_speedup`` (preset default; 0 disables) plus the
-    preset's recall and bytes-per-fingerprint floors.  The
-    ``resilience`` block (schema v5) always runs as well: a seeded
+    preset's recall and bytes-per-fingerprint floors.  The ``embed``
+    block (schema v7) always runs too: it serves the same jittered
+    queries through the raw-RSSI ``knn`` and learned-embedding
+    ``embed-knn`` backends fitted on one map, asserting an
+    ``embed_min_speedup`` req/s floor (preset default; 0 disables)
+    at matched location-recall@k, plus the preset's position-error
+    ceiling.  The ``resilience`` block (schema v5) always runs as well: a seeded
     chaos storm (worker kills, heartbeat stalls, shm-slot and
     store-artifact corruption, slow batches) against the self-protecting
     front end, asserting zero hung requests, parity on every answered
@@ -1708,6 +1953,9 @@ def run_serve_bench(
     if quant_min_speedup is None:
         quant_min_speedup = config.quant_min_speedup
     result.quant = _quant_block(config, seed, float(quant_min_speedup))
+    if embed_min_speedup is None:
+        embed_min_speedup = config.embed_min_speedup
+    result.embed = _embed_block(config, seed, float(embed_min_speedup))
     if chaos_min_availability is None:
         chaos_min_availability = config.chaos_min_availability
     result.resilience = _resilience_block(
@@ -1734,7 +1982,9 @@ def validate_serve_bench_payload(payload: dict) -> None:
     leg first, per-leg parity true, floor satisfied whenever
     ``floor_enforced``), the mandatory ``quant`` block (speedup floor
     whenever ``floor_enforced``, recall and bytes-ratio floors whenever
-    positive), the mandatory ``sessions`` block (RMSE delta vs the
+    positive), the mandatory ``embed`` block (speedup floor whenever
+    ``floor_enforced``, error-ratio ceiling and recall-ratio floor
+    whenever positive), the mandatory ``sessions`` block (RMSE delta vs the
     offline oracle exactly 0.0 m, zero lost tracks, ticks/sec floor
     whenever ``floor_enforced``), and — when present — the ``store``
     restart leg
@@ -1758,7 +2008,7 @@ def validate_serve_bench_payload(payload: dict) -> None:
         )
     for key in (
         "preset", "seed", "workload", "naive", "async", "headline",
-        "workers", "quant", "resilience", "sessions",
+        "workers", "quant", "embed", "resilience", "sessions",
     ):
         if key not in payload:
             problems.append(f"missing top-level key {key!r}")
@@ -1934,6 +2184,83 @@ def validate_serve_bench_payload(payload: dict) -> None:
                 problems.append(
                     f"quant.headline.bytes_ratio {ratio} is above the "
                     f"asserted ceiling {ratio_ceiling} "
+                    "(stale or hand-edited artifact?)"
+                )
+    embed = payload.get("embed")
+    if not isinstance(embed, dict):
+        problems.append("embed must be a dict")
+    else:
+        for key in ("n_points", "n_aps", "n_queries", "k", "n_components"):
+            if not _is(embed.get(key), int):
+                problems.append(f"embed.{key} must be an int")
+        if not isinstance(embed.get("embedder"), str):
+            problems.append("embed.embedder must be a string")
+        for side in ("raw", "embed"):
+            leg = embed.get(side)
+            if not isinstance(leg, dict):
+                problems.append(f"embed.{side} must be a dict")
+                continue
+            for key in (
+                "fit_seconds", "seconds", "requests_per_second",
+                "error_m", "recall_at_k",
+            ):
+                if not _is(leg.get(key), float):
+                    problems.append(f"embed.{side}.{key} must be a number")
+        ehead = embed.get("headline")
+        if not isinstance(ehead, dict):
+            problems.append("embed.headline must be a dict")
+        else:
+            for key in (
+                "speedup_vs_raw",
+                "min_speedup_asserted",
+                "error_ratio_vs_raw",
+                "max_error_ratio_asserted",
+                "recall_ratio_vs_raw",
+                "min_recall_ratio_asserted",
+                "floor_enforced",
+            ):
+                if key not in ehead:
+                    problems.append(f"embed.headline missing {key!r}")
+            if not isinstance(ehead.get("floor_enforced"), bool):
+                problems.append("embed.headline.floor_enforced must be bool")
+            speedup = ehead.get("speedup_vs_raw")
+            floor = ehead.get("min_speedup_asserted")
+            if ehead.get("floor_enforced") is True:
+                if not _is(speedup, float):
+                    problems.append(
+                        "embed.headline.speedup_vs_raw must be a number "
+                        "when the floor is enforced"
+                    )
+                elif _is(floor, float) and speedup < floor:
+                    problems.append(
+                        f"embed.headline.speedup_vs_raw {speedup} is "
+                        f"below the asserted floor {floor} "
+                        "(stale or hand-edited artifact?)"
+                    )
+            error_ratio = ehead.get("error_ratio_vs_raw")
+            error_ceiling = ehead.get("max_error_ratio_asserted")
+            if (
+                _is(error_ratio, float)
+                and _is(error_ceiling, float)
+                and error_ceiling > 0
+                and error_ratio > error_ceiling
+            ):
+                problems.append(
+                    f"embed.headline.error_ratio_vs_raw {error_ratio} is "
+                    f"above the asserted ceiling {error_ceiling} "
+                    "(stale or hand-edited artifact?)"
+                )
+            recall_ratio = ehead.get("recall_ratio_vs_raw")
+            recall_floor = ehead.get("min_recall_ratio_asserted")
+            if (
+                _is(recall_ratio, float)
+                and _is(recall_floor, float)
+                and recall_floor > 0
+                and recall_ratio < recall_floor
+            ):
+                problems.append(
+                    f"embed.headline.recall_ratio_vs_raw {recall_ratio} "
+                    f"is below the asserted floor {recall_floor} "
                     "(stale or hand-edited artifact?)"
                 )
     resilience = payload.get("resilience")

@@ -11,6 +11,7 @@ Run the paper's experiments without writing code::
     python -m repro.cli shard-bench     # sharded vs monolithic kNN index
     python -m repro.cli train-bench     # float32 fast path vs seed training loop
     python -m repro.cli quant-bench     # uint8 radio-map scan vs float32 scan
+    python -m repro.cli embed-bench     # learned-embedding kNN vs raw-RSSI kNN
     python -m repro.cli chaos-bench     # fault-injection storm vs the serving tier
     python -m repro.cli track-bench     # streaming trajectory sessions vs the oracle
     python -m repro.cli snapshot --model noble --store models/   # fit + persist
@@ -56,7 +57,8 @@ def main(argv: "list[str] | None" = None) -> int:
         choices=(
             "wifi", "ipin", "imu", "energy",
             "serve-bench", "shard-bench", "train-bench", "quant-bench",
-            "chaos-bench", "track-bench", "snapshot", "warm-serve",
+            "embed-bench", "chaos-bench", "track-bench", "snapshot",
+            "warm-serve",
         ),
         help="which experiment to run",
     )
@@ -143,14 +145,14 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     smoke_capable = (
-        "train-bench", "serve-bench", "quant-bench", "chaos-bench",
-        "track-bench", "snapshot", "warm-serve",
+        "train-bench", "serve-bench", "quant-bench", "embed-bench",
+        "chaos-bench", "track-bench", "snapshot", "warm-serve",
     )
     if args.experiment not in smoke_capable and args.preset == "smoke":
         raise SystemExit(
             "--preset smoke is only supported by train-bench, "
-            "serve-bench --async, quant-bench, chaos-bench, "
-            "track-bench, snapshot, and warm-serve"
+            "serve-bench --async, quant-bench, embed-bench, "
+            "chaos-bench, track-bench, snapshot, and warm-serve"
         )
     runner = {
         "wifi": run_wifi,
@@ -161,6 +163,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "shard-bench": run_shard_bench,
         "train-bench": run_train_bench,
         "quant-bench": run_quant_bench,
+        "embed-bench": run_embed_bench,
         "chaos-bench": run_chaos_bench,
         "track-bench": run_track_bench,
         "snapshot": run_snapshot,
@@ -506,6 +509,58 @@ def run_quant_bench(args) -> None:
     print(
         f"  position error {block['quant_error_m']:.2f} m vs oracle "
         f"{block['oracle_error_m']:.2f} m (delta {block['error_delta_m']:+.3f} m)"
+    )
+
+
+def run_embed_bench(args) -> None:
+    """Standalone run of the serve-bench embed block.
+
+    Fits the raw-RSSI ``knn`` and learned-embedding ``embed-knn``
+    backends on the same noisy radio map and serves the same held-out
+    queries through both, asserting the preset's req/s floor (at
+    matched location-recall@k) and position-error ceiling — the same
+    block ``serve-bench --async`` embeds in ``BENCH_serve.json``,
+    runnable in isolation (``--preset smoke`` for a seconds-scale
+    check, ``--min-speedup`` to override or disable the throughput
+    floor).
+    """
+    from repro.bench.serve import PRESETS, _embed_block
+
+    seed = args.seed if args.seed is not None else 42
+    config = PRESETS[args.preset]
+    min_speedup = (
+        config.embed_min_speedup
+        if args.min_speedup is None
+        else float(args.min_speedup)
+    )
+    try:
+        block = _embed_block(config, seed, min_speedup)
+    except (ValueError, AssertionError) as error:
+        raise SystemExit(f"embed-bench: {error}") from None
+    head = block["headline"]
+    print(
+        f"embed-bench preset={args.preset} seed={seed}: "
+        f"{block['n_points']} x {block['n_aps']} map -> "
+        f"{block['n_components']}-dim {block['embedder']!r} embedding, "
+        f"k={block['k']}, {block['n_queries']} held-out queries"
+    )
+    for label, leg in (("raw kNN ", block["raw"]), ("embed-knn", block["embed"])):
+        print(
+            f"  {label}: {leg['seconds']:7.3f} s "
+            f"({leg['requests_per_second']:7.0f} req/s, "
+            f"error {leg['error_m']:.2f} m, "
+            f"recall@k {leg['recall_at_k']:.3f}, "
+            f"fit {leg['fit_seconds']:.1f} s)"
+        )
+    print(
+        f"  {head['speedup_vs_raw']:.2f}x req/s over raw kNN "
+        f"(floor {head['min_speedup_asserted']:.1f}x"
+        + ("" if head["floor_enforced"] else ", not enforced")
+        + f"), error ratio {head['error_ratio_vs_raw']:.3f} "
+        f"(ceiling {head['max_error_ratio_asserted']:.2f}), "
+        f"recall ratio {head['recall_ratio_vs_raw']:.3f} "
+        f"(floor {head['min_recall_ratio_asserted']:.2f}, "
+        f"within {block['recall_radius_m']:.0f} m)"
     )
 
 

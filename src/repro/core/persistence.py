@@ -525,6 +525,59 @@ class _KNNFingerprintingSerializer:
         estimator.model_ = model
 
 
+@register_serializer("embed-knn")
+class _EmbeddedKNNSerializer:
+    """kNN-in-embedding-space artifacts: embedder + embedded index.
+
+    The learned embedder rides along with the index it produced
+    (:func:`repro.embedding.embedder_state`), so a warm restore serves
+    bit-identical predictions without re-training either stage — the
+    guarantee the ``embed-knn`` round-trip test pins.
+    """
+
+    @staticmethod
+    def dump(estimator):
+        from repro.embedding import embedder_state
+
+        model = _require_fitted(estimator)
+        arrays, index_meta = _index_state(model.index_, prefix="index.")
+        embed_arrays, embed_meta = embedder_state(
+            model.embedder, prefix="embedder."
+        )
+        arrays.update(embed_arrays)
+        arrays["coordinates"] = model.coordinates_
+        arrays["building"] = model.building_
+        arrays["floor"] = model.floor_
+        return arrays, {"index": index_meta, "embedder": embed_meta}
+
+    @staticmethod
+    def load(estimator, arrays, meta):
+        from repro.embedding import restore_embedder
+        from repro.localization.knn import KNNFingerprinting
+
+        kwargs = {
+            key: value
+            for key, value in estimator.params.items()
+            if key not in ("embedder", "embed_params")
+        }
+        if "partitioner" in kwargs:
+            estimator._partitioner = _restorable_partitioner(
+                estimator._partitioner, kwargs.get("shards", 1)
+            )
+            kwargs["partitioner"] = estimator._partitioner
+        model = KNNFingerprinting(
+            embedder=restore_embedder(
+                arrays, meta["embedder"], prefix="embedder."
+            ),
+            **kwargs,
+        )
+        model.index_ = _restore_index(arrays, meta["index"], prefix="index.")
+        model.coordinates_ = arrays["coordinates"]
+        model.building_ = arrays["building"].astype(int, copy=False)
+        model.floor_ = arrays["floor"].astype(int, copy=False)
+        estimator.model_ = model
+
+
 @register_serializer("knn-regressor")
 class _KNNRegressorSerializer:
     @staticmethod
@@ -605,6 +658,9 @@ class _CNNLocSerializer:
         arrays = state_arrays(model.model_, prefix="net.")
         arrays["coord_mean"] = model.coord_mean_
         arrays["coord_std"] = model.coord_std_
+        if model.binner_ is not None:
+            for name, value in model.binner_.state_arrays().items():
+                arrays[name] = value
         slices = model.head_slices_
         meta = {
             "encoder_sizes": list(model.encoder_sizes),
@@ -612,6 +668,7 @@ class _CNNLocSerializer:
             "kernel_size": model.kernel_size,
             "pool": model.pool,
             "dtype": None if model.dtype is None else str(model._dtype),
+            "quantize_bins": model.quantize_bins,
             "n_inputs": model.model_[0].in_features,
             "n_buildings": slices["building"].stop,
             "n_floors": slices["floor"].stop - slices["floor"].start,
@@ -629,7 +686,13 @@ class _CNNLocSerializer:
             kernel_size=meta["kernel_size"],
             pool=meta["pool"],
             dtype=meta["dtype"],
+            # absent in pre-quantization artifacts: those serve raw
+            quantize_bins=meta.get("quantize_bins"),
         )
+        if model.quantize_bins is not None:
+            from repro.quantization import FeatureBinner
+
+            model.binner_ = FeatureBinner.from_state_arrays(arrays)
         network, head_slices = model._build_network(
             int(meta["n_inputs"]),
             int(meta["n_buildings"]),
@@ -651,10 +714,10 @@ class _EnsembleSerializer:
     def dump(estimator):
         if estimator.ood_threshold_ is None:
             raise ValueError("cannot save an unfitted 'ensemble' estimator")
-        arrays: dict = {"ood.points": estimator._ood_index.points}
+        arrays, ood_meta = _index_state(estimator._ood_index, prefix="ood.")
         meta: dict = {
             "ood_threshold": float(estimator.ood_threshold_),
-            "ood_method": estimator._ood_index.method,
+            "ood_index": ood_meta,
             "heads_ok": bool(estimator._heads_ok),
             "children": {},
         }
@@ -686,9 +749,15 @@ class _EnsembleSerializer:
             serializer_for(child.registry_name).load(
                 child, _strip_prefix(arrays, f"{side}."), info["meta"]
             )
-        estimator._ood_index = KNNIndex(
-            arrays["ood.points"], method=meta["ood_method"]
-        )
+        if "ood_index" in meta:
+            estimator._ood_index = _restore_index(
+                arrays, meta["ood_index"], prefix="ood."
+            )
+        else:
+            # pre-quantization artifacts stored the gate as raw points
+            estimator._ood_index = KNNIndex(
+                arrays["ood.points"], method=meta["ood_method"]
+            )
         estimator.ood_threshold_ = float(meta["ood_threshold"])
         estimator._heads_ok = bool(meta["heads_ok"])
         estimator.routes_ = {"primary": 0, "fallback": 0}

@@ -1,0 +1,191 @@
+"""Shallow-MLP fingerprint embedder on the repro.nn substrate.
+
+The nonlinear counterpart to :class:`repro.embedding.NCAEmbedder`:
+a stacked-autoencoder-pretrained tanh MLP (the same greedy procedure
+CNNLoc uses as its front-end) fine-tuned to *predict coordinates* from
+the embedding.  The supervised head forces the bottleneck to organize
+by physical position — fingerprints of nearby spots land nearby in
+embedding space — then the head is discarded and the encoder alone
+serves as the feature map for kNN.
+
+Training reuses the fused float32 optimizers and :class:`Trainer` of
+:mod:`repro.nn`, so the embedder benefits from the same fast path the
+NObLe/CNNLoc cold fits ride.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Adam,
+    DataLoader,
+    Linear,
+    MSELoss,
+    Sequential,
+    Tanh,
+    TensorDataset,
+    Trainer,
+    TrainingHistory,
+)
+from repro.nn.autoencoder import pretrain_stacked_autoencoder
+from repro.nn.dtypes import resolve_dtype
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d
+
+
+class MLPEmbedder:
+    """AE-pretrained shallow MLP, fine-tuned on coordinates, head dropped.
+
+    Parameters
+    ----------
+    n_components:
+        Bottleneck width — the embedding dimensionality.
+    hidden:
+        Widths of the encoder layers in front of the bottleneck.
+    pretrain_epochs, epochs, batch_size, lr:
+        Greedy AE pretraining epochs, then supervised fine-tune
+        schedule.
+    dtype / fused:
+        Compute precision and the allocation-free trainer fast path —
+        same semantics as the other :mod:`repro.nn` models
+        (``dtype="float32"``, ``fused=True`` is the fast
+        configuration).
+    """
+
+    def __init__(
+        self,
+        n_components: int = 16,
+        hidden: tuple = (64,),
+        pretrain_epochs: int = 10,
+        epochs: int = 40,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed=0,
+        dtype=None,
+        fused: bool = True,
+    ):
+        if n_components <= 0:
+            raise ValueError(
+                f"n_components must be positive, got {n_components}"
+            )
+        self.n_components = int(n_components)
+        self.hidden = tuple(int(h) for h in hidden)
+        self.pretrain_epochs = int(pretrain_epochs)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.seed = seed
+        self.dtype = dtype
+        self._dtype = resolve_dtype(dtype)
+        self.fused = bool(fused)
+        self.encoder_: "Sequential | None" = None
+        self.model_: "Sequential | None" = None
+        self.n_features_in_: "int | None" = None
+        self.history_: "TrainingHistory | None" = None
+
+    @property
+    def params(self) -> dict:
+        """Constructor kwargs that rebuild this configuration exactly.
+
+        ``dtype`` is canonicalized to its string spelling (or None) so
+        the dict is JSON-serializable for artifact metadata.
+        """
+        return {
+            "n_components": self.n_components,
+            "hidden": list(self.hidden),
+            "pretrain_epochs": self.pretrain_epochs,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "seed": self.seed,
+            "dtype": None if self.dtype is None else str(self._dtype),
+            "fused": self.fused,
+        }
+
+    def fit(self, data: np.ndarray, coordinates: np.ndarray) -> "MLPEmbedder":
+        """Train on (N, D) inputs and their (N, 2) positions in meters."""
+        data = check_2d(data, "data")
+        coordinates = check_2d(coordinates, "coordinates")
+        if len(coordinates) != len(data):
+            raise ValueError(
+                f"coordinates rows {len(coordinates)} != data rows {len(data)}"
+            )
+        rng = ensure_rng(self.seed)
+        self.n_features_in_ = data.shape[1]
+        signals = np.asarray(data).astype(self._dtype, copy=False)
+        encoders = pretrain_stacked_autoencoder(
+            signals,
+            [*self.hidden, self.n_components],
+            epochs=self.pretrain_epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            rng=rng,
+            dtype=self._dtype,
+            fused=self.fused,
+        )
+        # pretraining disables the input-gradient matmul on every
+        # encoder (each fronted its own AE); mid-stack layers of the
+        # composed network do need it for backprop to reach the layers
+        # beneath them
+        for encoder in encoders[1:]:
+            encoder.input_grad = True
+        self.encoder_, self.model_ = self._build_network(
+            self.n_features_in_, rng, encoders=encoders
+        )
+        mean = coordinates.mean(axis=0)
+        std = coordinates.std(axis=0)
+        std[std == 0] = 1.0
+        targets = ((coordinates - mean) / std).astype(self._dtype, copy=False)
+        trainer = Trainer(
+            self.model_,
+            MSELoss(compat=not self.fused),
+            Adam(self.model_.parameters(), lr=self.lr, fused=self.fused),
+            fused=self.fused,
+        )
+        loader = DataLoader(
+            TensorDataset(signals, targets),
+            batch_size=self.batch_size,
+            rng=rng,
+            fast_collate=self.fused,
+        )
+        self.history_ = trainer.fit(loader, epochs=self.epochs)
+        return self
+
+    def _build_network(
+        self, n_inputs: int, rng, encoders: "list[Linear] | None" = None
+    ) -> "tuple[Sequential, Sequential]":
+        """(encoder, encoder + coordinate head) sharing the same modules.
+
+        ``encoders`` are the pretrained layers from :meth:`fit`; None
+        (the persistence restore path) builds architecturally identical
+        fresh layers whose weights the caller overwrites.
+        """
+        if encoders is None:
+            sizes = (int(n_inputs), *self.hidden, self.n_components)
+            encoders = [
+                Linear(
+                    n_in, n_out, rng=rng, dtype=self._dtype,
+                    input_grad=index > 0,
+                )
+                for index, (n_in, n_out) in enumerate(zip(sizes, sizes[1:]))
+            ]
+        layers: list = []
+        for encoder in encoders:
+            layers.extend([encoder, Tanh()])
+        encoder_net = Sequential(*layers)
+        head = Linear(self.n_components, 2, rng=rng, dtype=self._dtype)
+        return encoder_net, Sequential(*layers, head)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Embed (M, D) rows into the learned (M, n_components) space."""
+        if self.encoder_ is None:
+            raise ValueError("MLPEmbedder is not fitted; call fit() first")
+        data = check_2d(data, "data")
+        self.encoder_.eval()
+        return np.asarray(self.encoder_(np.asarray(data)))
+
+    def fit_transform(
+        self, data: np.ndarray, coordinates: np.ndarray
+    ) -> np.ndarray:
+        return self.fit(data, coordinates).transform(data)

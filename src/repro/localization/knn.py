@@ -28,6 +28,14 @@ class KNNFingerprinting:
     also leaves unspecified), only the scan strategy differs.  The
     default ``partitioner="auto"`` shards by the dataset's
     (building, floor) labels.
+
+    ``embedder`` prepends a learned feature map from
+    :mod:`repro.embedding` to the whole pipeline: the radio map is
+    embedded once at fit (an unfitted embedder is trained on the
+    dataset first), the index/binner stack is built on the embedded
+    points, and every query batch is embedded before the neighbor
+    scan.  This is the model behind the ``"embed-knn"`` serving
+    backend.
     """
 
     def __init__(
@@ -37,6 +45,7 @@ class KNNFingerprinting:
         shards: int = 1,
         partitioner="auto",
         quantize_bins: "int | None" = None,
+        embedder=None,
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -49,6 +58,7 @@ class KNNFingerprinting:
         self.quantize_bins = (
             None if quantize_bins is None else int(quantize_bins)
         )
+        self.embedder = embedder
         self.index_ = None  # KNNIndex | ShardedKNNIndex after fit
         self.coordinates_: "np.ndarray | None" = None
         self.building_: "np.ndarray | None" = None
@@ -59,7 +69,12 @@ class KNNFingerprinting:
             raise ValueError(
                 f"training set has {len(dataset)} samples but k={self.k}"
             )
-        signals = dataset.normalized_signals()
+        if self.embedder is not None:
+            from repro.embedding import fit_embedder, is_fitted
+
+            if not is_fitted(self.embedder):
+                fit_embedder(self.embedder, dataset)
+        signals = self._signals(dataset)
         binner = self._fit_binner(signals)
         if self.shards > 1:
             from repro.sharding import ShardedKNNIndex
@@ -152,11 +167,20 @@ class KNNFingerprinting:
     def _labels_from(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return _majority(self.building_[indices]), _majority(self.floor_[indices])
 
-    @staticmethod
-    def _signals(dataset) -> np.ndarray:
+    def _signals(self, dataset) -> np.ndarray:
+        """Feature rows for ``dataset``: normalized RSSI, then embedded.
+
+        The single entry point of the feature space — fit and every
+        predict path come through here, so stored points and queries
+        can never disagree about the embedding.
+        """
         if isinstance(dataset, FingerprintDataset):
-            return dataset.normalized_signals()
-        return np.asarray(dataset, dtype=float)
+            signals = dataset.normalized_signals()
+        else:
+            signals = np.asarray(dataset, dtype=float)
+        if self.embedder is not None:
+            signals = np.asarray(self.embedder.transform(signals), dtype=float)
+        return signals
 
 
 def _majority(labels: np.ndarray) -> np.ndarray:

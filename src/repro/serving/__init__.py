@@ -6,9 +6,17 @@ The production-facing seam of the repo.  Four pieces compose:
     :class:`Estimator` protocol (``fit(dataset)`` /
     ``predict_batch(raw_signals) -> Prediction``) plus a name-keyed
     registry adapting every localization backend — ``"knn"``,
-    ``"noble"``, ``"cnnloc"``, ``"knn-regressor"``, ``"forest"``, and
-    the multi-backend ``"ensemble"`` (NObLe primary with a kNN fallback
+    ``"noble"``, ``"cnnloc"``, ``"knn-regressor"``, ``"forest"``,
+    ``"embed-knn"`` (kNN in a learned embedding space), and the
+    multi-backend ``"ensemble"`` (NObLe primary with a kNN fallback
     for out-of-distribution scans).
+``pipeline``
+    :class:`FeaturePipeline`, the composable feature-space seam the
+    kNN-family backends share: one validated embedder → binner →
+    sharded-index chain (``transform=``), with the legacy
+    ``shards``/``partitioner``/``quantize_bins``/``dtype`` kwargs kept
+    working as shims and every stage absent-by-default so existing
+    cache keys and on-disk artifacts resolve unchanged.
 ``cache``
     :class:`ModelCache`, a thread-safe LRU of fitted models keyed by
     dataset fingerprint + hyperparameters, with a per-key in-flight
@@ -119,7 +127,9 @@ from repro.serving.frontend import (
     RequestTimeoutError,
     ServingFrontend,
     ShedError,
+    TenantPane,
 )
+from repro.serving.pipeline import PIPELINE_STAGES, FeaturePipeline
 from repro.serving.resilience import (
     AdmissionPolicy,
     BlockAdmission,
@@ -179,6 +189,8 @@ __all__ = [
     "get",
     "register",
     "params_key",
+    "FeaturePipeline",
+    "PIPELINE_STAGES",
     "ModelCache",
     "CacheStats",
     "dataset_fingerprint",
@@ -191,6 +203,7 @@ __all__ = [
     "ServingFrontend",
     "AsyncTicket",
     "FrontendStats",
+    "TenantPane",
     "QueueFullError",
     "FrontendClosedError",
     "RequestTimeoutError",

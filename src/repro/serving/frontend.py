@@ -249,6 +249,39 @@ class _AdmissionView:
 
 
 @dataclass
+class TenantPane:
+    """Per-tenant admission counters inside :class:`FrontendStats`.
+
+    Typed replacement for the ad-hoc ``{"pending": .., "admitted": ..,
+    "shed": ..}`` dicts the pane used to hold.  Mapping-style access
+    (``pane["shed"]``) and :meth:`to_dict` keep the exact keys the
+    dict era exposed, so existing dashboards and tests read it
+    unchanged.
+    """
+
+    #: Requests of this tenant currently queued.
+    pending: int = 0
+    #: Requests admitted past the admission policy since startup.
+    admitted: int = 0
+    #: Requests shed (refused at arrival or evicted for fairness).
+    shed: int = 0
+
+    def __getitem__(self, key: str) -> int:
+        try:
+            return self.to_dict()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def to_dict(self) -> "dict[str, int]":
+        """The pane as the historical plain-dict shape (stable keys)."""
+        return {
+            "pending": self.pending,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }
+
+
+@dataclass
 class FrontendStats:
     """Counters exposed by :meth:`ServingFrontend.stats`.
 
@@ -257,7 +290,9 @@ class FrontendStats:
     — worker-pool ``respawns``, the circuit ``breaker_state`` and
     ``failovers`` of a resilient executor, and the attached model
     cache's ``disk_hits`` / ``spill_failures`` — so nobody has to poke
-    three objects to know whether the tier is healthy.
+    three objects to know whether the tier is healthy.  :meth:`to_dict`
+    renders the whole pane as JSON-ready plain dicts with the same keys
+    every field has always had.
     """
 
     submitted: int
@@ -270,8 +305,9 @@ class FrontendStats:
     #: Total requests shed by the admission policy (refused arrivals
     #: plus queued requests evicted for fairness).
     shed: int = 0
-    #: Per-tenant ``{"pending": n, "admitted": n, "shed": n}`` counters.
-    tenants: dict = field(default_factory=dict)
+    #: Per-tenant :class:`TenantPane` counters (mapping access keeps
+    #: the historical ``tenants[t]["shed"]`` spelling working).
+    tenants: "dict[str, TenantPane]" = field(default_factory=dict)
     #: EWMA per-request service time through the executor, in ms
     #: (None until the first batch lands).
     service_estimate_ms: "float | None" = None
@@ -290,6 +326,12 @@ class FrontendStats:
     def mean_batch_fill(self) -> float:
         """Average queries per model call (batch efficiency)."""
         return self.served / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        """The pane as JSON-ready plain dicts (stable historical keys)."""
+        from dataclasses import asdict
+
+        return asdict(self)
 
 
 class ServingFrontend:
@@ -793,11 +835,11 @@ class ServingFrontend:
                 pool = getattr(executor, "pool", None)
                 respawns = getattr(pool, "respawns", 0)
             tenants = {
-                tenant: {
-                    "pending": self._tenant_pending.get(tenant, 0),
-                    "admitted": counters["admitted"],
-                    "shed": counters["shed"],
-                }
+                tenant: TenantPane(
+                    pending=self._tenant_pending.get(tenant, 0),
+                    admitted=counters["admitted"],
+                    shed=counters["shed"],
+                )
                 for tenant, counters in self._tenant_stats.items()
             }
             ewma = self._service_ewma_s

@@ -1,0 +1,357 @@
+"""The feature-space pipeline seam shared by the serving backends.
+
+Historically every adapter in :mod:`repro.serving.registry` re-plumbed
+the same four hyperparameters — ``shards``, ``partitioner``,
+``quantize_bins``, ``dtype`` — through its own constructor, each
+re-implementing the canonicalization rules that keep
+:class:`~repro.serving.cache.ModelCache` /
+:class:`~repro.core.persistence.ModelStore` keys stable.  This module
+is the one shared seam: a validated **embedder → binner → index**
+chain (:class:`FeaturePipeline`) that every kNN-family backend
+resolves its configuration through, plus the canonical-param helpers
+the rest of the registry keys with.
+
+Two spellings construct the same pipeline::
+
+    create("knn", shards=4, quantize_bins=16)                  # legacy kwargs
+    create("knn", transform={"shard": 4, "bin": 16})           # transform= chain
+
+and mixing them for the *same* stage is an error rather than a silent
+override.  The learned-embedding stage (``"embed"``) is only available
+on backends that declare it (the ``"embed-knn"`` backend); everywhere
+else it fails at construction with a pointer to the right backend.
+
+Cache-key stability is the load-bearing invariant: every stage is
+**absent-by-default** in the canonical params (``shards=1``,
+``quantize_bins=None``, ``dtype=None`` produce no key at all), so
+pre-existing ``describe()`` strings, cache keys, and on-disk
+:class:`ModelStore` artifacts resolve unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Stage names, in hot-path application order.
+PIPELINE_STAGES = ("embed", "bin", "shard")
+
+
+def _canonical_seed(seed):
+    """Collapse equivalent integer seed spellings for stable cache keys."""
+    return int(seed) if isinstance(seed, (bool, int, np.integer)) else seed
+
+
+def _dtype_param(dtype) -> dict:
+    """Canonical ``dtype`` entry for an adapter's params.
+
+    Returns ``{}`` for ``None`` (the float64 default) so pre-existing
+    describe() strings and :class:`repro.serving.cache.ModelCache` keys
+    are untouched; otherwise the dtype's canonical string
+    (``"float32"``/``"float64"``), so equivalent spellings
+    (``np.float32`` vs ``"float32"``) share one cache entry and the two
+    precisions never alias each other.
+    """
+    if dtype is None:
+        return {}
+    from repro.nn.dtypes import resolve_dtype
+
+    return {"dtype": str(resolve_dtype(dtype))}
+
+
+def _quantize_param(quantize_bins) -> dict:
+    """Canonical ``quantize_bins`` entry for an adapter's params.
+
+    Returns ``{}`` for ``None`` (the raw-float default) so pre-existing
+    describe() strings and :class:`repro.serving.cache.ModelCache` keys
+    are untouched; a set value is validated here so a bad bin count
+    fails at construction, before any fit work happens.
+    """
+    if quantize_bins is None:
+        return {}
+    from repro.quantization.binning import MAX_BINS
+
+    bins = int(quantize_bins)
+    if not 2 <= bins <= MAX_BINS:
+        raise ValueError(
+            f"quantize_bins must be in [2, {MAX_BINS}], got {bins}"
+        )
+    return {"quantize_bins": bins}
+
+
+def _sharding_params(shards, partitioner=None) -> dict:
+    """Canonical ``shards``/``partitioner`` entries for an adapter's params.
+
+    Returns ``{}`` for the unsharded default so existing describe()
+    strings and :class:`repro.serving.cache.ModelCache` keys are
+    untouched — ``shards=1`` is behaviorally identical to omitting it.
+    A partitioner instance is keyed by its canonical ``describe()``
+    string, so differing policies never share a cache entry.
+    """
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if (
+        partitioner is not None
+        and hasattr(partitioner, "n_shards")
+        and partitioner.n_shards != shards
+    ):
+        raise ValueError(
+            f"shards={shards} conflicts with the partitioner's "
+            f"n_shards={partitioner.n_shards}"
+        )
+    if shards == 1:
+        return {}
+    params = {"shards": shards}
+    if partitioner is not None:
+        params["partitioner"] = (
+            partitioner.describe()
+            if hasattr(partitioner, "describe")
+            else str(partitioner)
+        )
+    return params
+
+
+class FeaturePipeline:
+    """A validated embedder → binner → sharded-index configuration.
+
+    Backends construct one through :meth:`resolve` (which merges the
+    ``transform=`` spelling with the legacy per-stage kwargs), then key
+    themselves with :meth:`canonical_params` and build the hot-path
+    stages with :meth:`build_embedder` / the raw ``partitioner`` /
+    ``quantize_bins`` attributes.
+
+    Parameters
+    ----------
+    backend:
+        Registry name of the owning backend — only used in error
+        messages.
+    stages:
+        The stages this backend supports, a subset of
+        :data:`PIPELINE_STAGES`.  Configuring an unsupported stage is a
+        construction-time error.
+    embedder / embed_params:
+        Learned-embedding stage: an embedder kind from
+        :data:`repro.embedding.EMBEDDER_KINDS` plus its constructor
+        kwargs.
+    shards / partitioner:
+        Index-sharding stage (the raw partitioner spec is kept for
+        fit; its canonical ``describe()`` string goes into the key).
+    quantize_bins:
+        uint8 radio-map quantization stage.
+    dtype:
+        Compute precision, canonicalized like the nn backends.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "?",
+        stages: tuple = ("bin", "shard"),
+        embedder: "str | None" = None,
+        embed_params: "dict | None" = None,
+        shards: int = 1,
+        partitioner=None,
+        quantize_bins: "int | None" = None,
+        dtype=None,
+    ):
+        unknown = set(stages) - set(PIPELINE_STAGES)
+        if unknown:
+            raise ValueError(
+                f"unknown pipeline stages {sorted(unknown)}; "
+                f"available: {', '.join(PIPELINE_STAGES)}"
+            )
+        self.backend = backend
+        self.stages = tuple(stages)
+        if embedder is not None:
+            if "embed" not in self.stages:
+                raise ValueError(
+                    f"backend {backend!r} has no learned-embedding stage; "
+                    "use the 'embed-knn' backend for embedded serving"
+                )
+            from repro.embedding import EMBEDDER_KINDS
+
+            if embedder not in EMBEDDER_KINDS:
+                raise ValueError(
+                    f"unknown embedder kind {embedder!r}; available: "
+                    f"{', '.join(EMBEDDER_KINDS)}"
+                )
+        elif embed_params:
+            raise ValueError("embed_params given without an embedder kind")
+        if quantize_bins is not None and "bin" not in self.stages:
+            raise ValueError(
+                f"backend {backend!r} has no quantization stage"
+            )
+        if int(shards) != 1 and "shard" not in self.stages:
+            raise ValueError(f"backend {backend!r} has no sharding stage")
+        self.embedder_kind = embedder
+        self.embed_params = dict(embed_params or {})
+        self.shards = int(shards)
+        self.partitioner = partitioner
+        self.quantize_bins = quantize_bins
+        self.dtype = dtype
+        # validate eagerly: a bad configuration must fail at
+        # construction, not at fit time deep inside a cache miss
+        self.canonical_params()
+
+    @classmethod
+    def resolve(
+        cls,
+        transform=None,
+        *,
+        backend: str = "?",
+        stages: tuple = ("bin", "shard"),
+        embedder: "str | None" = None,
+        embed_params: "dict | None" = None,
+        shards: int = 1,
+        partitioner=None,
+        quantize_bins: "int | None" = None,
+        dtype=None,
+    ) -> "FeaturePipeline":
+        """Merge the ``transform=`` spelling with the legacy kwargs.
+
+        ``transform`` is ``None``, an existing :class:`FeaturePipeline`
+        (re-validated against this backend's stages), or a dict with
+        keys from ``{"embed", "bin", "shard", "dtype"}``::
+
+            {"embed": "mlp"}                           # kind, default params
+            {"embed": {"kind": "mlp", "epochs": 20}}   # kind + params
+            {"bin": 16}                                # quantize_bins
+            {"shard": 4}                               # shards
+            {"shard": {"shards": 4, "partitioner": p}} # + partitioner
+            {"dtype": "float32"}
+
+        Setting the same stage through both spellings raises — silent
+        override would make two different-looking configurations alias
+        one cache key.
+        """
+        if transform is None:
+            return cls(
+                backend=backend,
+                stages=stages,
+                embedder=embedder,
+                embed_params=embed_params,
+                shards=shards,
+                partitioner=partitioner,
+                quantize_bins=quantize_bins,
+                dtype=dtype,
+            )
+        if isinstance(transform, FeaturePipeline):
+            spec = transform.spec()
+        elif isinstance(transform, dict):
+            spec = dict(transform)
+        else:
+            raise TypeError(
+                "transform must be a dict or FeaturePipeline, got "
+                f"{type(transform).__name__}"
+            )
+        unknown = set(spec) - {"embed", "bin", "shard", "dtype"}
+        if unknown:
+            raise ValueError(
+                f"unknown transform stages {sorted(unknown)}; allowed: "
+                "embed, bin, shard, dtype"
+            )
+
+        def conflict(stage, legacy_name):
+            raise ValueError(
+                f"transform sets the {stage!r} stage but the legacy "
+                f"{legacy_name} kwarg is also set; use one spelling"
+            )
+
+        if "embed" in spec:
+            if embedder is not None:
+                conflict("embed", "embedder=")
+            embed_spec = spec["embed"]
+            if isinstance(embed_spec, str):
+                embedder, embed_params = embed_spec, {}
+            elif isinstance(embed_spec, dict):
+                embed_spec = dict(embed_spec)
+                try:
+                    embedder = embed_spec.pop("kind")
+                except KeyError:
+                    raise ValueError(
+                        "transform embed stage needs a 'kind' entry"
+                    ) from None
+                embed_params = embed_spec
+            else:
+                raise TypeError(
+                    "transform embed stage must be a kind string or a "
+                    f"dict, got {type(embed_spec).__name__}"
+                )
+        if "bin" in spec:
+            if quantize_bins is not None:
+                conflict("bin", "quantize_bins=")
+            quantize_bins = spec["bin"]
+        if "shard" in spec:
+            if int(shards) != 1:
+                conflict("shard", "shards=")
+            shard_spec = spec["shard"]
+            if isinstance(shard_spec, dict):
+                shard_spec = dict(shard_spec)
+                shards = shard_spec.pop("shards")
+                # an omitted partitioner keeps the backend's default
+                partitioner = shard_spec.pop("partitioner", partitioner)
+                if shard_spec:
+                    raise ValueError(
+                        "transform shard stage allows only 'shards' and "
+                        f"'partitioner', got extras {sorted(shard_spec)}"
+                    )
+            else:
+                shards = shard_spec
+        if "dtype" in spec:
+            if dtype is not None:
+                conflict("dtype", "dtype=")
+            dtype = spec["dtype"]
+        return cls(
+            backend=backend,
+            stages=stages,
+            embedder=embedder,
+            embed_params=embed_params,
+            shards=shards,
+            partitioner=partitioner,
+            quantize_bins=quantize_bins,
+            dtype=dtype,
+        )
+
+    def spec(self) -> dict:
+        """This pipeline as a ``transform=`` dict (resolve's inverse)."""
+        spec: dict = {}
+        if self.embedder_kind is not None:
+            spec["embed"] = {"kind": self.embedder_kind, **self.embed_params}
+        if self.quantize_bins is not None:
+            spec["bin"] = self.quantize_bins
+        if self.shards != 1:
+            spec["shard"] = {
+                "shards": self.shards, "partitioner": self.partitioner
+            }
+        if self.dtype is not None:
+            spec["dtype"] = self.dtype
+        return spec
+
+    def build_embedder(self):
+        """A fresh (unfitted) embedder instance, or None without one."""
+        if self.embedder_kind is None:
+            return None
+        from repro.embedding import make_embedder
+
+        return make_embedder(self.embedder_kind, **self.embed_params)
+
+    def canonical_params(self) -> dict:
+        """The pipeline's contribution to the owning estimator's params.
+
+        Every stage is absent-by-default (see the module docstring), so
+        legacy configurations key exactly as before this seam existed.
+        The embed stage keys as ``embedder`` (the kind) plus
+        ``embed_params`` — the embedder's *canonicalized* constructor
+        kwargs (defaults filled in, seed spellings collapsed), the same
+        convention the ensemble backend uses for its children.
+        """
+        params: dict = {}
+        if self.embedder_kind is not None:
+            embed_params = dict(self.build_embedder().params)
+            embed_params["seed"] = _canonical_seed(embed_params.get("seed", 0))
+            params["embedder"] = self.embedder_kind
+            params["embed_params"] = dict(sorted(embed_params.items()))
+        params.update(_sharding_params(self.shards, self.partitioner))
+        params.update(_quantize_param(self.quantize_bins))
+        params.update(_dtype_param(self.dtype))
+        return params

@@ -29,6 +29,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.ujiindoor import FingerprintDataset
+from repro.serving.pipeline import (
+    FeaturePipeline,
+    _canonical_seed,
+    _sharding_params,
+)
 from repro.utils.validation import check_2d, check_fitted
 
 #: name -> Estimator subclass; populated by :func:`register`.
@@ -194,80 +199,10 @@ def params_key(hyperparams: dict) -> str:
     return repr(sorted(hyperparams.items()))
 
 
-def _canonical_seed(seed):
-    """Collapse equivalent integer seed spellings for stable cache keys."""
-    return int(seed) if isinstance(seed, (bool, int, np.integer)) else seed
-
-
-def _dtype_param(dtype) -> dict:
-    """Canonical ``dtype`` entry for an adapter's params.
-
-    Returns ``{}`` for ``None`` (the float64 default) so pre-existing
-    describe() strings and :class:`repro.serving.cache.ModelCache` keys
-    are untouched; otherwise the dtype's canonical string
-    (``"float32"``/``"float64"``), so equivalent spellings
-    (``np.float32`` vs ``"float32"``) share one cache entry and the two
-    precisions never alias each other.
-    """
-    if dtype is None:
-        return {}
-    from repro.nn.dtypes import resolve_dtype
-
-    return {"dtype": str(resolve_dtype(dtype))}
-
-
-def _quantize_param(quantize_bins) -> dict:
-    """Canonical ``quantize_bins`` entry for an adapter's params.
-
-    Returns ``{}`` for ``None`` (the raw-float default) so pre-existing
-    describe() strings and :class:`repro.serving.cache.ModelCache` keys
-    are untouched; a set value is validated here so a bad bin count
-    fails at construction, before any fit work happens.
-    """
-    if quantize_bins is None:
-        return {}
-    from repro.quantization.binning import MAX_BINS
-
-    bins = int(quantize_bins)
-    if not 2 <= bins <= MAX_BINS:
-        raise ValueError(
-            f"quantize_bins must be in [2, {MAX_BINS}], got {bins}"
-        )
-    return {"quantize_bins": bins}
-
-
-def _sharding_params(shards, partitioner=None) -> dict:
-    """Canonical ``shards``/``partitioner`` entries for an adapter's params.
-
-    Returns ``{}`` for the unsharded default so existing describe()
-    strings and :class:`repro.serving.cache.ModelCache` keys are
-    untouched — ``shards=1`` is behaviorally identical to omitting it.
-    A partitioner instance is keyed by its canonical ``describe()``
-    string, so differing policies never share a cache entry.
-    """
-    shards = int(shards)
-    if shards < 1:
-        raise ValueError(f"shards must be >= 1, got {shards}")
-    if (
-        partitioner is not None
-        and hasattr(partitioner, "n_shards")
-        and partitioner.n_shards != shards
-    ):
-        raise ValueError(
-            f"shards={shards} conflicts with the partitioner's "
-            f"n_shards={partitioner.n_shards}"
-        )
-    if shards == 1:
-        return {}
-    params = {"shards": shards}
-    if partitioner is not None:
-        params["partitioner"] = (
-            partitioner.describe()
-            if hasattr(partitioner, "describe")
-            else str(partitioner)
-        )
-    return params
-
+# The canonical-param helpers (_canonical_seed, _dtype_param,
+# _quantize_param, _sharding_params) moved to repro.serving.pipeline —
+# the shared feature-space seam; the ones adapters still call are
+# re-imported above.
 
 # --------------------------------------------------------------------- adapters
 @register("knn")
@@ -290,13 +225,21 @@ class KNNFingerprintingEstimator(Estimator):
         shards: int = 1,
         partitioner="auto",
         quantize_bins: "int | None" = None,
+        transform=None,
     ):
-        self._partitioner = partitioner
+        self._pipeline = FeaturePipeline.resolve(
+            transform,
+            backend="knn",
+            stages=("bin", "shard"),
+            shards=shards,
+            partitioner=partitioner,
+            quantize_bins=quantize_bins,
+        )
+        self._partitioner = self._pipeline.partitioner
         super().__init__(
             k=int(k),
             weighted=bool(weighted),
-            **_sharding_params(shards, partitioner),
-            **_quantize_param(quantize_bins),
+            **self._pipeline.canonical_params(),
         )
         self.model_ = None
 
@@ -308,6 +251,97 @@ class KNNFingerprintingEstimator(Estimator):
             # the model needs the raw spec, not the cache-key string
             kwargs["partitioner"] = self._partitioner
         self.model_ = KNNFingerprinting(**kwargs).fit(dataset)
+        return self
+
+    def predict_batch(self, signals: np.ndarray) -> Prediction:
+        check_fitted(self, "model_")
+        coordinates, building, floor = self.model_.predict_full(
+            self._as_dataset(signals)
+        )
+        return Prediction(coordinates=coordinates, building=building, floor=floor)
+
+
+@register("embed-knn")
+class EmbeddedKNNEstimator(Estimator):
+    """kNN fingerprinting in a learned embedding space.
+
+    The full feature-space pipeline: a learned embedder (§III-C — an
+    NCA metric learner or an AE-pretrained MLP from
+    :mod:`repro.embedding`) maps the radio map into a compact space at
+    fit, the existing sharded/quantized kNN index stack is built on the
+    *embedded* points, and query batches are embedded on the hot path
+    before the neighbor scan.  Distances shrink from the raw WAP count
+    to ``n_components``, so the scan is faster *and* — because the
+    embedding pulls same-location fingerprints together — typically
+    more accurate than raw-RSSI kNN (``python -m repro.cli
+    embed-bench`` pins both claims).
+
+    ``embedder`` picks the learner (``"mlp"`` default, or
+    ``"metric"``); ``embed_params`` are its constructor kwargs.  The
+    ``transform=`` spelling configures the same chain explicitly::
+
+        create("embed-knn", transform={
+            "embed": {"kind": "mlp", "n_components": 16},
+            "bin": 16,
+            "shard": 4,
+        })
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        weighted: bool = True,
+        embedder: "str | None" = None,
+        embed_params: "dict | None" = None,
+        shards: int = 1,
+        partitioner="auto",
+        quantize_bins: "int | None" = None,
+        transform=None,
+    ):
+        transform_embeds = (
+            isinstance(transform, dict) and "embed" in transform
+        ) or (
+            isinstance(transform, FeaturePipeline)
+            and transform.embedder_kind is not None
+        )
+        if embedder is None and not transform_embeds:
+            # an embedded backend always embeds: default to the MLP
+            embedder = "mlp"
+        pipeline = FeaturePipeline.resolve(
+            transform,
+            backend="embed-knn",
+            stages=("embed", "bin", "shard"),
+            embedder=embedder,
+            embed_params=embed_params,
+            shards=shards,
+            partitioner=partitioner,
+            quantize_bins=quantize_bins,
+        )
+        self._pipeline = pipeline
+        self._partitioner = pipeline.partitioner
+        super().__init__(
+            k=int(k),
+            weighted=bool(weighted),
+            **pipeline.canonical_params(),
+        )
+        self.model_ = None
+
+    def fit(self, dataset: FingerprintDataset) -> "EmbeddedKNNEstimator":
+        from repro.embedding import fit_embedder
+        from repro.localization.knn import KNNFingerprinting
+
+        embedder = fit_embedder(self._pipeline.build_embedder(), dataset)
+        kwargs = {
+            key: value
+            for key, value in self.params.items()
+            if key not in ("embedder", "embed_params")
+        }
+        if "partitioner" in kwargs:
+            # the model needs the raw spec, not the cache-key string
+            kwargs["partitioner"] = self._partitioner
+        self.model_ = KNNFingerprinting(embedder=embedder, **kwargs).fit(
+            dataset
+        )
         return self
 
     def predict_batch(self, signals: np.ndarray) -> Prediction:
@@ -342,7 +376,16 @@ class NObLeWifiEstimator(Estimator):
         shards: int = 1,
         dtype=None,
         quantize_bins: "int | None" = None,
+        transform=None,
     ):
+        self._pipeline = FeaturePipeline.resolve(
+            transform,
+            backend="noble",
+            stages=("bin", "shard"),
+            shards=shards,
+            quantize_bins=quantize_bins,
+            dtype=dtype,
+        )
         super().__init__(
             tau=float(tau),
             coarse=float(coarse),
@@ -353,9 +396,7 @@ class NObLeWifiEstimator(Estimator):
             lr=float(lr),
             val_fraction=float(val_fraction),
             seed=_canonical_seed(seed),
-            **_sharding_params(shards),
-            **_dtype_param(dtype),
-            **_quantize_param(quantize_bins),
+            **self._pipeline.canonical_params(),
         )
         self.model_ = None
         self._replicas_: list = []
@@ -426,6 +467,8 @@ class CNNLocEstimator(Estimator):
 
     ``dtype="float32"`` selects the fused float32 training fast path; a
     cache-keyed hyperparameter like on the ``noble`` backend.
+    ``quantize_bins`` trains and serves on the uint8-quantized radio
+    map (same semantics as the kNN/NObLe backends).
     """
 
     def __init__(
@@ -438,7 +481,16 @@ class CNNLocEstimator(Estimator):
         lr: float = 1e-3,
         seed=0,
         dtype=None,
+        quantize_bins: "int | None" = None,
+        transform=None,
     ):
+        self._pipeline = FeaturePipeline.resolve(
+            transform,
+            backend="cnnloc",
+            stages=("bin",),
+            quantize_bins=quantize_bins,
+            dtype=dtype,
+        )
         super().__init__(
             encoder_sizes=tuple(int(s) for s in encoder_sizes),
             conv_channels=tuple(int(c) for c in conv_channels),
@@ -447,7 +499,7 @@ class CNNLocEstimator(Estimator):
             batch_size=int(batch_size),
             lr=float(lr),
             seed=_canonical_seed(seed),
-            **_dtype_param(dtype),
+            **self._pipeline.canonical_params(),
         )
         self.model_ = None
 
@@ -500,13 +552,21 @@ class KNNRegressorEstimator(_RegressorEstimator):
         shards: int = 1,
         partitioner="kmeans",
         quantize_bins: "int | None" = None,
+        transform=None,
     ):
-        self._partitioner = partitioner
+        self._pipeline = FeaturePipeline.resolve(
+            transform,
+            backend="knn-regressor",
+            stages=("bin", "shard"),
+            shards=shards,
+            partitioner=partitioner,
+            quantize_bins=quantize_bins,
+        )
+        self._partitioner = self._pipeline.partitioner
         super().__init__(
             k=int(k),
             weights=weights,
-            **_sharding_params(shards, partitioner),
-            **_quantize_param(quantize_bins),
+            **self._pipeline.canonical_params(),
         )
         self.model_ = None
 
@@ -556,6 +616,8 @@ class EnsembleEstimator(Estimator):
         ood_quantile: float = 0.99,
         primary_params: "dict | None" = None,
         fallback_params: "dict | None" = None,
+        quantize_bins: "int | None" = None,
+        transform=None,
     ):
         if "ensemble" in (primary, fallback):
             raise ValueError("ensemble backends cannot nest")
@@ -563,6 +625,14 @@ class EnsembleEstimator(Estimator):
             raise ValueError(
                 f"ood_quantile must be in [0, 1], got {ood_quantile}"
             )
+        # the ensemble's own pipeline covers the OOD gate index; the
+        # children configure theirs via primary_params/fallback_params
+        self._pipeline = FeaturePipeline.resolve(
+            transform,
+            backend="ensemble",
+            stages=("bin",),
+            quantize_bins=quantize_bins,
+        )
         self._primary = create(primary, **dict(primary_params or {}))
         self._fallback = create(fallback, **dict(fallback_params or {}))
         super().__init__(
@@ -573,6 +643,7 @@ class EnsembleEstimator(Estimator):
             # spellings collapsed), so the cache key inherits that
             primary_params=dict(sorted(self._primary.params.items())),
             fallback_params=dict(sorted(self._fallback.params.items())),
+            **self._pipeline.canonical_params(),
         )
         self.ood_threshold_: "float | None" = None
         self.routes_ = {"primary": 0, "fallback": 0}
@@ -583,7 +654,9 @@ class EnsembleEstimator(Estimator):
         self._primary.fit(dataset)
         self._fallback.fit(dataset)
         signals = dataset.normalized_signals()
-        self._ood_index = KNNIndex(signals, method="brute")
+        self._ood_index = KNNIndex(
+            signals, method="brute", binner=self._fit_gate_binner(signals)
+        )
         if len(signals) > 1:
             distances, _ = self._ood_index.query(
                 signals, k=1, exclude_self=True, on_excess="clamp"
@@ -607,6 +680,19 @@ class EnsembleEstimator(Estimator):
         )
         self.routes_ = {"primary": 0, "fallback": 0}
         return self
+
+    def _fit_gate_binner(self, signals: np.ndarray):
+        """uint8 quantizer for the OOD gate index when ``quantize_bins`` set.
+
+        Mirrors the kNN backends: the gate's stored fingerprints are
+        binned, queries stay raw (asymmetric distance), so the gate's
+        memory footprint quantizes like the serving indexes do.
+        """
+        if "quantize_bins" not in self.params:
+            return None
+        from repro.quantization import FeatureBinner
+
+        return FeatureBinner(n_bins=self.params["quantize_bins"]).fit(signals)
 
     def predict_batch(self, signals: np.ndarray) -> Prediction:
         check_fitted(self, "ood_threshold_")

@@ -624,10 +624,11 @@ class ShardWorkerPool:
             time.sleep(5e-5)
 
     def predict(self, signals: np.ndarray) -> Prediction:
-        """Serve raw RSSI rows end to end: normalize in the parent,
-        scan across the workers, reduce to a :class:`Prediction`."""
-        normalized = self.estimator._as_dataset(signals).normalized_signals()
-        distances, indices = self.query(normalized, k=self.k)
+        """Serve raw RSSI rows end to end: featurize in the parent
+        (normalize, plus the model's learned embedding when it has
+        one), scan across the workers, reduce to a :class:`Prediction`."""
+        featurized = self.model._signals(self.estimator._as_dataset(signals))
+        distances, indices = self.query(featurized, k=self.k)
         coordinates, building, floor = self.model.predict_from_neighbors(
             distances, indices
         )

@@ -298,6 +298,113 @@ class TestQuantBlock:
             validate_serve_bench_payload(payload)
 
 
+class TestEmbedBlock:
+    """The learned-embedding leg (schema v7): emission + validation."""
+
+    def test_block_emitted_and_valid(self, smoke_result):
+        payload = smoke_result.payload()
+        validate_serve_bench_payload(payload)
+        embed = payload["embed"]
+        preset = PRESETS["smoke"]
+        assert embed["embedder"] == preset.embed_embedder
+        assert embed["n_components"] == preset.embed_components
+        assert embed["n_queries"] == preset.embed_queries
+        assert embed["n_bins"] == preset.embed_bins
+        assert embed["k"] == min(preset.embed_k, embed["n_points"])
+        for side in ("raw", "embed"):
+            leg = embed[side]
+            assert leg["fit_seconds"] > 0
+            assert leg["requests_per_second"] > 0
+            assert leg["error_m"] > 0
+            assert 0.0 <= leg["recall_at_k"] <= 1.0
+        head = embed["headline"]
+        assert head["speedup_vs_raw"] > 0
+        # every accuracy/throughput floor is deliberately off at smoke
+        # scale: the tiny map can't show the noisy-map win
+        assert head["floor_enforced"] is False
+        assert head["min_speedup_asserted"] == 0.0
+        assert head["max_error_ratio_asserted"] == 0.0
+        assert head["min_recall_ratio_asserted"] == 0.0
+
+    def test_report_mentions_the_embed_leg(self, smoke_result):
+        report = smoke_result.report()
+        assert "embed:" in report
+        assert "embed-knn" in report and "raw kNN" in report
+
+    def test_impossible_embed_floor_raises(self):
+        with pytest.raises(ServeSpeedupError, match="raw-RSSI"):
+            run_serve_bench(preset="smoke", seed=9, embed_min_speedup=1e9)
+
+    def test_impossible_error_ceiling_raises(self):
+        from dataclasses import replace
+
+        from repro.bench.serve import _embed_block
+
+        impossible = replace(PRESETS["smoke"], embed_max_error_ratio=1e-6)
+        with pytest.raises(ServeParityError, match="position error"):
+            _embed_block(impossible, seed=9, min_speedup=0.0)
+
+    def test_impossible_recall_floor_raises(self):
+        from dataclasses import replace
+
+        from repro.bench.serve import _embed_block
+
+        impossible = replace(PRESETS["smoke"], embed_min_recall_ratio=100.0)
+        with pytest.raises(ServeParityError, match="recall"):
+            _embed_block(impossible, seed=9, min_speedup=0.0)
+
+    def test_validator_rejects_missing_block(self, smoke_result):
+        payload = smoke_result.payload()
+        del payload["embed"]
+        with pytest.raises(ValueError, match="embed"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_broken_leg_field(self, smoke_result):
+        payload = smoke_result.payload()
+        payload["embed"]["embed"]["requests_per_second"] = "fast"
+        with pytest.raises(ValueError, match="requests_per_second"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_enforced_floor_violation(self, smoke_result):
+        payload = smoke_result.payload()
+        head = payload["embed"]["headline"]
+        head["floor_enforced"] = True
+        head["min_speedup_asserted"] = 10.0
+        head["speedup_vs_raw"] = 1.1
+        with pytest.raises(ValueError, match="below the asserted floor"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_error_above_ceiling(self, smoke_result):
+        payload = smoke_result.payload()
+        head = payload["embed"]["headline"]
+        head["max_error_ratio_asserted"] = 1.0
+        head["error_ratio_vs_raw"] = 1.4
+        with pytest.raises(ValueError, match="above the asserted ceiling"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_recall_below_floor(self, smoke_result):
+        payload = smoke_result.payload()
+        head = payload["embed"]["headline"]
+        head["min_recall_ratio_asserted"] = 0.95
+        head["recall_ratio_vs_raw"] = 0.5
+        with pytest.raises(ValueError, match="recall_ratio_vs_raw"):
+            validate_serve_bench_payload(payload)
+
+    def test_validator_rejects_missing_headline_key(self, smoke_result):
+        payload = smoke_result.payload()
+        del payload["embed"]["headline"]["recall_ratio_vs_raw"]
+        with pytest.raises(ValueError, match="recall_ratio_vs_raw"):
+            validate_serve_bench_payload(payload)
+
+    def test_embed_bench_cli_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["embed-bench", "--preset", "smoke", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "embed-bench preset=smoke" in out
+        assert "embed-knn" in out
+
+
 class TestWorkersBlock:
     """The multi-process tier sweep (schema v3): emission + validation."""
 

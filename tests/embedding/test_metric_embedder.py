@@ -1,0 +1,137 @@
+"""NCA metric learner: objective math, fit determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import NCAEmbedder, nca_objective
+
+RNG = np.random.default_rng(11)
+
+
+def _clustered(n_classes=4, per_class=12, width=6, spread=0.3):
+    """Centered class blobs with known labels."""
+    centers = RNG.normal(size=(n_classes, width)) * 4.0
+    labels = np.repeat(np.arange(n_classes), per_class)
+    data = centers[labels] + RNG.normal(
+        0, spread, size=(n_classes * per_class, width)
+    )
+    return data - data.mean(axis=0), labels
+
+
+def _pca_hostile(n_classes=4, per_class=16, width=6):
+    """Class structure hidden in a low-variance direction.
+
+    The first coordinate carries the classes at small scale while the
+    remaining ones are high-variance noise, so the PCA initialization
+    starts in the wrong subspace and only gradient ascent on the NCA
+    objective can recover the discriminative direction.
+    """
+    labels = np.repeat(np.arange(n_classes), per_class)
+    n = n_classes * per_class
+    data = RNG.normal(0, 5.0, size=(n, width))
+    data[:, 0] = labels * 1.0 + RNG.normal(0, 0.15, size=n)
+    return data - data.mean(axis=0), labels
+
+
+class TestObjectiveGradient:
+    def test_matches_finite_differences(self):
+        # the gradient is the load-bearing math: check it against
+        # central differences entry by entry
+        data, labels = _clustered(n_classes=3, per_class=4, width=5)
+        transform = RNG.normal(size=(2, 5)) * 0.3
+        _, grad = nca_objective(transform, data, labels)
+        step = 1e-6
+        numeric = np.zeros_like(transform)
+        for i in range(transform.shape[0]):
+            for j in range(transform.shape[1]):
+                plus = transform.copy()
+                plus[i, j] += step
+                minus = transform.copy()
+                minus[i, j] -= step
+                numeric[i, j] = (
+                    nca_objective(plus, data, labels)[0]
+                    - nca_objective(minus, data, labels)[0]
+                ) / (2 * step)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_objective_bounded_by_point_count(self):
+        # sum of per-point probabilities: in [0, N] by construction
+        data, labels = _clustered()
+        transform = RNG.normal(size=(3, 6)) * 0.2
+        value, _ = nca_objective(transform, data, labels)
+        assert 0.0 <= value <= len(data)
+
+    def test_degenerate_batch_is_a_no_op(self):
+        value, grad = nca_objective(np.eye(2), np.zeros((1, 2)), np.zeros(1))
+        assert value == 0.0
+        np.testing.assert_array_equal(grad, np.zeros((2, 2)))
+
+
+class TestFit:
+    def test_ascends_the_objective(self):
+        data, labels = _pca_hostile()
+        embedder = NCAEmbedder(n_components=2, epochs=15, batch_size=64, seed=0)
+        embedder.fit(data, labels)
+        history = embedder.objective_history_
+        assert len(history) == 15
+        assert history[-1] > history[0]
+
+    def test_transform_is_the_recorded_linear_map(self):
+        data, labels = _clustered()
+        embedder = NCAEmbedder(n_components=2, epochs=3, seed=0).fit(
+            data, labels
+        )
+        out = embedder.transform(data[:7])
+        assert out.shape == (7, 2)
+        manual = (data[:7] - embedder.mean_) @ embedder.components_.T
+        np.testing.assert_array_equal(out, manual)
+
+    def test_deterministic_across_fits(self):
+        data, labels = _clustered()
+        a = NCAEmbedder(n_components=2, epochs=4, seed=3).fit(data, labels)
+        b = NCAEmbedder(n_components=2, epochs=4, seed=3).fit(data, labels)
+        np.testing.assert_array_equal(a.components_, b.components_)
+        assert a.objective_history_ == b.objective_history_
+
+    def test_components_capped_at_input_width(self):
+        data, labels = _clustered(width=4)
+        embedder = NCAEmbedder(n_components=16, epochs=2, seed=0).fit(
+            data, labels
+        )
+        assert embedder.components_.shape == (4, 4)
+
+    def test_fit_transform_equals_fit_then_transform(self):
+        data, labels = _clustered()
+        a = NCAEmbedder(n_components=3, epochs=2, seed=1).fit_transform(
+            data, labels
+        )
+        b = NCAEmbedder(n_components=3, epochs=2, seed=1).fit(
+            data, labels
+        ).transform(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            NCAEmbedder().transform(np.zeros((3, 4)))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            NCAEmbedder(epochs=1).fit(np.zeros((4, 3)), np.zeros(5))
+
+
+class TestValidation:
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError, match="n_components"):
+            NCAEmbedder(n_components=0)
+        with pytest.raises(ValueError, match="epochs"):
+            NCAEmbedder(epochs=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            NCAEmbedder(batch_size=1)
+        with pytest.raises(ValueError, match="lr"):
+            NCAEmbedder(lr=0.0)
+
+    def test_params_round_trips_the_constructor(self):
+        embedder = NCAEmbedder(
+            n_components=4, epochs=7, batch_size=32, lr=0.1, seed=5
+        )
+        assert NCAEmbedder(**embedder.params).params == embedder.params

@@ -1,0 +1,158 @@
+"""MLP embedder + package helpers: fit, determinism, bitwise state."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    EMBEDDER_KINDS,
+    MLPEmbedder,
+    NCAEmbedder,
+    embedder_state,
+    fit_embedder,
+    is_fitted,
+    make_embedder,
+    restore_embedder,
+)
+
+RNG = np.random.default_rng(21)
+
+#: Seconds-scale training configuration shared by these tests.
+FAST = dict(
+    n_components=4, hidden=(16,), pretrain_epochs=2, epochs=3, batch_size=32
+)
+
+
+def _toy(n=96, width=10, seed=5):
+    rng = np.random.default_rng(seed)
+    coordinates = rng.uniform(0, 40, size=(n, 2))
+    signals = np.tanh(
+        coordinates @ rng.normal(size=(2, width)) * 0.05
+        + rng.normal(0, 0.05, size=(n, width))
+    )
+    return signals, coordinates
+
+
+class TestFit:
+    def test_transform_shape(self):
+        signals, coordinates = _toy()
+        embedder = MLPEmbedder(seed=0, **FAST).fit(signals, coordinates)
+        out = embedder.transform(signals[:9])
+        assert out.shape == (9, FAST["n_components"])
+        assert np.isfinite(out).all()
+
+    def test_deterministic_across_fits(self):
+        signals, coordinates = _toy()
+        a = MLPEmbedder(seed=4, **FAST).fit(signals, coordinates)
+        b = MLPEmbedder(seed=4, **FAST).fit(signals, coordinates)
+        np.testing.assert_array_equal(
+            a.transform(signals), b.transform(signals)
+        )
+
+    def test_records_training_history(self):
+        signals, coordinates = _toy()
+        embedder = MLPEmbedder(seed=0, **FAST).fit(signals, coordinates)
+        assert embedder.history_ is not None
+        assert embedder.n_features_in_ == signals.shape[1]
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            MLPEmbedder().transform(np.zeros((3, 4)))
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="coordinates"):
+            MLPEmbedder(**FAST).fit(np.zeros((4, 3)), np.zeros((5, 2)))
+
+    def test_bad_n_components(self):
+        with pytest.raises(ValueError, match="n_components"):
+            MLPEmbedder(n_components=0)
+
+    def test_params_canonicalize_dtype(self):
+        assert MLPEmbedder(dtype=np.float32).params["dtype"] == "float32"
+        assert MLPEmbedder().params["dtype"] is None
+
+
+class TestHelpers:
+    def test_make_embedder_kinds(self):
+        assert EMBEDDER_KINDS == ("metric", "mlp")
+        assert isinstance(make_embedder("metric"), NCAEmbedder)
+        assert isinstance(make_embedder("mlp", n_components=3), MLPEmbedder)
+        with pytest.raises(ValueError, match="unknown embedder"):
+            make_embedder("pca")
+
+    def test_is_fitted(self):
+        signals, coordinates = _toy()
+        embedder = MLPEmbedder(seed=0, **FAST)
+        assert not is_fitted(embedder)
+        embedder.fit(signals, coordinates)
+        assert is_fitted(embedder)
+        with pytest.raises(TypeError, match="not an embedder"):
+            is_fitted(object())
+
+    def test_fit_embedder_on_a_dataset(self, uji_small):
+        # fit_embedder picks the supervision each learner needs: spot
+        # classes for the metric learner, coordinates for the MLP
+        metric = fit_embedder(
+            NCAEmbedder(n_components=4, epochs=2, seed=0), uji_small
+        )
+        mlp = fit_embedder(MLPEmbedder(seed=0, **FAST), uji_small)
+        signals = uji_small.normalized_signals()
+        assert metric.transform(signals).shape == (len(uji_small), 4)
+        assert mlp.transform(signals).shape == (len(uji_small), 4)
+
+
+class TestStateRoundTrip:
+    def test_mlp_round_trip_is_bitwise(self):
+        signals, coordinates = _toy()
+        embedder = MLPEmbedder(seed=7, **FAST).fit(signals, coordinates)
+        arrays, meta = embedder_state(embedder)
+        json.dumps(meta)  # meta must survive the .npz sidecar
+        restored = restore_embedder(arrays, meta)
+        assert restored.params == embedder.params
+        queries = _toy(n=17, seed=9)[0]
+        np.testing.assert_array_equal(
+            embedder.transform(queries), restored.transform(queries)
+        )
+
+    def test_metric_round_trip_is_bitwise(self):
+        signals, coordinates = _toy()
+        labels = np.arange(len(signals)) % 8
+        embedder = NCAEmbedder(n_components=3, epochs=2, seed=1).fit(
+            signals, labels
+        )
+        arrays, meta = embedder_state(embedder)
+        json.dumps(meta)
+        restored = restore_embedder(arrays, meta)
+        assert restored.params == embedder.params
+        np.testing.assert_array_equal(
+            embedder.transform(signals), restored.transform(signals)
+        )
+
+    def test_round_trip_survives_npz(self, tmp_path):
+        # the real artifact path: through np.savez + np.load, not just
+        # an in-memory dict
+        signals, coordinates = _toy()
+        embedder = MLPEmbedder(seed=2, **FAST).fit(signals, coordinates)
+        arrays, meta = embedder_state(embedder)
+        path = tmp_path / "embedder.npz"
+        np.savez(path, **arrays)
+        with np.load(path) as archive:
+            restored = restore_embedder(dict(archive.items()), meta)
+        np.testing.assert_array_equal(
+            embedder.transform(signals), restored.transform(signals)
+        )
+
+    def test_unfitted_state_raises(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            embedder_state(MLPEmbedder())
+        with pytest.raises(ValueError, match="unfitted"):
+            embedder_state(NCAEmbedder())
+        with pytest.raises(TypeError, match="not an embedder"):
+            embedder_state(object())
+
+    def test_prefix_is_respected(self):
+        signals, coordinates = _toy()
+        embedder = MLPEmbedder(seed=3, **FAST).fit(signals, coordinates)
+        arrays, _meta = embedder_state(embedder, prefix="x.")
+        assert all(name.startswith("x.") for name in arrays)

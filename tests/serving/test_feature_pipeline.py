@@ -1,0 +1,219 @@
+"""FeaturePipeline: the transform= seam, conflicts, cache-key stability."""
+
+import numpy as np
+import pytest
+
+from repro.serving import create
+from repro.serving.pipeline import PIPELINE_STAGES, FeaturePipeline
+from repro.serving.registry import params_key
+
+
+class TestCacheKeyStability:
+    """Legacy spellings must key exactly as they did before the seam.
+
+    These strings are the regression contract: they are what
+    ``ModelCache`` entries and ``ModelStore`` artifact filenames hash,
+    so any drift here silently invalidates every cached model and every
+    on-disk artifact.  Do not update them to make a refactor pass.
+    """
+
+    def test_knn_default_key(self):
+        assert params_key(create("knn").params) == (
+            "[('k', 5), ('weighted', True)]"
+        )
+
+    def test_knn_sharded_key(self):
+        assert params_key(create("knn", shards=4).params) == (
+            "[('k', 5), ('partitioner', 'auto'), ('shards', 4), "
+            "('weighted', True)]"
+        )
+
+    def test_knn_full_legacy_key(self):
+        est = create("knn", shards=4, quantize_bins=16)
+        assert params_key(est.params) == (
+            "[('k', 5), ('partitioner', 'auto'), ('quantize_bins', 16), "
+            "('shards', 4), ('weighted', True)]"
+        )
+
+    def test_knn_regressor_default_key(self):
+        assert params_key(create("knn-regressor").params) == (
+            "[('k', 5), ('weights', 'uniform')]"
+        )
+
+    def test_noble_default_key(self):
+        assert params_key(create("noble").params) == (
+            "[('adjacency_weight', 0.3), ('batch_size', 64), "
+            "('coarse', 4.0), ('epochs', 60), ('hidden', 128), "
+            "('lr', 0.001), ('seed', 0), ('tau', 0.2), "
+            "('val_fraction', 0.0)]"
+        )
+
+    def test_absent_by_default_stages(self):
+        # shards=1 / quantize_bins=None / dtype=None contribute no key
+        # at all — the invariant that keeps pre-seam artifacts resolving
+        for backend in ("knn", "knn-regressor", "noble", "cnnloc"):
+            params = create(backend).params
+            assert "shards" not in params
+            assert "quantize_bins" not in params
+            assert "dtype" not in params
+        explicit = create("knn", shards=1, quantize_bins=None)
+        assert explicit.params == create("knn").params
+
+    def test_dtype_spellings_share_a_key(self):
+        a = create("noble", dtype="float32")
+        b = create("noble", dtype=np.float32)
+        assert params_key(a.params) == params_key(b.params)
+
+    def test_seed_spellings_share_a_key(self):
+        a = create("noble", seed=0)
+        b = create("noble", seed=np.int64(0))
+        assert params_key(a.params) == params_key(b.params)
+
+
+class TestTransformSpelling:
+    def test_transform_keys_like_legacy_kwargs(self):
+        pairs = [
+            ("knn", dict(shards=4), {"shard": 4}),
+            ("knn", dict(quantize_bins=16), {"bin": 16}),
+            (
+                "knn",
+                dict(shards=2, quantize_bins=64),
+                {"shard": 2, "bin": 64},
+            ),
+            ("noble", dict(dtype="float32"), {"dtype": "float32"}),
+            (
+                "knn-regressor",
+                dict(shards=3, partitioner="chunk"),
+                {"shard": {"shards": 3, "partitioner": "chunk"}},
+            ),
+        ]
+        for backend, legacy, transform in pairs:
+            a = create(backend, **legacy)
+            b = create(backend, transform=transform)
+            assert a.params == b.params, (backend, legacy, transform)
+            assert params_key(a.params) == params_key(b.params)
+
+    def test_embed_stage_spellings_agree(self):
+        a = create("embed-knn", embedder="mlp")
+        b = create("embed-knn", transform={"embed": "mlp"})
+        c = create("embed-knn", transform={"embed": {"kind": "mlp"}})
+        d = create("embed-knn")  # an embedded backend defaults to mlp
+        assert a.params == b.params == c.params == d.params
+
+    def test_embed_params_are_canonicalized(self):
+        # partial kwargs key with the embedder's defaults filled in, so
+        # two spellings of one configuration share a cache entry
+        a = create("embed-knn", embedder="metric", embed_params={"epochs": 30})
+        b = create("embed-knn", transform={"embed": {"kind": "metric"}})
+        assert a.params == b.params
+        different = create(
+            "embed-knn", embedder="metric", embed_params={"epochs": 5}
+        )
+        assert params_key(a.params) != params_key(different.params)
+
+    def test_pipeline_instance_as_transform(self):
+        pipeline = FeaturePipeline(
+            backend="knn", stages=("bin", "shard"), shards=2,
+            partitioner="kmeans", quantize_bins=32,
+        )
+        a = create("knn", transform=pipeline)
+        b = create("knn", shards=2, partitioner="kmeans", quantize_bins=32)
+        assert a.params == b.params
+
+    def test_spec_round_trips(self):
+        pipeline = FeaturePipeline(
+            backend="embed-knn", stages=PIPELINE_STAGES,
+            embedder="mlp", embed_params={"n_components": 8},
+            shards=2, quantize_bins=16, dtype="float32",
+        )
+        rebuilt = FeaturePipeline.resolve(
+            pipeline.spec(), backend="embed-knn", stages=PIPELINE_STAGES
+        )
+        assert rebuilt.canonical_params() == pipeline.canonical_params()
+
+
+class TestConflicts:
+    def test_bin_stage_conflicts_with_quantize_bins(self):
+        with pytest.raises(ValueError, match="one spelling"):
+            create("knn", quantize_bins=16, transform={"bin": 16})
+
+    def test_shard_stage_conflicts_with_shards(self):
+        with pytest.raises(ValueError, match="one spelling"):
+            create("knn", shards=2, transform={"shard": 2})
+
+    def test_dtype_stage_conflicts_with_dtype(self):
+        with pytest.raises(ValueError, match="one spelling"):
+            create("noble", dtype="float32", transform={"dtype": "float32"})
+
+    def test_embed_stage_conflicts_with_embedder(self):
+        with pytest.raises(ValueError, match="one spelling"):
+            create(
+                "embed-knn", embedder="mlp", transform={"embed": "mlp"}
+            )
+
+
+class TestStageGating:
+    def test_embed_stage_rejected_off_embed_knn(self):
+        # the error points at the backend that does support it
+        for backend in ("knn", "knn-regressor", "noble", "cnnloc"):
+            with pytest.raises(ValueError, match="embed-knn"):
+                create(backend, transform={"embed": "mlp"})
+
+    def test_shard_stage_rejected_on_unsharded_backends(self):
+        for backend in ("cnnloc", "ensemble"):
+            with pytest.raises(ValueError, match="no sharding stage"):
+                create(backend, transform={"shard": 2})
+
+    def test_embed_params_require_an_embedder(self):
+        with pytest.raises(ValueError, match="embed_params"):
+            FeaturePipeline(
+                backend="embed-knn", stages=PIPELINE_STAGES,
+                embed_params={"epochs": 3},
+            )
+
+    def test_unknown_embedder_kind(self):
+        with pytest.raises(ValueError, match="unknown embedder"):
+            create("embed-knn", embedder="pca")
+
+    def test_unknown_stage_names(self):
+        with pytest.raises(ValueError, match="unknown pipeline stages"):
+            FeaturePipeline(backend="x", stages=("warp",))
+
+
+class TestResolveValidation:
+    def test_unknown_transform_key(self):
+        with pytest.raises(ValueError, match="unknown transform stages"):
+            create("knn", transform={"quantize": 16})
+
+    def test_transform_type_error(self):
+        with pytest.raises(TypeError, match="transform"):
+            create("knn", transform="bin=16")
+
+    def test_embed_spec_needs_a_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            create("embed-knn", transform={"embed": {"epochs": 3}})
+
+    def test_embed_spec_type_error(self):
+        with pytest.raises(TypeError, match="embed stage"):
+            create("embed-knn", transform={"embed": 16})
+
+    def test_shard_spec_rejects_extras(self):
+        with pytest.raises(ValueError, match="shard stage"):
+            create("knn", transform={"shard": {"shards": 2, "k": 3}})
+
+    def test_partitioner_shard_count_mismatch(self):
+        from repro.sharding import make_partitioner
+
+        partitioner = make_partitioner("kmeans", n_shards=3)
+        with pytest.raises(ValueError, match="n_shards"):
+            create("knn", shards=2, partitioner=partitioner)
+
+    def test_bad_quantize_bins_fail_at_construction(self):
+        with pytest.raises(ValueError, match="quantize_bins"):
+            create("knn", transform={"bin": 1})
+        with pytest.raises(ValueError, match="quantize_bins"):
+            create("embed-knn", quantize_bins=100_000)
+
+    def test_bad_shards_fail_at_construction(self):
+        with pytest.raises(ValueError, match="shards"):
+            create("knn", shards=0)

@@ -12,12 +12,20 @@ class TestCacheKeys:
     def test_default_leaves_params_untouched(self):
         # quantize_bins=None must not appear, so pre-existing cache keys
         # and describe() strings survive the new hyperparameter
-        for backend in ("knn", "knn-regressor", "noble"):
+        for backend in ("knn", "knn-regressor", "noble", "cnnloc"):
             est = create(backend)
             assert "quantize_bins" not in est.params
             quantized = create(backend, quantize_bins=256)
             assert quantized.params["quantize_bins"] == 256
             assert params_key(est.params) != params_key(quantized.params)
+
+    def test_ensemble_gate_quantization_is_keyed(self):
+        children = dict(primary="knn", fallback="knn-regressor")
+        est = create("ensemble", **children)
+        assert "quantize_bins" not in est.params
+        quantized = create("ensemble", quantize_bins=128, **children)
+        assert quantized.params["quantize_bins"] == 128
+        assert params_key(est.params) != params_key(quantized.params)
 
     def test_distinct_bin_counts_never_share_a_key(self):
         a = create("knn", quantize_bins=64)
@@ -122,6 +130,40 @@ class TestArtifactRoundTrip:
             est.predict_batch(test.rssi).coordinates,
             restored.predict_batch(test.rssi).coordinates,
         )
+
+    def test_binned_cnnloc_round_trip(self, uji_split, tmp_path):
+        train, _val, test = uji_split
+        est = create(
+            "cnnloc", pretrain_epochs=1, epochs=2, seed=13,
+            quantize_bins=128,
+        ).fit(train)
+        assert est.model_.binner_ is not None
+        path = tmp_path / "cnnloc-binned.npz"
+        save_estimator(est, path)
+        restored = load_estimator(path)
+        assert restored.model_.binner_ is not None
+        np.testing.assert_array_equal(
+            est.predict_batch(test.rssi).coordinates,
+            restored.predict_batch(test.rssi).coordinates,
+        )
+
+    def test_quantized_ensemble_gate_round_trip(self, uji_split, tmp_path):
+        # the ensemble's own pipeline quantizes the OOD gate index; the
+        # round trip must preserve the binned gate and route identically
+        train, _val, test = uji_split
+        est = create(
+            "ensemble", primary="knn", fallback="knn-regressor",
+            quantize_bins=64,
+        ).fit(train)
+        assert est._ood_index.binner is not None
+        path = tmp_path / "ensemble-binned.npz"
+        save_estimator(est, path)
+        restored = load_estimator(path)
+        assert restored._ood_index.binner is not None
+        a = est.predict_batch(test.rssi)
+        b = restored.predict_batch(test.rssi)
+        np.testing.assert_array_equal(a.coordinates, b.coordinates)
+        assert est.routes_ == restored.routes_
 
     def test_artifact_stores_codes_not_points(self, uji_split, tmp_path):
         # the 8x resident cut carries into the artifact: a binned knn
